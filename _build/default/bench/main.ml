@@ -1,0 +1,353 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks: one Test.make per figure/experiment
+   kernel (the simulation that regenerates it) plus the core DHT operations,
+   so regressions in any reproduction path are visible as timings.
+
+   Part 2 — figure regeneration: prints the series of every paper figure
+   (4-9) and the section-4.1.1 claims at a reduced number of runs, in the
+   same rows the paper reports. `bin/dht_sim.exe` produces the full
+   100-run versions. *)
+
+open Bechamel
+open Toolkit
+open Dht_core
+module Figures = Dht_experiments.Figures
+module Extensions = Dht_experiments.Extensions
+module Curve = Dht_experiments.Curve
+module Sims = Dht_experiments.Sims
+module Csim = Dht_protocol.Creation_sim
+module Rng = Dht_prng.Rng
+module Table = Dht_report.Table
+
+let vid i = Vnode_id.make ~snode:i ~vnode:0
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: micro-benchmarks                                            *)
+
+let bench_fig4_kernel pair =
+  Test.make
+    ~name:(Printf.sprintf "fig4: local growth (Pmin,Vmin)=(%d,%d), 128 vnodes" pair pair)
+    (Staged.stage (fun () ->
+         Sims.local_curve ~pmin:pair ~vmin:pair ~vnodes:128
+           ~sample:Local_dht.sigma_qv (Rng.of_int 1)))
+
+let bench_fig6_kernel =
+  Test.make ~name:"fig6: local growth Pmin=32 Vmin=8, 128 vnodes"
+    (Staged.stage (fun () ->
+         Sims.local_curve ~pmin:32 ~vmin:8 ~vnodes:128 ~sample:Local_dht.sigma_qv
+           (Rng.of_int 1)))
+
+let bench_fig7_kernel =
+  Test.make ~name:"fig7/8: group dynamics sampling, 128 vnodes"
+    (Staged.stage (fun () ->
+         Sims.local_curves ~pmin:32 ~vmin:32 ~vnodes:128
+           ~samples:
+             [|
+               (fun d -> float_of_int (Local_dht.group_count d));
+               Local_dht.sigma_qg;
+             |]
+           (Rng.of_int 1)))
+
+let bench_fig9_ch_kernel =
+  Test.make ~name:"fig9: CH ring growth, 128 nodes x 32 points"
+    (Staged.stage (fun () ->
+         Sims.ch_curve ~points_per_node:32 ~nodes:128 (Rng.of_int 1)))
+
+let bench_global_kernel =
+  Test.make ~name:"global approach growth, 128 vnodes"
+    (Staged.stage (fun () ->
+         Sims.global_curve ~pmin:32 ~vnodes:128 ~sample:Global_dht.sigma_qv ()))
+
+let bench_creation_op =
+  (* Amortized cost of one local-approach vnode creation (without metric
+     sampling): grow a fresh 256-vnode DHT per run. *)
+  Test.make ~name:"local approach: 256 creations (no sampling)"
+    (Staged.stage (fun () ->
+         let dht =
+           Local_dht.create ~pmin:32 ~vmin:32 ~rng:(Rng.of_int 3) ~first:(vid 0) ()
+         in
+         for i = 1 to 255 do
+           ignore (Local_dht.add_vnode dht ~id:(vid i))
+         done))
+
+let bench_lookup =
+  let dht =
+    Local_dht.create ~pmin:32 ~vmin:32 ~rng:(Rng.of_int 4) ~first:(vid 0) ()
+  in
+  for i = 1 to 511 do
+    ignore (Local_dht.add_vnode dht ~id:(vid i))
+  done;
+  let space = (Local_dht.params dht).Params.space in
+  let rng = Rng.of_int 5 in
+  let size = Dht_hashspace.Space.size space in
+  Test.make ~name:"lookup: route one hash index (512-vnode DHT)"
+    (Staged.stage (fun () -> ignore (Local_dht.lookup dht (Rng.int rng size))))
+
+let bench_protocol_kernel =
+  Test.make ~name:"ext-parallel: protocol sim, 64 creations"
+    (Staged.stage (fun () ->
+         let arrivals =
+           Dht_workload.Trace.poisson ~rng:(Rng.of_int 6) ~n:64 ~rate:2000.
+         in
+         let cfg =
+           { (Csim.default_config (Csim.Local_approach { vmin = 16 })) with
+             Csim.snodes = 16 }
+         in
+         ignore (Csim.simulate cfg ~arrivals ~seed:6)))
+
+let bench_removal =
+  Test.make ~name:"ext-churn: 64 creations + 32 removals"
+    (Staged.stage (fun () ->
+         let dht =
+           Local_dht.create ~pmin:16 ~vmin:8 ~rng:(Rng.of_int 8) ~first:(vid 0) ()
+         in
+         for i = 1 to 63 do
+           ignore (Local_dht.add_vnode dht ~id:(vid i))
+         done;
+         for i = 0 to 31 do
+           ignore (Local_dht.remove_vnode dht ~id:(vid (2 * i)))
+         done))
+
+let bench_snode_runtime =
+  Test.make ~name:"ext-distributed: snode runtime, 32 concurrent creations"
+    (Staged.stage (fun () ->
+         let rt =
+           Dht_snode.Runtime.create ~pmin:8 ~approach:(Dht_snode.Runtime.Local { vmin = 4 }) ~snodes:8 ~seed:9 ()
+         in
+         for i = 1 to 32 do
+           Dht_snode.Runtime.create_vnode rt
+             ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8))
+             ()
+         done;
+         Dht_snode.Runtime.run rt))
+
+let bench_snapshot =
+  let dht =
+    Local_dht.create ~pmin:32 ~vmin:16 ~rng:(Rng.of_int 10) ~first:(vid 0) ()
+  in
+  for i = 1 to 255 do
+    ignore (Local_dht.add_vnode dht ~id:(vid i))
+  done;
+  Test.make ~name:"snapshot: save + load a 256-vnode DHT"
+    (Staged.stage (fun () ->
+         match
+           Snapshot.load_local ~rng:(Rng.of_int 11) (Snapshot.save_local dht)
+         with
+         | Ok _ -> ()
+         | Error m -> failwith m))
+
+let bench_kv_put_get =
+  let store =
+    Dht_kv.Local_store.create ~pmin:32 ~vmin:16 ~rng:(Rng.of_int 7) ~first:(vid 0) ()
+  in
+  for i = 1 to 31 do
+    ignore (Dht_kv.Local_store.add_vnode store ~id:(vid i))
+  done;
+  let counter = ref 0 in
+  Test.make ~name:"ext-kv: put + get of one key (32-vnode store)"
+    (Staged.stage (fun () ->
+         incr counter;
+         let key = "bench-" ^ string_of_int !counter in
+         Dht_kv.Local_store.put store ~key ~value:"v";
+         ignore (Dht_kv.Local_store.get store ~key)))
+
+let run_benchmarks () =
+  print_endline "== Micro-benchmarks (Bechamel, OLS time/run) ==";
+  let tests =
+    Test.make_grouped ~name:"dht"
+      [
+        bench_fig4_kernel 8;
+        bench_fig4_kernel 32;
+        bench_fig6_kernel;
+        bench_fig7_kernel;
+        bench_fig9_ch_kernel;
+        bench_global_kernel;
+        bench_creation_op;
+        bench_lookup;
+        bench_protocol_kernel;
+        bench_removal;
+        bench_snode_runtime;
+        bench_snapshot;
+        bench_kv_put_get;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name r acc ->
+        let ns =
+          match Analyze.OLS.estimates r with Some [ e ] -> e | _ -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square r) in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let table = Table.create ~headers:[ "benchmark"; "time/run"; "r^2" ] in
+  List.iter
+    (fun (name, ns, r2) ->
+      let pretty =
+        if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+        else Printf.sprintf "%.1f ns" ns
+      in
+      Table.add_row table [ name; pretty; Printf.sprintf "%.4f" r2 ])
+    rows;
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: figure regeneration (reduced runs; dht_sim for full scale)  *)
+
+let checkpoints = [ 128; 256; 512; 768; 1024 ]
+
+let print_curves ~title curves =
+  Printf.printf "\n== %s ==\n" title;
+  let table =
+    Table.create
+      ~headers:("V" :: List.map (fun (c : Curve.t) -> c.Curve.label) curves)
+  in
+  List.iter
+    (fun v ->
+      let row =
+        string_of_int v
+        :: List.map
+             (fun (c : Curve.t) ->
+               if v <= Array.length c.Curve.ys then
+                 Printf.sprintf "%.3f" c.Curve.ys.(v - 1)
+               else "-")
+             curves
+      in
+      Table.add_row table row)
+    checkpoints;
+  Table.print table
+
+let runs = 10
+let seed = 2004
+
+let () =
+  run_benchmarks ();
+
+  let fig4 = Figures.fig4 ~runs ~seed () in
+  print_curves
+    ~title:"Figure 4: sigma(Qv) %, Pmin = Vmin (paper: ~22.5/15/10/7/5 plateaus)"
+    fig4;
+
+  let thetas = Figures.fig5 ~runs ~seed () in
+  Printf.printf "\n== Figure 5: theta(Vmin), alpha = beta = 0.5 (paper: min at 32) ==\n";
+  List.iter (fun (v, t) -> Printf.printf "  Vmin=%-4d theta=%.4f\n" v t) thetas;
+  Printf.printf "  theta minimizes at Vmin = %d\n" (Figures.argmin_theta thetas);
+
+  print_curves
+    ~title:"Figure 6: sigma(Qv) %, Pmin = 32 (paper: Vmin=512 matches global)"
+    (Figures.fig6 ~runs ~seed ());
+
+  let d = Figures.fig7_fig8 ~runs ~seed () in
+  print_curves ~title:"Figure 7: number of groups (paper: Greal overshoots Gideal)"
+    [ d.Figures.greal; d.Figures.gideal ];
+  print_curves ~title:"Figure 8: sigma(Qg) % between groups (paper: spiky, 0-40%)"
+    [ d.Figures.sigma_qg ];
+
+  print_curves
+    ~title:
+      "Figure 9: sigma(Qn) % vs Consistent Hashing (paper: local < CH when Vmin >= 64)"
+    (Figures.fig9 ~runs ~seed ());
+
+  (* §4.1.1 claims *)
+  Printf.printf "\n== Claim: zone 1 (V <= Vmax) local = global ==\n";
+  let local, global = Figures.zone1 ~runs:3 ~seed () in
+  let max_diff = ref 0. in
+  Array.iteri
+    (fun i y -> max_diff := Float.max !max_diff (abs_float (y -. global.Curve.ys.(i))))
+    local.Curve.ys;
+  Printf.printf "  max |local - global| over V=1..64: %.6f %%\n" !max_diff;
+
+  Printf.printf "\n== Claim: doubling (Pmin,Vmin) shaves ~30%% off the plateau ==\n";
+  List.iter
+    (fun (label, final, ratio) ->
+      Printf.printf "  %-24s final=%6.3f%%  ratio=%.3f\n" label final ratio)
+    (Figures.plateau_ratios fig4);
+
+  Printf.printf "\n== Claim: stable out to 8192 vnodes ==\n";
+  let curve, slope = Figures.stability ~runs:2 ~vnodes:4096 ~seed () in
+  Printf.printf
+    "  sigma at V=1024: %.3f%%, at V=4096: %.3f%%, tail slope %.4f %%/1000v\n"
+    (Curve.at_x curve 1024.) (Curve.last curve) slope;
+
+  (* Extension experiments *)
+  Printf.printf "\n== Extension: creation protocol under load (512 creations @1000/s) ==\n";
+  let rows = Extensions.parallel ~seed () in
+  List.iter
+    (fun { Extensions.label; result = r } ->
+      Printf.printf
+        "  %-16s makespan %6.3fs  mean-lat %7.2fms  msgs %7d  conc %3d\n" label
+        r.Csim.makespan
+        (1000. *. Csim.mean_latency r)
+        r.Csim.messages r.Csim.max_concurrent)
+    rows;
+
+  Printf.printf "\n== Extension: heterogeneous enrollment ==\n";
+  let h = Extensions.hetero ~seed () in
+  Printf.printf "  max relative quota error %.3f, rms %.3f\n"
+    h.Extensions.max_rel_err h.Extensions.rms_rel_err;
+
+  Printf.printf "\n== Extension: data plane (100k keys, 64 -> 128 vnodes) ==\n";
+  let k = Extensions.kvload ~seed () in
+  Printf.printf
+    "  load sigma %.2f%% -> %.2f%% (quota sigma %.2f%%), migrated %d, lost %d\n"
+    k.Extensions.load_sigma_before k.Extensions.load_sigma_after
+    k.Extensions.quota_sigma_after k.Extensions.migrations k.Extensions.lost;
+
+  Printf.printf "\n== Extension: churn (joins + leaves) ==\n";
+  let c = Extensions.churn ~seed () in
+  Printf.printf
+    "  %d joins, %d leaves (%d blocked by the L2 floor), %d vnodes left;\n"
+    c.Extensions.joins c.Extensions.leaves c.Extensions.blocked_leaves
+    c.Extensions.final_vnodes;
+  Printf.printf "  sigma(Qv) max %.2f%%, keys lost %d, audit failures %d\n"
+    (Array.fold_left Float.max 0. c.Extensions.sigma_qv_curve)
+    c.Extensions.churn_keys_lost c.Extensions.audit_failures;
+
+  Printf.printf "\n== Ablation: victim selection (section 3.6) ==\n";
+  let a = Extensions.ablation_selection ~runs:10 ~seed () in
+  Printf.printf
+    "  sigma(Qv): quota lookup %.2f%% vs uniform group %.2f%%\n"
+    a.Extensions.quota_sigma_qv a.Extensions.uniform_sigma_qv;
+
+  Printf.printf "\n== Extension: access-aware fine-grain balancing (section 6) ==\n";
+  let hs = Extensions.hotspot ~seed () in
+  Printf.printf
+    "  access sigma %.2f%% -> %.2f%% after %d swaps (keys lost %d)\n"
+    hs.Extensions.access_sigma_before hs.Extensions.access_sigma_after
+    hs.Extensions.partitions_moved hs.Extensions.hotspot_keys_lost;
+
+  Printf.printf "\n== Extension: heterogeneous quota tracking vs weighted CH ==\n";
+  let hc = Extensions.hetero_compare ~seed () in
+  Printf.printf "  rms |quota/share - 1|: local %.3f vs weighted CH %.3f\n"
+    hc.Extensions.local_rms_err hc.Extensions.ch_rms_err;
+
+  Printf.printf "\n== Extension: distributed snode runtime ==\n";
+  let d = Extensions.distributed ~seed () in
+  Printf.printf
+    "  sigma(Qv) %.2f%% (oracle %.2f%%), %d msgs, %d retries, keys wrong %d, audit %s\n"
+    d.Extensions.dist_sigma_qv d.Extensions.oracle_sigma_qv
+    d.Extensions.dist_messages d.Extensions.dist_retries
+    d.Extensions.dist_keys_wrong
+    (if d.Extensions.dist_audit_ok then "ok" else "FAILED");
+
+  Printf.printf "\n== Extension: multi-DHT coexistence with external load ==\n";
+  let cx = Extensions.coexist ~seed () in
+  List.iteri
+    (fun i name ->
+      Printf.printf "  %s: rms err %.3f (idle) -> %.3f (loaded) -> %.3f (retargeted)\n"
+        name
+        (List.nth cx.Extensions.error_before i)
+        (List.nth cx.Extensions.error_after_load i)
+        (List.nth cx.Extensions.error_after_retarget i))
+    cx.Extensions.dht_names

@@ -1,0 +1,588 @@
+(* Experiment driver: regenerates every figure of the paper and the
+   extension experiments. `dht_sim --help` lists the commands. *)
+
+open Cmdliner
+module Figures = Dht_experiments.Figures
+module Extensions = Dht_experiments.Extensions
+module Curve = Dht_experiments.Curve
+module Chart = Dht_report.Ascii_chart
+module Table = Dht_report.Table
+module Csv = Dht_report.Csv
+module Csim = Dht_protocol.Creation_sim
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                      *)
+
+let runs_arg default =
+  let doc = "Number of independent runs to average." in
+  Arg.(value & opt int default & info [ "runs" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Master random seed (results are reproducible per seed)." in
+  Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let vnodes_arg default =
+  let doc = "Number of vnodes (or nodes) to create." in
+  Arg.(value & opt int default & info [ "vnodes" ] ~docv:"V" ~doc)
+
+let csv_arg =
+  let doc = "Also write the series to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let no_chart_arg =
+  let doc = "Suppress the ASCII chart (print only the summary table)." in
+  Arg.(value & flag & info [ "no-chart" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering helpers                                                   *)
+
+let to_chart_series (c : Curve.t) =
+  Chart.series ~label:c.Curve.label ~xs:c.Curve.xs ~ys:c.Curve.ys
+
+let summary_table ~x_name ~y_name curves =
+  let checkpoints =
+    match curves with
+    | [] -> []
+    | c :: _ ->
+        let n = Array.length c.Curve.xs in
+        List.sort_uniq compare [ n / 8; n / 4; n / 2; (3 * n) / 4; n - 1 ]
+        |> List.filter (fun i -> i >= 0 && i < n)
+  in
+  let headers =
+    x_name
+    :: List.map (fun (c : Curve.t) -> c.Curve.label ^ " " ^ y_name) curves
+  in
+  let table = Table.create ~headers in
+  List.iter
+    (fun i ->
+      let row =
+        Printf.sprintf "%.0f" (List.hd curves).Curve.xs.(i)
+        :: List.map
+             (fun (c : Curve.t) -> Printf.sprintf "%.3f" c.Curve.ys.(i))
+             curves
+      in
+      Table.add_row table row)
+    checkpoints;
+  table
+
+let emit ?(y_label = "sigma(Qv) %") ?(x_label = "overall number of vnodes")
+    ~title ~csv ~no_chart curves =
+  Printf.printf "== %s ==\n" title;
+  if not no_chart then
+    Chart.print ~x_label ~y_label (List.map to_chart_series curves);
+  Table.print (summary_table ~x_name:"V" ~y_name:"" curves);
+  Option.iter
+    (fun path ->
+      let header =
+        "x" :: List.map (fun (c : Curve.t) -> c.Curve.label) curves
+      in
+      Csv.write_columns ~path ~header
+        ((List.hd curves).Curve.xs :: List.map (fun c -> c.Curve.ys) curves);
+      Printf.printf "wrote %s\n" path)
+    csv
+
+(* ------------------------------------------------------------------ *)
+(* Figure commands                                                     *)
+
+let fig4_cmd =
+  let run runs vnodes seed csv no_chart =
+    let curves = Figures.fig4 ~runs ~vnodes ~seed () in
+    emit ~title:"Figure 4: sigma(Qv) when Pmin = Vmin" ~csv ~no_chart curves
+  in
+  let term =
+    Term.(const run $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg $ csv_arg
+          $ no_chart_arg)
+  in
+  Cmd.v
+    (Cmd.info "fig4"
+       ~doc:"Quality of the balancement for Pmin = Vmin in {8..128} (figure 4).")
+    term
+
+let fig5_cmd =
+  let run runs vnodes seed alpha =
+    let thetas = Figures.fig5 ~runs ~vnodes ~alpha ~seed () in
+    Printf.printf "== Figure 5: theta(Vmin), alpha = beta = %.2f ==\n" alpha;
+    let table = Table.create ~headers:[ "Vmin"; "theta" ] in
+    List.iter
+      (fun (v, t) -> Table.add_row table [ string_of_int v; Printf.sprintf "%.4f" t ])
+      thetas;
+    Table.print table;
+    Printf.printf "theta minimizes at Vmin = %d (paper: 32)\n"
+      (Figures.argmin_theta thetas)
+  in
+  let alpha =
+    Arg.(value & opt float 0.5 & info [ "alpha" ] ~docv:"A"
+           ~doc:"Weight of the Vmin term (beta = 1 - alpha).")
+  in
+  let term = Term.(const run $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg $ alpha) in
+  Cmd.v (Cmd.info "fig5" ~doc:"Parameter-choice functional theta (figure 5).") term
+
+let fig6_cmd =
+  let run runs vnodes seed csv no_chart =
+    let curves = Figures.fig6 ~runs ~vnodes ~seed () in
+    emit ~title:"Figure 6: sigma(Qv) when Pmin = 32, Vmin in {8..512}" ~csv
+      ~no_chart curves
+  in
+  let term =
+    Term.(const run $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg $ csv_arg
+          $ no_chart_arg)
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Degradation of the balancement quality (figure 6).")
+    term
+
+let fig78 ~which runs vnodes seed csv no_chart =
+  let d = Figures.fig7_fig8 ~runs ~vnodes ~seed () in
+  match which with
+  | `Fig7 ->
+      emit ~title:"Figure 7: evolution of the number of groups"
+        ~y_label:"overall number of groups" ~csv ~no_chart
+        [ d.Figures.greal; d.Figures.gideal ]
+  | `Fig8 ->
+      emit ~title:"Figure 8: evolution of sigma(Qg)" ~y_label:"sigma(Qg) %" ~csv
+        ~no_chart [ d.Figures.sigma_qg ]
+
+let fig7_cmd =
+  let term =
+    Term.(const (fig78 ~which:`Fig7) $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg
+          $ csv_arg $ no_chart_arg)
+  in
+  Cmd.v (Cmd.info "fig7" ~doc:"Greal vs Gideal, Pmin = Vmin = 32 (figure 7).") term
+
+let fig8_cmd =
+  let term =
+    Term.(const (fig78 ~which:`Fig8) $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg
+          $ csv_arg $ no_chart_arg)
+  in
+  Cmd.v
+    (Cmd.info "fig8" ~doc:"Balancement between groups sigma(Qg) (figure 8).")
+    term
+
+let fig9_cmd =
+  let run runs vnodes seed csv no_chart =
+    let curves = Figures.fig9 ~runs ~nodes:vnodes ~seed () in
+    emit ~title:"Figure 9: local approach vs Consistent Hashing"
+      ~y_label:"sigma(Qn) %" ~x_label:"overall number of cluster nodes" ~csv
+      ~no_chart curves
+  in
+  let term =
+    Term.(const run $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg $ csv_arg
+          $ no_chart_arg)
+  in
+  Cmd.v (Cmd.info "fig9" ~doc:"Comparison with Consistent Hashing (figure 9).") term
+
+(* ------------------------------------------------------------------ *)
+(* Claim checks                                                        *)
+
+let zones_cmd =
+  let run runs seed =
+    let local, global = Figures.zone1 ~runs ~seed () in
+    Printf.printf
+      "== 1st zone (V <= Vmax): local approach vs global approach ==\n";
+    let table = Table.create ~headers:[ "V"; "local"; "global"; "diff" ] in
+    let n = Array.length local.Curve.ys in
+    List.iter
+      (fun i ->
+        if i < n then
+          Table.add_row table
+            [
+              string_of_int (i + 1);
+              Printf.sprintf "%.4f" local.Curve.ys.(i);
+              Printf.sprintf "%.4f" global.Curve.ys.(i);
+              Printf.sprintf "%.4f" (local.Curve.ys.(i) -. global.Curve.ys.(i));
+            ])
+      [ 0; 7; 15; 31; 47; 63 ];
+    Table.print table
+  in
+  let term = Term.(const run $ runs_arg 100 $ seed_arg) in
+  Cmd.v
+    (Cmd.info "zones" ~doc:"Check the zone-1 claim: local = global while V <= Vmax.")
+    term
+
+let ratios_cmd =
+  let run runs vnodes seed =
+    let curves = Figures.fig4 ~runs ~vnodes ~seed () in
+    Printf.printf
+      "== Plateau ratios: doubling (Pmin,Vmin) should shave ~30%% ==\n";
+    let table = Table.create ~headers:[ "config"; "final sigma %"; "ratio" ] in
+    List.iter
+      (fun (label, final, ratio) ->
+        Table.add_row table
+          [ label; Printf.sprintf "%.3f" final; Printf.sprintf "%.3f" ratio ])
+      (Figures.plateau_ratios curves);
+    Table.print table
+  in
+  let term = Term.(const run $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg) in
+  Cmd.v (Cmd.info "ratios" ~doc:"Check the ~30% improvement-per-doubling claim.") term
+
+let stability_cmd =
+  let run runs vnodes seed csv no_chart =
+    let curve, slope = Figures.stability ~runs ~vnodes ~seed () in
+    emit ~title:"Stability out to 8192 vnodes (Pmin = Vmin = 32)" ~csv ~no_chart
+      [ curve ];
+    Printf.printf "second-half slope: %+.4f %% per 1000 vnodes (stable ~ 0)\n"
+      slope
+  in
+  let term =
+    Term.(const run $ runs_arg 10 $ vnodes_arg 8192 $ seed_arg $ csv_arg
+          $ no_chart_arg)
+  in
+  Cmd.v (Cmd.info "stability" ~doc:"Check the 8192-vnode stability claim.") term
+
+(* ------------------------------------------------------------------ *)
+(* Extension experiments                                               *)
+
+let cost_cmd =
+  let run runs vnodes seed =
+    let rows = Figures.cost ~runs ~vnodes ~seed () in
+    Printf.printf
+      "== Resource cost of Vmin (section 4.1.2, the other side of theta) ==\n";
+    let table =
+      Table.create
+        ~headers:
+          [ "Vmin"; "mean Vg"; "groups"; "LPDR bytes"; "sync snodes";
+            "sigma(Qv) %" ]
+    in
+    List.iter
+      (fun (r : Figures.cost_row) ->
+        Table.add_row table
+          [
+            string_of_int r.Figures.vmin;
+            Printf.sprintf "%.1f" r.Figures.mean_group_size;
+            Printf.sprintf "%.1f" r.Figures.group_count;
+            Printf.sprintf "%.0f" r.Figures.lpdr_bytes;
+            Printf.sprintf "%.1f" r.Figures.sync_snodes;
+            Printf.sprintf "%.3f" r.Figures.final_sigma;
+          ])
+      rows;
+    Table.print table
+  in
+  let term = Term.(const run $ runs_arg 20 $ vnodes_arg 1024 $ seed_arg) in
+  Cmd.v
+    (Cmd.info "cost"
+       ~doc:"Measure the storage/synchronization cost that grows with Vmin.")
+    term
+
+let parallel_cmd =
+  let run vnodes rate snodes seed =
+    let rows = Extensions.parallel ~snodes ~vnodes ~rate ~seed () in
+    Printf.printf
+      "== Creation protocol: %d creations, Poisson %.0f/s, %d snodes ==\n"
+      vnodes rate snodes;
+    let table =
+      Table.create
+        ~headers:
+          [
+            "approach"; "makespan s"; "mean lat ms"; "p95 lat ms"; "msgs";
+            "MB"; "max conc"; "conflicts";
+          ]
+    in
+    List.iter
+      (fun { Extensions.label; result = r } ->
+        Table.add_row table
+          [
+            label;
+            Printf.sprintf "%.3f" r.Csim.makespan;
+            Printf.sprintf "%.2f" (1000. *. Csim.mean_latency r);
+            Printf.sprintf "%.2f" (1000. *. Csim.p95_latency r);
+            string_of_int r.Csim.messages;
+            Printf.sprintf "%.1f" (float_of_int r.Csim.bytes /. 1e6);
+            string_of_int r.Csim.max_concurrent;
+            string_of_int r.Csim.conflicts;
+          ])
+      rows;
+    Table.print table
+  in
+  let rate =
+    Arg.(value & opt float 1000. & info [ "rate" ] ~docv:"R"
+           ~doc:"Poisson arrival rate of creation requests (per second).")
+  in
+  let snodes =
+    Arg.(value & opt int 64 & info [ "snodes" ] ~docv:"S"
+           ~doc:"Number of cluster nodes hosting snodes.")
+  in
+  let term = Term.(const run $ vnodes_arg 512 $ rate $ snodes $ seed_arg) in
+  Cmd.v
+    (Cmd.info "parallel"
+       ~doc:"Quantify the serialization of the global approach (section 3 claim).")
+    term
+
+let hetero_cmd =
+  let run total seed =
+    let r = Extensions.hetero ~total_vnodes:total ~seed () in
+    Printf.printf "== Heterogeneous enrollment: quota vs capacity share ==\n";
+    let table =
+      Table.create ~headers:[ "node"; "vnodes"; "ideal share"; "actual quota"; "rel err" ]
+    in
+    Array.iteri
+      (fun i name ->
+        Table.add_row table
+          [
+            Printf.sprintf "%d:%s" i name;
+            string_of_int r.Extensions.vnode_counts.(i);
+            Printf.sprintf "%.4f" r.Extensions.ideal_shares.(i);
+            Printf.sprintf "%.4f" r.Extensions.actual_quotas.(i);
+            Printf.sprintf "%.3f"
+              (abs_float
+                 (r.Extensions.actual_quotas.(i) -. r.Extensions.ideal_shares.(i))
+              /. r.Extensions.ideal_shares.(i));
+          ])
+      r.Extensions.names;
+    Table.print table;
+    Printf.printf "max relative error %.3f, rms %.3f\n" r.Extensions.max_rel_err
+      r.Extensions.rms_rel_err
+  in
+  let total =
+    Arg.(value & opt int 128 & info [ "total-vnodes" ] ~docv:"V"
+           ~doc:"Total vnodes apportioned across the cluster.")
+  in
+  let term = Term.(const run $ total $ seed_arg) in
+  Cmd.v
+    (Cmd.info "hetero" ~doc:"Heterogeneous-cluster enrollment experiment.")
+    term
+
+let kvload_cmd =
+  let run keys zipf seed =
+    let r = Extensions.kvload ~keys ~zipf ~seed () in
+    Printf.printf "== Data plane: %d %s keys, %d -> %d vnodes ==\n"
+      r.Extensions.keys
+      (if zipf then "zipf" else "uniform")
+      r.Extensions.initial_vnodes r.Extensions.final_vnodes;
+    Printf.printf "key-load sigma before growth: %.2f %%\n"
+      r.Extensions.load_sigma_before;
+    Printf.printf "key-load sigma after growth:  %.2f %%\n"
+      r.Extensions.load_sigma_after;
+    Printf.printf "quota sigma after growth:     %.2f %%\n"
+      r.Extensions.quota_sigma_after;
+    Printf.printf "keys migrated: %d, keys lost: %d\n" r.Extensions.migrations
+      r.Extensions.lost;
+    if r.Extensions.lost > 0 then exit 1
+  in
+  let keys =
+    Arg.(value & opt int 100_000 & info [ "keys" ] ~docv:"K"
+           ~doc:"Number of key/value pairs to store.")
+  in
+  let zipf =
+    Arg.(value & flag & info [ "zipf" ] ~doc:"Draw keys from a Zipf popularity law.")
+  in
+  let term = Term.(const run $ keys $ zipf $ seed_arg) in
+  Cmd.v (Cmd.info "kvload" ~doc:"Data-plane balance and no-key-loss audit.") term
+
+let churn_cmd =
+  let run ops leave_fraction seed =
+    let r = Extensions.churn ~operations:ops ~leave_fraction ~seed () in
+    Printf.printf "== Churn: %d ops (%.0f%% leaves) from 128 vnodes ==\n" ops
+      (100. *. leave_fraction);
+    Printf.printf "joins %d, leaves %d, blocked leaves %d, final vnodes %d\n"
+      r.Extensions.joins r.Extensions.leaves r.Extensions.blocked_leaves
+      r.Extensions.final_vnodes;
+    let curve = r.Extensions.sigma_qv_curve in
+    Printf.printf "sigma(Qv): start %.2f%%, end %.2f%%, max %.2f%%\n" curve.(0)
+      curve.(Array.length curve - 1)
+      (Array.fold_left Float.max 0. curve);
+    Printf.printf "keys lost %d, audit failures %d\n" r.Extensions.churn_keys_lost
+      r.Extensions.audit_failures;
+    if r.Extensions.churn_keys_lost > 0 || r.Extensions.audit_failures > 0 then
+      exit 1
+  in
+  let ops =
+    Arg.(value & opt int 400 & info [ "ops" ] ~docv:"N"
+           ~doc:"Number of join/leave operations.")
+  in
+  let leave =
+    Arg.(value & opt float 0.4 & info [ "leave-fraction" ] ~docv:"F"
+           ~doc:"Probability that an operation is a leave.")
+  in
+  let term = Term.(const run $ ops $ leave $ seed_arg) in
+  Cmd.v
+    (Cmd.info "churn" ~doc:"Dynamic joins and leaves with data and invariant audits.")
+    term
+
+let ablation_cmd =
+  let run runs vnodes seed =
+    let r = Extensions.ablation_selection ~runs ~vnodes ~seed () in
+    Printf.printf
+      "== Ablation: victim selection (quota-proportional lookup vs uniform group) ==\n";
+    let table = Table.create ~headers:[ "selection"; "sigma(Qv) %"; "sigma(Qg) %" ] in
+    Table.add_row table
+      [ "quota lookup (paper)";
+        Printf.sprintf "%.3f" r.Extensions.quota_sigma_qv;
+        Printf.sprintf "%.3f" r.Extensions.quota_sigma_qg ];
+    Table.add_row table
+      [ "uniform group";
+        Printf.sprintf "%.3f" r.Extensions.uniform_sigma_qv;
+        Printf.sprintf "%.3f" r.Extensions.uniform_sigma_qg ];
+    Table.print table
+  in
+  let term = Term.(const run $ runs_arg 20 $ vnodes_arg 512 $ seed_arg) in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Quantify the section-3.6 victim-selection design choice.")
+    term
+
+let hotspot_cmd =
+  let run accesses seed =
+    let r = Extensions.hotspot ~accesses ~seed () in
+    Printf.printf "== Access-aware fine-grain balancing (section-6 future work) ==\n";
+    Printf.printf "%d zipf accesses: per-vnode access sigma %.2f%% -> %.2f%% (%d swaps, %d keys lost)\n"
+      r.Extensions.accesses r.Extensions.access_sigma_before
+      r.Extensions.access_sigma_after r.Extensions.partitions_moved
+      r.Extensions.hotspot_keys_lost;
+    if r.Extensions.hotspot_keys_lost > 0 then exit 1
+  in
+  let accesses =
+    Arg.(value & opt int 200_000 & info [ "accesses" ] ~docv:"N"
+           ~doc:"Number of zipf-distributed reads to replay.")
+  in
+  let term = Term.(const run $ accesses $ seed_arg) in
+  Cmd.v
+    (Cmd.info "hotspot" ~doc:"Access-aware partition swapping under zipf reads.")
+    term
+
+let hetero_compare_cmd =
+  let run runs seed =
+    let r = Extensions.hetero_compare ~runs ~seed () in
+    Printf.printf
+      "== Heterogeneous quota tracking: local enrollment vs weighted CH ==\n";
+    let table = Table.create ~headers:[ "model"; "max |q/share-1|"; "rms" ] in
+    Table.add_row table
+      [ "local approach";
+        Printf.sprintf "%.3f" r.Extensions.local_max_err;
+        Printf.sprintf "%.3f" r.Extensions.local_rms_err ];
+    Table.add_row table
+      [ "weighted CH";
+        Printf.sprintf "%.3f" r.Extensions.ch_max_err;
+        Printf.sprintf "%.3f" r.Extensions.ch_rms_err ];
+    Table.print table
+  in
+  let term = Term.(const run $ runs_arg 20 $ seed_arg) in
+  Cmd.v
+    (Cmd.info "hetero-compare"
+       ~doc:"Capacity-share tracking: local enrollment vs points-weighted CH.")
+    term
+
+let distributed_cmd =
+  let run snodes vnodes seed =
+    let r = Extensions.distributed ~snodes ~vnodes ~seed () in
+    Printf.printf
+      "== Distributed snode runtime: %d vnodes on %d snodes (message-level) ==\n"
+      vnodes snodes;
+    Printf.printf "sigma(Qv): distributed %.2f%% vs centralized oracle %.2f%%\n"
+      r.Extensions.dist_sigma_qv r.Extensions.oracle_sigma_qv;
+    Printf.printf
+      "traffic: %d messages, %.1f MB; stale-cache retries: %d; makespan %.3fs\n"
+      r.Extensions.dist_messages
+      (float_of_int r.Extensions.dist_bytes /. 1e6)
+      r.Extensions.dist_retries r.Extensions.makespan;
+    Printf.printf "keys wrong: %d, audit: %s\n" r.Extensions.dist_keys_wrong
+      (if r.Extensions.dist_audit_ok then "ok" else "FAILED");
+    Printf.printf
+      "same burst, global approach: %d messages (%.1fx), makespan %.3fs (%.1fx), audit %s\n"
+      r.Extensions.global_messages
+      (float_of_int r.Extensions.global_messages
+      /. float_of_int r.Extensions.dist_messages)
+      r.Extensions.global_makespan
+      (r.Extensions.global_makespan /. r.Extensions.makespan)
+      (if r.Extensions.global_audit_ok then "ok" else "FAILED");
+    if r.Extensions.dist_keys_wrong > 0 || not r.Extensions.dist_audit_ok
+       || not r.Extensions.global_audit_ok then
+      exit 1
+  in
+  let snodes =
+    Arg.(value & opt int 16 & info [ "snodes" ] ~docv:"S"
+           ~doc:"Number of snodes in the simulated cluster.")
+  in
+  let term = Term.(const run $ snodes $ vnodes_arg 128 $ seed_arg) in
+  Cmd.v
+    (Cmd.info "distributed"
+       ~doc:"Run the message-level snode runtime and audit its convergence.")
+    term
+
+let coexist_cmd =
+  let run load seed =
+    let r = Extensions.coexist ~load ~seed () in
+    Printf.printf
+      "== Coexistence (section-6 future work): 2 DHTs + external load ==\n";
+    let table =
+      Table.create
+        ~headers:[ "DHT"; "rms err (idle)"; "after load"; "after retarget" ]
+    in
+    List.iteri
+      (fun i name ->
+        Table.add_row table
+          [
+            name;
+            Printf.sprintf "%.3f" (List.nth r.Extensions.error_before i);
+            Printf.sprintf "%.3f" (List.nth r.Extensions.error_after_load i);
+            Printf.sprintf "%.3f" (List.nth r.Extensions.error_after_retarget i);
+          ])
+      r.Extensions.dht_names;
+    Table.print table;
+    Printf.printf "retarget: %d vnodes added, %d removed, %d removals blocked\n"
+      r.Extensions.coexist_added r.Extensions.coexist_removed
+      r.Extensions.coexist_blocked
+  in
+  let load =
+    Arg.(value & opt float 0.6 & info [ "load" ] ~docv:"F"
+           ~doc:"External load fraction on the loaded nodes.")
+  in
+  let term = Term.(const run $ load $ seed_arg) in
+  Cmd.v
+    (Cmd.info "coexist"
+       ~doc:"Multi-DHT coexistence with external load (section-6 future work).")
+    term
+
+let all_cmd =
+  let run runs seed =
+    (* A reduced-runs sweep of everything, for a quick end-to-end check. *)
+    let curves = Figures.fig4 ~runs ~seed () in
+    emit ~title:"Figure 4" ~csv:None ~no_chart:true curves;
+    let thetas = Figures.fig5 ~runs ~seed () in
+    Printf.printf "fig5: theta minimizes at Vmin = %d\n"
+      (Figures.argmin_theta thetas);
+    emit ~title:"Figure 6" ~csv:None ~no_chart:true (Figures.fig6 ~runs ~seed ());
+    let d = Figures.fig7_fig8 ~runs ~seed () in
+    emit ~title:"Figure 7" ~y_label:"groups" ~csv:None ~no_chart:true
+      [ d.Figures.greal; d.Figures.gideal ];
+    emit ~title:"Figure 8" ~y_label:"sigma(Qg) %" ~csv:None ~no_chart:true
+      [ d.Figures.sigma_qg ];
+    emit ~title:"Figure 9" ~y_label:"sigma(Qn) %" ~csv:None ~no_chart:true
+      (Figures.fig9 ~runs ~seed ())
+  in
+  let term = Term.(const run $ runs_arg 10 $ seed_arg) in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every figure with a reduced number of runs.")
+    term
+
+(* DHT_LOG=debug (or info) enables tracing of balancing events. *)
+let setup_logging () =
+  match Sys.getenv_opt "DHT_LOG" with
+  | Some level ->
+      let level =
+        match level with
+        | "debug" -> Some Logs.Debug
+        | "info" -> Some Logs.Info
+        | _ -> Some Logs.Warning
+      in
+      Logs.set_reporter (Logs_fmt.reporter ());
+      Logs.set_level level
+  | None -> ()
+
+let () =
+  setup_logging ();
+  let info =
+    Cmd.info "dht_sim" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'A cluster oriented model for dynamically balanced \
+         DHTs' (IPDPS 2004)."
+  in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd;
+            zones_cmd; ratios_cmd; stability_cmd; cost_cmd; parallel_cmd; hetero_cmd;
+            kvload_cmd; churn_cmd; ablation_cmd; hotspot_cmd;
+            hetero_compare_cmd; distributed_cmd; coexist_cmd; all_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/churn.ml: Dht_prng Dht_protocol Dht_report Dht_workload List Printf

@@ -1,0 +1,1 @@
+examples/distributed_snodes.ml: Dht_core Dht_event_sim Dht_snode List Printf Vnode_id

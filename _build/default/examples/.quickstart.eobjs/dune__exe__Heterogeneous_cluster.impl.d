@@ -1,0 +1,1 @@
+examples/heterogeneous_cluster.ml: Array Audit Dht_cluster Dht_core Dht_prng Dht_report List Local_dht Option Params Printf Vnode Vnode_id

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Dht_core Dht_kv Dht_prng Local_dht Printf Vnode_id

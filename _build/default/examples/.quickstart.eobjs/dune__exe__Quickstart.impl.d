@@ -1,0 +1,1 @@
+examples/quickstart.ml: Audit Dht_core Dht_hashspace Dht_prng Format Group_id List Local_dht Params Printf Vnode Vnode_id

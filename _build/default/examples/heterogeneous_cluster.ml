@@ -1,0 +1,85 @@
+(* Heterogeneous cluster: machines from three hardware generations enroll in
+   one DHT with vnode counts proportional to their resources, and one node
+   later raises its enrollment after a disk upgrade (the paper's on-line
+   repartitioning scenario, §2.1.2).
+
+   Run with: dune exec examples/heterogeneous_cluster.exe *)
+
+open Dht_core
+module Cluster = Dht_cluster
+module Rng = Dht_prng.Rng
+module Table = Dht_report.Table
+
+let () =
+  (* 8 old machines, 4 mid-generation (2x), 2 new (4x). *)
+  let cluster =
+    Cluster.Topology.generations ~counts:[ (8, 1.0); (4, 2.0); (2, 4.0) ]
+  in
+  let n = Cluster.Topology.size cluster in
+  let counts =
+    Cluster.Enrollment.vnodes_of_profiles ~total:128 cluster.Cluster.Topology.nodes
+  in
+  let shares = Cluster.Enrollment.ideal_shares (Cluster.Topology.scores cluster) in
+
+  (* Interleave vnode creation across cluster nodes. *)
+  let rng = Rng.of_int 7 in
+  let next = Array.make n 0 in
+  let dht = ref None in
+  let create node =
+    let id = Vnode_id.make ~snode:node ~vnode:next.(node) in
+    next.(node) <- next.(node) + 1;
+    match !dht with
+    | None -> dht := Some (Local_dht.create ~pmin:32 ~vmin:16 ~rng ~first:id ())
+    | Some d -> ignore (Local_dht.add_vnode d ~id)
+  in
+  let remaining = Array.copy counts in
+  let left = ref (Array.fold_left ( + ) 0 counts) in
+  let cursor = ref 0 in
+  while !left > 0 do
+    let node = !cursor mod n in
+    if remaining.(node) > 0 then begin
+      create node;
+      remaining.(node) <- remaining.(node) - 1;
+      decr left
+    end;
+    incr cursor
+  done;
+  let dht = Option.get !dht in
+
+  let quota_of_node node =
+    let space = (Local_dht.params dht).Params.space in
+    Array.fold_left
+      (fun acc v ->
+        if v.Vnode.id.Vnode_id.snode = node then acc +. Vnode.quota space v
+        else acc)
+      0. (Local_dht.vnodes dht)
+  in
+
+  let table =
+    Table.create ~headers:[ "node"; "profile"; "vnodes"; "ideal share"; "actual quota" ]
+  in
+  for node = 0 to n - 1 do
+    Table.add_row table
+      [
+        string_of_int node;
+        cluster.Cluster.Topology.nodes.(node).Cluster.Profile.name;
+        string_of_int counts.(node);
+        Printf.sprintf "%.4f" shares.(node);
+        Printf.sprintf "%.4f" (quota_of_node node);
+      ]
+  done;
+  Table.print table;
+
+  (* Node 0 hot-swaps in a bigger disk: its enrollment level rises, which in
+     this model means creating additional vnodes on that node. *)
+  print_endline "\nnode 0 upgrades its storage (enrollment +4 vnodes):";
+  for _ = 1 to 4 do
+    create 0
+  done;
+  Printf.printf "node 0 quota: %.4f (was %.4f as share)\n" (quota_of_node 0)
+    shares.(0);
+  match Audit.check_local dht with
+  | Ok () -> print_endline "audit: invariants hold after the enrollment change"
+  | Error es ->
+      List.iter print_endline es;
+      exit 1

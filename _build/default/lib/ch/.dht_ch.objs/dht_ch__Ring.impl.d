@@ -1,0 +1,1 @@
+lib/ch/ring.ml: Array Dht_hashspace Dht_prng Dht_stats Hashtbl Int List Map Option Space Stdlib

@@ -1,0 +1,1 @@
+lib/ch/ring.mli: Dht_hashspace Dht_prng Space

@@ -1,0 +1,1 @@
+lib/cluster/enrollment.ml: Array Profile Seq Stdlib

@@ -1,0 +1,1 @@
+lib/cluster/profile.ml: Format

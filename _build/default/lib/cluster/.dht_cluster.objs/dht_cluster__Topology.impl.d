@@ -1,0 +1,1 @@
+lib/cluster/topology.ml: Array Dht_prng Format List Printf Profile

@@ -1,0 +1,29 @@
+(** Cluster compositions used by the experiments.
+
+    Builders for common cluster shapes: homogeneous racks and
+    mixed-generation clusters (the paper's economic-heterogeneity scenario:
+    "economical reasons may impose the coexistence of machines from
+    different generations"). *)
+
+type t = { nodes : Profile.t array }
+
+val homogeneous : n:int -> Profile.t -> t
+(** [n] identical nodes. @raise Invalid_argument if [n <= 0]. *)
+
+val generations : counts:(int * float) list -> t
+(** [generations ~counts] builds a cluster from [(count, scale)] pairs: each
+    pair contributes [count] nodes that are [scale]× the reference profile
+    (e.g. [\[ (8, 1.0); (4, 2.0); (2, 4.0) \]] — old, mid, new).
+    @raise Invalid_argument if empty or any count is non-positive. *)
+
+val random :
+  rng:Dht_prng.Rng.t -> n:int -> min_scale:float -> max_scale:float -> t
+(** [n] nodes with scales drawn uniformly in [\[min_scale, max_scale\]]. *)
+
+val size : t -> int
+
+val scores : t -> float array
+
+val total_score : t -> float
+
+val pp : Format.formatter -> t -> unit

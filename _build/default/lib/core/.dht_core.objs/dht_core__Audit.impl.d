@@ -1,0 +1,1 @@
+lib/core/audit.ml: Array Balancer Coverage Dht_hashspace Dht_stats Format Global_dht Group_id Hashtbl List Local_dht Params Point_map Span Vnode Vnode_id

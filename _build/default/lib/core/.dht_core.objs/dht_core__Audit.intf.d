@@ -1,0 +1,1 @@
+lib/core/audit.mli: Balancer Global_dht Local_dht

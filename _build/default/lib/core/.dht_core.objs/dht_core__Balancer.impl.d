@@ -1,0 +1,1 @@
+lib/core/balancer.ml: Array Dht_hashspace Group_id List Log Params Space Span Vnode Vnode_id

@@ -1,0 +1,1 @@
+lib/core/balancer.mli: Dht_hashspace Group_id Params Vnode

@@ -1,0 +1,1 @@
+lib/core/distribution_record.ml: Array Balancer Format Group_id Stdlib Vnode Vnode_id

@@ -1,0 +1,1 @@
+lib/core/distribution_record.mli: Balancer Format Group_id Vnode_id

@@ -1,0 +1,1 @@
+lib/core/global_dht.ml: Array Balancer Dht_hashspace Distribution_record Format Group_id Hashtbl List Metrics Params Point_map Routing Vnode Vnode_id

@@ -1,0 +1,1 @@
+lib/core/global_dht.mli: Balancer Dht_hashspace Distribution_record Params Point_map Space Span Vnode Vnode_id

@@ -1,0 +1,1 @@
+lib/core/local_dht.ml: Array Balancer Dht_hashspace Dht_prng Distribution_record Format Group_id Hashtbl List Log Map Metrics Option Params Point_map Routing Space Span Vnode Vnode_id

@@ -1,0 +1,1 @@
+lib/core/local_dht.mli: Balancer Dht_hashspace Dht_prng Distribution_record Format Group_id Params Point_map Space Span Vnode Vnode_id

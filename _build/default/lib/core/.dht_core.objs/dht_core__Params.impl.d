@@ -1,0 +1,1 @@
+lib/core/params.ml: Dht_hashspace Format

@@ -1,0 +1,1 @@
+lib/core/routing.ml: Balancer Dht_hashspace List Point_map Vnode

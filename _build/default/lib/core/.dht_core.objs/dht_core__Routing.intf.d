@@ -1,0 +1,1 @@
+lib/core/routing.mli: Balancer Dht_hashspace Point_map Vnode

@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Array Balancer Buffer Dht_hashspace Dht_prng Fun Global_dht Group_id List Local_dht Params Printf String Vnode Vnode_id

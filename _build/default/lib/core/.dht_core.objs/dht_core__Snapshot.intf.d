@@ -1,0 +1,1 @@
+lib/core/snapshot.mli: Balancer Dht_prng Global_dht Local_dht

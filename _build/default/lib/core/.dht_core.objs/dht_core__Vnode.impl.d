@@ -1,0 +1,1 @@
+lib/core/vnode.ml: Dht_hashspace Format Group_id List Span Vnode_id

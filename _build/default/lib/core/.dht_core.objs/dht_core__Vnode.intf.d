@@ -1,0 +1,1 @@
+lib/core/vnode.mli: Dht_hashspace Format Group_id Space Span Vnode_id

@@ -1,0 +1,1 @@
+lib/core/vnode_id.ml: Format Hashtbl Stdlib

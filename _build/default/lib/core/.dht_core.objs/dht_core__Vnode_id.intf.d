@@ -1,0 +1,1 @@
+lib/core/vnode_id.mli: Format

@@ -1,0 +1,139 @@
+open Dht_hashspace
+
+let errf fmt = Format.asprintf fmt
+
+let check_balancer b =
+  let params = Balancer.params b in
+  let pmin = params.Params.pmin and pmax = Params.pmax params in
+  let level = Balancer.level b in
+  let members = Balancer.vnodes b in
+  let issues = ref [] in
+  let fail msg = issues := msg :: !issues in
+  let total = ref 0 in
+  Array.iter
+    (fun v ->
+      total := !total + v.Vnode.count;
+      if List.length v.Vnode.spans <> v.Vnode.count then
+        fail (errf "vnode %a: count %d <> %d spans" Vnode_id.pp v.Vnode.id
+                v.Vnode.count (List.length v.Vnode.spans));
+      if not (Group_id.equal v.Vnode.group (Balancer.group b)) then
+        fail (errf "vnode %a: group field %a <> balancer group %a" Vnode_id.pp
+                v.Vnode.id Group_id.pp v.Vnode.group Group_id.pp
+                (Balancer.group b));
+      if v.Vnode.count < pmin || v.Vnode.count > pmax then
+        fail (errf "G4: vnode %a holds %d partitions, outside [%d, %d]"
+                Vnode_id.pp v.Vnode.id v.Vnode.count pmin pmax);
+      List.iter
+        (fun s ->
+          if Span.level s <> level then
+            fail (errf "G3: vnode %a has %a at level <> group level %d"
+                    Vnode_id.pp v.Vnode.id Span.pp s level))
+        v.Vnode.spans)
+    members;
+  if !total <> Balancer.total_partitions b then
+    fail (errf "Pg bookkeeping: cached %d <> recomputed %d"
+            (Balancer.total_partitions b) !total);
+  if not (Params.is_power_of_two !total) then
+    fail (errf "G2: group %a has %d partitions (not a power of two)"
+            Group_id.pp (Balancer.group b) !total);
+  (* G5/G5', in the form that survives removals: a power-of-two population
+     is perfectly balanced (all counts equal). Creation-only histories
+     additionally have that common count equal to Pmin (covered by the
+     creation tests); after removals the common count may sit deeper. *)
+  if Params.is_power_of_two (Array.length members) && Array.length members > 0
+  then begin
+    let c0 = members.(0).Vnode.count in
+    Array.iter
+      (fun v ->
+        if v.Vnode.count <> c0 then
+          fail (errf "G5: Vg=%d is a power of two but counts differ (%d vs %d)"
+                  (Array.length members) v.Vnode.count c0))
+      members
+  end;
+  List.rev !issues
+
+let check_map space map owners =
+  let issues = ref [] in
+  let fail msg = issues := msg :: !issues in
+  (match Coverage.check space (Point_map.spans map) with
+  | Ok () -> ()
+  | Error e -> fail (errf "G1: routing map does not tile R_h: %a" Coverage.pp_error e));
+  (* Every mapped span must be held by its owner, and conversely every span
+     owned by a vnode must route back to it. *)
+  Point_map.iter map (fun s v ->
+      if not (List.exists (Span.equal s) v.Vnode.spans) then
+        fail (errf "map: %a routed to %a which does not own it" Span.pp s
+                Vnode_id.pp v.Vnode.id));
+  Array.iter
+    (fun v ->
+      List.iter
+        (fun s ->
+          match Point_map.find_point map (Span.start space s) with
+          | s', v' when Span.equal s s' && v' == v -> ()
+          | _ -> fail (errf "map: %a owned by %a not routed to it" Span.pp s
+                         Vnode_id.pp v.Vnode.id)
+          | exception Not_found ->
+              fail (errf "map: %a owned by %a missing from map" Span.pp s
+                      Vnode_id.pp v.Vnode.id))
+        v.Vnode.spans)
+    owners;
+  List.rev !issues
+
+let result_of = function [] -> Ok () | issues -> Error issues
+
+let check_global dht =
+  let params = Global_dht.params dht in
+  let issues =
+    check_balancer (Global_dht.balancer dht)
+    @ check_map params.Params.space (Global_dht.map dht) (Global_dht.vnodes dht)
+  in
+  result_of issues
+
+let check_local dht =
+  let params = Local_dht.params dht in
+  let vmin = params.Params.vmin and vmax = Params.vmax params in
+  let balancers = Local_dht.groups dht in
+  let issues = ref [] in
+  let fail msg = issues := msg :: !issues in
+  List.iter (fun b -> issues := !issues @ check_balancer b) balancers;
+  issues :=
+    !issues
+    @ check_map params.Params.space (Local_dht.map dht) (Local_dht.vnodes dht);
+  (* L2, with the paper's exception: while group 0 is alone, 1 <= V0 <= Vmax. *)
+  let single = List.length balancers = 1 in
+  List.iter
+    (fun b ->
+      let vg = Balancer.vnode_count b in
+      if single then begin
+        if vg < 1 || vg > vmax then
+          fail (errf "L2: sole group %a has Vg=%d outside [1, %d]" Group_id.pp
+                  (Balancer.group b) vg vmax)
+      end
+      else if vg < vmin || vg > vmax then
+        fail (errf "L2: group %a has Vg=%d outside [%d, %d]" Group_id.pp
+                (Balancer.group b) vg vmin vmax))
+    balancers;
+  (* L1: groups partition the vnode set. Group-id keys are unique by
+     construction of the map; check vnode ids are globally unique and the
+     total matches. *)
+  let all = Local_dht.vnodes dht in
+  let seen = Hashtbl.create (Array.length all) in
+  Array.iter
+    (fun v ->
+      let key = Vnode_id.to_string v.Vnode.id in
+      if Hashtbl.mem seen key then
+        fail (errf "L1: vnode %a appears in more than one group" Vnode_id.pp
+                v.Vnode.id)
+      else Hashtbl.add seen key ())
+    all;
+  if Array.length all <> Local_dht.vnode_count dht then
+    fail (errf "L1: %d vnodes in groups <> %d created" (Array.length all)
+            (Local_dht.vnode_count dht));
+  (* Quota conservation. *)
+  let sum_qv = Dht_stats.Descriptive.sum (Local_dht.quotas dht) in
+  if abs_float (sum_qv -. 1.) > 1e-9 then
+    fail (errf "quotas: sum Qv = %.12f <> 1" sum_qv);
+  let sum_qg = Dht_stats.Descriptive.sum (Local_dht.group_quotas dht) in
+  if abs_float (sum_qg -. 1.) > 1e-9 then
+    fail (errf "quotas: sum Qg = %.12f <> 1" sum_qg);
+  result_of (List.rev !issues)

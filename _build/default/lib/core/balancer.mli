@@ -1,0 +1,130 @@
+(** The per-group balancing algorithm (§2.5, restricted to one group in the
+    local approach, §3.1).
+
+    A balancer owns the vnodes of one group and maintains the group's common
+    partition split level (invariant G3'). Creating a vnode follows the
+    paper's algorithm: if no vnode can hand over a partition without
+    violating [Pv >= Pmin] (which, by G5/G5', happens exactly when the vnode
+    count is a power of two and all vnodes hold [Pmin] partitions), every
+    vnode first binary-splits all its partitions; then partitions move one at
+    a time from the currently most-loaded vnode (the {e victim}) to the
+    newcomer for as long as this decreases σ(Pv).
+
+    The global approach is this balancer applied to a single group over the
+    whole table (built with {!Params.global}). *)
+
+type event =
+  | Split of { vnode : Vnode.t; before : Dht_hashspace.Span.t }
+      (** [before] was replaced by its two halves, same owner. *)
+  | Transfer of { src : Vnode.t; dst : Vnode.t; span : Dht_hashspace.Span.t }
+      (** [span] changed owner, boundaries unchanged. *)
+
+type t
+
+val bootstrap :
+  params:Params.t ->
+  group:Group_id.t ->
+  vnode:Vnode.t ->
+  notify:(event -> unit) ->
+  t
+(** [bootstrap] creates the very first group of a DHT: the given (empty)
+    vnode receives [Pmin] partitions that tile the whole of [R_h] (level
+    [log2 Pmin]). [notify] is invoked on every subsequent balancing event;
+    none is emitted for the initial allocation — read it back with {!vnodes}.
+    @raise Invalid_argument if [vnode] already owns partitions. *)
+
+val of_vnodes :
+  params:Params.t ->
+  group:Group_id.t ->
+  level:int ->
+  notify:(event -> unit) ->
+  Vnode.t array ->
+  t
+(** [of_vnodes ~level vnodes] wraps existing vnodes (keeping their spans)
+    into a new balancer after a group split; updates each vnode's [group]
+    field.
+    @raise Invalid_argument if the array is empty or some vnode count is
+    outside [\[Pmin, Pmax\]]. *)
+
+val add_vnode : t -> Vnode.t -> unit
+(** Runs the creation algorithm for a vnode that currently owns no
+    partitions, emitting [Split] and [Transfer] events as they happen.
+    @raise Invalid_argument if the vnode already owns partitions. *)
+
+val params : t -> Params.t
+
+val group : t -> Group_id.t
+
+val level : t -> int
+(** The common split level [l_g] of all partitions of the group (G3'). *)
+
+val vnode_count : t -> int
+(** [Vg], the number of vnodes in the group. *)
+
+val total_partitions : t -> int
+(** [Pg], the total number of partitions of the group (a power of two,
+    invariant G2'). *)
+
+val vnodes : t -> Vnode.t array
+(** Snapshot of the group's vnodes (fresh array, shared vnode records). *)
+
+val iter_vnodes : t -> (Vnode.t -> unit) -> unit
+(** Iterates over the group's vnodes without copying (hot path for metric
+    sampling). *)
+
+val counts : t -> int array
+(** Partition counts per vnode, in internal order. *)
+
+val quota : t -> float
+(** The group quota [Qg = Pg / 2^lg] (§4.2.1). *)
+
+val remove_vnode : t -> Vnode.t -> (unit, [ `Insufficient_capacity | `Last_vnode ]) result
+(** Departure of a vnode (the model's "cluster nodes may dynamically leave
+    the DHT"). The paper does not spell the algorithm out; we use the
+    symmetric inverse of creation: the departing vnode's partitions go one
+    at a time to the currently least-loaded vnode, followed by max→min
+    transfers while they decrease σ(Pv), so the group ends within one
+    partition of perfectly even.
+
+    Removal relaxes G5/G5' from "all counts equal [Pmin]" to "all counts
+    equal" (same perfect quota balance, possibly at a deeper split level);
+    creations remain correct on such states because the split-all trigger
+    fires on [Pv = Pmin], not on population counts.
+
+    Errors: [`Last_vnode] when the group would become empty;
+    [`Insufficient_capacity] when the surviving vnodes cannot absorb the
+    partitions within [Pmax] (only reachable after repeated removals at tiny
+    populations — the caller should grow the DHT first).
+    @raise Invalid_argument if the vnode is not a member of this group. *)
+
+val transfer_span :
+  t ->
+  src:Vnode.t ->
+  dst:Vnode.t ->
+  Dht_hashspace.Span.t ->
+  (unit, [ `Src_at_pmin | `Dst_at_pmax | `Not_owner | `Not_member ]) result
+(** Policy-driven fine-grain move of one specific partition between two
+    vnodes of the group (the §6 future-work hook: reacting to non-uniform
+    access). Refuses moves that would violate G4' ([`Src_at_pmin],
+    [`Dst_at_pmax]); emits the usual [Transfer] event on success. Note that
+    a successful move intentionally trades σ(Pv) balance for whatever the
+    caller is optimising — it may un-do G5's perfect balance. *)
+
+val swap_spans :
+  t ->
+  a:Vnode.t ->
+  b:Vnode.t ->
+  span_a:Dht_hashspace.Span.t ->
+  span_b:Dht_hashspace.Span.t ->
+  (unit, [ `Not_owner | `Not_member | `Same_vnode ]) result
+(** Exchange two partitions between two vnodes of the group. Counts are
+    unchanged, so a swap is admissible in {e any} state — including the
+    all-at-[Pmin] state of G5 where {!transfer_span} has no slack — which
+    makes it the workhorse of access-aware balancing. Emits two [Transfer]
+    events. *)
+
+val move_decreases_sigma : from_count:int -> to_count:int -> bool
+(** The paper's step-4 test: does moving one partition from a vnode holding
+    [from_count] to one holding [to_count] decrease σ(Pv)? Since the total
+    is unchanged, σ decreases iff the sum of squares does, i.e. iff
+    [to_count < from_count - 1]. *)

@@ -1,0 +1,49 @@
+type entry = { vnode : Vnode_id.t; partitions : int }
+type scope = Global | Local of Group_id.t
+type t = { scope : scope; level : int; entries : entry array }
+
+let of_balancer ~scope b =
+  let entries =
+    Array.map
+      (fun v -> { vnode = v.Vnode.id; partitions = v.Vnode.count })
+      (Balancer.vnodes b)
+  in
+  { scope; level = Balancer.level b; entries }
+
+let entries_sorted t =
+  let sorted = Array.copy t.entries in
+  Array.sort
+    (fun a b ->
+      let c = Stdlib.compare b.partitions a.partitions in
+      if c <> 0 then c else Vnode_id.compare a.vnode b.vnode)
+    sorted;
+  sorted
+
+let victim t =
+  Array.fold_left
+    (fun best e ->
+      match best with
+      | Some b when b.partitions >= e.partitions -> best
+      | Some _ | None -> Some e)
+    None t.entries
+
+let total_partitions t =
+  Array.fold_left (fun acc e -> acc + e.partitions) 0 t.entries
+
+let cardinal t = Array.length t.entries
+
+let find t id =
+  Array.fold_left
+    (fun acc e -> if Vnode_id.equal e.vnode id then Some e.partitions else acc)
+    None t.entries
+
+let size_bytes t = 16 + (16 * Array.length t.entries)
+
+let pp ppf t =
+  (match t.scope with
+  | Global -> Format.fprintf ppf "GPDR"
+  | Local g -> Format.fprintf ppf "LPDR[%a]" Group_id.pp g);
+  Format.fprintf ppf " level=%d:" t.level;
+  Array.iter
+    (fun e -> Format.fprintf ppf " %a=%d" Vnode_id.pp e.vnode e.partitions)
+    (entries_sorted t)

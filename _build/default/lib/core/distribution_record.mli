@@ -1,0 +1,42 @@
+(** Partition distribution records: GPDR (§2.1.4) and LPDR (§3.2).
+
+    A distribution record is "a table that registers the number of partitions
+    per each vnode". The LPDR of a group is "a downsized version of the GPDR,
+    having its same basic structure"; both are therefore the same type here,
+    distinguished by scope. Records are immutable snapshots taken from a
+    {!Balancer}; the protocol simulator uses their {!size_bytes} to model
+    synchronization traffic. *)
+
+type entry = { vnode : Vnode_id.t; partitions : int }
+
+type scope =
+  | Global  (** a GPDR: covers the whole DHT (global approach) *)
+  | Local of Group_id.t  (** the LPDR of one group (local approach) *)
+
+type t = private { scope : scope; level : int; entries : entry array }
+
+val of_balancer : scope:scope -> Balancer.t -> t
+(** Snapshot of a balancer's current distribution. *)
+
+val entries_sorted : t -> entry array
+(** Entries sorted by decreasing partition count, vnode id as tie-break —
+    the "sort the entrances ... by the number of partitions" step of the
+    creation algorithm (§2.5 step 3). Fresh array. *)
+
+val victim : t -> entry option
+(** The vnode with the most partitions, i.e. the head of
+    {!entries_sorted}; [None] for an empty record. *)
+
+val total_partitions : t -> int
+
+val cardinal : t -> int
+(** Number of vnodes registered. *)
+
+val find : t -> Vnode_id.t -> int option
+(** Partition count registered for a vnode, if present. *)
+
+val size_bytes : t -> int
+(** Wire size estimate used by the protocol simulator: 16 bytes per entry
+    (two 4-byte ids + an 8-byte count) plus a 16-byte header. *)
+
+val pp : Format.formatter -> t -> unit

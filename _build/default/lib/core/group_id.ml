@@ -1,0 +1,35 @@
+type t = { value : int; bits : int }
+
+let root = { value = 0; bits = 0 }
+
+let make ~value ~bits =
+  if bits < 0 || bits > 60 then invalid_arg "Group_id.make: bits outside [0, 60]";
+  if value < 0 || (bits < 60 && value >= 1 lsl bits) then
+    invalid_arg "Group_id.make: value outside [0, 2^bits)";
+  { value; bits }
+
+let split g =
+  if g.bits >= 60 then invalid_arg "Group_id.split: identifier overflow";
+  ( { value = g.value; bits = g.bits + 1 },
+    { value = g.value lor (1 lsl g.bits); bits = g.bits + 1 } )
+
+let value g = g.value
+let bits g = g.bits
+
+let compare a b =
+  let c = Stdlib.compare a.bits b.bits in
+  if c <> 0 then c else Stdlib.compare a.value b.value
+
+let equal a b = a.bits = b.bits && a.value = b.value
+let hash t = Hashtbl.hash (t.value, t.bits)
+
+let pp ppf g =
+  if g.bits = 0 then Format.fprintf ppf "0b(=0)"
+  else begin
+    for i = g.bits - 1 downto 0 do
+      Format.pp_print_char ppf (if g.value land (1 lsl i) <> 0 then '1' else '0')
+    done;
+    Format.fprintf ppf "b(=%d)" g.value
+  end
+
+let to_string g = Format.asprintf "%a" pp g

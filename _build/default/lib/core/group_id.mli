@@ -1,0 +1,36 @@
+(** Decentralized group identifiers (§3.7.1).
+
+    The first group is [0] on zero bits of history; each split prefixes the
+    binary identifier with the digit 0 or 1 (most significant bit), so the
+    two children of a [k]-bit group with value [v] are [(v, k+1)] and
+    [(v + 2^k, k+1)]. Only the snode coordinating a split is involved, and
+    identifiers remain globally unique. *)
+
+type t = private { value : int; bits : int }
+
+val root : t
+(** The first group, group [0] (zero split history). *)
+
+val make : value:int -> bits:int -> t
+(** @raise Invalid_argument if [bits < 0], [bits > 60], or [value] outside
+    [\[0, 2^bits)]. *)
+
+val split : t -> t * t
+(** [split g] is the two identifiers inheriting [g]'s binary identifier
+    prefixed by 0 and by 1 respectively.
+    @raise Invalid_argument after 60 generations (identifier overflow). *)
+
+val value : t -> int
+
+val bits : t -> int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as in the paper's figure 3, e.g. [110b(=6)]. *)
+
+val to_string : t -> string

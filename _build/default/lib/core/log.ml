@@ -1,0 +1,6 @@
+(* Log source for the core model; enable with
+   Logs.Src.set_level Dht_core.Log.src (Some Logs.Debug). *)
+
+let src = Logs.Src.create "dht.core" ~doc:"Cluster-oriented DHT core model"
+
+module L = (val Logs.src_log src : Logs.LOG)

@@ -1,0 +1,7 @@
+(** Log source for the core model. Enable with
+    [Logs.Src.set_level Dht_core.Log.src (Some Logs.Debug)] (or the
+    [DHT_LOG] environment variable of [dht_sim]). *)
+
+val src : Logs.src
+
+module L : Logs.LOG

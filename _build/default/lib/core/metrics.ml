@@ -1,0 +1,31 @@
+module D = Dht_stats.Descriptive
+
+let sigma_percent quotas =
+  let n = Array.length quotas in
+  if n <= 1 then 0.
+  else
+    let ideal = 1. /. float_of_int n in
+    100. *. D.rel_stddev_about quotas ~about:ideal
+
+let sigma_counts_percent counts =
+  let n = Array.length counts in
+  if n <= 1 then 0.
+  else
+    let floats = Array.map float_of_int counts in
+    (* The ideal average count is total/n (the empirical mean): under the
+       global approach quotas are proportional to counts, so the ideal quota
+       1/n corresponds exactly to the mean count. *)
+    let ideal = D.mean floats in
+    100. *. D.rel_stddev_about floats ~about:ideal
+
+let gideal ~vnodes ~vmax =
+  if vnodes < 1 then invalid_arg "Metrics.gideal: vnodes < 1";
+  if not (Params.is_power_of_two vmax) then
+    invalid_arg "Metrics.gideal: vmax not a power of two";
+  if vnodes <= vmax then 1
+  else begin
+    (* ceil(log2 vnodes) *)
+    let rec ceil_log2 acc n = if n <= 1 then acc else ceil_log2 (acc + 1) ((n + 1) / 2) in
+    let exp = ceil_log2 0 vnodes - Params.log2_exact vmax in
+    1 lsl exp
+  end

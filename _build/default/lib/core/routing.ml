@@ -1,0 +1,12 @@
+open Dht_hashspace
+
+let apply map = function
+  | Balancer.Split { before; _ } -> Point_map.split map before
+  | Balancer.Transfer { dst; span; _ } -> Point_map.replace_owner map span dst
+
+let register_vnode map v =
+  List.iter (fun s -> Point_map.add map s v) v.Vnode.spans
+
+let chain f g event =
+  f event;
+  g event

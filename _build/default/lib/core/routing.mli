@@ -1,0 +1,22 @@
+(** Keeping the partition→vnode routing map in sync with balancing events.
+
+    Both DHT flavours own a {!Dht_hashspace.Point_map} from spans to vnodes;
+    this module translates {!Balancer.event}s into map updates: a [Split]
+    halves a registered span (same owner), a [Transfer] re-owns a span
+    without moving its boundaries. *)
+
+open Dht_hashspace
+
+val apply : Vnode.t Point_map.t -> Balancer.event -> unit
+(** Applies one balancing event to the routing map. *)
+
+val register_vnode : Vnode.t Point_map.t -> Vnode.t -> unit
+(** Inserts all spans currently owned by a vnode (used once, after
+    {!Balancer.bootstrap}). *)
+
+val chain :
+  (Balancer.event -> unit) ->
+  (Balancer.event -> unit) ->
+  Balancer.event ->
+  unit
+(** [chain f g] runs both handlers, [f] first. *)

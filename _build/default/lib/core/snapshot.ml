@@ -1,0 +1,182 @@
+module Rng = Dht_prng.Rng
+module Space = Dht_hashspace.Space
+module Span = Dht_hashspace.Span
+
+let magic = "balanced-dht-snapshot v1"
+
+let span_to_string s = Printf.sprintf "%d:%d" (Span.level s) (Span.index s)
+
+let buf_vnode buf space v =
+  Buffer.add_string buf (Printf.sprintf "vnode %s" (Vnode_id.to_string v.Vnode.id));
+  ignore space;
+  List.iter
+    (fun s ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (span_to_string s))
+    (List.sort Span.compare v.Vnode.spans);
+  Buffer.add_char buf '\n'
+
+let save_local dht =
+  let params = Local_dht.params dht in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (magic ^ " local\n");
+  Buffer.add_string buf (Printf.sprintf "space %d\n" (Space.bits params.Params.space));
+  Buffer.add_string buf (Printf.sprintf "pmin %d\n" params.Params.pmin);
+  Buffer.add_string buf (Printf.sprintf "vmin %d\n" params.Params.vmin);
+  List.iter
+    (fun b ->
+      let gid = Balancer.group b in
+      Buffer.add_string buf
+        (Printf.sprintf "group %d:%d level %d\n" (Group_id.value gid)
+           (Group_id.bits gid) (Balancer.level b));
+      Array.iter (buf_vnode buf params.Params.space) (Balancer.vnodes b))
+    (Local_dht.groups dht);
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let save_global dht =
+  let params = Global_dht.params dht in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (magic ^ " global\n");
+  Buffer.add_string buf (Printf.sprintf "space %d\n" (Space.bits params.Params.space));
+  Buffer.add_string buf (Printf.sprintf "pmin %d\n" params.Params.pmin);
+  Buffer.add_string buf (Printf.sprintf "level %d\n" (Global_dht.level dht));
+  Array.iter (buf_vnode buf params.Params.space) (Global_dht.vnodes dht);
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+(* ---------------- parsing ---------------- *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let int_of s ~what =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail "bad %s: %S" what s
+
+let parse_span space token =
+  match String.split_on_char ':' token with
+  | [ l; i ] -> (
+      let level = int_of l ~what:"span level" in
+      let index = int_of i ~what:"span index" in
+      try Span.make space ~level ~index
+      with Invalid_argument m -> fail "bad span %S: %s" token m)
+  | _ -> fail "bad span token: %S" token
+
+let parse_vnode_line space line =
+  match String.split_on_char ' ' line with
+  | "vnode" :: id :: spans -> (
+      match String.split_on_char '.' id with
+      | [ s; v ] ->
+          let id =
+            try
+              Vnode_id.make ~snode:(int_of s ~what:"snode id")
+                ~vnode:(int_of v ~what:"vnode id")
+            with Invalid_argument m -> fail "bad vnode id %S: %s" id m
+          in
+          (id, List.map (parse_span space) (List.filter (fun t -> t <> "") spans))
+      | _ -> fail "bad vnode id: %S" id)
+  | _ -> fail "expected a vnode line, got %S" line
+
+let parse_header lines ~flavour =
+  match lines with
+  | first :: rest when first = magic ^ " " ^ flavour -> rest
+  | first :: _ -> fail "bad header (expected %s %s): %S" magic flavour first
+  | [] -> fail "empty snapshot"
+
+let parse_kv lines ~key =
+  match lines with
+  | line :: rest -> (
+      match String.split_on_char ' ' line with
+      | [ k; v ] when k = key -> (int_of v ~what:key, rest)
+      | _ -> fail "expected %S line, got %S" key line)
+  | [] -> fail "truncated snapshot (expected %S)" key
+
+let nonempty_lines text =
+  String.split_on_char '\n' text
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "")
+
+let load_local ?on_event ?selection ~rng text =
+  try
+    let lines = nonempty_lines text in
+    let lines = parse_header lines ~flavour:"local" in
+    let bits, lines = parse_kv lines ~key:"space" in
+    let pmin, lines = parse_kv lines ~key:"pmin" in
+    let vmin, lines = parse_kv lines ~key:"vmin" in
+    let space =
+      try Space.create ~bits with Invalid_argument m -> fail "bad space: %s" m
+    in
+    let rec groups acc current = function
+      | [] -> fail "truncated snapshot (missing end)"
+      | [ "end" ] -> (
+          match current with
+          | Some g -> List.rev (g :: acc)
+          | None -> List.rev acc)
+      | line :: rest when String.length line >= 5 && String.sub line 0 5 = "group"
+        -> (
+          let acc = match current with Some g -> g :: acc | None -> acc in
+          match String.split_on_char ' ' line with
+          | [ "group"; gid; "level"; l ] -> (
+              match String.split_on_char ':' gid with
+              | [ value; b ] ->
+                  let g =
+                    try
+                      Group_id.make
+                        ~value:(int_of value ~what:"group value")
+                        ~bits:(int_of b ~what:"group bits")
+                    with Invalid_argument m -> fail "bad group id: %s" m
+                  in
+                  groups acc
+                    (Some (g, int_of l ~what:"group level", []))
+                    rest
+              | _ -> fail "bad group id: %S" gid)
+          | _ -> fail "bad group line: %S" line)
+      | line :: rest -> (
+          match current with
+          | None -> fail "vnode line before any group: %S" line
+          | Some (g, l, members) ->
+              let member = parse_vnode_line space line in
+              groups acc (Some (g, l, members @ [ member ])) rest)
+    in
+    let group_specs = groups [] None lines in
+    try
+      Ok
+        (Local_dht.restore ~space ?on_event ?selection ~pmin ~vmin ~rng
+           ~groups:group_specs ())
+    with Invalid_argument m -> Error m
+  with Bad m -> Error m
+
+let load_global ?on_event text =
+  try
+    let lines = nonempty_lines text in
+    let lines = parse_header lines ~flavour:"global" in
+    let bits, lines = parse_kv lines ~key:"space" in
+    let pmin, lines = parse_kv lines ~key:"pmin" in
+    let level, lines = parse_kv lines ~key:"level" in
+    let space =
+      try Space.create ~bits with Invalid_argument m -> fail "bad space: %s" m
+    in
+    let rec members acc = function
+      | [] -> fail "truncated snapshot (missing end)"
+      | [ "end" ] -> List.rev acc
+      | line :: rest -> members (parse_vnode_line space line :: acc) rest
+    in
+    let vnodes = members [] lines in
+    try Ok (Global_dht.restore ~space ?on_event ~pmin ~level ~vnodes ())
+    with Invalid_argument m -> Error m
+  with Bad m -> Error m
+
+let write_file ~path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text)
+
+let read_file ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,38 @@
+(** Persistence: textual snapshots of a DHT's distribution state.
+
+    The format is a line-oriented, human-diffable text (version-tagged), so
+    operators can checkpoint a DHT's partition layout and restore it later
+    — the dynamic state a deployed system would store on its metadata
+    volume. Data (keys/values) is not part of the snapshot; only the
+    distribution structure is.
+
+    Restoring validates the structure fully (coverage, bounds, levels) and
+    yields a DHT that behaves identically to the original one modulo the
+    supplied RNG stream. *)
+
+module Rng = Dht_prng.Rng
+
+val save_local : Local_dht.t -> string
+(** Serializes parameters, groups, members and partitions. *)
+
+val load_local :
+  ?on_event:(Balancer.event -> unit) ->
+  ?selection:Local_dht.selection ->
+  rng:Rng.t ->
+  string ->
+  (Local_dht.t, string) result
+(** Parses and rebuilds a local-approach DHT. Returns [Error reason] on any
+    syntax or consistency problem (never raises on bad input). *)
+
+val save_global : Global_dht.t -> string
+
+val load_global :
+  ?on_event:(Balancer.event -> unit) ->
+  string ->
+  (Global_dht.t, string) result
+(** Rebuilding a global DHT re-inserts its vnodes into a fresh single
+    balancing domain restored from the snapshot. *)
+
+val write_file : path:string -> string -> unit
+
+val read_file : path:string -> string

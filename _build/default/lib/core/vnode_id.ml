@@ -1,0 +1,14 @@
+type t = { snode : int; vnode : int }
+
+let make ~snode ~vnode =
+  if snode < 0 || vnode < 0 then invalid_arg "Vnode_id.make: negative component";
+  { snode; vnode }
+
+let compare a b =
+  let c = Stdlib.compare a.snode b.snode in
+  if c <> 0 then c else Stdlib.compare a.vnode b.vnode
+
+let equal a b = compare a b = 0
+let hash t = Hashtbl.hash (t.snode, t.vnode)
+let pp ppf t = Format.fprintf ppf "%d.%d" t.snode t.vnode
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,20 @@
+(** Canonical vnode names.
+
+    "Vnodes in the LPDR are identified by their canonical name, which follows
+    the generic format snode_id.vnode_id" (§3.6, footnote 2). *)
+
+type t = { snode : int; vnode : int }
+
+val make : snode:int -> vnode:int -> t
+(** @raise Invalid_argument if either component is negative. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the canonical [snode.vnode] form. *)
+
+val to_string : t -> string

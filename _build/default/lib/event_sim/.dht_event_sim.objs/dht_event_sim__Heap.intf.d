@@ -1,0 +1,1 @@
+lib/event_sim/heap.mli:

@@ -1,0 +1,40 @@
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable clock : float;
+  mutable seq : int;
+}
+
+let create () = { queue = Heap.create (); clock = 0.; seq = 0 }
+let now t = t.clock
+
+let at t ~time f =
+  if not (Float.is_finite time) then invalid_arg "Engine.at: non-finite time";
+  if time < t.clock then invalid_arg "Engine.at: time in the past";
+  Heap.push t.queue ~time ~seq:t.seq f;
+  t.seq <- t.seq + 1
+
+let schedule t ~delay f =
+  if not (Float.is_finite delay) || delay < 0. then
+    invalid_arg "Engine.schedule: negative or non-finite delay";
+  at t ~time:(t.clock +. delay) f
+
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, _, f) ->
+      t.clock <- time;
+      f ();
+      true
+
+let run ?(until = infinity) ?(max_events = max_int) t =
+  let dispatched = ref 0 in
+  let continue = ref true in
+  while !continue && !dispatched < max_events do
+    match Heap.peek_time t.queue with
+    | Some time when time <= until ->
+        ignore (step t);
+        incr dispatched
+    | Some _ | None -> continue := false
+  done

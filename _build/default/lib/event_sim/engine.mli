@@ -1,0 +1,32 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and an event queue. Callbacks scheduled
+    at a virtual time run in [(time, insertion)] order; a callback may
+    schedule further events. Time never flows backwards. *)
+
+type t
+
+val create : unit -> t
+(** A fresh engine at time 0. *)
+
+val now : t -> float
+(** Current virtual time (seconds by convention). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay].
+    @raise Invalid_argument if [delay < 0.] or is not finite. *)
+
+val at : t -> time:float -> (unit -> unit) -> unit
+(** [at t ~time f] runs [f] at absolute virtual [time].
+    @raise Invalid_argument if [time] is in the past or not finite. *)
+
+val pending : t -> int
+(** Events not yet dispatched. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Dispatches events in order until the queue drains, the next event lies
+    beyond [until], or [max_events] have been dispatched. The clock advances
+    to each dispatched event's time. *)
+
+val step : t -> bool
+(** Dispatches exactly one event; [false] if the queue was empty. *)

@@ -1,0 +1,19 @@
+(** Internal binary min-heap keyed by [(time, sequence)].
+
+    The sequence number makes the pop order deterministic (FIFO among
+    equal-time events), which the engine relies on for reproducibility. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Removes and returns the event with the smallest [(time, seq)]. *)
+
+val peek_time : 'a t -> float option

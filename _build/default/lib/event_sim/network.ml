@@ -1,0 +1,44 @@
+type link = { base_latency : float; byte_time : float }
+
+let link ~base_latency ~byte_time =
+  if base_latency < 0. || byte_time < 0. then
+    invalid_arg "Network.link: negative parameter";
+  { base_latency; byte_time }
+
+let gigabit = link ~base_latency:50e-6 ~byte_time:8e-9
+
+type t = {
+  engine : Engine.t;
+  link : link;
+  loopback : float;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable locals : int;
+}
+
+let create ?(loopback = 1e-6) engine link =
+  if loopback < 0. then invalid_arg "Network.create: negative loopback";
+  { engine; link; loopback; messages = 0; bytes = 0; locals = 0 }
+
+let transit_time t ~src ~dst ~bytes =
+  if bytes < 0 then invalid_arg "Network.transit_time: negative size";
+  if src = dst then t.loopback
+  else t.link.base_latency +. (t.link.byte_time *. float_of_int bytes)
+
+let send t ~src ~dst ~bytes k =
+  let delay = transit_time t ~src ~dst ~bytes in
+  if src = dst then t.locals <- t.locals + 1
+  else begin
+    t.messages <- t.messages + 1;
+    t.bytes <- t.bytes + bytes
+  end;
+  Engine.schedule t.engine ~delay k
+
+let messages t = t.messages
+let bytes_sent t = t.bytes
+let local_deliveries t = t.locals
+
+let reset_counters t =
+  t.messages <- 0;
+  t.bytes <- 0;
+  t.locals <- 0

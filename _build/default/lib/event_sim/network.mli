@@ -1,0 +1,43 @@
+(** Cluster interconnect model.
+
+    The paper's model targets clusters with "short (typically one-hop)
+    communication paths and high bandwidth" (§5); messages therefore see a
+    flat topology: a fixed per-message base latency plus a serialization
+    time proportional to the payload. Local deliveries (same node) cost a
+    configurable loopback latency. The network counts messages and bytes so
+    protocols can be compared on traffic. *)
+
+type link = { base_latency : float; byte_time : float }
+(** One-way cost of a message of [b] bytes: [base_latency +. byte_time *. b]
+    (seconds). *)
+
+val gigabit : link
+(** 50 µs base latency, 1 Gb/s serialization — a 2004-era cluster fabric. *)
+
+val link : base_latency:float -> byte_time:float -> link
+(** @raise Invalid_argument on negative parameters. *)
+
+type t
+
+val create : ?loopback:float -> Engine.t -> link -> t
+(** [create engine link] attaches a network to the simulation engine.
+    [loopback] is the latency of node-local deliveries (default 1 µs). *)
+
+val send : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+(** [send t ~src ~dst ~bytes k] delivers the message after the link delay
+    and then runs [k]. Counts one message and [bytes] bytes (loopback
+    deliveries count separately).
+    @raise Invalid_argument if [bytes < 0]. *)
+
+val transit_time : t -> src:int -> dst:int -> bytes:int -> float
+(** The delay {!send} would apply, without sending. *)
+
+val messages : t -> int
+(** Remote messages sent so far. *)
+
+val bytes_sent : t -> int
+(** Remote bytes sent so far. *)
+
+val local_deliveries : t -> int
+
+val reset_counters : t -> unit

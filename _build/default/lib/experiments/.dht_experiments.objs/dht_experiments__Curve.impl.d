@@ -1,0 +1,1 @@
+lib/experiments/curve.ml: Array

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Balancer Curve Dht_core Dht_prng Dht_stats Float Global_dht List Local_dht Metrics Printf Runs Sims Vnode_id

@@ -1,0 +1,1 @@
+lib/experiments/runs.ml: Array Dht_prng Dht_stats

@@ -1,0 +1,1 @@
+lib/experiments/sims.ml: Array Dht_ch Dht_core Dht_prng Global_dht Local_dht Vnode_id

@@ -1,0 +1,1 @@
+lib/experiments/sims.mli: Dht_core Dht_hashspace Dht_prng Global_dht Local_dht

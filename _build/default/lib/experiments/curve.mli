@@ -1,0 +1,16 @@
+(** Labelled data series produced by the experiment drivers. *)
+
+type t = { label : string; xs : float array; ys : float array }
+
+val make : label:string -> xs:float array -> ys:float array -> t
+(** @raise Invalid_argument if lengths differ or are zero. *)
+
+val of_ys : label:string -> ?x0:float -> float array -> t
+(** x values [x0, x0+1, ...] (default [x0 = 1.]). *)
+
+val last : t -> float
+(** Final y value. *)
+
+val at_x : t -> float -> float
+(** The y of the first point with x >= the given value.
+    @raise Not_found if none. *)

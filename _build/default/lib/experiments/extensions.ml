@@ -1,0 +1,520 @@
+open Dht_core
+module Rng = Dht_prng.Rng
+module Csim = Dht_protocol.Creation_sim
+module Cluster = Dht_cluster
+module Space = Dht_hashspace.Space
+
+type parallel_row = { label : string; result : Csim.result }
+
+let parallel ?(snodes = 64) ?(vnodes = 512) ?(rate = 1000.) ?(pmin = 32)
+    ?(vmins = [ 16; 32; 64 ]) ~seed () =
+  let arrivals =
+    Dht_workload.Trace.poisson ~rng:(Rng.of_int seed) ~n:vnodes ~rate
+  in
+  let run approach label =
+    let cfg = { (Csim.default_config approach) with Csim.snodes; pmin } in
+    { label; result = Csim.simulate cfg ~arrivals ~seed }
+  in
+  run Csim.Global_approach "global"
+  :: List.map
+       (fun vmin ->
+         run
+           (Csim.Local_approach { vmin })
+           (Printf.sprintf "local Vmin=%d" vmin))
+       vmins
+
+type hetero_report = {
+  names : string array;
+  ideal_shares : float array;
+  actual_quotas : float array;
+  vnode_counts : int array;
+  max_rel_err : float;
+  rms_rel_err : float;
+}
+
+let hetero ?(total_vnodes = 128) ?(pmin = 32) ?(vmin = 16)
+    ?(generations = [ (8, 1.0); (4, 2.0); (2, 4.0) ]) ~seed () =
+  let cluster = Cluster.Topology.generations ~counts:generations in
+  let n = Cluster.Topology.size cluster in
+  let shares = Cluster.Enrollment.ideal_shares (Cluster.Topology.scores cluster) in
+  let counts =
+    Cluster.Enrollment.vnodes_of_profiles ~total:total_vnodes cluster.Cluster.Topology.nodes
+  in
+  let rng = Rng.of_int seed in
+  (* Interleave creations across nodes so no node's vnodes cluster in time. *)
+  let remaining = Array.copy counts in
+  let dht = ref None in
+  let next_vnode = Array.make n 0 in
+  let create node =
+    let id = Vnode_id.make ~snode:node ~vnode:next_vnode.(node) in
+    next_vnode.(node) <- next_vnode.(node) + 1;
+    (match !dht with
+    | None -> dht := Some (Local_dht.create ~pmin ~vmin ~rng ~first:id ())
+    | Some d -> ignore (Local_dht.add_vnode d ~id));
+    remaining.(node) <- remaining.(node) - 1
+  in
+  let total = Array.fold_left ( + ) 0 counts in
+  let cursor = ref 0 in
+  for _ = 1 to total do
+    (* Round-robin over nodes that still owe vnodes. *)
+    while remaining.(!cursor mod n) = 0 do
+      incr cursor
+    done;
+    create (!cursor mod n);
+    incr cursor
+  done;
+  let dht = Option.get !dht in
+  let space = (Local_dht.params dht).Params.space in
+  let quotas = Array.make n 0. in
+  Array.iter
+    (fun v ->
+      let s = v.Vnode.id.Vnode_id.snode in
+      quotas.(s) <- quotas.(s) +. Vnode.quota space v)
+    (Local_dht.vnodes dht);
+  let rel_errs =
+    Array.init n (fun i -> abs_float (quotas.(i) -. shares.(i)) /. shares.(i))
+  in
+  let max_rel_err = Array.fold_left Float.max 0. rel_errs in
+  let rms_rel_err =
+    sqrt
+      (Array.fold_left (fun acc e -> acc +. (e *. e)) 0. rel_errs
+      /. float_of_int n)
+  in
+  {
+    names = Array.map (fun p -> p.Cluster.Profile.name) cluster.Cluster.Topology.nodes;
+    ideal_shares = shares;
+    actual_quotas = quotas;
+    vnode_counts = counts;
+    max_rel_err;
+    rms_rel_err;
+  }
+
+type kv_report = {
+  keys : int;
+  initial_vnodes : int;
+  final_vnodes : int;
+  load_sigma_before : float;
+  load_sigma_after : float;
+  quota_sigma_after : float;
+  migrations : int;
+  lost : int;
+}
+
+let kvload ?(keys = 100_000) ?(initial_vnodes = 64) ?(final_vnodes = 128)
+    ?(pmin = 32) ?(vmin = 16) ?(zipf = false) ~seed () =
+  if final_vnodes < initial_vnodes || initial_vnodes < 1 then
+    invalid_arg "Extensions.kvload: need 1 <= initial <= final";
+  let rng = Rng.of_int seed in
+  let key_rng = Rng.split rng in
+  let vid i = Vnode_id.make ~snode:i ~vnode:0 in
+  let store = Dht_kv.Local_store.create ~pmin ~vmin ~rng ~first:(vid 0) () in
+  for i = 1 to initial_vnodes - 1 do
+    ignore (Dht_kv.Local_store.add_vnode store ~id:(vid i))
+  done;
+  let zipf_gen = Dht_workload.Keygen.Zipf.create ~n:(10 * keys) ~s:0.99 in
+  let all_keys =
+    Array.init keys (fun i ->
+        if zipf then
+          (* Popularity-skewed identifiers; duplicates collapse, so suffix
+             the index to keep [keys] distinct bindings. *)
+          Printf.sprintf "%s/%d"
+            (Dht_workload.Keygen.Zipf.key zipf_gen key_rng)
+            i
+        else Dht_workload.Keygen.uniform key_rng)
+  in
+  Array.iteri
+    (fun i key -> Dht_kv.Local_store.put store ~key ~value:(string_of_int i))
+    all_keys;
+  let kv = Dht_kv.Local_store.store store in
+  let dht = Dht_kv.Local_store.dht store in
+  let load_sigma_before =
+    Dht_kv.Store.load_sigma kv ~vnodes:(Local_dht.vnodes dht)
+  in
+  for i = initial_vnodes to final_vnodes - 1 do
+    ignore (Dht_kv.Local_store.add_vnode store ~id:(vid i))
+  done;
+  let lost = ref 0 in
+  Array.iteri
+    (fun i key ->
+      match Dht_kv.Local_store.get store ~key with
+      | Some v when v = string_of_int i -> ()
+      | Some _ | None -> incr lost)
+    all_keys;
+  {
+    keys;
+    initial_vnodes;
+    final_vnodes;
+    load_sigma_before;
+    load_sigma_after =
+      Dht_kv.Store.load_sigma kv ~vnodes:(Local_dht.vnodes dht);
+    quota_sigma_after = Local_dht.sigma_qv dht;
+    migrations = Dht_kv.Store.migrations kv;
+    lost = !lost;
+  }
+
+type churn_report = {
+  operations : int;
+  joins : int;
+  leaves : int;
+  blocked_leaves : int;
+  final_vnodes : int;
+  sigma_qv_curve : float array;
+  churn_keys_lost : int;
+  audit_failures : int;
+}
+
+let churn ?(initial_vnodes = 128) ?(operations = 400) ?(leave_fraction = 0.4)
+    ?(keys = 20_000) ?(pmin = 32) ?(vmin = 16) ~seed () =
+  if leave_fraction < 0. || leave_fraction > 1. then
+    invalid_arg "Extensions.churn: leave_fraction outside [0, 1]";
+  let rng = Rng.of_int seed in
+  let key_rng = Rng.split rng in
+  let vid i = Vnode_id.make ~snode:i ~vnode:0 in
+  let store = Dht_kv.Local_store.create ~pmin ~vmin ~rng ~first:(vid 0) () in
+  let dht = Dht_kv.Local_store.dht store in
+  for i = 1 to initial_vnodes - 1 do
+    ignore (Dht_kv.Local_store.add_vnode store ~id:(vid i))
+  done;
+  let all_keys = Array.init keys (fun _ -> Dht_workload.Keygen.uniform key_rng) in
+  Array.iteri
+    (fun i key -> Dht_kv.Local_store.put store ~key ~value:(string_of_int i))
+    all_keys;
+  (* Track the live vnode ids so leaves target existing vnodes uniformly. *)
+  let live = ref (List.init initial_vnodes (fun i -> vid i)) in
+  let live_count = ref initial_vnodes in
+  let next_id = ref initial_vnodes in
+  let joins = ref 0 and leaves = ref 0 and blocked = ref 0 in
+  let audit_failures = ref 0 in
+  let curve = Array.make operations 0. in
+  for op = 0 to operations - 1 do
+    let leave = Rng.float rng < leave_fraction && !live_count > 2 in
+    if leave then begin
+      let arr = Array.of_list !live in
+      let target = arr.(Rng.int rng (Array.length arr)) in
+      match Local_dht.remove_vnode dht ~id:target with
+      | Ok () ->
+          incr leaves;
+          live := List.filter (fun i -> not (Vnode_id.equal i target)) !live;
+          decr live_count
+      | Error (Local_dht.Last_vnode | Local_dht.Group_at_minimum _
+              | Local_dht.Group_capacity _) ->
+          incr blocked
+    end
+    else begin
+      let id = vid !next_id in
+      incr next_id;
+      ignore (Dht_kv.Local_store.add_vnode store ~id);
+      incr joins;
+      live := id :: !live;
+      incr live_count
+    end;
+    curve.(op) <- Local_dht.sigma_qv dht;
+    if op mod 50 = 0 then
+      match Audit.check_local dht with
+      | Ok () -> ()
+      | Error _ -> incr audit_failures
+  done;
+  (match Audit.check_local dht with Ok () -> () | Error _ -> incr audit_failures);
+  let lost = ref 0 in
+  Array.iteri
+    (fun i key ->
+      if Dht_kv.Local_store.get store ~key <> Some (string_of_int i) then
+        incr lost)
+    all_keys;
+  {
+    operations;
+    joins = !joins;
+    leaves = !leaves;
+    blocked_leaves = !blocked;
+    final_vnodes = Local_dht.vnode_count dht;
+    sigma_qv_curve = curve;
+    churn_keys_lost = !lost;
+    audit_failures = !audit_failures;
+  }
+
+type ablation_report = {
+  quota_sigma_qv : float;
+  uniform_sigma_qv : float;
+  quota_sigma_qg : float;
+  uniform_sigma_qg : float;
+}
+
+let ablation_selection ?(runs = 20) ?(vnodes = 512) ?(pmin = 16) ?(vmin = 16)
+    ~seed () =
+  let final selection =
+    let master = Rng.of_int seed in
+    let qv = Dht_stats.Welford.create () and qg = Dht_stats.Welford.create () in
+    for _ = 1 to runs do
+      let rng = Rng.split master in
+      let vid i = Vnode_id.make ~snode:i ~vnode:0 in
+      let dht = Local_dht.create ~selection ~pmin ~vmin ~rng ~first:(vid 0) () in
+      for i = 1 to vnodes - 1 do
+        ignore (Local_dht.add_vnode dht ~id:(vid i))
+      done;
+      Dht_stats.Welford.add qv (Local_dht.sigma_qv dht);
+      Dht_stats.Welford.add qg (Local_dht.sigma_qg dht)
+    done;
+    (Dht_stats.Welford.mean qv, Dht_stats.Welford.mean qg)
+  in
+  let quota_sigma_qv, quota_sigma_qg = final Local_dht.Quota_lookup in
+  let uniform_sigma_qv, uniform_sigma_qg = final Local_dht.Uniform_group in
+  { quota_sigma_qv; uniform_sigma_qv; quota_sigma_qg; uniform_sigma_qg }
+
+type hotspot_report = {
+  accesses : int;
+  access_sigma_before : float;
+  access_sigma_after : float;
+  partitions_moved : int;
+  hotspot_keys_lost : int;
+}
+
+let hotspot ?(vnodes = 32) ?(keys = 50_000) ?(accesses = 200_000)
+    ?(zipf_s = 0.7) ?(pmin = 32) ?(vmin = 16) ~seed () =
+  let rng = Rng.of_int seed in
+  let access_rng = Rng.split rng in
+  let vid i = Vnode_id.make ~snode:i ~vnode:0 in
+  let store = Dht_kv.Local_store.create ~pmin ~vmin ~rng ~first:(vid 0) () in
+  for i = 1 to vnodes - 1 do
+    ignore (Dht_kv.Local_store.add_vnode store ~id:(vid i))
+  done;
+  let ab = Dht_kv.Access_balancer.create store in
+  let all_keys =
+    Array.init keys (fun i -> Printf.sprintf "record:%d" i)
+  in
+  Array.iteri
+    (fun i key -> Dht_kv.Local_store.put store ~key ~value:(string_of_int i))
+    all_keys;
+  (* Zipf-popular reads: key rank drawn by popularity. *)
+  let zipf = Dht_workload.Keygen.Zipf.create ~n:keys ~s:zipf_s in
+  for _ = 1 to accesses do
+    let rank = Dht_workload.Keygen.Zipf.sample zipf access_rng in
+    ignore (Dht_kv.Access_balancer.get ab ~key:all_keys.(rank - 1))
+  done;
+  let before = Dht_kv.Access_balancer.access_sigma ab in
+  let moved = Dht_kv.Access_balancer.rebalance ~max_moves:256 ab in
+  let after = Dht_kv.Access_balancer.access_sigma ab in
+  let lost = ref 0 in
+  Array.iteri
+    (fun i key ->
+      if Dht_kv.Local_store.get store ~key <> Some (string_of_int i) then
+        incr lost)
+    all_keys;
+  {
+    accesses;
+    access_sigma_before = before;
+    access_sigma_after = after;
+    partitions_moved = moved;
+    hotspot_keys_lost = !lost;
+  }
+
+type hetero_compare_report = {
+  local_max_err : float;
+  local_rms_err : float;
+  ch_max_err : float;
+  ch_rms_err : float;
+}
+
+let hetero_compare ?(nodes_generations = [ (8, 1.0); (4, 2.0); (2, 4.0) ])
+    ?(total_vnodes = 128) ?(base_points = 32) ?(runs = 20) ?(pmin = 32)
+    ?(vmin = 16) ~seed () =
+  let cluster = Cluster.Topology.generations ~counts:nodes_generations in
+  let n = Cluster.Topology.size cluster in
+  let shares =
+    Cluster.Enrollment.ideal_shares (Cluster.Topology.scores cluster)
+  in
+  let errs quotas =
+    Array.init n (fun i -> abs_float (quotas.(i) -. shares.(i)) /. shares.(i))
+  in
+  let summarize per_run =
+    (* per_run: list of error arrays; mean max and mean rms across runs. *)
+    let maxes = List.map (fun e -> Array.fold_left Float.max 0. e) per_run in
+    let rmses =
+      List.map
+        (fun e ->
+          sqrt
+            (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. e
+            /. float_of_int n))
+        per_run
+    in
+    let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+    (mean maxes, mean rmses)
+  in
+  let master = Rng.of_int seed in
+  let local_errs = ref [] and ch_errs = ref [] in
+  for run = 0 to runs - 1 do
+    let rng = Rng.split master in
+    (* Local approach: enrollment proportional to capacity. *)
+    let counts =
+      Cluster.Enrollment.vnodes_of_profiles ~total:total_vnodes
+        cluster.Cluster.Topology.nodes
+    in
+    let dht = ref None in
+    let next = Array.make n 0 in
+    let remaining = Array.copy counts in
+    let left = ref total_vnodes in
+    let cursor = ref 0 in
+    while !left > 0 do
+      let node = !cursor mod n in
+      if remaining.(node) > 0 then begin
+        let id = Vnode_id.make ~snode:node ~vnode:next.(node) in
+        next.(node) <- next.(node) + 1;
+        (match !dht with
+        | None -> dht := Some (Local_dht.create ~pmin ~vmin ~rng ~first:id ())
+        | Some d -> ignore (Local_dht.add_vnode d ~id));
+        remaining.(node) <- remaining.(node) - 1;
+        decr left
+      end;
+      incr cursor
+    done;
+    let dht = Option.get !dht in
+    let space = (Local_dht.params dht).Params.space in
+    let quotas = Array.make n 0. in
+    Array.iter
+      (fun v ->
+        quotas.(v.Vnode.id.Vnode_id.snode) <-
+          quotas.(v.Vnode.id.Vnode_id.snode) +. Vnode.quota space v)
+      (Local_dht.vnodes dht);
+    local_errs := errs quotas :: !local_errs;
+    (* Weighted CH: ring points proportional to capacity. *)
+    let ring = Dht_ch.Ring.create ~rng:(Rng.of_int (seed + run)) () in
+    Array.iteri
+      (fun i p ->
+        let points =
+          max 1
+            (int_of_float
+               (Float.round (float_of_int base_points *. Cluster.Profile.score p)))
+        in
+        Dht_ch.Ring.add_node ring ~id:i ~k:base_points ~points ())
+      cluster.Cluster.Topology.nodes;
+    let ch_quotas = Array.init n (fun i -> Dht_ch.Ring.quota ring ~id:i) in
+    ch_errs := errs ch_quotas :: !ch_errs
+  done;
+  let local_max_err, local_rms_err = summarize !local_errs in
+  let ch_max_err, ch_rms_err = summarize !ch_errs in
+  { local_max_err; local_rms_err; ch_max_err; ch_rms_err }
+
+type distributed_report = {
+  dist_vnodes : int;
+  dist_sigma_qv : float;
+  oracle_sigma_qv : float;
+  dist_messages : int;
+  dist_bytes : int;
+  dist_retries : int;
+  dist_keys_wrong : int;
+  dist_audit_ok : bool;
+  makespan : float;
+  global_messages : int;
+  global_makespan : float;
+  global_audit_ok : bool;
+}
+
+let distributed ?(snodes = 16) ?(vnodes = 128) ?(keys = 5000) ?(pmin = 32)
+    ?(vmin = 16) ~seed () =
+  let module Runtime = Dht_snode.Runtime in
+  let rt = Runtime.create ~pmin ~approach:(Runtime.Local { vmin }) ~snodes ~seed () in
+  for i = 0 to keys - 1 do
+    Runtime.put rt ~via:(i mod snodes)
+      ~key:(Printf.sprintf "user:%d" i)
+      ~value:(string_of_int i) ()
+  done;
+  Runtime.run rt;
+  (* Scope traffic and makespan to the creation burst alone, so the two
+     approaches compare like-for-like. *)
+  Dht_event_sim.Network.reset_counters (Runtime.network rt);
+  let burst_start = Dht_event_sim.Engine.now (Runtime.engine rt) in
+  for i = 1 to vnodes - 1 do
+    Runtime.create_vnode rt
+      ~id:(Vnode_id.make ~snode:(i mod snodes) ~vnode:(i / snodes))
+      ()
+  done;
+  Runtime.run rt;
+  let makespan = Dht_event_sim.Engine.now (Runtime.engine rt) -. burst_start in
+  let burst_messages = Dht_event_sim.Network.messages (Runtime.network rt) in
+  let burst_bytes = Dht_event_sim.Network.bytes_sent (Runtime.network rt) in
+  let wrong = ref 0 in
+  for i = 0 to keys - 1 do
+    Runtime.get rt
+      ~via:(i * 7 mod snodes)
+      ~key:(Printf.sprintf "user:%d" i)
+      (fun v -> if v <> Some (string_of_int i) then incr wrong)
+  done;
+  Runtime.run rt;
+  (* Centralized oracle at the same scale for the balance comparison. *)
+  let oracle =
+    Local_dht.create ~pmin ~vmin ~rng:(Rng.of_int seed)
+      ~first:(Vnode_id.make ~snode:0 ~vnode:0)
+      ()
+  in
+  for i = 1 to vnodes - 1 do
+    ignore
+      (Local_dht.add_vnode oracle
+         ~id:(Vnode_id.make ~snode:(i mod snodes) ~vnode:(i / snodes)))
+  done;
+  (* The same creation burst through the global-approach runtime. *)
+  let grt = Runtime.create ~pmin ~approach:Runtime.Global ~snodes ~seed () in
+  for i = 1 to vnodes - 1 do
+    Runtime.create_vnode grt
+      ~id:(Vnode_id.make ~snode:(i mod snodes) ~vnode:(i / snodes))
+      ()
+  done;
+  Runtime.run grt;
+  {
+    dist_vnodes = Runtime.vnode_count rt;
+    dist_sigma_qv = Runtime.sigma_qv rt;
+    oracle_sigma_qv = Local_dht.sigma_qv oracle;
+    dist_messages = burst_messages;
+    dist_bytes = burst_bytes;
+    dist_retries = Runtime.retries rt;
+    dist_keys_wrong = !wrong;
+    dist_audit_ok = (match Runtime.audit rt with Ok () -> true | Error _ -> false);
+    makespan;
+    global_messages = Dht_event_sim.Network.messages (Runtime.network grt);
+    global_makespan = Dht_event_sim.Engine.now (Runtime.engine grt);
+    global_audit_ok =
+      (match Runtime.audit grt with Ok () -> true | Error _ -> false);
+  }
+
+type coexist_report = {
+  dht_names : string list;
+  error_before : float list;
+  error_after_load : float list;
+  error_after_retarget : float list;
+  coexist_added : int;
+  coexist_removed : int;
+  coexist_blocked : int;
+}
+
+let coexist ?(generations = [ (8, 1.0); (4, 2.0); (2, 4.0) ])
+    ?(total_vnodes = 96) ?(loaded_nodes = 4) ?(load = 0.6) ~seed () =
+  let module Registry = Dht_registry.Registry in
+  let cluster = Cluster.Topology.generations ~counts:generations in
+  let reg = Registry.create ~cluster ~seed () in
+  let names = [ "store-a"; "store-b" ] in
+  List.iter
+    (fun name -> Registry.add_dht reg ~name ~pmin:32 ~vmin:8 ~total_vnodes)
+    names;
+  let errors () = List.map (fun name -> Registry.tracking_error reg ~name) names in
+  let error_before = errors () in
+  (* An external application lands on the first nodes. *)
+  for node = 0 to loaded_nodes - 1 do
+    Registry.set_external_load reg ~node load
+  done;
+  let error_after_load = errors () in
+  let reports =
+    List.map
+      (fun name -> Registry.retarget reg ~name ~total_vnodes)
+      names
+  in
+  let error_after_retarget = errors () in
+  {
+    dht_names = names;
+    error_before;
+    error_after_load;
+    error_after_retarget;
+    coexist_added =
+      List.fold_left (fun a r -> a + r.Registry.added) 0 reports;
+    coexist_removed =
+      List.fold_left (fun a r -> a + r.Registry.removed) 0 reports;
+    coexist_blocked =
+      List.fold_left (fun a r -> a + r.Registry.blocked) 0 reports;
+  }

@@ -1,0 +1,226 @@
+(** Extension experiments: claims the paper makes but does not measure.
+
+    - {!parallel} quantifies §3's serialization-vs-parallelism argument with
+      the event-driven protocol simulator.
+    - {!hetero} exercises the heterogeneous-enrollment feature of §1/§2.1.2.
+    - {!kvload} checks that quota balance translates into data balance and
+      that rebalancing never loses keys (data plane). *)
+
+type parallel_row = {
+  label : string;
+  result : Dht_protocol.Creation_sim.result;
+}
+
+val parallel :
+  ?snodes:int ->
+  ?vnodes:int ->
+  ?rate:float ->
+  ?pmin:int ->
+  ?vmins:int list ->
+  seed:int ->
+  unit ->
+  parallel_row list
+(** Creates [vnodes] vnodes with Poisson arrivals at [rate] per second
+    (default 1000/s, 512 vnodes, 64 snodes) under the global protocol and
+    under the local protocol for each [vmins] value (default
+    [\[16; 32; 64\]]). The same arrival trace is used for every row. *)
+
+type hetero_report = {
+  names : string array;  (** node names *)
+  ideal_shares : float array;  (** capacity share each node should hold *)
+  actual_quotas : float array;  (** quota each node does hold *)
+  vnode_counts : int array;  (** vnodes apportioned per node *)
+  max_rel_err : float;  (** worst |actual − ideal| / ideal *)
+  rms_rel_err : float;
+}
+
+val hetero :
+  ?total_vnodes:int ->
+  ?pmin:int ->
+  ?vmin:int ->
+  ?generations:(int * float) list ->
+  seed:int ->
+  unit ->
+  hetero_report
+(** Builds a mixed-generation cluster (default 8×1.0, 4×2.0, 2×4.0),
+    apportions [total_vnodes] (default 128) vnodes by capacity score,
+    grows a local-approach DHT accordingly and compares each node's DHT
+    quota with its capacity share. *)
+
+type kv_report = {
+  keys : int;
+  initial_vnodes : int;
+  final_vnodes : int;
+  load_sigma_before : float;  (** keys-per-vnode σ̄ (%) before growth *)
+  load_sigma_after : float;
+  quota_sigma_after : float;  (** σ̄(Qv) (%) after growth, for comparison *)
+  migrations : int;  (** keys moved by rebalancing during growth *)
+  lost : int;  (** keys unreachable after growth (must be 0) *)
+}
+
+val kvload :
+  ?keys:int ->
+  ?initial_vnodes:int ->
+  ?final_vnodes:int ->
+  ?pmin:int ->
+  ?vmin:int ->
+  ?zipf:bool ->
+  seed:int ->
+  unit ->
+  kv_report
+(** Loads [keys] (default 100_000, uniform; [zipf] draws keys from a Zipf
+    popularity law instead) into a local-approach store of
+    [initial_vnodes] (default 64), grows it to [final_vnodes] (default
+    128), and audits data balance and key reachability. *)
+
+type churn_report = {
+  operations : int;  (** join/leave operations attempted *)
+  joins : int;
+  leaves : int;
+  blocked_leaves : int;  (** leaves refused (L2 floor or capacity) *)
+  final_vnodes : int;
+  sigma_qv_curve : float array;  (** σ̄(Qv) after each operation *)
+  churn_keys_lost : int;  (** keys unreachable at the end (must be 0) *)
+  audit_failures : int;  (** invariant violations observed (must be 0) *)
+}
+
+val churn :
+  ?initial_vnodes:int ->
+  ?operations:int ->
+  ?leave_fraction:float ->
+  ?keys:int ->
+  ?pmin:int ->
+  ?vmin:int ->
+  seed:int ->
+  unit ->
+  churn_report
+(** Dynamic joins {e and leaves} ("cluster nodes may dynamically join or
+    leave the DHT", §1): starting from [initial_vnodes] (default 128) with
+    [keys] (default 20_000) stored, performs [operations] (default 400)
+    random operations, each a leave with probability [leave_fraction]
+    (default 0.4) of a uniformly chosen vnode, otherwise a join. Leaves
+    blocked by the L2 floor are counted, the balance trace recorded, the
+    invariants audited periodically, and every key re-read at the end. *)
+
+type ablation_report = {
+  quota_sigma_qv : float;  (** final σ̄(Qv) with the paper's §3.6 selection *)
+  uniform_sigma_qv : float;  (** final σ̄(Qv) with uniform group choice *)
+  quota_sigma_qg : float;
+  uniform_sigma_qg : float;
+}
+
+val ablation_selection :
+  ?runs:int -> ?vnodes:int -> ?pmin:int -> ?vmin:int -> seed:int -> unit ->
+  ablation_report
+(** Ablation of the victim-selection rule: the paper routes a uniform hash
+    index so groups receive new vnodes in proportion to their quota (§3.6).
+    Replacing it with a uniform choice over groups starves large-quota
+    groups and roughly doubles σ̄(Qv) (σ̄(Qg) is less affected — group
+    membership counts equalize either way); this experiment quantifies the
+    gap (mean of final values over [runs], default 20). *)
+
+type hotspot_report = {
+  accesses : int;
+  access_sigma_before : float;  (** per-vnode access σ̄ (%) before moves *)
+  access_sigma_after : float;
+  partitions_moved : int;
+  hotspot_keys_lost : int;  (** must be 0 *)
+}
+
+val hotspot :
+  ?vnodes:int ->
+  ?keys:int ->
+  ?accesses:int ->
+  ?zipf_s:float ->
+  ?pmin:int ->
+  ?vmin:int ->
+  seed:int ->
+  unit ->
+  hotspot_report
+(** Access-aware fine-grain balancing (the paper's §6 future work,
+    implemented by {!Dht_kv.Access_balancer}): stores [keys] (default
+    50_000), replays [accesses] (default 200_000) Zipf-distributed reads
+    (exponent [zipf_s], default 0.7 — mild enough that no single key
+    dominates a vnode's fair share, i.e. the imbalance is reducible by
+    placement), rebalances, and reports the per-vnode access imbalance
+    before and after. *)
+
+type hetero_compare_report = {
+  local_max_err : float;  (** worst |quota/share − 1| under the local model *)
+  local_rms_err : float;
+  ch_max_err : float;  (** same under weighted Consistent Hashing *)
+  ch_rms_err : float;
+}
+
+type coexist_report = {
+  dht_names : string list;
+  error_before : float list;  (** per-DHT RMS tracking error at steady state *)
+  error_after_load : float list;
+      (** same, after external load appears but before retargeting *)
+  error_after_retarget : float list;  (** after re-apportioning enrollment *)
+  coexist_added : int;
+  coexist_removed : int;
+  coexist_blocked : int;
+}
+
+val coexist :
+  ?generations:(int * float) list ->
+  ?total_vnodes:int ->
+  ?loaded_nodes:int ->
+  ?load:float ->
+  seed:int ->
+  unit ->
+  coexist_report
+(** §6 future work: two DHTs share a mixed-generation cluster (default
+    8×1.0/4×2.0/2×4.0, 96 vnodes each). An external application then
+    occupies [load] (default 0.6) of the first [loaded_nodes] (default 4)
+    nodes; re-targeting enrollment to the remaining free capacity restores
+    the quota-vs-free-capacity tracking that the load disturbed. *)
+
+type distributed_report = {
+  dist_vnodes : int;  (** vnodes created through the message protocol *)
+  dist_sigma_qv : float;  (** σ̄(Qv) (%) of the distributed state *)
+  oracle_sigma_qv : float;  (** σ̄(Qv) (%) of a centralized run, same scale *)
+  dist_messages : int;
+  dist_bytes : int;
+  dist_retries : int;  (** routed operations that hit stale caches *)
+  dist_keys_wrong : int;  (** must be 0 *)
+  dist_audit_ok : bool;  (** must be true *)
+  makespan : float;  (** virtual seconds to absorb the burst *)
+  global_messages : int;  (** same workload through the global protocol *)
+  global_makespan : float;
+  global_audit_ok : bool;
+}
+
+val distributed :
+  ?snodes:int ->
+  ?vnodes:int ->
+  ?keys:int ->
+  ?pmin:int ->
+  ?vmin:int ->
+  seed:int ->
+  unit ->
+  distributed_report
+(** End-to-end run of the {!Dht_snode.Runtime} message-level system:
+    [keys] (default 5000) are stored, then [vnodes] (default 128) creations
+    fire concurrently on a [snodes]-node cluster (default 16); all keys are
+    re-read from random snodes and the distributed state is audited. The
+    balance is compared against a centralized {!Dht_core.Local_dht} run of
+    the same size, and the same creation workload is replayed through the
+    global-approach runtime to contrast traffic and makespan. *)
+
+val hetero_compare :
+  ?nodes_generations:(int * float) list ->
+  ?total_vnodes:int ->
+  ?base_points:int ->
+  ?runs:int ->
+  ?pmin:int ->
+  ?vmin:int ->
+  seed:int ->
+  unit ->
+  hetero_compare_report
+(** Heterogeneous clusters under both models: the local approach enrolls
+    vnodes in proportion to capacity; Consistent Hashing weights nodes with
+    ring points in proportion to capacity ([base_points] per unit of score,
+    default 32, as in CFS). Reports how far each node's quota lands from
+    its capacity share (averaged over [runs], default 20). *)

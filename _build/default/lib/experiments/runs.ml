@@ -1,0 +1,31 @@
+module Rng = Dht_prng.Rng
+module Series = Dht_stats.Series
+
+let check_runs runs = if runs <= 0 then invalid_arg "Runs: runs must be positive"
+
+let mean_curves ~runs ~seed ~k f =
+  check_runs runs;
+  let master = Rng.of_int seed in
+  let acc = ref None in
+  for _ = 1 to runs do
+    let curves = f (Rng.split master) in
+    if Array.length curves <> k then invalid_arg "Runs.mean_curves: wrong k";
+    let series =
+      match !acc with
+      | Some s -> s
+      | None ->
+          let s = Array.map (fun c -> Series.create ~len:(Array.length c)) curves in
+          acc := Some s;
+          s
+    in
+    Array.iteri (fun i c -> Series.add_run series.(i) c) curves
+  done;
+  match !acc with
+  | Some series -> Array.map Series.mean series
+  | None -> assert false
+
+let mean_curve ~runs ~seed f =
+  (mean_curves ~runs ~seed ~k:1 (fun rng -> [| f rng |])).(0)
+
+let mean_value ~runs ~seed f =
+  (mean_curve ~runs ~seed (fun rng -> [| f rng |])).(0)

@@ -1,0 +1,21 @@
+(** Multi-run averaging machinery.
+
+    "All the results presented are averages of 100 runs of the same test, in
+    order to account for the random choice of a victim group" (§4). Each run
+    receives an independent sub-stream of the master generator, so results
+    are reproducible from a single seed. *)
+
+module Rng = Dht_prng.Rng
+
+val mean_curve : runs:int -> seed:int -> (Rng.t -> float array) -> float array
+(** [mean_curve ~runs ~seed f] averages [runs] invocations of [f]
+    point-wise. All invocations must return arrays of equal length.
+    @raise Invalid_argument if [runs <= 0]. *)
+
+val mean_curves :
+  runs:int -> seed:int -> k:int -> (Rng.t -> float array array) -> float array array
+(** Same, for runs that sample [k] metrics at once (e.g. Greal and σ̄(Qg)
+    from a single simulation). [f rng] must return [k] arrays. *)
+
+val mean_value : runs:int -> seed:int -> (Rng.t -> float) -> float
+(** Scalar version (e.g. the final σ̄ only). *)

@@ -1,0 +1,1 @@
+lib/hashes/hash.ml: Char Dht_hashspace Int64 String

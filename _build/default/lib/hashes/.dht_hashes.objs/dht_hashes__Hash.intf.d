@@ -1,0 +1,1 @@
+lib/hashes/hash.mli: Dht_hashspace

@@ -1,0 +1,1 @@
+lib/hashspace/coverage.ml: Format List Space Span

@@ -1,0 +1,1 @@
+lib/hashspace/coverage.mli: Format Space Span

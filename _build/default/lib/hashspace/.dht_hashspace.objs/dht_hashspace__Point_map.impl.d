@@ -1,0 +1,1 @@
+lib/hashspace/point_map.ml: Int List Map Seq Space Span

@@ -1,0 +1,1 @@
+lib/hashspace/point_map.mli: Space Span

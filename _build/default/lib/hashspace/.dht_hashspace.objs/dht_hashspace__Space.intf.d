@@ -1,0 +1,1 @@
+lib/hashspace/space.mli: Format

@@ -1,0 +1,1 @@
+lib/hashspace/span.ml: Format Space Stdlib

@@ -1,0 +1,1 @@
+lib/hashspace/span.mli: Format Space

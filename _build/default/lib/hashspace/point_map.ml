@@ -1,0 +1,73 @@
+module Imap = Map.Make (Int)
+
+type 'a t = { space : Space.t; mutable by_start : (Span.t * 'a) Imap.t }
+
+let create space = { space; by_start = Imap.empty }
+let space t = t.space
+let cardinal t = Imap.cardinal t.by_start
+
+let add t span v =
+  let st = Span.start t.space span in
+  (* Disjointness: the predecessor must end at or before our start and the
+     successor must start at or after our stop. Exact-start collisions are
+     overlaps too. *)
+  (match Imap.find_last_opt (fun k -> k <= st) t.by_start with
+  | Some (_, (prev, _)) when Span.stop t.space prev > st ->
+      invalid_arg "Point_map.add: overlapping span"
+  | _ -> ());
+  (match Imap.find_first_opt (fun k -> k > st) t.by_start with
+  | Some (k, (next, _)) when k < Span.stop t.space span ->
+      ignore next;
+      invalid_arg "Point_map.add: overlapping span"
+  | _ -> ());
+  t.by_start <- Imap.add st (span, v) t.by_start
+
+let remove t span =
+  let st = Span.start t.space span in
+  match Imap.find_opt st t.by_start with
+  | Some (s, _) when Span.equal s span -> t.by_start <- Imap.remove st t.by_start
+  | Some _ | None -> raise Not_found
+
+let find_point t p =
+  if not (Space.contains t.space p) then
+    invalid_arg "Point_map.find_point: point outside space";
+  match Imap.find_last_opt (fun k -> k <= p) t.by_start with
+  | Some (_, ((span, _) as binding)) when Span.contains t.space span p -> binding
+  | Some _ | None -> raise Not_found
+
+let replace_owner t span v =
+  let st = Span.start t.space span in
+  match Imap.find_opt st t.by_start with
+  | Some (s, _) when Span.equal s span ->
+      t.by_start <- Imap.add st (span, v) t.by_start
+  | Some _ | None -> raise Not_found
+
+let split t span =
+  let st = Span.start t.space span in
+  match Imap.find_opt st t.by_start with
+  | Some (s, v) when Span.equal s span ->
+      let left, right = Span.split t.space span in
+      t.by_start <- Imap.remove st t.by_start;
+      t.by_start <- Imap.add (Span.start t.space left) (left, v) t.by_start;
+      t.by_start <- Imap.add (Span.start t.space right) (right, v) t.by_start
+  | Some _ | None -> raise Not_found
+
+let overlapping t span =
+  let st = Span.start t.space span and sp = Span.stop t.space span in
+  (* The predecessor binding may spill into [span]; all bindings starting
+     inside [st, sp) overlap by construction. *)
+  let before =
+    match Imap.find_last_opt (fun k -> k < st) t.by_start with
+    | Some (_, ((s, _) as b)) when Span.stop t.space s > st -> [ b ]
+    | Some _ | None -> []
+  in
+  let inside =
+    Imap.to_seq_from st t.by_start
+    |> Seq.take_while (fun (k, _) -> k < sp)
+    |> Seq.map snd |> List.of_seq
+  in
+  before @ inside
+
+let iter t f = Imap.iter (fun _ (s, v) -> f s v) t.by_start
+let to_list t = Imap.fold (fun _ b acc -> b :: acc) t.by_start [] |> List.rev
+let spans t = List.map fst (to_list t)

@@ -1,0 +1,53 @@
+(** Mutable map from disjoint spans to owners, with point lookup.
+
+    This is the routing structure of the DHT: given a hash index, find the
+    partition (and its owner) responsible for it in O(log n). Spans stored in
+    one map must be pairwise disjoint; this is checked on insertion against
+    the immediate neighbours. *)
+
+type 'a t
+
+val create : Space.t -> 'a t
+(** An empty map over the given space. *)
+
+val space : 'a t -> Space.t
+
+val cardinal : 'a t -> int
+
+val add : 'a t -> Span.t -> 'a -> unit
+(** [add t span v] registers [span] with owner [v].
+    @raise Invalid_argument if [span] overlaps a span already present. *)
+
+val remove : 'a t -> Span.t -> unit
+(** [remove t span] removes exactly [span].
+    @raise Not_found if [span] is not present (same level and index). *)
+
+val find_point : 'a t -> int -> Span.t * 'a
+(** [find_point t p] is the registered span containing index [p] and its
+    owner.
+    @raise Invalid_argument if [p] lies outside the space.
+    @raise Not_found if no registered span contains [p]. *)
+
+val replace_owner : 'a t -> Span.t -> 'a -> unit
+(** [replace_owner t span v] updates the owner of an exact registered span.
+    @raise Not_found if [span] is not present. *)
+
+val split : 'a t -> Span.t -> unit
+(** [split t span] replaces the registered [span] by its two halves, both
+    keeping the same owner.
+    @raise Not_found if [span] is not present.
+    @raise Invalid_argument if [span] is at maximum level. *)
+
+val overlapping : 'a t -> Span.t -> (Span.t * 'a) list
+(** [overlapping t span] is every registered binding whose span intersects
+    [span], in increasing start order. Used by routing caches that must
+    evict stale entries before learning a fresh one. *)
+
+val iter : 'a t -> (Span.t -> 'a -> unit) -> unit
+(** Iterates in increasing start order. *)
+
+val to_list : 'a t -> (Span.t * 'a) list
+(** Bindings in increasing start order. *)
+
+val spans : 'a t -> Span.t list
+(** All registered spans, in increasing start order. *)

@@ -1,0 +1,1 @@
+lib/kv/access_balancer.ml: Array Balancer Dht_core Dht_hashes Dht_hashspace Dht_stats Hashtbl List Local_dht Local_store Option Params Vnode

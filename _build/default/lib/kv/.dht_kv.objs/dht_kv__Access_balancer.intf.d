@@ -1,0 +1,1 @@
+lib/kv/access_balancer.mli: Dht_core Local_store Vnode

@@ -1,0 +1,1 @@
+lib/kv/global_store.ml: Dht_core Global_dht Store

@@ -1,0 +1,1 @@
+lib/kv/global_store.mli: Dht_core Dht_hashspace Global_dht Store Vnode Vnode_id

@@ -1,0 +1,1 @@
+lib/kv/local_store.ml: Dht_core Local_dht Store

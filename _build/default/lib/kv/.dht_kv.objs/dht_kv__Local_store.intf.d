@@ -1,0 +1,1 @@
+lib/kv/local_store.mli: Dht_core Dht_hashspace Dht_prng Local_dht Store Vnode Vnode_id

@@ -1,0 +1,1 @@
+lib/kv/store.ml: Array Balancer Dht_core Dht_hashes Dht_hashspace Dht_stats Hashtbl List Option Vnode Vnode_id

@@ -1,0 +1,1 @@
+lib/kv/store.mli: Balancer Dht_core Dht_hashspace Vnode Vnode_id

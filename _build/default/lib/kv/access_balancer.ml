@@ -1,0 +1,132 @@
+open Dht_core
+module Space = Dht_hashspace.Space
+module Span = Dht_hashspace.Span
+module Hash = Dht_hashes.Hash
+
+type t = {
+  wrapped : Local_store.t;
+  (* Epoch access counts keyed by partition start index: the key survives
+     ownership transfers (the partition keeps its boundaries) and, on a
+     binary split, stays attached to the left half — an acceptable
+     epoch-level approximation. *)
+  counts : (int, int) Hashtbl.t;
+  mutable total : int;
+}
+
+let create wrapped = { wrapped; counts = Hashtbl.create 256; total = 0 }
+let store t = t.wrapped
+
+let record t key =
+  let dht = Local_store.dht t.wrapped in
+  let space = (Local_dht.params dht).Params.space in
+  let point = Hash.string space key in
+  let span, _ = Local_dht.lookup dht point in
+  let start = Span.start space span in
+  Hashtbl.replace t.counts start
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts start));
+  t.total <- t.total + 1
+
+let get t ~key =
+  record t key;
+  Local_store.get t.wrapped ~key
+
+let put t ~key ~value =
+  record t key;
+  Local_store.put t.wrapped ~key ~value
+
+let epoch_accesses t = t.total
+
+let span_count t space span =
+  Option.value ~default:0 (Hashtbl.find_opt t.counts (Span.start space span))
+
+let access_of_vnode t v =
+  let dht = Local_store.dht t.wrapped in
+  let space = (Local_dht.params dht).Params.space in
+  List.fold_left (fun acc s -> acc + span_count t space s) 0 v.Vnode.spans
+
+let access_sigma t =
+  if t.total = 0 then 0.
+  else begin
+    let dht = Local_store.dht t.wrapped in
+    let vnodes = Local_dht.vnodes dht in
+    let loads =
+      Array.map (fun v -> float_of_int (access_of_vnode t v)) vnodes
+    in
+    let ideal = float_of_int t.total /. float_of_int (Array.length vnodes) in
+    100. *. Dht_stats.Descriptive.rel_stddev_about loads ~about:ideal
+  end
+
+(* The hottest / coldest partition a vnode owns. *)
+let extreme_span t space v ~hotter =
+  List.fold_left
+    (fun best s ->
+      let c = span_count t space s in
+      match best with
+      | Some (_, bc) when if hotter then bc >= c else bc <= c -> best
+      | Some _ | None -> Some (s, c))
+    None v.Vnode.spans
+
+let rebalance ?(threshold = 1.05) ?(max_moves = 64) t =
+  if threshold < 1. then invalid_arg "Access_balancer.rebalance: threshold < 1";
+  let dht = Local_store.dht t.wrapped in
+  let space = (Local_dht.params dht).Params.space in
+  let moves = ref 0 in
+  let progress = ref true in
+  while !progress && !moves < max_moves && t.total > 0 do
+    progress := false;
+    let vnodes = Local_dht.vnodes dht in
+    let mean = float_of_int t.total /. float_of_int (Array.length vnodes) in
+    (* Hottest vnode DHT-wide. *)
+    let hot =
+      Array.fold_left
+        (fun best v ->
+          match best with
+          | Some (_, l) when l >= access_of_vnode t v -> best
+          | Some _ | None -> Some (v, access_of_vnode t v))
+        None vnodes
+    in
+    match hot with
+    | None -> ()
+    | Some (hot_v, hot_load) ->
+        if float_of_int hot_load > threshold *. mean then begin
+          match Local_dht.find_group dht hot_v.Vnode.group with
+          | None -> ()
+          | Some balancer -> (
+              (* Coldest vnode of the same group. *)
+              let cold = ref None in
+              Balancer.iter_vnodes balancer (fun v ->
+                  if v != hot_v then
+                    match !cold with
+                    | Some (_, l) when l <= access_of_vnode t v -> ()
+                    | Some _ | None -> cold := Some (v, access_of_vnode t v));
+              match !cold with
+              | None -> ()
+              | Some (cold_v, cold_load) -> (
+                  (* Swap the hot vnode's hottest partition against the cold
+                     vnode's coldest one: counts are untouched (always
+                     G4'-admissible) and the pairwise imbalance strictly
+                     shrinks when the swapped heats differ. *)
+                  match
+                    ( extreme_span t space hot_v ~hotter:true,
+                      extreme_span t space cold_v ~hotter:false )
+                  with
+                  | Some (hot_span, h), Some (cold_span, c)
+                    when h > c
+                         && cold_load + h - c < hot_load ->
+                      (match
+                         Balancer.swap_spans balancer ~a:hot_v ~b:cold_v
+                           ~span_a:hot_span ~span_b:cold_span
+                       with
+                      | Ok () ->
+                          incr moves;
+                          progress := true
+                      | Error (`Not_owner | `Not_member | `Same_vnode) -> ())
+                  | _ -> ())
+              )
+        end
+  done;
+  !moves
+
+let reset_epoch t =
+  Hashtbl.reset t.counts;
+  t.total <- 0

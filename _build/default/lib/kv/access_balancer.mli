@@ -1,0 +1,52 @@
+(** Access-aware fine-grain balancing — the paper's §6 future work: "the
+    mechanisms of the model for fine-grain balancement should also evolve,
+    to deal with situations where access to data ... is non-uniform".
+
+    The balancer counts accesses per partition during an epoch and then
+    swaps hot partitions of overloaded vnodes against cold partitions of
+    the least-accessed vnodes {e of the same group}: partition sizes stay
+    uniform within groups and partition counts are untouched, so every
+    invariant (G1'-G5', L1-L2) survives while access load evens out.
+    Partition access counts follow the partition when it moves. *)
+
+open Dht_core
+
+type t
+
+val create : Local_store.t -> t
+(** Wraps a local-approach store. Accesses made through {!get}/{!put} are
+    counted; direct store access bypasses the accounting. *)
+
+val store : t -> Local_store.t
+
+val get : t -> key:string -> string option
+(** Routed read, counted against the partition holding the key. *)
+
+val put : t -> key:string -> value:string -> unit
+(** Routed write, counted likewise. *)
+
+val epoch_accesses : t -> int
+(** Accesses recorded since the last {!reset_epoch}. *)
+
+val access_of_vnode : t -> Vnode.t -> int
+(** Epoch accesses to partitions currently owned by the vnode. *)
+
+val access_sigma : t -> float
+(** Relative standard deviation (percent, vs the ideal even share) of
+    per-vnode access counts — the imbalance this module attacks. [0.] when
+    no access was recorded. *)
+
+val rebalance : ?threshold:float -> ?max_moves:int -> t -> int
+(** [rebalance t] repeatedly {e swaps} the hottest partition of the
+    most-accessed vnode against the coldest partition of its group's
+    least-accessed vnode ({!Dht_core.Balancer.swap_spans} — counts are
+    untouched, so the move is admissible even in the all-at-Pmin state of
+    G5), while (a) the hot vnode's load exceeds [threshold] (default
+    [1.05]) times the DHT-wide mean and (b) the swap strictly reduces the
+    pairwise imbalance. Stops after [max_moves] swaps (default 64) or when
+    no improving swap remains. Returns the number of swaps performed (keys
+    migrate both ways).
+    @raise Invalid_argument if [threshold < 1.]. *)
+
+val reset_epoch : t -> unit
+(** Forgets all access counts (start of a new observation window). *)

@@ -1,0 +1,18 @@
+open Dht_core
+
+type t = { dht : Global_dht.t; store : Store.t }
+
+let create ?space ~pmin ~first () =
+  let store = Store.create ?space () in
+  let dht =
+    Global_dht.create ?space ~on_event:(Store.handler store) ~pmin ~first ()
+  in
+  Store.set_router store (fun p -> snd (Global_dht.lookup dht p));
+  { dht; store }
+
+let dht t = t.dht
+let store t = t.store
+let add_vnode t ~id = Global_dht.add_vnode t.dht ~id
+let put t ~key ~value = Store.put t.store ~key ~value
+let get t ~key = Store.get t.store ~key
+let remove t ~key = Store.remove t.store ~key

@@ -1,0 +1,21 @@
+(** A {!Store} pre-wired to a global-approach DHT (single balancing
+    domain). *)
+
+open Dht_core
+
+type t
+
+val create :
+  ?space:Dht_hashspace.Space.t -> pmin:int -> first:Vnode_id.t -> unit -> t
+
+val dht : t -> Global_dht.t
+
+val store : t -> Store.t
+
+val add_vnode : t -> id:Vnode_id.t -> Vnode.t
+
+val put : t -> key:string -> value:string -> unit
+
+val get : t -> key:string -> string option
+
+val remove : t -> key:string -> bool

@@ -1,0 +1,19 @@
+open Dht_core
+
+type t = { dht : Local_dht.t; store : Store.t }
+
+let create ?space ~pmin ~vmin ~rng ~first () =
+  let store = Store.create ?space () in
+  let dht =
+    Local_dht.create ?space ~on_event:(Store.handler store) ~pmin ~vmin ~rng
+      ~first ()
+  in
+  Store.set_router store (fun p -> snd (Local_dht.lookup dht p));
+  { dht; store }
+
+let dht t = t.dht
+let store t = t.store
+let add_vnode t ~id = Local_dht.add_vnode t.dht ~id
+let put t ~key ~value = Store.put t.store ~key ~value
+let get t ~key = Store.get t.store ~key
+let remove t ~key = Store.remove t.store ~key

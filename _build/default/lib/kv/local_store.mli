@@ -1,0 +1,29 @@
+(** A {!Store} pre-wired to a local-approach DHT: rebalancing events migrate
+    keys automatically and the router always reflects the current partition
+    distribution. *)
+
+open Dht_core
+
+type t
+
+val create :
+  ?space:Dht_hashspace.Space.t ->
+  pmin:int ->
+  vmin:int ->
+  rng:Dht_prng.Rng.t ->
+  first:Vnode_id.t ->
+  unit ->
+  t
+
+val dht : t -> Local_dht.t
+
+val store : t -> Store.t
+
+val add_vnode : t -> id:Vnode_id.t -> Vnode.t
+(** Grows the DHT; stored keys migrate as partitions move. *)
+
+val put : t -> key:string -> value:string -> unit
+
+val get : t -> key:string -> string option
+
+val remove : t -> key:string -> bool

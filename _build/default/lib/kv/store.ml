@@ -1,0 +1,113 @@
+open Dht_core
+module Space = Dht_hashspace.Space
+module Span = Dht_hashspace.Span
+module Hash = Dht_hashes.Hash
+
+type entry = { point : int; value : string }
+
+module Vtbl = Hashtbl.Make (Vnode_id)
+
+type t = {
+  space : Space.t;
+  tables : (string, entry) Hashtbl.t Vtbl.t;
+  mutable router : (int -> Vnode.t) option;
+  mutable size : int;
+  mutable migrations : int;
+}
+
+let create ?(space = Space.default) () =
+  {
+    space;
+    tables = Vtbl.create 64;
+    router = None;
+    size = 0;
+    migrations = 0;
+  }
+
+let space t = t.space
+let set_router t route = t.router <- Some route
+
+let route t point =
+  match t.router with
+  | Some route -> route point
+  | None -> failwith "Kv.Store: no router installed"
+
+let table_of t id =
+  match Vtbl.find_opt t.tables id with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 16 in
+      Vtbl.add t.tables id tbl;
+      tbl
+
+(* A partition handover moves exactly the keys of the transferred span. *)
+let handler t = function
+  | Balancer.Split _ -> ()
+  | Balancer.Transfer { src; dst; span } -> (
+      match Vtbl.find_opt t.tables src.Vnode.id with
+      | None -> ()
+      | Some src_tbl ->
+          let moving =
+            Hashtbl.fold
+              (fun key e acc ->
+                if Span.contains t.space span e.point then (key, e) :: acc
+                else acc)
+              src_tbl []
+          in
+          if moving <> [] then begin
+            let dst_tbl = table_of t dst.Vnode.id in
+            List.iter
+              (fun (key, e) ->
+                Hashtbl.remove src_tbl key;
+                Hashtbl.replace dst_tbl key e)
+              moving;
+            t.migrations <- t.migrations + List.length moving
+          end)
+
+let put t ~key ~value =
+  let point = Hash.string t.space key in
+  let owner = route t point in
+  let tbl = table_of t owner.Vnode.id in
+  if not (Hashtbl.mem tbl key) then t.size <- t.size + 1;
+  Hashtbl.replace tbl key { point; value }
+
+let get t ~key =
+  let point = Hash.string t.space key in
+  let owner = route t point in
+  match Vtbl.find_opt t.tables owner.Vnode.id with
+  | None -> None
+  | Some tbl -> Option.map (fun e -> e.value) (Hashtbl.find_opt tbl key)
+
+let mem t ~key = Option.is_some (get t ~key)
+
+let remove t ~key =
+  let point = Hash.string t.space key in
+  let owner = route t point in
+  match Vtbl.find_opt t.tables owner.Vnode.id with
+  | None -> false
+  | Some tbl ->
+      if Hashtbl.mem tbl key then begin
+        Hashtbl.remove tbl key;
+        t.size <- t.size - 1;
+        true
+      end
+      else false
+
+let size t = t.size
+
+let load_of t id =
+  match Vtbl.find_opt t.tables id with
+  | None -> 0
+  | Some tbl -> Hashtbl.length tbl
+
+let load_counts t ~vnodes = Array.map (fun v -> load_of t v.Vnode.id) vnodes
+
+let load_sigma t ~vnodes =
+  if t.size = 0 || Array.length vnodes <= 1 then 0.
+  else
+    let counts = load_counts t ~vnodes in
+    let floats = Array.map float_of_int counts in
+    let ideal = float_of_int t.size /. float_of_int (Array.length vnodes) in
+    100. *. Dht_stats.Descriptive.rel_stddev_about floats ~about:ideal
+
+let migrations t = t.migrations

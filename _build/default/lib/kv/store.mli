@@ -1,0 +1,55 @@
+(** The DHT data plane: a key/value store sharded across vnodes.
+
+    Keys hash into [R_h]; the {e router} maps a hash index to the vnode
+    currently responsible for it; each vnode holds a local table. Feeding
+    the store's {!handler} to a DHT's [on_event] keeps data placement
+    consistent across rebalancing: every partition handover migrates exactly
+    the keys of the transferred span.
+
+    Use {!Local_store} / {!Global_store} for pre-wired bundles; this module
+    is the flavour-independent machinery. *)
+
+open Dht_core
+
+type t
+
+val create : ?space:Dht_hashspace.Space.t -> unit -> t
+(** A store with no router yet; {!put}/{!get} raise until {!set_router} is
+    called. *)
+
+val space : t -> Dht_hashspace.Space.t
+
+val set_router : t -> (int -> Vnode.t) -> unit
+(** [set_router t route] installs the lookup function (typically
+    [fun p -> snd (Local_dht.lookup dht p)]). *)
+
+val handler : t -> Balancer.event -> unit
+(** The rebalancing hook: migrates keys on partition transfers. Pass it as
+    the DHT's [on_event]. *)
+
+val put : t -> key:string -> value:string -> unit
+(** Stores/overwrites a binding. @raise Failure if no router is set. *)
+
+val get : t -> key:string -> string option
+
+val mem : t -> key:string -> bool
+
+val remove : t -> key:string -> bool
+(** [true] if the key was present. *)
+
+val size : t -> int
+(** Total number of bindings. *)
+
+val load_of : t -> Vnode_id.t -> int
+(** Number of bindings held by one vnode (0 if it holds none). *)
+
+val load_counts : t -> vnodes:Vnode.t array -> int array
+(** Bindings per vnode, aligned with [vnodes]. *)
+
+val load_sigma : t -> vnodes:Vnode.t array -> float
+(** Relative standard deviation (percent, against the ideal [size/n]) of
+    the per-vnode key loads — how well quota balance translates into data
+    balance. Returns [0.] when the store is empty. *)
+
+val migrations : t -> int
+(** Keys moved by rebalancing so far. *)

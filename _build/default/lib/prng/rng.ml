@@ -1,0 +1,97 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64: used only to expand the seed into the 256-bit xoshiro state.
+   Constants from Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators". *)
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let sm = ref seed in
+  let s0 = splitmix64_next sm in
+  let s1 = splitmix64_next sm in
+  let s2 = splitmix64_next sm in
+  let s3 = splitmix64_next sm in
+  (* The all-zero state is a fixed point of xoshiro; SplitMix64 cannot emit
+     four zero words in a row, but guard anyway. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let of_int seed = create ~seed:(Int64.of_int seed)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ next step. *)
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = create ~seed:(bits64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+  let bound64 = Int64.of_int bound in
+  let limit = Int64.sub mask (Int64.rem mask bound64) in
+  let rec draw () =
+    let r = Int64.logand (bits64 t) mask in
+    if r > limit then draw () else Int64.to_int (Int64.rem r bound64)
+  in
+  draw ()
+
+let int_in t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  (* 53 top bits scaled into [0, 1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. 0x1.0p-53
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample t a ~k =
+  let n = Array.length a in
+  if k < 0 || k > n then invalid_arg "Rng.sample: k out of range";
+  let pool = Array.copy a in
+  (* Partial Fisher–Yates: after i swaps, pool.(0..i-1) is a uniform sample. *)
+  for i = 0 to k - 1 do
+    let j = int_in t ~lo:i ~hi:(n - 1) in
+    let tmp = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- tmp
+  done;
+  Array.sub pool 0 k
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  (* Inverse transform; 1. -. float t is in (0, 1] so log is finite. *)
+  -.log (1. -. float t) /. rate
+
+let pp ppf t =
+  Format.fprintf ppf "xoshiro256++{%Lx;%Lx;%Lx;%Lx}" t.s0 t.s1 t.s2 t.s3

@@ -1,0 +1,1 @@
+lib/protocol/creation_sim.ml: Array Balancer Dht_core Dht_event_sim Dht_hashspace Dht_prng Dht_stats Fun Global_dht Group_id Hashtbl List Local_dht Option Params Queue Vnode Vnode_id

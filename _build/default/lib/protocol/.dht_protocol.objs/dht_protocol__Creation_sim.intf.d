@@ -1,0 +1,1 @@
+lib/protocol/creation_sim.mli: Dht_event_sim

@@ -1,0 +1,358 @@
+open Dht_core
+module Engine = Dht_event_sim.Engine
+module Network = Dht_event_sim.Network
+module Space = Dht_hashspace.Space
+module Rng = Dht_prng.Rng
+
+type approach = Global_approach | Local_approach of { vmin : int }
+
+type config = {
+  approach : approach;
+  pmin : int;
+  snodes : int;
+  link : Network.link;
+  loopback : float;
+  partition_payload : int;
+  control_bytes : int;
+  entry_process_time : float;
+}
+
+let default_config approach =
+  {
+    approach;
+    pmin = 32;
+    snodes = 64;
+    link = Network.gigabit;
+    loopback = 1e-6;
+    partition_payload = 64 * 1024;
+    control_bytes = 64;
+    entry_process_time = 200e-9;
+  }
+
+type result = {
+  vnodes : int;
+  makespan : float;
+  latencies : float array;
+  service_times : float array;
+  messages : int;
+  bytes : int;
+  max_concurrent : int;
+  conflicts : int;
+}
+
+(* The logical state being balanced, behind a common face. *)
+type dht =
+  | Global of Global_dht.t
+  | Local of Local_dht.t
+
+type lock = { mutable busy : bool; waiters : (unit -> unit) Queue.t }
+
+type sim = {
+  cfg : config;
+  engine : Engine.t;
+  net : Network.t;
+  rng : Rng.t;
+  dht : dht;
+  captured : Balancer.event list ref;  (* events of the creation in progress *)
+  locks : (Group_id.t, lock) Hashtbl.t;
+  global_lock : lock;
+  mutable active : int;
+  mutable max_active : int;
+  mutable conflicts : int;
+  mutable completed : int;
+  mutable makespan : float;
+}
+
+let fresh_lock () = { busy = false; waiters = Queue.create () }
+
+let lock_for sim gid =
+  match Hashtbl.find_opt sim.locks gid with
+  | Some l -> l
+  | None ->
+      let l = fresh_lock () in
+      Hashtbl.add sim.locks gid l;
+      l
+
+let release sim l =
+  l.busy <- false;
+  (* Wake every waiter; each retries acquisition (the first to run wins). *)
+  let pending = Queue.fold (fun acc f -> f :: acc) [] l.waiters in
+  Queue.clear l.waiters;
+  List.iter (fun retry -> Engine.schedule sim.engine ~delay:0. retry) (List.rev pending)
+
+let snode_of_creation cfg i = i mod cfg.snodes
+
+let vnode_id cfg i =
+  Vnode_id.make ~snode:(snode_of_creation cfg i) ~vnode:(i / cfg.snodes)
+
+(* Split the captured balancing events into per-snode work: how many local
+   partition splits each snode performed, and the partition handovers
+   grouped by source snode. *)
+let analyze_events cfg events =
+  let splits = Hashtbl.create 8 and transfers = Hashtbl.create 8 in
+  let bump tbl key =
+    Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Balancer.Split { vnode; _ } ->
+          bump splits vnode.Vnode.id.Vnode_id.snode
+      | Balancer.Transfer { src; dst; _ } ->
+          let s = src.Vnode.id.Vnode_id.snode
+          and d = dst.Vnode.id.Vnode_id.snode in
+          ignore d;
+          bump transfers s)
+    events;
+  ignore cfg;
+  (splits, transfers)
+
+(* One balancing round: [coordinator] sends the distribution record to every
+   participant snode; each processes it, streams its handovers to the
+   newcomer's snode, then ACKs; [k] runs when all ACKs are in. *)
+let balancing_round sim ~coordinator ~participants ~record_entries ~dst_snode
+    ~events k =
+  let cfg = sim.cfg in
+  let record_bytes = 16 + (16 * record_entries) in
+  let splits, transfers = analyze_events cfg events in
+  let expected = List.length participants in
+  let acks = ref 0 in
+  let ack () =
+    incr acks;
+    if !acks = expected then k ()
+  in
+  let participant_work snode =
+    let split_work =
+      float_of_int (Option.value ~default:0 (Hashtbl.find_opt splits snode))
+      *. cfg.entry_process_time
+    in
+    let proc =
+      (float_of_int record_entries *. cfg.entry_process_time) +. split_work
+    in
+    Engine.schedule sim.engine ~delay:proc (fun () ->
+        (* Stream this snode's handovers to the newcomer's snode, serially,
+           then ACK the coordinator. *)
+        let pending = Option.value ~default:0 (Hashtbl.find_opt transfers snode) in
+        let rec stream left =
+          if left = 0 then
+            Network.send sim.net ~src:snode ~dst:coordinator
+              ~bytes:cfg.control_bytes ack
+          else
+            Network.send sim.net ~src:snode ~dst:dst_snode
+              ~bytes:cfg.partition_payload (fun () -> stream (left - 1))
+        in
+        stream pending)
+  in
+  List.iter
+    (fun snode ->
+      Network.send sim.net ~src:coordinator ~dst:snode ~bytes:record_bytes
+        (fun () -> participant_work snode))
+    participants
+
+let distinct_snodes vnodes =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun v -> Hashtbl.replace seen v.Vnode.id.Vnode_id.snode ())
+    vnodes;
+  Hashtbl.fold (fun s () acc -> s :: acc) seen []
+
+let finish_creation sim ~arrival ~service_start ~locks_held ~record i
+    latencies services =
+  let now = Engine.now sim.engine in
+  latencies.(i) <- now -. arrival;
+  services.(i) <- now -. service_start;
+  ignore record;
+  List.iter (fun l -> release sim l) locks_held;
+  sim.active <- sim.active - 1;
+  sim.completed <- sim.completed + 1;
+  if now > sim.makespan then sim.makespan <- now
+
+let run_global sim i ~arrival latencies services =
+  let cfg = sim.cfg in
+  let dht = match sim.dht with Global g -> g | Local _ -> assert false in
+  let initiator = snode_of_creation cfg (i + 1) in
+  let blocked = ref false in
+  let rec acquire () =
+    if sim.global_lock.busy then begin
+      if not !blocked then begin
+        blocked := true;
+        sim.conflicts <- sim.conflicts + 1
+      end;
+      Queue.add acquire sim.global_lock.waiters
+    end
+    else begin
+      sim.global_lock.busy <- true;
+      let service_start = Engine.now sim.engine in
+      sim.active <- sim.active + 1;
+      if sim.active > sim.max_active then sim.max_active <- sim.active;
+      sim.captured := [];
+      let v = Global_dht.add_vnode dht ~id:(vnode_id cfg (i + 1)) in
+      let events = !(sim.captured) in
+      let participants =
+        List.init cfg.snodes Fun.id
+        |> List.filter (fun s -> s <> initiator)
+      in
+      let entries = Global_dht.vnode_count dht in
+      let complete () =
+        finish_creation sim ~arrival ~service_start
+          ~locks_held:[ sim.global_lock ] ~record:entries i latencies services
+      in
+      if participants = [] then
+        (* Single-snode cluster: only local processing. *)
+        Engine.schedule sim.engine
+          ~delay:(float_of_int entries *. cfg.entry_process_time)
+          complete
+      else
+        balancing_round sim ~coordinator:initiator ~participants
+          ~record_entries:entries ~dst_snode:v.Vnode.id.Vnode_id.snode ~events
+          complete
+    end
+  in
+  acquire ()
+
+let run_local sim i ~arrival latencies services =
+  let cfg = sim.cfg in
+  let dht = match sim.dht with Local l -> l | Global _ -> assert false in
+  let initiator = snode_of_creation cfg (i + 1) in
+  let space = (Local_dht.params dht).Params.space in
+  let point = Rng.int sim.rng (Space.size space) in
+  let victim = Local_dht.select_victim dht ~point in
+  let lookup_dst = victim.Vnode.id.Vnode_id.snode in
+  (* §3.6: lookup round trip to find the victim vnode and its group. *)
+  Network.send sim.net ~src:initiator ~dst:lookup_dst ~bytes:cfg.control_bytes
+    (fun () ->
+      Network.send sim.net ~src:lookup_dst ~dst:initiator
+        ~bytes:cfg.control_bytes (fun () ->
+          let blocked = ref false in
+          let rec acquire () =
+            let gid = victim.Vnode.group in
+            let l = lock_for sim gid in
+            if l.busy then begin
+              if not !blocked then begin
+                blocked := true;
+                sim.conflicts <- sim.conflicts + 1
+              end;
+              Queue.add acquire l.waiters
+            end
+            else begin
+              l.busy <- true;
+              let service_start = Engine.now sim.engine in
+              sim.active <- sim.active + 1;
+              if sim.active > sim.max_active then sim.max_active <- sim.active;
+              sim.captured := [];
+              let report =
+                Local_dht.add_vnode_routed dht ~id:(vnode_id cfg (i + 1))
+                  ~victim
+              in
+              let events = !(sim.captured) in
+              (* A split keeps both child groups locked until completion. *)
+              let extra_locks =
+                match report.Local_dht.split with
+                | None -> []
+                | Some s ->
+                    List.filter_map
+                      (fun gid' ->
+                        if Group_id.equal gid' gid then None
+                        else begin
+                          let l' = lock_for sim gid' in
+                          l'.busy <- true;
+                          Some l'
+                        end)
+                      [ s.Local_dht.left; s.Local_dht.right ]
+              in
+              let coordinator = lookup_dst in
+              let members = report.Local_dht.group_members in
+              let participants =
+                distinct_snodes members
+                |> List.filter (fun s -> s <> coordinator)
+              in
+              let entries = Array.length members in
+              let dst_snode =
+                report.Local_dht.vnode.Vnode.id.Vnode_id.snode
+              in
+              let complete () =
+                (* Coordinator tells the initiator the creation is done. *)
+                Network.send sim.net ~src:coordinator ~dst:initiator
+                  ~bytes:cfg.control_bytes (fun () ->
+                    finish_creation sim ~arrival ~service_start
+                      ~locks_held:(l :: extra_locks) ~record:entries i
+                      latencies services)
+              in
+              if participants = [] then
+                Engine.schedule sim.engine
+                  ~delay:(float_of_int entries *. cfg.entry_process_time)
+                  complete
+              else
+                balancing_round sim ~coordinator ~participants
+                  ~record_entries:entries ~dst_snode ~events complete
+            end
+          in
+          acquire ()))
+
+let simulate cfg ~arrivals ~seed =
+  let n = Array.length arrivals in
+  if n = 0 then invalid_arg "Creation_sim.simulate: no arrivals";
+  Array.iteri
+    (fun i t ->
+      if t < 0. || (i > 0 && t < arrivals.(i - 1)) then
+        invalid_arg "Creation_sim.simulate: arrivals must be sorted and >= 0")
+    arrivals;
+  let engine = Engine.create () in
+  let net = Network.create ~loopback:cfg.loopback engine cfg.link in
+  let rng = Rng.of_int seed in
+  let captured = ref [] in
+  let on_event ev = captured := ev :: !captured in
+  let first = vnode_id cfg 0 in
+  let dht =
+    match cfg.approach with
+    | Global_approach -> Global (Global_dht.create ~on_event ~pmin:cfg.pmin ~first ())
+    | Local_approach { vmin } ->
+        Local
+          (Local_dht.create ~on_event ~pmin:cfg.pmin ~vmin
+             ~rng:(Rng.split rng) ~first ())
+  in
+  let sim =
+    {
+      cfg;
+      engine;
+      net;
+      rng;
+      dht;
+      captured;
+      locks = Hashtbl.create 64;
+      global_lock = fresh_lock ();
+      active = 0;
+      max_active = 0;
+      conflicts = 0;
+      completed = 0;
+      makespan = 0.;
+    }
+  in
+  let latencies = Array.make n 0. and services = Array.make n 0. in
+  Array.iteri
+    (fun i t ->
+      Engine.at engine ~time:t (fun () ->
+          match cfg.approach with
+          | Global_approach -> run_global sim i ~arrival:t latencies services
+          | Local_approach _ -> run_local sim i ~arrival:t latencies services))
+    arrivals;
+  Engine.run engine;
+  assert (sim.completed = n);
+  {
+    vnodes = n;
+    makespan = sim.makespan;
+    latencies;
+    service_times = services;
+    messages = Network.messages net;
+    bytes = Network.bytes_sent net;
+    max_concurrent = sim.max_active;
+    conflicts = sim.conflicts;
+  }
+
+let mean_latency (r : result) = Dht_stats.Descriptive.mean r.latencies
+
+let p95_latency (r : result) =
+  Dht_stats.Descriptive.percentile r.latencies ~p:0.95
+
+let throughput (r : result) =
+  if r.makespan = 0. then 0. else float_of_int r.vnodes /. r.makespan

@@ -1,0 +1,65 @@
+(** Event-driven simulation of the distributed vnode-creation protocols.
+
+    The paper argues (§3) that the global approach serializes creations —
+    "as every snode is, necessarily, involved in the creation of every
+    vnode, consecutive creations of vnodes are executed serially" — while
+    the local approach lets groups balance concurrently, but it never
+    quantifies this. This simulator runs both protocols over the
+    {!Dht_event_sim} engine and measures makespan, per-creation latency,
+    traffic and achieved concurrency.
+
+    Protocol modelled for one creation:
+    - {b global}: the initiating snode broadcasts the creation request with
+      the GPDR to every other snode; each snode processes it, streams its
+      partition handovers to the newcomer's snode, then ACKs; completion
+      when all ACKs arrive. A single DHT-wide lock serializes creations
+      (GPDR synchronization requirement, §2.5).
+    - {b local}: the initiator looks up the victim vnode (one request/reply
+      round), then the victim's snode coordinates the same round restricted
+      to the snodes hosting vnodes of the victim group, using the LPDR;
+      only that group is locked, so creations hitting different groups
+      overlap. A busy victim group makes the creation wait and retry (the
+      [conflicts] counter). *)
+
+module Network = Dht_event_sim.Network
+
+type approach = Global_approach | Local_approach of { vmin : int }
+
+type config = {
+  approach : approach;
+  pmin : int;
+  snodes : int;  (** cluster nodes; vnode [i] lives on snode [i mod snodes] *)
+  link : Network.link;
+  loopback : float;
+  partition_payload : int;  (** bytes moved per partition handover *)
+  control_bytes : int;  (** size of lookup/ack control messages *)
+  entry_process_time : float;  (** CPU seconds per distribution-record entry *)
+}
+
+val default_config : approach -> config
+(** 64 snodes on a {!Network.gigabit} fabric, [pmin = 32], 64 KiB partition
+    payloads, 64-byte control messages, 200 ns per record entry. *)
+
+type result = {
+  vnodes : int;  (** creations executed *)
+  makespan : float;  (** completion time of the last creation *)
+  latencies : float array;  (** per creation, completion − arrival *)
+  service_times : float array;  (** per creation, completion − service start *)
+  messages : int;  (** remote messages on the fabric *)
+  bytes : int;  (** remote bytes on the fabric *)
+  max_concurrent : int;  (** peak number of overlapping balancing rounds *)
+  conflicts : int;  (** creations that found their victim group busy *)
+}
+
+val simulate : config -> arrivals:float array -> seed:int -> result
+(** [simulate cfg ~arrivals ~seed] creates one vnode per arrival time (the
+    first vnode of the DHT exists at time 0 and is not counted). Arrival
+    times must be non-negative and sorted.
+    @raise Invalid_argument on an empty or unsorted arrival array. *)
+
+val mean_latency : result -> float
+
+val p95_latency : result -> float
+
+val throughput : result -> float
+(** Creations per second of makespan. *)

@@ -1,0 +1,1 @@
+lib/registry/registry.ml: Array Dht_cluster Dht_core Dht_hashspace Dht_prng Hashtbl List Local_dht Vnode Vnode_id

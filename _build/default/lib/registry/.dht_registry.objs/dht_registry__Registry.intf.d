@@ -1,0 +1,1 @@
+lib/registry/registry.mli: Dht_cluster Dht_core Dht_hashspace Dht_prng Local_dht

@@ -1,0 +1,1 @@
+lib/report/ascii_chart.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/report/csv.ml: Array Fun List Printf String

@@ -1,0 +1,35 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let line fields = String.concat "," (List.map escape fields)
+
+let write ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (line header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          output_string oc (line row);
+          output_char oc '\n')
+        rows)
+
+let write_columns ~path ~header columns =
+  match columns with
+  | [] -> invalid_arg "Csv.write_columns: no columns"
+  | first :: rest ->
+      let len = Array.length first in
+      if List.exists (fun c -> Array.length c <> len) rest then
+        invalid_arg "Csv.write_columns: ragged columns";
+      let rows =
+        List.init len (fun i ->
+            List.map (fun col -> Printf.sprintf "%.6g" col.(i)) columns)
+      in
+      write ~path ~header rows

@@ -1,0 +1,1 @@
+lib/snode/plan.ml: Balancer Dht_core List Vnode_id

@@ -1,0 +1,1 @@
+lib/snode/plan.mli: Dht_core Vnode_id

@@ -1,0 +1,1 @@
+lib/snode/runtime.mli: Dht_core Dht_event_sim Dht_hashspace Vnode_id

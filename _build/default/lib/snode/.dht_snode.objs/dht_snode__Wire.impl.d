@@ -1,0 +1,1 @@
+lib/snode/wire.ml: Dht_core Dht_hashspace Group_id List Option Plan Span String Vnode_id

@@ -1,0 +1,1 @@
+lib/snode/wire.mli: Dht_core Dht_hashspace Group_id Plan Span Vnode_id

@@ -1,0 +1,142 @@
+open Dht_core
+
+type assignment = { donor : Vnode_id.t; give : int }
+
+type t = {
+  split_all : bool;
+  assignments : assignment list;
+  newcomer_count : int;
+  final_counts : (Vnode_id.t * int) list;
+}
+
+let creation ~pmin ~counts ~newcomer =
+  if counts = [] then invalid_arg "Plan.creation: empty LPDR";
+  if List.exists (fun (id, _) -> Vnode_id.equal id newcomer) counts then
+    invalid_arg "Plan.creation: newcomer already in LPDR";
+  let pmax = 2 * pmin in
+  List.iter
+    (fun (_, c) ->
+      if c < pmin || c > pmax then
+        invalid_arg "Plan.creation: count outside [Pmin, Pmax]")
+    counts;
+  let split_all = List.for_all (fun (_, c) -> c = pmin) counts in
+  let working =
+    List.map (fun (id, c) -> (id, ref (if split_all then 2 * c else c))) counts
+  in
+  let newcomer_count = ref 0 in
+  (* Greedy §2.5: take from the current maximum (smallest id on ties) while
+     handing one more partition to the newcomer decreases σ(Pv). *)
+  let rec settle () =
+    let victim =
+      List.fold_left
+        (fun best (id, c) ->
+          match best with
+          | Some (_, bc) when !bc > !c -> best
+          | Some (bid, bc) when !bc = !c && Vnode_id.compare bid id <= 0 -> best
+          | Some _ | None -> Some (id, c))
+        None working
+    in
+    match victim with
+    | None -> ()
+    | Some (_, c) ->
+        if Balancer.move_decreases_sigma ~from_count:!c ~to_count:!newcomer_count
+        then begin
+          decr c;
+          incr newcomer_count;
+          settle ()
+        end
+  in
+  settle ();
+  let assignments =
+    List.filter_map
+      (fun ((id, before), (_, after)) ->
+        let gave = (if split_all then 2 * before else before) - !after in
+        if gave > 0 then Some { donor = id; give = gave } else None)
+      (List.combine counts working)
+    |> List.sort (fun a b -> Vnode_id.compare a.donor b.donor)
+  in
+  let final_counts =
+    (newcomer, !newcomer_count) :: List.map (fun (id, c) -> (id, !c)) working
+    |> List.sort (fun (a, _) (b, _) -> Vnode_id.compare a b)
+  in
+  { split_all; assignments; newcomer_count = !newcomer_count; final_counts }
+
+type move = { src : Vnode_id.t; dst : Vnode_id.t; n : int }
+
+type removal = {
+  moves : move list;
+  removal_counts : (Vnode_id.t * int) list;
+}
+
+let removal ~pmin ~counts ~leaving =
+  if not (List.exists (fun (id, _) -> Vnode_id.equal id leaving) counts) then
+    invalid_arg "Plan.removal: leaving vnode not in LPDR";
+  let pmax = 2 * pmin in
+  List.iter
+    (fun (_, c) ->
+      if c < pmin || c > pmax then
+        invalid_arg "Plan.removal: count outside [Pmin, Pmax]")
+    counts;
+  if List.length counts = 1 then Error `Last_vnode
+  else begin
+    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 counts in
+    if total > (List.length counts - 1) * pmax then Error `Insufficient_capacity
+    else begin
+      let survivors =
+        List.filter_map
+          (fun (id, c) ->
+            if Vnode_id.equal id leaving then None else Some (id, ref c))
+          counts
+      in
+      let give =
+        ref (List.assoc leaving (List.map (fun (i, c) -> (i, c)) counts))
+      in
+      (* Record movements in order, coalescing consecutive same-pair moves. *)
+      let moves = ref [] in
+      let record src dst =
+        match !moves with
+        | { src = s; dst = d; n } :: rest
+          when Vnode_id.equal s src && Vnode_id.equal d dst ->
+            moves := { src; dst; n = n + 1 } :: rest
+        | _ -> moves := { src; dst; n = 1 } :: !moves
+      in
+      let extreme ~smallest =
+        List.fold_left
+          (fun best (id, c) ->
+            match best with
+            | Some (_, bc) when (if smallest then !bc < !c else !bc > !c) -> best
+            | Some (bid, bc)
+              when !bc = !c && Vnode_id.compare bid id <= 0 ->
+                Some (bid, bc)
+            | Some _ | None -> Some (id, c))
+          None survivors
+      in
+      (* Drain the departing vnode into the least-loaded survivors. *)
+      while !give > 0 do
+        match extreme ~smallest:true with
+        | None -> assert false
+        | Some (id, c) ->
+            incr c;
+            decr give;
+            record leaving id
+      done;
+      (* Equalize, mirroring Balancer.remove_vnode. *)
+      let continue = ref true in
+      while !continue do
+        match (extreme ~smallest:false, extreme ~smallest:true) with
+        | Some (mx_id, mx), Some (mn_id, mn)
+          when Balancer.move_decreases_sigma ~from_count:!mx ~to_count:!mn ->
+            decr mx;
+            incr mn;
+            record mx_id mn_id
+        | _ -> continue := false
+      done;
+      Ok
+        {
+          moves = List.rev !moves;
+          removal_counts =
+            List.map (fun (id, c) -> (id, !c)) survivors
+            |> List.sort (fun (a, _) (b, _) -> Vnode_id.compare a b);
+        }
+    end
+  end

@@ -1,0 +1,55 @@
+(** Pure creation planner: the §2.5 algorithm over an LPDR snapshot.
+
+    In the distributed runtime the coordinator of a balancing event decides
+    {e from its replicated LPDR copy alone} (counts per vnode — no partition
+    identities) which vnodes hand over how many partitions to a newcomer.
+    This module is that decision as a pure function, so every snode could
+    re-derive it and so it can be property-tested against the live
+    {!Dht_core.Balancer} (same final count multiset). *)
+
+open Dht_core
+
+type assignment = { donor : Vnode_id.t; give : int }
+
+type t = {
+  split_all : bool;
+      (** every vnode first binary-splits its partitions (G4 escape, §2.5) *)
+  assignments : assignment list;
+      (** how many partitions each donor hands to the newcomer; donors with
+          [give = 0] are omitted. Sorted by vnode id. *)
+  newcomer_count : int;  (** partitions the newcomer ends with *)
+  final_counts : (Vnode_id.t * int) list;
+      (** resulting LPDR (including the newcomer), sorted by vnode id *)
+}
+
+val creation :
+  pmin:int -> counts:(Vnode_id.t * int) list -> newcomer:Vnode_id.t -> t
+(** [creation ~pmin ~counts ~newcomer] plans the §2.5 greedy: if every count
+    equals [pmin], all vnodes split first (counts double); then one
+    partition at a time moves from the most-loaded vnode (ties broken by
+    smaller vnode id) to the newcomer while that decreases σ(Pv).
+    @raise Invalid_argument if [counts] is empty, contains the newcomer, or
+    any count is outside [\[pmin, 2·pmin\]] (after accounting for the
+    split). *)
+
+type move = { src : Vnode_id.t; dst : Vnode_id.t; n : int }
+
+type removal = {
+  moves : move list;
+      (** partition movements: first the departing vnode drains to the
+          least-loaded survivors, then max→min equalization transfers.
+          Grouped per (src, dst) pair, in execution order. *)
+  removal_counts : (Vnode_id.t * int) list;
+      (** resulting LPDR (without the departed vnode), sorted by id *)
+}
+
+val removal :
+  pmin:int ->
+  counts:(Vnode_id.t * int) list ->
+  leaving:Vnode_id.t ->
+  (removal, [ `Last_vnode | `Insufficient_capacity ]) result
+(** Plans a departure, mirroring {!Dht_core.Balancer.remove_vnode}: hand
+    each partition of [leaving] to the currently least-loaded survivor,
+    then equalize max→min while σ(Pv) decreases.
+    @raise Invalid_argument if [leaving] is absent or counts are out of
+    bounds. *)

@@ -1,0 +1,936 @@
+open Dht_core
+open Dht_hashspace
+module Engine = Dht_event_sim.Engine
+module Network = Dht_event_sim.Network
+module Rng = Dht_prng.Rng
+module Hash = Dht_hashes.Hash
+module Vtbl = Hashtbl.Make (Vnode_id)
+module Gtbl = Hashtbl.Make (Group_id)
+
+(* Forwarding limits: a routed operation bounces through at most [max_hops]
+   stale caches, then backs off and retries from scratch; convergence is
+   guaranteed once the in-flight balancing event commits. *)
+let max_hops = 4
+let max_retries = 50
+let backoff = 1e-3
+
+let log_src = Logs.Src.create "dht.snode" ~doc:"Distributed snode runtime"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type vnode_local = {
+  vid : Vnode_id.t;
+  mutable group : Group_id.t;
+  mutable spans : Span.t list;
+  data : (string, string) Hashtbl.t;
+}
+
+type lpdr = { mutable level : int; mutable counts : (Vnode_id.t * int) list }
+
+(* Coordinator-side state of one in-flight balancing event (creation or
+   removal). *)
+type event_state = {
+  ev_done : Wire.msg;  (* completion message for the origin snode *)
+  ev_origin : int;
+  ev_lock : Group_id.t;
+  mutable ev_acks : int;
+  mutable ev_moved : (Span.t * Vnode_id.t) list;
+  ev_participants : int list;
+  mutable ev_waits : int;  (* All_received notifications still expected *)
+  mutable ev_committed : bool;
+}
+
+(* Newcomer-side expectation of donor batches. *)
+type incoming = { mutable got : int; want : int; coordinator : int }
+
+(* Participant-side deferred identity changes (applied at Commit, so that
+   concurrent events keep serializing through the group's manager until the
+   event is durable). *)
+type pending_prepare =
+  | P_create of Wire.prepare
+  | P_remove of {
+      r_leaving : Vnode_id.t;
+      r_group : Group_id.t;
+      r_remaining : (Vnode_id.t * int) list;
+    }
+
+type snode = {
+  sid : int;
+  locals : vnode_local Vtbl.t;
+  lpdrs : lpdr Gtbl.t;
+  owned : Vnode_id.t Point_map.t;  (* exact local ownership *)
+  cache : Vnode_id.t Point_map.t;  (* global placement; may be stale *)
+  rng : Rng.t;
+  qlocks : (bool ref * Wire.msg Queue.t) Gtbl.t;
+  events : (int, event_state) Hashtbl.t;
+  incomings : (int, incoming) Hashtbl.t;
+  pendings : (int, pending_prepare) Hashtbl.t;
+  (* Transfers that overtook their Prepare (small messages travel faster
+     than large ones); drained when the Prepare lands. *)
+  stashed : (int, (Vnode_id.t * Span.t list * (string * string) list) list ref) Hashtbl.t;
+}
+
+type callback =
+  | Cb_put
+  | Cb_get of (string option -> unit)
+  | Cb_remove of (bool -> unit)
+
+type approach = Local of { vmin : int } | Global
+
+type t = {
+  engine : Engine.t;
+  net : Network.t;
+  space : Space.t;
+  pmin : int;
+  vmax : int;  (* group capacity; [max_int] under the global approach *)
+  snodes : snode array;
+  callbacks : (int, callback) Hashtbl.t;
+  mutable next_token : int;
+  mutable next_event : int;
+  mutable pending : int;
+  mutable done_creations : int;
+  mutable done_removals : int;
+  mutable done_puts : int;
+  mutable done_gets : int;
+  mutable retried : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Cache maintenance                                                    *)
+
+(* Learn [span -> vid] without ever leaving a hole: evicted entries that
+   are strictly coarser than [span] have their remainder re-inserted under
+   the old owner (dyadic path decomposition). *)
+let cache_learn t sn span vid =
+  let old = Point_map.overlapping sn.cache span in
+  List.iter
+    (fun (s, owner) ->
+      Point_map.remove sn.cache s;
+      if Span.level s < Span.level span then begin
+        let rec keep_rest s =
+          if not (Span.equal s span) then begin
+            let a, b = Span.split t.space s in
+            if Span.overlap a span then begin
+              Point_map.add sn.cache b owner;
+              keep_rest a
+            end
+            else begin
+              Point_map.add sn.cache a owner;
+              keep_rest b
+            end
+          end
+        in
+        keep_rest s
+      end)
+    old;
+  Point_map.add sn.cache span vid
+
+(* ------------------------------------------------------------------ *)
+(* Local state operations                                               *)
+
+let local_exn sn vid =
+  match Vtbl.find_opt sn.locals vid with
+  | Some v -> v
+  | None -> failwith "Runtime: vnode expected on this snode"
+
+let install_spans sn v spans =
+  v.spans <- spans @ v.spans;
+  List.iter (fun s -> Point_map.add sn.owned s v.vid) spans
+
+let donate_spans t sn v give =
+  let rec take n acc rest =
+    if n = 0 then (acc, rest)
+    else
+      match rest with
+      | [] -> invalid_arg "Runtime: donor has too few partitions"
+      | s :: tl -> take (n - 1) (s :: acc) tl
+  in
+  let taken, kept = take give [] v.spans in
+  v.spans <- kept;
+  List.iter (fun s -> Point_map.remove sn.owned s) taken;
+  (* Keys inside the donated partitions migrate with them. *)
+  let moved_data =
+    Hashtbl.fold
+      (fun key value acc ->
+        let point = Hash.string t.space key in
+        if List.exists (fun s -> Span.contains t.space s point) taken then
+          (key, value) :: acc
+        else acc)
+      v.data []
+  in
+  List.iter (fun (key, _) -> Hashtbl.remove v.data key) moved_data;
+  (taken, moved_data)
+
+let split_all_local t sn v =
+  let halves =
+    List.concat_map
+      (fun s ->
+        Point_map.split sn.owned s;
+        let a, b = Span.split t.space s in
+        [ a; b ])
+      v.spans
+  in
+  v.spans <- halves
+
+(* ------------------------------------------------------------------ *)
+(* Messaging                                                            *)
+
+let rec send t ~src ~dst msg =
+  Network.send t.net ~src ~dst ~bytes:(Wire.size_bytes msg) (fun () ->
+      handle t t.snodes.(dst) ~from:src msg)
+
+(* Process a message locally, as if self-delivered. *)
+and deliver_local t sn msg = handle t sn ~from:sn.sid msg
+
+(* ---------------- routing ---------------- *)
+
+and route_or_forward t sn (point, hops, retries, origin, op) =
+  match Point_map.find_point sn.owned point with
+  | _, vid -> execute_op t sn ~owner:vid ~point ~origin ~retries op
+  | exception Not_found ->
+      if hops >= max_hops then begin
+        t.retried <- t.retried + 1;
+        if retries >= max_retries then
+          failwith "Runtime: routing failed to converge";
+        Engine.schedule t.engine ~delay:backoff (fun () ->
+            deliver_local t sn
+              (Wire.Routed { point; hops = 0; retries = retries + 1; origin; op }))
+      end
+      else begin
+        let _, owner = Point_map.find_point sn.cache point in
+        let dst = owner.Vnode_id.snode in
+        let msg = Wire.Routed { point; hops = hops + 1; retries; origin; op } in
+        if dst = sn.sid then
+          (* Our own cache points at us but we do not own the point: the
+             placement is in flight; back off. *)
+          Engine.schedule t.engine ~delay:backoff (fun () -> deliver_local t sn msg)
+        else send t ~src:sn.sid ~dst msg
+      end
+
+and execute_op t sn ~owner ~point ~origin ~retries op =
+  match op with
+  | Wire.Op_put { key; value; token } ->
+      let v = local_exn sn owner in
+      Hashtbl.replace v.data key value;
+      send t ~src:sn.sid ~dst:origin (Wire.Put_ack { token })
+  | Wire.Op_get { key; token } ->
+      let v = local_exn sn owner in
+      let value = Hashtbl.find_opt v.data key in
+      send t ~src:sn.sid ~dst:origin (Wire.Get_reply { token; value })
+  | Wire.Op_create { newcomer } -> (
+      (* The owner of the point is the victim vnode; its group is the
+         victim group. Hand the request to that group's manager. *)
+      let v = local_exn sn owner in
+      match Gtbl.find_opt sn.lpdrs v.group with
+      | None ->
+          (* Transient: the group identity is switching (between Prepare
+             and Commit). Back off and retry the lookup. *)
+          t.retried <- t.retried + 1;
+          if retries >= max_retries then
+            failwith "Runtime: group resolution failed to converge";
+          Engine.schedule t.engine ~delay:backoff (fun () ->
+              deliver_local t sn
+                (Wire.Routed
+                   { point; hops = 0; retries = retries + 1; origin; op }))
+      | Some lpdr ->
+          let manager = manager_of lpdr in
+          let msg =
+            Wire.Create_at_group { group = v.group; point; newcomer; origin }
+          in
+          if manager = sn.sid then deliver_local t sn msg
+          else send t ~src:sn.sid ~dst:manager msg)
+
+and manager_of lpdr =
+  match lpdr.counts with
+  | [] -> invalid_arg "Runtime: empty LPDR"
+  | (first, _) :: _ -> first.Vnode_id.snode
+
+(* ---------------- coordinator ---------------- *)
+
+and qlock sn group =
+  match Gtbl.find_opt sn.qlocks group with
+  | Some l -> l
+  | None ->
+      let l = (ref false, Queue.create ()) in
+      Gtbl.add sn.qlocks group l;
+      l
+
+and unlock t sn group =
+  let busy, q = qlock sn group in
+  busy := false;
+  let continue = ref true in
+  while !continue && not (Queue.is_empty q) do
+    let msg = Queue.pop q in
+    deliver_local t sn msg;
+    if !busy then continue := false
+  done
+
+and start_balancing t sn group lpdr ~point ~newcomer ~origin =
+  ignore point;
+  let vmax = t.vmax in
+  let split, target, target_counts =
+    if List.length lpdr.counts = vmax then begin
+      (* §3.7: full victim group splits into two random halves of Vmin. *)
+      let arr = Array.of_list lpdr.counts in
+      Rng.shuffle sn.rng arr;
+      let vmin = vmax / 2 in
+      let sorted l = List.sort (fun (a, _) (b, _) -> Vnode_id.compare a b) l in
+      let left_members = sorted (Array.to_list (Array.sub arr 0 vmin)) in
+      let right_members = sorted (Array.to_list (Array.sub arr vmin vmin)) in
+      let gl, gr = Group_id.split group in
+      let split =
+        { Wire.parent = group; left = gl; left_members; right = gr;
+          right_members }
+      in
+      if Rng.bool sn.rng then (Some split, gl, left_members)
+      else (Some split, gr, right_members)
+    end
+    else (None, group, lpdr.counts)
+  in
+  let plan = Plan.creation ~pmin:t.pmin ~counts:target_counts ~newcomer in
+  let member_snodes =
+    List.map (fun (id, _) -> id.Vnode_id.snode) lpdr.counts
+  in
+  let participants =
+    List.sort_uniq compare (newcomer.Vnode_id.snode :: member_snodes)
+  in
+  let ev = t.next_event in
+  t.next_event <- t.next_event + 1;
+  Hashtbl.add sn.events ev
+    {
+      ev_done = Wire.Create_done { newcomer };
+      ev_origin = origin;
+      ev_lock = group;
+      ev_acks = List.length participants;
+      ev_moved = [];
+      ev_participants = participants;
+      ev_waits = 1;
+      ev_committed = false;
+    };
+  Log.debug (fun m ->
+      m "snode %d coordinates event %d: %a -> group %a (%d participants)"
+        sn.sid ev Vnode_id.pp newcomer Group_id.pp target
+        (List.length participants));
+  let prepare =
+    Wire.Prepare
+      {
+        event = ev;
+        split;
+        target;
+        level_before = lpdr.level;
+        plan;
+        newcomer;
+        donor_batches = List.length plan.Plan.assignments;
+      }
+  in
+  List.iter (fun p -> send t ~src:sn.sid ~dst:p prepare) participants
+
+and maybe_complete t sn ev st =
+  if st.ev_committed && st.ev_waits = 0 then begin
+    Hashtbl.remove sn.events ev;
+    send t ~src:sn.sid ~dst:st.ev_origin st.ev_done;
+    unlock t sn st.ev_lock
+  end
+
+(* ---------------- participant ---------------- *)
+
+and apply_transfer t sn ~event ~to_vnode ~spans ~data =
+  let v = local_exn sn to_vnode in
+  install_spans sn v spans;
+  List.iter (fun (key, value) -> Hashtbl.replace v.data key value) data;
+  List.iter (fun s -> cache_learn t sn s to_vnode) spans;
+  match Hashtbl.find_opt sn.incomings event with
+  | None -> failwith "Runtime: transfer applied without expectation"
+  | Some inc ->
+      inc.got <- inc.got + 1;
+      if inc.got = inc.want then begin
+        Hashtbl.remove sn.incomings event;
+        send t ~src:sn.sid ~dst:inc.coordinator (Wire.All_received { event })
+      end
+
+and drain_stash t sn event =
+  (* Transfers that overtook the announcement of [event]. *)
+  match Hashtbl.find_opt sn.stashed event with
+  | None -> ()
+  | Some l ->
+      Hashtbl.remove sn.stashed event;
+      List.iter
+        (fun (to_vnode, spans, data) ->
+          apply_transfer t sn ~event ~to_vnode ~spans ~data)
+        (List.rev !l)
+
+and start_removal t sn group lpdr ~leaving ~origin ~token =
+  let refuse () =
+    send t ~src:sn.sid ~dst:origin (Wire.Remove_done { token; ok = false });
+    unlock t sn group
+  in
+  (* L2 floor: groups never shrink below Vmin — except group 0 while it is
+     the only group (no split has happened yet, so only it carries the root
+     identifier). *)
+  let sole = Group_id.equal group Group_id.root in
+  let vg = List.length lpdr.counts in
+  if (not sole) && vg <= t.vmax / 2 then refuse ()
+  else
+    match Plan.removal ~pmin:t.pmin ~counts:lpdr.counts ~leaving with
+    | Error (`Last_vnode | `Insufficient_capacity) -> refuse ()
+    | Ok plan ->
+        let participants =
+          List.sort_uniq compare
+            (List.map (fun (id, _) -> id.Vnode_id.snode) lpdr.counts)
+        in
+        let receivers =
+          List.sort_uniq compare
+            (List.map (fun m -> m.Plan.dst.Vnode_id.snode) plan.Plan.moves)
+        in
+        let ev = t.next_event in
+        t.next_event <- t.next_event + 1;
+        Log.debug (fun m ->
+            m "snode %d coordinates removal event %d: %a leaves group %a"
+              sn.sid ev Vnode_id.pp leaving Group_id.pp group);
+        Hashtbl.add sn.events ev
+          {
+            ev_done = Wire.Remove_done { token; ok = true };
+            ev_origin = origin;
+            ev_lock = group;
+            ev_acks = List.length participants;
+            ev_moved = [];
+            ev_participants = participants;
+            ev_waits = List.length receivers;
+            ev_committed = false;
+          };
+        let prepare =
+          Wire.Remove_prepare
+            {
+              event = ev;
+              group;
+              leaving;
+              moves = plan.Plan.moves;
+              remaining = plan.Plan.removal_counts;
+            }
+        in
+        List.iter (fun pt -> send t ~src:sn.sid ~dst:pt prepare) participants
+
+and apply_remove_prepare t sn ~from ~event ~group ~leaving ~moves ~remaining =
+  (* Ship every movement whose source vnode lives here. *)
+  let moved = ref [] in
+  List.iter
+    (fun { Plan.src; dst; n } ->
+      if src.Vnode_id.snode = sn.sid then begin
+        let v = local_exn sn src in
+        let spans, data = donate_spans t sn v n in
+        send t ~src:sn.sid ~dst:dst.Vnode_id.snode
+          (Wire.Transfer { event; to_vnode = dst; spans; data });
+        List.iter (fun s -> cache_learn t sn s dst) spans;
+        moved := List.map (fun s -> (s, dst)) spans @ !moved
+      end)
+    moves;
+  (* Expect one batch per movement targeting a vnode hosted here. *)
+  let want =
+    List.length
+      (List.filter (fun m -> m.Plan.dst.Vnode_id.snode = sn.sid) moves)
+  in
+  if want > 0 then begin
+    Hashtbl.replace sn.incomings event { got = 0; want; coordinator = from };
+    drain_stash t sn event
+  end;
+  Hashtbl.replace sn.pendings event
+    (P_remove { r_leaving = leaving; r_group = group; r_remaining = remaining });
+  send t ~src:sn.sid ~dst:from (Wire.Prepare_ack { event; moved = !moved })
+
+and apply_prepare t sn ~from (p : Wire.prepare) =
+  let plan = p.Wire.plan in
+  (* Physical changes happen now; identity changes (LPDRs, group fields)
+     wait for Commit so concurrent requests keep serializing through the
+     parent group's manager. *)
+  let target_member_ids = List.map fst plan.Plan.final_counts in
+  (* Split-all: binary-split the partitions of local target members. *)
+  if plan.Plan.split_all then
+    List.iter
+      (fun id ->
+        if id.Vnode_id.snode = sn.sid && not (Vnode_id.equal id p.Wire.newcomer)
+        then split_all_local t sn (local_exn sn id))
+      target_member_ids;
+  (* Newcomer instantiation. *)
+  if p.Wire.newcomer.Vnode_id.snode = sn.sid then begin
+    Vtbl.replace sn.locals p.Wire.newcomer
+      {
+        vid = p.Wire.newcomer;
+        group = p.Wire.target;
+        spans = [];
+        data = Hashtbl.create 16;
+      };
+    Hashtbl.replace sn.incomings p.Wire.event
+      { got = 0; want = p.Wire.donor_batches; coordinator = from };
+    drain_stash t sn p.Wire.event
+  end;
+  (* Donations from locally-hosted donors. *)
+  let moved = ref [] in
+  List.iter
+    (fun { Plan.donor; give } ->
+      if donor.Vnode_id.snode = sn.sid then begin
+        let v = local_exn sn donor in
+        let spans, data = donate_spans t sn v give in
+        send t ~src:sn.sid ~dst:p.Wire.newcomer.Vnode_id.snode
+          (Wire.Transfer
+             { event = p.Wire.event; to_vnode = p.Wire.newcomer; spans; data });
+        List.iter (fun s -> cache_learn t sn s p.Wire.newcomer) spans;
+        moved := List.map (fun s -> (s, p.Wire.newcomer)) spans @ !moved
+      end)
+    plan.Plan.assignments;
+  Hashtbl.replace sn.pendings p.Wire.event (P_create p);
+  send t ~src:sn.sid ~dst:from
+    (Wire.Prepare_ack { event = p.Wire.event; moved = !moved })
+
+and apply_commit t sn ~moved ev =
+  (match Hashtbl.find_opt sn.pendings ev with
+  | None -> ()
+  | Some (P_remove { r_leaving; r_group; r_remaining }) ->
+      Hashtbl.remove sn.pendings ev;
+      (* Departed vnode: delete its (now empty) local record. *)
+      if r_leaving.Vnode_id.snode = sn.sid then begin
+        (match Vtbl.find_opt sn.locals r_leaving with
+        | Some v -> assert (v.spans = [])
+        | None -> ());
+        Vtbl.remove sn.locals r_leaving
+      end;
+      let hosts_member =
+        List.exists (fun (id, _) -> id.Vnode_id.snode = sn.sid) r_remaining
+      in
+      if hosts_member then begin
+        match Gtbl.find_opt sn.lpdrs r_group with
+        | Some lp -> lp.counts <- r_remaining
+        | None -> ()
+      end
+      else Gtbl.remove sn.lpdrs r_group
+  | Some (P_create p) ->
+      Hashtbl.remove sn.pendings ev;
+      (* Group identity switch: retire the parent LPDR, adopt the halves we
+         host members of, update local group fields. *)
+      (match p.Wire.split with
+      | None -> ()
+      | Some s ->
+          Gtbl.remove sn.lpdrs s.Wire.parent;
+          let adopt gid members =
+            let host_member =
+              List.exists (fun (id, _) -> id.Vnode_id.snode = sn.sid) members
+            in
+            List.iter
+              (fun (id, _) ->
+                if id.Vnode_id.snode = sn.sid then
+                  (local_exn sn id).group <- gid)
+              members;
+            if host_member then
+              Gtbl.replace sn.lpdrs gid
+                { level = p.Wire.level_before; counts = members }
+          in
+          adopt s.Wire.left s.Wire.left_members;
+          adopt s.Wire.right s.Wire.right_members);
+      (* Target LPDR copy: new membership and counts, bumped level. *)
+      let plan = p.Wire.plan in
+      let hosts_target =
+        List.exists
+          (fun (id, _) -> id.Vnode_id.snode = sn.sid)
+          plan.Plan.final_counts
+      in
+      let level =
+        p.Wire.level_before + if plan.Plan.split_all then 1 else 0
+      in
+      if hosts_target then
+        Gtbl.replace sn.lpdrs p.Wire.target
+          { level; counts = plan.Plan.final_counts }
+      else Gtbl.remove sn.lpdrs p.Wire.target;
+      List.iter
+        (fun (id, _) ->
+          if id.Vnode_id.snode = sn.sid then (local_exn sn id).group <- p.Wire.target)
+        plan.Plan.final_counts);
+  (* Placement of the moved partitions. *)
+  List.iter (fun (s, owner) -> cache_learn t sn s owner) moved
+
+(* ---------------- dispatch ---------------- *)
+
+and handle t sn ~from msg =
+  match msg with
+  | Wire.Routed { point; hops; retries; origin; op } ->
+      route_or_forward t sn (point, hops, retries, origin, op)
+  | Wire.Create_at_group { group; point; newcomer; origin } -> (
+      match Gtbl.find_opt sn.lpdrs group with
+      | None ->
+          (* The group split away since the request was routed: resolve the
+             victim again from the original point. *)
+          deliver_local t sn
+            (Wire.Routed
+               { point; hops = 0; retries = 0; origin;
+                 op = Wire.Op_create { newcomer } })
+      | Some lpdr ->
+          let manager = manager_of lpdr in
+          if manager <> sn.sid then send t ~src:sn.sid ~dst:manager msg
+          else begin
+            let busy, q = qlock sn group in
+            if !busy then Queue.add msg q
+            else begin
+              busy := true;
+              start_balancing t sn group lpdr ~point ~newcomer ~origin
+            end
+          end)
+  | Wire.Prepare p -> apply_prepare t sn ~from p
+  | Wire.Prepare_ack { event; moved } -> (
+      match Hashtbl.find_opt sn.events event with
+      | None -> failwith "Runtime: ack for unknown event"
+      | Some st ->
+          st.ev_moved <- moved @ st.ev_moved;
+          st.ev_acks <- st.ev_acks - 1;
+          if st.ev_acks = 0 then begin
+            st.ev_committed <- true;
+            List.iter
+              (fun pt ->
+                if pt <> sn.sid then
+                  send t ~src:sn.sid ~dst:pt
+                    (Wire.Commit { event; moved = st.ev_moved }))
+              st.ev_participants;
+            (* The coordinator applies its own commit synchronously: when
+               the completion below unlocks the group and dequeues the next
+               event, the local LPDR must already be post-event. *)
+            apply_commit t sn ~moved:st.ev_moved event;
+            maybe_complete t sn event st
+          end)
+  | Wire.Transfer { event; to_vnode; spans; data } -> (
+      match Hashtbl.find_opt sn.incomings event with
+      | Some _ -> apply_transfer t sn ~event ~to_vnode ~spans ~data
+      | None ->
+          (* Overtook its Prepare: stash until the event is announced. *)
+          let stash =
+            match Hashtbl.find_opt sn.stashed event with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.add sn.stashed event l;
+                l
+          in
+          stash := (to_vnode, spans, data) :: !stash)
+  | Wire.All_received { event } -> (
+      match Hashtbl.find_opt sn.events event with
+      | None -> failwith "Runtime: completion for unknown event"
+      | Some st ->
+          st.ev_waits <- st.ev_waits - 1;
+          maybe_complete t sn event st)
+  | Wire.Commit { event; moved } -> apply_commit t sn ~moved event
+  | Wire.Create_done _ ->
+      t.done_creations <- t.done_creations + 1;
+      t.pending <- t.pending - 1
+  | Wire.Remove_request { leaving; origin; token } -> (
+      match Vtbl.find_opt sn.locals leaving with
+      | None -> send t ~src:sn.sid ~dst:origin (Wire.Remove_done { token; ok = false })
+      | Some v -> (
+          match Gtbl.find_opt sn.lpdrs v.group with
+          | None ->
+              (* Group identity switching (between Prepare and Commit):
+                 retry shortly. *)
+              t.retried <- t.retried + 1;
+              Engine.schedule t.engine ~delay:backoff (fun () ->
+                  deliver_local t sn msg)
+          | Some lpdr ->
+              let manager = manager_of lpdr in
+              let fwd =
+                Wire.Remove_at_group { group = v.group; leaving; origin; token }
+              in
+              if manager = sn.sid then deliver_local t sn fwd
+              else send t ~src:sn.sid ~dst:manager fwd))
+  | Wire.Remove_at_group { group; leaving; origin; token } -> (
+      match Gtbl.find_opt sn.lpdrs group with
+      | None ->
+          (* The group split away: resolve again at the hosting snode. *)
+          send t ~src:sn.sid ~dst:leaving.Vnode_id.snode
+            (Wire.Remove_request { leaving; origin; token })
+      | Some lpdr ->
+          let manager = manager_of lpdr in
+          if manager <> sn.sid then send t ~src:sn.sid ~dst:manager msg
+          else begin
+            let busy, q = qlock sn group in
+            if !busy then Queue.add msg q
+            else begin
+              busy := true;
+              start_removal t sn group lpdr ~leaving ~origin ~token
+            end
+          end)
+  | Wire.Remove_prepare { event; group; leaving; moves; remaining } ->
+      apply_remove_prepare t sn ~from ~event ~group ~leaving ~moves ~remaining
+  | Wire.Remove_done { token; ok } ->
+      (match Hashtbl.find_opt t.callbacks token with
+      | Some (Cb_remove k) ->
+          Hashtbl.remove t.callbacks token;
+          k ok
+      | Some (Cb_put | Cb_get _) | None -> failwith "Runtime: bad remove token");
+      t.done_removals <- t.done_removals + 1;
+      t.pending <- t.pending - 1
+  | Wire.Put_ack { token } ->
+      (match Hashtbl.find_opt t.callbacks token with
+      | Some Cb_put -> Hashtbl.remove t.callbacks token
+      | Some (Cb_get _ | Cb_remove _) | None ->
+          failwith "Runtime: bad put token");
+      t.done_puts <- t.done_puts + 1;
+      t.pending <- t.pending - 1
+  | Wire.Get_reply { token; value } ->
+      (match Hashtbl.find_opt t.callbacks token with
+      | Some (Cb_get k) ->
+          Hashtbl.remove t.callbacks token;
+          k value
+      | Some (Cb_put | Cb_remove _) | None ->
+          failwith "Runtime: bad get token");
+      t.done_gets <- t.done_gets + 1;
+      t.pending <- t.pending - 1
+
+(* ------------------------------------------------------------------ *)
+(* Construction and public API                                          *)
+
+let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
+    ?(approach = Local { vmin = 16 }) ~snodes ~seed () =
+  if snodes < 1 then invalid_arg "Runtime.create: need at least one snode";
+  if not (Params.is_power_of_two pmin) then
+    invalid_arg "Runtime.create: pmin must be a power of two";
+  let vmax =
+    match approach with
+    | Global -> max_int
+    | Local { vmin } ->
+        if not (Params.is_power_of_two vmin) then
+          invalid_arg "Runtime.create: vmin must be a power of two";
+        2 * vmin
+  in
+  let engine = Engine.create () in
+  let net = Network.create engine link in
+  let master = Rng.of_int seed in
+  let first = Vnode_id.make ~snode:0 ~vnode:0 in
+  let level0 = Params.log2_exact pmin in
+  let spans0 = List.init pmin (fun i -> Span.make space ~level:level0 ~index:i) in
+  let mk_snode sid =
+    let sn =
+      {
+        sid;
+        locals = Vtbl.create 8;
+        lpdrs = Gtbl.create 8;
+        owned = Point_map.create space;
+        cache = Point_map.create space;
+        rng = Rng.split master;
+        qlocks = Gtbl.create 8;
+        events = Hashtbl.create 8;
+        incomings = Hashtbl.create 8;
+        pendings = Hashtbl.create 8;
+        stashed = Hashtbl.create 8;
+      }
+    in
+    (* Every cache starts with the bootstrap placement. *)
+    List.iter (fun s -> Point_map.add sn.cache s first) spans0;
+    sn
+  in
+  let snodes_arr = Array.init snodes mk_snode in
+  let sn0 = snodes_arr.(0) in
+  Vtbl.replace sn0.locals first
+    { vid = first; group = Group_id.root; spans = spans0; data = Hashtbl.create 16 };
+  List.iter (fun s -> Point_map.add sn0.owned s first) spans0;
+  Gtbl.replace sn0.lpdrs Group_id.root
+    { level = level0; counts = [ (first, pmin) ] };
+  {
+    engine;
+    net;
+    space;
+    pmin;
+    vmax;
+    snodes = snodes_arr;
+    callbacks = Hashtbl.create 64;
+    next_token = 0;
+    next_event = 0;
+    pending = 0;
+    done_creations = 0;
+    done_removals = 0;
+    done_puts = 0;
+    done_gets = 0;
+    retried = 0;
+  }
+
+let engine t = t.engine
+let network t = t.net
+let snode_count t = Array.length t.snodes
+let vnode_count t = t.done_creations + 1
+
+let create_vnode t ?initiator ~id () =
+  let origin =
+    Option.value initiator ~default:(id.Vnode_id.snode mod Array.length t.snodes)
+  in
+  if origin < 0 || origin >= Array.length t.snodes then
+    invalid_arg "Runtime.create_vnode: initiator out of range";
+  t.pending <- t.pending + 1;
+  let sn = t.snodes.(origin) in
+  Engine.schedule t.engine ~delay:0. (fun () ->
+      let point = Rng.int sn.rng (Space.size t.space) in
+      deliver_local t sn
+        (Wire.Routed
+           { point; hops = 0; retries = 0; origin;
+             op = Wire.Op_create { newcomer = id } }))
+
+let fresh_token t cb =
+  let token = t.next_token in
+  t.next_token <- t.next_token + 1;
+  Hashtbl.add t.callbacks token cb;
+  token
+
+let put t ?(via = 0) ~key ~value () =
+  let token = fresh_token t Cb_put in
+  t.pending <- t.pending + 1;
+  let sn = t.snodes.(via) in
+  Engine.schedule t.engine ~delay:0. (fun () ->
+      deliver_local t sn
+        (Wire.Routed
+           { point = Hash.string t.space key; hops = 0; retries = 0;
+             origin = via; op = Wire.Op_put { key; value; token } }))
+
+let get t ?(via = 0) ~key k =
+  let token = fresh_token t (Cb_get k) in
+  t.pending <- t.pending + 1;
+  let sn = t.snodes.(via) in
+  Engine.schedule t.engine ~delay:0. (fun () ->
+      deliver_local t sn
+        (Wire.Routed
+           { point = Hash.string t.space key; hops = 0; retries = 0;
+             origin = via; op = Wire.Op_get { key; token } }))
+
+let remove_vnode t ?(via = 0) ~id k =
+  let host = id.Vnode_id.snode in
+  if host < 0 || host >= Array.length t.snodes then
+    invalid_arg "Runtime.remove_vnode: vnode id names no snode";
+  if via < 0 || via >= Array.length t.snodes then
+    invalid_arg "Runtime.remove_vnode: via out of range";
+  let token = fresh_token t (Cb_remove k) in
+  t.pending <- t.pending + 1;
+  Engine.schedule t.engine ~delay:0. (fun () ->
+      send t ~src:via ~dst:host
+        (Wire.Remove_request { leaving = id; origin = via; token }))
+
+let run ?until t = Engine.run ?until t.engine
+let pending_operations t = t.pending
+let completed_creations t = t.done_creations
+let completed_removals t = t.done_removals
+let completed_puts t = t.done_puts
+let completed_gets t = t.done_gets
+let retries t = t.retried
+
+(* ------------------------------------------------------------------ *)
+(* Global verification                                                  *)
+
+let all_locals t =
+  Array.to_list t.snodes
+  |> List.concat_map (fun sn -> Vtbl.fold (fun _ v acc -> v :: acc) sn.locals [])
+
+let sigma_qv t =
+  let locals = all_locals t in
+  let quotas =
+    List.map
+      (fun v ->
+        Dht_stats.Descriptive.sum
+          (Array.of_list (List.map (Span.quota t.space) v.spans)))
+      locals
+    |> Array.of_list
+  in
+  Metrics.sigma_percent quotas
+
+let audit t =
+  let issues = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> issues := s :: !issues) fmt in
+  let locals = all_locals t in
+  (* G1': global coverage of the union of all local partitions. *)
+  (match Coverage.check t.space (List.concat_map (fun v -> v.spans) locals) with
+  | Ok () -> ()
+  | Error e -> fail "coverage: %a" Coverage.pp_error e);
+  (* Gather the LPDR copies per group, from the snodes hosting members. *)
+  let views = Gtbl.create 16 in
+  Array.iter
+    (fun sn ->
+      Gtbl.iter
+        (fun gid lp ->
+          Gtbl.replace views gid ((sn.sid, lp) :: Option.value ~default:[] (Gtbl.find_opt views gid)))
+        sn.lpdrs)
+    t.snodes;
+  let group_count = Gtbl.length views in
+  let vmax = t.vmax in
+  Gtbl.iter
+    (fun gid copies ->
+      (match copies with
+      | [] -> ()
+      | (_, ref_lp) :: rest ->
+          List.iter
+            (fun (sid, lp) ->
+              if lp.level <> ref_lp.level then
+                fail "group %a: snode %d sees level %d, others %d" Group_id.pp
+                  gid sid lp.level ref_lp.level;
+              if lp.counts <> ref_lp.counts then
+                fail "group %a: snode %d has a divergent LPDR copy" Group_id.pp
+                  gid sid)
+            rest;
+          (* L2 (with the sole-group exception). *)
+          let vg = List.length ref_lp.counts in
+          if group_count = 1 then begin
+            if vg < 1 || vg > vmax then
+              fail "L2: sole group %a has Vg=%d" Group_id.pp gid vg
+          end
+          else if vg < vmax / 2 || vg > vmax then
+            fail "L2: group %a has Vg=%d outside [%d, %d]" Group_id.pp gid vg
+              (vmax / 2) vmax;
+          (* G2'/G4' plus LPDR-vs-reality agreement. *)
+          let total = List.fold_left (fun acc (_, c) -> acc + c) 0 ref_lp.counts in
+          if not (Params.is_power_of_two total) then
+            fail "G2: group %a has %d partitions" Group_id.pp gid total;
+          List.iter
+            (fun (id, c) ->
+              if c < t.pmin || c > 2 * t.pmin then
+                fail "G4: group %a vnode %a count %d" Group_id.pp gid
+                  Vnode_id.pp id c;
+              let owner_sn = t.snodes.(id.Vnode_id.snode) in
+              match Vtbl.find_opt owner_sn.locals id with
+              | None -> fail "L1: %a in LPDR of %a but not hosted" Vnode_id.pp id Group_id.pp gid
+              | Some v ->
+                  if List.length v.spans <> c then
+                    fail "LPDR: %a registered with %d partitions, owns %d"
+                      Vnode_id.pp id c (List.length v.spans);
+                  if not (Group_id.equal v.group gid) then
+                    fail "L1: %a group field %a but listed in %a" Vnode_id.pp
+                      id Group_id.pp v.group Group_id.pp gid;
+                  List.iter
+                    (fun s ->
+                      if Span.level s <> ref_lp.level then
+                        fail "G3: %a has %a at level <> %d" Vnode_id.pp id
+                          Span.pp s ref_lp.level)
+                    v.spans)
+            ref_lp.counts;
+          (* Removal-tolerant G5: power-of-two population, equal counts. *)
+          if Params.is_power_of_two vg then begin
+            match ref_lp.counts with
+            | (_, c0) :: _ ->
+                List.iter
+                  (fun (_, c) ->
+                    if c <> c0 then
+                      fail "G5: group %a uneven at Vg=%d" Group_id.pp gid vg)
+                  ref_lp.counts
+            | [] -> ()
+          end))
+    views;
+  (* Every routing cache must still cover the whole range. *)
+  Array.iter
+    (fun sn ->
+      match Coverage.check t.space (Point_map.spans sn.cache) with
+      | Ok () -> ()
+      | Error e -> fail "snode %d cache: %a" sn.sid Coverage.pp_error e)
+    t.snodes;
+  (* Data placement: every key lives with the owner of its hash point. *)
+  Array.iter
+    (fun sn ->
+      Vtbl.iter
+        (fun vid v ->
+          Hashtbl.iter
+            (fun key _ ->
+              let point = Hash.string t.space key in
+              if not (List.exists (fun s -> Span.contains t.space s point) v.spans)
+              then
+                fail "data: key %S stored at %a which does not own it" key
+                  Vnode_id.pp vid)
+            v.data)
+        sn.locals)
+    t.snodes;
+  match !issues with [] -> Ok () | l -> Error (List.rev l)

@@ -1,0 +1,117 @@
+(** Distributed snode runtime: the paper's architecture (figures 1 and 2)
+    as a functional message-level simulation.
+
+    Unlike {!Dht_core.Local_dht} — the centralized oracle, where one data
+    structure holds the whole DHT — every snode here owns only its slice of
+    the state, exactly as in the deployed system the paper describes:
+
+    - the partitions (and data) of the vnodes it hosts;
+    - an LPDR {e copy} for each group one of its vnodes belongs to (§3.2);
+    - a routing cache from partitions to vnodes, which {e may go stale} —
+      requests are forwarded through possibly-stale caches and retried with
+      backoff until placement information converges.
+
+    Vnode creation is the §3.6/§3.7 protocol: the creation request is
+    routed to the victim vnode's snode, handed to the victim group's
+    manager (the snode hosting the group's smallest member — its request
+    queue is the group lock), which plans the balancing from its LPDR copy
+    alone ({!Plan}), runs a prepare/commit round among the group's snodes,
+    and lets donors stream partitions (with their keys) straight to the
+    newcomer's snode. Creations on different groups proceed concurrently.
+
+    {!audit} gathers the distributed state and verifies global coverage,
+    LPDR-copy convergence, the model invariants and data placement. *)
+
+open Dht_core
+module Engine = Dht_event_sim.Engine
+module Network = Dht_event_sim.Network
+
+type t
+
+type approach =
+  | Local of { vmin : int }
+      (** the paper's contribution: groups bounded by [Vmin <= Vg <= 2·Vmin],
+          balancing events touch one group *)
+  | Global
+      (** the base model (§2): a single balancing domain — the group never
+          splits, the "LPDR" is the GPDR, every creation synchronizes every
+          vnode-hosting snode and creations serialize through one queue *)
+
+val create :
+  ?space:Dht_hashspace.Space.t ->
+  ?link:Network.link ->
+  ?pmin:int ->
+  ?approach:approach ->
+  snodes:int ->
+  seed:int ->
+  unit ->
+  t
+(** [create ~snodes ~seed ()] builds a cluster of [snodes] snodes. Snode 0
+    bootstraps the DHT with vnode [0.0] holding the whole hash range; every
+    routing cache starts seeded with that placement. Defaults: [pmin = 32],
+    [approach = Local { vmin = 16 }], gigabit {!Network.link}.
+    @raise Invalid_argument if [snodes < 1]. *)
+
+val engine : t -> Engine.t
+
+val network : t -> Network.t
+
+val snode_count : t -> int
+
+val vnode_count : t -> int
+(** Vnodes whose creation has completed. *)
+
+val create_vnode : t -> ?initiator:int -> id:Vnode_id.t -> unit -> unit
+(** Issues a creation request from [initiator] (default: the snode named by
+    [id]) at the current virtual time. Completion is asynchronous; drive
+    the engine with {!run}. *)
+
+val put : t -> ?via:int -> key:string -> value:string -> unit -> unit
+(** Routed write issued from snode [via] (default 0). Note the usual
+    leaderless-write caveat: concurrent writes to the {e same} key issued
+    from different snodes have no global order — whichever delivery reaches
+    the owner last wins (the paper's model has no versioning layer). *)
+
+val get : t -> ?via:int -> key:string -> (string option -> unit) -> unit
+(** Routed read; the callback fires when the reply reaches [via]. *)
+
+val remove_vnode : t -> ?via:int -> id:Vnode_id.t -> (bool -> unit) -> unit
+(** Departure of a vnode through the message protocol: the request reaches
+    the vnode's hosting snode, is handed to its group's manager, and — if
+    the model admits it (L2 floor, capacity; see
+    {!Dht_core.Local_dht.remove_vnode}) — a prepare/commit round drains the
+    departing vnode's partitions (with their keys) to the least-loaded
+    survivors and re-equalizes. The callback receives [false] when the
+    departure was refused or the vnode does not exist. *)
+
+val run : ?until:float -> t -> unit
+(** Drives the simulation until the event queue drains (or [until]). *)
+
+val pending_operations : t -> int
+(** Creations and data operations issued but not yet completed. *)
+
+val completed_creations : t -> int
+
+val completed_removals : t -> int
+(** Departures resolved (accepted or refused). *)
+
+val completed_puts : t -> int
+
+val completed_gets : t -> int
+
+val retries : t -> int
+(** Operations that exhausted the forwarding hop limit and backed off —
+    a measure of cache staleness encountered. *)
+
+val sigma_qv : t -> float
+(** σ̄(Qv) (%) computed from the distributed state (all snodes' local
+    partitions). *)
+
+val audit : t -> (unit, string list) result
+(** Global verification by gathering every snode's slice:
+    - the union of all local partitions tiles [R_h] exactly (G1');
+    - all LPDR copies of a group agree (level, membership, counts);
+    - LPDR counts equal the owners' real partition counts; G2'–G5' and L2
+      hold per group; L1 holds globally;
+    - every routing cache still covers the whole range;
+    - every stored key lives at the vnode owning its hash point. *)

@@ -1,0 +1,120 @@
+open Dht_core
+open Dht_hashspace
+
+type routed_op =
+  | Op_create of { newcomer : Vnode_id.t }
+  | Op_put of { key : string; value : string; token : int }
+  | Op_get of { key : string; token : int }
+
+type group_split = {
+  parent : Group_id.t;
+  left : Group_id.t;
+  left_members : (Vnode_id.t * int) list;
+  right : Group_id.t;
+  right_members : (Vnode_id.t * int) list;
+}
+
+type prepare = {
+  event : int;
+  split : group_split option;
+  target : Group_id.t;
+  level_before : int;
+  plan : Plan.t;
+  newcomer : Vnode_id.t;
+  donor_batches : int;
+}
+
+type msg =
+  | Routed of { point : int; hops : int; retries : int; origin : int; op : routed_op }
+  | Create_at_group of {
+      group : Group_id.t;
+      point : int;
+      newcomer : Vnode_id.t;
+      origin : int;
+    }
+  | Prepare of prepare
+  | Prepare_ack of { event : int; moved : (Span.t * Vnode_id.t) list }
+  | Transfer of {
+      event : int;
+      to_vnode : Vnode_id.t;
+      spans : Span.t list;
+      data : (string * string) list;
+    }
+  | All_received of { event : int }
+  | Commit of { event : int; moved : (Span.t * Vnode_id.t) list }
+  | Create_done of { newcomer : Vnode_id.t }
+  | Remove_request of { leaving : Vnode_id.t; origin : int; token : int }
+  | Remove_at_group of {
+      group : Group_id.t;
+      leaving : Vnode_id.t;
+      origin : int;
+      token : int;
+    }
+  | Remove_prepare of {
+      event : int;
+      group : Group_id.t;
+      leaving : Vnode_id.t;
+      moves : Plan.move list;
+      remaining : (Vnode_id.t * int) list;
+    }
+  | Remove_done of { token : int; ok : bool }
+  | Put_ack of { token : int }
+  | Get_reply of { token : int; value : string option }
+
+let envelope = 64
+let per_entry = 16
+
+let size_bytes = function
+  | Routed { op; _ } -> (
+      match op with
+      | Op_create _ -> envelope + per_entry
+      | Op_put { key; value; _ } -> envelope + String.length key + String.length value
+      | Op_get { key; _ } -> envelope + String.length key)
+  | Create_at_group _ -> envelope + (2 * per_entry)
+  | Prepare { split; plan; _ } ->
+      let split_size =
+        match split with
+        | None -> 0
+        | Some s ->
+            per_entry
+            * (2 + List.length s.left_members + List.length s.right_members)
+      in
+      envelope + split_size + (per_entry * List.length plan.Plan.final_counts)
+  | Prepare_ack { moved; _ } -> envelope + (2 * per_entry * List.length moved)
+  | Transfer { spans; data; _ } ->
+      envelope
+      + (per_entry * List.length spans)
+      + List.fold_left
+          (fun acc (k, v) -> acc + String.length k + String.length v)
+          0 data
+  | All_received _ -> envelope
+  | Commit { moved; _ } -> envelope + (2 * per_entry * List.length moved)
+  | Create_done _ -> envelope + per_entry
+  | Remove_request _ -> envelope + per_entry
+  | Remove_at_group _ -> envelope + (2 * per_entry)
+  | Remove_prepare { moves; remaining; _ } ->
+      envelope
+      + (3 * per_entry * List.length moves)
+      + (per_entry * List.length remaining)
+  | Remove_done _ -> envelope
+  | Put_ack _ -> envelope
+  | Get_reply { value; _ } ->
+      envelope + Option.fold ~none:0 ~some:String.length value
+
+let describe = function
+  | Routed { op = Op_create _; _ } -> "routed:create"
+  | Routed { op = Op_put _; _ } -> "routed:put"
+  | Routed { op = Op_get _; _ } -> "routed:get"
+  | Create_at_group _ -> "create-at-group"
+  | Prepare _ -> "prepare"
+  | Prepare_ack _ -> "prepare-ack"
+  | Transfer _ -> "transfer"
+  | All_received _ -> "all-received"
+  | Commit _ -> "commit"
+  | Create_done _ -> "create-done"
+  | Remove_request _ -> "remove-request"
+  | Remove_at_group _ -> "remove-at-group"
+  | Remove_prepare _ -> "remove-prepare"
+  | Remove_done _ -> "remove-done"
+  | Put_ack _ -> "put-ack"
+  | Get_reply _ -> "get-reply"

@@ -1,0 +1,89 @@
+(** Wire protocol of the distributed snode runtime.
+
+    Every value is a message payload exchanged between snodes over the
+    simulated cluster network; {!size_bytes} estimates its serialized size
+    so the network model charges realistic transfer times. *)
+
+open Dht_core
+open Dht_hashspace
+
+type routed_op =
+  | Op_create of { newcomer : Vnode_id.t }
+      (** a vnode creation request: the owner of the routed point is the
+          victim vnode (§3.6) *)
+  | Op_put of { key : string; value : string; token : int }
+  | Op_get of { key : string; token : int }
+
+type group_split = {
+  parent : Group_id.t;
+  left : Group_id.t;
+  left_members : (Vnode_id.t * int) list;  (** member, partition count *)
+  right : Group_id.t;
+  right_members : (Vnode_id.t * int) list;
+}
+
+type prepare = {
+  event : int;  (** balancing-event identifier, unique per coordinator *)
+  split : group_split option;  (** set when the victim group was full *)
+  target : Group_id.t;  (** group receiving the newcomer *)
+  level_before : int;
+  plan : Plan.t;
+  newcomer : Vnode_id.t;
+  donor_batches : int;  (** transfers the newcomer must expect *)
+}
+
+(** Participant acknowledgements carry the concrete partitions each local
+    donor shipped, with their destinations. *)
+
+type msg =
+  | Routed of { point : int; hops : int; retries : int; origin : int; op : routed_op }
+      (** routed through (possibly stale) caches toward the owner of
+          [point]; [origin] is the snode that issued the operation *)
+  | Create_at_group of {
+      group : Group_id.t;
+      point : int;  (** kept for re-routing if the group has split away *)
+      newcomer : Vnode_id.t;
+      origin : int;
+    }  (** sent to the group's manager snode *)
+  | Prepare of prepare
+  | Prepare_ack of { event : int; moved : (Span.t * Vnode_id.t) list }
+      (** participant acknowledgement; donors report the partitions they
+          shipped and to whom *)
+  | Transfer of {
+      event : int;
+      to_vnode : Vnode_id.t;
+      spans : Span.t list;
+      data : (string * string) list;  (** keys migrating with the spans *)
+    }
+  | All_received of { event : int }
+      (** newcomer snode: every donor batch has arrived *)
+  | Commit of { event : int; moved : (Span.t * Vnode_id.t) list }
+      (** participants learn the final placement of the moved partitions *)
+  | Create_done of { newcomer : Vnode_id.t }
+  | Remove_request of { leaving : Vnode_id.t; origin : int; token : int }
+      (** departure request, sent to the vnode's hosting snode *)
+  | Remove_at_group of {
+      group : Group_id.t;
+      leaving : Vnode_id.t;
+      origin : int;
+      token : int;
+    }  (** forwarded to the group's manager *)
+  | Remove_prepare of {
+      event : int;
+      group : Group_id.t;
+      leaving : Vnode_id.t;
+      moves : Plan.move list;
+      remaining : (Vnode_id.t * int) list;  (** LPDR after the departure *)
+    }
+  | Remove_done of { token : int; ok : bool }
+      (** to the origin; [ok = false] when the model refuses the departure
+          (L2 floor, capacity, unknown vnode) *)
+  | Put_ack of { token : int }
+  | Get_reply of { token : int; value : string option }
+
+val size_bytes : msg -> int
+(** Serialized-size estimate: 64-byte envelope, 16 bytes per id/span/count
+    entry, string payloads at their length. *)
+
+val describe : msg -> string
+(** Short human-readable tag, for tracing. *)

@@ -1,0 +1,46 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+  mutable underflow : int;
+  mutable overflow : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  { lo; hi; counts = Array.make bins 0; total = 0; underflow = 0; overflow = 0 }
+
+let add t x =
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let bins = Array.length t.counts in
+    let idx =
+      int_of_float (float_of_int bins *. ((x -. t.lo) /. (t.hi -. t.lo)))
+    in
+    (* Rounding can land exactly on [bins] when x is just below hi. *)
+    let idx = if idx >= bins then bins - 1 else idx in
+    t.counts.(idx) <- t.counts.(idx) + 1;
+    t.total <- t.total + 1
+  end
+
+let counts t = Array.copy t.counts
+let total t = t.total
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let chi_square_uniform t =
+  if t.total = 0 then invalid_arg "Histogram.chi_square_uniform: empty";
+  let bins = Array.length t.counts in
+  let expected = float_of_int t.total /. float_of_int bins in
+  Array.fold_left
+    (fun acc c ->
+      let d = float_of_int c -. expected in
+      acc +. (d *. d /. expected))
+    0. t.counts
+
+let pp ppf t =
+  Format.fprintf ppf "hist[%g,%g) n=%d under=%d over=%d" t.lo t.hi t.total
+    t.underflow t.overflow

@@ -1,0 +1,32 @@
+(** Fixed-width-bin histograms and a chi-square uniformity check.
+
+    Used to validate the PRNG and hash substrates and to characterise
+    key-load distributions in the data-plane experiments. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal bins.
+    @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+(** Adds an observation; values outside [\[lo, hi)] are counted separately as
+    underflow/overflow. *)
+
+val counts : t -> int array
+(** Per-bin counts (a copy). *)
+
+val total : t -> int
+(** Total in-range observations. *)
+
+val underflow : t -> int
+
+val overflow : t -> int
+
+val chi_square_uniform : t -> float
+(** Chi-square statistic of the in-range counts against the uniform
+    distribution over the bins. For [b] bins this has [b - 1] degrees of
+    freedom under the null hypothesis.
+    @raise Invalid_argument if no in-range observation was added. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+type t = { len : int; cells : Welford.t array }
+
+let create ~len =
+  if len < 0 then invalid_arg "Series.create: negative length";
+  { len; cells = Array.init len (fun _ -> Welford.create ()) }
+
+let length t = t.len
+let runs t = if t.len = 0 then 0 else Welford.count t.cells.(0)
+
+let add_run t curve =
+  if Array.length curve <> t.len then
+    invalid_arg "Series.add_run: curve length mismatch";
+  Array.iteri (fun i x -> Welford.add t.cells.(i) x) curve
+
+let mean t = Array.map Welford.mean t.cells
+let stddev t = Array.map Welford.stddev_population t.cells
+
+let ci95_halfwidth t =
+  let n = runs t in
+  if n < 2 then Array.make t.len 0.
+  else
+    let scale = 1.96 /. sqrt (float_of_int n) in
+    Array.map (fun c -> scale *. Welford.stddev_sample c) t.cells

@@ -1,0 +1,1 @@
+lib/workload/keygen.ml: Array Dht_prng String

@@ -1,0 +1,52 @@
+module Rng = Dht_prng.Rng
+
+let hex = "0123456789abcdef"
+
+let uniform rng =
+  String.init 16 (fun _ -> hex.[Rng.int rng 16])
+
+let sequential ~prefix i = prefix ^ string_of_int i
+
+module Zipf = struct
+  type t = { n : int; cdf : float array }
+
+  let create ~n ~s =
+    if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+    if s < 0. then invalid_arg "Zipf.create: s must be non-negative";
+    let weights = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s)) in
+    let total = Array.fold_left ( +. ) 0. weights in
+    let cdf = Array.make n 0. in
+    let acc = ref 0. in
+    Array.iteri
+      (fun i w ->
+        acc := !acc +. (w /. total);
+        cdf.(i) <- !acc)
+      weights;
+    cdf.(n - 1) <- 1.;
+    { n; cdf }
+
+  let sample t rng =
+    let u = Rng.float rng in
+    (* First index whose cumulative mass reaches u. *)
+    let rec bisect lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.cdf.(mid) < u then bisect (mid + 1) hi else bisect lo mid
+    in
+    1 + bisect 0 (t.n - 1)
+
+  let key t rng = "item" ^ string_of_int (sample t rng)
+
+  let expected_frequency t ~rank =
+    if rank < 1 || rank > t.n then invalid_arg "Zipf.expected_frequency: rank";
+    let lo = if rank = 1 then 0. else t.cdf.(rank - 2) in
+    t.cdf.(rank - 1) -. lo
+end
+
+let hotspot rng ~hot ~hot_fraction ~cold =
+  if Array.length hot = 0 then invalid_arg "Keygen.hotspot: no hot keys";
+  if hot_fraction < 0. || hot_fraction > 1. then
+    invalid_arg "Keygen.hotspot: fraction outside [0, 1]";
+  if Rng.float rng < hot_fraction then hot.(Rng.int rng (Array.length hot))
+  else cold ()

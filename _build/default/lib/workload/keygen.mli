@@ -1,0 +1,40 @@
+(** Key-stream generators for data-plane experiments.
+
+    The paper assumes "uniform data distributions in the DHT, and no
+    hotspots in the access to data" (§5); the Zipf and hotspot generators
+    exist for the non-uniform extension experiments it lists as future
+    work. *)
+
+module Rng = Dht_prng.Rng
+
+val uniform : Rng.t -> string
+(** A fresh random 16-hex-character key. *)
+
+val sequential : prefix:string -> int -> string
+(** [sequential ~prefix i] is ["<prefix><i>"] — adversarially non-random
+    application keys (hashing must still spread them). *)
+
+module Zipf : sig
+  (** Zipf-distributed ranks over [\[1, n\]] with exponent [s], by inverse
+      CDF lookup (O(log n) per sample). *)
+
+  type t
+
+  val create : n:int -> s:float -> t
+  (** @raise Invalid_argument if [n <= 0] or [s < 0.]. *)
+
+  val sample : t -> Rng.t -> int
+  (** A rank in [\[1, n\]]; rank 1 is the most popular. *)
+
+  val key : t -> Rng.t -> string
+  (** ["item<rank>"] for a sampled rank. *)
+
+  val expected_frequency : t -> rank:int -> float
+  (** Theoretical probability of [rank]. *)
+end
+
+val hotspot : Rng.t -> hot:string array -> hot_fraction:float -> cold:(unit -> string) -> string
+(** With probability [hot_fraction], one of the [hot] keys (uniformly);
+    otherwise a key from [cold].
+    @raise Invalid_argument if [hot] is empty or the fraction is outside
+    [\[0, 1\]]. *)

@@ -1,0 +1,16 @@
+(** Arrival traces for join/creation workloads. *)
+
+module Rng = Dht_prng.Rng
+
+val bulk : n:int -> float array
+(** [n] simultaneous arrivals at time 0 (the paper's "consecutively
+    created" setting — ordering is left to queueing).
+    @raise Invalid_argument if [n < 0]. *)
+
+val uniform : n:int -> period:float -> float array
+(** One arrival every [period] seconds, starting at [period].
+    @raise Invalid_argument if [n < 0] or [period <= 0.]. *)
+
+val poisson : rng:Rng.t -> n:int -> rate:float -> float array
+(** [n] Poisson arrivals with the given rate (per second); sorted.
+    @raise Invalid_argument if [n < 0] or [rate <= 0.]. *)

@@ -1,0 +1,1 @@
+test/test_access_balancer.ml: Alcotest Array Audit Balancer Dht_core Dht_experiments Dht_kv Dht_prng Dht_workload List Local_dht Params Printf String Vnode Vnode_id

@@ -1,0 +1,1 @@
+test/test_balancer.ml: Alcotest Array Balancer Dht_core Dht_hashspace Dht_stats Group_id List Params Printf QCheck QCheck_alcotest String Vnode Vnode_id

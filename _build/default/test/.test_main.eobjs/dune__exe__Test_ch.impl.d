@@ -1,0 +1,1 @@
+test/test_ch.ml: Alcotest Array Dht_ch Dht_hashspace Dht_prng Dht_stats Hashtbl Option Printf

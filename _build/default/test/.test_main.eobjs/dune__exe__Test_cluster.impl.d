@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Dht_cluster Dht_prng Dht_stats QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_event_sim.ml: Alcotest Dht_event_sim Dht_prng List

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Dht_core Dht_experiments Dht_prng Dht_protocol Dht_stats List Printf

@@ -1,0 +1,1 @@
+test/test_global.ml: Alcotest Array Audit Balancer Dht_core Dht_hashspace Dht_prng Dht_stats Distribution_record Global_dht List Printf String Vnode Vnode_id

@@ -1,0 +1,1 @@
+test/test_hashes.ml: Alcotest Dht_hashes Dht_hashspace Dht_stats Int64 Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hashspace.ml: Alcotest Dht_hashspace Dht_prng Fun List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ids.ml: Alcotest Array Dht_core Dht_prng List QCheck QCheck_alcotest

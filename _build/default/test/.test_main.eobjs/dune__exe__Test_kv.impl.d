@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Array Dht_core Dht_kv Dht_prng Dht_workload Local_dht Params Printf Vnode Vnode_id

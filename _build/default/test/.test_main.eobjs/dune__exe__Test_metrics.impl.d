@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Balancer Dht_core Dht_hashspace Distribution_record Format Global_dht Group_id Metrics Params String Vnode Vnode_id

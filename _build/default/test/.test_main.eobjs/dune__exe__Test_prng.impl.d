@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Dht_prng Dht_stats Fun Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Dht_prng Dht_protocol Dht_workload Printf

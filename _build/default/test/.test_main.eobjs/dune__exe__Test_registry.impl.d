@@ -1,0 +1,1 @@
+test/test_registry.ml: Alcotest Array Audit Dht_cluster Dht_core Dht_experiments Dht_registry Dht_stats List Local_dht Printf String

@@ -1,0 +1,1 @@
+test/test_removal.ml: Alcotest Array Audit Balancer Dht_core Dht_hashspace Dht_prng Dht_stats Global_dht Group_id List Local_dht String Vnode Vnode_id

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Dht_report Filename Fun List String Sys

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Balancer Dht_core Dht_event_sim Dht_hashspace Dht_prng Dht_snode Group_id Hashtbl List Params Printf QCheck QCheck_alcotest String Vnode Vnode_id

@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Audit Dht_core Dht_prng Filename Fun Global_dht Local_dht QCheck QCheck_alcotest Snapshot String Sys Vnode_id

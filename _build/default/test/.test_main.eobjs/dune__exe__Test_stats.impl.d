@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Dht_stats List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dht_prng Dht_workload List Printf String

@@ -1,0 +1,176 @@
+(* Tests for Dht_kv.Access_balancer (the paper's §6 future-work feature) and
+   the new extension experiments. *)
+
+open Dht_core
+module AB = Dht_kv.Access_balancer
+module Local_store = Dht_kv.Local_store
+module Extensions = Dht_experiments.Extensions
+module Rng = Dht_prng.Rng
+
+let check = Alcotest.check
+let vid i = Vnode_id.make ~snode:i ~vnode:0
+
+let build ?(vnodes = 16) ?(seed = 13) () =
+  let store = Local_store.create ~pmin:8 ~vmin:8 ~rng:(Rng.of_int seed) ~first:(vid 0) () in
+  for i = 1 to vnodes - 1 do
+    ignore (Local_store.add_vnode store ~id:(vid i))
+  done;
+  AB.create store
+
+let test_counting () =
+  let ab = build () in
+  AB.put ab ~key:"a" ~value:"1";
+  ignore (AB.get ab ~key:"a");
+  ignore (AB.get ab ~key:"a");
+  ignore (AB.get ab ~key:"b");
+  check Alcotest.int "accesses counted" 4 (AB.epoch_accesses ab);
+  AB.reset_epoch ab;
+  check Alcotest.int "epoch reset" 0 (AB.epoch_accesses ab);
+  check (Alcotest.float 0.) "sigma zero on empty epoch" 0. (AB.access_sigma ab)
+
+let test_access_attribution () =
+  let ab = build () in
+  AB.put ab ~key:"hot" ~value:"v";
+  for _ = 1 to 99 do
+    ignore (AB.get ab ~key:"hot")
+  done;
+  let dht = Local_store.dht (AB.store ab) in
+  let total =
+    Array.fold_left
+      (fun acc v -> acc + AB.access_of_vnode ab v)
+      0 (Local_dht.vnodes dht)
+  in
+  check Alcotest.int "all accesses attributed to owners" 100 total
+
+let test_rebalance_reduces_skew () =
+  let ab = build ~vnodes:16 () in
+  (* Store keys, then hammer a skewed subset. *)
+  let keys = Array.init 2000 (fun i -> Printf.sprintf "k%d" i) in
+  Array.iter (fun key -> AB.put ab ~key ~value:"v") keys;
+  AB.reset_epoch ab;
+  let rng = Rng.of_int 3 in
+  let zipf = Dht_workload.Keygen.Zipf.create ~n:2000 ~s:0.7 in
+  for _ = 1 to 50_000 do
+    let rank = Dht_workload.Keygen.Zipf.sample zipf rng in
+    ignore (AB.get ab ~key:keys.(rank - 1))
+  done;
+  let before = AB.access_sigma ab in
+  let moved = AB.rebalance ~max_moves:128 ab in
+  let after = AB.access_sigma ab in
+  check Alcotest.bool "skew existed" true (before > 10.);
+  check Alcotest.bool "moves happened" true (moved > 0);
+  check Alcotest.bool
+    (Printf.sprintf "sigma %.1f -> %.1f improved" before after)
+    true (after < before);
+  (* Invariants G1'-G4' still hold (G5 may be traded away by design). *)
+  let dht = Local_store.dht (AB.store ab) in
+  let params = Local_dht.params dht in
+  List.iter
+    (fun b ->
+      Array.iter
+        (fun v ->
+          check Alcotest.bool "G4 bounds" true
+            (v.Vnode.count >= params.Params.pmin
+            && v.Vnode.count <= Params.pmax params))
+        (Balancer.vnodes b))
+    (Local_dht.groups dht);
+  (* Keys still reachable after partition moves. *)
+  Array.iter
+    (fun key ->
+      check Alcotest.bool "reachable" true (Local_store.get (AB.store ab) ~key <> None))
+    keys
+
+let test_rebalance_no_op_when_uniform () =
+  let ab = build () in
+  let keys = Array.init 1000 (fun i -> Printf.sprintf "u%d" i) in
+  Array.iter (fun key -> AB.put ab ~key ~value:"v") keys;
+  AB.reset_epoch ab;
+  (* Perfectly even synthetic access: every key exactly once. *)
+  Array.iter (fun key -> ignore (AB.get ab ~key)) keys;
+  let moved = AB.rebalance ~threshold:2.0 ab in
+  check Alcotest.bool "few or no moves on uniform load" true (moved <= 2)
+
+let test_rebalance_validation () =
+  let ab = build () in
+  Alcotest.check_raises "threshold < 1"
+    (Invalid_argument "Access_balancer.rebalance: threshold < 1") (fun () ->
+      ignore (AB.rebalance ~threshold:0.5 ab))
+
+(* --- Extension experiment drivers --- *)
+
+let test_churn_experiment () =
+  let r = Extensions.churn ~initial_vnodes:64 ~operations:120 ~keys:2000 ~pmin:8 ~vmin:8 ~seed:4 () in
+  check Alcotest.int "ops" 120 r.Extensions.operations;
+  check Alcotest.int "no key lost" 0 r.Extensions.churn_keys_lost;
+  check Alcotest.int "no audit failure" 0 r.Extensions.audit_failures;
+  check Alcotest.int "joins + leaves <= ops" r.Extensions.operations
+    (r.Extensions.joins + r.Extensions.leaves + r.Extensions.blocked_leaves);
+  check Alcotest.int "population bookkeeping" r.Extensions.final_vnodes
+    (64 + r.Extensions.joins - r.Extensions.leaves);
+  check Alcotest.int "curve length" 120 (Array.length r.Extensions.sigma_qv_curve)
+
+let test_ablation_experiment () =
+  let r = Extensions.ablation_selection ~runs:6 ~vnodes:256 ~pmin:8 ~vmin:8 ~seed:5 () in
+  (* The paper's quota-proportional selection must beat uniform group
+     choice on both metrics. *)
+  check Alcotest.bool
+    (Printf.sprintf "Qv: %.2f < %.2f" r.Extensions.quota_sigma_qv r.Extensions.uniform_sigma_qv)
+    true
+    (r.Extensions.quota_sigma_qv < r.Extensions.uniform_sigma_qv);
+  (* sigma(Qg) is not reliably directional (membership counts equalize
+     either way); just require both measurements to be meaningful. *)
+  check Alcotest.bool "Qg measured" true
+    (r.Extensions.quota_sigma_qg > 0. && r.Extensions.uniform_sigma_qg > 0.)
+
+let test_hotspot_experiment () =
+  let r = Extensions.hotspot ~vnodes:32 ~keys:4000 ~accesses:40_000 ~pmin:16 ~vmin:8 ~seed:6 () in
+  check Alcotest.int "no key lost" 0 r.Extensions.hotspot_keys_lost;
+  check Alcotest.bool "moves happened" true (r.Extensions.partitions_moved > 0);
+  check Alcotest.bool
+    (Printf.sprintf "access sigma %.1f -> %.1f" r.Extensions.access_sigma_before
+       r.Extensions.access_sigma_after)
+    true
+    (r.Extensions.access_sigma_after < r.Extensions.access_sigma_before)
+
+let test_hetero_compare_experiment () =
+  let r = Extensions.hetero_compare ~runs:5 ~seed:7 () in
+  check Alcotest.bool "local errors positive" true (r.Extensions.local_rms_err > 0.);
+  check Alcotest.bool "ch errors positive" true (r.Extensions.ch_rms_err > 0.);
+  (* Controlled enrollment tracks capacity far tighter than random arcs. *)
+  check Alcotest.bool
+    (Printf.sprintf "local rms %.3f < ch rms %.3f" r.Extensions.local_rms_err
+       r.Extensions.ch_rms_err)
+    true
+    (r.Extensions.local_rms_err < r.Extensions.ch_rms_err)
+
+let test_uniform_selection_runs () =
+  (* The ablation selection policy is itself invariant-safe. *)
+  let dht =
+    Local_dht.create ~selection:Local_dht.Uniform_group ~pmin:8 ~vmin:8
+      ~rng:(Rng.of_int 8) ~first:(vid 0) ()
+  in
+  for i = 1 to 199 do
+    ignore (Local_dht.add_vnode dht ~id:(vid i))
+  done;
+  match Audit.check_local dht with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "audit: %s" (String.concat "\n" es)
+
+let suite =
+  [
+    Alcotest.test_case "access counting" `Quick test_counting;
+    Alcotest.test_case "access attribution" `Quick test_access_attribution;
+    Alcotest.test_case "rebalance reduces skew" `Quick
+      test_rebalance_reduces_skew;
+    Alcotest.test_case "rebalance no-op on uniform load" `Quick
+      test_rebalance_no_op_when_uniform;
+    Alcotest.test_case "rebalance validation" `Quick test_rebalance_validation;
+    Alcotest.test_case "churn experiment" `Quick test_churn_experiment;
+    Alcotest.test_case "selection ablation experiment" `Quick
+      test_ablation_experiment;
+    Alcotest.test_case "hotspot experiment" `Quick test_hotspot_experiment;
+    Alcotest.test_case "hetero compare experiment" `Quick
+      test_hetero_compare_experiment;
+    Alcotest.test_case "uniform selection is invariant-safe" `Quick
+      test_uniform_selection_runs;
+  ]

@@ -1,0 +1,175 @@
+(* Tests for Dht_event_sim: Heap, Engine, Network. *)
+
+module Heap = Dht_event_sim.Heap
+module Engine = Dht_event_sim.Engine
+module Network = Dht_event_sim.Network
+module Rng = Dht_prng.Rng
+
+let check = Alcotest.check
+
+(* --- Heap --- *)
+
+let test_heap_orders_random_input () =
+  let rng = Rng.of_int 1 in
+  let h = Heap.create () in
+  for i = 0 to 499 do
+    Heap.push h ~time:(Rng.float rng) ~seq:i i
+  done;
+  check Alcotest.int "length" 500 (Heap.length h);
+  let last = ref neg_infinity in
+  let popped = ref 0 in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (t, _, _) ->
+        check Alcotest.bool "non-decreasing" true (t >= !last);
+        last := t;
+        incr popped;
+        drain ()
+  in
+  drain ();
+  check Alcotest.int "all popped" 500 !popped;
+  check Alcotest.bool "empty" true (Heap.is_empty h)
+
+let test_heap_fifo_at_equal_times () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:1. ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Heap.pop h with
+    | Some (_, _, v) -> check Alcotest.int "fifo" i v
+    | None -> Alcotest.fail "heap drained early"
+  done
+
+let test_heap_peek () =
+  let h = Heap.create () in
+  check Alcotest.bool "empty peek" true (Heap.peek_time h = None);
+  Heap.push h ~time:3. ~seq:0 ();
+  Heap.push h ~time:1. ~seq:1 ();
+  check (Alcotest.option (Alcotest.float 0.)) "min time" (Some 1.) (Heap.peek_time h)
+
+(* --- Engine --- *)
+
+let test_engine_dispatch_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:2. (fun () -> log := 2 :: !log);
+  Engine.schedule e ~delay:1. (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:3. (fun () -> log := 3 :: !log);
+  Engine.run e;
+  check Alcotest.(list int) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check (Alcotest.float 0.) "clock at last event" 3. (Engine.now e)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  Engine.schedule e ~delay:1. (fun () ->
+      fired := ("a", Engine.now e) :: !fired;
+      Engine.schedule e ~delay:0.5 (fun () ->
+          fired := ("b", Engine.now e) :: !fired));
+  Engine.run e;
+  match List.rev !fired with
+  | [ ("a", ta); ("b", tb) ] ->
+      check (Alcotest.float 1e-12) "a at 1" 1. ta;
+      check (Alcotest.float 1e-12) "b at 1.5" 1.5 tb
+  | _ -> Alcotest.fail "wrong firing sequence"
+
+let test_engine_validation () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative or non-finite delay") (fun () ->
+      Engine.schedule e ~delay:(-1.) (fun () -> ()));
+  Engine.schedule e ~delay:5. (fun () -> ());
+  Engine.run e;
+  Alcotest.check_raises "past absolute time" (Invalid_argument "Engine.at: time in the past")
+    (fun () -> Engine.at e ~time:1. (fun () -> ()))
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule e ~delay:(float_of_int i) (fun () -> incr count)
+  done;
+  Engine.run ~until:5.5 e;
+  check Alcotest.int "only first five" 5 !count;
+  check Alcotest.int "rest pending" 5 (Engine.pending e);
+  Engine.run e;
+  check Alcotest.int "drained" 10 !count
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  for i = 1 to 10 do
+    Engine.schedule e ~delay:(float_of_int i) (fun () -> ())
+  done;
+  Engine.run ~max_events:3 e;
+  check Alcotest.int "seven left" 7 (Engine.pending e)
+
+let test_engine_step_empty () =
+  let e = Engine.create () in
+  check Alcotest.bool "step on empty" false (Engine.step e)
+
+(* --- Network --- *)
+
+let test_network_latency_model () =
+  let e = Engine.create () in
+  let link = Network.link ~base_latency:1e-3 ~byte_time:1e-6 in
+  let net = Network.create ~loopback:5e-6 e link in
+  check (Alcotest.float 1e-12) "base + bytes" (1e-3 +. 1e-3)
+    (Network.transit_time net ~src:0 ~dst:1 ~bytes:1000);
+  check (Alcotest.float 1e-12) "loopback" 5e-6
+    (Network.transit_time net ~src:3 ~dst:3 ~bytes:1_000_000);
+  Alcotest.check_raises "negative bytes"
+    (Invalid_argument "Network.transit_time: negative size") (fun () ->
+      ignore (Network.transit_time net ~src:0 ~dst:1 ~bytes:(-1)))
+
+let test_network_counters () =
+  let e = Engine.create () in
+  let net = Network.create e Network.gigabit in
+  let delivered = ref 0 in
+  Network.send net ~src:0 ~dst:1 ~bytes:100 (fun () -> incr delivered);
+  Network.send net ~src:2 ~dst:2 ~bytes:50 (fun () -> incr delivered);
+  Engine.run e;
+  check Alcotest.int "both delivered" 2 !delivered;
+  check Alcotest.int "one remote message" 1 (Network.messages net);
+  check Alcotest.int "remote bytes" 100 (Network.bytes_sent net);
+  check Alcotest.int "one local delivery" 1 (Network.local_deliveries net);
+  Network.reset_counters net;
+  check Alcotest.int "reset" 0 (Network.messages net)
+
+let test_network_delivery_order () =
+  let e = Engine.create () in
+  let link = Network.link ~base_latency:0. ~byte_time:1e-6 in
+  let net = Network.create e link in
+  let log = ref [] in
+  (* Bigger message sent first arrives later. *)
+  Network.send net ~src:0 ~dst:1 ~bytes:1000 (fun () -> log := "big" :: !log);
+  Network.send net ~src:0 ~dst:1 ~bytes:10 (fun () -> log := "small" :: !log);
+  Engine.run e;
+  check Alcotest.(list string) "size-dependent order" [ "small"; "big" ]
+    (List.rev !log)
+
+let test_link_validation () =
+  Alcotest.check_raises "negative latency" (Invalid_argument "Network.link: negative parameter")
+    (fun () -> ignore (Network.link ~base_latency:(-1.) ~byte_time:0.))
+
+let suite =
+  [
+    Alcotest.test_case "heap orders random input" `Quick
+      test_heap_orders_random_input;
+    Alcotest.test_case "heap FIFO at equal times" `Quick
+      test_heap_fifo_at_equal_times;
+    Alcotest.test_case "heap peek" `Quick test_heap_peek;
+    Alcotest.test_case "engine dispatch order" `Quick test_engine_dispatch_order;
+    Alcotest.test_case "engine nested scheduling" `Quick
+      test_engine_nested_scheduling;
+    Alcotest.test_case "engine validation" `Quick test_engine_validation;
+    Alcotest.test_case "engine run until" `Quick test_engine_run_until;
+    Alcotest.test_case "engine max events" `Quick test_engine_max_events;
+    Alcotest.test_case "engine step on empty" `Quick test_engine_step_empty;
+    Alcotest.test_case "network latency model" `Quick test_network_latency_model;
+    Alcotest.test_case "network counters" `Quick test_network_counters;
+    Alcotest.test_case "network delivery order" `Quick
+      test_network_delivery_order;
+    Alcotest.test_case "link validation" `Quick test_link_validation;
+  ]

@@ -1,0 +1,113 @@
+(* Tests for Dht_core.Vnode_id and Dht_core.Group_id. *)
+
+module Vnode_id = Dht_core.Vnode_id
+module Group_id = Dht_core.Group_id
+module Rng = Dht_prng.Rng
+
+let check = Alcotest.check
+
+let gid_testable = Alcotest.testable Group_id.pp Group_id.equal
+
+(* --- Vnode_id --- *)
+
+let test_vnode_id_basics () =
+  let id = Vnode_id.make ~snode:3 ~vnode:7 in
+  check Alcotest.string "canonical form" "3.7" (Vnode_id.to_string id);
+  check Alcotest.bool "equal" true
+    (Vnode_id.equal id (Vnode_id.make ~snode:3 ~vnode:7));
+  check Alcotest.bool "not equal" false
+    (Vnode_id.equal id (Vnode_id.make ~snode:3 ~vnode:8));
+  Alcotest.check_raises "negative" (Invalid_argument "Vnode_id.make: negative component")
+    (fun () -> ignore (Vnode_id.make ~snode:(-1) ~vnode:0))
+
+let test_vnode_id_order () =
+  let a = Vnode_id.make ~snode:1 ~vnode:9 in
+  let b = Vnode_id.make ~snode:2 ~vnode:0 in
+  check Alcotest.bool "snode major" true (Vnode_id.compare a b < 0);
+  let c = Vnode_id.make ~snode:1 ~vnode:10 in
+  check Alcotest.bool "vnode minor" true (Vnode_id.compare a c < 0);
+  check Alcotest.int "hash stable" (Vnode_id.hash a) (Vnode_id.hash a)
+
+(* --- Group_id --- *)
+
+let test_group_id_root () =
+  check Alcotest.int "root value" 0 (Group_id.value Group_id.root);
+  check Alcotest.int "root bits" 0 (Group_id.bits Group_id.root);
+  check Alcotest.string "root pp" "0b(=0)" (Group_id.to_string Group_id.root)
+
+let test_group_id_paper_figure3 () =
+  (* Reproduce the identifier tree of figure 3 exactly. *)
+  let g0, g1 = Group_id.split Group_id.root in
+  check Alcotest.(pair int int) "gen1 left" (0, 1) (Group_id.value g0, Group_id.bits g0);
+  check Alcotest.(pair int int) "gen1 right" (1, 1) (Group_id.value g1, Group_id.bits g1);
+  let g00, g10 = Group_id.split g0 in
+  let g01, g11 = Group_id.split g1 in
+  check Alcotest.int "00b = 0" 0 (Group_id.value g00);
+  check Alcotest.int "10b = 2" 2 (Group_id.value g10);
+  check Alcotest.int "01b = 1" 1 (Group_id.value g01);
+  check Alcotest.int "11b = 3" 3 (Group_id.value g11);
+  (* Third generation: {0,4,2,6,1,5,3,7} as in the figure. *)
+  let values =
+    List.concat_map
+      (fun g ->
+        let a, b = Group_id.split g in
+        [ Group_id.value a; Group_id.value b ])
+      [ g00; g10; g01; g11 ]
+  in
+  check Alcotest.(list int) "gen3 values" [ 0; 4; 2; 6; 1; 5; 3; 7 ] values;
+  check Alcotest.string "pp of 6 on 3 bits" "110b(=6)"
+    (Group_id.to_string (Group_id.make ~value:6 ~bits:3))
+
+let test_group_id_validation () =
+  Alcotest.check_raises "value out of bits"
+    (Invalid_argument "Group_id.make: value outside [0, 2^bits)") (fun () ->
+      ignore (Group_id.make ~value:4 ~bits:2));
+  Alcotest.check_raises "negative bits"
+    (Invalid_argument "Group_id.make: bits outside [0, 60]") (fun () ->
+      ignore (Group_id.make ~value:0 ~bits:(-1)));
+  let deep = Group_id.make ~value:0 ~bits:60 in
+  Alcotest.check_raises "overflow" (Invalid_argument "Group_id.split: identifier overflow")
+    (fun () -> ignore (Group_id.split deep))
+
+let test_group_id_order () =
+  let a = Group_id.make ~value:3 ~bits:2 in
+  let b = Group_id.make ~value:0 ~bits:3 in
+  check Alcotest.bool "bits major" true (Group_id.compare a b < 0);
+  check Alcotest.bool "value minor" true
+    (Group_id.compare (Group_id.make ~value:1 ~bits:3) b > 0);
+  check gid_testable "equal roundtrip" a (Group_id.make ~value:3 ~bits:2)
+
+let prop_split_uniqueness =
+  (* Simulate an arbitrary split history: ids in the live frontier remain
+     pairwise distinct (decentralized uniqueness, §3.7.1). *)
+  QCheck.Test.make ~name:"ids stay unique through random split storms" ~count:100
+    QCheck.(pair small_int (int_range 1 60))
+    (fun (seed, splits) ->
+      let rng = Rng.of_int seed in
+      let frontier = ref [ Group_id.root ] in
+      for _ = 1 to splits do
+        let arr = Array.of_list !frontier in
+        let pick = arr.(Rng.int rng (Array.length arr)) in
+        if Group_id.bits pick < 58 then begin
+          let a, b = Group_id.split pick in
+          frontier := a :: b :: List.filter (fun g -> not (Group_id.equal g pick)) !frontier
+        end
+      done;
+      let sorted = List.sort Group_id.compare !frontier in
+      let rec distinct = function
+        | a :: (b :: _ as rest) -> (not (Group_id.equal a b)) && distinct rest
+        | _ -> true
+      in
+      distinct sorted)
+
+let suite =
+  [
+    Alcotest.test_case "vnode id basics" `Quick test_vnode_id_basics;
+    Alcotest.test_case "vnode id ordering" `Quick test_vnode_id_order;
+    Alcotest.test_case "group id root" `Quick test_group_id_root;
+    Alcotest.test_case "group id matches figure 3" `Quick
+      test_group_id_paper_figure3;
+    Alcotest.test_case "group id validation" `Quick test_group_id_validation;
+    Alcotest.test_case "group id ordering" `Quick test_group_id_order;
+    QCheck_alcotest.to_alcotest prop_split_uniqueness;
+  ]

@@ -1,0 +1,149 @@
+(* Tests for Dht_kv: the data plane and its migration-on-rebalance logic. *)
+
+open Dht_core
+module Store = Dht_kv.Store
+module Local_store = Dht_kv.Local_store
+module Global_store = Dht_kv.Global_store
+module Rng = Dht_prng.Rng
+
+let check = Alcotest.check
+let vid i = Vnode_id.make ~snode:i ~vnode:0
+
+let fresh_local ?(pmin = 8) ?(vmin = 4) ?(seed = 21) () =
+  Local_store.create ~pmin ~vmin ~rng:(Rng.of_int seed) ~first:(vid 0) ()
+
+let test_put_get_roundtrip () =
+  let s = fresh_local () in
+  Local_store.put s ~key:"alpha" ~value:"1";
+  Local_store.put s ~key:"beta" ~value:"2";
+  check Alcotest.(option string) "alpha" (Some "1") (Local_store.get s ~key:"alpha");
+  check Alcotest.(option string) "beta" (Some "2") (Local_store.get s ~key:"beta");
+  check Alcotest.(option string) "missing" None (Local_store.get s ~key:"gamma")
+
+let test_overwrite_and_size () =
+  let s = fresh_local () in
+  let kv = Local_store.store s in
+  Local_store.put s ~key:"k" ~value:"v1";
+  Local_store.put s ~key:"k" ~value:"v2";
+  check Alcotest.int "size counts keys once" 1 (Store.size kv);
+  check Alcotest.(option string) "overwritten" (Some "v2") (Local_store.get s ~key:"k")
+
+let test_remove () =
+  let s = fresh_local () in
+  let kv = Local_store.store s in
+  Local_store.put s ~key:"k" ~value:"v";
+  check Alcotest.bool "removed" true (Local_store.remove s ~key:"k");
+  check Alcotest.bool "already gone" false (Local_store.remove s ~key:"k");
+  check Alcotest.int "size back to 0" 0 (Store.size kv);
+  check Alcotest.bool "mem" false (Store.mem kv ~key:"k")
+
+let test_no_router_fails () =
+  let kv = Store.create () in
+  Alcotest.check_raises "no router" (Failure "Kv.Store: no router installed")
+    (fun () -> Store.put kv ~key:"k" ~value:"v")
+
+let test_survives_rebalancing () =
+  (* The core data-plane property: grow the DHT aggressively after loading
+     data; every key remains reachable and correct. *)
+  let s = fresh_local () in
+  let n = 5000 in
+  for i = 0 to n - 1 do
+    Local_store.put s ~key:(Printf.sprintf "key-%d" i) ~value:(string_of_int i)
+  done;
+  for i = 1 to 63 do
+    ignore (Local_store.add_vnode s ~id:(vid i))
+  done;
+  let kv = Local_store.store s in
+  check Alcotest.int "size unchanged" n (Store.size kv);
+  check Alcotest.bool "some keys migrated" true (Store.migrations kv > 0);
+  for i = 0 to n - 1 do
+    match Local_store.get s ~key:(Printf.sprintf "key-%d" i) with
+    | Some v when v = string_of_int i -> ()
+    | Some v -> Alcotest.failf "key-%d corrupted: %s" i v
+    | None -> Alcotest.failf "key-%d lost" i
+  done
+
+let test_global_store_survives_rebalancing () =
+  let s = Global_store.create ~pmin:8 ~first:(vid 0) () in
+  for i = 0 to 999 do
+    Global_store.put s ~key:(Printf.sprintf "g-%d" i) ~value:(string_of_int i)
+  done;
+  for i = 1 to 31 do
+    ignore (Global_store.add_vnode s ~id:(vid i))
+  done;
+  let lost = ref 0 in
+  for i = 0 to 999 do
+    if Global_store.get s ~key:(Printf.sprintf "g-%d" i) <> Some (string_of_int i)
+    then incr lost
+  done;
+  check Alcotest.int "no key lost" 0 !lost
+
+let test_load_tracks_quota () =
+  let s = fresh_local ~seed:33 () in
+  for i = 1 to 31 do
+    ignore (Local_store.add_vnode s ~id:(vid i))
+  done;
+  let rng = Rng.of_int 55 in
+  for _ = 1 to 20_000 do
+    Local_store.put s ~key:(Dht_workload.Keygen.uniform rng) ~value:"x"
+  done;
+  let kv = Local_store.store s in
+  let dht = Local_store.dht s in
+  let vnodes = Local_dht.vnodes dht in
+  let counts = Store.load_counts kv ~vnodes in
+  check Alcotest.int "counts sum to size" (Store.size kv)
+    (Array.fold_left ( + ) 0 counts);
+  (* Every vnode holds roughly quota * keys. *)
+  let space = (Local_dht.params dht).Params.space in
+  Array.iteri
+    (fun i v ->
+      let expected = Vnode.quota space v *. float_of_int (Store.size kv) in
+      let got = float_of_int counts.(i) in
+      check Alcotest.bool
+        (Printf.sprintf "vnode %d: %.0f keys vs %.0f expected" i got expected)
+        true
+        (abs_float (got -. expected) < (5. *. sqrt expected) +. 10.))
+    vnodes
+
+let test_load_sigma () =
+  let s = fresh_local () in
+  let kv = Local_store.store s in
+  let dht = Local_store.dht s in
+  check (Alcotest.float 0.) "empty store" 0.
+    (Store.load_sigma kv ~vnodes:(Local_dht.vnodes dht));
+  for i = 1 to 15 do
+    ignore (Local_store.add_vnode s ~id:(vid i))
+  done;
+  let rng = Rng.of_int 77 in
+  for _ = 1 to 10_000 do
+    Local_store.put s ~key:(Dht_workload.Keygen.uniform rng) ~value:"x"
+  done;
+  let sigma = Store.load_sigma kv ~vnodes:(Local_dht.vnodes dht) in
+  (* Data imbalance is quota imbalance plus multinomial sampling noise, so
+     it must land near (and above a fraction of) the quota sigma. *)
+  let quota_sigma = Local_dht.sigma_qv dht in
+  check Alcotest.bool
+    (Printf.sprintf "load sigma %.2f tracks quota sigma %.2f" sigma quota_sigma)
+    true
+    (sigma > quota_sigma /. 2. && sigma < quota_sigma +. 15.)
+
+let test_load_of_unknown_vnode () =
+  let s = fresh_local () in
+  let kv = Local_store.store s in
+  check Alcotest.int "vnode with no table" 0
+    (Store.load_of kv (Vnode_id.make ~snode:9 ~vnode:9))
+
+let suite =
+  [
+    Alcotest.test_case "put/get roundtrip" `Quick test_put_get_roundtrip;
+    Alcotest.test_case "overwrite and size" `Quick test_overwrite_and_size;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "no router fails" `Quick test_no_router_fails;
+    Alcotest.test_case "local store survives rebalancing" `Quick
+      test_survives_rebalancing;
+    Alcotest.test_case "global store survives rebalancing" `Quick
+      test_global_store_survives_rebalancing;
+    Alcotest.test_case "key load tracks quota" `Quick test_load_tracks_quota;
+    Alcotest.test_case "load sigma" `Quick test_load_sigma;
+    Alcotest.test_case "load of unknown vnode" `Quick test_load_of_unknown_vnode;
+  ]

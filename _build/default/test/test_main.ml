@@ -1,0 +1,28 @@
+(* Aggregates every suite into one alcotest binary (`dune runtest`). *)
+
+let () =
+  Alcotest.run "balanced_dht"
+    [
+      ("prng", Test_prng.suite);
+      ("stats", Test_stats.suite);
+      ("hashspace", Test_hashspace.suite);
+      ("hashes", Test_hashes.suite);
+      ("ids", Test_ids.suite);
+      ("balancer", Test_balancer.suite);
+      ("global-dht", Test_global.suite);
+      ("local-dht", Test_local.suite);
+      ("metrics", Test_metrics.suite);
+      ("consistent-hashing", Test_ch.suite);
+      ("cluster", Test_cluster.suite);
+      ("event-sim", Test_event_sim.suite);
+      ("protocol", Test_protocol.suite);
+      ("kv", Test_kv.suite);
+      ("removal", Test_removal.suite);
+      ("access-balancer", Test_access_balancer.suite);
+      ("workload", Test_workload.suite);
+      ("experiments", Test_experiments.suite);
+      ("report", Test_report.suite);
+      ("snode-runtime", Test_runtime.suite);
+      ("snapshot", Test_snapshot.suite);
+      ("registry", Test_registry.suite);
+    ]

@@ -1,0 +1,554 @@
+(* Tests for Dht_snode: the pure planner and the distributed runtime. *)
+
+open Dht_core
+module Plan = Dht_snode.Plan
+module Runtime = Dht_snode.Runtime
+module Rng = Dht_prng.Rng
+
+let check = Alcotest.check
+let vid i = Vnode_id.make ~snode:i ~vnode:0
+
+(* --- Plan --- *)
+
+let test_plan_bootstrap_growth () =
+  (* One vnode at pmin: the plan must split-all and hand half over. *)
+  let p = Plan.creation ~pmin:8 ~counts:[ (vid 0, 8) ] ~newcomer:(vid 1) in
+  check Alcotest.bool "split" true p.Plan.split_all;
+  check Alcotest.int "newcomer gets half" 8 p.Plan.newcomer_count;
+  check Alcotest.(list (pair bool int)) "final counts"
+    [ (true, 8); (true, 8) ]
+    (List.map (fun (_, c) -> (true, c)) p.Plan.final_counts)
+
+let test_plan_no_split_when_uneven () =
+  let counts = [ (vid 0, 11); (vid 1, 11); (vid 2, 10) ] in
+  let p = Plan.creation ~pmin:8 ~counts ~newcomer:(vid 3) in
+  check Alcotest.bool "no split" false p.Plan.split_all;
+  check Alcotest.int "total conserved" 32
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 p.Plan.final_counts);
+  (* Greedy equalizes: final spread <= 1. *)
+  let cs = List.map snd p.Plan.final_counts in
+  let mn = List.fold_left min max_int cs and mx = List.fold_left max 0 cs in
+  check Alcotest.bool "spread" true (mx - mn <= 1)
+
+let test_plan_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Plan.creation: empty LPDR")
+    (fun () -> ignore (Plan.creation ~pmin:8 ~counts:[] ~newcomer:(vid 0)));
+  Alcotest.check_raises "newcomer present"
+    (Invalid_argument "Plan.creation: newcomer already in LPDR") (fun () ->
+      ignore (Plan.creation ~pmin:8 ~counts:[ (vid 0, 8) ] ~newcomer:(vid 0)));
+  Alcotest.check_raises "count out of bounds"
+    (Invalid_argument "Plan.creation: count outside [Pmin, Pmax]") (fun () ->
+      ignore (Plan.creation ~pmin:8 ~counts:[ (vid 0, 20) ] ~newcomer:(vid 1)))
+
+let prop_plan_matches_live_balancer =
+  (* Growing a group vnode-by-vnode: the pure planner's final count
+     multiset must equal the live Balancer's at every step. *)
+  QCheck.Test.make ~name:"plan = live balancer (count multisets)" ~count:50
+    QCheck.(pair (int_range 1 60) (int_range 0 2))
+    (fun (n, pmin_exp) ->
+      let pmin = 8 lsl pmin_exp in
+      let sp = Dht_hashspace.Space.create ~bits:40 in
+      let params = Params.global ~space:sp ~pmin () in
+      let v0 = Vnode.make ~id:(vid 0) ~group:Group_id.root in
+      let b =
+        Balancer.bootstrap ~params ~group:Group_id.root ~vnode:v0
+          ~notify:(fun _ -> ())
+      in
+      let ok = ref true in
+      for i = 1 to n do
+        let counts =
+          Array.to_list
+            (Array.map (fun v -> (v.Vnode.id, v.Vnode.count)) (Balancer.vnodes b))
+        in
+        let plan = Plan.creation ~pmin ~counts ~newcomer:(vid i) in
+        Balancer.add_vnode b (Vnode.make ~id:(vid i) ~group:Group_id.root);
+        let live =
+          Balancer.counts b |> Array.to_list |> List.sort compare
+        in
+        let planned = List.map snd plan.Plan.final_counts |> List.sort compare in
+        if live <> planned then ok := false
+      done;
+      !ok)
+
+(* --- Runtime --- *)
+
+let audit_ok rt label =
+  match Runtime.audit rt with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "%s:\n%s" label (String.concat "\n" es)
+
+let test_runtime_bootstrap () =
+  let rt = Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~snodes:4 ~seed:1 () in
+  audit_ok rt "bootstrap";
+  check Alcotest.int "one vnode" 1 (Runtime.vnode_count rt);
+  check (Alcotest.float 0.) "balanced" 0. (Runtime.sigma_qv rt)
+
+let test_runtime_sequential_growth () =
+  let rt = Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~snodes:8 ~seed:2 () in
+  for i = 1 to 40 do
+    Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8)) ();
+    Runtime.run rt;
+    check Alcotest.int
+      (Printf.sprintf "creation %d completed" i)
+      i (Runtime.completed_creations rt);
+    audit_ok rt (Printf.sprintf "after creation %d" i)
+  done;
+  check Alcotest.int "no pending" 0 (Runtime.pending_operations rt);
+  check Alcotest.bool "sigma reasonable" true (Runtime.sigma_qv rt < 40.)
+
+let test_runtime_concurrent_burst () =
+  (* All creation requests in flight at once: group locks, stale caches and
+     retries must still converge to a clean global state. *)
+  let rt = Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~snodes:16 ~seed:3 () in
+  for i = 1 to 80 do
+    Runtime.create_vnode rt
+      ~id:(Vnode_id.make ~snode:(i mod 16) ~vnode:(i / 16))
+      ()
+  done;
+  Runtime.run rt;
+  check Alcotest.int "all completed" 80 (Runtime.completed_creations rt);
+  check Alcotest.int "none pending" 0 (Runtime.pending_operations rt);
+  audit_ok rt "after burst"
+
+let test_runtime_data_plane () =
+  let rt = Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~snodes:8 ~seed:4 () in
+  for i = 1 to 15 do
+    Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8)) ()
+  done;
+  Runtime.run rt;
+  for i = 0 to 199 do
+    Runtime.put rt ~via:(i mod 8)
+      ~key:(Printf.sprintf "key%d" i)
+      ~value:(string_of_int i) ()
+  done;
+  Runtime.run rt;
+  check Alcotest.int "puts done" 200 (Runtime.completed_puts rt);
+  let wrong = ref 0 in
+  for i = 0 to 199 do
+    Runtime.get rt ~via:((i + 3) mod 8)
+      ~key:(Printf.sprintf "key%d" i)
+      (fun v -> if v <> Some (string_of_int i) then incr wrong)
+  done;
+  Runtime.run rt;
+  check Alcotest.int "gets done" 200 (Runtime.completed_gets rt);
+  check Alcotest.int "all values correct" 0 !wrong;
+  audit_ok rt "after data ops"
+
+let test_runtime_ops_during_growth () =
+  (* Reads and writes issued while balancing events are in flight must all
+     complete correctly (migration + stale-cache forwarding + backoff). *)
+  let rt = Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~snodes:8 ~seed:5 () in
+  for i = 0 to 299 do
+    Runtime.put rt ~via:(i mod 8)
+      ~key:(Printf.sprintf "k%d" i)
+      ~value:(string_of_int i) ()
+  done;
+  Runtime.run rt;
+  let wrong = ref 0 in
+  for i = 1 to 30 do
+    Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8)) ();
+    (* Interleave reads with the creation traffic. *)
+    for j = 0 to 9 do
+      let k = ((i * 10) + j) mod 300 in
+      Runtime.get rt ~via:(j mod 8)
+        ~key:(Printf.sprintf "k%d" k)
+        (fun v -> if v <> Some (string_of_int k) then incr wrong)
+    done
+  done;
+  Runtime.run rt;
+  check Alcotest.int "creations done" 30 (Runtime.completed_creations rt);
+  check Alcotest.int "gets done" 300 (Runtime.completed_gets rt);
+  check Alcotest.int "no wrong read" 0 !wrong;
+  check Alcotest.int "nothing pending" 0 (Runtime.pending_operations rt);
+  audit_ok rt "after growth under load"
+
+let test_runtime_sigma_tracks_oracle_band () =
+  (* The distributed runtime must land in the same balance band as the
+     centralized oracle at the same scale (it is the same algorithm). *)
+  let rt = Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 8 }) ~snodes:16 ~seed:6 () in
+  for i = 1 to 255 do
+    Runtime.create_vnode rt
+      ~id:(Vnode_id.make ~snode:(i mod 16) ~vnode:(i / 16))
+      ()
+  done;
+  Runtime.run rt;
+  audit_ok rt "256 vnodes";
+  let sigma = Runtime.sigma_qv rt in
+  check Alcotest.bool
+    (Printf.sprintf "sigma %.2f in the (8,8)-configuration band" sigma)
+    true
+    (sigma > 5. && sigma < 45.)
+
+let test_runtime_messages_counted () =
+  let rt = Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~snodes:4 ~seed:7 () in
+  Runtime.create_vnode rt ~id:(vid 1) ();
+  Runtime.run rt;
+  let msgs = Dht_event_sim.Network.messages (Runtime.network rt) in
+  check Alcotest.bool (Printf.sprintf "%d messages flowed" msgs) true (msgs > 0)
+
+let test_runtime_validation () =
+  Alcotest.check_raises "no snodes"
+    (Invalid_argument "Runtime.create: need at least one snode") (fun () ->
+      ignore (Runtime.create ~snodes:0 ~seed:1 ()));
+  let rt = Runtime.create ~snodes:2 ~seed:1 () in
+  Alcotest.check_raises "initiator range"
+    (Invalid_argument "Runtime.create_vnode: initiator out of range") (fun () ->
+      Runtime.create_vnode rt ~initiator:5 ~id:(vid 1) ())
+
+let test_runtime_deterministic () =
+  let final seed =
+    let rt = Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~snodes:8 ~seed () in
+    for i = 1 to 50 do
+      Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8)) ()
+    done;
+    Runtime.run rt;
+    (Runtime.sigma_qv rt, Dht_event_sim.Network.messages (Runtime.network rt))
+  in
+  check
+    (Alcotest.pair (Alcotest.float 0.) Alcotest.int)
+    "same seed, same simulation" (final 11) (final 11)
+
+(* --- Wire --- *)
+
+let test_wire_sizes () =
+  let module Wire = Dht_snode.Wire in
+  (* Sizes grow with payload and every constructor has a describe tag. *)
+  let small =
+    Wire.Transfer { event = 1; to_vnode = vid 1; spans = []; data = [] }
+  in
+  let big =
+    Wire.Transfer
+      {
+        event = 1;
+        to_vnode = vid 1;
+        spans = [];
+        data = [ ("key", String.make 100 'x') ];
+      }
+  in
+  check Alcotest.bool "payload counted" true
+    (Wire.size_bytes big > Wire.size_bytes small + 100);
+  check Alcotest.string "describe" "transfer" (Wire.describe small);
+  check Alcotest.string "remove tag" "remove-request"
+    (Wire.describe (Wire.Remove_request { leaving = vid 1; origin = 0; token = 0 }));
+  List.iter
+    (fun m -> check Alcotest.bool "positive size" true (Wire.size_bytes m > 0))
+    [
+      Wire.Routed
+        { point = 0; hops = 0; retries = 0; origin = 0;
+          op = Wire.Op_get { key = "k"; token = 0 } };
+      Wire.All_received { event = 0 };
+      Wire.Commit { event = 0; moved = [] };
+      Wire.Remove_done { token = 0; ok = true };
+    ]
+
+(* --- Removal planner --- *)
+
+let test_plan_removal_basic () =
+  let counts = [ (vid 0, 12); (vid 1, 10); (vid 2, 10) ] in
+  match Plan.removal ~pmin:8 ~counts ~leaving:(vid 0) with
+  | Error _ -> Alcotest.fail "refused"
+  | Ok r ->
+      check Alcotest.int "total conserved" 32
+        (List.fold_left (fun acc (_, c) -> acc + c) 0 r.Plan.removal_counts);
+      check Alcotest.int "two survivors" 2 (List.length r.Plan.removal_counts);
+      let cs = List.map snd r.Plan.removal_counts in
+      check Alcotest.bool "spread <= 1" true
+        (List.fold_left max 0 cs - List.fold_left min max_int cs <= 1);
+      check Alcotest.int "all 12 partitions moved" 12
+        (List.fold_left
+           (fun acc m ->
+             if Vnode_id.equal m.Plan.src (vid 0) then acc + m.Plan.n else acc)
+           0 r.Plan.moves)
+
+let test_plan_removal_errors () =
+  (match Plan.removal ~pmin:8 ~counts:[ (vid 0, 8) ] ~leaving:(vid 0) with
+  | Error `Last_vnode -> ()
+  | _ -> Alcotest.fail "last vnode not detected");
+  (match
+     Plan.removal ~pmin:8 ~counts:[ (vid 0, 16); (vid 1, 16) ] ~leaving:(vid 0)
+   with
+  | Error `Insufficient_capacity -> ()
+  | _ -> Alcotest.fail "capacity not checked");
+  Alcotest.check_raises "absent vnode"
+    (Invalid_argument "Plan.removal: leaving vnode not in LPDR") (fun () ->
+      ignore (Plan.removal ~pmin:8 ~counts:[ (vid 0, 8) ] ~leaving:(vid 9)))
+
+let prop_plan_removal_matches_live =
+  QCheck.Test.make ~name:"removal plan = live balancer (count multisets)"
+    ~count:40
+    QCheck.(pair (int_range 3 50) small_int)
+    (fun (n, pick) ->
+      let pmin = 8 in
+      let sp = Dht_hashspace.Space.create ~bits:40 in
+      let params = Params.global ~space:sp ~pmin () in
+      let v0 = Vnode.make ~id:(vid 0) ~group:Group_id.root in
+      let b =
+        Balancer.bootstrap ~params ~group:Group_id.root ~vnode:v0
+          ~notify:(fun _ -> ())
+      in
+      let all = ref [ v0 ] in
+      for i = 1 to n - 1 do
+        let v = Vnode.make ~id:(vid i) ~group:Group_id.root in
+        Balancer.add_vnode b v;
+        all := v :: !all
+      done;
+      let victim = List.nth !all (pick mod n) in
+      let counts =
+        Array.to_list
+          (Array.map (fun v -> (v.Vnode.id, v.Vnode.count)) (Balancer.vnodes b))
+      in
+      match
+        ( Plan.removal ~pmin ~counts ~leaving:victim.Vnode.id,
+          Balancer.remove_vnode b victim )
+      with
+      | Ok plan, Ok () ->
+          let live = Balancer.counts b |> Array.to_list |> List.sort compare in
+          let planned =
+            List.map snd plan.Plan.removal_counts |> List.sort compare
+          in
+          live = planned
+      | Error _, Error _ -> true
+      | _ -> QCheck.Test.fail_reportf "plan and live balancer disagree")
+
+(* --- Distributed removal --- *)
+
+let test_runtime_remove_vnode () =
+  (* vmin = 32 keeps a single group for 32 vnodes, where the sole-group
+     exception admits any departure. *)
+  let rt = Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 32 }) ~snodes:8 ~seed:31 () in
+  for i = 1 to 31 do
+    Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8)) ()
+  done;
+  Runtime.run rt;
+  (* Store data so migration-on-departure is exercised. *)
+  for i = 0 to 499 do
+    Runtime.put rt ~via:(i mod 8) ~key:(Printf.sprintf "r%d" i)
+      ~value:(string_of_int i) ()
+  done;
+  Runtime.run rt;
+  let outcome = ref None in
+  Runtime.remove_vnode rt ~id:(Vnode_id.make ~snode:5 ~vnode:2) (fun ok ->
+      outcome := Some ok);
+  Runtime.run rt;
+  check (Alcotest.option Alcotest.bool) "departure accepted" (Some true) !outcome;
+  audit_ok rt "after departure";
+  (* All keys survive the departure. *)
+  let wrong = ref 0 in
+  for i = 0 to 499 do
+    Runtime.get rt ~via:(i mod 8) ~key:(Printf.sprintf "r%d" i) (fun v ->
+        if v <> Some (string_of_int i) then incr wrong)
+  done;
+  Runtime.run rt;
+  check Alcotest.int "no key lost" 0 !wrong
+
+let test_runtime_remove_refusals () =
+  let rt = Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~snodes:4 ~seed:32 () in
+  (* Unknown vnode. *)
+  let unknown = ref None in
+  Runtime.remove_vnode rt ~id:(Vnode_id.make ~snode:2 ~vnode:9) (fun ok ->
+      unknown := Some ok);
+  Runtime.run rt;
+  check (Alcotest.option Alcotest.bool) "unknown refused" (Some false) !unknown;
+  (* Last vnode of the DHT. *)
+  let last = ref None in
+  Runtime.remove_vnode rt ~id:(vid 0) (fun ok -> last := Some ok);
+  Runtime.run rt;
+  check (Alcotest.option Alcotest.bool) "last vnode refused" (Some false) !last;
+  audit_ok rt "after refusals"
+
+let test_runtime_churn_mixed () =
+  (* Concurrent joins and leaves through the message protocol. *)
+  let rt = Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~snodes:8 ~seed:33 () in
+  for i = 1 to 47 do
+    Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8)) ()
+  done;
+  Runtime.run rt;
+  let accepted = ref 0 and refused = ref 0 in
+  for i = 48 to 63 do
+    Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8)) ();
+    Runtime.remove_vnode rt ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:((i - 40) / 8))
+      (fun ok -> incr (if ok then accepted else refused))
+  done;
+  Runtime.run rt;
+  check Alcotest.int "all removals resolved" 16 (!accepted + !refused);
+  check Alcotest.int "all creations done" 63 (Runtime.completed_creations rt);
+  check Alcotest.int "nothing pending" 0 (Runtime.pending_operations rt);
+  audit_ok rt "after mixed churn"
+
+(* --- Global approach over the same runtime --- *)
+
+let test_runtime_global_growth () =
+  let rt = Runtime.create ~pmin:8 ~approach:Runtime.Global ~snodes:8 ~seed:21 () in
+  for i = 1 to 63 do
+    Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8)) ()
+  done;
+  Runtime.run rt;
+  check Alcotest.int "all completed" 63 (Runtime.completed_creations rt);
+  audit_ok rt "global growth";
+  (* 64 vnodes under the global approach is a power-of-two population:
+     perfect balance, distributed. *)
+  check (Alcotest.float 1e-9) "sigma 0 at power of two" 0. (Runtime.sigma_qv rt)
+
+let test_runtime_global_vs_local_traffic () =
+  (* The global approach synchronizes every vnode-hosting snode on every
+     creation; the local approach only a group's snodes. Same workload,
+     functional runtimes: global must cost more messages. *)
+  let grow approach =
+    let rt = Runtime.create ~pmin:8 ~approach ~snodes:16 ~seed:22 () in
+    for i = 1 to 96 do
+      Runtime.create_vnode rt
+        ~id:(Vnode_id.make ~snode:(i mod 16) ~vnode:(i / 16))
+        ()
+    done;
+    Runtime.run rt;
+    audit_ok rt "traffic comparison";
+    ( Dht_event_sim.Network.messages (Runtime.network rt),
+      Dht_event_sim.Engine.now (Runtime.engine rt) )
+  in
+  let gmsgs, gspan = grow Runtime.Global in
+  let lmsgs, lspan = grow (Runtime.Local { vmin = 8 }) in
+  check Alcotest.bool
+    (Printf.sprintf "messages: global %d > local %d" gmsgs lmsgs)
+    true (gmsgs > lmsgs);
+  check Alcotest.bool
+    (Printf.sprintf "makespan: global %.4f >= local %.4f" gspan lspan)
+    true (gspan >= lspan)
+
+let test_runtime_global_matches_oracle_exactly () =
+  (* Under the global approach victim choice is irrelevant (single domain)
+     and the balance depends only on the count multiset, which the pure
+     planner reproduces deterministically: the distributed sigma must equal
+     the centralized oracle's to the last bit, at every size. *)
+  let rt = Runtime.create ~pmin:8 ~approach:Runtime.Global ~snodes:8 ~seed:24 () in
+  let oracle = Dht_core.Global_dht.create ~pmin:8 ~first:(vid 0) () in
+  for i = 1 to 50 do
+    Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8)) ();
+    Runtime.run rt;
+    ignore
+      (Dht_core.Global_dht.add_vnode oracle
+         ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8)));
+    check
+      (Alcotest.float 1e-9)
+      (Printf.sprintf "sigma equal at V=%d" (i + 1))
+      (Dht_core.Global_dht.sigma_qv oracle)
+      (Runtime.sigma_qv rt)
+  done
+
+let test_runtime_global_data_plane () =
+  let rt = Runtime.create ~pmin:8 ~approach:Runtime.Global ~snodes:4 ~seed:23 () in
+  for i = 0 to 99 do
+    Runtime.put rt ~via:(i mod 4) ~key:(Printf.sprintf "g%d" i)
+      ~value:(string_of_int i) ()
+  done;
+  Runtime.run rt;
+  for i = 1 to 20 do
+    Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 4) ~vnode:(i / 4)) ()
+  done;
+  Runtime.run rt;
+  let wrong = ref 0 in
+  for i = 0 to 99 do
+    Runtime.get rt ~via:((i + 1) mod 4) ~key:(Printf.sprintf "g%d" i)
+      (fun v -> if v <> Some (string_of_int i) then incr wrong)
+  done;
+  Runtime.run rt;
+  check Alcotest.int "no wrong reads" 0 !wrong;
+  audit_ok rt "global data plane"
+
+let prop_random_interleavings =
+  (* Fuzz the runtime: a random interleaving of creations, puts and gets
+     fired without ever draining the engine in between. Everything must
+     complete, reads must be consistent with a model map, and the final
+     distributed state must audit clean. *)
+  QCheck.Test.make ~name:"runtime survives random op interleavings" ~count:15
+    QCheck.(pair small_int (int_range 20 120))
+    (fun (seed, ops) ->
+      let rng = Rng.of_int (seed + 1000) in
+      let snodes = 2 + Rng.int rng 14 in
+      let rt = Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~snodes ~seed () in
+      let model = Hashtbl.create 64 in
+      let next_vnode = ref 1 in
+      let creations = ref 0 and puts = ref 0 and gets = ref 0 in
+      let wrong = ref 0 in
+      for op = 1 to ops do
+        match Rng.int rng 3 with
+        | 0 ->
+            let i = !next_vnode in
+            incr next_vnode;
+            incr creations;
+            Runtime.create_vnode rt
+              ~id:(Vnode_id.make ~snode:(i mod snodes) ~vnode:(i / snodes))
+              ()
+        | 1 ->
+            (* Unique key per write: concurrent same-key writes from
+               different snodes have no global order (see Runtime.put). *)
+            let key = Printf.sprintf "k%d" op in
+            let value = string_of_int (Rng.int rng 1000) in
+            Hashtbl.replace model key value;
+            incr puts;
+            Runtime.put rt ~via:(Rng.int rng snodes) ~key ~value ()
+        | _ ->
+            (* Read a key we have not touched recently: expect the model's
+               value only when no put for it is still in flight, so just
+               check gets complete and known-absent keys read as None. *)
+            let key = Printf.sprintf "absent%d" (Rng.int rng 50) in
+            incr gets;
+            Runtime.get rt ~via:(Rng.int rng snodes) ~key (fun v ->
+                if v <> None then incr wrong)
+      done;
+      Runtime.run rt;
+      (* Quiescent: now every model binding must read back exactly. *)
+      Hashtbl.iter
+        (fun key value ->
+          Runtime.get rt ~via:(Rng.int rng snodes) ~key (fun v ->
+              if v <> Some value then incr wrong))
+        model;
+      Runtime.run rt;
+      if Runtime.pending_operations rt <> 0 then
+        QCheck.Test.fail_reportf "pending ops left";
+      if Runtime.completed_creations rt <> !creations then
+        QCheck.Test.fail_reportf "creations lost";
+      if !wrong > 0 then QCheck.Test.fail_reportf "%d wrong reads" !wrong;
+      match Runtime.audit rt with
+      | Ok () -> true
+      | Error es -> QCheck.Test.fail_reportf "%s" (String.concat "\n" es))
+
+let suite =
+  [
+    Alcotest.test_case "plan: bootstrap growth" `Quick test_plan_bootstrap_growth;
+    Alcotest.test_case "plan: uneven counts" `Quick test_plan_no_split_when_uneven;
+    Alcotest.test_case "plan: validation" `Quick test_plan_validation;
+    QCheck_alcotest.to_alcotest prop_plan_matches_live_balancer;
+    Alcotest.test_case "runtime: bootstrap" `Quick test_runtime_bootstrap;
+    Alcotest.test_case "runtime: sequential growth audits" `Quick
+      test_runtime_sequential_growth;
+    Alcotest.test_case "runtime: concurrent burst" `Quick
+      test_runtime_concurrent_burst;
+    Alcotest.test_case "runtime: data plane" `Quick test_runtime_data_plane;
+    Alcotest.test_case "runtime: reads during growth" `Quick
+      test_runtime_ops_during_growth;
+    Alcotest.test_case "runtime: sigma in oracle band" `Quick
+      test_runtime_sigma_tracks_oracle_band;
+    Alcotest.test_case "runtime: traffic counted" `Quick
+      test_runtime_messages_counted;
+    Alcotest.test_case "runtime: validation" `Quick test_runtime_validation;
+    Alcotest.test_case "runtime: deterministic" `Quick test_runtime_deterministic;
+    Alcotest.test_case "wire sizes and tags" `Quick test_wire_sizes;
+    Alcotest.test_case "plan: removal basic" `Quick test_plan_removal_basic;
+    Alcotest.test_case "plan: removal errors" `Quick test_plan_removal_errors;
+    QCheck_alcotest.to_alcotest prop_plan_removal_matches_live;
+    Alcotest.test_case "runtime: vnode departure" `Quick
+      test_runtime_remove_vnode;
+    Alcotest.test_case "runtime: departure refusals" `Quick
+      test_runtime_remove_refusals;
+    Alcotest.test_case "runtime: mixed join/leave churn" `Quick
+      test_runtime_churn_mixed;
+    Alcotest.test_case "runtime: global approach growth" `Quick
+      test_runtime_global_growth;
+    Alcotest.test_case "runtime: global vs local traffic" `Quick
+      test_runtime_global_vs_local_traffic;
+    Alcotest.test_case "runtime: global data plane" `Quick
+      test_runtime_global_data_plane;
+    Alcotest.test_case "runtime: global = oracle exactly" `Quick
+      test_runtime_global_matches_oracle_exactly;
+    QCheck_alcotest.to_alcotest prop_random_interleavings;
+  ]

@@ -1,0 +1,149 @@
+(* Tests for Dht_core.Snapshot: persistence roundtrips and rejection of
+   corrupted state. *)
+
+open Dht_core
+module Rng = Dht_prng.Rng
+
+let check = Alcotest.check
+let vid i = Vnode_id.make ~snode:i ~vnode:0
+
+let grow_local ?(pmin = 8) ?(vmin = 8) ?(seed = 3) n =
+  let dht = Local_dht.create ~pmin ~vmin ~rng:(Rng.of_int seed) ~first:(vid 0) () in
+  for i = 1 to n - 1 do
+    ignore (Local_dht.add_vnode dht ~id:(vid i))
+  done;
+  dht
+
+let test_local_roundtrip () =
+  let dht = grow_local 200 in
+  let text = Snapshot.save_local dht in
+  match Snapshot.load_local ~rng:(Rng.of_int 99) text with
+  | Error m -> Alcotest.failf "load failed: %s" m
+  | Ok restored ->
+      check Alcotest.int "vnode count" (Local_dht.vnode_count dht)
+        (Local_dht.vnode_count restored);
+      check Alcotest.int "group count" (Local_dht.group_count dht)
+        (Local_dht.group_count restored);
+      check (Alcotest.float 1e-12) "sigma(Qv)" (Local_dht.sigma_qv dht)
+        (Local_dht.sigma_qv restored);
+      check (Alcotest.float 1e-12) "sigma(Qg)" (Local_dht.sigma_qg dht)
+        (Local_dht.sigma_qg restored);
+      (match Audit.check_local restored with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "audit: %s" (String.concat "\n" es));
+      (* Save of the restored DHT is byte-identical (canonical order). *)
+      check Alcotest.string "stable serialization" text
+        (Snapshot.save_local restored)
+
+let test_restored_dht_keeps_working () =
+  let dht = grow_local 100 in
+  let text = Snapshot.save_local dht in
+  match Snapshot.load_local ~rng:(Rng.of_int 5) text with
+  | Error m -> Alcotest.failf "load failed: %s" m
+  | Ok restored ->
+      for i = 100 to 199 do
+        ignore (Local_dht.add_vnode restored ~id:(vid i))
+      done;
+      check Alcotest.int "grew" 200 (Local_dht.vnode_count restored);
+      (match Audit.check_local restored with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "audit after growth: %s" (String.concat "\n" es))
+
+let test_global_roundtrip () =
+  let dht = Global_dht.create ~pmin:16 ~first:(vid 0) () in
+  for i = 1 to 76 do
+    ignore (Global_dht.add_vnode dht ~id:(vid i))
+  done;
+  let text = Snapshot.save_global dht in
+  match Snapshot.load_global text with
+  | Error m -> Alcotest.failf "load failed: %s" m
+  | Ok restored ->
+      check Alcotest.int "vnode count" 77 (Global_dht.vnode_count restored);
+      check (Alcotest.float 1e-12) "sigma" (Global_dht.sigma_qv dht)
+        (Global_dht.sigma_qv restored);
+      check Alcotest.int "level" (Global_dht.level dht) (Global_dht.level restored);
+      (match Audit.check_global restored with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "audit: %s" (String.concat "\n" es))
+
+let test_file_roundtrip () =
+  let dht = grow_local 30 in
+  let path = Filename.temp_file "dht_snapshot" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Snapshot.write_file ~path (Snapshot.save_local dht);
+      match Snapshot.load_local ~rng:(Rng.of_int 1) (Snapshot.read_file ~path) with
+      | Ok restored ->
+          check Alcotest.int "count" 30 (Local_dht.vnode_count restored)
+      | Error m -> Alcotest.failf "file roundtrip: %s" m)
+
+let expect_error label text =
+  match Snapshot.load_local ~rng:(Rng.of_int 1) text with
+  | Ok _ -> Alcotest.failf "%s: corrupted snapshot accepted" label
+  | Error _ -> ()
+
+let test_rejects_garbage () =
+  expect_error "empty" "";
+  expect_error "wrong magic" "not a snapshot\nspace 52\n";
+  expect_error "global header for local" "balanced-dht-snapshot v1 global\n";
+  expect_error "missing end"
+    "balanced-dht-snapshot v1 local\nspace 20\npmin 8\nvmin 8\ngroup 0:0 level 3\nvnode 0.0 3:0\n";
+  expect_error "bad pmin"
+    "balanced-dht-snapshot v1 local\nspace 20\npmin banana\nvmin 8\nend\n"
+
+let test_rejects_inconsistent_state () =
+  (* Structurally well-formed text whose spans do not tile the space. *)
+  expect_error "coverage gap"
+    "balanced-dht-snapshot v1 local\n\
+     space 20\npmin 2\nvmin 2\n\
+     group 0:0 level 1\n\
+     vnode 0.0 1:0 1:0\n\
+     end\n";
+  (* Overlapping spans. *)
+  expect_error "overlap"
+    "balanced-dht-snapshot v1 local\n\
+     space 20\npmin 2\nvmin 2\n\
+     group 0:0 level 1\n\
+     vnode 0.0 1:0 1:1\n\
+     group 1:1 level 1\n\
+     vnode 1.0 1:0 1:1\n\
+     end\n";
+  (* Count outside [Pmin, Pmax]. *)
+  expect_error "count bounds"
+    "balanced-dht-snapshot v1 local\n\
+     space 20\npmin 8\nvmin 2\n\
+     group 0:0 level 1\n\
+     vnode 0.0 1:0 1:1\n\
+     end\n";
+  (* Span at the wrong level for its group. *)
+  expect_error "level mismatch"
+    "balanced-dht-snapshot v1 local\n\
+     space 20\npmin 2\nvmin 2\n\
+     group 0:0 level 1\n\
+     vnode 0.0 1:0 2:2 2:3\n\
+     end\n"
+
+let prop_roundtrip_random_sizes =
+  QCheck.Test.make ~name:"snapshot roundtrip for random DHTs" ~count:20
+    QCheck.(pair small_int (int_range 1 120))
+    (fun (seed, n) ->
+      let dht = grow_local ~seed n in
+      match Snapshot.load_local ~rng:(Rng.of_int 7) (Snapshot.save_local dht) with
+      | Error m -> QCheck.Test.fail_reportf "load: %s" m
+      | Ok restored ->
+          abs_float (Local_dht.sigma_qv dht -. Local_dht.sigma_qv restored) < 1e-12
+          && Local_dht.vnode_count restored = n)
+
+let suite =
+  [
+    Alcotest.test_case "local roundtrip" `Quick test_local_roundtrip;
+    Alcotest.test_case "restored DHT keeps working" `Quick
+      test_restored_dht_keeps_working;
+    Alcotest.test_case "global roundtrip" `Quick test_global_roundtrip;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+    Alcotest.test_case "rejects inconsistent state" `Quick
+      test_rejects_inconsistent_state;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random_sizes;
+  ]
