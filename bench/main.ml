@@ -122,6 +122,24 @@ let bench_snode_runtime =
          done;
          Dht_snode.Runtime.run rt))
 
+let bench_snode_runtime_faulty =
+  Test.make
+    ~name:"ext-chaos: snode runtime, 32 creations, 5% drop + 2% dup"
+    (Staged.stage (fun () ->
+         let faults =
+           Dht_snode.Runtime.Fault.create ~drop:0.05 ~duplicate:0.02
+             ~jitter:1e-4 ~seed:9 ()
+         in
+         let rt =
+           Dht_snode.Runtime.create ~pmin:8 ~approach:(Dht_snode.Runtime.Local { vmin = 4 }) ~faults ~snodes:8 ~seed:9 ()
+         in
+         for i = 1 to 32 do
+           Dht_snode.Runtime.create_vnode rt
+             ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8))
+             ()
+         done;
+         Dht_snode.Runtime.run rt))
+
 let bench_snapshot =
   let dht =
     Local_dht.create ~pmin:32 ~vmin:16 ~rng:(Rng.of_int 10) ~first:(vid 0) ()
@@ -168,6 +186,7 @@ let run_benchmarks () =
         bench_protocol_kernel;
         bench_removal;
         bench_snode_runtime;
+        bench_snode_runtime_faulty;
         bench_snapshot;
         bench_kv_put_get;
       ]

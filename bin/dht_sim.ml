@@ -498,6 +498,85 @@ let distributed_cmd =
        ~doc:"Run the message-level snode runtime and audit its convergence.")
     term
 
+let chaos_cmd =
+  let run snodes vnodes keys drop dup jitter crashes downtime seed =
+    let r =
+      Extensions.chaos ~snodes ~vnodes ~keys ~drop ~dup ~jitter ~crashes
+        ~downtime ~seed ()
+    in
+    Printf.printf
+      "== Chaos: %d vnodes on %d snodes, drop %.1f%%, dup %.1f%%, %d crashes ==\n"
+      vnodes snodes (100. *. drop) (100. *. dup) crashes;
+    let table = Table.create ~headers:[ ""; "faulty"; "faultless" ] in
+    Table.add_row table
+      [ "sigma(Qv) %";
+        Printf.sprintf "%.2f" r.Extensions.chaos_sigma_qv;
+        Printf.sprintf "%.2f" r.Extensions.baseline_sigma_qv ];
+    Table.add_row table
+      [ "messages";
+        string_of_int r.Extensions.chaos_messages;
+        string_of_int r.Extensions.baseline_messages ];
+    Table.add_row table
+      [ "burst makespan s";
+        Printf.sprintf "%.3f" r.Extensions.chaos_makespan;
+        Printf.sprintf "%.3f" r.Extensions.baseline_makespan ];
+    Table.print table;
+    let s = r.Extensions.chaos_stats in
+    Printf.printf
+      "faults injected: %d drops, %d duplicates; recovery: %d timeouts, %d \
+       retransmits, %d crashes, %d recoveries\n"
+      s.Dht_snode.Runtime.drops s.Dht_snode.Runtime.duplicates
+      s.Dht_snode.Runtime.timeouts s.Dht_snode.Runtime.retransmits
+      s.Dht_snode.Runtime.crashes s.Dht_snode.Runtime.recoveries;
+    Printf.printf "keys wrong: %d, operations pending: %d, audit: %s\n"
+      r.Extensions.chaos_keys_wrong r.Extensions.chaos_pending
+      (if r.Extensions.chaos_audit_ok then "ok" else "FAILED");
+    if
+      r.Extensions.chaos_keys_wrong > 0
+      || r.Extensions.chaos_pending > 0
+      || not r.Extensions.chaos_audit_ok
+    then exit 1
+  in
+  let snodes =
+    Arg.(value & opt int 12 & info [ "snodes" ] ~docv:"S"
+           ~doc:"Number of snodes in the simulated cluster.")
+  in
+  let keys =
+    Arg.(value & opt int 600 & info [ "keys" ] ~docv:"K"
+           ~doc:"Number of key/value pairs stored before the burst.")
+  in
+  let drop =
+    Arg.(value & opt float 0.03 & info [ "drop" ] ~docv:"P"
+           ~doc:"Per-message drop probability.")
+  in
+  let dup =
+    Arg.(value & opt float 0.015 & info [ "dup" ] ~docv:"P"
+           ~doc:"Per-message duplication probability.")
+  in
+  let jitter =
+    Arg.(value & opt float 2e-4 & info [ "jitter" ] ~docv:"S"
+           ~doc:"Maximum extra delivery latency (seconds, uniform).")
+  in
+  let crashes =
+    Arg.(value & opt int 2 & info [ "crashes" ] ~docv:"N"
+           ~doc:"Snodes crash-stopped (and restarted) mid-burst.")
+  in
+  let downtime =
+    Arg.(value & opt float 0.05 & info [ "downtime" ] ~docv:"S"
+           ~doc:"Virtual seconds each crashed snode stays down.")
+  in
+  let term =
+    Term.(const run $ snodes $ vnodes_arg 40 $ keys $ drop $ dup $ jitter
+          $ crashes $ downtime $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Fault injection: drops, duplicates, jitter and crash-stops against \
+          the reliable snode runtime; verifies full convergence once faults \
+          cease.")
+    term
+
 let coexist_cmd =
   let run load seed =
     let r = Extensions.coexist ~load ~seed () in
@@ -584,5 +663,5 @@ let () =
             fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd;
             zones_cmd; ratios_cmd; stability_cmd; cost_cmd; parallel_cmd; hetero_cmd;
             kvload_cmd; churn_cmd; ablation_cmd; hotspot_cmd;
-            hetero_compare_cmd; distributed_cmd; coexist_cmd; all_cmd;
+            hetero_compare_cmd; distributed_cmd; chaos_cmd; coexist_cmd; all_cmd;
           ]))

@@ -18,6 +18,22 @@ let schedule t ~delay f =
     invalid_arg "Engine.schedule: negative or non-finite delay";
   at t ~time:(t.clock +. delay) f
 
+(* Cancellable timers: cancellation marks the handle dead; the queue entry
+   stays and fires as a no-op (lazy deletion keeps the heap simple). *)
+type handle = { mutable state : [ `Pending | `Fired | `Cancelled ] }
+
+let schedule_cancellable t ~delay f =
+  let h = { state = `Pending } in
+  schedule t ~delay (fun () ->
+      if h.state = `Pending then begin
+        h.state <- `Fired;
+        f ()
+      end);
+  h
+
+let cancel h = if h.state = `Pending then h.state <- `Cancelled
+let is_pending h = h.state = `Pending
+
 let pending t = Heap.length t.queue
 
 let step t =

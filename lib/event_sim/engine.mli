@@ -20,6 +20,22 @@ val at : t -> time:float -> (unit -> unit) -> unit
 (** [at t ~time f] runs [f] at absolute virtual [time].
     @raise Invalid_argument if [time] is in the past or not finite. *)
 
+type handle
+(** A cancellable timer. *)
+
+val schedule_cancellable : t -> delay:float -> (unit -> unit) -> handle
+(** Like {!schedule}, but the returned handle lets the caller retract the
+    callback. Cancellation is lazy: the queue entry remains and is
+    dispatched as a no-op at its scheduled time (so {!pending} still counts
+    it and {!run} still advances the clock over it). *)
+
+val cancel : handle -> unit
+(** Retract a timer. Cancelling one that already fired (or was already
+    cancelled) is a no-op. *)
+
+val is_pending : handle -> bool
+(** [true] while the timer has neither fired nor been cancelled. *)
+
 val pending : t -> int
 (** Events not yet dispatched. *)
 

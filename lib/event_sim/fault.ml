@@ -1,0 +1,100 @@
+module Rng = Dht_prng.Rng
+
+type t = {
+  rng : Rng.t;
+  mutable drop_p : float;
+  mutable dup_p : float;
+  mutable jitter : float;
+  severed : (int * int, unit) Hashtbl.t;
+  down : (int, unit) Hashtbl.t;
+  crash_plan : (int * float * float) list;
+  mutable drops : int;
+  mutable duplicates : int;
+}
+
+let check_probability name p =
+  if not (Float.is_finite p) || p < 0. || p > 1. then
+    invalid_arg (Printf.sprintf "Fault.%s: probability outside [0, 1]" name)
+
+let check_jitter j =
+  if not (Float.is_finite j) || j < 0. then
+    invalid_arg "Fault.jitter: negative or non-finite"
+
+let create ?(drop = 0.) ?(duplicate = 0.) ?(jitter = 0.) ?(crashes = []) ~seed
+    () =
+  check_probability "drop" drop;
+  check_probability "duplicate" duplicate;
+  check_jitter jitter;
+  List.iter
+    (fun (snode, at, back_at) ->
+      if snode < 0 then invalid_arg "Fault.create: negative snode in crash plan";
+      if not (Float.is_finite at) || not (Float.is_finite back_at) || at < 0.
+         || back_at <= at
+      then invalid_arg "Fault.create: crash plan needs 0 <= at < back_at")
+    crashes;
+  {
+    rng = Rng.of_int seed;
+    drop_p = drop;
+    dup_p = duplicate;
+    jitter;
+    severed = Hashtbl.create 8;
+    down = Hashtbl.create 8;
+    crash_plan = crashes;
+    drops = 0;
+    duplicates = 0;
+  }
+
+let set_drop t p =
+  check_probability "set_drop" p;
+  t.drop_p <- p
+
+let set_duplicate t p =
+  check_probability "set_duplicate" p;
+  t.dup_p <- p
+
+let set_jitter t j =
+  check_jitter j;
+  t.jitter <- j
+
+let crash_plan t = t.crash_plan
+
+(* Links are symmetric: store the endpoint pair normalized. *)
+let key a b = if a <= b then (a, b) else (b, a)
+
+let sever t a b = Hashtbl.replace t.severed (key a b) ()
+let heal t a b = Hashtbl.remove t.severed (key a b)
+let severed t a b = Hashtbl.mem t.severed (key a b)
+
+let set_down t s = Hashtbl.replace t.down s ()
+let set_up t s = Hashtbl.remove t.down s
+let is_down t s = Hashtbl.mem t.down s
+
+let cut t ~src ~dst =
+  if severed t src dst then begin
+    t.drops <- t.drops + 1;
+    true
+  end
+  else if t.drop_p > 0. && Rng.float t.rng < t.drop_p then begin
+    t.drops <- t.drops + 1;
+    true
+  end
+  else false
+
+let duplicate t =
+  if t.dup_p > 0. && Rng.float t.rng < t.dup_p then begin
+    t.duplicates <- t.duplicates + 1;
+    true
+  end
+  else false
+
+let delay_noise t = if t.jitter > 0. then Rng.float t.rng *. t.jitter else 0.
+
+let absorb t ~dst =
+  if is_down t dst then begin
+    t.drops <- t.drops + 1;
+    true
+  end
+  else false
+
+let drops t = t.drops
+let duplicates t = t.duplicates

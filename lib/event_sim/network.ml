@@ -11,14 +11,17 @@ type t = {
   engine : Engine.t;
   link : link;
   loopback : float;
+  faults : Fault.t option;
   mutable messages : int;
   mutable bytes : int;
   mutable locals : int;
 }
 
-let create ?(loopback = 1e-6) engine link =
+let create ?(loopback = 1e-6) ?faults engine link =
   if loopback < 0. then invalid_arg "Network.create: negative loopback";
-  { engine; link; loopback; messages = 0; bytes = 0; locals = 0 }
+  { engine; link; loopback; faults; messages = 0; bytes = 0; locals = 0 }
+
+let faults t = t.faults
 
 let transit_time t ~src ~dst ~bytes =
   if bytes < 0 then invalid_arg "Network.transit_time: negative size";
@@ -27,12 +30,29 @@ let transit_time t ~src ~dst ~bytes =
 
 let send t ~src ~dst ~bytes k =
   let delay = transit_time t ~src ~dst ~bytes in
-  if src = dst then t.locals <- t.locals + 1
+  if src = dst then begin
+    t.locals <- t.locals + 1;
+    Engine.schedule t.engine ~delay k
+  end
   else begin
     t.messages <- t.messages + 1;
-    t.bytes <- t.bytes + bytes
-  end;
-  Engine.schedule t.engine ~delay k
+    t.bytes <- t.bytes + bytes;
+    match t.faults with
+    | None -> Engine.schedule t.engine ~delay k
+    | Some f ->
+        (* Loss at send time (severed link or drop roll); otherwise each
+           delivery — the original and a possible injected duplicate — gets
+           its own jitter, and evaporates if the destination is down when
+           it lands. *)
+        if not (Fault.cut f ~src ~dst) then begin
+          let deliver () =
+            Engine.schedule t.engine ~delay:(delay +. Fault.delay_noise f)
+              (fun () -> if not (Fault.absorb f ~dst) then k ())
+          in
+          deliver ();
+          if Fault.duplicate f then deliver ()
+        end
+  end
 
 let messages t = t.messages
 let bytes_sent t = t.bytes

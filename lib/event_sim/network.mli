@@ -19,18 +19,28 @@ val link : base_latency:float -> byte_time:float -> link
 
 type t
 
-val create : ?loopback:float -> Engine.t -> link -> t
+val create : ?loopback:float -> ?faults:Fault.t -> Engine.t -> link -> t
 (** [create engine link] attaches a network to the simulation engine.
-    [loopback] is the latency of node-local deliveries (default 1 µs). *)
+    [loopback] is the latency of node-local deliveries (default 1 µs).
+    When a {!Fault} plan is given, every remote delivery is subjected to
+    it; without one the network is perfectly reliable, exactly as before. *)
+
+val faults : t -> Fault.t option
+(** The fault plan given at {!create}, if any. *)
 
 val send : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
 (** [send t ~src ~dst ~bytes k] delivers the message after the link delay
     and then runs [k]. Counts one message and [bytes] bytes (loopback
-    deliveries count separately).
+    deliveries count separately). Under a fault plan the message may be
+    dropped (severed link, drop roll, or destination down at delivery
+    time), duplicated, or delayed by jitter; the message/byte counters
+    count the {e send}, whatever its fate — injected faults are counted by
+    the plan itself. Loopback deliveries are never subjected to faults.
     @raise Invalid_argument if [bytes < 0]. *)
 
 val transit_time : t -> src:int -> dst:int -> bytes:int -> float
-(** The delay {!send} would apply, without sending. *)
+(** The nominal delay {!send} would apply (excluding jitter), without
+    sending. *)
 
 val messages : t -> int
 (** Remote messages sent so far. *)

@@ -474,6 +474,96 @@ let distributed ?(snodes = 16) ?(vnodes = 128) ?(keys = 5000) ?(pmin = 32)
       (match Runtime.audit grt with Ok () -> true | Error _ -> false);
   }
 
+type chaos_report = {
+  chaos_vnodes : int;
+  chaos_sigma_qv : float;
+  baseline_sigma_qv : float;
+  chaos_makespan : float;
+  baseline_makespan : float;
+  chaos_messages : int;
+  baseline_messages : int;
+  chaos_keys_wrong : int;
+  chaos_pending : int;
+  chaos_audit_ok : bool;
+  chaos_stats : Dht_snode.Runtime.stats;
+}
+
+let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
+    ?(drop = 0.03) ?(dup = 0.015) ?(jitter = 2e-4) ?(crashes = 2)
+    ?(downtime = 0.05) ~seed () =
+  let module Runtime = Dht_snode.Runtime in
+  let module Fault = Dht_event_sim.Fault in
+  if crashes < 0 then invalid_arg "chaos: crashes < 0";
+  if downtime <= 0. then invalid_arg "chaos: downtime must be positive";
+  let run_workload ?faults () =
+    let rt =
+      Runtime.create ~pmin ~approach:(Runtime.Local { vmin }) ?faults ~snodes
+        ~seed ()
+    in
+    for i = 0 to keys - 1 do
+      Runtime.put rt ~via:(i mod snodes)
+        ~key:(Printf.sprintf "user:%d" i)
+        ~value:(string_of_int i) ()
+    done;
+    Runtime.run rt;
+    let burst_start = Dht_event_sim.Engine.now (Runtime.engine rt) in
+    for i = 1 to vnodes - 1 do
+      Runtime.create_vnode rt
+        ~id:(Vnode_id.make ~snode:(i mod snodes) ~vnode:(i / snodes))
+        ()
+    done;
+    Runtime.run rt;
+    let burst_end = Dht_event_sim.Engine.now (Runtime.engine rt) in
+    (rt, burst_start, burst_end)
+  in
+  (* Dry faultless pass: locates the creation burst in virtual time (to aim
+     the crash windows at it) and gives the no-fault baseline for balance,
+     traffic and makespan. *)
+  let base_rt, base_start, base_end = run_workload () in
+  (* Crash schedule: distinct snodes drawn from 1..snodes-1 (snode 0 stays
+     up so the experiment always has a live bootstrap entry point), spread
+     evenly across the burst, each down for [downtime]. *)
+  let crash_rng = Rng.of_int (seed lxor 0x6b7a) in
+  let sids = Array.init (max 0 (snodes - 1)) (fun i -> i + 1) in
+  Rng.shuffle crash_rng sids;
+  let n_crashes = min crashes (Array.length sids) in
+  let plan =
+    List.init n_crashes (fun i ->
+        let frac = (float_of_int i +. 1.) /. (float_of_int n_crashes +. 1.) in
+        let at = base_start +. (frac *. (base_end -. base_start)) in
+        (sids.(i), at, at +. downtime))
+  in
+  let faults = Fault.create ~drop ~duplicate:dup ~jitter ~crashes:plan ~seed () in
+  let rt, start_, end_ = run_workload ~faults () in
+  (* Faults cease: verify the system converged by re-reading every key and
+     auditing the full distributed state. *)
+  Fault.set_drop faults 0.;
+  Fault.set_duplicate faults 0.;
+  Fault.set_jitter faults 0.;
+  let wrong = ref 0 in
+  for i = 0 to keys - 1 do
+    Runtime.get rt
+      ~via:(i * 7 mod snodes)
+      ~key:(Printf.sprintf "user:%d" i)
+      (fun v -> if v <> Some (string_of_int i) then incr wrong)
+  done;
+  Runtime.run rt;
+  {
+    chaos_vnodes = Runtime.vnode_count rt;
+    chaos_sigma_qv = Runtime.sigma_qv rt;
+    baseline_sigma_qv = Runtime.sigma_qv base_rt;
+    chaos_makespan = end_ -. start_;
+    baseline_makespan = base_end -. base_start;
+    chaos_messages = Dht_event_sim.Network.messages (Runtime.network rt);
+    baseline_messages =
+      Dht_event_sim.Network.messages (Runtime.network base_rt);
+    chaos_keys_wrong = !wrong;
+    chaos_pending = Runtime.pending_operations rt;
+    chaos_audit_ok =
+      (match Runtime.audit rt with Ok () -> true | Error _ -> false);
+    chaos_stats = Runtime.stats rt;
+  }
+
 type coexist_report = {
   dht_names : string list;
   error_before : float list;

@@ -209,6 +209,46 @@ val distributed :
     the same size, and the same creation workload is replayed through the
     global-approach runtime to contrast traffic and makespan. *)
 
+type chaos_report = {
+  chaos_vnodes : int;  (** vnodes created despite the faults *)
+  chaos_sigma_qv : float;  (** σ̄(Qv) (%) after convergence *)
+  baseline_sigma_qv : float;  (** same workload, no faults *)
+  chaos_makespan : float;  (** virtual seconds to absorb the faulty burst *)
+  baseline_makespan : float;
+  chaos_messages : int;  (** includes retransmissions and acks *)
+  baseline_messages : int;
+  chaos_keys_wrong : int;  (** must be 0 *)
+  chaos_pending : int;  (** operations never completed; must be 0 *)
+  chaos_audit_ok : bool;  (** must be true *)
+  chaos_stats : Dht_snode.Runtime.stats;
+}
+
+val chaos :
+  ?snodes:int ->
+  ?vnodes:int ->
+  ?keys:int ->
+  ?pmin:int ->
+  ?vmin:int ->
+  ?drop:float ->
+  ?dup:float ->
+  ?jitter:float ->
+  ?crashes:int ->
+  ?downtime:float ->
+  seed:int ->
+  unit ->
+  chaos_report
+(** Robustness run of the {!Dht_snode.Runtime} message-level system under
+    an adversarial network. [keys] (default 600) are stored, then [vnodes]
+    (default 40) creations fire on [snodes] (default 12) snodes while every
+    remote message risks being dropped ([drop], default 3%), duplicated
+    ([dup], default 1.5%) or delayed (uniform [jitter], default 200 µs),
+    and [crashes] (default 2) snodes crash-stop mid-burst for [downtime]
+    (default 50 ms virtual) each. A dry faultless pass first locates the
+    burst in virtual time (the crash windows are aimed at it) and provides
+    the baseline columns. Faults then cease and every key is re-read and
+    the distributed state audited: with reliable delivery and crash
+    recovery, all operations complete and the audit holds. *)
+
 val hetero_compare :
   ?nodes_generations:(int * float) list ->
   ?total_vnodes:int ->

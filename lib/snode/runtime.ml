@@ -2,17 +2,17 @@ open Dht_core
 open Dht_hashspace
 module Engine = Dht_event_sim.Engine
 module Network = Dht_event_sim.Network
+module Fault = Dht_event_sim.Fault
 module Rng = Dht_prng.Rng
 module Hash = Dht_hashes.Hash
 module Vtbl = Hashtbl.Make (Vnode_id)
 module Gtbl = Hashtbl.Make (Group_id)
 
-(* Forwarding limits: a routed operation bounces through at most [max_hops]
+(* Forwarding limit: a routed operation bounces through at most [max_hops]
    stale caches, then backs off and retries from scratch; convergence is
-   guaranteed once the in-flight balancing event commits. *)
+   guaranteed once the in-flight balancing event commits. The retry budget
+   and backoff delay are per-runtime (see [create]). *)
 let max_hops = 4
-let max_retries = 50
-let backoff = 1e-3
 
 let log_src = Logs.Src.create "dht.snode" ~doc:"Distributed snode runtime"
 
@@ -25,7 +25,13 @@ type vnode_local = {
   data : (string, string) Hashtbl.t;
 }
 
-type lpdr = { mutable level : int; mutable counts : (Vnode_id.t * int) list }
+type lpdr = {
+  mutable level : int;
+  mutable epoch : int;
+      (* bumped once per committed balancing event on the group; all copies
+         move in lockstep, which fences stale Lpdr_push replies *)
+  mutable counts : (Vnode_id.t * int) list;
+}
 
 (* Coordinator-side state of one in-flight balancing event (creation or
    removal). *)
@@ -38,6 +44,7 @@ type event_state = {
   ev_participants : int list;
   mutable ev_waits : int;  (* All_received notifications still expected *)
   mutable ev_committed : bool;
+  mutable ev_watch : Engine.handle option;  (* per-round liveness watchdog *)
 }
 
 (* Newcomer-side expectation of donor batches. *)
@@ -51,11 +58,33 @@ type pending_prepare =
   | P_remove of {
       r_leaving : Vnode_id.t;
       r_group : Group_id.t;
+      r_epoch : int;  (* the group's epoch the event was planned at *)
       r_remaining : (Vnode_id.t * int) list;
     }
 
+(* Reliable-delivery state toward/from one remote snode. The sender side
+   (sequence counter, outbox of unacked messages) and the receiver side
+   (dedup window) live in one record keyed by the peer's sid. All of it is
+   modelled as durable (write-ahead-logged): a crash only kills the
+   retransmission timers, which restart re-arms from the outbox. *)
+type outmsg = {
+  o_payload : Wire.msg;
+  mutable o_attempts : int;
+  mutable o_timer : Engine.handle option;
+}
+
+type peer = {
+  mutable next_seq : int;
+  outbox : (int, outmsg) Hashtbl.t;  (* seq -> unacked message *)
+  mutable floor : int;  (* every seq <= floor from this peer was processed *)
+  seen : (int, unit) Hashtbl.t;  (* processed seqs above the floor *)
+  mutable suspect : bool;  (* route poisoned after repeated timeouts *)
+  mutable strikes : int;  (* consecutive retransmission timeouts *)
+}
+
 type snode = {
   sid : int;
+  mutable alive : bool;
   locals : vnode_local Vtbl.t;
   lpdrs : lpdr Gtbl.t;
   owned : Vnode_id.t Point_map.t;  (* exact local ownership *)
@@ -68,6 +97,16 @@ type snode = {
   (* Transfers that overtook their Prepare (small messages travel faster
      than large ones); drained when the Prepare lands. *)
   stashed : (int, (Vnode_id.t * Span.t list * (string * string) list) list ref) Hashtbl.t;
+  (* Highest LPDR epoch ever applied, per group — never deleted. Commits
+     are delivered reliably but not in order (a retransmitted commit can
+     arrive after a newer one on the same group); LPDR writes are fenced on
+     this high-water mark so a stale commit cannot overwrite fresh state. *)
+  gepochs : int Gtbl.t;
+  peers : (int, peer) Hashtbl.t;
+  (* Self-addressed work (routing backoffs, queued operations) that fired
+     while the snode was down; drained on restart. Durable, like the rest
+     of the protocol state. *)
+  parked : Wire.msg Queue.t;
 }
 
 type callback =
@@ -80,9 +119,17 @@ type approach = Local of { vmin : int } | Global
 type t = {
   engine : Engine.t;
   net : Network.t;
+  faults : Fault.t option;
   space : Space.t;
   pmin : int;
   vmax : int;  (* group capacity; [max_int] under the global approach *)
+  max_retries : int;  (* routing backoff budget *)
+  backoff : float;  (* routing backoff delay, seconds *)
+  rto : float;  (* initial retransmission timeout *)
+  rto_cap : float;  (* retransmission backoff ceiling; also probe cadence *)
+  poison_after : int;  (* consecutive timeouts before a route is poisoned *)
+  event_timeout : float;  (* per-round watchdog for balancing events *)
+  bootstrap : Span.t list * Vnode_id.t;  (* for rebuilding crashed caches *)
   snodes : snode array;
   callbacks : (int, callback) Hashtbl.t;
   mutable next_token : int;
@@ -93,6 +140,10 @@ type t = {
   mutable done_puts : int;
   mutable done_gets : int;
   mutable retried : int;
+  mutable timeouts : int;
+  mutable retransmits : int;
+  mutable crashes : int;
+  mutable recoveries : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -161,6 +212,15 @@ let donate_spans t sn v give =
   List.iter (fun (key, _) -> Hashtbl.remove v.data key) moved_data;
   (taken, moved_data)
 
+(* [true] when [e] is fresher than everything applied for [gid] so far; the
+   high-water mark advances as a side effect. *)
+let epoch_note sn gid e =
+  match Gtbl.find_opt sn.gepochs gid with
+  | Some cur when cur >= e -> false
+  | Some _ | None ->
+      Gtbl.replace sn.gepochs gid e;
+      true
+
 let split_all_local t sn v =
   let halves =
     List.concat_map
@@ -175,12 +235,142 @@ let split_all_local t sn v =
 (* ------------------------------------------------------------------ *)
 (* Messaging                                                            *)
 
-let rec send t ~src ~dst msg =
-  Network.send t.net ~src ~dst ~bytes:(Wire.size_bytes msg) (fun () ->
-      handle t t.snodes.(dst) ~from:src msg)
+let peer_of sn pid =
+  match Hashtbl.find_opt sn.peers pid with
+  | Some p -> p
+  | None ->
+      let p =
+        {
+          next_seq = 0;
+          outbox = Hashtbl.create 4;
+          floor = -1;
+          seen = Hashtbl.create 4;
+          suspect = false;
+          strikes = 0;
+        }
+      in
+      Hashtbl.add sn.peers pid p;
+      p
 
-(* Process a message locally, as if self-delivered. *)
-and deliver_local t sn msg = handle t sn ~from:sn.sid msg
+(* Without a fault plan the network is reliable and messages flow exactly
+   as in the original runtime (same messages, same bytes, same timings).
+   With one, every remote message goes through the reliable request layer:
+   wrapped in [Req { seq }], deduplicated by [(sender, seq)] at the
+   receiver, acknowledged, and retransmitted with exponential backoff and
+   jitter until acknowledged. Routes that keep timing out are poisoned
+   (probed at the capped cadence only) until the peer answers again. *)
+let rec send t ~src ~dst msg =
+  if src = dst || t.faults = None then
+    Network.send t.net ~src ~dst ~bytes:(Wire.size_bytes msg) (fun () ->
+        receive t t.snodes.(dst) ~from:src msg)
+  else reliable_send t t.snodes.(src) ~dst msg
+
+and reliable_send t sn ~dst msg =
+  let p = peer_of sn dst in
+  let seq = p.next_seq in
+  p.next_seq <- seq + 1;
+  let entry = { o_payload = msg; o_attempts = 0; o_timer = None } in
+  Hashtbl.add p.outbox seq entry;
+  if p.suspect then
+    (* Poisoned route: do not pay the immediate transmission, probe at the
+       capped cadence; an ack (or any traffic from the peer) flushes the
+       whole outbox at once. *)
+    arm_retransmit t sn ~dst ~seq entry ~delay:t.rto_cap
+  else transmit t sn ~dst ~seq entry
+
+and transmit t sn ~dst ~seq entry =
+  entry.o_attempts <- entry.o_attempts + 1;
+  if entry.o_attempts > 1 then t.retransmits <- t.retransmits + 1;
+  let frame = Wire.Req { seq; payload = entry.o_payload } in
+  Network.send t.net ~src:sn.sid ~dst ~bytes:(Wire.size_bytes frame) (fun () ->
+      receive t t.snodes.(dst) ~from:sn.sid frame);
+  arm_retransmit t sn ~dst ~seq entry ~delay:(rto_for t sn entry.o_attempts)
+
+and rto_for t sn attempts =
+  (* Exponential backoff with multiplicative jitter, capped. *)
+  let exp = float_of_int (min (attempts - 1) 16) in
+  let base = Float.min (t.rto *. (2. ** exp)) t.rto_cap in
+  base *. (1. +. (0.5 *. Rng.float sn.rng))
+
+and arm_retransmit t sn ~dst ~seq entry ~delay =
+  entry.o_timer <-
+    Some
+      (Engine.schedule_cancellable t.engine ~delay (fun () ->
+           on_rto t sn ~dst ~seq entry))
+
+and on_rto t sn ~dst ~seq entry =
+  (* Timer fired with the message still unacknowledged. A crashed sender's
+     timers are cancelled; restart re-arms them from the (durable) outbox,
+     so the alive check is belt-and-braces. *)
+  if sn.alive && Hashtbl.mem (peer_of sn dst).outbox seq then begin
+    t.timeouts <- t.timeouts + 1;
+    let p = peer_of sn dst in
+    p.strikes <- p.strikes + 1;
+    if (not p.suspect) && p.strikes >= t.poison_after then begin
+      p.suspect <- true;
+      Log.debug (fun m ->
+          m "snode %d: route to snode %d poisoned after %d timeouts" sn.sid
+            dst p.strikes)
+    end;
+    transmit t sn ~dst ~seq entry
+  end
+
+and on_ack t sn ~from seq =
+  let p = peer_of sn from in
+  match Hashtbl.find_opt p.outbox seq with
+  | None -> ()  (* duplicate ack *)
+  | Some entry ->
+      Hashtbl.remove p.outbox seq;
+      (match entry.o_timer with Some h -> Engine.cancel h | None -> ());
+      peer_answered t sn ~pid:from
+
+(* Any message from a peer proves it alive: clear the strikes and, if the
+   route was poisoned, retry everything still queued for it immediately. *)
+and peer_answered t sn ~pid =
+  let p = peer_of sn pid in
+  p.strikes <- 0;
+  if p.suspect then begin
+    p.suspect <- false;
+    Log.debug (fun m ->
+        m "snode %d: snode %d answered; flushing %d queued messages" sn.sid
+          pid (Hashtbl.length p.outbox));
+    Hashtbl.fold (fun seq e acc -> (seq, e) :: acc) p.outbox []
+    |> List.sort compare
+    |> List.iter (fun (seq, e) ->
+           (match e.o_timer with Some h -> Engine.cancel h | None -> ());
+           transmit t sn ~dst:pid ~seq e)
+  end
+
+(* Every network delivery lands here: a down snode absorbs everything (the
+   sender keeps retransmitting), link-layer frames are unwrapped and
+   deduplicated, protocol messages go to [handle]. *)
+and receive t sn ~from msg =
+  if sn.alive then
+    match msg with
+    | Wire.Ack { seq } -> on_ack t sn ~from seq
+    | Wire.Req { seq; payload } ->
+        let p = peer_of sn from in
+        let fresh = seq > p.floor && not (Hashtbl.mem p.seen seq) in
+        (* Always (re-)acknowledge: the previous ack may have been lost. *)
+        let ack = Wire.Ack { seq } in
+        Network.send t.net ~src:sn.sid ~dst:from
+          ~bytes:(Wire.size_bytes ack) (fun () ->
+            receive t t.snodes.(from) ~from:sn.sid ack);
+        peer_answered t sn ~pid:from;
+        if fresh then begin
+          Hashtbl.replace p.seen seq ();
+          while Hashtbl.mem p.seen (p.floor + 1) do
+            Hashtbl.remove p.seen (p.floor + 1);
+            p.floor <- p.floor + 1
+          done;
+          handle t sn ~from payload
+        end
+    | msg -> handle t sn ~from msg
+
+(* Process a message locally, as if self-delivered. Work addressed to a
+   down snode is parked (durably) and drained on restart. *)
+and deliver_local t sn msg =
+  if sn.alive then handle t sn ~from:sn.sid msg else Queue.add msg sn.parked
 
 (* ---------------- routing ---------------- *)
 
@@ -190,11 +380,30 @@ and route_or_forward t sn (point, hops, retries, origin, op) =
   | exception Not_found ->
       if hops >= max_hops then begin
         t.retried <- t.retried + 1;
-        if retries >= max_retries then
-          failwith "Runtime: routing failed to converge";
-        Engine.schedule t.engine ~delay:backoff (fun () ->
-            deliver_local t sn
-              (Wire.Routed { point; hops = 0; retries = retries + 1; origin; op }))
+        let msg =
+          Wire.Routed { point; hops = 0; retries = retries + 1; origin; op }
+        in
+        if t.faults = None then begin
+          (* The retry budget is a livelock canary, meaningful only on a
+             reliable network: under faults an operation legitimately backs
+             off for as long as a crashed snode stays down. *)
+          if retries >= t.max_retries then
+            failwith "Runtime: routing failed to converge";
+          Engine.schedule t.engine ~delay:t.backoff (fun () ->
+              deliver_local t sn msg)
+        end
+        else begin
+          (* Crash recovery can leave a permanent cycle among stale caches:
+             a restarted snode's rebuilt cache points back at the bootstrap
+             placement, and once balancing stops no commit repairs it.
+             Restart the walk at a random snode — the owner's snode
+             resolves the point locally, so the retry terminates with
+             probability 1 whatever the cycle structure. *)
+          let via = Rng.int sn.rng (Array.length t.snodes) in
+          Engine.schedule t.engine ~delay:t.backoff (fun () ->
+              if via = sn.sid || not sn.alive then deliver_local t sn msg
+              else send t ~src:sn.sid ~dst:via msg)
+        end
       end
       else begin
         let _, owner = Point_map.find_point sn.cache point in
@@ -203,7 +412,7 @@ and route_or_forward t sn (point, hops, retries, origin, op) =
         if dst = sn.sid then
           (* Our own cache points at us but we do not own the point: the
              placement is in flight; back off. *)
-          Engine.schedule t.engine ~delay:backoff (fun () -> deliver_local t sn msg)
+          Engine.schedule t.engine ~delay:t.backoff (fun () -> deliver_local t sn msg)
         else send t ~src:sn.sid ~dst msg
       end
 
@@ -226,9 +435,9 @@ and execute_op t sn ~owner ~point ~origin ~retries op =
           (* Transient: the group identity is switching (between Prepare
              and Commit). Back off and retry the lookup. *)
           t.retried <- t.retried + 1;
-          if retries >= max_retries then
+          if t.faults = None && retries >= t.max_retries then
             failwith "Runtime: group resolution failed to converge";
-          Engine.schedule t.engine ~delay:backoff (fun () ->
+          Engine.schedule t.engine ~delay:t.backoff (fun () ->
               deliver_local t sn
                 (Wire.Routed
                    { point; hops = 0; retries = retries + 1; origin; op }))
@@ -296,7 +505,7 @@ and start_balancing t sn group lpdr ~point ~newcomer ~origin =
   in
   let ev = t.next_event in
   t.next_event <- t.next_event + 1;
-  Hashtbl.add sn.events ev
+  let st =
     {
       ev_done = Wire.Create_done { newcomer };
       ev_origin = origin;
@@ -306,7 +515,11 @@ and start_balancing t sn group lpdr ~point ~newcomer ~origin =
       ev_participants = participants;
       ev_waits = 1;
       ev_committed = false;
-    };
+      ev_watch = None;
+    }
+  in
+  Hashtbl.add sn.events ev st;
+  arm_watchdog t sn ev st;
   Log.debug (fun m ->
       m "snode %d coordinates event %d: %a -> group %a (%d participants)"
         sn.sid ev Vnode_id.pp newcomer Group_id.pp target
@@ -318,6 +531,7 @@ and start_balancing t sn group lpdr ~point ~newcomer ~origin =
         split;
         target;
         level_before = lpdr.level;
+        epoch_before = lpdr.epoch;
         plan;
         newcomer;
         donor_batches = List.length plan.Plan.assignments;
@@ -325,9 +539,36 @@ and start_balancing t sn group lpdr ~point ~newcomer ~origin =
   in
   List.iter (fun p -> send t ~src:sn.sid ~dst:p prepare) participants
 
+(* Per-round watchdog (armed only under a fault plan): if the event has not
+   completed within [event_timeout], count a round timeout and re-arm. The
+   retry itself happens at the message layer — every outstanding Prepare,
+   ack or Transfer is already being retransmitted with backoff until its
+   destination answers, and prepared state is durable, so the round cannot
+   be aborted (donor partitions are already in flight) but also cannot
+   hang: it stalls until the dead participant restarts, then completes. *)
+and arm_watchdog t sn ev st =
+  if t.faults <> None then
+    st.ev_watch <-
+      Some
+        (Engine.schedule_cancellable t.engine ~delay:t.event_timeout
+           (fun () ->
+             if Hashtbl.mem sn.events ev then begin
+               if sn.alive then begin
+                 t.timeouts <- t.timeouts + 1;
+                 Log.debug (fun m ->
+                     m
+                       "snode %d: event %d round timeout (%d acks, %d \
+                        completions outstanding); retrying via \
+                        retransmission"
+                       sn.sid ev st.ev_acks st.ev_waits)
+               end;
+               arm_watchdog t sn ev st
+             end))
+
 and maybe_complete t sn ev st =
   if st.ev_committed && st.ev_waits = 0 then begin
     Hashtbl.remove sn.events ev;
+    (match st.ev_watch with Some h -> Engine.cancel h | None -> ());
     send t ~src:sn.sid ~dst:st.ev_origin st.ev_done;
     unlock t sn st.ev_lock
   end
@@ -387,7 +628,7 @@ and start_removal t sn group lpdr ~leaving ~origin ~token =
         Log.debug (fun m ->
             m "snode %d coordinates removal event %d: %a leaves group %a"
               sn.sid ev Vnode_id.pp leaving Group_id.pp group);
-        Hashtbl.add sn.events ev
+        let st =
           {
             ev_done = Wire.Remove_done { token; ok = true };
             ev_origin = origin;
@@ -397,20 +638,26 @@ and start_removal t sn group lpdr ~leaving ~origin ~token =
             ev_participants = participants;
             ev_waits = List.length receivers;
             ev_committed = false;
-          };
+            ev_watch = None;
+          }
+        in
+        Hashtbl.add sn.events ev st;
+        arm_watchdog t sn ev st;
         let prepare =
           Wire.Remove_prepare
             {
               event = ev;
               group;
               leaving;
+              epoch_before = lpdr.epoch;
               moves = plan.Plan.moves;
               remaining = plan.Plan.removal_counts;
             }
         in
         List.iter (fun pt -> send t ~src:sn.sid ~dst:pt prepare) participants
 
-and apply_remove_prepare t sn ~from ~event ~group ~leaving ~moves ~remaining =
+and apply_remove_prepare t sn ~from ~event ~group ~leaving ~epoch_before
+    ~moves ~remaining =
   (* Ship every movement whose source vnode lives here. *)
   let moved = ref [] in
   List.iter
@@ -434,7 +681,13 @@ and apply_remove_prepare t sn ~from ~event ~group ~leaving ~moves ~remaining =
     drain_stash t sn event
   end;
   Hashtbl.replace sn.pendings event
-    (P_remove { r_leaving = leaving; r_group = group; r_remaining = remaining });
+    (P_remove
+       {
+         r_leaving = leaving;
+         r_group = group;
+         r_epoch = epoch_before;
+         r_remaining = remaining;
+       });
   send t ~src:sn.sid ~dst:from (Wire.Prepare_ack { event; moved = !moved })
 
 and apply_prepare t sn ~from (p : Wire.prepare) =
@@ -484,65 +737,82 @@ and apply_prepare t sn ~from (p : Wire.prepare) =
 and apply_commit t sn ~moved ev =
   (match Hashtbl.find_opt sn.pendings ev with
   | None -> ()
-  | Some (P_remove { r_leaving; r_group; r_remaining }) ->
+  | Some (P_remove { r_leaving; r_group; r_epoch; r_remaining }) ->
       Hashtbl.remove sn.pendings ev;
-      (* Departed vnode: delete its (now empty) local record. *)
+      (* Departed vnode: delete its (now empty) local record. This action
+         is unique to the event, so it runs regardless of the fence. *)
       if r_leaving.Vnode_id.snode = sn.sid then begin
         (match Vtbl.find_opt sn.locals r_leaving with
         | Some v -> assert (v.spans = [])
         | None -> ());
         Vtbl.remove sn.locals r_leaving
       end;
-      let hosts_member =
-        List.exists (fun (id, _) -> id.Vnode_id.snode = sn.sid) r_remaining
-      in
-      if hosts_member then begin
-        match Gtbl.find_opt sn.lpdrs r_group with
-        | Some lp -> lp.counts <- r_remaining
-        | None -> ()
+      let e = r_epoch + 1 in
+      if epoch_note sn r_group e then begin
+        let hosts_member =
+          List.exists (fun (id, _) -> id.Vnode_id.snode = sn.sid) r_remaining
+        in
+        if hosts_member then begin
+          match Gtbl.find_opt sn.lpdrs r_group with
+          | Some lp ->
+              lp.counts <- r_remaining;
+              lp.epoch <- e
+          | None -> ()
+        end
+        else Gtbl.remove sn.lpdrs r_group
       end
-      else Gtbl.remove sn.lpdrs r_group
   | Some (P_create p) ->
       Hashtbl.remove sn.pendings ev;
+      let e = p.Wire.epoch_before + 1 in
       (* Group identity switch: retire the parent LPDR, adopt the halves we
-         host members of, update local group fields. *)
+         host members of, update local group fields. The target half gets
+         its post-event state below; every LPDR write is epoch-fenced. *)
       (match p.Wire.split with
       | None -> ()
       | Some s ->
-          Gtbl.remove sn.lpdrs s.Wire.parent;
+          if epoch_note sn s.Wire.parent e then
+            Gtbl.remove sn.lpdrs s.Wire.parent;
           let adopt gid members =
-            let host_member =
-              List.exists (fun (id, _) -> id.Vnode_id.snode = sn.sid) members
-            in
-            List.iter
-              (fun (id, _) ->
-                if id.Vnode_id.snode = sn.sid then
-                  (local_exn sn id).group <- gid)
-              members;
-            if host_member then
-              Gtbl.replace sn.lpdrs gid
-                { level = p.Wire.level_before; counts = members }
+            if
+              (not (Group_id.equal gid p.Wire.target))
+              && epoch_note sn gid e
+            then begin
+              let host_member =
+                List.exists (fun (id, _) -> id.Vnode_id.snode = sn.sid) members
+              in
+              List.iter
+                (fun (id, _) ->
+                  if id.Vnode_id.snode = sn.sid then
+                    (local_exn sn id).group <- gid)
+                members;
+              if host_member then
+                Gtbl.replace sn.lpdrs gid
+                  { level = p.Wire.level_before; epoch = e; counts = members }
+            end
           in
           adopt s.Wire.left s.Wire.left_members;
           adopt s.Wire.right s.Wire.right_members);
       (* Target LPDR copy: new membership and counts, bumped level. *)
       let plan = p.Wire.plan in
-      let hosts_target =
-        List.exists
-          (fun (id, _) -> id.Vnode_id.snode = sn.sid)
+      if epoch_note sn p.Wire.target e then begin
+        let hosts_target =
+          List.exists
+            (fun (id, _) -> id.Vnode_id.snode = sn.sid)
+            plan.Plan.final_counts
+        in
+        let level =
+          p.Wire.level_before + if plan.Plan.split_all then 1 else 0
+        in
+        (if hosts_target then
+           Gtbl.replace sn.lpdrs p.Wire.target
+             { level; epoch = e; counts = plan.Plan.final_counts }
+         else Gtbl.remove sn.lpdrs p.Wire.target);
+        List.iter
+          (fun (id, _) ->
+            if id.Vnode_id.snode = sn.sid then
+              (local_exn sn id).group <- p.Wire.target)
           plan.Plan.final_counts
-      in
-      let level =
-        p.Wire.level_before + if plan.Plan.split_all then 1 else 0
-      in
-      if hosts_target then
-        Gtbl.replace sn.lpdrs p.Wire.target
-          { level; counts = plan.Plan.final_counts }
-      else Gtbl.remove sn.lpdrs p.Wire.target;
-      List.iter
-        (fun (id, _) ->
-          if id.Vnode_id.snode = sn.sid then (local_exn sn id).group <- p.Wire.target)
-        plan.Plan.final_counts);
+      end);
   (* Placement of the moved partitions. *)
   List.iter (fun (s, owner) -> cache_learn t sn s owner) moved
 
@@ -626,7 +896,7 @@ and handle t sn ~from msg =
               (* Group identity switching (between Prepare and Commit):
                  retry shortly. *)
               t.retried <- t.retried + 1;
-              Engine.schedule t.engine ~delay:backoff (fun () ->
+              Engine.schedule t.engine ~delay:t.backoff (fun () ->
                   deliver_local t sn msg)
           | Some lpdr ->
               let manager = manager_of lpdr in
@@ -652,8 +922,10 @@ and handle t sn ~from msg =
               start_removal t sn group lpdr ~leaving ~origin ~token
             end
           end)
-  | Wire.Remove_prepare { event; group; leaving; moves; remaining } ->
-      apply_remove_prepare t sn ~from ~event ~group ~leaving ~moves ~remaining
+  | Wire.Remove_prepare { event; group; leaving; epoch_before; moves; remaining }
+    ->
+      apply_remove_prepare t sn ~from ~event ~group ~leaving ~epoch_before
+        ~moves ~remaining
   | Wire.Remove_done { token; ok } ->
       (match Hashtbl.find_opt t.callbacks token with
       | Some (Cb_remove k) ->
@@ -678,15 +950,136 @@ and handle t sn ~from msg =
           failwith "Runtime: bad get token");
       t.done_gets <- t.done_gets + 1;
       t.pending <- t.pending - 1
+  | Wire.Lpdr_pull { group } ->
+      (* Crash recovery: a restarted member asks for a fresh copy. Reply
+         with ours (we may not be the manager any more if the group moved;
+         [None] lets the puller wait for the in-flight commit instead). *)
+      let view =
+        match Gtbl.find_opt sn.lpdrs group with
+        | Some lp -> Some (lp.level, lp.epoch, lp.counts)
+        | None -> None
+      in
+      send t ~src:sn.sid ~dst:from (Wire.Lpdr_push { group; view })
+  | Wire.Lpdr_push { group; view } -> (
+      match view with
+      | None -> ()
+      | Some (level, epoch, counts) -> (
+          (* Epoch fence: apply only strictly fresher views, and only while
+             we still carry the group (a commit may have retired it). *)
+          if epoch_note sn group epoch then
+            match Gtbl.find_opt sn.lpdrs group with
+            | Some lp ->
+                lp.level <- level;
+                lp.epoch <- epoch;
+                lp.counts <- counts
+            | None -> ()))
+  | Wire.Req _ | Wire.Ack _ ->
+      (* Unwrapped in [receive]; reaching the protocol layer is a bug. *)
+      failwith "Runtime: link-layer frame in protocol handler"
+
+(* ------------------------------------------------------------------ *)
+(* Crash and recovery                                                   *)
+
+(* Does one of this snode's prepared-but-uncommitted events already touch
+   [gid]? If so its commit will refresh the copy; no pull needed. *)
+let pending_touches sn gid =
+  Hashtbl.fold
+    (fun _ p acc ->
+      acc
+      ||
+      match p with
+      | P_create pr -> (
+          Group_id.equal pr.Wire.target gid
+          ||
+          match pr.Wire.split with
+          | None -> false
+          | Some s ->
+              Group_id.equal s.Wire.parent gid
+              || Group_id.equal s.Wire.left gid
+              || Group_id.equal s.Wire.right gid)
+      | P_remove { r_group; _ } -> Group_id.equal r_group gid)
+    sn.pendings false
+
+(* Crash-stop: the snode absorbs every delivery until restart. Protocol
+   state (vnode data, LPDR copies, prepared events, reliable-layer outbox
+   and dedup window) is modelled as durable — the classic 2PC stable log —
+   so only genuinely volatile state dies: retransmission timers, route
+   suspicions, and the routing cache (rebuilt on restart). *)
+let crash_snode t sid =
+  let sn = t.snodes.(sid) in
+  if sn.alive then begin
+    sn.alive <- false;
+    t.crashes <- t.crashes + 1;
+    (match t.faults with Some f -> Fault.set_down f sid | None -> ());
+    Hashtbl.iter
+      (fun _ p ->
+        p.suspect <- false;
+        p.strikes <- 0;
+        Hashtbl.iter
+          (fun _ e ->
+            (match e.o_timer with Some h -> Engine.cancel h | None -> ());
+            e.o_timer <- None;
+            e.o_attempts <- 0)
+          p.outbox)
+      sn.peers;
+    Log.debug (fun m -> m "snode %d crashed at %g" sid (Engine.now t.engine))
+  end
+
+let restart_snode t sid =
+  let sn = t.snodes.(sid) in
+  if not sn.alive then begin
+    sn.alive <- true;
+    t.recoveries <- t.recoveries + 1;
+    (match t.faults with Some f -> Fault.set_up f sid | None -> ());
+    Log.debug (fun m -> m "snode %d restarts at %g" sid (Engine.now t.engine));
+    (* The routing cache was volatile: restart from the bootstrap placement,
+       then overlay what we durably own (everything else converges through
+       normal forwarding and commits). *)
+    let spans0, first = t.bootstrap in
+    List.iter (fun s -> Point_map.remove sn.cache s) (Point_map.spans sn.cache);
+    List.iter (fun s -> Point_map.add sn.cache s first) spans0;
+    Vtbl.iter
+      (fun vid v -> List.iter (fun s -> cache_learn t sn s vid) v.spans)
+      sn.locals;
+    (* Re-arm retransmission for everything still unacknowledged. *)
+    Hashtbl.iter
+      (fun pid p ->
+        Hashtbl.fold (fun seq e acc -> (seq, e) :: acc) p.outbox []
+        |> List.sort compare
+        |> List.iter (fun (seq, e) -> transmit t sn ~dst:pid ~seq e))
+      sn.peers;
+    (* Replay self-addressed work that fired while down. *)
+    while not (Queue.is_empty sn.parked) do
+      deliver_local t sn (Queue.pop sn.parked)
+    done;
+    (* Refresh LPDR copies that no in-flight commit of ours will overwrite:
+       balancing events may have committed while we were down, and our
+       copies (though durable) can be stale. Pulls are epoch-fenced. *)
+    Gtbl.iter
+      (fun gid lp ->
+        if not (pending_touches sn gid) then begin
+          let manager = manager_of lp in
+          if manager <> sn.sid then
+            send t ~src:sn.sid ~dst:manager (Wire.Lpdr_pull { group = gid })
+        end)
+      sn.lpdrs
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Construction and public API                                          *)
 
 let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
-    ?(approach = Local { vmin = 16 }) ~snodes ~seed () =
+    ?(approach = Local { vmin = 16 }) ?faults ?(max_retries = 50)
+    ?(backoff = 1e-3) ?(rto = 1e-3) ?(rto_cap = 0.05) ?(poison_after = 5)
+    ?(event_timeout = 1.0) ~snodes ~seed () =
   if snodes < 1 then invalid_arg "Runtime.create: need at least one snode";
   if not (Params.is_power_of_two pmin) then
     invalid_arg "Runtime.create: pmin must be a power of two";
+  if max_retries < 1 then invalid_arg "Runtime.create: max_retries < 1";
+  if poison_after < 1 then invalid_arg "Runtime.create: poison_after < 1";
+  if backoff <= 0. || rto <= 0. || event_timeout <= 0. then
+    invalid_arg "Runtime.create: delays must be positive";
+  if rto_cap < rto then invalid_arg "Runtime.create: rto_cap < rto";
   let vmax =
     match approach with
     | Global -> max_int
@@ -696,7 +1089,7 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
         2 * vmin
   in
   let engine = Engine.create () in
-  let net = Network.create engine link in
+  let net = Network.create ?faults engine link in
   let master = Rng.of_int seed in
   let first = Vnode_id.make ~snode:0 ~vnode:0 in
   let level0 = Params.log2_exact pmin in
@@ -705,6 +1098,7 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
     let sn =
       {
         sid;
+        alive = true;
         locals = Vtbl.create 8;
         lpdrs = Gtbl.create 8;
         owned = Point_map.create space;
@@ -715,6 +1109,9 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
         incomings = Hashtbl.create 8;
         pendings = Hashtbl.create 8;
         stashed = Hashtbl.create 8;
+        gepochs = Gtbl.create 8;
+        peers = Hashtbl.create 8;
+        parked = Queue.create ();
       }
     in
     (* Every cache starts with the bootstrap placement. *)
@@ -727,29 +1124,82 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
     { vid = first; group = Group_id.root; spans = spans0; data = Hashtbl.create 16 };
   List.iter (fun s -> Point_map.add sn0.owned s first) spans0;
   Gtbl.replace sn0.lpdrs Group_id.root
-    { level = level0; counts = [ (first, pmin) ] };
-  {
-    engine;
-    net;
-    space;
-    pmin;
-    vmax;
-    snodes = snodes_arr;
-    callbacks = Hashtbl.create 64;
-    next_token = 0;
-    next_event = 0;
-    pending = 0;
-    done_creations = 0;
-    done_removals = 0;
-    done_puts = 0;
-    done_gets = 0;
-    retried = 0;
-  }
+    { level = level0; epoch = 0; counts = [ (first, pmin) ] };
+  Gtbl.replace sn0.gepochs Group_id.root 0;
+  let t =
+    {
+      engine;
+      net;
+      faults;
+      space;
+      pmin;
+      vmax;
+      max_retries;
+      backoff;
+      rto;
+      rto_cap;
+      poison_after;
+      event_timeout;
+      bootstrap = (spans0, first);
+      snodes = snodes_arr;
+      callbacks = Hashtbl.create 64;
+      next_token = 0;
+      next_event = 0;
+      pending = 0;
+      done_creations = 0;
+      done_removals = 0;
+      done_puts = 0;
+      done_gets = 0;
+      retried = 0;
+      timeouts = 0;
+      retransmits = 0;
+      crashes = 0;
+      recoveries = 0;
+    }
+  in
+  (* Crash-stop/restart schedule from the fault plan. Every crash must come
+     with a restart or retransmission toward the dead snode never ends. *)
+  (match faults with
+  | None -> ()
+  | Some f ->
+      List.iter
+        (fun (sid, at, back_at) ->
+          if sid < 0 || sid >= snodes then
+            invalid_arg "Runtime.create: crash plan names an unknown snode";
+          Engine.at engine ~time:at (fun () -> crash_snode t sid);
+          Engine.at engine ~time:back_at (fun () -> restart_snode t sid))
+        (Fault.crash_plan f));
+  t
 
 let engine t = t.engine
 let network t = t.net
 let snode_count t = Array.length t.snodes
 let vnode_count t = t.done_creations + 1
+let alive t sid = t.snodes.(sid).alive
+
+type stats = {
+  drops : int;
+  duplicates : int;
+  timeouts : int;
+  retransmits : int;
+  crashes : int;
+  recoveries : int;
+}
+
+let stats t =
+  let drops, duplicates =
+    match t.faults with
+    | None -> (0, 0)
+    | Some f -> (Fault.drops f, Fault.duplicates f)
+  in
+  {
+    drops;
+    duplicates;
+    timeouts = t.timeouts;
+    retransmits = t.retransmits;
+    crashes = t.crashes;
+    recoveries = t.recoveries;
+  }
 
 let create_vnode t ?initiator ~id () =
   let origin =
@@ -860,6 +1310,9 @@ let audit t =
               if lp.level <> ref_lp.level then
                 fail "group %a: snode %d sees level %d, others %d" Group_id.pp
                   gid sid lp.level ref_lp.level;
+              if lp.epoch <> ref_lp.epoch then
+                fail "group %a: snode %d at epoch %d, others %d" Group_id.pp
+                  gid sid lp.epoch ref_lp.epoch;
               if lp.counts <> ref_lp.counts then
                 fail "group %a: snode %d has a divergent LPDR copy" Group_id.pp
                   gid sid)

@@ -25,6 +25,7 @@
 open Dht_core
 module Engine = Dht_event_sim.Engine
 module Network = Dht_event_sim.Network
+module Fault = Dht_event_sim.Fault
 
 type t
 
@@ -42,6 +43,13 @@ val create :
   ?link:Network.link ->
   ?pmin:int ->
   ?approach:approach ->
+  ?faults:Fault.t ->
+  ?max_retries:int ->
+  ?backoff:float ->
+  ?rto:float ->
+  ?rto_cap:float ->
+  ?poison_after:int ->
+  ?event_timeout:float ->
   snodes:int ->
   seed:int ->
   unit ->
@@ -50,7 +58,28 @@ val create :
     bootstraps the DHT with vnode [0.0] holding the whole hash range; every
     routing cache starts seeded with that placement. Defaults: [pmin = 32],
     [approach = Local { vmin = 16 }], gigabit {!Network.link}.
-    @raise Invalid_argument if [snodes < 1]. *)
+
+    [max_retries] (default 50) bounds the routing back-off retries of one
+    operation and [backoff] (default 1 ms) spaces them. The bound is a
+    livelock canary and only enforced on a reliable network — under a
+    fault plan an operation legitimately backs off for as long as a
+    crashed snode stays down, so retries are unbounded (still counted by
+    {!retries}).
+
+    Passing [faults] arms the robustness layer: every remote message is
+    carried by a reliable request layer (sequence numbers, acknowledgement,
+    deduplication, retransmission with exponential backoff between [rto]
+    (default 1 ms) and [rto_cap] (default 50 ms)); a route suffering
+    [poison_after] (default 5) consecutive timeouts is poisoned — new
+    traffic toward it is queued and probed at the capped cadence until the
+    peer answers. Balancing events carry a liveness watchdog re-armed every
+    [event_timeout] (default 1 s). The plan's crash schedule is installed on
+    the engine ({!Fault.crash_plan}); every crash must name a restart time
+    or retransmission toward the dead snode never ends. Without [faults]
+    the runtime behaves {e exactly} as before: same messages, same bytes,
+    same clock, same random draws.
+    @raise Invalid_argument if [snodes < 1], a parameter is out of range,
+    or the crash plan names an unknown snode. *)
 
 val engine : t -> Engine.t
 
@@ -102,6 +131,37 @@ val completed_gets : t -> int
 val retries : t -> int
 (** Operations that exhausted the forwarding hop limit and backed off —
     a measure of cache staleness encountered. *)
+
+(** {2 Faults and recovery} *)
+
+val alive : t -> int -> bool
+(** Whether the snode is currently up (always [true] without a fault
+    plan). *)
+
+val crash_snode : t -> int -> unit
+(** Crash-stop the snode now: deliveries to it are absorbed until
+    {!restart_snode}. Protocol state is modelled as durable (the 2PC
+    stable log); only retransmission timers, route suspicions and the
+    routing cache are volatile. No-op if already down. *)
+
+val restart_snode : t -> int -> unit
+(** Bring a crashed snode back: rebuild the routing cache (bootstrap
+    placement overlaid with its own partitions), re-arm retransmission of
+    every unacknowledged message, replay work parked while down, and pull
+    fresh LPDR copies (epoch-fenced) from each group's manager. No-op if
+    already up. *)
+
+type stats = {
+  drops : int;  (** messages lost by the fault plan *)
+  duplicates : int;  (** extra deliveries injected *)
+  timeouts : int;  (** retransmission and balancing-round timeouts *)
+  retransmits : int;  (** reliable-layer re-sends *)
+  crashes : int;
+  recoveries : int;
+}
+
+val stats : t -> stats
+(** Fault and recovery counters (all zero without a fault plan). *)
 
 val sigma_qv : t -> float
 (** σ̄(Qv) (%) computed from the distributed state (all snodes' local

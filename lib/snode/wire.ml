@@ -19,6 +19,7 @@ type prepare = {
   split : group_split option;
   target : Group_id.t;
   level_before : int;
+  epoch_before : int;
   plan : Plan.t;
   newcomer : Vnode_id.t;
   donor_batches : int;
@@ -54,17 +55,25 @@ type msg =
       event : int;
       group : Group_id.t;
       leaving : Vnode_id.t;
+      epoch_before : int;
       moves : Plan.move list;
       remaining : (Vnode_id.t * int) list;
     }
   | Remove_done of { token : int; ok : bool }
   | Put_ack of { token : int }
   | Get_reply of { token : int; value : string option }
+  | Req of { seq : int; payload : msg }
+  | Ack of { seq : int }
+  | Lpdr_pull of { group : Group_id.t }
+  | Lpdr_push of {
+      group : Group_id.t;
+      view : (int * int * (Vnode_id.t * int) list) option;
+    }
 
 let envelope = 64
 let per_entry = 16
 
-let size_bytes = function
+let rec size_bytes = function
   | Routed { op; _ } -> (
       match op with
       | Op_create _ -> envelope + per_entry
@@ -100,8 +109,16 @@ let size_bytes = function
   | Put_ack _ -> envelope
   | Get_reply { value; _ } ->
       envelope + Option.fold ~none:0 ~some:String.length value
+  | Req { payload; _ } -> per_entry + size_bytes payload
+  | Ack _ -> envelope
+  | Lpdr_pull _ -> envelope + per_entry
+  | Lpdr_push { view; _ } ->
+      envelope + per_entry
+      + (match view with
+        | None -> 0
+        | Some (_, _, counts) -> per_entry * (2 + List.length counts))
 
-let describe = function
+let rec describe = function
   | Routed { op = Op_create _; _ } -> "routed:create"
   | Routed { op = Op_put _; _ } -> "routed:put"
   | Routed { op = Op_get _; _ } -> "routed:get"
@@ -118,3 +135,7 @@ let describe = function
   | Remove_done _ -> "remove-done"
   | Put_ack _ -> "put-ack"
   | Get_reply _ -> "get-reply"
+  | Req { payload; _ } -> "req:" ^ describe payload
+  | Ack _ -> "ack"
+  | Lpdr_pull _ -> "lpdr-pull"
+  | Lpdr_push _ -> "lpdr-push"

@@ -27,6 +27,10 @@ type prepare = {
   split : group_split option;  (** set when the victim group was full *)
   target : Group_id.t;  (** group receiving the newcomer *)
   level_before : int;
+  epoch_before : int;
+      (** the target group's LPDR epoch when the event was planned; every
+          participant commits the event at [epoch_before + 1], keeping all
+          copies in lockstep (used to fence stale {!Lpdr_push} replies) *)
   plan : Plan.t;
   newcomer : Vnode_id.t;
   donor_batches : int;  (** transfers the newcomer must expect *)
@@ -72,6 +76,9 @@ type msg =
       event : int;
       group : Group_id.t;
       leaving : Vnode_id.t;
+      epoch_before : int;
+          (** the group's LPDR epoch when the departure was planned; the
+              event commits at [epoch_before + 1] (see {!prepare}) *)
       moves : Plan.move list;
       remaining : (Vnode_id.t * int) list;  (** LPDR after the departure *)
     }
@@ -80,6 +87,24 @@ type msg =
           (L2 floor, capacity, unknown vnode) *)
   | Put_ack of { token : int }
   | Get_reply of { token : int; value : string option }
+  | Req of { seq : int; payload : msg }
+      (** reliable-delivery frame: [seq] numbers the sender's stream toward
+          one destination, which deduplicates by [(sender, seq)] and
+          acknowledges with {!Ack}; the sender retransmits with backoff
+          until acknowledged. Only used when a fault plan is active. *)
+  | Ack of { seq : int }
+      (** link-layer acknowledgement of a {!Req}; sent unreliably (a lost
+          ack just provokes one more retransmission) *)
+  | Lpdr_pull of { group : Group_id.t }
+      (** crash recovery: a restarting snode asks the group's manager for a
+          fresh LPDR copy *)
+  | Lpdr_push of {
+      group : Group_id.t;
+      view : (int * int * (Vnode_id.t * int) list) option;
+    }
+      (** manager's reply: [(level, epoch, counts)], or [None] when the
+          manager no longer carries the group (it split away; the puller's
+          pending commit will refresh its copy instead) *)
 
 val size_bytes : msg -> int
 (** Serialized-size estimate: 64-byte envelope, 16 bytes per id/span/count

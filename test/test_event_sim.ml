@@ -3,6 +3,7 @@
 module Heap = Dht_event_sim.Heap
 module Engine = Dht_event_sim.Engine
 module Network = Dht_event_sim.Network
+module Fault = Dht_event_sim.Fault
 module Rng = Dht_prng.Rng
 
 let check = Alcotest.check
@@ -153,6 +154,122 @@ let test_link_validation () =
   Alcotest.check_raises "negative latency" (Invalid_argument "Network.link: negative parameter")
     (fun () -> ignore (Network.link ~base_latency:(-1.) ~byte_time:0.))
 
+(* --- Cancellable timers --- *)
+
+let test_engine_cancellable () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  let h1 = Engine.schedule_cancellable e ~delay:1. (fun () -> fired := 1 :: !fired) in
+  let h2 = Engine.schedule_cancellable e ~delay:2. (fun () -> fired := 2 :: !fired) in
+  check Alcotest.bool "h1 pending" true (Engine.is_pending h1);
+  Engine.cancel h2;
+  check Alcotest.bool "h2 cancelled" false (Engine.is_pending h2);
+  (* Lazy deletion: the queue entry stays and is dispatched as a no-op. *)
+  check Alcotest.int "entries remain" 2 (Engine.pending e);
+  Engine.run e;
+  check Alcotest.(list int) "only h1 fired" [ 1 ] (List.rev !fired);
+  check Alcotest.bool "h1 spent" false (Engine.is_pending h1);
+  check (Alcotest.float 0.) "clock crossed the cancelled slot" 2. (Engine.now e);
+  (* Cancelling after firing (or twice) is a no-op. *)
+  Engine.cancel h1;
+  Engine.cancel h2
+
+(* --- Fault plan --- *)
+
+let test_fault_validation () =
+  Alcotest.check_raises "drop out of range"
+    (Invalid_argument "Fault.drop: probability outside [0, 1]") (fun () ->
+      ignore (Fault.create ~drop:1.5 ~seed:1 ()));
+  Alcotest.check_raises "negative jitter"
+    (Invalid_argument "Fault.jitter: negative or non-finite") (fun () ->
+      ignore (Fault.create ~jitter:(-1.) ~seed:1 ()));
+  Alcotest.check_raises "bad crash window"
+    (Invalid_argument "Fault.create: crash plan needs 0 <= at < back_at")
+    (fun () -> ignore (Fault.create ~crashes:[ (0, 2., 1.) ] ~seed:1 ()))
+
+let test_fault_drop_and_duplicate_rates () =
+  (* Deterministic given the seed; rates roughly honoured over many rolls. *)
+  let f = Fault.create ~drop:0.2 ~duplicate:0.1 ~seed:7 () in
+  for _ = 1 to 1000 do
+    ignore (Fault.cut f ~src:0 ~dst:1);
+    ignore (Fault.duplicate f)
+  done;
+  let d = Fault.drops f and dup = Fault.duplicates f in
+  check Alcotest.bool "drops near 200" true (d > 120 && d < 280);
+  check Alcotest.bool "dups near 100" true (dup > 50 && dup < 150);
+  let f' = Fault.create ~drop:0.2 ~duplicate:0.1 ~seed:7 () in
+  for _ = 1 to 1000 do
+    ignore (Fault.cut f' ~src:0 ~dst:1);
+    ignore (Fault.duplicate f')
+  done;
+  check Alcotest.int "same seed, same drops" d (Fault.drops f');
+  Fault.set_drop f 0.;
+  Fault.set_duplicate f 0.;
+  for _ = 1 to 100 do
+    ignore (Fault.cut f ~src:0 ~dst:1);
+    ignore (Fault.duplicate f)
+  done;
+  check Alcotest.int "faults ceased: drops frozen" d (Fault.drops f);
+  check Alcotest.int "faults ceased: dups frozen" dup (Fault.duplicates f)
+
+let test_fault_sever_and_down () =
+  let f = Fault.create ~seed:3 () in
+  check Alcotest.bool "link up" false (Fault.severed f 1 2);
+  Fault.sever f 1 2;
+  check Alcotest.bool "severed" true (Fault.severed f 1 2);
+  check Alcotest.bool "symmetric" true (Fault.severed f 2 1);
+  check Alcotest.bool "cut on severed link" true (Fault.cut f ~src:2 ~dst:1);
+  Fault.heal f 2 1;
+  check Alcotest.bool "healed" false (Fault.severed f 1 2);
+  check Alcotest.bool "no cut after heal" false (Fault.cut f ~src:1 ~dst:2);
+  Fault.set_down f 4;
+  check Alcotest.bool "down" true (Fault.is_down f 4);
+  check Alcotest.bool "absorbed" true (Fault.absorb f ~dst:4);
+  check Alcotest.bool "others unaffected" false (Fault.absorb f ~dst:5);
+  Fault.set_up f 4;
+  check Alcotest.bool "back up" false (Fault.absorb f ~dst:4)
+
+let test_fault_jitter_bounds () =
+  let f = Fault.create ~jitter:1e-3 ~seed:11 () in
+  for _ = 1 to 500 do
+    let d = Fault.delay_noise f in
+    if d < 0. || d >= 1e-3 then Alcotest.fail "jitter outside [0, 1e-3)"
+  done;
+  Fault.set_jitter f 0.;
+  check (Alcotest.float 0.) "no jitter" 0. (Fault.delay_noise f)
+
+let test_network_applies_faults () =
+  let e = Engine.create () in
+  (* drop = 1: every remote send vanishes, loopback is exempt. *)
+  let f = Fault.create ~drop:1. ~seed:5 () in
+  let net = Network.create ~faults:f e Network.gigabit in
+  let delivered = ref 0 in
+  Network.send net ~src:0 ~dst:1 ~bytes:10 (fun () -> incr delivered);
+  Network.send net ~src:2 ~dst:2 ~bytes:10 (fun () -> incr delivered);
+  Engine.run e;
+  check Alcotest.int "only loopback arrives" 1 !delivered;
+  check Alcotest.int "drop counted" 1 (Fault.drops f);
+  check Alcotest.int "send still counted" 1 (Network.messages net);
+  (* duplicate = 1: every remote send arrives twice. *)
+  Fault.set_drop f 0.;
+  Fault.set_duplicate f 1.;
+  delivered := 0;
+  Network.send net ~src:0 ~dst:1 ~bytes:10 (fun () -> incr delivered);
+  Engine.run e;
+  check Alcotest.int "delivered twice" 2 !delivered;
+  check Alcotest.int "duplicate counted" 1 (Fault.duplicates f);
+  (* Down destination absorbs at delivery time. *)
+  Fault.set_duplicate f 0.;
+  Fault.set_down f 1;
+  delivered := 0;
+  Network.send net ~src:0 ~dst:1 ~bytes:10 (fun () -> incr delivered);
+  Engine.run e;
+  check Alcotest.int "absorbed by down node" 0 !delivered;
+  Fault.set_up f 1;
+  Network.send net ~src:0 ~dst:1 ~bytes:10 (fun () -> incr delivered);
+  Engine.run e;
+  check Alcotest.int "delivered after restart" 1 !delivered
+
 let suite =
   [
     Alcotest.test_case "heap orders random input" `Quick
@@ -172,4 +289,14 @@ let suite =
     Alcotest.test_case "network delivery order" `Quick
       test_network_delivery_order;
     Alcotest.test_case "link validation" `Quick test_link_validation;
+    Alcotest.test_case "engine cancellable timers" `Quick
+      test_engine_cancellable;
+    Alcotest.test_case "fault validation" `Quick test_fault_validation;
+    Alcotest.test_case "fault drop/duplicate rates" `Quick
+      test_fault_drop_and_duplicate_rates;
+    Alcotest.test_case "fault sever and down-set" `Quick
+      test_fault_sever_and_down;
+    Alcotest.test_case "fault jitter bounds" `Quick test_fault_jitter_bounds;
+    Alcotest.test_case "network applies faults" `Quick
+      test_network_applies_faults;
   ]

@@ -228,6 +228,27 @@ let test_kvload_zipf () =
   check Alcotest.int "no key lost (zipf)" 0 r.Extensions.lost;
   check Alcotest.int "all keys stored" 2000 r.Extensions.keys
 
+let test_chaos_recovers () =
+  (* Small chaos run: drops, duplicates, jitter and one mid-burst crash —
+     all operations must complete and the audit must hold once faults
+     cease (the ISSUE acceptance bar, at test scale). *)
+  let module Runtime = Dht_snode.Runtime in
+  let r =
+    Extensions.chaos ~snodes:6 ~vnodes:12 ~keys:120 ~pmin:8 ~vmin:4
+      ~crashes:1 ~seed:3 ()
+  in
+  check Alcotest.int "all vnodes created" 12 r.Extensions.chaos_vnodes;
+  check Alcotest.int "no key lost or stale" 0 r.Extensions.chaos_keys_wrong;
+  check Alcotest.int "no operation stuck" 0 r.Extensions.chaos_pending;
+  check Alcotest.bool "audit holds after faults" true
+    r.Extensions.chaos_audit_ok;
+  let s = r.Extensions.chaos_stats in
+  check Alcotest.int "crashed once" 1 s.Runtime.crashes;
+  check Alcotest.int "recovered once" 1 s.Runtime.recoveries;
+  check Alcotest.bool "faults actually bit" true (s.Runtime.drops > 0);
+  check Alcotest.bool "faulty run costs more messages" true
+    (r.Extensions.chaos_messages > r.Extensions.baseline_messages)
+
 let suite =
   [
     Alcotest.test_case "curve basics" `Quick test_curve_basics;
@@ -257,4 +278,5 @@ let suite =
     Alcotest.test_case "hetero report" `Quick test_hetero_report;
     Alcotest.test_case "kvload report" `Quick test_kvload_report;
     Alcotest.test_case "kvload zipf" `Quick test_kvload_zipf;
+    Alcotest.test_case "chaos recovers" `Quick test_chaos_recovers;
   ]

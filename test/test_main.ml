@@ -22,6 +22,7 @@ let () =
       ("workload", Test_workload.suite);
       ("experiments", Test_experiments.suite);
       ("report", Test_report.suite);
+      ("wire", Test_wire.suite);
       ("snode-runtime", Test_runtime.suite);
       ("snapshot", Test_snapshot.suite);
       ("registry", Test_registry.suite);

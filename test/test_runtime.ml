@@ -3,6 +3,7 @@
 open Dht_core
 module Plan = Dht_snode.Plan
 module Runtime = Dht_snode.Runtime
+module Engine = Dht_event_sim.Engine
 module Rng = Dht_prng.Rng
 
 let check = Alcotest.check
@@ -512,6 +513,96 @@ let prop_random_interleavings =
       | Ok () -> true
       | Error es -> QCheck.Test.fail_reportf "%s" (String.concat "\n" es))
 
+(* --- Fault injection and crash recovery --- *)
+
+let test_runtime_reliable_under_faults () =
+  (* Lossy, duplicating, jittery network: the reliable layer must carry
+     every operation to completion, and once faults cease the distributed
+     state must audit clean. *)
+  let faults =
+    Runtime.Fault.create ~drop:0.05 ~duplicate:0.02 ~jitter:1e-4 ~seed:21 ()
+  in
+  let rt =
+    Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~faults
+      ~snodes:8 ~seed:21 ()
+  in
+  let rng = Rng.of_int 77 in
+  for i = 0 to 59 do
+    Runtime.put rt ~via:(Rng.int rng 8) ~key:(Printf.sprintf "k%d" i)
+      ~value:(string_of_int i) ()
+  done;
+  Runtime.run rt;
+  for i = 1 to 11 do
+    Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8)) ()
+  done;
+  Runtime.run rt;
+  check Alcotest.int "creations done despite faults" 11
+    (Runtime.completed_creations rt);
+  check Alcotest.int "no pending ops" 0 (Runtime.pending_operations rt);
+  (* Faults cease; every key must read back exactly. *)
+  Runtime.Fault.set_drop faults 0.;
+  Runtime.Fault.set_duplicate faults 0.;
+  Runtime.Fault.set_jitter faults 0.;
+  let wrong = ref 0 in
+  for i = 0 to 59 do
+    Runtime.get rt ~via:(Rng.int rng 8) ~key:(Printf.sprintf "k%d" i) (fun v ->
+        if v <> Some (string_of_int i) then incr wrong)
+  done;
+  Runtime.run rt;
+  check Alcotest.int "all keys read back" 0 !wrong;
+  let s = Runtime.stats rt in
+  check Alcotest.bool "drops occurred" true (s.Runtime.drops > 0);
+  check Alcotest.bool "timeouts fired" true (s.Runtime.timeouts > 0);
+  check Alcotest.bool "retransmissions sent" true (s.Runtime.retransmits > 0);
+  match Runtime.audit rt with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "\n" es)
+
+let test_runtime_crash_recovery () =
+  (* Crash-stop a loaded snode, keep operating around it, bring it back:
+     stalled operations must drain and the audit must hold. *)
+  let faults = Runtime.Fault.create ~seed:5 () in
+  let rt =
+    Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~faults
+      ~snodes:6 ~seed:31 ()
+  in
+  for i = 1 to 7 do
+    Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 6) ~vnode:(i / 6)) ()
+  done;
+  Runtime.run rt;
+  for i = 0 to 39 do
+    Runtime.put rt ~via:(i mod 6) ~key:(Printf.sprintf "c%d" i)
+      ~value:(string_of_int i) ()
+  done;
+  Runtime.run rt;
+  check Alcotest.bool "alive before crash" true (Runtime.alive rt 2);
+  Runtime.crash_snode rt 2;
+  check Alcotest.bool "down after crash" false (Runtime.alive rt 2);
+  (* Reads and one more creation issued while the snode is down: those that
+     need it stall on retransmission, the rest complete. *)
+  let vias = [| 0; 1; 3; 4; 5 |] in
+  let wrong = ref 0 in
+  for i = 0 to 39 do
+    Runtime.get rt ~via:vias.(i mod 5) ~key:(Printf.sprintf "c%d" i) (fun v ->
+        if v <> Some (string_of_int i) then incr wrong)
+  done;
+  Runtime.create_vnode rt ~initiator:4 ~id:(Vnode_id.make ~snode:4 ~vnode:2) ();
+  let e = Runtime.engine rt in
+  Runtime.run ~until:(Engine.now e +. 0.05) rt;
+  Runtime.restart_snode rt 2;
+  check Alcotest.bool "back up" true (Runtime.alive rt 2);
+  Runtime.run rt;
+  check Alcotest.int "all reads served" 0 !wrong;
+  check Alcotest.int "nothing left pending" 0 (Runtime.pending_operations rt);
+  check Alcotest.int "creation completed across the crash" 8
+    (Runtime.completed_creations rt);
+  let s = Runtime.stats rt in
+  check Alcotest.int "one crash" 1 s.Runtime.crashes;
+  check Alcotest.int "one recovery" 1 s.Runtime.recoveries;
+  match Runtime.audit rt with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "\n" es)
+
 let suite =
   [
     Alcotest.test_case "plan: bootstrap growth" `Quick test_plan_bootstrap_growth;
@@ -551,4 +642,8 @@ let suite =
     Alcotest.test_case "runtime: global = oracle exactly" `Quick
       test_runtime_global_matches_oracle_exactly;
     QCheck_alcotest.to_alcotest prop_random_interleavings;
+    Alcotest.test_case "runtime: reliable under faults" `Quick
+      test_runtime_reliable_under_faults;
+    Alcotest.test_case "runtime: crash recovery" `Quick
+      test_runtime_crash_recovery;
   ]

@@ -1,0 +1,161 @@
+(* Wire protocol: size estimates and trace tags for every constructor.
+
+   There is no serialization codec (messages travel as OCaml values through
+   the simulated network), so the contract under test is the size model —
+   every constructor must charge at least the envelope, payload bytes must
+   be counted, and the reliable-layer framing must add only its own header
+   on top of the inner message. *)
+
+module Wire = Dht_snode.Wire
+module Plan = Dht_snode.Plan
+open Dht_core
+open Dht_hashspace
+
+let check = Alcotest.check
+let vid i = Vnode_id.make ~snode:i ~vnode:0
+let gid value bits = Group_id.make ~value ~bits
+
+let sample_plan =
+  Plan.creation ~pmin:8 ~counts:[ (vid 0, 10); (vid 1, 9) ] ~newcomer:(vid 2)
+
+let sample_split =
+  {
+    Wire.parent = Group_id.root;
+    left = gid 0 1;
+    left_members = [ (vid 0, 8) ];
+    right = gid 1 1;
+    right_members = [ (vid 1, 8) ];
+  }
+
+let prepare ~split =
+  Wire.Prepare
+    {
+      event = 3;
+      split;
+      target = Group_id.root;
+      level_before = 0;
+      epoch_before = 4;
+      plan = sample_plan;
+      newcomer = vid 2;
+      donor_batches = 1;
+    }
+
+let moved = [ (Span.root, vid 1) ]
+
+let remove_prepare ~moves =
+  Wire.Remove_prepare
+    {
+      event = 7;
+      group = Group_id.root;
+      leaving = vid 1;
+      epoch_before = 2;
+      moves;
+      remaining = [ (vid 0, 16) ];
+    }
+
+(* One representative of every constructor (all three routed ops). *)
+let all_messages =
+  [
+    Wire.Routed
+      { point = 5; hops = 1; retries = 0; origin = 0;
+        op = Wire.Op_create { newcomer = vid 2 } };
+    Wire.Routed
+      { point = 5; hops = 0; retries = 0; origin = 0;
+        op = Wire.Op_put { key = "k"; value = "v"; token = 1 } };
+    Wire.Routed
+      { point = 5; hops = 0; retries = 1; origin = 0;
+        op = Wire.Op_get { key = "k"; token = 2 } };
+    Wire.Create_at_group
+      { group = Group_id.root; point = 5; newcomer = vid 2; origin = 0 };
+    prepare ~split:(Some sample_split);
+    Wire.Prepare_ack { event = 3; moved };
+    Wire.Transfer
+      { event = 3; to_vnode = vid 2; spans = [ Span.root ];
+        data = [ ("k", "v") ] };
+    Wire.All_received { event = 3 };
+    Wire.Commit { event = 3; moved };
+    Wire.Create_done { newcomer = vid 2 };
+    Wire.Remove_request { leaving = vid 1; origin = 0; token = 3 };
+    Wire.Remove_at_group
+      { group = Group_id.root; leaving = vid 1; origin = 0; token = 3 };
+    remove_prepare ~moves:[ { Plan.src = vid 1; dst = vid 0; n = 2 } ];
+    Wire.Remove_done { token = 3; ok = true };
+    Wire.Put_ack { token = 1 };
+    Wire.Get_reply { token = 2; value = Some "v" };
+    Wire.Req { seq = 9; payload = Wire.All_received { event = 3 } };
+    Wire.Ack { seq = 9 };
+    Wire.Lpdr_pull { group = Group_id.root };
+    Wire.Lpdr_push
+      { group = Group_id.root; view = Some (0, 4, [ (vid 0, 16) ]) };
+  ]
+
+let test_every_constructor_sized () =
+  List.iter
+    (fun m ->
+      check Alcotest.bool
+        (Printf.sprintf "size of %s positive" (Wire.describe m))
+        true
+        (Wire.size_bytes m > 0))
+    all_messages
+
+let test_tags_distinct () =
+  let tags = List.map Wire.describe all_messages in
+  List.iter
+    (fun tag -> check Alcotest.bool "tag nonempty" true (String.length tag > 0))
+    tags;
+  let distinct = List.sort_uniq compare tags in
+  check Alcotest.int "tags distinguish constructors" (List.length tags)
+    (List.length distinct)
+
+let test_payload_monotonic () =
+  let size = Wire.size_bytes in
+  let put key value =
+    Wire.Routed
+      { point = 0; hops = 0; retries = 0; origin = 0;
+        op = Wire.Op_put { key; value; token = 0 } }
+  in
+  check Alcotest.int "put charges payload bytes"
+    (size (put "k" "v") + 120)
+    (size (put "k" (String.make 121 'x')));
+  let transfer data =
+    Wire.Transfer { event = 0; to_vnode = vid 2; spans = []; data }
+  in
+  check Alcotest.bool "transfer charges data" true
+    (size (transfer [ ("key", String.make 100 'x') ])
+    > size (transfer []) + 100);
+  check Alcotest.bool "split enlarges prepare" true
+    (size (prepare ~split:(Some sample_split)) > size (prepare ~split:None));
+  check Alcotest.bool "moves enlarge remove-prepare" true
+    (size (remove_prepare ~moves:[ { Plan.src = vid 1; dst = vid 0; n = 2 } ])
+    > size (remove_prepare ~moves:[]));
+  let push view = Wire.Lpdr_push { group = Group_id.root; view } in
+  check Alcotest.bool "lpdr view counted" true
+    (size (push (Some (0, 4, [ (vid 0, 16); (vid 1, 16) ])))
+    > size (push None));
+  let commit moved = Wire.Commit { event = 0; moved } in
+  check Alcotest.bool "commit moves counted" true
+    (size (commit moved) > size (commit []))
+
+let test_req_framing () =
+  (* The reliable frame adds a fixed header to the inner message and keeps
+     its tag visible for tracing. *)
+  let inner = Wire.Commit { event = 3; moved } in
+  let framed = Wire.Req { seq = 1; payload = inner } in
+  check Alcotest.int "req header is 16 bytes"
+    (Wire.size_bytes inner + 16)
+    (Wire.size_bytes framed);
+  check Alcotest.string "req tag nests" "req:commit" (Wire.describe framed);
+  check Alcotest.string "double framing nests twice" "req:req:commit"
+    (Wire.describe (Wire.Req { seq = 2; payload = framed }));
+  check Alcotest.string "ack tag" "ack" (Wire.describe (Wire.Ack { seq = 1 }))
+
+let suite =
+  [
+    Alcotest.test_case "every constructor has positive size" `Quick
+      test_every_constructor_sized;
+    Alcotest.test_case "describe tags are distinct" `Quick test_tags_distinct;
+    Alcotest.test_case "payload bytes are charged" `Quick
+      test_payload_monotonic;
+    Alcotest.test_case "reliable frame adds only a header" `Quick
+      test_req_framing;
+  ]
