@@ -4,7 +4,11 @@
    kernel (the simulation that regenerates it) plus the core DHT operations,
    so regressions in any reproduction path are visible as timings.
 
-   Part 2 — figure regeneration: prints the series of every paper figure
+   Part 2 — BENCH_runtime.json: a machine-readable snapshot of the snode
+   runtime (host ops/s, simulated messages/bytes, latency and hop
+   quantiles from the telemetry histograms).
+
+   Part 3 — figure regeneration: prints the series of every paper figure
    (4-9) and the section-4.1.1 claims at a reduced number of runs, in the
    same rows the paper reports. `bin/dht_sim.exe` produces the full
    100-run versions. *)
@@ -19,6 +23,8 @@ module Sims = Dht_experiments.Sims
 module Csim = Dht_protocol.Creation_sim
 module Rng = Dht_prng.Rng
 module Table = Dht_report.Table
+module Registry = Dht_telemetry.Registry
+module Histogram = Dht_telemetry.Histogram
 
 let vid i = Vnode_id.make ~snode:i ~vnode:0
 
@@ -222,7 +228,76 @@ let run_benchmarks () =
   Table.print table
 
 (* ------------------------------------------------------------------ *)
-(* Part 2: figure regeneration (reduced runs; dht_sim for full scale)  *)
+(* Part 2: machine-readable perf snapshot of the snode runtime         *)
+
+(* An instrumented runtime workload (48 creations, 512 puts, 512 gets)
+   whose telemetry feeds BENCH_runtime.json: host throughput plus the
+   simulated traffic and latency quantiles, so the perf trajectory of the
+   message-level runtime is tracked as data, not prose. *)
+let emit_runtime_json path =
+  let reg = Registry.create () in
+  let rt =
+    Dht_snode.Runtime.create ~pmin:8
+      ~approach:(Dht_snode.Runtime.Local { vmin = 4 })
+      ~metrics:reg ~snodes:8 ~seed:2004 ()
+  in
+  let t0 = Sys.time () in
+  for i = 1 to 48 do
+    Dht_snode.Runtime.create_vnode rt
+      ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8))
+      ()
+  done;
+  Dht_snode.Runtime.run rt;
+  for i = 0 to 511 do
+    Dht_snode.Runtime.put rt ~key:("bench-" ^ string_of_int i) ~value:"v" ()
+  done;
+  Dht_snode.Runtime.run rt;
+  for i = 0 to 511 do
+    Dht_snode.Runtime.get rt ~key:("bench-" ^ string_of_int i) (fun _ -> ())
+  done;
+  Dht_snode.Runtime.run rt;
+  let cpu = Sys.time () -. t0 in
+  Dht_snode.Runtime.record_metrics rt reg;
+  let ops =
+    Dht_snode.Runtime.completed_creations rt
+    + Dht_snode.Runtime.completed_puts rt
+    + Dht_snode.Runtime.completed_gets rt
+  in
+  let counter name = Registry.counter_value (Registry.counter reg name) in
+  let quantile h p = if Histogram.count h = 0 then 0. else Histogram.quantile h p in
+  let lat op p =
+    quantile (Registry.histogram reg ~labels:[ ("op", op) ] "runtime.op.latency") p
+  in
+  let hops = Registry.histogram reg "runtime.route.hops" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"snode-runtime\",\n\
+    \  \"seed\": 2004,\n\
+    \  \"snodes\": 8,\n\
+    \  \"operations\": %d,\n\
+    \  \"cpu_seconds\": %.6f,\n\
+    \  \"ops_per_second\": %.1f,\n\
+    \  \"messages\": %d,\n\
+    \  \"bytes\": %d,\n\
+    \  \"put_latency_p50\": %.9f,\n\
+    \  \"put_latency_p99\": %.9f,\n\
+    \  \"get_latency_p50\": %.9f,\n\
+    \  \"get_latency_p99\": %.9f,\n\
+    \  \"route_hops_p50\": %.2f,\n\
+    \  \"route_hops_p99\": %.2f\n\
+     }\n"
+    ops cpu
+    (if cpu > 0. then float_of_int ops /. cpu else 0.)
+    (counter "net.messages") (counter "net.bytes") (lat "put" 0.5)
+    (lat "put" 0.99) (lat "get" 0.5) (lat "get" 0.99) (quantile hops 0.5)
+    (quantile hops 0.99);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d ops, %.0f ops/s on the host)\n" path ops
+    (if cpu > 0. then float_of_int ops /. cpu else 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: figure regeneration (reduced runs; dht_sim for full scale)  *)
 
 let checkpoints = [ 128; 256; 512; 768; 1024 ]
 
@@ -251,7 +326,9 @@ let runs = 10
 let seed = 2004
 
 let () =
+  Dht_core.Log.setup_from_env ();
   run_benchmarks ();
+  emit_runtime_json "BENCH_runtime.json";
 
   let fig4 = Figures.fig4 ~runs ~seed () in
   print_curves

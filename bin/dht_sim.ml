@@ -9,6 +9,8 @@ module Chart = Dht_report.Ascii_chart
 module Table = Dht_report.Table
 module Csv = Dht_report.Csv
 module Csim = Dht_protocol.Creation_sim
+module Registry = Dht_telemetry.Registry
+module Trace = Dht_telemetry.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Common options                                                      *)
@@ -32,6 +34,79 @@ let csv_arg =
 let no_chart_arg =
   let doc = "Suppress the ASCII chart (print only the summary table)." in
   Arg.(value & flag & info [ "no-chart" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry options (available on every subcommand)                   *)
+
+(* A per-invocation metrics registry and trace sink, built from --metrics,
+   --metrics-csv and --trace. Commands that drive an engine feed both;
+   the rest still accept the flags and report an empty registry, so the
+   interface is uniform across subcommands. *)
+type telemetry = {
+  tel_reg : Registry.t;
+  tel_trace : Trace.t;
+  tel_show : bool;
+  tel_csv : string option;
+  tel_trace_path : string option;
+}
+
+let make_telemetry show csv trace_path =
+  let tel_trace =
+    match trace_path with
+    | None -> Trace.noop
+    | Some path ->
+        Trace.to_channel (Trace.format_of_path path) (open_out path)
+  in
+  {
+    tel_reg = Registry.create ();
+    tel_trace;
+    tel_show = show || csv <> None;
+    tel_csv = csv;
+    tel_trace_path = trace_path;
+  }
+
+(* Print/write/close whatever telemetry the command produced. Runs before
+   any failure [exit] so trace files are always valid JSON. *)
+let finish_telemetry tel =
+  Trace.close tel.tel_trace;
+  Option.iter
+    (fun path ->
+      Printf.printf "wrote %s (%d trace events)\n" path
+        (Trace.events tel.tel_trace))
+    tel.tel_trace_path;
+  if tel.tel_show then begin
+    print_endline "== telemetry ==";
+    if Registry.is_empty tel.tel_reg then
+      print_endline "(this command registered no instruments)"
+    else Table.print (Registry.to_table tel.tel_reg)
+  end;
+  Option.iter
+    (fun path ->
+      Csv.write ~path ~header:Registry.csv_header (Registry.csv_rows tel.tel_reg);
+      Printf.printf "wrote %s\n" path)
+    tel.tel_csv
+
+let telemetry_term =
+  let show =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the telemetry metrics table after the run.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-csv" ] ~docv:"FILE"
+             ~doc:"Write the telemetry metrics to $(docv) as CSV.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:
+               "Record a protocol trace to $(docv): JSON-lines when the \
+                name ends in .jsonl, Chrome trace-event format (open at \
+                ui.perfetto.dev) otherwise. Timestamps are virtual, so the \
+                trace is byte-identical across runs with the same seed.")
+  in
+  Term.(const make_telemetry $ show $ csv $ trace)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering helpers                                                   *)
@@ -85,13 +160,14 @@ let emit ?(y_label = "sigma(Qv) %") ?(x_label = "overall number of vnodes")
 (* Figure commands                                                     *)
 
 let fig4_cmd =
-  let run runs vnodes seed csv no_chart =
+  let run tel runs vnodes seed csv no_chart =
     let curves = Figures.fig4 ~runs ~vnodes ~seed () in
-    emit ~title:"Figure 4: sigma(Qv) when Pmin = Vmin" ~csv ~no_chart curves
+    emit ~title:"Figure 4: sigma(Qv) when Pmin = Vmin" ~csv ~no_chart curves;
+    finish_telemetry tel
   in
   let term =
-    Term.(const run $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg $ csv_arg
-          $ no_chart_arg)
+    Term.(const run $ telemetry_term $ runs_arg 100 $ vnodes_arg 1024
+          $ seed_arg $ csv_arg $ no_chart_arg)
   in
   Cmd.v
     (Cmd.info "fig4"
@@ -99,7 +175,7 @@ let fig4_cmd =
     term
 
 let fig5_cmd =
-  let run runs vnodes seed alpha =
+  let run tel runs vnodes seed alpha =
     let thetas = Figures.fig5 ~runs ~vnodes ~alpha ~seed () in
     Printf.printf "== Figure 5: theta(Vmin), alpha = beta = %.2f ==\n" alpha;
     let table = Table.create ~headers:[ "Vmin"; "theta" ] in
@@ -108,66 +184,73 @@ let fig5_cmd =
       thetas;
     Table.print table;
     Printf.printf "theta minimizes at Vmin = %d (paper: 32)\n"
-      (Figures.argmin_theta thetas)
+      (Figures.argmin_theta thetas);
+    finish_telemetry tel
   in
   let alpha =
     Arg.(value & opt float 0.5 & info [ "alpha" ] ~docv:"A"
            ~doc:"Weight of the Vmin term (beta = 1 - alpha).")
   in
-  let term = Term.(const run $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg $ alpha) in
+  let term =
+    Term.(const run $ telemetry_term $ runs_arg 100 $ vnodes_arg 1024
+          $ seed_arg $ alpha)
+  in
   Cmd.v (Cmd.info "fig5" ~doc:"Parameter-choice functional theta (figure 5).") term
 
 let fig6_cmd =
-  let run runs vnodes seed csv no_chart =
+  let run tel runs vnodes seed csv no_chart =
     let curves = Figures.fig6 ~runs ~vnodes ~seed () in
     emit ~title:"Figure 6: sigma(Qv) when Pmin = 32, Vmin in {8..512}" ~csv
-      ~no_chart curves
+      ~no_chart curves;
+    finish_telemetry tel
   in
   let term =
-    Term.(const run $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg $ csv_arg
-          $ no_chart_arg)
+    Term.(const run $ telemetry_term $ runs_arg 100 $ vnodes_arg 1024
+          $ seed_arg $ csv_arg $ no_chart_arg)
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Degradation of the balancement quality (figure 6).")
     term
 
-let fig78 ~which runs vnodes seed csv no_chart =
+let fig78 ~which tel runs vnodes seed csv no_chart =
   let d = Figures.fig7_fig8 ~runs ~vnodes ~seed () in
-  match which with
+  (match which with
   | `Fig7 ->
       emit ~title:"Figure 7: evolution of the number of groups"
         ~y_label:"overall number of groups" ~csv ~no_chart
         [ d.Figures.greal; d.Figures.gideal ]
   | `Fig8 ->
       emit ~title:"Figure 8: evolution of sigma(Qg)" ~y_label:"sigma(Qg) %" ~csv
-        ~no_chart [ d.Figures.sigma_qg ]
+        ~no_chart [ d.Figures.sigma_qg ]);
+  finish_telemetry tel
 
 let fig7_cmd =
   let term =
-    Term.(const (fig78 ~which:`Fig7) $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg
-          $ csv_arg $ no_chart_arg)
+    Term.(const (fig78 ~which:`Fig7) $ telemetry_term $ runs_arg 100
+          $ vnodes_arg 1024 $ seed_arg $ csv_arg $ no_chart_arg)
   in
   Cmd.v (Cmd.info "fig7" ~doc:"Greal vs Gideal, Pmin = Vmin = 32 (figure 7).") term
 
 let fig8_cmd =
   let term =
-    Term.(const (fig78 ~which:`Fig8) $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg
-          $ csv_arg $ no_chart_arg)
+    Term.(const (fig78 ~which:`Fig8) $ telemetry_term $ runs_arg 100
+          $ vnodes_arg 1024 $ seed_arg $ csv_arg $ no_chart_arg)
   in
   Cmd.v
     (Cmd.info "fig8" ~doc:"Balancement between groups sigma(Qg) (figure 8).")
     term
 
 let fig9_cmd =
-  let run runs vnodes seed csv no_chart =
+  let run tel runs vnodes seed csv no_chart =
     let curves = Figures.fig9 ~runs ~nodes:vnodes ~seed () in
     emit ~title:"Figure 9: local approach vs Consistent Hashing"
       ~y_label:"sigma(Qn) %" ~x_label:"overall number of cluster nodes" ~csv
-      ~no_chart curves
+      ~no_chart curves;
+    finish_telemetry tel
   in
   let term =
-    Term.(const run $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg $ csv_arg
-          $ no_chart_arg)
+    Term.(const run $ telemetry_term $ runs_arg 100 $ vnodes_arg 1024
+          $ seed_arg $ csv_arg $ no_chart_arg)
   in
   Cmd.v (Cmd.info "fig9" ~doc:"Comparison with Consistent Hashing (figure 9).") term
 
@@ -175,7 +258,7 @@ let fig9_cmd =
 (* Claim checks                                                        *)
 
 let zones_cmd =
-  let run runs seed =
+  let run tel runs seed =
     let local, global = Figures.zone1 ~runs ~seed () in
     Printf.printf
       "== 1st zone (V <= Vmax): local approach vs global approach ==\n";
@@ -192,15 +275,16 @@ let zones_cmd =
               Printf.sprintf "%.4f" (local.Curve.ys.(i) -. global.Curve.ys.(i));
             ])
       [ 0; 7; 15; 31; 47; 63 ];
-    Table.print table
+    Table.print table;
+    finish_telemetry tel
   in
-  let term = Term.(const run $ runs_arg 100 $ seed_arg) in
+  let term = Term.(const run $ telemetry_term $ runs_arg 100 $ seed_arg) in
   Cmd.v
     (Cmd.info "zones" ~doc:"Check the zone-1 claim: local = global while V <= Vmax.")
     term
 
 let ratios_cmd =
-  let run runs vnodes seed =
+  let run tel runs vnodes seed =
     let curves = Figures.fig4 ~runs ~vnodes ~seed () in
     Printf.printf
       "== Plateau ratios: doubling (Pmin,Vmin) should shave ~30%% ==\n";
@@ -210,22 +294,26 @@ let ratios_cmd =
         Table.add_row table
           [ label; Printf.sprintf "%.3f" final; Printf.sprintf "%.3f" ratio ])
       (Figures.plateau_ratios curves);
-    Table.print table
+    Table.print table;
+    finish_telemetry tel
   in
-  let term = Term.(const run $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg) in
+  let term =
+    Term.(const run $ telemetry_term $ runs_arg 100 $ vnodes_arg 1024 $ seed_arg)
+  in
   Cmd.v (Cmd.info "ratios" ~doc:"Check the ~30% improvement-per-doubling claim.") term
 
 let stability_cmd =
-  let run runs vnodes seed csv no_chart =
+  let run tel runs vnodes seed csv no_chart =
     let curve, slope = Figures.stability ~runs ~vnodes ~seed () in
     emit ~title:"Stability out to 8192 vnodes (Pmin = Vmin = 32)" ~csv ~no_chart
       [ curve ];
     Printf.printf "second-half slope: %+.4f %% per 1000 vnodes (stable ~ 0)\n"
-      slope
+      slope;
+    finish_telemetry tel
   in
   let term =
-    Term.(const run $ runs_arg 10 $ vnodes_arg 8192 $ seed_arg $ csv_arg
-          $ no_chart_arg)
+    Term.(const run $ telemetry_term $ runs_arg 10 $ vnodes_arg 8192 $ seed_arg
+          $ csv_arg $ no_chart_arg)
   in
   Cmd.v (Cmd.info "stability" ~doc:"Check the 8192-vnode stability claim.") term
 
@@ -233,7 +321,7 @@ let stability_cmd =
 (* Extension experiments                                               *)
 
 let cost_cmd =
-  let run runs vnodes seed =
+  let run tel runs vnodes seed =
     let rows = Figures.cost ~runs ~vnodes ~seed () in
     Printf.printf
       "== Resource cost of Vmin (section 4.1.2, the other side of theta) ==\n";
@@ -255,16 +343,19 @@ let cost_cmd =
             Printf.sprintf "%.3f" r.Figures.final_sigma;
           ])
       rows;
-    Table.print table
+    Table.print table;
+    finish_telemetry tel
   in
-  let term = Term.(const run $ runs_arg 20 $ vnodes_arg 1024 $ seed_arg) in
+  let term =
+    Term.(const run $ telemetry_term $ runs_arg 20 $ vnodes_arg 1024 $ seed_arg)
+  in
   Cmd.v
     (Cmd.info "cost"
        ~doc:"Measure the storage/synchronization cost that grows with Vmin.")
     term
 
 let parallel_cmd =
-  let run vnodes rate snodes seed =
+  let run tel vnodes rate snodes seed =
     let rows = Extensions.parallel ~snodes ~vnodes ~rate ~seed () in
     Printf.printf
       "== Creation protocol: %d creations, Poisson %.0f/s, %d snodes ==\n"
@@ -291,7 +382,19 @@ let parallel_cmd =
             string_of_int r.Csim.conflicts;
           ])
       rows;
-    Table.print table
+    Table.print table;
+    List.iter
+      (fun { Extensions.label; result = r } ->
+        List.iter
+          (fun (tag, msgs, bytes) ->
+            let labels = [ ("approach", label); ("tag", tag) ] in
+            Registry.inc (Registry.counter tel.tel_reg ~labels "net.messages")
+              msgs;
+            Registry.inc (Registry.counter tel.tel_reg ~labels "net.bytes")
+              bytes)
+          r.Csim.traffic_by_tag)
+      rows;
+    finish_telemetry tel
   in
   let rate =
     Arg.(value & opt float 1000. & info [ "rate" ] ~docv:"R"
@@ -301,14 +404,16 @@ let parallel_cmd =
     Arg.(value & opt int 64 & info [ "snodes" ] ~docv:"S"
            ~doc:"Number of cluster nodes hosting snodes.")
   in
-  let term = Term.(const run $ vnodes_arg 512 $ rate $ snodes $ seed_arg) in
+  let term =
+    Term.(const run $ telemetry_term $ vnodes_arg 512 $ rate $ snodes $ seed_arg)
+  in
   Cmd.v
     (Cmd.info "parallel"
        ~doc:"Quantify the serialization of the global approach (section 3 claim).")
     term
 
 let hetero_cmd =
-  let run total seed =
+  let run tel total seed =
     let r = Extensions.hetero ~total_vnodes:total ~seed () in
     Printf.printf "== Heterogeneous enrollment: quota vs capacity share ==\n";
     let table =
@@ -330,19 +435,20 @@ let hetero_cmd =
       r.Extensions.names;
     Table.print table;
     Printf.printf "max relative error %.3f, rms %.3f\n" r.Extensions.max_rel_err
-      r.Extensions.rms_rel_err
+      r.Extensions.rms_rel_err;
+    finish_telemetry tel
   in
   let total =
     Arg.(value & opt int 128 & info [ "total-vnodes" ] ~docv:"V"
            ~doc:"Total vnodes apportioned across the cluster.")
   in
-  let term = Term.(const run $ total $ seed_arg) in
+  let term = Term.(const run $ telemetry_term $ total $ seed_arg) in
   Cmd.v
     (Cmd.info "hetero" ~doc:"Heterogeneous-cluster enrollment experiment.")
     term
 
 let kvload_cmd =
-  let run keys zipf seed =
+  let run tel keys zipf seed =
     let r = Extensions.kvload ~keys ~zipf ~seed () in
     Printf.printf "== Data plane: %d %s keys, %d -> %d vnodes ==\n"
       r.Extensions.keys
@@ -356,6 +462,7 @@ let kvload_cmd =
       r.Extensions.quota_sigma_after;
     Printf.printf "keys migrated: %d, keys lost: %d\n" r.Extensions.migrations
       r.Extensions.lost;
+    finish_telemetry tel;
     if r.Extensions.lost > 0 then exit 1
   in
   let keys =
@@ -365,11 +472,11 @@ let kvload_cmd =
   let zipf =
     Arg.(value & flag & info [ "zipf" ] ~doc:"Draw keys from a Zipf popularity law.")
   in
-  let term = Term.(const run $ keys $ zipf $ seed_arg) in
+  let term = Term.(const run $ telemetry_term $ keys $ zipf $ seed_arg) in
   Cmd.v (Cmd.info "kvload" ~doc:"Data-plane balance and no-key-loss audit.") term
 
 let churn_cmd =
-  let run ops leave_fraction seed =
+  let run tel ops leave_fraction seed =
     let r = Extensions.churn ~operations:ops ~leave_fraction ~seed () in
     Printf.printf "== Churn: %d ops (%.0f%% leaves) from 128 vnodes ==\n" ops
       (100. *. leave_fraction);
@@ -382,6 +489,7 @@ let churn_cmd =
       (Array.fold_left Float.max 0. curve);
     Printf.printf "keys lost %d, audit failures %d\n" r.Extensions.churn_keys_lost
       r.Extensions.audit_failures;
+    finish_telemetry tel;
     if r.Extensions.churn_keys_lost > 0 || r.Extensions.audit_failures > 0 then
       exit 1
   in
@@ -393,13 +501,13 @@ let churn_cmd =
     Arg.(value & opt float 0.4 & info [ "leave-fraction" ] ~docv:"F"
            ~doc:"Probability that an operation is a leave.")
   in
-  let term = Term.(const run $ ops $ leave $ seed_arg) in
+  let term = Term.(const run $ telemetry_term $ ops $ leave $ seed_arg) in
   Cmd.v
     (Cmd.info "churn" ~doc:"Dynamic joins and leaves with data and invariant audits.")
     term
 
 let ablation_cmd =
-  let run runs vnodes seed =
+  let run tel runs vnodes seed =
     let r = Extensions.ablation_selection ~runs ~vnodes ~seed () in
     Printf.printf
       "== Ablation: victim selection (quota-proportional lookup vs uniform group) ==\n";
@@ -412,35 +520,39 @@ let ablation_cmd =
       [ "uniform group";
         Printf.sprintf "%.3f" r.Extensions.uniform_sigma_qv;
         Printf.sprintf "%.3f" r.Extensions.uniform_sigma_qg ];
-    Table.print table
+    Table.print table;
+    finish_telemetry tel
   in
-  let term = Term.(const run $ runs_arg 20 $ vnodes_arg 512 $ seed_arg) in
+  let term =
+    Term.(const run $ telemetry_term $ runs_arg 20 $ vnodes_arg 512 $ seed_arg)
+  in
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"Quantify the section-3.6 victim-selection design choice.")
     term
 
 let hotspot_cmd =
-  let run accesses seed =
+  let run tel accesses seed =
     let r = Extensions.hotspot ~accesses ~seed () in
     Printf.printf "== Access-aware fine-grain balancing (section-6 future work) ==\n";
     Printf.printf "%d zipf accesses: per-vnode access sigma %.2f%% -> %.2f%% (%d swaps, %d keys lost)\n"
       r.Extensions.accesses r.Extensions.access_sigma_before
       r.Extensions.access_sigma_after r.Extensions.partitions_moved
       r.Extensions.hotspot_keys_lost;
+    finish_telemetry tel;
     if r.Extensions.hotspot_keys_lost > 0 then exit 1
   in
   let accesses =
     Arg.(value & opt int 200_000 & info [ "accesses" ] ~docv:"N"
            ~doc:"Number of zipf-distributed reads to replay.")
   in
-  let term = Term.(const run $ accesses $ seed_arg) in
+  let term = Term.(const run $ telemetry_term $ accesses $ seed_arg) in
   Cmd.v
     (Cmd.info "hotspot" ~doc:"Access-aware partition swapping under zipf reads.")
     term
 
 let hetero_compare_cmd =
-  let run runs seed =
+  let run tel runs seed =
     let r = Extensions.hetero_compare ~runs ~seed () in
     Printf.printf
       "== Heterogeneous quota tracking: local enrollment vs weighted CH ==\n";
@@ -453,17 +565,21 @@ let hetero_compare_cmd =
       [ "weighted CH";
         Printf.sprintf "%.3f" r.Extensions.ch_max_err;
         Printf.sprintf "%.3f" r.Extensions.ch_rms_err ];
-    Table.print table
+    Table.print table;
+    finish_telemetry tel
   in
-  let term = Term.(const run $ runs_arg 20 $ seed_arg) in
+  let term = Term.(const run $ telemetry_term $ runs_arg 20 $ seed_arg) in
   Cmd.v
     (Cmd.info "hetero-compare"
        ~doc:"Capacity-share tracking: local enrollment vs points-weighted CH.")
     term
 
 let distributed_cmd =
-  let run snodes vnodes seed =
-    let r = Extensions.distributed ~snodes ~vnodes ~seed () in
+  let run tel snodes vnodes seed =
+    let r =
+      Extensions.distributed ~snodes ~vnodes ~metrics:tel.tel_reg
+        ~trace:tel.tel_trace ~seed ()
+    in
     Printf.printf
       "== Distributed snode runtime: %d vnodes on %d snodes (message-level) ==\n"
       vnodes snodes;
@@ -484,6 +600,7 @@ let distributed_cmd =
       r.Extensions.global_makespan
       (r.Extensions.global_makespan /. r.Extensions.makespan)
       (if r.Extensions.global_audit_ok then "ok" else "FAILED");
+    finish_telemetry tel;
     if r.Extensions.dist_keys_wrong > 0 || not r.Extensions.dist_audit_ok
        || not r.Extensions.global_audit_ok then
       exit 1
@@ -492,17 +609,19 @@ let distributed_cmd =
     Arg.(value & opt int 16 & info [ "snodes" ] ~docv:"S"
            ~doc:"Number of snodes in the simulated cluster.")
   in
-  let term = Term.(const run $ snodes $ vnodes_arg 128 $ seed_arg) in
+  let term =
+    Term.(const run $ telemetry_term $ snodes $ vnodes_arg 128 $ seed_arg)
+  in
   Cmd.v
     (Cmd.info "distributed"
        ~doc:"Run the message-level snode runtime and audit its convergence.")
     term
 
 let chaos_cmd =
-  let run snodes vnodes keys drop dup jitter crashes downtime seed =
+  let run tel snodes vnodes keys drop dup jitter crashes downtime seed =
     let r =
       Extensions.chaos ~snodes ~vnodes ~keys ~drop ~dup ~jitter ~crashes
-        ~downtime ~seed ()
+        ~downtime ~metrics:tel.tel_reg ~trace:tel.tel_trace ~seed ()
     in
     Printf.printf
       "== Chaos: %d vnodes on %d snodes, drop %.1f%%, dup %.1f%%, %d crashes ==\n"
@@ -528,9 +647,19 @@ let chaos_cmd =
       s.Dht_snode.Runtime.drops s.Dht_snode.Runtime.duplicates
       s.Dht_snode.Runtime.timeouts s.Dht_snode.Runtime.retransmits
       s.Dht_snode.Runtime.crashes s.Dht_snode.Runtime.recoveries;
+    if s.Dht_snode.Runtime.recoveries > 0 then
+      Printf.printf "recovery downtime: p50 %.3fs, p99 %.3fs\n"
+        r.Extensions.chaos_recovery_p50 r.Extensions.chaos_recovery_p99;
+    let tags = Table.create ~headers:[ "message tag"; "msgs"; "bytes" ] in
+    List.iter
+      (fun (tag, msgs, bytes) ->
+        Table.add_row tags [ tag; string_of_int msgs; string_of_int bytes ])
+      r.Extensions.chaos_per_tag;
+    Table.print tags;
     Printf.printf "keys wrong: %d, operations pending: %d, audit: %s\n"
       r.Extensions.chaos_keys_wrong r.Extensions.chaos_pending
       (if r.Extensions.chaos_audit_ok then "ok" else "FAILED");
+    finish_telemetry tel;
     if
       r.Extensions.chaos_keys_wrong > 0
       || r.Extensions.chaos_pending > 0
@@ -566,8 +695,8 @@ let chaos_cmd =
            ~doc:"Virtual seconds each crashed snode stays down.")
   in
   let term =
-    Term.(const run $ snodes $ vnodes_arg 40 $ keys $ drop $ dup $ jitter
-          $ crashes $ downtime $ seed_arg)
+    Term.(const run $ telemetry_term $ snodes $ vnodes_arg 40 $ keys $ drop
+          $ dup $ jitter $ crashes $ downtime $ seed_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -578,7 +707,7 @@ let chaos_cmd =
     term
 
 let coexist_cmd =
-  let run load seed =
+  let run tel load seed =
     let r = Extensions.coexist ~load ~seed () in
     Printf.printf
       "== Coexistence (section-6 future work): 2 DHTs + external load ==\n";
@@ -599,20 +728,21 @@ let coexist_cmd =
     Table.print table;
     Printf.printf "retarget: %d vnodes added, %d removed, %d removals blocked\n"
       r.Extensions.coexist_added r.Extensions.coexist_removed
-      r.Extensions.coexist_blocked
+      r.Extensions.coexist_blocked;
+    finish_telemetry tel
   in
   let load =
     Arg.(value & opt float 0.6 & info [ "load" ] ~docv:"F"
            ~doc:"External load fraction on the loaded nodes.")
   in
-  let term = Term.(const run $ load $ seed_arg) in
+  let term = Term.(const run $ telemetry_term $ load $ seed_arg) in
   Cmd.v
     (Cmd.info "coexist"
        ~doc:"Multi-DHT coexistence with external load (section-6 future work).")
     term
 
 let all_cmd =
-  let run runs seed =
+  let run tel runs seed =
     (* A reduced-runs sweep of everything, for a quick end-to-end check. *)
     let curves = Figures.fig4 ~runs ~seed () in
     emit ~title:"Figure 4" ~csv:None ~no_chart:true curves;
@@ -626,29 +756,16 @@ let all_cmd =
     emit ~title:"Figure 8" ~y_label:"sigma(Qg) %" ~csv:None ~no_chart:true
       [ d.Figures.sigma_qg ];
     emit ~title:"Figure 9" ~y_label:"sigma(Qn) %" ~csv:None ~no_chart:true
-      (Figures.fig9 ~runs ~seed ())
+      (Figures.fig9 ~runs ~seed ());
+    finish_telemetry tel
   in
-  let term = Term.(const run $ runs_arg 10 $ seed_arg) in
+  let term = Term.(const run $ telemetry_term $ runs_arg 10 $ seed_arg) in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every figure with a reduced number of runs.")
     term
 
-(* DHT_LOG=debug (or info) enables tracing of balancing events. *)
-let setup_logging () =
-  match Sys.getenv_opt "DHT_LOG" with
-  | Some level ->
-      let level =
-        match level with
-        | "debug" -> Some Logs.Debug
-        | "info" -> Some Logs.Info
-        | _ -> Some Logs.Warning
-      in
-      Logs.set_reporter (Logs_fmt.reporter ());
-      Logs.set_level level
-  | None -> ()
-
 let () =
-  setup_logging ();
+  Dht_core.Log.setup_from_env ();
   let info =
     Cmd.info "dht_sim" ~version:"1.0.0"
       ~doc:

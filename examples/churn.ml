@@ -12,6 +12,7 @@ module Rng = Dht_prng.Rng
 module Table = Dht_report.Table
 
 let () =
+  Dht_core.Log.setup_from_env ();
   let snodes = 64 in
   let creations = 512 in
   let rate = 1500. in

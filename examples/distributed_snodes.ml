@@ -10,6 +10,7 @@ module Network = Dht_event_sim.Network
 open Dht_core
 
 let () =
+  Dht_core.Log.setup_from_env ();
   let snodes = 16 in
   let rt = Runtime.create ~pmin:32 ~approach:(Runtime.Local { vmin = 16 }) ~snodes ~seed:2004 () in
 

@@ -11,6 +11,7 @@ module Rng = Dht_prng.Rng
 module Table = Dht_report.Table
 
 let () =
+  Dht_core.Log.setup_from_env ();
   (* 8 old machines, 4 mid-generation (2x), 2 new (4x). *)
   let cluster =
     Cluster.Topology.generations ~counts:[ (8, 1.0); (4, 2.0); (2, 4.0) ]

@@ -12,6 +12,7 @@ module Rng = Dht_prng.Rng
 let vid i = Vnode_id.make ~snode:i ~vnode:0
 
 let () =
+  Dht_core.Log.setup_from_env ();
   let rng = Rng.of_int 42 in
   let store = Local_store.create ~pmin:32 ~vmin:16 ~rng ~first:(vid 0) () in
 

@@ -6,6 +6,7 @@ open Dht_core
 module Rng = Dht_prng.Rng
 
 let () =
+  Dht_core.Log.setup_from_env ();
   (* Parameters per the paper's recommendation (theta minimizes at 32). *)
   let pmin = 32 and vmin = 32 in
   let rng = Rng.of_int 2004 in

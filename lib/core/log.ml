@@ -4,3 +4,19 @@
 let src = Logs.Src.create "dht.core" ~doc:"Cluster-oriented DHT core model"
 
 module L = (val Logs.src_log src : Logs.LOG)
+
+(* DHT_LOG=debug|info (anything else means warning) arms the Fmt reporter.
+   Shared by dht_sim, the benchmarks and the examples so the variable
+   behaves the same everywhere. *)
+let setup_from_env () =
+  match Sys.getenv_opt "DHT_LOG" with
+  | None -> ()
+  | Some level ->
+      let level =
+        match level with
+        | "debug" -> Some Logs.Debug
+        | "info" -> Some Logs.Info
+        | _ -> Some Logs.Warning
+      in
+      Logs.set_reporter (Logs_fmt.reporter ());
+      Logs.set_level level

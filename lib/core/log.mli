@@ -5,3 +5,9 @@
 val src : Logs.src
 
 module L : Logs.LOG
+
+val setup_from_env : unit -> unit
+(** Honor the [DHT_LOG] environment variable: [debug] and [info] select
+    those levels, any other value selects warnings; unset leaves logging
+    untouched. Installs the [Logs_fmt] reporter when the variable is set.
+    Call once at executable startup ([dht_sim], [bench], the examples). *)

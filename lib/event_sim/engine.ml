@@ -2,16 +2,23 @@ type t = {
   queue : (unit -> unit) Heap.t;
   mutable clock : float;
   mutable seq : int;
+  mutable dispatched : int;
+  mutable max_pending : int;
 }
 
-let create () = { queue = Heap.create (); clock = 0.; seq = 0 }
+let create () =
+  { queue = Heap.create (); clock = 0.; seq = 0; dispatched = 0;
+    max_pending = 0 }
+
 let now t = t.clock
 
 let at t ~time f =
   if not (Float.is_finite time) then invalid_arg "Engine.at: non-finite time";
   if time < t.clock then invalid_arg "Engine.at: time in the past";
   Heap.push t.queue ~time ~seq:t.seq f;
-  t.seq <- t.seq + 1
+  t.seq <- t.seq + 1;
+  let len = Heap.length t.queue in
+  if len > t.max_pending then t.max_pending <- len
 
 let schedule t ~delay f =
   if not (Float.is_finite delay) || delay < 0. then
@@ -35,12 +42,15 @@ let cancel h = if h.state = `Pending then h.state <- `Cancelled
 let is_pending h = h.state = `Pending
 
 let pending t = Heap.length t.queue
+let dispatched t = t.dispatched
+let max_pending t = t.max_pending
 
 let step t =
   match Heap.pop t.queue with
   | None -> false
   | Some (time, _, f) ->
       t.clock <- time;
+      t.dispatched <- t.dispatched + 1;
       f ();
       true
 

@@ -39,6 +39,14 @@ val is_pending : handle -> bool
 val pending : t -> int
 (** Events not yet dispatched. *)
 
+val dispatched : t -> int
+(** Events dispatched since {!create} (cancelled timers included: their
+    no-op queue entries are still dispatched). *)
+
+val max_pending : t -> int
+(** High-water mark of the event-queue depth — the telemetry layer exposes
+    it as a gauge to spot event storms. *)
+
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Dispatches events in order until the queue drains, the next event lies
     beyond [until], or [max_events] have been dispatched. The clock advances

@@ -7,6 +7,10 @@ let link ~base_latency ~byte_time =
 
 let gigabit = link ~base_latency:50e-6 ~byte_time:8e-9
 
+(* One message/byte pair, used for both the per-tag and the per-destination
+   breakdowns. *)
+type cell = { mutable m : int; mutable b : int }
+
 type t = {
   engine : Engine.t;
   link : link;
@@ -15,11 +19,23 @@ type t = {
   mutable messages : int;
   mutable bytes : int;
   mutable locals : int;
+  tags : (string, cell) Hashtbl.t;
+  dests : (int, cell) Hashtbl.t;
 }
 
 let create ?(loopback = 1e-6) ?faults engine link =
   if loopback < 0. then invalid_arg "Network.create: negative loopback";
-  { engine; link; loopback; faults; messages = 0; bytes = 0; locals = 0 }
+  {
+    engine;
+    link;
+    loopback;
+    faults;
+    messages = 0;
+    bytes = 0;
+    locals = 0;
+    tags = Hashtbl.create 32;
+    dests = Hashtbl.create 32;
+  }
 
 let faults t = t.faults
 
@@ -28,7 +44,15 @@ let transit_time t ~src ~dst ~bytes =
   if src = dst then t.loopback
   else t.link.base_latency +. (t.link.byte_time *. float_of_int bytes)
 
-let send t ~src ~dst ~bytes k =
+let account tbl key bytes =
+  (match Hashtbl.find_opt tbl key with
+  | Some c ->
+      c.m <- c.m + 1;
+      c.b <- c.b + bytes
+  | None -> Hashtbl.add tbl key { m = 1; b = bytes })
+  [@@inline]
+
+let send t ?tag ~src ~dst ~bytes k =
   let delay = transit_time t ~src ~dst ~bytes in
   if src = dst then begin
     t.locals <- t.locals + 1;
@@ -37,6 +61,8 @@ let send t ~src ~dst ~bytes k =
   else begin
     t.messages <- t.messages + 1;
     t.bytes <- t.bytes + bytes;
+    (match tag with Some tag -> account t.tags tag bytes | None -> ());
+    account t.dests dst bytes;
     match t.faults with
     | None -> Engine.schedule t.engine ~delay k
     | Some f ->
@@ -58,7 +84,23 @@ let messages t = t.messages
 let bytes_sent t = t.bytes
 let local_deliveries t = t.locals
 
+let per_tag t =
+  Hashtbl.fold (fun tag c acc -> (tag, c.m, c.b) :: acc) t.tags []
+  |> List.sort compare
+
+let per_destination t =
+  Hashtbl.fold (fun dst c acc -> (dst, c.m, c.b) :: acc) t.dests []
+  |> List.sort compare
+
+let messages_to t ~dst =
+  match Hashtbl.find_opt t.dests dst with Some c -> c.m | None -> 0
+
+let bytes_to t ~dst =
+  match Hashtbl.find_opt t.dests dst with Some c -> c.b | None -> 0
+
 let reset_counters t =
   t.messages <- 0;
   t.bytes <- 0;
-  t.locals <- 0
+  t.locals <- 0;
+  Hashtbl.reset t.tags;
+  Hashtbl.reset t.dests

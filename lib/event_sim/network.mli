@@ -28,14 +28,20 @@ val create : ?loopback:float -> ?faults:Fault.t -> Engine.t -> link -> t
 val faults : t -> Fault.t option
 (** The fault plan given at {!create}, if any. *)
 
-val send : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+val send :
+  t -> ?tag:string -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
 (** [send t ~src ~dst ~bytes k] delivers the message after the link delay
     and then runs [k]. Counts one message and [bytes] bytes (loopback
-    deliveries count separately). Under a fault plan the message may be
-    dropped (severed link, drop roll, or destination down at delivery
-    time), duplicated, or delayed by jitter; the message/byte counters
-    count the {e send}, whatever its fate — injected faults are counted by
-    the plan itself. Loopback deliveries are never subjected to faults.
+    deliveries count separately). When [tag] is given (protocol layers pass
+    their wire-message tag, e.g. {!Dht_snode.Wire.describe}), the send is
+    also accounted in the per-tag breakdown ({!per_tag}); every remote send
+    is accounted per destination ({!messages_to}, {!bytes_to}). Under a
+    fault plan the message may be dropped (severed link, drop roll, or
+    destination down at delivery time), duplicated, or delayed by jitter;
+    {e all} counters — totals, per-tag and per-destination — count the
+    {e send}, whatever its fate: an injected duplicate is one send, and is
+    counted by the fault plan itself ({!Fault.duplicates}), not by the
+    network. Loopback deliveries are never subjected to faults.
     @raise Invalid_argument if [bytes < 0]. *)
 
 val transit_time : t -> src:int -> dst:int -> bytes:int -> float
@@ -50,4 +56,20 @@ val bytes_sent : t -> int
 
 val local_deliveries : t -> int
 
+val per_tag : t -> (string * int * int) list
+(** Remote traffic broken down by the [tag] passed to {!send}:
+    [(tag, messages, bytes)], sorted by tag. Untagged sends appear only in
+    the totals. *)
+
+val per_destination : t -> (int * int * int) list
+(** Remote traffic per destination node: [(dst, messages, bytes)], sorted
+    by destination. *)
+
+val messages_to : t -> dst:int -> int
+(** Remote messages sent toward [dst] so far. *)
+
+val bytes_to : t -> dst:int -> int
+(** Remote bytes sent toward [dst] so far. *)
+
 val reset_counters : t -> unit
+(** Zero the totals and clear the per-tag and per-destination breakdowns. *)

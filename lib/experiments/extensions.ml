@@ -409,9 +409,12 @@ type distributed_report = {
 }
 
 let distributed ?(snodes = 16) ?(vnodes = 128) ?(keys = 5000) ?(pmin = 32)
-    ?(vmin = 16) ~seed () =
+    ?(vmin = 16) ?metrics ?trace ~seed () =
   let module Runtime = Dht_snode.Runtime in
-  let rt = Runtime.create ~pmin ~approach:(Runtime.Local { vmin }) ~snodes ~seed () in
+  let rt =
+    Runtime.create ~pmin ~approach:(Runtime.Local { vmin }) ?metrics ?trace
+      ~snodes ~seed ()
+  in
   for i = 0 to keys - 1 do
     Runtime.put rt ~via:(i mod snodes)
       ~key:(Printf.sprintf "user:%d" i)
@@ -458,6 +461,9 @@ let distributed ?(snodes = 16) ?(vnodes = 128) ?(keys = 5000) ?(pmin = 32)
       ()
   done;
   Runtime.run grt;
+  (match metrics with
+  | Some reg -> Runtime.record_metrics rt reg
+  | None -> ());
   {
     dist_vnodes = Runtime.vnode_count rt;
     dist_sigma_qv = Runtime.sigma_qv rt;
@@ -486,19 +492,31 @@ type chaos_report = {
   chaos_pending : int;
   chaos_audit_ok : bool;
   chaos_stats : Dht_snode.Runtime.stats;
+  chaos_per_tag : (string * int * int) list;
+      (** faulty-run remote traffic per wire tag: [(tag, messages, bytes)] *)
+  chaos_recovery_p50 : float;  (** crash-to-restart latency quantiles; *)
+  chaos_recovery_p99 : float;  (** [nan] when no crash recovered *)
 }
 
 let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
     ?(drop = 0.03) ?(dup = 0.015) ?(jitter = 2e-4) ?(crashes = 2)
-    ?(downtime = 0.05) ~seed () =
+    ?(downtime = 0.05) ?metrics ?trace ~seed () =
   let module Runtime = Dht_snode.Runtime in
   let module Fault = Dht_event_sim.Fault in
   if crashes < 0 then invalid_arg "chaos: crashes < 0";
   if downtime <= 0. then invalid_arg "chaos: downtime must be positive";
-  let run_workload ?faults () =
+  (* The registry instruments the faulty run (never the baseline), whether
+     the caller wants it surfaced or not: the recovery-latency quantiles in
+     the report come from its downtime histogram. *)
+  let reg =
+    match metrics with
+    | Some reg -> reg
+    | None -> Dht_telemetry.Registry.create ()
+  in
+  let run_workload ?faults ?metrics ?trace () =
     let rt =
-      Runtime.create ~pmin ~approach:(Runtime.Local { vmin }) ?faults ~snodes
-        ~seed ()
+      Runtime.create ~pmin ~approach:(Runtime.Local { vmin }) ?faults ?metrics
+        ?trace ~snodes ~seed ()
     in
     for i = 0 to keys - 1 do
       Runtime.put rt ~via:(i mod snodes)
@@ -534,7 +552,7 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
         (sids.(i), at, at +. downtime))
   in
   let faults = Fault.create ~drop ~duplicate:dup ~jitter ~crashes:plan ~seed () in
-  let rt, start_, end_ = run_workload ~faults () in
+  let rt, start_, end_ = run_workload ~faults ~metrics:reg ?trace () in
   (* Faults cease: verify the system converged by re-reading every key and
      auditing the full distributed state. *)
   Fault.set_drop faults 0.;
@@ -548,6 +566,10 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
       (fun v -> if v <> Some (string_of_int i) then incr wrong)
   done;
   Runtime.run rt;
+  Runtime.record_metrics rt reg;
+  let downtime_h =
+    Dht_telemetry.Registry.histogram reg "runtime.recovery.downtime"
+  in
   {
     chaos_vnodes = Runtime.vnode_count rt;
     chaos_sigma_qv = Runtime.sigma_qv rt;
@@ -562,6 +584,9 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
     chaos_audit_ok =
       (match Runtime.audit rt with Ok () -> true | Error _ -> false);
     chaos_stats = Runtime.stats rt;
+    chaos_per_tag = Dht_event_sim.Network.per_tag (Runtime.network rt);
+    chaos_recovery_p50 = Dht_telemetry.Histogram.quantile downtime_h 0.5;
+    chaos_recovery_p99 = Dht_telemetry.Histogram.quantile downtime_h 0.99;
   }
 
 type coexist_report = {

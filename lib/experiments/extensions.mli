@@ -198,6 +198,8 @@ val distributed :
   ?keys:int ->
   ?pmin:int ->
   ?vmin:int ->
+  ?metrics:Dht_telemetry.Registry.t ->
+  ?trace:Dht_telemetry.Trace.t ->
   seed:int ->
   unit ->
   distributed_report
@@ -207,7 +209,10 @@ val distributed :
     re-read from random snodes and the distributed state is audited. The
     balance is compared against a centralized {!Dht_core.Local_dht} run of
     the same size, and the same creation workload is replayed through the
-    global-approach runtime to contrast traffic and makespan. *)
+    global-approach runtime to contrast traffic and makespan. [metrics] and
+    [trace] instrument the local-approach runtime (see
+    {!Dht_snode.Runtime.create}); the registry additionally receives the
+    post-run counter dump ({!Dht_snode.Runtime.record_metrics}). *)
 
 type chaos_report = {
   chaos_vnodes : int;  (** vnodes created despite the faults *)
@@ -221,6 +226,13 @@ type chaos_report = {
   chaos_pending : int;  (** operations never completed; must be 0 *)
   chaos_audit_ok : bool;  (** must be true *)
   chaos_stats : Dht_snode.Runtime.stats;
+  chaos_per_tag : (string * int * int) list;
+      (** faulty-run remote traffic by wire tag: [(tag, messages, bytes)],
+          sorted by tag; retransmitted frames appear under their
+          [req:]-prefixed tag, acks under [ack] *)
+  chaos_recovery_p50 : float;
+      (** median crash-to-restart latency (virtual seconds) *)
+  chaos_recovery_p99 : float;  (** [nan] when no crash recovered *)
 }
 
 val chaos :
@@ -234,6 +246,8 @@ val chaos :
   ?jitter:float ->
   ?crashes:int ->
   ?downtime:float ->
+  ?metrics:Dht_telemetry.Registry.t ->
+  ?trace:Dht_telemetry.Trace.t ->
   seed:int ->
   unit ->
   chaos_report
@@ -247,7 +261,14 @@ val chaos :
     burst in virtual time (the crash windows are aimed at it) and provides
     the baseline columns. Faults then cease and every key is re-read and
     the distributed state audited: with reliable delivery and crash
-    recovery, all operations complete and the audit holds. *)
+    recovery, all operations complete and the audit holds.
+
+    The faulty run (never the baseline) is always instrumented — the
+    recovery quantiles in the report come from its downtime histogram.
+    Pass [metrics] to receive those instruments plus the post-run counter
+    dump in your own registry, and [trace] to stream its protocol events
+    ({!Dht_snode.Runtime.create}); with a fixed [seed] the trace is
+    byte-identical across runs. *)
 
 val hetero_compare :
   ?nodes_generations:(int * float) list ->

@@ -36,6 +36,7 @@ type result = {
   service_times : float array;
   messages : int;
   bytes : int;
+  traffic_by_tag : (string * int * int) list;
   max_concurrent : int;
   conflicts : int;
 }
@@ -135,18 +136,18 @@ let balancing_round sim ~coordinator ~participants ~record_entries ~dst_snode
         let pending = Option.value ~default:0 (Hashtbl.find_opt transfers snode) in
         let rec stream left =
           if left = 0 then
-            Network.send sim.net ~src:snode ~dst:coordinator
+            Network.send sim.net ~tag:"ack" ~src:snode ~dst:coordinator
               ~bytes:cfg.control_bytes ack
           else
-            Network.send sim.net ~src:snode ~dst:dst_snode
+            Network.send sim.net ~tag:"transfer" ~src:snode ~dst:dst_snode
               ~bytes:cfg.partition_payload (fun () -> stream (left - 1))
         in
         stream pending)
   in
   List.iter
     (fun snode ->
-      Network.send sim.net ~src:coordinator ~dst:snode ~bytes:record_bytes
-        (fun () -> participant_work snode))
+      Network.send sim.net ~tag:"record" ~src:coordinator ~dst:snode
+        ~bytes:record_bytes (fun () -> participant_work snode))
     participants
 
 let distinct_snodes vnodes =
@@ -219,9 +220,9 @@ let run_local sim i ~arrival latencies services =
   let victim = Local_dht.select_victim dht ~point in
   let lookup_dst = victim.Vnode.id.Vnode_id.snode in
   (* §3.6: lookup round trip to find the victim vnode and its group. *)
-  Network.send sim.net ~src:initiator ~dst:lookup_dst ~bytes:cfg.control_bytes
-    (fun () ->
-      Network.send sim.net ~src:lookup_dst ~dst:initiator
+  Network.send sim.net ~tag:"lookup" ~src:initiator ~dst:lookup_dst
+    ~bytes:cfg.control_bytes (fun () ->
+      Network.send sim.net ~tag:"lookup-reply" ~src:lookup_dst ~dst:initiator
         ~bytes:cfg.control_bytes (fun () ->
           let blocked = ref false in
           let rec acquire () =
@@ -272,8 +273,8 @@ let run_local sim i ~arrival latencies services =
               in
               let complete () =
                 (* Coordinator tells the initiator the creation is done. *)
-                Network.send sim.net ~src:coordinator ~dst:initiator
-                  ~bytes:cfg.control_bytes (fun () ->
+                Network.send sim.net ~tag:"done" ~src:coordinator
+                  ~dst:initiator ~bytes:cfg.control_bytes (fun () ->
                     finish_creation sim ~arrival ~service_start
                       ~locks_held:(l :: extra_locks) ~record:entries i
                       latencies services)
@@ -345,6 +346,7 @@ let simulate cfg ~arrivals ~seed =
     service_times = services;
     messages = Network.messages net;
     bytes = Network.bytes_sent net;
+    traffic_by_tag = Network.per_tag net;
     max_concurrent = sim.max_active;
     conflicts = sim.conflicts;
   }

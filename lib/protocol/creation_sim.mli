@@ -47,6 +47,10 @@ type result = {
   service_times : float array;  (** per creation, completion − service start *)
   messages : int;  (** remote messages on the fabric *)
   bytes : int;  (** remote bytes on the fabric *)
+  traffic_by_tag : (string * int * int) list;
+      (** fabric traffic by message kind ([lookup], [lookup-reply],
+          [record], [transfer], [ack], [done]): [(tag, messages, bytes)],
+          sorted by tag *)
   max_concurrent : int;  (** peak number of overlapping balancing rounds *)
   conflicts : int;  (** creations that found their victim group busy *)
 }

@@ -3,6 +3,9 @@ open Dht_hashspace
 module Engine = Dht_event_sim.Engine
 module Network = Dht_event_sim.Network
 module Fault = Dht_event_sim.Fault
+module Registry = Dht_telemetry.Registry
+module Histogram = Dht_telemetry.Histogram
+module Trace = Dht_telemetry.Trace
 module Rng = Dht_prng.Rng
 module Hash = Dht_hashes.Hash
 module Vtbl = Hashtbl.Make (Vnode_id)
@@ -39,6 +42,8 @@ type event_state = {
   ev_done : Wire.msg;  (* completion message for the origin snode *)
   ev_origin : int;
   ev_lock : Group_id.t;
+  ev_kind : [ `Create | `Remove ];
+  ev_start : float;  (* virtual time the coordinator planned the event *)
   mutable ev_acks : int;
   mutable ev_moved : (Span.t * Vnode_id.t) list;
   ev_participants : int list;
@@ -85,6 +90,7 @@ type peer = {
 type snode = {
   sid : int;
   mutable alive : bool;
+  mutable down_since : float;  (* crash time, for downtime telemetry *)
   locals : vnode_local Vtbl.t;
   lpdrs : lpdr Gtbl.t;
   owned : Vnode_id.t Point_map.t;  (* exact local ownership *)
@@ -116,6 +122,21 @@ type callback =
 
 type approach = Local of { vmin : int } | Global
 
+(* Instruments are resolved once at [create] — the registry lookup never
+   happens on the message path. [None] when no registry was given, so the
+   uninstrumented runtime pays one pointer comparison per site. *)
+type instruments = {
+  i_hops : Histogram.t;  (* forwarding hops per resolved routed op *)
+  i_op_put : Histogram.t;  (* issue-to-ack latency per data op *)
+  i_op_get : Histogram.t;
+  i_op_remove : Histogram.t;
+  i_prepare : Histogram.t;  (* 2PC prepare -> commit, at the coordinator *)
+  i_ev_create : Histogram.t;  (* whole balancing event, plan -> complete *)
+  i_ev_remove : Histogram.t;
+  i_downtime : Histogram.t;  (* crash -> restart per recovery *)
+  i_rto : Histogram.t;  (* retransmission-timer delays as armed *)
+}
+
 type t = {
   engine : Engine.t;
   net : Network.t;
@@ -130,6 +151,10 @@ type t = {
   poison_after : int;  (* consecutive timeouts before a route is poisoned *)
   event_timeout : float;  (* per-round watchdog for balancing events *)
   bootstrap : Span.t list * Vnode_id.t;  (* for rebuilding crashed caches *)
+  instr : instruments option;
+  trace : Trace.t;
+  (* token -> issue time; maintained only when instrumented or tracing *)
+  op_starts : (int, float) Hashtbl.t;
   snodes : snode array;
   callbacks : (int, callback) Hashtbl.t;
   mutable next_token : int;
@@ -233,6 +258,39 @@ let split_all_local t sn v =
   v.spans <- halves
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry                                                            *)
+
+let observing t = t.instr <> None || Trace.enabled t.trace
+
+let note_op_start t token =
+  if observing t then Hashtbl.replace t.op_starts token (Engine.now t.engine)
+
+(* Issue-to-completion latency of one data operation, recorded at the
+   origin snode when the ack/reply lands. *)
+let finish_op t ~kind ~token ~tid =
+  match Hashtbl.find_opt t.op_starts token with
+  | None -> ()
+  | Some t0 ->
+      Hashtbl.remove t.op_starts token;
+      let dur = Engine.now t.engine -. t0 in
+      (match t.instr with
+      | Some i ->
+          let h =
+            match kind with
+            | `Put -> i.i_op_put
+            | `Get -> i.i_op_get
+            | `Remove -> i.i_op_remove
+          in
+          Histogram.observe h dur
+      | None -> ());
+      if Trace.enabled t.trace then
+        let op =
+          match kind with `Put -> "put" | `Get -> "get" | `Remove -> "remove"
+        in
+        Trace.span t.trace ~ts:t0 ~dur ~tid ~name:"op"
+          [ ("op", Trace.Str op); ("token", Trace.Int token) ]
+
+(* ------------------------------------------------------------------ *)
 (* Messaging                                                            *)
 
 let peer_of sn pid =
@@ -261,7 +319,8 @@ let peer_of sn pid =
    (probed at the capped cadence only) until the peer answers again. *)
 let rec send t ~src ~dst msg =
   if src = dst || t.faults = None then
-    Network.send t.net ~src ~dst ~bytes:(Wire.size_bytes msg) (fun () ->
+    Network.send t.net ~tag:(Wire.describe msg) ~src ~dst
+      ~bytes:(Wire.size_bytes msg) (fun () ->
         receive t t.snodes.(dst) ~from:src msg)
   else reliable_send t t.snodes.(src) ~dst msg
 
@@ -280,9 +339,20 @@ and reliable_send t sn ~dst msg =
 
 and transmit t sn ~dst ~seq entry =
   entry.o_attempts <- entry.o_attempts + 1;
-  if entry.o_attempts > 1 then t.retransmits <- t.retransmits + 1;
+  if entry.o_attempts > 1 then begin
+    t.retransmits <- t.retransmits + 1;
+    if Trace.enabled t.trace then
+      Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:sn.sid
+        ~name:"retransmit"
+        [
+          ("dst", Trace.Int dst);
+          ("seq", Trace.Int seq);
+          ("attempt", Trace.Int entry.o_attempts);
+        ]
+  end;
   let frame = Wire.Req { seq; payload = entry.o_payload } in
-  Network.send t.net ~src:sn.sid ~dst ~bytes:(Wire.size_bytes frame) (fun () ->
+  Network.send t.net ~tag:(Wire.describe frame) ~src:sn.sid ~dst
+    ~bytes:(Wire.size_bytes frame) (fun () ->
       receive t t.snodes.(dst) ~from:sn.sid frame);
   arm_retransmit t sn ~dst ~seq entry ~delay:(rto_for t sn entry.o_attempts)
 
@@ -293,6 +363,9 @@ and rto_for t sn attempts =
   base *. (1. +. (0.5 *. Rng.float sn.rng))
 
 and arm_retransmit t sn ~dst ~seq entry ~delay =
+  (match t.instr with
+  | Some i -> Histogram.observe i.i_rto delay
+  | None -> ());
   entry.o_timer <-
     Some
       (Engine.schedule_cancellable t.engine ~delay (fun () ->
@@ -308,6 +381,10 @@ and on_rto t sn ~dst ~seq entry =
     p.strikes <- p.strikes + 1;
     if (not p.suspect) && p.strikes >= t.poison_after then begin
       p.suspect <- true;
+      if Trace.enabled t.trace then
+        Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:sn.sid
+          ~name:"route.poisoned"
+          [ ("dst", Trace.Int dst); ("strikes", Trace.Int p.strikes) ];
       Log.debug (fun m ->
           m "snode %d: route to snode %d poisoned after %d timeouts" sn.sid
             dst p.strikes)
@@ -353,7 +430,7 @@ and receive t sn ~from msg =
         let fresh = seq > p.floor && not (Hashtbl.mem p.seen seq) in
         (* Always (re-)acknowledge: the previous ack may have been lost. *)
         let ack = Wire.Ack { seq } in
-        Network.send t.net ~src:sn.sid ~dst:from
+        Network.send t.net ~tag:(Wire.describe ack) ~src:sn.sid ~dst:from
           ~bytes:(Wire.size_bytes ack) (fun () ->
             receive t t.snodes.(from) ~from:sn.sid ack);
         peer_answered t sn ~pid:from;
@@ -376,10 +453,14 @@ and deliver_local t sn msg =
 
 and route_or_forward t sn (point, hops, retries, origin, op) =
   match Point_map.find_point sn.owned point with
-  | _, vid -> execute_op t sn ~owner:vid ~point ~origin ~retries op
+  | _, vid -> execute_op t sn ~owner:vid ~point ~origin ~retries ~hops op
   | exception Not_found ->
       if hops >= max_hops then begin
         t.retried <- t.retried + 1;
+        if Trace.enabled t.trace then
+          Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:sn.sid
+            ~name:"route.backoff"
+            [ ("point", Trace.Int point); ("retries", Trace.Int (retries + 1)) ];
         let msg =
           Wire.Routed { point; hops = 0; retries = retries + 1; origin; op }
         in
@@ -416,7 +497,10 @@ and route_or_forward t sn (point, hops, retries, origin, op) =
         else send t ~src:sn.sid ~dst msg
       end
 
-and execute_op t sn ~owner ~point ~origin ~retries op =
+and execute_op t sn ~owner ~point ~origin ~retries ~hops op =
+  (match t.instr with
+  | Some i -> Histogram.observe i.i_hops (float_of_int hops)
+  | None -> ());
   match op with
   | Wire.Op_put { key; value; token } ->
       let v = local_exn sn owner in
@@ -510,6 +594,8 @@ and start_balancing t sn group lpdr ~point ~newcomer ~origin =
       ev_done = Wire.Create_done { newcomer };
       ev_origin = origin;
       ev_lock = group;
+      ev_kind = `Create;
+      ev_start = Engine.now t.engine;
       ev_acks = List.length participants;
       ev_moved = [];
       ev_participants = participants;
@@ -569,6 +655,26 @@ and maybe_complete t sn ev st =
   if st.ev_committed && st.ev_waits = 0 then begin
     Hashtbl.remove sn.events ev;
     (match st.ev_watch with Some h -> Engine.cancel h | None -> ());
+    (match t.instr with
+    | Some i ->
+        let h =
+          match st.ev_kind with
+          | `Create -> i.i_ev_create
+          | `Remove -> i.i_ev_remove
+        in
+        Histogram.observe h (Engine.now t.engine -. st.ev_start)
+    | None -> ());
+    if Trace.enabled t.trace then
+      Trace.span t.trace ~ts:st.ev_start
+        ~dur:(Engine.now t.engine -. st.ev_start)
+        ~tid:sn.sid ~name:"2pc.event"
+        [
+          ("event", Trace.Int ev);
+          ( "kind",
+            Trace.Str
+              (match st.ev_kind with `Create -> "create" | `Remove -> "remove")
+          );
+        ];
     send t ~src:sn.sid ~dst:st.ev_origin st.ev_done;
     unlock t sn st.ev_lock
   end
@@ -633,6 +739,8 @@ and start_removal t sn group lpdr ~leaving ~origin ~token =
             ev_done = Wire.Remove_done { token; ok = true };
             ev_origin = origin;
             ev_lock = group;
+            ev_kind = `Remove;
+            ev_start = Engine.now t.engine;
             ev_acks = List.length participants;
             ev_moved = [];
             ev_participants = participants;
@@ -851,6 +959,19 @@ and handle t sn ~from msg =
           st.ev_acks <- st.ev_acks - 1;
           if st.ev_acks = 0 then begin
             st.ev_committed <- true;
+            (match t.instr with
+            | Some i ->
+                Histogram.observe i.i_prepare
+                  (Engine.now t.engine -. st.ev_start)
+            | None -> ());
+            if Trace.enabled t.trace then
+              Trace.span t.trace ~ts:st.ev_start
+                ~dur:(Engine.now t.engine -. st.ev_start)
+                ~tid:sn.sid ~name:"2pc.prepare"
+                [
+                  ("event", Trace.Int event);
+                  ("participants", Trace.Int (List.length st.ev_participants));
+                ];
             List.iter
               (fun pt ->
                 if pt <> sn.sid then
@@ -927,6 +1048,7 @@ and handle t sn ~from msg =
       apply_remove_prepare t sn ~from ~event ~group ~leaving ~epoch_before
         ~moves ~remaining
   | Wire.Remove_done { token; ok } ->
+      finish_op t ~kind:`Remove ~token ~tid:sn.sid;
       (match Hashtbl.find_opt t.callbacks token with
       | Some (Cb_remove k) ->
           Hashtbl.remove t.callbacks token;
@@ -935,6 +1057,7 @@ and handle t sn ~from msg =
       t.done_removals <- t.done_removals + 1;
       t.pending <- t.pending - 1
   | Wire.Put_ack { token } ->
+      finish_op t ~kind:`Put ~token ~tid:sn.sid;
       (match Hashtbl.find_opt t.callbacks token with
       | Some Cb_put -> Hashtbl.remove t.callbacks token
       | Some (Cb_get _ | Cb_remove _) | None ->
@@ -942,6 +1065,7 @@ and handle t sn ~from msg =
       t.done_puts <- t.done_puts + 1;
       t.pending <- t.pending - 1
   | Wire.Get_reply { token; value } ->
+      finish_op t ~kind:`Get ~token ~tid:sn.sid;
       (match Hashtbl.find_opt t.callbacks token with
       | Some (Cb_get k) ->
           Hashtbl.remove t.callbacks token;
@@ -1009,7 +1133,10 @@ let crash_snode t sid =
   let sn = t.snodes.(sid) in
   if sn.alive then begin
     sn.alive <- false;
+    sn.down_since <- Engine.now t.engine;
     t.crashes <- t.crashes + 1;
+    if Trace.enabled t.trace then
+      Trace.instant t.trace ~ts:sn.down_since ~tid:sid ~name:"crash" [];
     (match t.faults with Some f -> Fault.set_down f sid | None -> ());
     Hashtbl.iter
       (fun _ p ->
@@ -1030,6 +1157,13 @@ let restart_snode t sid =
   if not sn.alive then begin
     sn.alive <- true;
     t.recoveries <- t.recoveries + 1;
+    let downtime = Engine.now t.engine -. sn.down_since in
+    (match t.instr with
+    | Some i -> Histogram.observe i.i_downtime downtime
+    | None -> ());
+    if Trace.enabled t.trace then
+      Trace.span t.trace ~ts:sn.down_since ~dur:downtime ~tid:sid
+        ~name:"recovery.downtime" [];
     (match t.faults with Some f -> Fault.set_up f sid | None -> ());
     Log.debug (fun m -> m "snode %d restarts at %g" sid (Engine.now t.engine));
     (* The routing cache was volatile: restart from the bootstrap placement,
@@ -1071,7 +1205,7 @@ let restart_snode t sid =
 let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
     ?(approach = Local { vmin = 16 }) ?faults ?(max_retries = 50)
     ?(backoff = 1e-3) ?(rto = 1e-3) ?(rto_cap = 0.05) ?(poison_after = 5)
-    ?(event_timeout = 1.0) ~snodes ~seed () =
+    ?(event_timeout = 1.0) ?metrics ?(trace = Trace.noop) ~snodes ~seed () =
   if snodes < 1 then invalid_arg "Runtime.create: need at least one snode";
   if not (Params.is_power_of_two pmin) then
     invalid_arg "Runtime.create: pmin must be a power of two";
@@ -1094,11 +1228,37 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
   let first = Vnode_id.make ~snode:0 ~vnode:0 in
   let level0 = Params.log2_exact pmin in
   let spans0 = List.init pmin (fun i -> Span.make space ~level:level0 ~index:i) in
+  let instr =
+    match metrics with
+    | None -> None
+    | Some reg ->
+        let lat ?labels name = Registry.histogram reg ?labels name in
+        Some
+          {
+            (* Hop counts are small integers: unit buckets doubling from 1;
+               a zero-hop resolution lands in the underflow bucket. *)
+            i_hops =
+              Registry.histogram reg ~lo:1.0 ~growth:2.0 ~bins:8
+                "runtime.route.hops";
+            i_op_put = lat ~labels:[ ("op", "put") ] "runtime.op.latency";
+            i_op_get = lat ~labels:[ ("op", "get") ] "runtime.op.latency";
+            i_op_remove =
+              lat ~labels:[ ("op", "remove") ] "runtime.op.latency";
+            i_prepare = lat "runtime.2pc.prepare";
+            i_ev_create =
+              lat ~labels:[ ("kind", "create") ] "runtime.2pc.event";
+            i_ev_remove =
+              lat ~labels:[ ("kind", "remove") ] "runtime.2pc.event";
+            i_downtime = lat "runtime.recovery.downtime";
+            i_rto = lat "runtime.rto.delay";
+          }
+  in
   let mk_snode sid =
     let sn =
       {
         sid;
         alive = true;
+        down_since = 0.;
         locals = Vtbl.create 8;
         lpdrs = Gtbl.create 8;
         owned = Point_map.create space;
@@ -1141,6 +1301,9 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
       poison_after;
       event_timeout;
       bootstrap = (spans0, first);
+      instr;
+      trace;
+      op_starts = Hashtbl.create 64;
       snodes = snodes_arr;
       callbacks = Hashtbl.create 64;
       next_token = 0;
@@ -1201,6 +1364,38 @@ let stats t =
     recoveries = t.recoveries;
   }
 
+(* One post-run dump of every counter the engine, network and runtime kept
+   on their own. Histograms registered at [create] are already in the
+   registry; this adds the scalar side so [Registry.to_table] is the whole
+   story. Call it once, after the run — counters would double on a second
+   call. *)
+let record_metrics t reg =
+  let c ?labels name v = Registry.inc (Registry.counter reg ?labels name) v in
+  let g name v = Registry.set (Registry.gauge reg name) v in
+  c "engine.dispatched" (Engine.dispatched t.engine);
+  g "engine.max_pending" (float_of_int (Engine.max_pending t.engine));
+  g "engine.virtual_time" (Engine.now t.engine);
+  c "net.messages" (Network.messages t.net);
+  c "net.bytes" (Network.bytes_sent t.net);
+  c "net.local_deliveries" (Network.local_deliveries t.net);
+  List.iter
+    (fun (tag, m, b) ->
+      c ~labels:[ ("tag", tag) ] "net.messages" m;
+      c ~labels:[ ("tag", tag) ] "net.bytes" b)
+    (Network.per_tag t.net);
+  let s = stats t in
+  c "runtime.drops" s.drops;
+  c "runtime.duplicates" s.duplicates;
+  c "runtime.timeouts" s.timeouts;
+  c "runtime.retransmits" s.retransmits;
+  c "runtime.crashes" s.crashes;
+  c "runtime.recoveries" s.recoveries;
+  c "runtime.retries" t.retried;
+  c ~labels:[ ("op", "create") ] "runtime.ops" t.done_creations;
+  c ~labels:[ ("op", "remove") ] "runtime.ops" t.done_removals;
+  c ~labels:[ ("op", "put") ] "runtime.ops" t.done_puts;
+  c ~labels:[ ("op", "get") ] "runtime.ops" t.done_gets
+
 let create_vnode t ?initiator ~id () =
   let origin =
     Option.value initiator ~default:(id.Vnode_id.snode mod Array.length t.snodes)
@@ -1220,6 +1415,7 @@ let fresh_token t cb =
   let token = t.next_token in
   t.next_token <- t.next_token + 1;
   Hashtbl.add t.callbacks token cb;
+  note_op_start t token;
   token
 
 let put t ?(via = 0) ~key ~value () =

@@ -50,6 +50,8 @@ val create :
   ?rto_cap:float ->
   ?poison_after:int ->
   ?event_timeout:float ->
+  ?metrics:Dht_telemetry.Registry.t ->
+  ?trace:Dht_telemetry.Trace.t ->
   snodes:int ->
   seed:int ->
   unit ->
@@ -78,6 +80,21 @@ val create :
     or retransmission toward the dead snode never ends. Without [faults]
     the runtime behaves {e exactly} as before: same messages, same bytes,
     same clock, same random draws.
+
+    Passing [metrics] registers latency/hop histograms in the registry
+    (observed as the simulation runs): [runtime.route.hops],
+    [runtime.op.latency] (label [op=put|get|remove]), [runtime.2pc.prepare]
+    (prepare to commit, at the coordinator), [runtime.2pc.event] (label
+    [kind=create|remove], plan to completion), [runtime.recovery.downtime]
+    and [runtime.rto.delay]; pair it with {!record_metrics} after the run
+    for the scalar counters. Passing [trace] (default {!Trace.noop})
+    streams protocol events — [op]/[2pc.prepare]/[2pc.event]/
+    [recovery.downtime] spans, [retransmit]/[route.backoff]/
+    [route.poisoned]/[crash] instants — stamped with the virtual clock, on
+    track [tid = snode id]. Both are passive: with the defaults the
+    runtime's behaviour (messages, bytes, clock, random draws) is
+    unchanged, and a trace with the same seed is byte-identical across
+    runs.
     @raise Invalid_argument if [snodes < 1], a parameter is out of range,
     or the crash plan names an unknown snode. *)
 
@@ -162,6 +179,14 @@ type stats = {
 
 val stats : t -> stats
 (** Fault and recovery counters (all zero without a fault plan). *)
+
+val record_metrics : t -> Dht_telemetry.Registry.t -> unit
+(** Dump the scalar counters and gauges — engine ([engine.dispatched],
+    [engine.max_pending], [engine.virtual_time]), network totals and
+    per-tag traffic ([net.messages]/[net.bytes], label [tag=<wire tag>]),
+    fault/recovery counters and completed-operation counts ([runtime.ops],
+    label [op]) — into [reg]. Call once, after the run; the histograms
+    registered by [create ~metrics] accumulate live and need no dump. *)
 
 val sigma_qv : t -> float
 (** σ̄(Qv) (%) computed from the distributed state (all snodes' local

@@ -118,6 +118,9 @@ let rec size_bytes = function
         | None -> 0
         | Some (_, _, counts) -> per_entry * (2 + List.length counts))
 
+(* [describe] is the telemetry tag of every remote send, so it must not
+   allocate: the single-level [Req] framing (the only one real traffic
+   produces) resolves to static strings through [req_tag]. *)
 let rec describe = function
   | Routed { op = Op_create _; _ } -> "routed:create"
   | Routed { op = Op_put _; _ } -> "routed:put"
@@ -135,7 +138,29 @@ let rec describe = function
   | Remove_done _ -> "remove-done"
   | Put_ack _ -> "put-ack"
   | Get_reply _ -> "get-reply"
-  | Req { payload; _ } -> "req:" ^ describe payload
+  | Req { payload; _ } -> req_tag payload
   | Ack _ -> "ack"
   | Lpdr_pull _ -> "lpdr-pull"
   | Lpdr_push _ -> "lpdr-push"
+
+and req_tag = function
+  | Routed { op = Op_create _; _ } -> "req:routed:create"
+  | Routed { op = Op_put _; _ } -> "req:routed:put"
+  | Routed { op = Op_get _; _ } -> "req:routed:get"
+  | Create_at_group _ -> "req:create-at-group"
+  | Prepare _ -> "req:prepare"
+  | Prepare_ack _ -> "req:prepare-ack"
+  | Transfer _ -> "req:transfer"
+  | All_received _ -> "req:all-received"
+  | Commit _ -> "req:commit"
+  | Create_done _ -> "req:create-done"
+  | Remove_request _ -> "req:remove-request"
+  | Remove_at_group _ -> "req:remove-at-group"
+  | Remove_prepare _ -> "req:remove-prepare"
+  | Remove_done _ -> "req:remove-done"
+  | Put_ack _ -> "req:put-ack"
+  | Get_reply _ -> "req:get-reply"
+  | Lpdr_pull _ -> "req:lpdr-pull"
+  | Lpdr_push _ -> "req:lpdr-push"
+  | Ack _ -> "req:ack"
+  | Req _ as nested -> "req:" ^ describe nested

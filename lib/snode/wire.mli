@@ -111,4 +111,7 @@ val size_bytes : msg -> int
     entry, string payloads at their length. *)
 
 val describe : msg -> string
-(** Short human-readable tag, for tracing. *)
+(** Short human-readable tag, for tracing and the per-tag network traffic
+    accounting ({!Dht_event_sim.Network.per_tag}). Allocation-free for
+    every message real traffic produces (including single-level [Req]
+    framing), so it is safe on the hot send path. *)

@@ -1,0 +1,164 @@
+type format = Jsonl | Chrome
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type active = {
+  fmt : format;
+  write : string -> unit;
+  finish : unit -> unit;
+  mutable count : int;
+  mutable closed : bool;
+}
+
+type t = Noop | Active of active
+
+let noop = Noop
+let enabled = function Noop -> false | Active _ -> true
+let events = function Noop -> 0 | Active a -> a.count
+
+let to_buffer fmt buf =
+  Active
+    {
+      fmt;
+      write = Buffer.add_string buf;
+      finish = (fun () -> ());
+      count = 0;
+      closed = false;
+    }
+
+let to_channel fmt oc =
+  Active
+    {
+      fmt;
+      write = output_string oc;
+      finish =
+        (fun () ->
+          flush oc;
+          if oc != stdout && oc != stderr then close_out oc);
+      count = 0;
+      closed = false;
+    }
+
+let format_of_path path =
+  if Filename.check_suffix path ".jsonl" then Jsonl else Chrome
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering. All numbers print through %.9g / %d: enough digits to
+   round-trip every virtual timestamp the engine produces, few enough to
+   stay stable (and diffable) across runs. *)
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_float buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.9g" f)
+
+let add_arg buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Str s ->
+      Buffer.add_char buf '"';
+      add_escaped buf s;
+      Buffer.add_char buf '"'
+
+let add_args buf args =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      add_escaped buf k;
+      Buffer.add_string buf "\":";
+      add_arg buf v)
+    args;
+  Buffer.add_char buf '}'
+
+let emit a ~ts ~dur ~tid ~cat ~name args =
+  if a.closed then invalid_arg "Telemetry.Trace: emission after close";
+  let buf = Buffer.create 128 in
+  (match a.fmt with
+  | Jsonl ->
+      (* {"ts":…,"kind":"span","name":…,"cat":…,"tid":…,"dur":…,"args":{…}} *)
+      Buffer.add_string buf "{\"ts\":";
+      add_float buf ts;
+      Buffer.add_string buf ",\"kind\":";
+      Buffer.add_string buf
+        (match dur with None -> "\"instant\"" | Some _ -> "\"span\"");
+      Buffer.add_string buf ",\"name\":\"";
+      add_escaped buf name;
+      Buffer.add_string buf "\",\"cat\":\"";
+      add_escaped buf cat;
+      Buffer.add_string buf "\",\"tid\":";
+      Buffer.add_string buf (string_of_int tid);
+      (match dur with
+      | None -> ()
+      | Some d ->
+          Buffer.add_string buf ",\"dur\":";
+          add_float buf d);
+      if args <> [] then begin
+        Buffer.add_string buf ",\"args\":";
+        add_args buf args
+      end;
+      Buffer.add_string buf "}\n"
+  | Chrome ->
+      (* Chrome trace-event: ts/dur in microseconds, one pid for the whole
+         cluster, tid = snode. *)
+      Buffer.add_string buf (if a.count = 0 then "[\n" else ",\n");
+      Buffer.add_string buf "{\"name\":\"";
+      add_escaped buf name;
+      Buffer.add_string buf "\",\"cat\":\"";
+      add_escaped buf cat;
+      Buffer.add_string buf "\",\"ph\":";
+      Buffer.add_string buf
+        (match dur with None -> "\"i\",\"s\":\"t\"" | Some _ -> "\"X\"");
+      Buffer.add_string buf ",\"pid\":0,\"tid\":";
+      Buffer.add_string buf (string_of_int tid);
+      Buffer.add_string buf ",\"ts\":";
+      add_float buf (ts *. 1e6);
+      (match dur with
+      | None -> ()
+      | Some d ->
+          Buffer.add_string buf ",\"dur\":";
+          add_float buf (d *. 1e6));
+      if args <> [] then begin
+        Buffer.add_string buf ",\"args\":";
+        add_args buf args
+      end;
+      Buffer.add_string buf "}");
+  a.write (Buffer.contents buf);
+  a.count <- a.count + 1
+
+let instant t ~ts ~tid ?(cat = "sim") ~name args =
+  match t with
+  | Noop -> ()
+  | Active a -> emit a ~ts ~dur:None ~tid ~cat ~name args
+
+let span t ~ts ~dur ~tid ?(cat = "sim") ~name args =
+  match t with
+  | Noop -> ()
+  | Active a -> emit a ~ts ~dur:(Some dur) ~tid ~cat ~name args
+
+let close = function
+  | Noop -> ()
+  | Active a ->
+      if not a.closed then begin
+        a.closed <- true;
+        (match a.fmt with
+        | Jsonl -> ()
+        | Chrome -> a.write (if a.count = 0 then "[]\n" else "\n]\n"));
+        a.finish ()
+      end

@@ -26,4 +26,5 @@ let () =
       ("snode-runtime", Test_runtime.suite);
       ("snapshot", Test_snapshot.suite);
       ("registry", Test_registry.suite);
+      ("telemetry", Test_telemetry.suite);
     ]
