@@ -161,6 +161,25 @@ let bench_snapshot =
          | Ok _ -> ()
          | Error m -> failwith m))
 
+let bench_quorum_put_get =
+  Test.make
+    ~name:"ext-replication: 64 quorum puts + gets (rfactor 3, R=W=2)"
+    (Staged.stage (fun () ->
+         let rt =
+           Dht_snode.Runtime.create ~rfactor:3 ~read_quorum:2 ~write_quorum:2
+             ~snodes:5 ~seed:11 ()
+         in
+         for i = 0 to 63 do
+           Dht_snode.Runtime.put rt ~via:(i mod 5)
+             ~key:("q-" ^ string_of_int i) ~value:"v" ()
+         done;
+         Dht_snode.Runtime.run rt;
+         for i = 0 to 63 do
+           Dht_snode.Runtime.get rt ~via:(i mod 5) ~key:("q-" ^ string_of_int i)
+             (fun _ -> ())
+         done;
+         Dht_snode.Runtime.run rt))
+
 let bench_kv_put_get =
   let store =
     Dht_kv.Local_store.create ~pmin:32 ~vmin:16 ~rng:(Rng.of_int 7) ~first:(vid 0) ()
@@ -195,6 +214,7 @@ let run_benchmarks () =
         bench_snode_runtime_faulty;
         bench_snapshot;
         bench_kv_put_get;
+        bench_quorum_put_get;
       ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
@@ -269,6 +289,46 @@ let emit_runtime_json path =
     quantile (Registry.histogram reg ~labels:[ ("op", op) ] "runtime.op.latency") p
   in
   let hops = Registry.histogram reg "runtime.route.hops" in
+  (* Quorum section: the same put/get volume against a replicated cluster
+     (rfactor 3, R = W = 2), so the fan-out cost of quorum coordination is
+     tracked alongside the single-copy numbers. *)
+  let qreg = Registry.create () in
+  let qrt =
+    Dht_snode.Runtime.create ~pmin:8
+      ~approach:(Dht_snode.Runtime.Local { vmin = 4 })
+      ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~metrics:qreg ~snodes:8
+      ~seed:2004 ()
+  in
+  let qt0 = Sys.time () in
+  for i = 1 to 48 do
+    Dht_snode.Runtime.create_vnode qrt
+      ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8))
+      ()
+  done;
+  Dht_snode.Runtime.run qrt;
+  for i = 0 to 511 do
+    Dht_snode.Runtime.put qrt ~via:(i mod 8)
+      ~key:("bench-" ^ string_of_int i) ~value:"v" ()
+  done;
+  Dht_snode.Runtime.run qrt;
+  for i = 0 to 511 do
+    Dht_snode.Runtime.get qrt ~via:(i mod 8) ~key:("bench-" ^ string_of_int i)
+      (fun _ -> ())
+  done;
+  Dht_snode.Runtime.run qrt;
+  let qcpu = Sys.time () -. qt0 in
+  Dht_snode.Runtime.record_metrics qrt qreg;
+  let qops =
+    Dht_snode.Runtime.completed_creations qrt
+    + Dht_snode.Runtime.completed_puts qrt
+    + Dht_snode.Runtime.completed_gets qrt
+  in
+  let qcounter name = Registry.counter_value (Registry.counter qreg name) in
+  let qlat op p =
+    quantile
+      (Registry.histogram qreg ~labels:[ ("op", op) ] "runtime.quorum.latency")
+      p
+  in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
@@ -285,16 +345,38 @@ let emit_runtime_json path =
     \  \"get_latency_p50\": %.9f,\n\
     \  \"get_latency_p99\": %.9f,\n\
     \  \"route_hops_p50\": %.2f,\n\
-    \  \"route_hops_p99\": %.2f\n\
+    \  \"route_hops_p99\": %.2f,\n\
+    \  \"quorum\": {\n\
+    \    \"rfactor\": 3,\n\
+    \    \"read_quorum\": 2,\n\
+    \    \"write_quorum\": 2,\n\
+    \    \"operations\": %d,\n\
+    \    \"cpu_seconds\": %.6f,\n\
+    \    \"ops_per_second\": %.1f,\n\
+    \    \"messages\": %d,\n\
+    \    \"bytes\": %d,\n\
+    \    \"put_latency_p50\": %.9f,\n\
+    \    \"put_latency_p99\": %.9f,\n\
+    \    \"get_latency_p50\": %.9f,\n\
+    \    \"get_latency_p99\": %.9f\n\
+    \  }\n\
      }\n"
     ops cpu
     (if cpu > 0. then float_of_int ops /. cpu else 0.)
     (counter "net.messages") (counter "net.bytes") (lat "put" 0.5)
     (lat "put" 0.99) (lat "get" 0.5) (lat "get" 0.99) (quantile hops 0.5)
-    (quantile hops 0.99);
+    (quantile hops 0.99) qops qcpu
+    (if qcpu > 0. then float_of_int qops /. qcpu else 0.)
+    (qcounter "net.messages") (qcounter "net.bytes") (qlat "put" 0.5)
+    (qlat "put" 0.99) (qlat "get" 0.5) (qlat "get" 0.99);
   close_out oc;
-  Printf.printf "\nwrote %s (%d ops, %.0f ops/s on the host)\n" path ops
+  Printf.printf
+    "\nwrote %s (%d ops single-copy at %.0f ops/s, %d ops quorum at %.0f \
+     ops/s on the host)\n"
+    path ops
     (if cpu > 0. then float_of_int ops /. cpu else 0.)
+    qops
+    (if qcpu > 0. then float_of_int qops /. qcpu else 0.)
 
 (* ------------------------------------------------------------------ *)
 (* Part 3: figure regeneration (reduced runs; dht_sim for full scale)  *)

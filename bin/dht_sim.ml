@@ -27,6 +27,18 @@ let vnodes_arg default =
   let doc = "Number of vnodes (or nodes) to create." in
   Arg.(value & opt int default & info [ "vnodes" ] ~docv:"V" ~doc)
 
+let rfactor_arg default =
+  let doc = "Replicas per partition (1 disables replication)." in
+  Arg.(value & opt int default & info [ "rfactor" ] ~docv:"N" ~doc)
+
+let read_quorum_arg default =
+  let doc = "Replica replies required before a get is answered." in
+  Arg.(value & opt int default & info [ "read-quorum" ] ~docv:"R" ~doc)
+
+let write_quorum_arg default =
+  let doc = "Replica acks required before a put is acknowledged." in
+  Arg.(value & opt int default & info [ "write-quorum" ] ~docv:"W" ~doc)
+
 let csv_arg =
   let doc = "Also write the series to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
@@ -618,10 +630,12 @@ let distributed_cmd =
     term
 
 let chaos_cmd =
-  let run tel snodes vnodes keys drop dup jitter crashes downtime seed =
+  let run tel snodes vnodes keys drop dup jitter crashes downtime rfactor
+      read_quorum write_quorum seed =
     let r =
       Extensions.chaos ~snodes ~vnodes ~keys ~drop ~dup ~jitter ~crashes
-        ~downtime ~metrics:tel.tel_reg ~trace:tel.tel_trace ~seed ()
+        ~downtime ~rfactor ~read_quorum ~write_quorum ~metrics:tel.tel_reg
+        ~trace:tel.tel_trace ~seed ()
     in
     Printf.printf
       "== Chaos: %d vnodes on %d snodes, drop %.1f%%, dup %.1f%%, %d crashes ==\n"
@@ -659,10 +673,28 @@ let chaos_cmd =
     Printf.printf "keys wrong: %d, operations pending: %d, audit: %s\n"
       r.Extensions.chaos_keys_wrong r.Extensions.chaos_pending
       (if r.Extensions.chaos_audit_ok then "ok" else "FAILED");
+    if r.Extensions.chaos_rfactor > 1 then begin
+      let rs = r.Extensions.chaos_repl in
+      Printf.printf
+        "replication rfactor=%d R=%d W=%d: %d acked writes, %d lost (%s)\n"
+        r.Extensions.chaos_rfactor r.Extensions.chaos_read_quorum
+        r.Extensions.chaos_write_quorum r.Extensions.chaos_acked_writes
+        r.Extensions.chaos_lost_acked
+        (if r.Extensions.chaos_lost_acked = 0 then "durable" else "DATA LOSS");
+      Printf.printf
+        "hints stored %d / flushed %d; read repairs %d; anti-entropy %d \
+         cells, %d orphans routed home\n"
+        rs.Dht_snode.Runtime.hints_stored rs.Dht_snode.Runtime.hints_flushed
+        rs.Dht_snode.Runtime.read_repairs rs.Dht_snode.Runtime.sync_cells
+        rs.Dht_snode.Runtime.orphans;
+      Printf.printf "quorum latency p50: put %.6fs, get %.6fs\n"
+        r.Extensions.chaos_qput_p50 r.Extensions.chaos_qget_p50
+    end;
     finish_telemetry tel;
     if
       r.Extensions.chaos_keys_wrong > 0
       || r.Extensions.chaos_pending > 0
+      || r.Extensions.chaos_lost_acked > 0
       || not r.Extensions.chaos_audit_ok
     then exit 1
   in
@@ -696,14 +728,113 @@ let chaos_cmd =
   in
   let term =
     Term.(const run $ telemetry_term $ snodes $ vnodes_arg 40 $ keys $ drop
-          $ dup $ jitter $ crashes $ downtime $ seed_arg)
+          $ dup $ jitter $ crashes $ downtime $ rfactor_arg 1
+          $ read_quorum_arg 1 $ write_quorum_arg 1 $ seed_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Fault injection: drops, duplicates, jitter and crash-stops against \
           the reliable snode runtime; verifies full convergence once faults \
-          cease.")
+          cease. With --rfactor > 1 the run also audits acknowledged-write \
+          durability under quorum replication and exits non-zero on any \
+          lost acknowledged write.")
+    term
+
+let kv_cmd =
+  (* The replication quickstart from the README: a small replicated
+     cluster loses a snode, keeps serving quorum reads and writes, and
+     re-converges the restarted replica via hinted handoff/anti-entropy. *)
+  let module Runtime = Dht_snode.Runtime in
+  let module Engine = Dht_event_sim.Engine in
+  let run tel snodes rfactor read_quorum write_quorum keys seed =
+    let faults = Runtime.Fault.create ~seed () in
+    let rt =
+      Runtime.create ~faults ~rfactor ~read_quorum ~write_quorum
+        ~metrics:tel.tel_reg ~trace:tel.tel_trace ~snodes ~seed ()
+    in
+    Printf.printf "== KV quickstart: %d snodes, rfactor=%d, R=%d, W=%d ==\n"
+      snodes rfactor read_quorum write_quorum;
+    let acked = ref 0 in
+    for i = 0 to keys - 1 do
+      Runtime.put rt ~via:(i mod snodes)
+        ~on_done:(fun () -> incr acked)
+        ~key:(Printf.sprintf "k%d" i) ~value:(Printf.sprintf "v%d" i) ()
+    done;
+    Runtime.run rt;
+    Printf.printf "stored %d keys (%d acknowledged)\n" keys !acked;
+    let victim = snodes - 1 in
+    Runtime.crash_snode rt victim;
+    Printf.printf "crashed snode %d\n" victim;
+    let horizon () = Engine.now (Runtime.engine rt) +. 0.5 in
+    let wrong_down = ref 0 and mid_acked = ref 0 in
+    for i = 0 to keys - 1 do
+      Runtime.get rt ~via:(i mod max 1 victim) ~key:(Printf.sprintf "k%d" i)
+        (fun v ->
+          if v <> Some (Printf.sprintf "v%d" i) then incr wrong_down)
+    done;
+    Runtime.put rt ~via:0
+      ~on_done:(fun () -> incr mid_acked)
+      ~key:"mid-crash" ~value:"accepted" ();
+    Runtime.run ~until:(horizon ()) rt;
+    Printf.printf
+      "with snode %d down: %d/%d reads correct, mid-crash write %s\n" victim
+      (keys - !wrong_down) keys
+      (if !mid_acked = 1 then "acknowledged" else "NOT acknowledged");
+    Runtime.restart_snode rt victim;
+    Runtime.run rt;
+    Runtime.anti_entropy rt;
+    Runtime.run rt;
+    let wrong_up = ref 0 in
+    for i = 0 to keys - 1 do
+      Runtime.get rt ~via:victim ~key:(Printf.sprintf "k%d" i) (fun v ->
+          if v <> Some (Printf.sprintf "v%d" i) then incr wrong_up)
+    done;
+    Runtime.get rt ~via:victim ~key:"mid-crash" (fun v ->
+        if v <> Some "accepted" then incr wrong_up);
+    Runtime.run rt;
+    let s = Runtime.repl_stats rt in
+    Printf.printf
+      "snode %d restarted: %d/%d reads via it correct; hints stored %d / \
+       flushed %d, read repairs %d, anti-entropy %d cells\n"
+      victim
+      (keys + 1 - !wrong_up)
+      (keys + 1) s.Runtime.hints_stored s.Runtime.hints_flushed
+      s.Runtime.read_repairs s.Runtime.sync_cells;
+    let audit_ok =
+      match Runtime.audit rt with
+      | Ok () -> true
+      | Error es ->
+          List.iter print_endline es;
+          false
+    in
+    Printf.printf "audit: %s\n" (if audit_ok then "ok" else "FAILED");
+    finish_telemetry tel;
+    if
+      !acked < keys || !wrong_down > 0 || !mid_acked <> 1 || !wrong_up > 0
+      || (not audit_ok)
+      || Runtime.pending_operations rt <> 0
+    then exit 1
+  in
+  let snodes =
+    Arg.(value & opt int 3 & info [ "snodes" ] ~docv:"S"
+           ~doc:"Number of snodes in the replicated cluster.")
+  in
+  let keys =
+    Arg.(value & opt int 12 & info [ "keys" ] ~docv:"K"
+           ~doc:"Number of key/value pairs written before the crash.")
+  in
+  let term =
+    Term.(const run $ telemetry_term $ snodes $ rfactor_arg 3
+          $ read_quorum_arg 2 $ write_quorum_arg 2 $ keys $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "kv"
+       ~doc:
+         "Replicated KV quickstart: write under quorum, crash a snode, show \
+          that reads and writes still succeed, then restart and verify the \
+          replica re-converges. Exits non-zero on any stale read or lost \
+          acknowledged write.")
     term
 
 let coexist_cmd =
@@ -780,5 +911,6 @@ let () =
             fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd;
             zones_cmd; ratios_cmd; stability_cmd; cost_cmd; parallel_cmd; hetero_cmd;
             kvload_cmd; churn_cmd; ablation_cmd; hotspot_cmd;
-            hetero_compare_cmd; distributed_cmd; chaos_cmd; coexist_cmd; all_cmd;
+            hetero_compare_cmd; distributed_cmd; chaos_cmd; kv_cmd;
+            coexist_cmd; all_cmd;
           ]))

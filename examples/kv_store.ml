@@ -1,12 +1,20 @@
-(* Key/value store on the balanced DHT: load data, grow the cluster while
-   serving, verify that every key survives the rebalancing and that data
-   load tracks the quota balance.
+(* Key/value store on the balanced DHT, in two acts.
+
+   Act 1 — data plane: load records through the versioned store API, grow
+   the cluster while serving, verify every key survives the rebalancing
+   and that conflicting writes resolve by last-writer-wins.
+
+   Act 2 — replication: a 3-snode runtime with rfactor=3 and quorum-2
+   reads/writes; one snode crashes and reads still succeed, then the
+   restarted replica re-converges.
 
    Run with: dune exec examples/kv_store.exe *)
 
 open Dht_core
 module Store = Dht_kv.Store
+module Versioned = Dht_kv.Versioned
 module Local_store = Dht_kv.Local_store
+module Runtime = Dht_snode.Runtime
 module Rng = Dht_prng.Rng
 
 let vid i = Vnode_id.make ~snode:i ~vnode:0
@@ -21,14 +29,17 @@ let () =
     ignore (Local_store.add_vnode store ~id:(vid i))
   done;
 
-  (* Load 50k user records. *)
+  (* Load 50k user records. Cells carry a version — a logical write stamp
+     plus the writer's id — so replicated copies can merge later. *)
   let n = 50_000 in
-  for i = 0 to n - 1 do
-    Local_store.put store
-      ~key:(Printf.sprintf "user:%d" i)
-      ~value:(Printf.sprintf "{\"id\":%d}" i)
-  done;
   let kv = Local_store.store store in
+  for i = 0 to n - 1 do
+    Store.put_cell kv
+      ~key:(Printf.sprintf "user:%d" i)
+      (Versioned.cell
+         ~value:(Printf.sprintf "{\"id\":%d}" i)
+         ~ts:1.0 ~origin:0)
+  done;
   let dht = Local_store.dht store in
   Printf.printf "loaded %d keys on %d vnodes\n" (Store.size kv)
     (Local_dht.vnode_count dht);
@@ -36,18 +47,27 @@ let () =
     (Local_dht.sigma_qv dht)
     (Store.load_sigma kv ~vnodes:(Local_dht.vnodes dht));
 
+  (* Conflicting writes to one key resolve deterministically: the higher
+     (ts, origin) stamp wins, whatever the merge order. *)
+  Store.put_cell kv ~key:"user:0"
+    (Versioned.cell ~value:"{\"id\":0,\"v\":2}" ~ts:2.0 ~origin:1);
+  Store.put_cell kv ~key:"user:0"
+    (Versioned.cell ~value:"stale" ~ts:1.5 ~origin:7);
+  assert (Store.get kv ~key:"user:0" = Some "{\"id\":0,\"v\":2}");
+  print_endline "conflicting writes resolved by last-writer-wins";
+
   (* The cluster doubles while the store keeps answering. *)
   print_endline "doubling the cluster to 64 vnodes...";
   for i = 32 to 63 do
     ignore (Local_store.add_vnode store ~id:(vid i));
     (* Reads keep working mid-growth. *)
-    assert (Local_store.get store ~key:"user:0" = Some "{\"id\":0}")
+    assert (Local_store.get store ~key:"user:1" = Some "{\"id\":1}")
   done;
   Printf.printf "keys migrated by rebalancing: %d\n" (Store.migrations kv);
 
   (* Full audit: every key still reachable, with its value intact. *)
   let lost = ref 0 in
-  for i = 0 to n - 1 do
+  for i = 1 to n - 1 do
     match Local_store.get store ~key:(Printf.sprintf "user:%d" i) with
     | Some v when v = Printf.sprintf "{\"id\":%d}" i -> ()
     | Some _ | None -> incr lost
@@ -56,4 +76,47 @@ let () =
   Printf.printf "quota sigma: %.2f %%, key-load sigma: %.2f %%\n"
     (Local_dht.sigma_qv dht)
     (Store.load_sigma kv ~vnodes:(Local_dht.vnodes dht));
-  if !lost > 0 then exit 1
+  if !lost > 0 then exit 1;
+
+  (* ---- Act 2: replication on the message-level snode runtime. ---- *)
+  print_endline "\nreplication: 3 snodes, rfactor=3, R=W=2";
+  let faults = Runtime.Fault.create ~seed:42 () in
+  let rt =
+    Runtime.create ~faults ~rfactor:3 ~read_quorum:2 ~write_quorum:2
+      ~snodes:3 ~seed:42 ()
+  in
+  let acked = ref 0 in
+  for i = 0 to 9 do
+    Runtime.put rt ~via:(i mod 3)
+      ~on_done:(fun () -> incr acked)
+      ~key:(Printf.sprintf "k%d" i) ~value:(Printf.sprintf "v%d" i) ()
+  done;
+  Runtime.run rt;
+  Printf.printf "stored 10 keys, %d acknowledged at W=2\n" !acked;
+
+  (* Kill one replica: every partition still has 2 of its 3 copies, which
+     meets both quorums, so reads (and writes) keep succeeding. *)
+  Runtime.crash_snode rt 2;
+  let ok = ref 0 in
+  for i = 0 to 9 do
+    Runtime.get rt ~via:(i mod 2) ~key:(Printf.sprintf "k%d" i) (fun v ->
+        if v = Some (Printf.sprintf "v%d" i) then incr ok)
+  done;
+  let e = Runtime.engine rt in
+  Runtime.run ~until:(Dht_event_sim.Engine.now e +. 0.5) rt;
+  Printf.printf "snode 2 down: %d/10 reads still correct\n" !ok;
+
+  (* Restart it; reliable delivery and anti-entropy re-converge the
+     replica, so it serves quorum reads again. *)
+  Runtime.restart_snode rt 2;
+  Runtime.run rt;
+  Runtime.anti_entropy rt;
+  Runtime.run rt;
+  let ok2 = ref 0 in
+  for i = 0 to 9 do
+    Runtime.get rt ~via:2 ~key:(Printf.sprintf "k%d" i) (fun v ->
+        if v = Some (Printf.sprintf "v%d" i) then incr ok2)
+  done;
+  Runtime.run rt;
+  Printf.printf "snode 2 restarted: %d/10 reads via it correct\n" !ok2;
+  if !acked < 10 || !ok < 10 || !ok2 < 10 then exit 1

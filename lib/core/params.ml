@@ -22,6 +22,16 @@ let log2_exact n =
   go 0 n
 
 let global ?space ~pmin () = make ?space ~pmin ~vmin:unbounded_vmin ()
+
+let check_quorum ~rfactor ~read_quorum ~write_quorum =
+  if rfactor < 1 then invalid_arg "Params.check_quorum: rfactor must be >= 1";
+  if read_quorum < 1 || read_quorum > rfactor then
+    invalid_arg "Params.check_quorum: read quorum outside [1, rfactor]";
+  if write_quorum < 1 || write_quorum > rfactor then
+    invalid_arg "Params.check_quorum: write quorum outside [1, rfactor]";
+  if read_quorum + write_quorum <= rfactor then
+    invalid_arg
+      "Params.check_quorum: R + W must exceed rfactor (quorum intersection)"
 let pmax t = 2 * t.pmin
 let vmax t = 2 * t.vmin
 

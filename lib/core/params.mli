@@ -23,6 +23,12 @@ val global : ?space:Dht_hashspace.Space.t -> pmin:int -> unit -> t
     ([vmin] is set to the largest representable power of two, so [Vmax] is
     never reached). *)
 
+val check_quorum : rfactor:int -> read_quorum:int -> write_quorum:int -> unit
+(** Validates a replication configuration: [1 <= R, W <= rfactor] and
+    [R + W > rfactor], the quorum-intersection condition that makes a
+    read overlap every acknowledged write on a stable replica set.
+    @raise Invalid_argument otherwise. *)
+
 val pmax : t -> int
 (** [2 * pmin] (invariant G4/G4'). *)
 

@@ -496,11 +496,23 @@ type chaos_report = {
       (** faulty-run remote traffic per wire tag: [(tag, messages, bytes)] *)
   chaos_recovery_p50 : float;  (** crash-to-restart latency quantiles; *)
   chaos_recovery_p99 : float;  (** [nan] when no crash recovered *)
+  chaos_rfactor : int;
+  chaos_read_quorum : int;
+  chaos_write_quorum : int;
+  chaos_acked_writes : int;
+      (** writes acknowledged to the client during the faulty run *)
+  chaos_lost_acked : int;
+      (** acknowledged writes NOT durable after repair — the headline
+          durability number, must be zero *)
+  chaos_repl : Dht_snode.Runtime.repl_stats;
+  chaos_qput_p50 : float;  (** quorum op latency quantiles; [nan] when *)
+  chaos_qget_p50 : float;  (** [rfactor = 1] (no quorum rounds ran) *)
 }
 
 let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
     ?(drop = 0.03) ?(dup = 0.015) ?(jitter = 2e-4) ?(crashes = 2)
-    ?(downtime = 0.05) ?metrics ?trace ~seed () =
+    ?(downtime = 0.05) ?(rfactor = 1) ?(read_quorum = 1) ?(write_quorum = 1)
+    ?metrics ?trace ~seed () =
   let module Runtime = Dht_snode.Runtime in
   let module Fault = Dht_event_sim.Fault in
   if crashes < 0 then invalid_arg "chaos: crashes < 0";
@@ -513,15 +525,42 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
     | Some reg -> reg
     | None -> Dht_telemetry.Registry.create ()
   in
-  let run_workload ?faults ?metrics ?trace () =
+  (* Writes acknowledged to the client, with the value each acked: the
+     durability audit re-reads exactly this set after repair. *)
+  let acked : (string, string) Hashtbl.t = Hashtbl.create (2 * keys) in
+  let run_workload ?faults ?metrics ?trace ?(midburst = []) ?(midreads = []) () =
     let rt =
       Runtime.create ~pmin ~approach:(Runtime.Local { vmin }) ?faults ?metrics
-        ?trace ~snodes ~seed ()
+        ?trace ~rfactor ~read_quorum ~write_quorum ~snodes ~seed ()
     in
+    (* Mid-burst write wave, aimed (by the caller) inside the crash
+       windows: writes against a dead replica are what hinted handoff is
+       for. Installed before the run so the virtual clock can reach it. *)
+    List.iter
+      (fun (time, key, value, down_sid) ->
+        (* Issue from a snode that is NOT the one crashing: the point is a
+           live coordinator writing toward a dead replica. *)
+        let via = (down_sid + 1) mod snodes in
+        Dht_event_sim.Engine.at (Runtime.engine rt) ~time (fun () ->
+            Runtime.put rt ~via
+              ~on_done:(fun () -> Hashtbl.replace acked key value)
+              ~key ~value ()))
+      midburst;
+    (* Read traffic while the cluster is degraded: quorum reads that catch
+       a divergent replier are what read repair is for. Results are not
+       audited here (the counted correctness sweep runs after repair). *)
+    List.iter
+      (fun (time, key, down_sid) ->
+        let via = (down_sid + 2) mod snodes in
+        Dht_event_sim.Engine.at (Runtime.engine rt) ~time (fun () ->
+            Runtime.get rt ~via ~key (fun _ -> ())))
+      midreads;
     for i = 0 to keys - 1 do
+      let key = Printf.sprintf "user:%d" i in
+      let value = string_of_int i in
       Runtime.put rt ~via:(i mod snodes)
-        ~key:(Printf.sprintf "user:%d" i)
-        ~value:(string_of_int i) ()
+        ~on_done:(fun () -> Hashtbl.replace acked key value)
+        ~key ~value ()
     done;
     Runtime.run rt;
     let burst_start = Dht_event_sim.Engine.now (Runtime.engine rt) in
@@ -538,6 +577,7 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
      the crash windows at it) and gives the no-fault baseline for balance,
      traffic and makespan. *)
   let base_rt, base_start, base_end = run_workload () in
+  Hashtbl.reset acked;
   (* Crash schedule: distinct snodes drawn from 1..snodes-1 (snode 0 stays
      up so the experiment always has a live bootstrap entry point), spread
      evenly across the burst, each down for [downtime]. *)
@@ -551,13 +591,58 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
         let at = base_start +. (frac *. (base_end -. base_start)) in
         (sids.(i), at, at +. downtime))
   in
+  (* One write volley per crash, fired while that snode is down. *)
+  let midburst =
+    List.concat_map
+      (fun (sid, at, _) ->
+        List.init 8 (fun j ->
+            let key = Printf.sprintf "mid:%d:%d" sid j in
+            (at +. (downtime /. 2.), key, Printf.sprintf "%d.%d" sid j, sid)))
+      plan
+  in
+  (* Read volleys over the same mid-crash keys, spread from late in each
+     crash window through one downtime past the restart: they catch
+     repliers that missed the write (drop awaiting retransmit) and the
+     restarted replica while it still trails its hints. *)
+  let midreads =
+    if rfactor <= 1 then []
+    else
+      List.concat_map
+        (fun (sid, at, at_end) ->
+          List.init 24 (fun j ->
+              let key = Printf.sprintf "mid:%d:%d" sid (j mod 8) in
+              let frac = float_of_int (j + 1) /. 25. in
+              let start = at +. (0.6 *. downtime) in
+              (start +. (frac *. (at_end +. downtime -. start)), key, sid)))
+        plan
+  in
   let faults = Fault.create ~drop ~duplicate:dup ~jitter ~crashes:plan ~seed () in
-  let rt, start_, end_ = run_workload ~faults ~metrics:reg ?trace () in
-  (* Faults cease: verify the system converged by re-reading every key and
-     auditing the full distributed state. *)
+  let rt, start_, end_ =
+    run_workload ~faults ~metrics:reg ?trace ~midburst ~midreads ()
+  in
+  (* Faults cease: let repair finish, then verify the system converged by
+     re-reading every key and auditing the full distributed state. *)
   Fault.set_drop faults 0.;
   Fault.set_duplicate faults 0.;
   Fault.set_jitter faults 0.;
+  (* Repair passes first, both protocol mechanisms in their natural order:
+     a quorum read sweep while replicas still diverge (client traffic
+     during recovery — this is what drives read repair), then two
+     anti-entropy rounds to re-sync whatever no read touched. *)
+  if rfactor > 1 then begin
+    for i = 0 to keys - 1 do
+      Runtime.get rt
+        ~via:(((i * 3) + 1) mod snodes)
+        ~key:(Printf.sprintf "user:%d" i)
+        (fun _ -> ())
+    done;
+    Runtime.run rt;
+    Runtime.anti_entropy rt;
+    Runtime.run rt;
+    Runtime.anti_entropy rt;
+    Runtime.run rt
+  end;
+  (* Converged now: re-read every key, counted. *)
   let wrong = ref 0 in
   for i = 0 to keys - 1 do
     Runtime.get rt
@@ -566,9 +651,24 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
       (fun v -> if v <> Some (string_of_int i) then incr wrong)
   done;
   Runtime.run rt;
+  (* Durability audit: every write acknowledged during the faulty run must
+     be at its owner's authoritative copy. *)
+  let lost_acked =
+    Hashtbl.fold
+      (fun key value n ->
+        if Runtime.peek rt ~key = Some value then n else n + 1)
+      acked 0
+  in
   Runtime.record_metrics rt reg;
   let downtime_h =
     Dht_telemetry.Registry.histogram reg "runtime.recovery.downtime"
+  in
+  let q op =
+    Dht_telemetry.Histogram.quantile
+      (Dht_telemetry.Registry.histogram reg
+         ~labels:[ ("op", op) ]
+         "runtime.quorum.latency")
+      0.5
   in
   {
     chaos_vnodes = Runtime.vnode_count rt;
@@ -587,6 +687,14 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
     chaos_per_tag = Dht_event_sim.Network.per_tag (Runtime.network rt);
     chaos_recovery_p50 = Dht_telemetry.Histogram.quantile downtime_h 0.5;
     chaos_recovery_p99 = Dht_telemetry.Histogram.quantile downtime_h 0.99;
+    chaos_rfactor = rfactor;
+    chaos_read_quorum = read_quorum;
+    chaos_write_quorum = write_quorum;
+    chaos_acked_writes = Hashtbl.length acked;
+    chaos_lost_acked = lost_acked;
+    chaos_repl = Runtime.repl_stats rt;
+    chaos_qput_p50 = q "put";
+    chaos_qget_p50 = q "get";
   }
 
 type coexist_report = {

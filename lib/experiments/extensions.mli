@@ -233,6 +233,19 @@ type chaos_report = {
   chaos_recovery_p50 : float;
       (** median crash-to-restart latency (virtual seconds) *)
   chaos_recovery_p99 : float;  (** [nan] when no crash recovered *)
+  chaos_rfactor : int;
+  chaos_read_quorum : int;
+  chaos_write_quorum : int;
+  chaos_acked_writes : int;
+      (** writes acknowledged to the client during the faulty run *)
+  chaos_lost_acked : int;
+      (** acknowledged writes NOT durable after repair — the headline
+          durability number, must be zero *)
+  chaos_repl : Dht_snode.Runtime.repl_stats;
+      (** hinted-handoff / read-repair / anti-entropy activity *)
+  chaos_qput_p50 : float;
+      (** median quorum write latency; [nan] when [rfactor = 1] *)
+  chaos_qget_p50 : float;  (** median quorum read latency *)
 }
 
 val chaos :
@@ -246,6 +259,9 @@ val chaos :
   ?jitter:float ->
   ?crashes:int ->
   ?downtime:float ->
+  ?rfactor:int ->
+  ?read_quorum:int ->
+  ?write_quorum:int ->
   ?metrics:Dht_telemetry.Registry.t ->
   ?trace:Dht_telemetry.Trace.t ->
   seed:int ->
@@ -259,9 +275,19 @@ val chaos :
     and [crashes] (default 2) snodes crash-stop mid-burst for [downtime]
     (default 50 ms virtual) each. A dry faultless pass first locates the
     burst in virtual time (the crash windows are aimed at it) and provides
-    the baseline columns. Faults then cease and every key is re-read and
+    the baseline columns. An extra write volley fires inside each crash
+    window — live coordinators writing toward a dead replica, the hinted
+    handoff scenario. Faults then cease and every key is re-read and
     the distributed state audited: with reliable delivery and crash
     recovery, all operations complete and the audit holds.
+
+    With [rfactor > 1] (and [read_quorum]/[write_quorum], validated by
+    {!Dht_core.Params.check_quorum}) the data plane runs replicated: every
+    write tracks whether it was acknowledged (owner ack or W replica
+    acks), two anti-entropy rounds run after the faults cease, and the
+    report's [chaos_lost_acked] counts acknowledged writes missing from
+    the owner's authoritative copy afterwards ({!Dht_snode.Runtime.peek}) —
+    the acknowledged-write durability guarantee, expected zero.
 
     The faulty run (never the baseline) is always instrumented — the
     recovery quantiles in the report come from its downtime histogram.

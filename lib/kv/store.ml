@@ -3,7 +3,7 @@ module Space = Dht_hashspace.Space
 module Span = Dht_hashspace.Span
 module Hash = Dht_hashes.Hash
 
-type entry = { point : int; value : string }
+type entry = { point : int; cell : Versioned.cell }
 
 module Vtbl = Hashtbl.Make (Vnode_id)
 
@@ -13,6 +13,7 @@ type t = {
   mutable router : (int -> Vnode.t) option;
   mutable size : int;
   mutable migrations : int;
+  mutable clock : int;  (** stamps unversioned legacy puts *)
 }
 
 let create ?(space = Space.default) () =
@@ -22,6 +23,7 @@ let create ?(space = Space.default) () =
     router = None;
     size = 0;
     migrations = 0;
+    clock = 0;
   }
 
 let space t = t.space
@@ -64,20 +66,31 @@ let handler t = function
             t.migrations <- t.migrations + List.length moving
           end)
 
-let put t ~key ~value =
+let put_cell t ~key cell =
   let point = Hash.string t.space key in
   let owner = route t point in
   let tbl = table_of t owner.Vnode.id in
-  if not (Hashtbl.mem tbl key) then t.size <- t.size + 1;
-  Hashtbl.replace tbl key { point; value }
+  match Hashtbl.find_opt tbl key with
+  | None ->
+      t.size <- t.size + 1;
+      Hashtbl.replace tbl key { point; cell }
+  | Some e ->
+      Hashtbl.replace tbl key { point; cell = Versioned.merge ~mine:e.cell ~theirs:cell }
 
-let get t ~key =
+let put t ~key ~value =
+  (* Unversioned writes always win: stamp them from a local clock that
+     outruns every version the store has seen. *)
+  t.clock <- t.clock + 1;
+  put_cell t ~key (Versioned.cell ~value ~ts:(float_of_int t.clock) ~origin:max_int)
+
+let get_cell t ~key =
   let point = Hash.string t.space key in
   let owner = route t point in
   match Vtbl.find_opt t.tables owner.Vnode.id with
   | None -> None
-  | Some tbl -> Option.map (fun e -> e.value) (Hashtbl.find_opt tbl key)
+  | Some tbl -> Option.map (fun e -> e.cell) (Hashtbl.find_opt tbl key)
 
+let get t ~key = Option.map (fun c -> c.Versioned.value) (get_cell t ~key)
 let mem t ~key = Option.is_some (get t ~key)
 
 let remove t ~key =

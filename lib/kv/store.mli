@@ -28,9 +28,18 @@ val handler : t -> Balancer.event -> unit
     the DHT's [on_event]. *)
 
 val put : t -> key:string -> value:string -> unit
-(** Stores/overwrites a binding. @raise Failure if no router is set. *)
+(** Stores/overwrites a binding. Unversioned writes are stamped from an
+    internal clock that dominates every version the store has seen, so
+    they always win the LWW merge. @raise Failure if no router is set. *)
+
+val put_cell : t -> key:string -> Versioned.cell -> unit
+(** Versioned write: merges by last-writer-wins ({!Versioned.merge}), so
+    a stale replayed cell never clobbers a fresher one. *)
 
 val get : t -> key:string -> string option
+
+val get_cell : t -> key:string -> Versioned.cell option
+(** The stored cell with its version, as a replica would ship it. *)
 
 val mem : t -> key:string -> bool
 

@@ -1,0 +1,38 @@
+(** Versioned KV cells: the unit of replicated storage.
+
+    Every write is stamped with a {!version} — a logical timestamp plus
+    the id of the snode that coordinated it — and conflicting copies
+    resolve by deterministic last-writer-wins: higher timestamp wins,
+    ties break on the higher origin id, exact ties keep the incumbent.
+    Because every component is totally ordered, any two replicas that
+    have seen the same set of writes hold byte-identical cells, which is
+    what lets anti-entropy compare partitions by digest. *)
+
+type version = { ts : float;  (** logical (virtual-clock) timestamp *)
+                 origin : int  (** coordinating snode id, the tiebreak *) }
+
+type cell = { value : string; version : version }
+
+val cell : value:string -> ts:float -> origin:int -> cell
+
+val compare_version : version -> version -> int
+(** Total order: by [ts], then by [origin]. *)
+
+val newer : version -> version -> bool
+(** [newer a b] iff [a] strictly dominates [b]. *)
+
+val merge : mine:cell -> theirs:cell -> cell
+(** LWW merge; keeps [mine] unless [theirs] is strictly newer. *)
+
+val merge_opt : cell option -> cell -> cell
+(** [merge] against a possibly-absent incumbent. *)
+
+val digest : string -> cell -> int
+(** Order-insensitive per-cell digest contribution (fold with [lxor]):
+    hashes the key, the version and the value, so any divergence in any
+    component shows up in a partition's digest. *)
+
+val size_bytes : cell -> int
+(** Wire-size estimate: value bytes plus a 16-byte version. *)
+
+val pp : Format.formatter -> cell -> unit

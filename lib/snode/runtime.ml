@@ -8,6 +8,8 @@ module Histogram = Dht_telemetry.Histogram
 module Trace = Dht_telemetry.Trace
 module Rng = Dht_prng.Rng
 module Hash = Dht_hashes.Hash
+module Versioned = Dht_kv.Versioned
+module Placement = Dht_replication.Placement
 module Vtbl = Hashtbl.Make (Vnode_id)
 module Gtbl = Hashtbl.Make (Group_id)
 
@@ -25,7 +27,7 @@ type vnode_local = {
   vid : Vnode_id.t;
   mutable group : Group_id.t;
   mutable spans : Span.t list;
-  data : (string, string) Hashtbl.t;
+  data : (string, Versioned.cell) Hashtbl.t;  (* authoritative copies *)
 }
 
 type lpdr = {
@@ -45,7 +47,7 @@ type event_state = {
   ev_kind : [ `Create | `Remove ];
   ev_start : float;  (* virtual time the coordinator planned the event *)
   mutable ev_acks : int;
-  mutable ev_moved : (Span.t * Vnode_id.t) list;
+  mutable ev_moved : Wire.placement;
   ev_participants : int list;
   mutable ev_waits : int;  (* All_received notifications still expected *)
   mutable ev_committed : bool;
@@ -87,6 +89,26 @@ type peer = {
   mutable strikes : int;  (* consecutive retransmission timeouts *)
 }
 
+(* Coordinator-side state of one in-flight quorum operation. Writes count
+   distinct snodes that stored a copy (sloppy W: hinted fallbacks count);
+   reads collect distinct repliers until R and resolve by LWW. *)
+type qkind =
+  | Q_put of {
+      q_cell : Versioned.cell;
+      mutable q_hint : Engine.handle option;  (* hinted-handoff timer *)
+    }
+  | Q_get of { mutable q_replies : (int * Versioned.cell option) list }
+
+type qstate = {
+  q_token : int;
+  q_key : string;
+  q_point : int;
+  q_set : int list;  (* replica set resolved at issue time *)
+  mutable q_acked : int list;  (* distinct snodes holding a copy (puts) *)
+  mutable q_done : bool;  (* quorum met, origin answered *)
+  q_kind : qkind;
+}
+
 type snode = {
   sid : int;
   mutable alive : bool;
@@ -95,6 +117,17 @@ type snode = {
   lpdrs : lpdr Gtbl.t;
   owned : Vnode_id.t Point_map.t;  (* exact local ownership *)
   cache : Vnode_id.t Point_map.t;  (* global placement; may be stale *)
+  (* Replica map: span -> replica snodes (owner's snode first). Updated by
+     the same epoch-fenced commit that moves a partition, so the copy set
+     never straddles a stale LPDR epoch. *)
+  rmap : int list Point_map.t;
+  (* Cells held as a non-owner replica (including hinted parking). *)
+  replicas : (string, Versioned.cell) Hashtbl.t;
+  (* Hinted handoff owed to crashed replicas: (target snode, key). The
+     flush is already in the reliable outbox; the entry survives until the
+     target acknowledges it. *)
+  hints : (int * string, Versioned.cell) Hashtbl.t;
+  quorums : (int, qstate) Hashtbl.t;  (* token -> in-flight quorum op *)
   rng : Rng.t;
   qlocks : (bool ref * Wire.msg Queue.t) Gtbl.t;
   events : (int, event_state) Hashtbl.t;
@@ -102,12 +135,21 @@ type snode = {
   pendings : (int, pending_prepare) Hashtbl.t;
   (* Transfers that overtook their Prepare (small messages travel faster
      than large ones); drained when the Prepare lands. *)
-  stashed : (int, (Vnode_id.t * Span.t list * (string * string) list) list ref) Hashtbl.t;
+  stashed :
+    (int, (Vnode_id.t * Span.t list * (string * Versioned.cell) list) list ref)
+    Hashtbl.t;
   (* Highest LPDR epoch ever applied, per group — never deleted. Commits
      are delivered reliably but not in order (a retransmitted commit can
      arrive after a newer one on the same group); LPDR writes are fenced on
      this high-water mark so a stale commit cannot overwrite fresh state. *)
   gepochs : int Gtbl.t;
+  (* Same hazard, placement maps: highest event id whose commit set each
+     span's cache/rmap entry. A span can only be re-migrated after its
+     previous move's commit, so event ids increase along any one span's
+     migration history; a late retransmitted commit must not overwrite the
+     fresher replica set (a quorum read through it would miss every
+     up-to-date copy). Covers the whole space, like [rmap]. *)
+  pfence : int Point_map.t;
   peers : (int, peer) Hashtbl.t;
   (* Self-addressed work (routing backoffs, queued operations) that fired
      while the snode was down; drained on restart. Durable, like the rest
@@ -116,7 +158,7 @@ type snode = {
 }
 
 type callback =
-  | Cb_put
+  | Cb_put of (unit -> unit) option  (* invoked when the write is acked *)
   | Cb_get of (string option -> unit)
   | Cb_remove of (bool -> unit)
 
@@ -135,6 +177,8 @@ type instruments = {
   i_ev_remove : Histogram.t;
   i_downtime : Histogram.t;  (* crash -> restart per recovery *)
   i_rto : Histogram.t;  (* retransmission-timer delays as armed *)
+  i_q_put : Histogram.t;  (* quorum write, issue to W-th ack *)
+  i_q_get : Histogram.t;  (* quorum read, issue to R-th reply *)
 }
 
 type t = {
@@ -150,6 +194,10 @@ type t = {
   rto_cap : float;  (* retransmission backoff ceiling; also probe cadence *)
   poison_after : int;  (* consecutive timeouts before a route is poisoned *)
   event_timeout : float;  (* per-round watchdog for balancing events *)
+  rfactor : int;  (* copies per partition; 1 = no replication *)
+  read_quorum : int;  (* R *)
+  write_quorum : int;  (* W; R + W > rfactor *)
+  handoff_timeout : float;  (* write-ack patience before hinting *)
   bootstrap : Span.t list * Vnode_id.t;  (* for rebuilding crashed caches *)
   instr : instruments option;
   trace : Trace.t;
@@ -169,29 +217,35 @@ type t = {
   mutable retransmits : int;
   mutable crashes : int;
   mutable recoveries : int;
+  mutable hints_stored : int;  (* cells parked on a hinted fallback *)
+  mutable hints_flushed : int;  (* hints drained to their restarted target *)
+  mutable read_repairs : int;  (* stale repliers repaired after a read *)
+  mutable sync_cells : int;  (* cells freshened by anti-entropy syncs *)
+  mutable orphans : int;  (* replica-table cells routed back to an owner *)
 }
 
 (* ------------------------------------------------------------------ *)
 (* Cache maintenance                                                    *)
 
-(* Learn [span -> vid] without ever leaving a hole: evicted entries that
+(* Learn [span -> value] without ever leaving a hole: evicted entries that
    are strictly coarser than [span] have their remainder re-inserted under
-   the old owner (dyadic path decomposition). *)
-let cache_learn t sn span vid =
-  let old = Point_map.overlapping sn.cache span in
+   the old value (dyadic path decomposition). Shared by the routing cache
+   and the replica map. *)
+let map_learn space map span value =
+  let old = Point_map.overlapping map span in
   List.iter
-    (fun (s, owner) ->
-      Point_map.remove sn.cache s;
+    (fun (s, prev) ->
+      Point_map.remove map s;
       if Span.level s < Span.level span then begin
         let rec keep_rest s =
           if not (Span.equal s span) then begin
-            let a, b = Span.split t.space s in
+            let a, b = Span.split space s in
             if Span.overlap a span then begin
-              Point_map.add sn.cache b owner;
+              Point_map.add map b prev;
               keep_rest a
             end
             else begin
-              Point_map.add sn.cache a owner;
+              Point_map.add map a prev;
               keep_rest b
             end
           end
@@ -199,7 +253,10 @@ let cache_learn t sn span vid =
         keep_rest s
       end)
     old;
-  Point_map.add sn.cache span vid
+  Point_map.add map span value
+
+let cache_learn t sn span vid = map_learn t.space sn.cache span vid
+let rmap_learn t sn span sids = map_learn t.space sn.rmap span sids
 
 (* ------------------------------------------------------------------ *)
 (* Local state operations                                               *)
@@ -258,6 +315,83 @@ let split_all_local t sn v =
   v.spans <- halves
 
 (* ------------------------------------------------------------------ *)
+(* Replica storage                                                      *)
+
+(* Accept-and-store: an owner keeps the cell in its partition table, any
+   other snode in its replica table; both merge by LWW. Returns [true]
+   when the stored cell changed (new key or strictly fresher version). *)
+let store_replica sn ~point ~key cell =
+  let merge_into tbl =
+    match Hashtbl.find_opt tbl key with
+    | None ->
+        Hashtbl.replace tbl key cell;
+        true
+    | Some mine ->
+        if Versioned.newer cell.Versioned.version mine.Versioned.version then begin
+          Hashtbl.replace tbl key cell;
+          true
+        end
+        else false
+  in
+  match Point_map.find_point sn.owned point with
+  | _, vid -> merge_into (local_exn sn vid).data
+  | exception Not_found -> merge_into sn.replicas
+
+let replica_lookup sn ~point ~key =
+  match Point_map.find_point sn.owned point with
+  | _, vid -> Hashtbl.find_opt (local_exn sn vid).data key
+  | exception Not_found -> Hashtbl.find_opt sn.replicas key
+
+(* Every cell this snode holds (own partitions and replica copies) whose
+   key hashes into [span]. *)
+let span_cells t sn span =
+  let acc = ref [] in
+  let consider key cell =
+    let point = Hash.string t.space key in
+    if Span.contains t.space span point then acc := (key, cell) :: !acc
+  in
+  Hashtbl.iter consider sn.replicas;
+  Vtbl.iter (fun _ v -> Hashtbl.iter consider v.data) sn.locals;
+  (* Deterministic order: hash-table iteration order depends on insertion
+     history, which differs between owner and replica. *)
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
+
+(* Order-insensitive digest of [span]: cell count and XOR-folded per-cell
+   hashes. Two snodes agree iff they hold the same cells for the span. *)
+let span_digest t sn span =
+  let count = ref 0 and h = ref 0 in
+  let consider key cell =
+    let point = Hash.string t.space key in
+    if Span.contains t.space span point then begin
+      incr count;
+      h := !h lxor Versioned.digest key cell
+    end
+  in
+  Hashtbl.iter consider sn.replicas;
+  Vtbl.iter (fun _ v -> Hashtbl.iter consider v.data) sn.locals;
+  (!count, !h)
+
+(* A snode that just gained ownership of [spans] absorbs any copies it
+   already held as a mere replica (they may be fresher than the
+   transferred data if a quorum write landed mid-migration). *)
+let absorb_replica_cells t sn v spans =
+  let moving =
+    Hashtbl.fold
+      (fun key cell acc ->
+        let point = Hash.string t.space key in
+        if List.exists (fun s -> Span.contains t.space s point) spans then
+          (key, cell) :: acc
+        else acc)
+      sn.replicas []
+  in
+  List.iter
+    (fun (key, cell) ->
+      Hashtbl.remove sn.replicas key;
+      Hashtbl.replace v.data key
+        (Versioned.merge_opt (Hashtbl.find_opt v.data key) cell))
+    moving
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry                                                            *)
 
 let observing t = t.instr <> None || Trace.enabled t.trace
@@ -280,12 +414,19 @@ let finish_op t ~kind ~token ~tid =
             | `Put -> i.i_op_put
             | `Get -> i.i_op_get
             | `Remove -> i.i_op_remove
+            | `Qput -> i.i_q_put
+            | `Qget -> i.i_q_get
           in
           Histogram.observe h dur
       | None -> ());
       if Trace.enabled t.trace then
         let op =
-          match kind with `Put -> "put" | `Get -> "get" | `Remove -> "remove"
+          match kind with
+          | `Put -> "put"
+          | `Get -> "get"
+          | `Remove -> "remove"
+          | `Qput -> "qput"
+          | `Qget -> "qget"
         in
         Trace.span t.trace ~ts:t0 ~dur ~tid ~name:"op"
           [ ("op", Trace.Str op); ("token", Trace.Int token) ]
@@ -503,13 +644,27 @@ and execute_op t sn ~owner ~point ~origin ~retries ~hops op =
   | None -> ());
   match op with
   | Wire.Op_put { key; value; token } ->
+      (* Single-copy write: unconditional replace, stamped at the owner.
+         Delivery order IS the write order here (legacy semantics) — two
+         local writes can share a virtual timestamp, where an LWW merge
+         would wrongly keep the first. *)
       let v = local_exn sn owner in
-      Hashtbl.replace v.data key value;
+      Hashtbl.replace v.data key
+        (Versioned.cell ~value ~ts:(Engine.now t.engine) ~origin:sn.sid);
       send t ~src:sn.sid ~dst:origin (Wire.Put_ack { token })
   | Wire.Op_get { key; token } ->
       let v = local_exn sn owner in
-      let value = Hashtbl.find_opt v.data key in
+      let value =
+        Option.map
+          (fun c -> c.Versioned.value)
+          (Hashtbl.find_opt v.data key)
+      in
       send t ~src:sn.sid ~dst:origin (Wire.Get_reply { token; value })
+  | Wire.Op_sync { key; cell } ->
+      (* Anti-entropy orphan coming home: merge, no reply. *)
+      let v = local_exn sn owner in
+      Hashtbl.replace v.data key
+        (Versioned.merge_opt (Hashtbl.find_opt v.data key) cell)
   | Wire.Op_create { newcomer } -> (
       (* The owner of the point is the victim vnode; its group is the
          victim group. Hand the request to that group's manager. *)
@@ -537,6 +692,273 @@ and manager_of lpdr =
   match lpdr.counts with
   | [] -> invalid_arg "Runtime: empty LPDR"
   | (first, _) :: _ -> first.Vnode_id.snode
+
+(* ---------------- quorum coordinator ---------------- *)
+
+and start_qput t sn ~token ~key ~point cell =
+  let _, set = Point_map.find_point sn.rmap point in
+  let q =
+    {
+      q_token = token;
+      q_key = key;
+      q_point = point;
+      q_set = set;
+      q_acked = [];
+      q_done = false;
+      q_kind = Q_put { q_cell = cell; q_hint = None };
+    }
+  in
+  Hashtbl.replace sn.quorums token q;
+  (* Sloppy-quorum patience: give the replicas [handoff_timeout] to ack,
+     then hint the silent ones away. Pointless on a fault-free network. *)
+  if t.faults <> None then begin
+    match q.q_kind with
+    | Q_put p ->
+        p.q_hint <-
+          Some
+            (Engine.schedule_cancellable t.engine ~delay:t.handoff_timeout
+               (fun () -> fire_hints t sn q))
+    | Q_get _ -> ()
+  end;
+  List.iter
+    (fun sid ->
+      if sid = sn.sid then begin
+        ignore (store_replica sn ~point ~key cell);
+        qput_record t sn q sn.sid
+      end
+      else send t ~src:sn.sid ~dst:sid (Wire.Repl_put { token; key; point; cell }))
+    set
+
+and qput_record t sn q sid =
+  if not (List.mem sid q.q_acked) then begin
+    q.q_acked <- sid :: q.q_acked;
+    if (not q.q_done) && List.length q.q_acked >= t.write_quorum then begin
+      q.q_done <- true;
+      finish_op t ~kind:`Qput ~token:q.q_token ~tid:sn.sid;
+      (match Hashtbl.find_opt t.callbacks q.q_token with
+      | Some (Cb_put k) ->
+          Hashtbl.remove t.callbacks q.q_token;
+          (match k with Some f -> f () | None -> ())
+      | Some (Cb_get _ | Cb_remove _) | None ->
+          failwith "Runtime: bad quorum put token");
+      t.done_puts <- t.done_puts + 1;
+      t.pending <- t.pending - 1
+    end;
+    (* Every copy placed: nothing left for the hint timer to cover. *)
+    if q.q_done && List.length q.q_acked >= List.length q.q_set then
+      qput_finalize t sn q
+  end
+
+and qput_finalize t sn q =
+  ignore t;
+  (match q.q_kind with
+  | Q_put p ->
+      (match p.q_hint with Some h -> Engine.cancel h | None -> ());
+      p.q_hint <- None
+  | Q_get _ -> ());
+  Hashtbl.remove sn.quorums q.q_token
+
+(* The hinted-handoff timer fired with some replicas still silent: park
+   their copy on the next ring successor outside the replica set. The
+   fallback acks toward W (sloppy quorum) and owes the silent target a
+   [Hint_flush], which the reliable layer retries until the target
+   restarts. *)
+and fire_hints t sn q =
+  (match q.q_kind with Q_put p -> p.q_hint <- None | Q_get _ -> ());
+  if sn.alive && Hashtbl.mem sn.quorums q.q_token then
+    match q.q_kind with
+    | Q_get _ -> ()
+    | Q_put { q_cell; _ } ->
+        let n = Array.length t.snodes in
+        let chosen = ref [] in
+        List.iter
+          (fun target ->
+            if not (List.mem target q.q_acked) then begin
+              let avoid = q.q_set @ q.q_acked @ !chosen in
+              match Placement.successor ~n ~avoid ~start:target with
+              | None -> ()
+              | Some fb ->
+                  chosen := fb :: !chosen;
+                  if Trace.enabled t.trace then
+                    Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:sn.sid
+                      ~name:"repl.hint"
+                      [ ("target", Trace.Int target); ("via", Trace.Int fb) ];
+                  if fb = sn.sid then begin
+                    (* We are our own fallback: park locally. *)
+                    ignore
+                      (store_replica sn ~point:q.q_point ~key:q.q_key q_cell);
+                    t.hints_stored <- t.hints_stored + 1;
+                    Hashtbl.replace sn.hints (target, q.q_key) q_cell;
+                    send t ~src:sn.sid ~dst:target
+                      (Wire.Hint_flush
+                         { key = q.q_key; point = q.q_point; cell = q_cell });
+                    qput_record t sn q sn.sid
+                  end
+                  else
+                    send t ~src:sn.sid ~dst:fb
+                      (Wire.Repl_hinted
+                         {
+                           token = q.q_token;
+                           target;
+                           key = q.q_key;
+                           point = q.q_point;
+                           cell = q_cell;
+                         })
+            end)
+          q.q_set
+
+and start_qget t sn ~token ~key ~point =
+  let _, set = Point_map.find_point sn.rmap point in
+  let q =
+    {
+      q_token = token;
+      q_key = key;
+      q_point = point;
+      q_set = set;
+      q_acked = [];
+      q_done = false;
+      q_kind = Q_get { q_replies = [] };
+    }
+  in
+  Hashtbl.replace sn.quorums token q;
+  List.iter
+    (fun sid ->
+      if sid = sn.sid then
+        qget_record t sn q sn.sid (replica_lookup sn ~point ~key)
+      else send t ~src:sn.sid ~dst:sid (Wire.Repl_get { token; key; point }))
+    set
+
+and qget_record t sn q sid cell =
+  match q.q_kind with
+  | Q_put _ -> ()
+  | Q_get g ->
+      if not (List.mem_assoc sid g.q_replies) then begin
+        g.q_replies <- (sid, cell) :: g.q_replies;
+        if (not q.q_done) && List.length g.q_replies >= t.read_quorum then begin
+          q.q_done <- true;
+          (* LWW winner among the R replies. *)
+          let winner =
+            List.fold_left
+              (fun acc (_, c) ->
+                match (acc, c) with
+                | None, c -> c
+                | Some a, Some b -> Some (Versioned.merge ~mine:a ~theirs:b)
+                | Some a, None -> Some a)
+              None g.q_replies
+          in
+          (* Read repair: push the winner to stale or empty repliers. *)
+          (match winner with
+          | None -> ()
+          | Some w ->
+              List.iter
+                (fun (rsid, c) ->
+                  let stale =
+                    match c with
+                    | None -> true
+                    | Some c ->
+                        Versioned.newer w.Versioned.version c.Versioned.version
+                  in
+                  if stale then begin
+                    t.read_repairs <- t.read_repairs + 1;
+                    if rsid = sn.sid then
+                      ignore
+                        (store_replica sn ~point:q.q_point ~key:q.q_key w)
+                    else
+                      send t ~src:sn.sid ~dst:rsid
+                        (Wire.Repl_repair
+                           { key = q.q_key; point = q.q_point; cell = w })
+                  end)
+                g.q_replies);
+          finish_op t ~kind:`Qget ~token:q.q_token ~tid:sn.sid;
+          (match Hashtbl.find_opt t.callbacks q.q_token with
+          | Some (Cb_get k) ->
+              Hashtbl.remove t.callbacks q.q_token;
+              k (Option.map (fun c -> c.Versioned.value) winner)
+          | Some (Cb_put _ | Cb_remove _) | None ->
+              failwith "Runtime: bad quorum get token");
+          t.done_gets <- t.done_gets + 1;
+          t.pending <- t.pending - 1;
+          Hashtbl.remove sn.quorums q.q_token
+        end
+      end
+
+(* ---------------- anti-entropy ---------------- *)
+
+(* Owner-side digest push for one locally-owned span: for every replica
+   map entry covering it where we are the primary, probe the other
+   replicas. Replicas whose digest differs pull a full-span sync. *)
+and ae_push_span t sn span =
+  List.iter
+    (fun (s', set) ->
+      match set with
+      | head :: rest when head = sn.sid ->
+          let target_span =
+            if Span.level s' > Span.level span then s' else span
+          in
+          let count, vhash = span_digest t sn target_span in
+          List.iter
+            (fun sid ->
+              if sid <> sn.sid then
+                send t ~src:sn.sid ~dst:sid
+                  (Wire.Repl_digest { span = target_span; count; vhash }))
+            rest
+      | _ -> ())
+    (Point_map.overlapping sn.rmap span)
+
+(* Digest-push every span we own whose replica set includes [target] —
+   the recovery path behind [Ae_request]. *)
+and ae_push_for t sn ~target =
+  Vtbl.iter
+    (fun _ v ->
+      List.iter
+        (fun span ->
+          List.iter
+            (fun (s', set) ->
+              match set with
+              | head :: rest when head = sn.sid && List.mem target rest ->
+                  let target_span =
+                    if Span.level s' > Span.level span then s' else span
+                  in
+                  let count, vhash = span_digest t sn target_span in
+                  send t ~src:sn.sid ~dst:target
+                    (Wire.Repl_digest { span = target_span; count; vhash })
+              | _ -> ())
+            (Point_map.overlapping sn.rmap span))
+        v.spans)
+    sn.locals
+
+(* One full anti-entropy round for this snode: digest-push every owned
+   span to its replicas, and route cells we hold for partitions we are no
+   longer a replica of back to their owner. *)
+and ae_snode t sn =
+  Vtbl.iter
+    (fun _ v -> List.iter (fun span -> ae_push_span t sn span) v.spans)
+    sn.locals;
+  let orphans =
+    Hashtbl.fold
+      (fun key cell acc ->
+        let point = Hash.string t.space key in
+        match Point_map.find_point sn.rmap point with
+        | _, set when List.mem sn.sid set -> acc
+        | _ -> (key, point, cell) :: acc
+        | exception Not_found -> (key, point, cell) :: acc)
+      sn.replicas []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (key, point, cell) ->
+      t.orphans <- t.orphans + 1;
+      Hashtbl.remove sn.replicas key;
+      deliver_local t sn
+        (Wire.Routed
+           {
+             point;
+             hops = 0;
+             retries = 0;
+             origin = sn.sid;
+             op = Wire.Op_sync { key; cell };
+           }))
+    orphans
 
 (* ---------------- coordinator ---------------- *)
 
@@ -684,7 +1106,16 @@ and maybe_complete t sn ev st =
 and apply_transfer t sn ~event ~to_vnode ~spans ~data =
   let v = local_exn sn to_vnode in
   install_spans sn v spans;
-  List.iter (fun (key, value) -> Hashtbl.replace v.data key value) data;
+  List.iter
+    (fun (key, cell) ->
+      match Hashtbl.find_opt v.data key with
+      | None -> Hashtbl.replace v.data key cell
+      | Some mine ->
+          Hashtbl.replace v.data key (Versioned.merge ~mine ~theirs:cell))
+    data;
+  (* Cells we already replicated for these spans move into the partition
+     table, so the owner's holdings (and digests) see one copy. *)
+  absorb_replica_cells t sn v spans;
   List.iter (fun s -> cache_learn t sn s to_vnode) spans;
   match Hashtbl.find_opt sn.incomings event with
   | None -> failwith "Runtime: transfer applied without expectation"
@@ -692,7 +1123,11 @@ and apply_transfer t sn ~event ~to_vnode ~spans ~data =
       inc.got <- inc.got + 1;
       if inc.got = inc.want then begin
         Hashtbl.remove sn.incomings event;
-        send t ~src:sn.sid ~dst:inc.coordinator (Wire.All_received { event })
+        send t ~src:sn.sid ~dst:inc.coordinator (Wire.All_received { event });
+        (* If the commit already installed the replica map for these spans
+           (Commit overtook the Transfer), seed the replicas now. *)
+        if t.rfactor > 1 then
+          List.iter (fun s -> ae_push_span t sn s) spans
       end
 
 and drain_stash t sn event =
@@ -767,6 +1202,10 @@ and start_removal t sn group lpdr ~leaving ~origin ~token =
 and apply_remove_prepare t sn ~from ~event ~group ~leaving ~epoch_before
     ~moves ~remaining =
   (* Ship every movement whose source vnode lives here. *)
+  let group_snodes =
+    List.sort_uniq compare
+      (List.map (fun (id, _) -> id.Vnode_id.snode) remaining)
+  in
   let moved = ref [] in
   List.iter
     (fun { Plan.src; dst; n } ->
@@ -775,8 +1214,12 @@ and apply_remove_prepare t sn ~from ~event ~group ~leaving ~epoch_before
         let spans, data = donate_spans t sn v n in
         send t ~src:sn.sid ~dst:dst.Vnode_id.snode
           (Wire.Transfer { event; to_vnode = dst; spans; data });
+        let reps =
+          Placement.replicas ~rfactor:t.rfactor ~n:(Array.length t.snodes)
+            ~primary:dst.Vnode_id.snode ~group_snodes
+        in
         List.iter (fun s -> cache_learn t sn s dst) spans;
-        moved := List.map (fun s -> (s, dst)) spans @ !moved
+        moved := List.map (fun s -> (s, dst, reps)) spans @ !moved
       end)
     moves;
   (* Expect one batch per movement targeting a vnode hosted here. *)
@@ -825,6 +1268,14 @@ and apply_prepare t sn ~from (p : Wire.prepare) =
     drain_stash t sn p.Wire.event
   end;
   (* Donations from locally-hosted donors. *)
+  let group_snodes =
+    List.sort_uniq compare
+      (List.map (fun (id, _) -> id.Vnode_id.snode) plan.Plan.final_counts)
+  in
+  let reps =
+    Placement.replicas ~rfactor:t.rfactor ~n:(Array.length t.snodes)
+      ~primary:p.Wire.newcomer.Vnode_id.snode ~group_snodes
+  in
   let moved = ref [] in
   List.iter
     (fun { Plan.donor; give } ->
@@ -835,7 +1286,7 @@ and apply_prepare t sn ~from (p : Wire.prepare) =
           (Wire.Transfer
              { event = p.Wire.event; to_vnode = p.Wire.newcomer; spans; data });
         List.iter (fun s -> cache_learn t sn s p.Wire.newcomer) spans;
-        moved := List.map (fun s -> (s, p.Wire.newcomer)) spans @ !moved
+        moved := List.map (fun s -> (s, p.Wire.newcomer, reps)) spans @ !moved
       end)
     plan.Plan.assignments;
   Hashtbl.replace sn.pendings p.Wire.event (P_create p);
@@ -921,8 +1372,32 @@ and apply_commit t sn ~moved ev =
               (local_exn sn id).group <- p.Wire.target)
           plan.Plan.final_counts
       end);
-  (* Placement of the moved partitions. *)
-  List.iter (fun (s, owner) -> cache_learn t sn s owner) moved
+  (* Placement of the moved partitions: owner into the routing cache,
+     replica set into the replica map — one epoch-fenced commit. Applied
+     per fence fragment: only the parts of each span whose placement was
+     last set by an older event accept this commit's placement (a newer
+     commit may have overtaken this one, possibly for a sub-span). *)
+  List.iter
+    (fun (s, owner, reps) ->
+      List.iter
+        (fun (fs, fev) ->
+          if fev < ev then begin
+            let part = if Span.level fs > Span.level s then fs else s in
+            cache_learn t sn part owner;
+            rmap_learn t sn part reps;
+            map_learn t.space sn.pfence part ev
+          end)
+        (Point_map.overlapping sn.pfence s))
+    moved;
+  (* New owner already holds the data (Transfer preceded this Commit):
+     seed the freshly-assigned replicas now. The symmetric hook in
+     [apply_transfer] covers the Commit-first ordering. *)
+  if t.rfactor > 1 then
+    List.iter
+      (fun (s, owner, _) ->
+        if owner.Vnode_id.snode = sn.sid && Vtbl.mem sn.locals owner then
+          ae_push_span t sn s)
+      moved
 
 (* ---------------- dispatch ---------------- *)
 
@@ -972,12 +1447,20 @@ and handle t sn ~from msg =
                   ("event", Trace.Int event);
                   ("participants", Trace.Int (List.length st.ev_participants));
                 ];
+            (* With replication on, every snode carries a replica map, so
+               the commit fans out cluster-wide: placement never straddles
+               a stale map on a quorum coordinator. *)
+            let commit_targets =
+              if t.rfactor > 1 then
+                List.init (Array.length t.snodes) (fun i -> i)
+              else st.ev_participants
+            in
             List.iter
               (fun pt ->
                 if pt <> sn.sid then
                   send t ~src:sn.sid ~dst:pt
                     (Wire.Commit { event; moved = st.ev_moved }))
-              st.ev_participants;
+              commit_targets;
             (* The coordinator applies its own commit synchronously: when
                the completion below unlocks the group and dequeues the next
                event, the local LPDR must already be post-event. *)
@@ -1053,13 +1536,16 @@ and handle t sn ~from msg =
       | Some (Cb_remove k) ->
           Hashtbl.remove t.callbacks token;
           k ok
-      | Some (Cb_put | Cb_get _) | None -> failwith "Runtime: bad remove token");
+      | Some (Cb_put _ | Cb_get _) | None ->
+          failwith "Runtime: bad remove token");
       t.done_removals <- t.done_removals + 1;
       t.pending <- t.pending - 1
   | Wire.Put_ack { token } ->
       finish_op t ~kind:`Put ~token ~tid:sn.sid;
       (match Hashtbl.find_opt t.callbacks token with
-      | Some Cb_put -> Hashtbl.remove t.callbacks token
+      | Some (Cb_put k) ->
+          Hashtbl.remove t.callbacks token;
+          (match k with Some f -> f () | None -> ())
       | Some (Cb_get _ | Cb_remove _) | None ->
           failwith "Runtime: bad put token");
       t.done_puts <- t.done_puts + 1;
@@ -1070,10 +1556,77 @@ and handle t sn ~from msg =
       | Some (Cb_get k) ->
           Hashtbl.remove t.callbacks token;
           k value
-      | Some (Cb_put | Cb_remove _) | None ->
+      | Some (Cb_put _ | Cb_remove _) | None ->
           failwith "Runtime: bad get token");
       t.done_gets <- t.done_gets + 1;
       t.pending <- t.pending - 1
+  | Wire.Repl_put { token; key; point; cell } ->
+      ignore (store_replica sn ~point ~key cell);
+      send t ~src:sn.sid ~dst:from (Wire.Repl_put_ack { token })
+  | Wire.Repl_put_ack { token } -> (
+      match Hashtbl.find_opt sn.quorums token with
+      | None -> ()
+      | Some q -> qput_record t sn q from)
+  | Wire.Repl_get { token; key; point } ->
+      send t ~src:sn.sid ~dst:from
+        (Wire.Repl_get_reply { token; cell = replica_lookup sn ~point ~key })
+  | Wire.Repl_get_reply { token; cell } -> (
+      match Hashtbl.find_opt sn.quorums token with
+      | None -> ()
+      | Some q -> qget_record t sn q from cell)
+  | Wire.Repl_hinted { token; target; key; point; cell } ->
+      (* Sloppy-quorum fallback: park the cell for the crashed [target],
+         ack toward W, and owe the target a flush. *)
+      ignore (store_replica sn ~point ~key cell);
+      t.hints_stored <- t.hints_stored + 1;
+      Hashtbl.replace sn.hints (target, key) cell;
+      send t ~src:sn.sid ~dst:from (Wire.Repl_put_ack { token });
+      send t ~src:sn.sid ~dst:target (Wire.Hint_flush { key; point; cell })
+  | Wire.Hint_flush { key; point; cell } ->
+      ignore (store_replica sn ~point ~key cell);
+      send t ~src:sn.sid ~dst:from (Wire.Hint_ack { key })
+  | Wire.Hint_ack { key } ->
+      if Hashtbl.mem sn.hints (from, key) then begin
+        Hashtbl.remove sn.hints (from, key);
+        t.hints_flushed <- t.hints_flushed + 1
+      end
+  | Wire.Repl_repair { key; point; cell } ->
+      ignore (store_replica sn ~point ~key cell)
+  | Wire.Repl_digest { span; count; vhash } ->
+      let my_count, my_vhash = span_digest t sn span in
+      if my_count <> count || my_vhash <> vhash then
+        send t ~src:sn.sid ~dst:from (Wire.Repl_sync_request { span })
+  | Wire.Repl_sync_request { span } ->
+      send t ~src:sn.sid ~dst:from
+        (Wire.Repl_sync { span; cells = span_cells t sn span; reply = true })
+  | Wire.Repl_sync { span; cells; reply } ->
+      let fresher = ref [] in
+      List.iter
+        (fun (key, cell) ->
+          let point = Hash.string t.space key in
+          (match replica_lookup sn ~point ~key with
+          | Some mine
+            when Versioned.newer mine.Versioned.version cell.Versioned.version
+            ->
+              if reply then fresher := (key, mine) :: !fresher
+          | _ -> ());
+          if store_replica sn ~point ~key cell then
+            t.sync_cells <- t.sync_cells + 1)
+        cells;
+      (* Bidirectional repair: ship back anything we hold strictly fresher
+         (or that the sender is missing entirely). *)
+      if reply then begin
+        let theirs = List.map fst cells in
+        List.iter
+          (fun (key, cell) ->
+            if not (List.mem key theirs) then fresher := (key, cell) :: !fresher)
+          (span_cells t sn span);
+        if !fresher <> [] then
+          send t ~src:sn.sid ~dst:from
+            (Wire.Repl_sync
+               { span; cells = List.rev !fresher; reply = false })
+      end
+  | Wire.Ae_request -> ae_push_for t sn ~target:from
   | Wire.Lpdr_pull { group } ->
       (* Crash recovery: a restarted member asks for a fresh copy. Reply
          with ours (we may not be the manager any more if the group moved;
@@ -1196,7 +1749,16 @@ let restart_snode t sid =
           if manager <> sn.sid then
             send t ~src:sn.sid ~dst:manager (Wire.Lpdr_pull { group = gid })
         end)
-      sn.lpdrs
+      sn.lpdrs;
+    (* Catch up on writes missed while down: ask every peer to digest-push
+       the partitions we replicate (hinted copies arrive through the
+       reliable layer on their own). *)
+    if t.rfactor > 1 then
+      Array.iter
+        (fun peer ->
+          if peer.sid <> sid then
+            send t ~src:sid ~dst:peer.sid Wire.Ae_request)
+        t.snodes
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1205,7 +1767,9 @@ let restart_snode t sid =
 let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
     ?(approach = Local { vmin = 16 }) ?faults ?(max_retries = 50)
     ?(backoff = 1e-3) ?(rto = 1e-3) ?(rto_cap = 0.05) ?(poison_after = 5)
-    ?(event_timeout = 1.0) ?metrics ?(trace = Trace.noop) ~snodes ~seed () =
+    ?(event_timeout = 1.0) ?(rfactor = 1) ?(read_quorum = 1)
+    ?(write_quorum = 1) ?(handoff_timeout = 0.02) ?metrics
+    ?(trace = Trace.noop) ~snodes ~seed () =
   if snodes < 1 then invalid_arg "Runtime.create: need at least one snode";
   if not (Params.is_power_of_two pmin) then
     invalid_arg "Runtime.create: pmin must be a power of two";
@@ -1214,6 +1778,11 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
   if backoff <= 0. || rto <= 0. || event_timeout <= 0. then
     invalid_arg "Runtime.create: delays must be positive";
   if rto_cap < rto then invalid_arg "Runtime.create: rto_cap < rto";
+  Params.check_quorum ~rfactor ~read_quorum ~write_quorum;
+  if rfactor > snodes then
+    invalid_arg "Runtime.create: rfactor exceeds the snode count";
+  if handoff_timeout <= 0. then
+    invalid_arg "Runtime.create: handoff_timeout must be positive";
   let vmax =
     match approach with
     | Global -> max_int
@@ -1251,7 +1820,12 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
               lat ~labels:[ ("kind", "remove") ] "runtime.2pc.event";
             i_downtime = lat "runtime.recovery.downtime";
             i_rto = lat "runtime.rto.delay";
+            i_q_put = lat ~labels:[ ("op", "put") ] "runtime.quorum.latency";
+            i_q_get = lat ~labels:[ ("op", "get") ] "runtime.quorum.latency";
           }
+  in
+  let replicas0 =
+    Placement.replicas ~rfactor ~n:snodes ~primary:0 ~group_snodes:[ 0 ]
   in
   let mk_snode sid =
     let sn =
@@ -1263,6 +1837,11 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
         lpdrs = Gtbl.create 8;
         owned = Point_map.create space;
         cache = Point_map.create space;
+        rmap = Point_map.create space;
+        pfence = Point_map.create space;
+        replicas = Hashtbl.create 16;
+        hints = Hashtbl.create 8;
+        quorums = Hashtbl.create 8;
         rng = Rng.split master;
         qlocks = Gtbl.create 8;
         events = Hashtbl.create 8;
@@ -1274,8 +1853,13 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
         parked = Queue.create ();
       }
     in
-    (* Every cache starts with the bootstrap placement. *)
+    (* Every cache starts with the bootstrap placement, every replica map
+       with the bootstrap replica set (all partitions primaried at snode
+       0, backups on its ring successors). *)
     List.iter (fun s -> Point_map.add sn.cache s first) spans0;
+    List.iter (fun s -> Point_map.add sn.rmap s replicas0) spans0;
+    (* Fence below any real event id: the first commit always applies. *)
+    List.iter (fun s -> Point_map.add sn.pfence s (-1)) spans0;
     sn
   in
   let snodes_arr = Array.init snodes mk_snode in
@@ -1300,6 +1884,10 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
       rto_cap;
       poison_after;
       event_timeout;
+      rfactor;
+      read_quorum;
+      write_quorum;
+      handoff_timeout;
       bootstrap = (spans0, first);
       instr;
       trace;
@@ -1318,6 +1906,11 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
       retransmits = 0;
       crashes = 0;
       recoveries = 0;
+      hints_stored = 0;
+      hints_flushed = 0;
+      read_repairs = 0;
+      sync_cells = 0;
+      orphans = 0;
     }
   in
   (* Crash-stop/restart schedule from the fault plan. Every crash must come
@@ -1364,6 +1957,23 @@ let stats t =
     recoveries = t.recoveries;
   }
 
+type repl_stats = {
+  hints_stored : int;
+  hints_flushed : int;
+  read_repairs : int;
+  sync_cells : int;
+  orphans : int;
+}
+
+let repl_stats (t : t) =
+  {
+    hints_stored = t.hints_stored;
+    hints_flushed = t.hints_flushed;
+    read_repairs = t.read_repairs;
+    sync_cells = t.sync_cells;
+    orphans = t.orphans;
+  }
+
 (* One post-run dump of every counter the engine, network and runtime kept
    on their own. Histograms registered at [create] are already in the
    registry; this adds the scalar side so [Registry.to_table] is the whole
@@ -1391,6 +2001,11 @@ let record_metrics t reg =
   c "runtime.crashes" s.crashes;
   c "runtime.recoveries" s.recoveries;
   c "runtime.retries" t.retried;
+  c "runtime.repl.hint.stored" t.hints_stored;
+  c "runtime.repl.hint.flushed" t.hints_flushed;
+  c "runtime.repl.repair.read" t.read_repairs;
+  c "runtime.repl.sync.cells" t.sync_cells;
+  c "runtime.repl.sync.orphans" t.orphans;
   c ~labels:[ ("op", "create") ] "runtime.ops" t.done_creations;
   c ~labels:[ ("op", "remove") ] "runtime.ops" t.done_removals;
   c ~labels:[ ("op", "put") ] "runtime.ops" t.done_puts;
@@ -1418,25 +2033,59 @@ let fresh_token t cb =
   note_op_start t token;
   token
 
-let put t ?(via = 0) ~key ~value () =
-  let token = fresh_token t Cb_put in
+let put t ?(via = 0) ?on_done ~key ~value () =
+  let token = fresh_token t (Cb_put on_done) in
   t.pending <- t.pending + 1;
   let sn = t.snodes.(via) in
+  let point = Hash.string t.space key in
   Engine.schedule t.engine ~delay:0. (fun () ->
-      deliver_local t sn
-        (Wire.Routed
-           { point = Hash.string t.space key; hops = 0; retries = 0;
-             origin = via; op = Wire.Op_put { key; value; token } }))
+      if t.rfactor > 1 && sn.alive then
+        let cell =
+          Versioned.cell ~value ~ts:(Engine.now t.engine) ~origin:sn.sid
+        in
+        start_qput t sn ~token ~key ~point cell
+      else
+        (* Replication off, or the coordinator itself is down: fall back
+           to the single-copy routed path (parks until restart). *)
+        deliver_local t sn
+          (Wire.Routed
+             { point; hops = 0; retries = 0; origin = via;
+               op = Wire.Op_put { key; value; token } }))
 
 let get t ?(via = 0) ~key k =
   let token = fresh_token t (Cb_get k) in
   t.pending <- t.pending + 1;
   let sn = t.snodes.(via) in
+  let point = Hash.string t.space key in
   Engine.schedule t.engine ~delay:0. (fun () ->
-      deliver_local t sn
-        (Wire.Routed
-           { point = Hash.string t.space key; hops = 0; retries = 0;
-             origin = via; op = Wire.Op_get { key; token } }))
+      if t.rfactor > 1 && sn.alive then start_qget t sn ~token ~key ~point
+      else
+        deliver_local t sn
+          (Wire.Routed
+             { point; hops = 0; retries = 0; origin = via;
+               op = Wire.Op_get { key; token } }))
+
+(* Synchronous test oracle: the authoritative copy at the partition owner,
+   read without any messaging. *)
+let peek t ~key =
+  let point = Hash.string t.space key in
+  let rec scan sid =
+    if sid >= Array.length t.snodes then None
+    else
+      let sn = t.snodes.(sid) in
+      match Point_map.find_point sn.owned point with
+      | _, vid -> (
+          match Hashtbl.find_opt (local_exn sn vid).data key with
+          | Some c -> Some c.Versioned.value
+          | None -> None)
+      | exception Not_found -> scan (sid + 1)
+  in
+  scan 0
+
+(* One explicit anti-entropy round over every live snode. Deterministic
+   ([Array.iter] order), and not self-rescheduling so [run] still drains. *)
+let anti_entropy t =
+  Array.iter (fun sn -> if sn.alive then ae_snode t sn) t.snodes
 
 let remove_vnode t ?(via = 0) ~id k =
   let host = id.Vnode_id.snode in

@@ -50,6 +50,10 @@ val create :
   ?rto_cap:float ->
   ?poison_after:int ->
   ?event_timeout:float ->
+  ?rfactor:int ->
+  ?read_quorum:int ->
+  ?write_quorum:int ->
+  ?handoff_timeout:float ->
   ?metrics:Dht_telemetry.Registry.t ->
   ?trace:Dht_telemetry.Trace.t ->
   snodes:int ->
@@ -81,9 +85,27 @@ val create :
     the runtime behaves {e exactly} as before: same messages, same bytes,
     same clock, same random draws.
 
+    [rfactor] (default 1: replication off, the original single-copy
+    behaviour) keeps every partition on [rfactor] distinct snodes —
+    preferring snodes outside the owner group, falling back to its ring
+    successors ({!Dht_replication.Placement}). Data operations then run as
+    quorum rounds from the issuing snode: a put completes after
+    [write_quorum] replicas store the versioned cell, a get after
+    [read_quorum] replicas answer (the freshest version wins and stale
+    repliers are read-repaired). [read_quorum + write_quorum > rfactor] is
+    enforced ({!Dht_core.Params.check_quorum}). Under a fault plan, a put
+    still short of W after [handoff_timeout] (default 20 ms) hints the
+    silent replicas' copies to their ring successors (sloppy quorum); the
+    fallback drains the hint to its owner when it restarts. Replica
+    divergence left by crashes or migrations is repaired by explicit
+    {!anti_entropy} rounds. Replica placement commits atomically with
+    partition movement: the balancing Commit carries the replica map and,
+    when [rfactor > 1], fans out to every snode.
+
     Passing [metrics] registers latency/hop histograms in the registry
     (observed as the simulation runs): [runtime.route.hops],
-    [runtime.op.latency] (label [op=put|get|remove]), [runtime.2pc.prepare]
+    [runtime.op.latency] (label [op=put|get|remove]),
+    [runtime.quorum.latency] (label [op=put|get]), [runtime.2pc.prepare]
     (prepare to commit, at the coordinator), [runtime.2pc.event] (label
     [kind=create|remove], plan to completion), [runtime.recovery.downtime]
     and [runtime.rto.delay]; pair it with {!record_metrics} after the run
@@ -112,14 +134,20 @@ val create_vnode : t -> ?initiator:int -> id:Vnode_id.t -> unit -> unit
     [id]) at the current virtual time. Completion is asynchronous; drive
     the engine with {!run}. *)
 
-val put : t -> ?via:int -> key:string -> value:string -> unit -> unit
-(** Routed write issued from snode [via] (default 0). Note the usual
-    leaderless-write caveat: concurrent writes to the {e same} key issued
-    from different snodes have no global order — whichever delivery reaches
-    the owner last wins (the paper's model has no versioning layer). *)
+val put :
+  t -> ?via:int -> ?on_done:(unit -> unit) -> key:string -> value:string ->
+  unit -> unit
+(** Write issued from snode [via] (default 0): routed to the single owner
+    when [rfactor = 1], a quorum round otherwise. [on_done] fires when the
+    write is acknowledged (owner ack, or W replica acks) — the write is
+    then {e durable} under the configured fault model. Concurrent writes
+    to the same key resolve by last-writer-wins on the versioned cell
+    (issue time, then issuing snode id). *)
 
 val get : t -> ?via:int -> key:string -> (string option -> unit) -> unit
-(** Routed read; the callback fires when the reply reaches [via]. *)
+(** Read issued from snode [via]; the callback fires when the owner's
+    reply (or the [read_quorum]-th replica reply, whose freshest version
+    wins) reaches [via]. *)
 
 val remove_vnode : t -> ?via:int -> id:Vnode_id.t -> (bool -> unit) -> unit
 (** Departure of a vnode through the message protocol: the request reaches
@@ -180,12 +208,42 @@ type stats = {
 val stats : t -> stats
 (** Fault and recovery counters (all zero without a fault plan). *)
 
+(** {2 Replication} *)
+
+val peek : t -> key:string -> string option
+(** Synchronous test oracle: the value at the partition owner's
+    authoritative copy, read directly from the distributed state without
+    any messaging. Use it for durability audits; it sees exactly what a
+    fault-free quorum read would return. *)
+
+val anti_entropy : t -> unit
+(** Schedule one anti-entropy round: every live snode digest-pushes each
+    partition it owns to the partition's other replicas (divergent
+    replicas pull a full-span sync, merged by last-writer-wins in both
+    directions), and routes cells it holds for partitions it no longer
+    replicates back to their owner. A no-op when [rfactor = 1]. Drive the
+    engine with {!run} afterwards; the round is not self-rescheduling, so
+    the event queue still drains. *)
+
+type repl_stats = {
+  hints_stored : int;  (** sloppy-quorum cells parked for a dead replica *)
+  hints_flushed : int;  (** hints drained to their restarted owner *)
+  read_repairs : int;  (** stale repliers repaired by quorum reads *)
+  sync_cells : int;  (** cells updated by anti-entropy span syncs *)
+  orphans : int;  (** cells routed home after leaving a replica set *)
+}
+
+val repl_stats : t -> repl_stats
+(** Replication repair counters (all zero when [rfactor = 1]). *)
+
 val record_metrics : t -> Dht_telemetry.Registry.t -> unit
 (** Dump the scalar counters and gauges — engine ([engine.dispatched],
     [engine.max_pending], [engine.virtual_time]), network totals and
     per-tag traffic ([net.messages]/[net.bytes], label [tag=<wire tag>]),
-    fault/recovery counters and completed-operation counts ([runtime.ops],
-    label [op]) — into [reg]. Call once, after the run; the histograms
+    fault/recovery counters, replication repair counters
+    ([runtime.repl.hint.stored/flushed], [runtime.repl.repair.read],
+    [runtime.repl.sync.cells/orphans]) and completed-operation counts
+    ([runtime.ops], label [op]) — into [reg]. Call once, after the run; the histograms
     registered by [create ~metrics] accumulate live and need no dump. *)
 
 val sigma_qv : t -> float

@@ -1,10 +1,12 @@
 open Dht_core
 open Dht_hashspace
+module Versioned = Dht_kv.Versioned
 
 type routed_op =
   | Op_create of { newcomer : Vnode_id.t }
   | Op_put of { key : string; value : string; token : int }
   | Op_get of { key : string; token : int }
+  | Op_sync of { key : string; cell : Versioned.cell }
 
 type group_split = {
   parent : Group_id.t;
@@ -25,6 +27,8 @@ type prepare = {
   donor_batches : int;
 }
 
+type placement = (Span.t * Vnode_id.t * int list) list
+
 type msg =
   | Routed of { point : int; hops : int; retries : int; origin : int; op : routed_op }
   | Create_at_group of {
@@ -34,15 +38,15 @@ type msg =
       origin : int;
     }
   | Prepare of prepare
-  | Prepare_ack of { event : int; moved : (Span.t * Vnode_id.t) list }
+  | Prepare_ack of { event : int; moved : placement }
   | Transfer of {
       event : int;
       to_vnode : Vnode_id.t;
       spans : Span.t list;
-      data : (string * string) list;
+      data : (string * Versioned.cell) list;
     }
   | All_received of { event : int }
-  | Commit of { event : int; moved : (Span.t * Vnode_id.t) list }
+  | Commit of { event : int; moved : placement }
   | Create_done of { newcomer : Vnode_id.t }
   | Remove_request of { leaving : Vnode_id.t; origin : int; token : int }
   | Remove_at_group of {
@@ -62,6 +66,28 @@ type msg =
   | Remove_done of { token : int; ok : bool }
   | Put_ack of { token : int }
   | Get_reply of { token : int; value : string option }
+  | Repl_put of { token : int; key : string; point : int; cell : Versioned.cell }
+  | Repl_put_ack of { token : int }
+  | Repl_get of { token : int; key : string; point : int }
+  | Repl_get_reply of { token : int; cell : Versioned.cell option }
+  | Repl_hinted of {
+      token : int;
+      target : int;
+      key : string;
+      point : int;
+      cell : Versioned.cell;
+    }
+  | Hint_flush of { key : string; point : int; cell : Versioned.cell }
+  | Hint_ack of { key : string }
+  | Repl_repair of { key : string; point : int; cell : Versioned.cell }
+  | Repl_digest of { span : Span.t; count : int; vhash : int }
+  | Repl_sync_request of { span : Span.t }
+  | Repl_sync of {
+      span : Span.t;
+      cells : (string * Versioned.cell) list;
+      reply : bool;
+    }
+  | Ae_request
   | Req of { seq : int; payload : msg }
   | Ack of { seq : int }
   | Lpdr_pull of { group : Group_id.t }
@@ -73,12 +99,25 @@ type msg =
 let envelope = 64
 let per_entry = 16
 
+let placement_size moved =
+  List.fold_left
+    (fun acc (_, _, replicas) ->
+      acc + (per_entry * (2 + List.length replicas)))
+    0 moved
+
+let cells_size cells =
+  List.fold_left
+    (fun acc (k, c) -> acc + per_entry + String.length k + Versioned.size_bytes c)
+    0 cells
+
 let rec size_bytes = function
   | Routed { op; _ } -> (
       match op with
       | Op_create _ -> envelope + per_entry
       | Op_put { key; value; _ } -> envelope + String.length key + String.length value
-      | Op_get { key; _ } -> envelope + String.length key)
+      | Op_get { key; _ } -> envelope + String.length key
+      | Op_sync { key; cell } ->
+          envelope + String.length key + Versioned.size_bytes cell)
   | Create_at_group _ -> envelope + (2 * per_entry)
   | Prepare { split; plan; _ } ->
       let split_size =
@@ -89,15 +128,11 @@ let rec size_bytes = function
             * (2 + List.length s.left_members + List.length s.right_members)
       in
       envelope + split_size + (per_entry * List.length plan.Plan.final_counts)
-  | Prepare_ack { moved; _ } -> envelope + (2 * per_entry * List.length moved)
+  | Prepare_ack { moved; _ } -> envelope + placement_size moved
   | Transfer { spans; data; _ } ->
-      envelope
-      + (per_entry * List.length spans)
-      + List.fold_left
-          (fun acc (k, v) -> acc + String.length k + String.length v)
-          0 data
+      envelope + (per_entry * List.length spans) + cells_size data
   | All_received _ -> envelope
-  | Commit { moved; _ } -> envelope + (2 * per_entry * List.length moved)
+  | Commit { moved; _ } -> envelope + placement_size moved
   | Create_done _ -> envelope + per_entry
   | Remove_request _ -> envelope + per_entry
   | Remove_at_group _ -> envelope + (2 * per_entry)
@@ -109,6 +144,23 @@ let rec size_bytes = function
   | Put_ack _ -> envelope
   | Get_reply { value; _ } ->
       envelope + Option.fold ~none:0 ~some:String.length value
+  | Repl_put { key; cell; _ } ->
+      envelope + String.length key + Versioned.size_bytes cell
+  | Repl_put_ack _ -> envelope
+  | Repl_get { key; _ } -> envelope + String.length key
+  | Repl_get_reply { cell; _ } ->
+      envelope + Option.fold ~none:0 ~some:Versioned.size_bytes cell
+  | Repl_hinted { key; cell; _ } ->
+      envelope + per_entry + String.length key + Versioned.size_bytes cell
+  | Hint_flush { key; cell; _ } ->
+      envelope + String.length key + Versioned.size_bytes cell
+  | Hint_ack { key } -> envelope + String.length key
+  | Repl_repair { key; cell; _ } ->
+      envelope + String.length key + Versioned.size_bytes cell
+  | Repl_digest _ -> envelope + (2 * per_entry)
+  | Repl_sync_request _ -> envelope + per_entry
+  | Repl_sync { cells; _ } -> envelope + per_entry + cells_size cells
+  | Ae_request -> envelope
   | Req { payload; _ } -> per_entry + size_bytes payload
   | Ack _ -> envelope
   | Lpdr_pull _ -> envelope + per_entry
@@ -125,6 +177,7 @@ let rec describe = function
   | Routed { op = Op_create _; _ } -> "routed:create"
   | Routed { op = Op_put _; _ } -> "routed:put"
   | Routed { op = Op_get _; _ } -> "routed:get"
+  | Routed { op = Op_sync _; _ } -> "routed:sync"
   | Create_at_group _ -> "create-at-group"
   | Prepare _ -> "prepare"
   | Prepare_ack _ -> "prepare-ack"
@@ -138,6 +191,18 @@ let rec describe = function
   | Remove_done _ -> "remove-done"
   | Put_ack _ -> "put-ack"
   | Get_reply _ -> "get-reply"
+  | Repl_put _ -> "repl:put"
+  | Repl_put_ack _ -> "repl:put-ack"
+  | Repl_get _ -> "repl:get"
+  | Repl_get_reply _ -> "repl:get-reply"
+  | Repl_hinted _ -> "repl:hinted"
+  | Hint_flush _ -> "repl:hint-flush"
+  | Hint_ack _ -> "repl:hint-ack"
+  | Repl_repair _ -> "repl:repair"
+  | Repl_digest _ -> "repl:digest"
+  | Repl_sync_request _ -> "repl:sync-request"
+  | Repl_sync _ -> "repl:sync"
+  | Ae_request -> "ae-request"
   | Req { payload; _ } -> req_tag payload
   | Ack _ -> "ack"
   | Lpdr_pull _ -> "lpdr-pull"
@@ -147,6 +212,7 @@ and req_tag = function
   | Routed { op = Op_create _; _ } -> "req:routed:create"
   | Routed { op = Op_put _; _ } -> "req:routed:put"
   | Routed { op = Op_get _; _ } -> "req:routed:get"
+  | Routed { op = Op_sync _; _ } -> "req:routed:sync"
   | Create_at_group _ -> "req:create-at-group"
   | Prepare _ -> "req:prepare"
   | Prepare_ack _ -> "req:prepare-ack"
@@ -160,6 +226,18 @@ and req_tag = function
   | Remove_done _ -> "req:remove-done"
   | Put_ack _ -> "req:put-ack"
   | Get_reply _ -> "req:get-reply"
+  | Repl_put _ -> "req:repl:put"
+  | Repl_put_ack _ -> "req:repl:put-ack"
+  | Repl_get _ -> "req:repl:get"
+  | Repl_get_reply _ -> "req:repl:get-reply"
+  | Repl_hinted _ -> "req:repl:hinted"
+  | Hint_flush _ -> "req:repl:hint-flush"
+  | Hint_ack _ -> "req:repl:hint-ack"
+  | Repl_repair _ -> "req:repl:repair"
+  | Repl_digest _ -> "req:repl:digest"
+  | Repl_sync_request _ -> "req:repl:sync-request"
+  | Repl_sync _ -> "req:repl:sync"
+  | Ae_request -> "req:ae-request"
   | Lpdr_pull _ -> "req:lpdr-pull"
   | Lpdr_push _ -> "req:lpdr-push"
   | Ack _ -> "req:ack"

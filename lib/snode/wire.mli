@@ -6,6 +6,7 @@
 
 open Dht_core
 open Dht_hashspace
+module Versioned = Dht_kv.Versioned
 
 type routed_op =
   | Op_create of { newcomer : Vnode_id.t }
@@ -13,6 +14,10 @@ type routed_op =
           victim vnode (§3.6) *)
   | Op_put of { key : string; value : string; token : int }
   | Op_get of { key : string; token : int }
+  | Op_sync of { key : string; cell : Versioned.cell }
+      (** anti-entropy orphan return: a cell found on a snode that is no
+          longer in its partition's replica set, routed home to the owner
+          (which merges it by LWW; no reply) *)
 
 type group_split = {
   parent : Group_id.t;
@@ -36,8 +41,11 @@ type prepare = {
   donor_batches : int;  (** transfers the newcomer must expect *)
 }
 
-(** Participant acknowledgements carry the concrete partitions each local
-    donor shipped, with their destinations. *)
+type placement = (Span.t * Vnode_id.t * int list) list
+(** Partitions with their new owner vnode and the replica set assigned to
+    them — the snode ids (owner's snode first) computed by
+    {!Dht_replication.Placement.replicas} at donation time. With
+    [rfactor = 1] the list is just the owner's snode. *)
 
 type msg =
   | Routed of { point : int; hops : int; retries : int; origin : int; op : routed_op }
@@ -50,19 +58,23 @@ type msg =
       origin : int;
     }  (** sent to the group's manager snode *)
   | Prepare of prepare
-  | Prepare_ack of { event : int; moved : (Span.t * Vnode_id.t) list }
+  | Prepare_ack of { event : int; moved : placement }
       (** participant acknowledgement; donors report the partitions they
-          shipped and to whom *)
+          shipped, to whom, and the replica set each was assigned *)
   | Transfer of {
       event : int;
       to_vnode : Vnode_id.t;
       spans : Span.t list;
-      data : (string * string) list;  (** keys migrating with the spans *)
+      data : (string * Versioned.cell) list;
+          (** keys migrating with the spans, with their versions *)
     }
   | All_received of { event : int }
       (** newcomer snode: every donor batch has arrived *)
-  | Commit of { event : int; moved : (Span.t * Vnode_id.t) list }
-      (** participants learn the final placement of the moved partitions *)
+  | Commit of { event : int; moved : placement }
+      (** participants learn the final placement (owner and replica set)
+          of the moved partitions; when replication is on the commit also
+          fans out to every snode so the replica map never straddles a
+          stale LPDR epoch *)
   | Create_done of { newcomer : Vnode_id.t }
   | Remove_request of { leaving : Vnode_id.t; origin : int; token : int }
       (** departure request, sent to the vnode's hosting snode *)
@@ -87,6 +99,48 @@ type msg =
           (L2 floor, capacity, unknown vnode) *)
   | Put_ack of { token : int }
   | Get_reply of { token : int; value : string option }
+  | Repl_put of { token : int; key : string; point : int; cell : Versioned.cell }
+      (** quorum write: the coordinator fans the stamped cell to every
+          replica of [point]; replicas accept-and-store (owner into its
+          partition table, others into their replica table) *)
+  | Repl_put_ack of { token : int }  (** one stored copy, counts toward W *)
+  | Repl_get of { token : int; key : string; point : int }
+      (** quorum read probe; answered from whichever table holds the key *)
+  | Repl_get_reply of { token : int; cell : Versioned.cell option }
+  | Repl_hinted of {
+      token : int;
+      target : int;
+      key : string;
+      point : int;
+      cell : Versioned.cell;
+    }
+      (** sloppy quorum: [target] (a replica that did not acknowledge in
+          time, presumed crashed) is skipped and the cell parked on the
+          recipient, which acks toward W and owes [target] a
+          {!Hint_flush} *)
+  | Hint_flush of { key : string; point : int; cell : Versioned.cell }
+      (** hinted-handoff drain, retried by the reliable layer until the
+          crashed target returns *)
+  | Hint_ack of { key : string }  (** target stored the flushed hint *)
+  | Repl_repair of { key : string; point : int; cell : Versioned.cell }
+      (** read repair: the freshest cell seen by a quorum read, pushed to
+          the repliers that returned stale or missing data (no reply) *)
+  | Repl_digest of { span : Span.t; count : int; vhash : int }
+      (** anti-entropy probe from a partition's owner: cell count and
+          XOR-folded {!Versioned.digest} of the span; a replica whose own
+          digest differs answers with {!Repl_sync_request} *)
+  | Repl_sync_request of { span : Span.t }
+  | Repl_sync of {
+      span : Span.t;
+      cells : (string * Versioned.cell) list;
+      reply : bool;
+    }
+      (** full-span cell exchange; the receiver merges by LWW and, when
+          [reply], answers with its strictly-fresher cells ([reply =
+          false]) so repair is bidirectional *)
+  | Ae_request
+      (** broadcast by a recovering snode: please digest-push every
+          partition whose replica set includes me *)
   | Req of { seq : int; payload : msg }
       (** reliable-delivery frame: [seq] numbers the sender's stream toward
           one destination, which deduplicates by [(sender, seq)] and
@@ -108,7 +162,8 @@ type msg =
 
 val size_bytes : msg -> int
 (** Serialized-size estimate: 64-byte envelope, 16 bytes per id/span/count
-    entry, string payloads at their length. *)
+    entry, string payloads at their length, versioned cells at value
+    length plus a 16-byte version ({!Versioned.size_bytes}). *)
 
 val describe : msg -> string
 (** Short human-readable tag, for tracing and the per-tag network traffic

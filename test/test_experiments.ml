@@ -249,6 +249,29 @@ let test_chaos_recovers () =
   check Alcotest.bool "faulty run costs more messages" true
     (r.Extensions.chaos_messages > r.Extensions.baseline_messages)
 
+let test_chaos_replicated_durable () =
+  (* Same chaos workload through the quorum path: every acknowledged
+     write must survive the crash, and the write volleys fired into the
+     crash window must exercise hinted handoff. *)
+  let module Runtime = Dht_snode.Runtime in
+  let r =
+    Extensions.chaos ~snodes:6 ~vnodes:12 ~keys:120 ~pmin:8 ~vmin:4
+      ~crashes:1 ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~seed:3 ()
+  in
+  check Alcotest.int "no key lost or stale" 0 r.Extensions.chaos_keys_wrong;
+  check Alcotest.int "no operation stuck" 0 r.Extensions.chaos_pending;
+  check Alcotest.bool "audit holds after faults" true
+    r.Extensions.chaos_audit_ok;
+  check Alcotest.bool "writes were acknowledged" true
+    (r.Extensions.chaos_acked_writes > 0);
+  check Alcotest.int "no acknowledged write lost" 0
+    r.Extensions.chaos_lost_acked;
+  let rs = r.Extensions.chaos_repl in
+  check Alcotest.bool "anti-entropy resynced cells" true
+    (rs.Runtime.sync_cells > 0);
+  check Alcotest.bool "hints drained on restart" true
+    (rs.Runtime.hints_flushed = rs.Runtime.hints_stored)
+
 let suite =
   [
     Alcotest.test_case "curve basics" `Quick test_curve_basics;
@@ -279,4 +302,6 @@ let suite =
     Alcotest.test_case "kvload report" `Quick test_kvload_report;
     Alcotest.test_case "kvload zipf" `Quick test_kvload_zipf;
     Alcotest.test_case "chaos recovers" `Quick test_chaos_recovers;
+    Alcotest.test_case "chaos replicated durable" `Quick
+      test_chaos_replicated_durable;
   ]

@@ -23,6 +23,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("report", Test_report.suite);
       ("wire", Test_wire.suite);
+      ("replication", Test_replication.suite);
       ("snode-runtime", Test_runtime.suite);
       ("snapshot", Test_snapshot.suite);
       ("registry", Test_registry.suite);

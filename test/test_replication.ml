@@ -1,0 +1,343 @@
+(* Replication subsystem: placement policy, versioned cells, quorum
+   reads/writes, hinted handoff, anti-entropy repair and the determinism
+   pin of the replicated message protocol. *)
+
+open Dht_core
+module Placement = Dht_replication.Placement
+module Versioned = Dht_kv.Versioned
+module Runtime = Dht_snode.Runtime
+module Engine = Dht_event_sim.Engine
+module Rng = Dht_prng.Rng
+module Registry = Dht_telemetry.Registry
+module Trace = Dht_telemetry.Trace
+
+let check = Alcotest.check
+
+let audit_ok rt what =
+  match Runtime.audit rt with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (what ^ ":\n" ^ String.concat "\n" es)
+
+(* --- Placement --- *)
+
+let prop_placement =
+  QCheck.Test.make ~name:"placement: distinct snodes, primary first, full"
+    ~count:200
+    QCheck.(triple (int_range 1 24) (int_range 1 5) small_int)
+    (fun (n, rfactor, salt) ->
+      let rng = Rng.of_int salt in
+      let primary = Rng.int rng n in
+      let group_snodes =
+        List.init (1 + Rng.int rng n) (fun _ -> Rng.int rng n)
+      in
+      let reps = Placement.replicas ~rfactor ~n ~primary ~group_snodes in
+      if List.hd reps <> primary then QCheck.Test.fail_reportf "primary not first";
+      if List.length reps <> min rfactor n then
+        QCheck.Test.fail_reportf "wrong cardinality %d" (List.length reps);
+      if List.length (List.sort_uniq compare reps) <> List.length reps then
+        QCheck.Test.fail_reportf "duplicate snode";
+      true)
+
+let test_placement_prefers_other_groups () =
+  (* Plenty of snodes outside the owner group: every backup must come from
+     outside it (crash-domain diversity, the cluster model's point). *)
+  let reps =
+    Placement.replicas ~rfactor:3 ~n:10 ~primary:2 ~group_snodes:[ 2; 3; 4 ]
+  in
+  check Alcotest.(list int) "backups skip the group" [ 2; 5; 6 ] reps;
+  (* Group covers the whole cluster: backfill keeps ring order. *)
+  let reps =
+    Placement.replicas ~rfactor:3 ~n:3 ~primary:1 ~group_snodes:[ 0; 1; 2 ]
+  in
+  check Alcotest.(list int) "backfill within the group" [ 1; 2; 0 ] reps
+
+let test_placement_successor () =
+  check
+    Alcotest.(option int)
+    "skips avoided" (Some 3)
+    (Placement.successor ~n:4 ~avoid:[ 0; 1; 2 ] ~start:1);
+  check
+    Alcotest.(option int)
+    "none when saturated" None
+    (Placement.successor ~n:3 ~avoid:[ 0; 1; 2 ] ~start:0)
+
+(* --- Versioned cells --- *)
+
+let prop_lww_total_order =
+  QCheck.Test.make ~name:"versioned: LWW is a deterministic total order"
+    ~count:200
+    QCheck.(
+      pair
+        (pair (float_bound_exclusive 10.) small_nat)
+        (pair (float_bound_exclusive 10.) small_nat))
+    (fun ((ts1, o1), (ts2, o2)) ->
+      let a = Versioned.cell ~value:"a" ~ts:ts1 ~origin:o1 in
+      let b = Versioned.cell ~value:"b" ~ts:ts2 ~origin:o2 in
+      let w1 = Versioned.merge ~mine:a ~theirs:b in
+      let w2 = Versioned.merge ~mine:b ~theirs:a in
+      (* Same winner from both sides unless the versions tie exactly (then
+         each side keeps its incumbent — never reached by real traffic,
+         where equal stamps imply the same write). *)
+      if ts1 = ts2 && o1 = o2 then true
+      else if w1.Versioned.value <> w2.Versioned.value then
+        QCheck.Test.fail_reportf "merge not symmetric"
+      else
+        let newest = if ts1 > ts2 || (ts1 = ts2 && o1 > o2) then a else b in
+        w1.Versioned.value = newest.Versioned.value)
+
+(* --- Read-your-writes under quorum intersection --- *)
+
+let prop_read_your_writes =
+  (* R + W > rfactor and no faults: a put acknowledged anywhere must be
+     visible to a subsequent get from ANY snode — across 100 random
+     cluster shapes, quorum configurations and growth schedules. *)
+  QCheck.Test.make ~name:"quorum: read-your-writes across 100 schedules"
+    ~count:100 QCheck.small_int (fun salt ->
+      let rng = Rng.of_int (salt * 7919) in
+      let snodes = 2 + Rng.int rng 7 in
+      let rfactor = 2 + Rng.int rng (min 3 snodes - 1) in
+      (* All (R, W) with R + W > rfactor, picked at random. *)
+      let quorums =
+        List.concat_map
+          (fun r ->
+            List.filter_map
+              (fun w -> if r + w > rfactor then Some (r, w) else None)
+              (List.init rfactor (fun i -> i + 1)))
+          (List.init rfactor (fun i -> i + 1))
+      in
+      let read_quorum, write_quorum =
+        List.nth quorums (Rng.int rng (List.length quorums))
+      in
+      let rt =
+        Runtime.create ~pmin:8
+          ~approach:(Runtime.Local { vmin = 4 })
+          ~rfactor ~read_quorum ~write_quorum ~snodes ~seed:salt ()
+      in
+      (* Random growth, drained so the replica maps are committed
+         everywhere before the data ops (quorum reads are eventually
+         consistent only while a migration is in flight). *)
+      let vnodes = Rng.int rng 9 in
+      for i = 1 to vnodes do
+        Runtime.create_vnode rt
+          ~id:(Vnode_id.make ~snode:(i mod snodes) ~vnode:(i / snodes))
+          ()
+      done;
+      Runtime.run rt;
+      let wrong = ref 0 and acked = ref 0 in
+      for i = 0 to 19 do
+        Runtime.put rt ~via:(Rng.int rng snodes)
+          ~on_done:(fun () -> incr acked)
+          ~key:(Printf.sprintf "k%d" i) ~value:(string_of_int i) ()
+      done;
+      Runtime.run rt;
+      for i = 0 to 19 do
+        Runtime.get rt ~via:(Rng.int rng snodes) ~key:(Printf.sprintf "k%d" i)
+          (fun v -> if v <> Some (string_of_int i) then incr wrong)
+      done;
+      Runtime.run rt;
+      if !acked <> 20 then QCheck.Test.fail_reportf "%d puts acked" !acked;
+      if !wrong > 0 then QCheck.Test.fail_reportf "%d stale reads" !wrong;
+      if Runtime.pending_operations rt <> 0 then
+        QCheck.Test.fail_reportf "pending ops left";
+      match Runtime.audit rt with
+      | Ok () -> true
+      | Error es -> QCheck.Test.fail_reportf "%s" (String.concat "\n" es))
+
+(* --- Quorum basics --- *)
+
+let test_quorum_validation () =
+  let mk ~rfactor ~r ~w ~snodes =
+    ignore
+      (Runtime.create ~rfactor ~read_quorum:r ~write_quorum:w ~snodes ~seed:1
+         ())
+  in
+  Alcotest.check_raises "R + W <= rfactor rejected"
+    (Invalid_argument
+       "Params.check_quorum: R + W must exceed rfactor (quorum intersection)")
+    (fun () -> mk ~rfactor:3 ~r:1 ~w:2 ~snodes:4);
+  Alcotest.check_raises "rfactor > snodes rejected"
+    (Invalid_argument "Runtime.create: rfactor exceeds the snode count")
+    (fun () -> mk ~rfactor:3 ~r:2 ~w:2 ~snodes:2)
+
+let test_quorum_overwrite_lww () =
+  (* Sequential overwrites from different coordinators resolve to the
+     latest write everywhere. *)
+  let rt =
+    Runtime.create ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~snodes:5 ~seed:3
+      ()
+  in
+  Runtime.put rt ~via:1 ~key:"k" ~value:"first" ();
+  Runtime.run rt;
+  Runtime.put rt ~via:4 ~key:"k" ~value:"second" ();
+  Runtime.run rt;
+  let seen = ref [] in
+  for via = 0 to 4 do
+    Runtime.get rt ~via ~key:"k" (fun v -> seen := v :: !seen)
+  done;
+  Runtime.run rt;
+  check
+    Alcotest.(list (option string))
+    "every snode reads the overwrite"
+    [ Some "second"; Some "second"; Some "second"; Some "second"; Some "second" ]
+    !seen;
+  check Alcotest.(option string) "oracle agrees" (Some "second")
+    (Runtime.peek rt ~key:"k")
+
+(* --- Hinted handoff --- *)
+
+let test_hinted_handoff () =
+  (* A replica crashes; writes still reach W via ring-successor fallbacks
+     holding hints, and the hints drain when the replica restarts. *)
+  let faults = Runtime.Fault.create ~seed:9 () in
+  let rt =
+    Runtime.create ~faults ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~snodes:5
+      ~seed:9 ()
+  in
+  (* Bootstrap placement: every partition lives on snodes [0; 1; 2]. *)
+  Runtime.crash_snode rt 2;
+  let acked = ref 0 in
+  for i = 0 to 9 do
+    Runtime.put rt ~via:0
+      ~on_done:(fun () -> incr acked)
+      ~key:(Printf.sprintf "h%d" i) ~value:(string_of_int i) ()
+  done;
+  let e = Runtime.engine rt in
+  Runtime.run ~until:(Engine.now e +. 0.5) rt;
+  check Alcotest.int "writes complete despite the dead replica" 10 !acked;
+  let s = Runtime.repl_stats rt in
+  check Alcotest.bool "hints parked" true (s.Runtime.hints_stored >= 10);
+  Runtime.restart_snode rt 2;
+  Runtime.run rt;
+  let s = Runtime.repl_stats rt in
+  check Alcotest.int "every hint drained" s.Runtime.hints_stored
+    s.Runtime.hints_flushed;
+  (* The restarted replica now serves reads: ask it directly with R=2. *)
+  let wrong = ref 0 in
+  for i = 0 to 9 do
+    Runtime.get rt ~via:2 ~key:(Printf.sprintf "h%d" i) (fun v ->
+        if v <> Some (string_of_int i) then incr wrong)
+  done;
+  Runtime.run rt;
+  check Alcotest.int "no stale reads after recovery" 0 !wrong;
+  audit_ok rt "hinted handoff"
+
+(* --- Anti-entropy --- *)
+
+let test_anti_entropy_after_growth () =
+  (* Writes interleaved with partition migrations leave replica-table
+     cells stranded on snodes that left a replica set; anti-entropy
+     routes them home and re-converges every replica. *)
+  let rt =
+    Runtime.create ~pmin:8
+      ~approach:(Runtime.Local { vmin = 4 })
+      ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~snodes:6 ~seed:17 ()
+  in
+  for i = 0 to 49 do
+    Runtime.put rt ~via:(i mod 6) ~key:(Printf.sprintf "a%d" i)
+      ~value:(string_of_int i) ()
+  done;
+  for i = 1 to 11 do
+    Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 6) ~vnode:(i / 6)) ()
+  done;
+  Runtime.run rt;
+  Runtime.anti_entropy rt;
+  Runtime.run rt;
+  Runtime.anti_entropy rt;
+  Runtime.run rt;
+  let wrong = ref 0 in
+  for i = 0 to 49 do
+    Runtime.get rt ~via:((i + 3) mod 6) ~key:(Printf.sprintf "a%d" i) (fun v ->
+        if v <> Some (string_of_int i) then incr wrong)
+  done;
+  Runtime.run rt;
+  check Alcotest.int "all keys consistent after migrations" 0 !wrong;
+  check Alcotest.int "no pending ops" 0 (Runtime.pending_operations rt);
+  audit_ok rt "anti-entropy after growth"
+
+let test_anti_entropy_noop_when_converged () =
+  (* On a converged cluster a second round must not move a single cell:
+     digests agree everywhere. *)
+  let rt =
+    Runtime.create ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~snodes:4 ~seed:5
+      ()
+  in
+  for i = 0 to 19 do
+    Runtime.put rt ~key:(Printf.sprintf "n%d" i) ~value:(string_of_int i) ()
+  done;
+  Runtime.run rt;
+  Runtime.anti_entropy rt;
+  Runtime.run rt;
+  let before = Runtime.repl_stats rt in
+  Runtime.anti_entropy rt;
+  Runtime.run rt;
+  let after = Runtime.repl_stats rt in
+  check Alcotest.int "no cells synced on a converged cluster"
+    before.Runtime.sync_cells after.Runtime.sync_cells;
+  check Alcotest.int "no orphans on a converged cluster"
+    before.Runtime.orphans after.Runtime.orphans
+
+(* --- Determinism pin over the replicated protocol --- *)
+
+let traced_replicated_run () =
+  let buf = Buffer.create 4096 in
+  let trace = Trace.to_buffer Jsonl buf in
+  let reg = Registry.create () in
+  let faults = Runtime.Fault.create ~drop:0.03 ~jitter:1e-4 ~seed:404 () in
+  let rt =
+    Runtime.create ~pmin:8
+      ~approach:(Runtime.Local { vmin = 4 })
+      ~faults ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~metrics:reg ~trace
+      ~snodes:6 ~seed:404 ()
+  in
+  for i = 1 to 11 do
+    Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 6) ~vnode:(i / 6)) ()
+  done;
+  Runtime.run rt;
+  Runtime.crash_snode rt 1;
+  for i = 0 to 49 do
+    Runtime.put rt ~via:(i mod 6) ~key:(Printf.sprintf "d%d" i)
+      ~value:(string_of_int i) ()
+  done;
+  let e = Runtime.engine rt in
+  Runtime.run ~until:(Engine.now e +. 0.3) rt;
+  Runtime.restart_snode rt 1;
+  Runtime.run rt;
+  Runtime.anti_entropy rt;
+  Runtime.run rt;
+  for i = 0 to 49 do
+    Runtime.get rt ~via:(i mod 6) ~key:(Printf.sprintf "d%d" i) (fun _ -> ())
+  done;
+  Runtime.run rt;
+  Runtime.record_metrics rt reg;
+  Trace.close trace;
+  (Buffer.contents buf, Registry.csv_rows reg)
+
+let test_replicated_trace_deterministic () =
+  let trace1, rows1 = traced_replicated_run () in
+  let trace2, rows2 = traced_replicated_run () in
+  check Alcotest.bool "trace is non-trivial" true (String.length trace1 > 1000);
+  check Alcotest.string "replicated traces byte-identical" trace1 trace2;
+  check Alcotest.(list (list string)) "metrics identical" rows1 rows2
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_placement;
+    Alcotest.test_case "placement: crash-domain diversity" `Quick
+      test_placement_prefers_other_groups;
+    Alcotest.test_case "placement: ring successor" `Quick
+      test_placement_successor;
+    QCheck_alcotest.to_alcotest prop_lww_total_order;
+    QCheck_alcotest.to_alcotest prop_read_your_writes;
+    Alcotest.test_case "quorum: configuration validated" `Quick
+      test_quorum_validation;
+    Alcotest.test_case "quorum: overwrite resolves by LWW" `Quick
+      test_quorum_overwrite_lww;
+    Alcotest.test_case "hinted handoff across a crash" `Quick
+      test_hinted_handoff;
+    Alcotest.test_case "anti-entropy repairs migrations" `Quick
+      test_anti_entropy_after_growth;
+    Alcotest.test_case "anti-entropy idle when converged" `Quick
+      test_anti_entropy_noop_when_converged;
+    Alcotest.test_case "replicated trace deterministic" `Quick
+      test_replicated_trace_deterministic;
+  ]

@@ -223,7 +223,12 @@ let test_wire_sizes () =
         event = 1;
         to_vnode = vid 1;
         spans = [];
-        data = [ ("key", String.make 100 'x') ];
+        data =
+          [
+            ( "key",
+              Dht_kv.Versioned.cell ~value:(String.make 100 'x') ~ts:1.0
+                ~origin:0 );
+          ];
       }
   in
   check Alcotest.bool "payload counted" true

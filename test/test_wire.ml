@@ -4,16 +4,24 @@
    the simulated network), so the contract under test is the size model —
    every constructor must charge at least the envelope, payload bytes must
    be counted, and the reliable-layer framing must add only its own header
-   on top of the inner message. *)
+   on top of the inner message.
+
+   The sweep is exhaustive BY CONSTRUCTION: [canonical] and [inflate]
+   match every constructor with no wildcard, so adding a message to
+   {!Wire.msg} without accounting for it here fails compilation (the dev
+   profile promotes the non-exhaustive-match warning to an error), and the
+   coverage test fails at runtime if [all_messages] misses one. *)
 
 module Wire = Dht_snode.Wire
 module Plan = Dht_snode.Plan
+module Versioned = Dht_kv.Versioned
 open Dht_core
 open Dht_hashspace
 
 let check = Alcotest.check
 let vid i = Vnode_id.make ~snode:i ~vnode:0
 let gid value bits = Group_id.make ~value ~bits
+let cell value = Versioned.cell ~value ~ts:1.0 ~origin:0
 
 let sample_plan =
   Plan.creation ~pmin:8 ~counts:[ (vid 0, 10); (vid 1, 9) ] ~newcomer:(vid 2)
@@ -40,7 +48,7 @@ let prepare ~split =
       donor_batches = 1;
     }
 
-let moved = [ (Span.root, vid 1) ]
+let moved = [ (Span.root, vid 1, [ 1; 2; 3 ]) ]
 
 let remove_prepare ~moves =
   Wire.Remove_prepare
@@ -53,7 +61,98 @@ let remove_prepare ~moves =
       remaining = [ (vid 0, 16) ];
     }
 
-(* One representative of every constructor (all three routed ops). *)
+(* One distinct index per constructor (routed ops fold into [Routed]).
+   No wildcard: extending {!Wire.msg} or {!Wire.routed_op} breaks this
+   match at compile time, which is the point — new messages must be added
+   to the sweep. Keep [constructor_count] in step with the largest index;
+   the coverage test cross-checks both against [all_messages]. *)
+let canonical = function
+  | Wire.Routed { op = Wire.Op_create _; _ } -> 0
+  | Wire.Routed { op = Wire.Op_put _; _ } -> 1
+  | Wire.Routed { op = Wire.Op_get _; _ } -> 2
+  | Wire.Routed { op = Wire.Op_sync _; _ } -> 3
+  | Wire.Create_at_group _ -> 4
+  | Wire.Prepare _ -> 5
+  | Wire.Prepare_ack _ -> 6
+  | Wire.Transfer _ -> 7
+  | Wire.All_received _ -> 8
+  | Wire.Commit _ -> 9
+  | Wire.Create_done _ -> 10
+  | Wire.Remove_request _ -> 11
+  | Wire.Remove_at_group _ -> 12
+  | Wire.Remove_prepare _ -> 13
+  | Wire.Remove_done _ -> 14
+  | Wire.Put_ack _ -> 15
+  | Wire.Get_reply _ -> 16
+  | Wire.Repl_put _ -> 17
+  | Wire.Repl_put_ack _ -> 18
+  | Wire.Repl_get _ -> 19
+  | Wire.Repl_get_reply _ -> 20
+  | Wire.Repl_hinted _ -> 21
+  | Wire.Hint_flush _ -> 22
+  | Wire.Hint_ack _ -> 23
+  | Wire.Repl_repair _ -> 24
+  | Wire.Repl_digest _ -> 25
+  | Wire.Repl_sync_request _ -> 26
+  | Wire.Repl_sync _ -> 27
+  | Wire.Ae_request -> 28
+  | Wire.Req _ -> 29
+  | Wire.Ack _ -> 30
+  | Wire.Lpdr_pull _ -> 31
+  | Wire.Lpdr_push _ -> 32
+
+let constructor_count = 33
+
+(* The same message with a strictly larger variable-size payload, or the
+   message itself when the constructor is fixed-size. Also wildcard-free,
+   so a new constructor must decide its inflation here too. *)
+let big = String.make 64 'x'
+
+let inflate = function
+  | Wire.Routed ({ op = Wire.Op_create _; _ } as r) -> Wire.Routed r
+  | Wire.Routed ({ op = Wire.Op_put p; _ } as r) ->
+      Wire.Routed { r with op = Wire.Op_put { p with value = big } }
+  | Wire.Routed ({ op = Wire.Op_get g; _ } as r) ->
+      Wire.Routed { r with op = Wire.Op_get { g with key = big } }
+  | Wire.Routed ({ op = Wire.Op_sync s; _ } as r) ->
+      Wire.Routed { r with op = Wire.Op_sync { s with cell = cell big } }
+  | Wire.Create_at_group _ as m -> m
+  | Wire.Prepare _ -> prepare ~split:(Some sample_split)
+  | Wire.Prepare_ack p -> Wire.Prepare_ack { p with moved = moved @ p.moved }
+  | Wire.Transfer tr ->
+      Wire.Transfer { tr with data = ("extra", cell big) :: tr.data }
+  | Wire.All_received _ as m -> m
+  | Wire.Commit c -> Wire.Commit { c with moved = moved @ c.moved }
+  | Wire.Create_done _ as m -> m
+  | Wire.Remove_request _ as m -> m
+  | Wire.Remove_at_group _ as m -> m
+  | Wire.Remove_prepare rp ->
+      Wire.Remove_prepare
+        { rp with moves = { Plan.src = vid 1; dst = vid 0; n = 2 } :: rp.moves }
+  | Wire.Remove_done _ as m -> m
+  | Wire.Put_ack _ as m -> m
+  | Wire.Get_reply g -> Wire.Get_reply { g with value = Some big }
+  | Wire.Repl_put p -> Wire.Repl_put { p with cell = cell big }
+  | Wire.Repl_put_ack _ as m -> m
+  | Wire.Repl_get g -> Wire.Repl_get { g with key = big }
+  | Wire.Repl_get_reply g -> Wire.Repl_get_reply { g with cell = Some (cell big) }
+  | Wire.Repl_hinted h -> Wire.Repl_hinted { h with cell = cell big }
+  | Wire.Hint_flush h -> Wire.Hint_flush { h with cell = cell big }
+  | Wire.Hint_ack _ -> Wire.Hint_ack { key = big }
+  | Wire.Repl_repair r -> Wire.Repl_repair { r with cell = cell big }
+  | Wire.Repl_digest _ as m -> m
+  | Wire.Repl_sync_request _ as m -> m
+  | Wire.Repl_sync s ->
+      Wire.Repl_sync { s with cells = ("extra", cell big) :: s.cells }
+  | Wire.Ae_request as m -> m
+  | Wire.Req r -> Wire.Req { r with payload = Wire.Commit { event = 0; moved } }
+  | Wire.Ack _ as m -> m
+  | Wire.Lpdr_pull _ as m -> m
+  | Wire.Lpdr_push p ->
+      Wire.Lpdr_push
+        { p with view = Some (0, 4, [ (vid 0, 16); (vid 1, 16) ]) }
+
+(* One representative of every constructor (all four routed ops). *)
 let all_messages =
   [
     Wire.Routed
@@ -65,13 +164,16 @@ let all_messages =
     Wire.Routed
       { point = 5; hops = 0; retries = 1; origin = 0;
         op = Wire.Op_get { key = "k"; token = 2 } };
+    Wire.Routed
+      { point = 5; hops = 0; retries = 0; origin = 0;
+        op = Wire.Op_sync { key = "k"; cell = cell "v" } };
     Wire.Create_at_group
       { group = Group_id.root; point = 5; newcomer = vid 2; origin = 0 };
-    prepare ~split:(Some sample_split);
+    prepare ~split:None;
     Wire.Prepare_ack { event = 3; moved };
     Wire.Transfer
       { event = 3; to_vnode = vid 2; spans = [ Span.root ];
-        data = [ ("k", "v") ] };
+        data = [ ("k", cell "v") ] };
     Wire.All_received { event = 3 };
     Wire.Commit { event = 3; moved };
     Wire.Create_done { newcomer = vid 2 };
@@ -82,12 +184,38 @@ let all_messages =
     Wire.Remove_done { token = 3; ok = true };
     Wire.Put_ack { token = 1 };
     Wire.Get_reply { token = 2; value = Some "v" };
+    Wire.Repl_put { token = 4; key = "k"; point = 5; cell = cell "v" };
+    Wire.Repl_put_ack { token = 4 };
+    Wire.Repl_get { token = 5; key = "k"; point = 5 };
+    Wire.Repl_get_reply { token = 5; cell = Some (cell "v") };
+    Wire.Repl_hinted
+      { token = 4; target = 2; key = "k"; point = 5; cell = cell "v" };
+    Wire.Hint_flush { key = "k"; point = 5; cell = cell "v" };
+    Wire.Hint_ack { key = "k" };
+    Wire.Repl_repair { key = "k"; point = 5; cell = cell "v" };
+    Wire.Repl_digest { span = Span.root; count = 3; vhash = 0x5ca1e };
+    Wire.Repl_sync_request { span = Span.root };
+    Wire.Repl_sync { span = Span.root; cells = [ ("k", cell "v") ]; reply = true };
+    Wire.Ae_request;
     Wire.Req { seq = 9; payload = Wire.All_received { event = 3 } };
     Wire.Ack { seq = 9 };
     Wire.Lpdr_pull { group = Group_id.root };
     Wire.Lpdr_push
       { group = Group_id.root; view = Some (0, 4, [ (vid 0, 16) ]) };
   ]
+
+let test_complete_coverage () =
+  (* Every constructor appears in the sweep exactly once, and the index
+     space is dense: forgetting a sample (or the count bump that goes with
+     a new constructor) fails here; forgetting the constructor entirely
+     fails compilation of [canonical]/[inflate]. *)
+  let indices = List.sort_uniq compare (List.map canonical all_messages) in
+  check Alcotest.int "one sample per constructor" constructor_count
+    (List.length indices);
+  check Alcotest.bool "indices dense in [0, count)" true
+    (List.for_all (fun i -> i >= 0 && i < constructor_count) indices);
+  check Alcotest.int "no duplicate samples" constructor_count
+    (List.length all_messages)
 
 let test_every_constructor_sized () =
   List.iter
@@ -107,6 +235,23 @@ let test_tags_distinct () =
   check Alcotest.int "tags distinguish constructors" (List.length tags)
     (List.length distinct)
 
+let test_inflate_monotonic () =
+  (* Growing any variable-size payload must grow the estimate; fixed-size
+     constructors inflate to themselves and stay put. *)
+  List.iter
+    (fun m ->
+      let m' = inflate m in
+      if m' = m then
+        check Alcotest.int
+          (Printf.sprintf "%s is fixed-size" (Wire.describe m))
+          (Wire.size_bytes m) (Wire.size_bytes m')
+      else
+        check Alcotest.bool
+          (Printf.sprintf "payload grows %s" (Wire.describe m))
+          true
+          (Wire.size_bytes m' > Wire.size_bytes m))
+    all_messages
+
 let test_payload_monotonic () =
   let size = Wire.size_bytes in
   let put key value =
@@ -121,7 +266,7 @@ let test_payload_monotonic () =
     Wire.Transfer { event = 0; to_vnode = vid 2; spans = []; data }
   in
   check Alcotest.bool "transfer charges data" true
-    (size (transfer [ ("key", String.make 100 'x') ])
+    (size (transfer [ ("key", cell (String.make 100 'x')) ])
     > size (transfer []) + 100);
   check Alcotest.bool "split enlarges prepare" true
     (size (prepare ~split:(Some sample_split)) > size (prepare ~split:None));
@@ -134,26 +279,41 @@ let test_payload_monotonic () =
     > size (push None));
   let commit moved = Wire.Commit { event = 0; moved } in
   check Alcotest.bool "commit moves counted" true
-    (size (commit moved) > size (commit []))
+    (size (commit moved) > size (commit []));
+  check Alcotest.bool "replica sets enlarge commits" true
+    (size (commit [ (Span.root, vid 1, [ 1; 2; 3 ]) ])
+    > size (commit [ (Span.root, vid 1, [ 1 ]) ]))
 
 let test_req_framing () =
-  (* The reliable frame adds a fixed header to the inner message and keeps
-     its tag visible for tracing. *)
-  let inner = Wire.Commit { event = 3; moved } in
-  let framed = Wire.Req { seq = 1; payload = inner } in
-  check Alcotest.int "req header is 16 bytes"
-    (Wire.size_bytes inner + 16)
-    (Wire.size_bytes framed);
-  check Alcotest.string "req tag nests" "req:commit" (Wire.describe framed);
+  (* The reliable frame adds a fixed header to any inner message and keeps
+     its tag visible for tracing — checked for the whole sweep, so new
+     messages cannot dodge the framing contract. *)
+  List.iter
+    (fun inner ->
+      let framed = Wire.Req { seq = 1; payload = inner } in
+      check Alcotest.int
+        (Printf.sprintf "req header on %s is 16 bytes" (Wire.describe inner))
+        (Wire.size_bytes inner + 16)
+        (Wire.size_bytes framed);
+      check Alcotest.string "req tag nests"
+        ("req:" ^ Wire.describe inner)
+        (Wire.describe framed))
+    all_messages;
   check Alcotest.string "double framing nests twice" "req:req:commit"
-    (Wire.describe (Wire.Req { seq = 2; payload = framed }));
+    (Wire.describe
+       (Wire.Req
+          { seq = 2; payload = Wire.Req { seq = 1; payload = Wire.Commit { event = 3; moved } } }));
   check Alcotest.string "ack tag" "ack" (Wire.describe (Wire.Ack { seq = 1 }))
 
 let suite =
   [
+    Alcotest.test_case "sweep covers every constructor" `Quick
+      test_complete_coverage;
     Alcotest.test_case "every constructor has positive size" `Quick
       test_every_constructor_sized;
     Alcotest.test_case "describe tags are distinct" `Quick test_tags_distinct;
+    Alcotest.test_case "inflated payloads grow the estimate" `Quick
+      test_inflate_monotonic;
     Alcotest.test_case "payload bytes are charged" `Quick
       test_payload_monotonic;
     Alcotest.test_case "reliable frame adds only a header" `Quick
