@@ -38,7 +38,7 @@ let () =
       ~key:(Printf.sprintf "user:%d" i)
       (Versioned.cell
          ~value:(Printf.sprintf "{\"id\":%d}" i)
-         ~ts:1.0 ~origin:0)
+         ~ts:1.0 ~origin:0 ())
   done;
   let dht = Local_store.dht store in
   Printf.printf "loaded %d keys on %d vnodes\n" (Store.size kv)
@@ -48,11 +48,11 @@ let () =
     (Store.load_sigma kv ~vnodes:(Local_dht.vnodes dht));
 
   (* Conflicting writes to one key resolve deterministically: the higher
-     (ts, origin) stamp wins, whatever the merge order. *)
+     (ts, seq, origin) stamp wins, whatever the merge order. *)
   Store.put_cell kv ~key:"user:0"
-    (Versioned.cell ~value:"{\"id\":0,\"v\":2}" ~ts:2.0 ~origin:1);
+    (Versioned.cell ~value:"{\"id\":0,\"v\":2}" ~ts:2.0 ~origin:1 ());
   Store.put_cell kv ~key:"user:0"
-    (Versioned.cell ~value:"stale" ~ts:1.5 ~origin:7);
+    (Versioned.cell ~value:"stale" ~ts:1.5 ~origin:7 ());
   assert (Store.get kv ~key:"user:0" = Some "{\"id\":0,\"v\":2}");
   print_endline "conflicting writes resolved by last-writer-wins";
 

@@ -600,20 +600,31 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
             (at +. (downtime /. 2.), key, Printf.sprintf "%d.%d" sid j, sid)))
       plan
   in
-  (* Read volleys over the same mid-crash keys, spread from late in each
-     crash window through one downtime past the restart: they catch
-     repliers that missed the write (drop awaiting retransmit) and the
-     restarted replica while it still trails its hints. *)
+  (* Read volleys over the same mid-crash keys. The coarse spread, from
+     late in each crash window through one downtime past the restart,
+     catches repliers that missed the write (drop awaiting retransmit).
+     The tight fan at the restart instant reaches the restarted replica
+     within the few hundred microseconds before its hints drain (the
+     restart's Ae_request round re-offers them two hops later), so some
+     quorum reads see the divergent replier — which is what read repair
+     is for. *)
   let midreads =
     if rfactor <= 1 then []
     else
       List.concat_map
         (fun (sid, at, at_end) ->
-          List.init 24 (fun j ->
-              let key = Printf.sprintf "mid:%d:%d" sid (j mod 8) in
-              let frac = float_of_int (j + 1) /. 25. in
-              let start = at +. (0.6 *. downtime) in
-              (start +. (frac *. (at_end +. downtime -. start)), key, sid)))
+          let chase =
+            List.init 8 (fun j ->
+                let key = Printf.sprintf "mid:%d:%d" sid j in
+                (at_end +. (2e-5 *. float_of_int j), key, sid))
+          and spread =
+            List.init 24 (fun j ->
+                let key = Printf.sprintf "mid:%d:%d" sid (j mod 8) in
+                let frac = float_of_int (j + 1) /. 25. in
+                let start = at +. (0.6 *. downtime) in
+                (start +. (frac *. (at_end +. downtime -. start)), key, sid))
+          in
+          chase @ spread)
         plan
   in
   let faults = Fault.create ~drop ~duplicate:dup ~jitter ~crashes:plan ~seed () in

@@ -81,7 +81,8 @@ let put t ~key ~value =
   (* Unversioned writes always win: stamp them from a local clock that
      outruns every version the store has seen. *)
   t.clock <- t.clock + 1;
-  put_cell t ~key (Versioned.cell ~value ~ts:(float_of_int t.clock) ~origin:max_int)
+  put_cell t ~key
+    (Versioned.cell ~value ~ts:(float_of_int t.clock) ~origin:max_int ())
 
 let get_cell t ~key =
   let point = Hash.string t.space key in

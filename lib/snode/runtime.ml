@@ -128,6 +128,11 @@ type snode = {
      target acknowledges it. *)
   hints : (int * string, Versioned.cell) Hashtbl.t;
   quorums : (int, qstate) Hashtbl.t;  (* token -> in-flight quorum op *)
+  (* Monotonic write-stamp counter: the engine dispatches many events at
+     one virtual instant, so [Engine.now] alone cannot order two writes
+     this snode stamps in the same tick — the LWW merge would drop the
+     second. Durable, like the version stamps it orders. *)
+  mutable wseq : int;
   rng : Rng.t;
   qlocks : (bool ref * Wire.msg Queue.t) Gtbl.t;
   events : (int, event_state) Hashtbl.t;
@@ -341,6 +346,13 @@ let replica_lookup sn ~point ~key =
   match Point_map.find_point sn.owned point with
   | _, vid -> Hashtbl.find_opt (local_exn sn vid).data key
   | exception Not_found -> Hashtbl.find_opt sn.replicas key
+
+(* Stamp a fresh write at this snode: virtual time plus the snode's own
+   sequence counter, so two writes stamped in the same engine tick are
+   still totally ordered in issue order. *)
+let stamp_cell t sn ~value =
+  sn.wseq <- sn.wseq + 1;
+  Versioned.cell ~value ~ts:(Engine.now t.engine) ~seq:sn.wseq ~origin:sn.sid ()
 
 (* Every cell this snode holds (own partitions and replica copies) whose
    key hashes into [span]. *)
@@ -645,12 +657,27 @@ and execute_op t sn ~owner ~point ~origin ~retries ~hops op =
   match op with
   | Wire.Op_put { key; value; token } ->
       (* Single-copy write: unconditional replace, stamped at the owner.
-         Delivery order IS the write order here (legacy semantics) — two
-         local writes can share a virtual timestamp, where an LWW merge
-         would wrongly keep the first. *)
+         Delivery order IS the write order here (legacy semantics), and
+         the stamp's sequence component keeps that order visible to any
+         later LWW merge (anti-entropy, read repair). *)
       let v = local_exn sn owner in
-      Hashtbl.replace v.data key
-        (Versioned.cell ~value ~ts:(Engine.now t.engine) ~origin:sn.sid);
+      let cell = stamp_cell t sn ~value in
+      Hashtbl.replace v.data key cell;
+      (* Replication on but the write arrived on the routed single-copy
+         path (issued while the whole cluster was down, then parked):
+         seed the other replicas immediately so the acked write does not
+         sit on one copy until an anti-entropy round finds it. Their acks
+         find no quorum state here and are ignored. *)
+      if t.rfactor > 1 then
+        (match Point_map.find_point sn.rmap point with
+        | _, set ->
+            List.iter
+              (fun sid ->
+                if sid <> sn.sid then
+                  send t ~src:sn.sid ~dst:sid
+                    (Wire.Repl_put { token; key; point; cell }))
+              set
+        | exception Not_found -> ());
       send t ~src:sn.sid ~dst:origin (Wire.Put_ack { token })
   | Wire.Op_get { key; token } ->
       let v = local_exn sn owner in
@@ -710,16 +737,16 @@ and start_qput t sn ~token ~key ~point cell =
   in
   Hashtbl.replace sn.quorums token q;
   (* Sloppy-quorum patience: give the replicas [handoff_timeout] to ack,
-     then hint the silent ones away. Pointless on a fault-free network. *)
-  if t.faults <> None then begin
-    match q.q_kind with
-    | Q_put p ->
-        p.q_hint <-
-          Some
-            (Engine.schedule_cancellable t.engine ~delay:t.handoff_timeout
-               (fun () -> fire_hints t sn q))
-    | Q_get _ -> ()
-  end;
+     then hint the silent ones away. Armed even without a fault plan —
+     crashes can be injected manually ([crash_snode]), and the timer is
+     cancelled as soon as every copy lands. *)
+  (match q.q_kind with
+  | Q_put p ->
+      p.q_hint <-
+        Some
+          (Engine.schedule_cancellable t.engine ~delay:t.handoff_timeout
+             (fun () -> fire_hints t sn q))
+  | Q_get _ -> ());
   List.iter
     (fun sid ->
       if sid = sn.sid then begin
@@ -765,47 +792,86 @@ and qput_finalize t sn q =
    restarts. *)
 and fire_hints t sn q =
   (match q.q_kind with Q_put p -> p.q_hint <- None | Q_get _ -> ());
-  if sn.alive && Hashtbl.mem sn.quorums q.q_token then
-    match q.q_kind with
-    | Q_get _ -> ()
-    | Q_put { q_cell; _ } ->
-        let n = Array.length t.snodes in
-        let chosen = ref [] in
-        List.iter
-          (fun target ->
-            if not (List.mem target q.q_acked) then begin
-              let avoid = q.q_set @ q.q_acked @ !chosen in
-              match Placement.successor ~n ~avoid ~start:target with
-              | None -> ()
-              | Some fb ->
-                  chosen := fb :: !chosen;
-                  if Trace.enabled t.trace then
-                    Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:sn.sid
-                      ~name:"repl.hint"
-                      [ ("target", Trace.Int target); ("via", Trace.Int fb) ];
-                  if fb = sn.sid then begin
-                    (* We are our own fallback: park locally. *)
-                    ignore
-                      (store_replica sn ~point:q.q_point ~key:q.q_key q_cell);
-                    t.hints_stored <- t.hints_stored + 1;
-                    Hashtbl.replace sn.hints (target, q.q_key) q_cell;
-                    send t ~src:sn.sid ~dst:target
-                      (Wire.Hint_flush
-                         { key = q.q_key; point = q.q_point; cell = q_cell });
-                    qput_record t sn q sn.sid
-                  end
-                  else
-                    send t ~src:sn.sid ~dst:fb
-                      (Wire.Repl_hinted
-                         {
-                           token = q.q_token;
-                           target;
-                           key = q.q_key;
-                           point = q.q_point;
-                           cell = q_cell;
-                         })
-            end)
-          q.q_set
+  if Hashtbl.mem sn.quorums q.q_token then begin
+    (if sn.alive then
+       match q.q_kind with
+       | Q_get _ -> ()
+       | Q_put { q_cell; _ } ->
+           let n = Array.length t.snodes in
+           let chosen = ref [] in
+           List.iter
+             (fun target ->
+               if not (List.mem target q.q_acked) then begin
+                 let avoid = q.q_set @ q.q_acked @ !chosen in
+                 match Placement.successor ~n ~avoid ~start:target with
+                 | None -> ()
+                 | Some fb ->
+                     chosen := fb :: !chosen;
+                     if Trace.enabled t.trace then
+                       Trace.instant t.trace ~ts:(Engine.now t.engine)
+                         ~tid:sn.sid ~name:"repl.hint"
+                         [ ("target", Trace.Int target); ("via", Trace.Int fb) ];
+                     if fb = sn.sid then begin
+                       (* We are our own fallback: park locally. *)
+                       ignore
+                         (store_replica sn ~point:q.q_point ~key:q.q_key q_cell);
+                       park_hint t sn ~target ~key:q.q_key ~point:q.q_point
+                         q_cell;
+                       qput_record t sn q sn.sid
+                     end
+                     else
+                       send t ~src:sn.sid ~dst:fb
+                         (Wire.Repl_hinted
+                            {
+                              token = q.q_token;
+                              target;
+                              key = q.q_key;
+                              point = q.q_point;
+                              cell = q_cell;
+                            })
+               end)
+             q.q_set);
+    (* The hints ack toward W through live fallbacks; when those cannot
+       exist ([Placement.successor] exhausted the ring, a fallback down
+       with no recovery coming, or we crashed ourselves) nothing else
+       will ever close this quorum — give it one more window, then
+       settle it. *)
+    Engine.schedule t.engine ~delay:t.handoff_timeout (fun () ->
+        qput_deadline t sn q)
+  end
+
+(* Park a hint owed to [target]: keep the freshest cell under the single
+   (target, key) binding and count it exactly once — a second hint for
+   the same binding merges instead of double-counting, so one [Hint_ack]
+   settles it and [hints_stored]/[hints_flushed] stay matched. *)
+and park_hint t sn ~target ~key ~point cell =
+  let cell =
+    Versioned.merge_opt (Hashtbl.find_opt sn.hints (target, key)) cell
+  in
+  if not (Hashtbl.mem sn.hints (target, key)) then
+    t.hints_stored <- t.hints_stored + 1;
+  Hashtbl.replace sn.hints (target, key) cell;
+  send t ~src:sn.sid ~dst:target (Wire.Hint_flush { key; point; cell })
+
+(* The post-hint deadline fired with the quorum state still open. If W
+   was met, only the all-copies cleanup is outstanding and the missing
+   replicas are owed through [sn.hints] — drop the state. Otherwise
+   neither replicas nor fallbacks could assemble W: fail the write rather
+   than strand its callback and [t.pending] entry forever. The dropped
+   callback is never invoked, so the write counts as unacknowledged. *)
+and qput_deadline t sn q =
+  if Hashtbl.mem sn.quorums q.q_token then
+    if q.q_done then qput_finalize t sn q
+    else begin
+      t.timeouts <- t.timeouts + 1;
+      if Trace.enabled t.trace then
+        Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:sn.sid
+          ~name:"repl.qput.abort" [ ("token", Trace.Int q.q_token) ];
+      Hashtbl.remove t.op_starts q.q_token;
+      Hashtbl.remove t.callbacks q.q_token;
+      qput_finalize t sn q;
+      t.pending <- t.pending - 1
+    end
 
 and start_qget t sn ~token ~key ~point =
   let _, set = Point_map.find_point sn.rmap point in
@@ -1578,10 +1644,8 @@ and handle t sn ~from msg =
       (* Sloppy-quorum fallback: park the cell for the crashed [target],
          ack toward W, and owe the target a flush. *)
       ignore (store_replica sn ~point ~key cell);
-      t.hints_stored <- t.hints_stored + 1;
-      Hashtbl.replace sn.hints (target, key) cell;
-      send t ~src:sn.sid ~dst:from (Wire.Repl_put_ack { token });
-      send t ~src:sn.sid ~dst:target (Wire.Hint_flush { key; point; cell })
+      park_hint t sn ~target ~key ~point cell;
+      send t ~src:sn.sid ~dst:from (Wire.Repl_put_ack { token })
   | Wire.Hint_flush { key; point; cell } ->
       ignore (store_replica sn ~point ~key cell);
       send t ~src:sn.sid ~dst:from (Wire.Hint_ack { key })
@@ -1626,7 +1690,21 @@ and handle t sn ~from msg =
             (Wire.Repl_sync
                { span; cells = List.rev !fresher; reply = false })
       end
-  | Wire.Ae_request -> ae_push_for t sn ~target:from
+  | Wire.Ae_request ->
+      (* The sender just restarted. Re-offer any hints we still owe it
+         first: the original flush may have been sent straight into its
+         crash window, and without a fault plan there is no reliable
+         layer to retransmit it. A duplicate flush is harmless — storage
+         merges by LWW and a second ack finds the binding already gone. *)
+      Hashtbl.fold
+        (fun (target, key) cell acc ->
+          if target = from then (key, cell) :: acc else acc)
+        sn.hints []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (key, cell) ->
+             let point = Hash.string t.space key in
+             send t ~src:sn.sid ~dst:from (Wire.Hint_flush { key; point; cell }));
+      ae_push_for t sn ~target:from
   | Wire.Lpdr_pull { group } ->
       (* Crash recovery: a restarted member asks for a fresh copy. Reply
          with ours (we may not be the manager any more if the group moved;
@@ -1842,6 +1920,7 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
         replicas = Hashtbl.create 16;
         hints = Hashtbl.create 8;
         quorums = Hashtbl.create 8;
+        wseq = 0;
         rng = Rng.split master;
         qlocks = Gtbl.create 8;
         events = Hashtbl.create 8;
@@ -2033,37 +2112,50 @@ let fresh_token t cb =
   note_op_start t token;
   token
 
+(* The coordinator for a quorum operation issued via [via]: that snode if
+   it is up, otherwise the first live snode after it on the ring. A dead
+   entry point must not demote a replicated operation to the single-copy
+   routed path — that write would reach one replica and silently void the
+   R+W intersection guarantee. [None] only when the whole cluster is
+   down. *)
+let live_coordinator t via =
+  let n = Array.length t.snodes in
+  let rec scan i =
+    if i >= n then None
+    else
+      let sn = t.snodes.((via + i) mod n) in
+      if sn.alive then Some sn else scan (i + 1)
+  in
+  scan 0
+
 let put t ?(via = 0) ?on_done ~key ~value () =
   let token = fresh_token t (Cb_put on_done) in
   t.pending <- t.pending + 1;
-  let sn = t.snodes.(via) in
   let point = Hash.string t.space key in
   Engine.schedule t.engine ~delay:0. (fun () ->
-      if t.rfactor > 1 && sn.alive then
-        let cell =
-          Versioned.cell ~value ~ts:(Engine.now t.engine) ~origin:sn.sid
-        in
-        start_qput t sn ~token ~key ~point cell
-      else
-        (* Replication off, or the coordinator itself is down: fall back
-           to the single-copy routed path (parks until restart). *)
-        deliver_local t sn
-          (Wire.Routed
-             { point; hops = 0; retries = 0; origin = via;
-               op = Wire.Op_put { key; value; token } }))
+      match if t.rfactor > 1 then live_coordinator t via else None with
+      | Some sn -> start_qput t sn ~token ~key ~point (stamp_cell t sn ~value)
+      | None ->
+          (* Replication off, or every snode is down: fall back to the
+             single-copy routed path. It parks until a restart; the owner
+             then seeds the replicas as it applies the write. *)
+          deliver_local t t.snodes.(via)
+            (Wire.Routed
+               { point; hops = 0; retries = 0; origin = via;
+                 op = Wire.Op_put { key; value; token } }))
 
 let get t ?(via = 0) ~key k =
   let token = fresh_token t (Cb_get k) in
   t.pending <- t.pending + 1;
-  let sn = t.snodes.(via) in
   let point = Hash.string t.space key in
   Engine.schedule t.engine ~delay:0. (fun () ->
-      if t.rfactor > 1 && sn.alive then start_qget t sn ~token ~key ~point
-      else
-        deliver_local t sn
-          (Wire.Routed
-             { point; hops = 0; retries = 0; origin = via;
-               op = Wire.Op_get { key; token } }))
+      match if t.rfactor > 1 then live_coordinator t via else None with
+      | Some sn -> start_qget t sn ~token ~key ~point
+      | None ->
+          deliver_local t t.snodes.(via)
+            (Wire.Routed
+               { point; hops = 0; retries = 0; origin = via;
+                 op = Wire.Op_get { key; token } }))
 
 (* Synchronous test oracle: the authoritative copy at the partition owner,
    read without any messaging. *)

@@ -93,10 +93,12 @@ val create :
     [write_quorum] replicas store the versioned cell, a get after
     [read_quorum] replicas answer (the freshest version wins and stale
     repliers are read-repaired). [read_quorum + write_quorum > rfactor] is
-    enforced ({!Dht_core.Params.check_quorum}). Under a fault plan, a put
-    still short of W after [handoff_timeout] (default 20 ms) hints the
-    silent replicas' copies to their ring successors (sloppy quorum); the
-    fallback drains the hint to its owner when it restarts. Replica
+    enforced ({!Dht_core.Params.check_quorum}). A put still short of W
+    after [handoff_timeout] (default 20 ms) hints the silent replicas'
+    copies to their ring successors (sloppy quorum); the fallback drains
+    the hint to its owner when it restarts. A put that cannot assemble W
+    even through fallbacks settles as failed one window later ([on_done]
+    is never invoked, so the write counts as unacknowledged). Replica
     divergence left by crashes or migrations is repaired by explicit
     {!anti_entropy} rounds. Replica placement commits atomically with
     partition movement: the balancing Commit carries the replica map and,
@@ -138,16 +140,23 @@ val put :
   t -> ?via:int -> ?on_done:(unit -> unit) -> key:string -> value:string ->
   unit -> unit
 (** Write issued from snode [via] (default 0): routed to the single owner
-    when [rfactor = 1], a quorum round otherwise. [on_done] fires when the
-    write is acknowledged (owner ack, or W replica acks) — the write is
-    then {e durable} under the configured fault model. Concurrent writes
-    to the same key resolve by last-writer-wins on the versioned cell
-    (issue time, then issuing snode id). *)
+    when [rfactor = 1], a quorum round otherwise. If [via] is down the
+    quorum round runs from the next live snode instead, so a dead entry
+    point never demotes a replicated write to a single copy; only with
+    the whole cluster down does the write park until a restart. [on_done]
+    fires when the write is acknowledged (owner ack, or W replica acks) —
+    the write is then {e durable} under the configured fault model.
+    Conflicting writes to the same key resolve by last-writer-wins on the
+    versioned cell (issue time, then the coordinator's own monotonic
+    sequence, then its snode id) — the sequence component keeps two
+    writes stamped by one coordinator in the same engine tick ordered as
+    issued. *)
 
 val get : t -> ?via:int -> key:string -> (string option -> unit) -> unit
 (** Read issued from snode [via]; the callback fires when the owner's
     reply (or the [read_quorum]-th replica reply, whose freshest version
-    wins) reaches [via]. *)
+    wins) arrives. Like {!put}, a replicated read whose [via] snode is
+    down re-routes to the next live coordinator. *)
 
 val remove_vnode : t -> ?via:int -> id:Vnode_id.t -> (bool -> unit) -> unit
 (** Departure of a vnode through the message protocol: the request reaches

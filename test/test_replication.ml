@@ -71,8 +71,8 @@ let prop_lww_total_order =
         (pair (float_bound_exclusive 10.) small_nat)
         (pair (float_bound_exclusive 10.) small_nat))
     (fun ((ts1, o1), (ts2, o2)) ->
-      let a = Versioned.cell ~value:"a" ~ts:ts1 ~origin:o1 in
-      let b = Versioned.cell ~value:"b" ~ts:ts2 ~origin:o2 in
+      let a = Versioned.cell ~value:"a" ~ts:ts1 ~origin:o1 () in
+      let b = Versioned.cell ~value:"b" ~ts:ts2 ~origin:o2 () in
       let w1 = Versioned.merge ~mine:a ~theirs:b in
       let w2 = Versioned.merge ~mine:b ~theirs:a in
       (* Same winner from both sides unless the versions tie exactly (then
@@ -183,6 +183,75 @@ let test_quorum_overwrite_lww () =
   check Alcotest.(option string) "oracle agrees" (Some "second")
     (Runtime.peek rt ~key:"k")
 
+let test_same_tick_overwrite () =
+  (* Two puts to one key issued through one coordinator in the same
+     engine tick: [Engine.now] is identical for both stamps, so only the
+     version's sequence component orders them. The second write must win
+     everywhere — an exact-tie LWW merge would silently drop it while
+     still acknowledging it. *)
+  let rt =
+    Runtime.create ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~snodes:5
+      ~seed:11 ()
+  in
+  Runtime.put rt ~via:1 ~key:"k" ~value:"first" ();
+  Runtime.put rt ~via:1 ~key:"k" ~value:"second" ();
+  Runtime.run rt;
+  let seen = ref [] in
+  for via = 0 to 4 do
+    Runtime.get rt ~via ~key:"k" (fun v -> seen := v :: !seen)
+  done;
+  Runtime.run rt;
+  check
+    Alcotest.(list (option string))
+    "same-tick overwrite visible from every snode"
+    [ Some "second"; Some "second"; Some "second"; Some "second";
+      Some "second" ]
+    !seen;
+  check Alcotest.(option string) "oracle agrees" (Some "second")
+    (Runtime.peek rt ~key:"k")
+
+let test_dead_via_rerouted () =
+  (* The entry snode is down: a replicated operation must re-route to a
+     live coordinator and still meet its quorum, not demote to a parked
+     single-copy write that voids the R+W intersection guarantee. *)
+  let rt =
+    Runtime.create ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~snodes:5 ~seed:7
+      ()
+  in
+  Runtime.crash_snode rt 3;
+  let acked = ref false in
+  Runtime.put rt ~via:3
+    ~on_done:(fun () -> acked := true)
+    ~key:"k" ~value:"v" ();
+  let e = Runtime.engine rt in
+  Runtime.run ~until:(Engine.now e +. 0.5) rt;
+  check Alcotest.bool "write acked through a live coordinator" true !acked;
+  let got = ref None in
+  Runtime.get rt ~via:3 ~key:"k" (fun v -> got := v);
+  Runtime.run ~until:(Engine.now e +. 0.5) rt;
+  check Alcotest.(option string) "read rerouted too" (Some "v") !got
+
+let test_unmeetable_quorum_fails () =
+  (* rfactor = snodes and two of three replicas dead with no recovery
+     scheduled: W = 2 can never be met and no ring successor exists to
+     hint to. The write must settle as failed — callback dropped, no
+     pending entry — instead of stranding its quorum state forever. *)
+  let rt =
+    Runtime.create ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~snodes:3
+      ~seed:13 ()
+  in
+  Runtime.crash_snode rt 1;
+  Runtime.crash_snode rt 2;
+  let acked = ref false in
+  Runtime.put rt ~via:0
+    ~on_done:(fun () -> acked := true)
+    ~key:"k" ~value:"v" ();
+  let e = Runtime.engine rt in
+  Runtime.run ~until:(Engine.now e +. 5.0) rt;
+  check Alcotest.bool "write not acknowledged" false !acked;
+  check Alcotest.int "operation settled, not stranded" 0
+    (Runtime.pending_operations rt)
+
 (* --- Hinted handoff --- *)
 
 let test_hinted_handoff () =
@@ -220,6 +289,58 @@ let test_hinted_handoff () =
   Runtime.run rt;
   check Alcotest.int "no stale reads after recovery" 0 !wrong;
   audit_ok rt "hinted handoff"
+
+let test_hint_same_key_twice () =
+  (* Two overwrites of one key while a replica is down share the single
+     (target, key) hint binding: stored/flushed counters stay matched and
+     the freshest value survives the drain. *)
+  let rt =
+    Runtime.create ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~snodes:5
+      ~seed:21 ()
+  in
+  Runtime.crash_snode rt 2;
+  let e = Runtime.engine rt in
+  Runtime.put rt ~via:0 ~key:"k" ~value:"first" ();
+  Runtime.run ~until:(Engine.now e +. 0.2) rt;
+  Runtime.put rt ~via:0 ~key:"k" ~value:"second" ();
+  Runtime.run ~until:(Engine.now e +. 0.4) rt;
+  let s = Runtime.repl_stats rt in
+  check Alcotest.int "one hint binding for the twice-hinted key" 1
+    s.Runtime.hints_stored;
+  Runtime.restart_snode rt 2;
+  Runtime.run rt;
+  let s = Runtime.repl_stats rt in
+  check Alcotest.int "stored and flushed match" s.Runtime.hints_stored
+    s.Runtime.hints_flushed;
+  let got = ref None in
+  Runtime.get rt ~via:2 ~key:"k" (fun v -> got := v);
+  Runtime.run rt;
+  check Alcotest.(option string) "freshest value survives the drain"
+    (Some "second") !got
+
+(* --- Read repair --- *)
+
+let test_read_repair_fires () =
+  (* A replica that rejoins stale and answers a read before the
+     restart-driven hint flush or digest sync can reach it (one network
+     hop vs two) is caught on the read path: the coordinator pushes the
+     LWW winner and counts a read repair. *)
+  let rt =
+    Runtime.create ~rfactor:3 ~read_quorum:3 ~write_quorum:2 ~snodes:5
+      ~seed:29 ()
+  in
+  Runtime.crash_snode rt 2;
+  let e = Runtime.engine rt in
+  Runtime.put rt ~via:0 ~key:"k" ~value:"fresh" ();
+  Runtime.run ~until:(Engine.now e +. 0.2) rt;
+  Runtime.restart_snode rt 2;
+  let got = ref None in
+  Runtime.get rt ~via:0 ~key:"k" (fun v -> got := v);
+  Runtime.run rt;
+  check Alcotest.(option string) "read returns the winner" (Some "fresh")
+    !got;
+  let s = Runtime.repl_stats rt in
+  check Alcotest.bool "read repair fired" true (s.Runtime.read_repairs >= 1)
 
 (* --- Anti-entropy --- *)
 
@@ -332,8 +453,18 @@ let suite =
       test_quorum_validation;
     Alcotest.test_case "quorum: overwrite resolves by LWW" `Quick
       test_quorum_overwrite_lww;
+    Alcotest.test_case "quorum: same-tick overwrite not lost" `Quick
+      test_same_tick_overwrite;
+    Alcotest.test_case "quorum: dead entry snode re-routed" `Quick
+      test_dead_via_rerouted;
+    Alcotest.test_case "quorum: unmeetable W settles as failure" `Quick
+      test_unmeetable_quorum_fails;
     Alcotest.test_case "hinted handoff across a crash" `Quick
       test_hinted_handoff;
+    Alcotest.test_case "hinted handoff: same key twice" `Quick
+      test_hint_same_key_twice;
+    Alcotest.test_case "read repair catches a stale rejoin" `Quick
+      test_read_repair_fires;
     Alcotest.test_case "anti-entropy repairs migrations" `Quick
       test_anti_entropy_after_growth;
     Alcotest.test_case "anti-entropy idle when converged" `Quick

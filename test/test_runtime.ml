@@ -227,7 +227,7 @@ let test_wire_sizes () =
           [
             ( "key",
               Dht_kv.Versioned.cell ~value:(String.make 100 'x') ~ts:1.0
-                ~origin:0 );
+                ~origin:0 () );
           ];
       }
   in

@@ -21,7 +21,7 @@ open Dht_hashspace
 let check = Alcotest.check
 let vid i = Vnode_id.make ~snode:i ~vnode:0
 let gid value bits = Group_id.make ~value ~bits
-let cell value = Versioned.cell ~value ~ts:1.0 ~origin:0
+let cell value = Versioned.cell ~value ~ts:1.0 ~origin:0 ()
 
 let sample_plan =
   Plan.creation ~pmin:8 ~counts:[ (vid 0, 10); (vid 1, 9) ] ~newcomer:(vid 2)
