@@ -291,42 +291,57 @@ let emit_runtime_json path =
   let hops = Registry.histogram reg "runtime.route.hops" in
   (* Quorum section: the same put/get volume against a replicated cluster
      (rfactor 3, R = W = 2), so the fan-out cost of quorum coordination is
-     tracked alongside the single-copy numbers. *)
-  let qreg = Registry.create () in
-  let qrt =
-    Dht_snode.Runtime.create ~pmin:8
-      ~approach:(Dht_snode.Runtime.Local { vmin = 4 })
-      ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~metrics:qreg ~snodes:8
-      ~seed:2004 ()
+     tracked alongside the single-copy numbers. Run twice — with the
+     default one-quantum linger window (the headline block, what the CI
+     perf gate watches) and with batching off (the before/after
+     comparison). *)
+  let quorum_run ~linger =
+    let qreg = Registry.create () in
+    let qrt =
+      Dht_snode.Runtime.create ~pmin:8
+        ~approach:(Dht_snode.Runtime.Local { vmin = 4 })
+        ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~linger ~metrics:qreg
+        ~snodes:8 ~seed:2004 ()
+    in
+    let qt0 = Sys.time () in
+    for i = 1 to 48 do
+      Dht_snode.Runtime.create_vnode qrt
+        ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8))
+        ()
+    done;
+    Dht_snode.Runtime.run qrt;
+    for i = 0 to 511 do
+      Dht_snode.Runtime.put qrt ~via:(i mod 8)
+        ~key:("bench-" ^ string_of_int i) ~value:"v" ()
+    done;
+    Dht_snode.Runtime.run qrt;
+    for i = 0 to 511 do
+      Dht_snode.Runtime.get qrt ~via:(i mod 8)
+        ~key:("bench-" ^ string_of_int i) (fun _ -> ())
+    done;
+    Dht_snode.Runtime.run qrt;
+    let qcpu = Sys.time () -. qt0 in
+    Dht_snode.Runtime.record_metrics qrt qreg;
+    let qops =
+      Dht_snode.Runtime.completed_creations qrt
+      + Dht_snode.Runtime.completed_puts qrt
+      + Dht_snode.Runtime.completed_gets qrt
+    in
+    (qreg, qops, qcpu)
   in
-  let qt0 = Sys.time () in
-  for i = 1 to 48 do
-    Dht_snode.Runtime.create_vnode qrt
-      ~id:(Vnode_id.make ~snode:(i mod 8) ~vnode:(i / 8))
-      ()
-  done;
-  Dht_snode.Runtime.run qrt;
-  for i = 0 to 511 do
-    Dht_snode.Runtime.put qrt ~via:(i mod 8)
-      ~key:("bench-" ^ string_of_int i) ~value:"v" ()
-  done;
-  Dht_snode.Runtime.run qrt;
-  for i = 0 to 511 do
-    Dht_snode.Runtime.get qrt ~via:(i mod 8) ~key:("bench-" ^ string_of_int i)
-      (fun _ -> ())
-  done;
-  Dht_snode.Runtime.run qrt;
-  let qcpu = Sys.time () -. qt0 in
-  Dht_snode.Runtime.record_metrics qrt qreg;
-  let qops =
-    Dht_snode.Runtime.completed_creations qrt
-    + Dht_snode.Runtime.completed_puts qrt
-    + Dht_snode.Runtime.completed_gets qrt
-  in
+  let default_linger = Dht_snode.Runtime.Network.(gigabit.base_latency) in
+  let qreg, qops, qcpu = quorum_run ~linger:default_linger in
+  let ureg, uops, ucpu = quorum_run ~linger:0. in
   let qcounter name = Registry.counter_value (Registry.counter qreg name) in
+  let ucounter name = Registry.counter_value (Registry.counter ureg name) in
   let qlat op p =
     quantile
       (Registry.histogram qreg ~labels:[ ("op", op) ] "runtime.quorum.latency")
+      p
+  in
+  let ulat op p =
+    quantile
+      (Registry.histogram ureg ~labels:[ ("op", op) ] "runtime.quorum.latency")
       p
   in
   let oc = open_out path in
@@ -350,6 +365,25 @@ let emit_runtime_json path =
     \    \"rfactor\": 3,\n\
     \    \"read_quorum\": 2,\n\
     \    \"write_quorum\": 2,\n\
+    \    \"linger\": %.9f,\n\
+    \    \"operations\": %d,\n\
+    \    \"cpu_seconds\": %.6f,\n\
+    \    \"ops_per_second\": %.1f,\n\
+    \    \"messages\": %d,\n\
+    \    \"bytes\": %d,\n\
+    \    \"batches\": %d,\n\
+    \    \"batch_parts\": %d,\n\
+    \    \"batch_saved_bytes\": %d,\n\
+    \    \"put_latency_p50\": %.9f,\n\
+    \    \"put_latency_p99\": %.9f,\n\
+    \    \"get_latency_p50\": %.9f,\n\
+    \    \"get_latency_p99\": %.9f\n\
+    \  },\n\
+    \  \"quorum_unbatched\": {\n\
+    \    \"rfactor\": 3,\n\
+    \    \"read_quorum\": 2,\n\
+    \    \"write_quorum\": 2,\n\
+    \    \"linger\": 0,\n\
     \    \"operations\": %d,\n\
     \    \"cpu_seconds\": %.6f,\n\
     \    \"ops_per_second\": %.1f,\n\
@@ -365,18 +399,25 @@ let emit_runtime_json path =
     (if cpu > 0. then float_of_int ops /. cpu else 0.)
     (counter "net.messages") (counter "net.bytes") (lat "put" 0.5)
     (lat "put" 0.99) (lat "get" 0.5) (lat "get" 0.99) (quantile hops 0.5)
-    (quantile hops 0.99) qops qcpu
+    (quantile hops 0.99) default_linger qops qcpu
     (if qcpu > 0. then float_of_int qops /. qcpu else 0.)
-    (qcounter "net.messages") (qcounter "net.bytes") (qlat "put" 0.5)
-    (qlat "put" 0.99) (qlat "get" 0.5) (qlat "get" 0.99);
+    (qcounter "net.messages") (qcounter "net.bytes") (qcounter "net.batches")
+    (qcounter "net.batch.parts")
+    (qcounter "net.batch.saved_bytes")
+    (qlat "put" 0.5) (qlat "put" 0.99) (qlat "get" 0.5) (qlat "get" 0.99)
+    uops ucpu
+    (if ucpu > 0. then float_of_int uops /. ucpu else 0.)
+    (ucounter "net.messages") (ucounter "net.bytes") (ulat "put" 0.5)
+    (ulat "put" 0.99) (ulat "get" 0.5) (ulat "get" 0.99);
   close_out oc;
   Printf.printf
-    "\nwrote %s (%d ops single-copy at %.0f ops/s, %d ops quorum at %.0f \
-     ops/s on the host)\n"
+    "\nwrote %s (%d ops single-copy at %.0f ops/s; %d ops quorum at %.0f \
+     ops/s batched, %.0f ops/s unbatched on the host)\n"
     path ops
     (if cpu > 0. then float_of_int ops /. cpu else 0.)
     qops
     (if qcpu > 0. then float_of_int qops /. qcpu else 0.)
+    (if ucpu > 0. then float_of_int uops /. ucpu else 0.)
 
 (* ------------------------------------------------------------------ *)
 (* Part 3: figure regeneration (reduced runs; dht_sim for full scale)  *)

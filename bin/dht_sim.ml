@@ -39,6 +39,19 @@ let write_quorum_arg default =
   let doc = "Replica acks required before a put is acknowledged." in
   Arg.(value & opt int default & info [ "write-quorum" ] ~docv:"W" ~doc)
 
+(* One network-latency quantum on the default gigabit link: traffic to one
+   destination coalesces for at most one hop worth of latency. *)
+let default_linger = Dht_event_sim.Network.gigabit.Dht_event_sim.Network.base_latency
+
+let linger_arg =
+  let doc =
+    "Transmission-batching window (virtual seconds): messages toward one \
+     destination coalesce into a single envelope for at most this long. 0 \
+     disables batching and reproduces the pre-batching message flow \
+     byte-for-byte. Default: one network-latency quantum (50 µs)."
+  in
+  Arg.(value & opt float default_linger & info [ "linger" ] ~docv:"S" ~doc)
+
 let csv_arg =
   let doc = "Also write the series to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
@@ -631,11 +644,11 @@ let distributed_cmd =
 
 let chaos_cmd =
   let run tel snodes vnodes keys drop dup jitter crashes downtime rfactor
-      read_quorum write_quorum seed =
+      read_quorum write_quorum linger seed =
     let r =
       Extensions.chaos ~snodes ~vnodes ~keys ~drop ~dup ~jitter ~crashes
-        ~downtime ~rfactor ~read_quorum ~write_quorum ~metrics:tel.tel_reg
-        ~trace:tel.tel_trace ~seed ()
+        ~downtime ~rfactor ~read_quorum ~write_quorum ~linger
+        ~metrics:tel.tel_reg ~trace:tel.tel_trace ~seed ()
     in
     Printf.printf
       "== Chaos: %d vnodes on %d snodes, drop %.1f%%, dup %.1f%%, %d crashes ==\n"
@@ -690,6 +703,14 @@ let chaos_cmd =
       Printf.printf "quorum latency p50: put %.6fs, get %.6fs\n"
         r.Extensions.chaos_qput_p50 r.Extensions.chaos_qget_p50
     end;
+    if r.Extensions.chaos_batches > 0 then
+      Printf.printf
+        "batching (linger %gs): %d envelopes carried %d messages (occupancy \
+         p50 %.1f), %d envelope bytes saved\n"
+        r.Extensions.chaos_linger r.Extensions.chaos_batches
+        r.Extensions.chaos_batched_parts
+        r.Extensions.chaos_batch_occupancy_p50
+        r.Extensions.chaos_batch_saved_bytes;
     finish_telemetry tel;
     if
       r.Extensions.chaos_keys_wrong > 0
@@ -729,7 +750,7 @@ let chaos_cmd =
   let term =
     Term.(const run $ telemetry_term $ snodes $ vnodes_arg 40 $ keys $ drop
           $ dup $ jitter $ crashes $ downtime $ rfactor_arg 1
-          $ read_quorum_arg 1 $ write_quorum_arg 1 $ seed_arg)
+          $ read_quorum_arg 1 $ write_quorum_arg 1 $ linger_arg $ seed_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -747,10 +768,10 @@ let kv_cmd =
      re-converges the restarted replica via hinted handoff/anti-entropy. *)
   let module Runtime = Dht_snode.Runtime in
   let module Engine = Dht_event_sim.Engine in
-  let run tel snodes rfactor read_quorum write_quorum keys seed =
+  let run tel snodes rfactor read_quorum write_quorum keys linger seed =
     let faults = Runtime.Fault.create ~seed () in
     let rt =
-      Runtime.create ~faults ~rfactor ~read_quorum ~write_quorum
+      Runtime.create ~faults ~rfactor ~read_quorum ~write_quorum ~linger
         ~metrics:tel.tel_reg ~trace:tel.tel_trace ~snodes ~seed ()
     in
     Printf.printf "== KV quickstart: %d snodes, rfactor=%d, R=%d, W=%d ==\n"
@@ -826,7 +847,8 @@ let kv_cmd =
   in
   let term =
     Term.(const run $ telemetry_term $ snodes $ rfactor_arg 3
-          $ read_quorum_arg 2 $ write_quorum_arg 2 $ keys $ seed_arg)
+          $ read_quorum_arg 2 $ write_quorum_arg 2 $ keys $ linger_arg
+          $ seed_arg)
   in
   Cmd.v
     (Cmd.info "kv"

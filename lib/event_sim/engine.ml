@@ -7,7 +7,7 @@ type t = {
 }
 
 let create () =
-  { queue = Heap.create (); clock = 0.; seq = 0; dispatched = 0;
+  { queue = Heap.create ~dummy:ignore (); clock = 0.; seq = 0; dispatched = 0;
     max_pending = 0 }
 
 let now t = t.clock
@@ -40,6 +40,42 @@ let schedule_cancellable t ~delay f =
 
 let cancel h = if h.state = `Pending then h.state <- `Cancelled
 let is_pending h = h.state = `Pending
+
+(* Reusable timer slots: one callback closure and one trampoline are
+   allocated when the slot is created; re-arming only pushes a queue entry.
+   Lazy deletion again — a stale entry fires as a no-op because either the
+   slot is disarmed or the clock has not reached the latest deadline. *)
+type timer = {
+  tm_engine : t;
+  tm_cb : unit -> unit;
+  mutable deadline : float;
+  mutable tm_armed : bool;
+  mutable trampoline : unit -> unit;
+}
+
+let timer t f =
+  let tm =
+    { tm_engine = t; tm_cb = f; deadline = 0.; tm_armed = false;
+      trampoline = ignore }
+  in
+  tm.trampoline <-
+    (fun () ->
+      if tm.tm_armed && t.clock >= tm.deadline then begin
+        tm.tm_armed <- false;
+        tm.tm_cb ()
+      end);
+  tm
+
+let arm tm ~delay =
+  if not (Float.is_finite delay) || delay < 0. then
+    invalid_arg "Engine.arm: negative or non-finite delay";
+  let t = tm.tm_engine in
+  tm.deadline <- t.clock +. delay;
+  tm.tm_armed <- true;
+  at t ~time:tm.deadline tm.trampoline
+
+let disarm tm = tm.tm_armed <- false
+let armed tm = tm.tm_armed
 
 let pending t = Heap.length t.queue
 let dispatched t = t.dispatched

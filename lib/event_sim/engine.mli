@@ -36,6 +36,28 @@ val cancel : handle -> unit
 val is_pending : handle -> bool
 (** [true] while the timer has neither fired nor been cancelled. *)
 
+type timer
+(** A reusable cancellable timer slot. Where {!schedule_cancellable}
+    allocates a fresh closure and handle per arming, a [timer] allocates
+    its callback and trampoline once; {!arm} only pushes a queue entry.
+    Hot retransmission paths re-arm the same slot for every backoff. *)
+
+val timer : t -> (unit -> unit) -> timer
+(** A disarmed slot bound to [t] that will run the callback when an arming
+    fires. *)
+
+val arm : timer -> delay:float -> unit
+(** Schedule (or reschedule) the slot to fire at [now + delay]. Re-arming
+    supersedes any earlier pending arming (lazy deletion: the stale queue
+    entry dispatches as a no-op).
+    @raise Invalid_argument if [delay < 0.] or is not finite. *)
+
+val disarm : timer -> unit
+(** Retract the pending arming, if any. The slot stays reusable. *)
+
+val armed : timer -> bool
+(** [true] while an arming is pending. *)
+
 val pending : t -> int
 (** Events not yet dispatched. *)
 

@@ -1,24 +1,34 @@
 type 'a entry = { time : float; seq : int; payload : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable len : int }
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  sentinel : 'a entry;
+      (* fills every slot outside [0, len): a popped entry must not stay
+         reachable through the array, or its payload closure (and whatever
+         the closure captures) survives until the slot happens to be
+         overwritten by a later push *)
+}
 
-let create () = { data = [||]; len = 0 }
+let create ~dummy () =
+  { data = [||]; len = 0; sentinel = { time = nan; seq = min_int; payload = dummy } }
+
 let length t = t.len
 let is_empty t = t.len = 0
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow t entry =
+let grow t =
   let cap = Array.length t.data in
   if t.len = cap then begin
-    let bigger = Array.make (max 16 (2 * cap)) entry in
+    let bigger = Array.make (max 16 (2 * cap)) t.sentinel in
     Array.blit t.data 0 bigger 0 t.len;
     t.data <- bigger
   end
 
 let push t ~time ~seq payload =
   let entry = { time; seq; payload } in
-  grow t entry;
+  grow t;
   t.data.(t.len) <- entry;
   t.len <- t.len + 1;
   (* Sift up. *)
@@ -60,6 +70,7 @@ let pop t =
         end
       done
     end;
+    t.data.(t.len) <- t.sentinel;
     Some (top.time, top.seq, top.payload)
   end
 

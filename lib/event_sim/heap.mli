@@ -5,7 +5,10 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : dummy:'a -> unit -> 'a t
+(** [dummy] fills vacated slots so popped payloads become unreachable as
+    soon as they leave the heap. Pass any cheap inert value ([ignore] for
+    thunks); it is the only payload the heap may keep alive while empty. *)
 
 val length : 'a t -> int
 
@@ -14,6 +17,8 @@ val is_empty : 'a t -> bool
 val push : 'a t -> time:float -> seq:int -> 'a -> unit
 
 val pop : 'a t -> (float * int * 'a) option
-(** Removes and returns the event with the smallest [(time, seq)]. *)
+(** Removes and returns the event with the smallest [(time, seq)]. The
+    vacated slot is overwritten with the dummy entry — a popped payload is
+    never pinned by the backing array. *)
 
 val peek_time : 'a t -> float option

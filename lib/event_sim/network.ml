@@ -19,6 +19,9 @@ type t = {
   mutable messages : int;
   mutable bytes : int;
   mutable locals : int;
+  mutable batches : int;
+  mutable batched_parts : int;
+  mutable batch_saved : int;
   tags : (string, cell) Hashtbl.t;
   dests : (int, cell) Hashtbl.t;
 }
@@ -33,11 +36,16 @@ let create ?(loopback = 1e-6) ?faults engine link =
     messages = 0;
     bytes = 0;
     locals = 0;
+    batches = 0;
+    batched_parts = 0;
+    batch_saved = 0;
     tags = Hashtbl.create 32;
     dests = Hashtbl.create 32;
   }
 
 let faults t = t.faults
+
+let quantum t = t.link.base_latency
 
 let transit_time t ~src ~dst ~bytes =
   if bytes < 0 then invalid_arg "Network.transit_time: negative size";
@@ -80,9 +88,22 @@ let send t ?tag ~src ~dst ~bytes k =
         end
   end
 
+(* A coalesced envelope is one wire message; the transmission-batching
+   layer reports how many protocol parts rode in it and how many envelope
+   bytes the amortization saved versus sending each part alone. *)
+let account_batch t ~parts ~saved =
+  if parts < 1 || saved < 0 then
+    invalid_arg "Network.account_batch: bad accounting";
+  t.batches <- t.batches + 1;
+  t.batched_parts <- t.batched_parts + parts;
+  t.batch_saved <- t.batch_saved + saved
+
 let messages t = t.messages
 let bytes_sent t = t.bytes
 let local_deliveries t = t.locals
+let batches t = t.batches
+let batched_parts t = t.batched_parts
+let batch_bytes_saved t = t.batch_saved
 
 let per_tag t =
   Hashtbl.fold (fun tag c acc -> (tag, c.m, c.b) :: acc) t.tags []
@@ -102,5 +123,8 @@ let reset_counters t =
   t.messages <- 0;
   t.bytes <- 0;
   t.locals <- 0;
+  t.batches <- 0;
+  t.batched_parts <- 0;
+  t.batch_saved <- 0;
   Hashtbl.reset t.tags;
   Hashtbl.reset t.dests

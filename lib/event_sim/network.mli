@@ -28,6 +28,11 @@ val create : ?loopback:float -> ?faults:Fault.t -> Engine.t -> link -> t
 val faults : t -> Fault.t option
 (** The fault plan given at {!create}, if any. *)
 
+val quantum : t -> float
+(** One network-latency quantum: the link's base latency. The transmission
+    batching layer uses it as the default linger window — a coalescing
+    buffer holds traffic for at most one hop worth of latency. *)
+
 val send :
   t -> ?tag:string -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
 (** [send t ~src ~dst ~bytes k] delivers the message after the link delay
@@ -48,8 +53,24 @@ val transit_time : t -> src:int -> dst:int -> bytes:int -> float
 (** The nominal delay {!send} would apply (excluding jitter), without
     sending. *)
 
+val account_batch : t -> parts:int -> saved:int -> unit
+(** Record that the remote message just counted by {!send} was a coalesced
+    envelope carrying [parts] protocol messages, and that amortizing the
+    fixed envelope cost saved [saved] bytes versus sending each part alone.
+    Purely statistical — {!messages}/{!bytes_sent} are untouched.
+    @raise Invalid_argument if [parts < 1] or [saved < 0]. *)
+
 val messages : t -> int
 (** Remote messages sent so far. *)
+
+val batches : t -> int
+(** Coalesced envelopes reported by {!account_batch}. *)
+
+val batched_parts : t -> int
+(** Protocol messages that travelled inside coalesced envelopes. *)
+
+val batch_bytes_saved : t -> int
+(** Envelope bytes saved by coalescing, summed over all batches. *)
 
 val bytes_sent : t -> int
 (** Remote bytes sent so far. *)

@@ -507,12 +507,18 @@ type chaos_report = {
   chaos_repl : Dht_snode.Runtime.repl_stats;
   chaos_qput_p50 : float;  (** quorum op latency quantiles; [nan] when *)
   chaos_qget_p50 : float;  (** [rfactor = 1] (no quorum rounds ran) *)
+  chaos_linger : float;  (** coalescing window the runs used *)
+  chaos_batches : int;  (** coalesced envelopes in the faulty run *)
+  chaos_batched_parts : int;  (** messages that rode inside them *)
+  chaos_batch_saved_bytes : int;  (** envelope bytes amortized away *)
+  chaos_batch_occupancy_p50 : float;
+      (** median messages per envelope; [nan] when nothing coalesced *)
 }
 
 let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
     ?(drop = 0.03) ?(dup = 0.015) ?(jitter = 2e-4) ?(crashes = 2)
     ?(downtime = 0.05) ?(rfactor = 1) ?(read_quorum = 1) ?(write_quorum = 1)
-    ?metrics ?trace ~seed () =
+    ?(linger = 0.) ?metrics ?trace ~seed () =
   let module Runtime = Dht_snode.Runtime in
   let module Fault = Dht_event_sim.Fault in
   if crashes < 0 then invalid_arg "chaos: crashes < 0";
@@ -531,7 +537,7 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
   let run_workload ?faults ?metrics ?trace ?(midburst = []) ?(midreads = []) () =
     let rt =
       Runtime.create ~pmin ~approach:(Runtime.Local { vmin }) ?faults ?metrics
-        ?trace ~rfactor ~read_quorum ~write_quorum ~snodes ~seed ()
+        ?trace ~rfactor ~read_quorum ~write_quorum ~linger ~snodes ~seed ()
     in
     (* Mid-burst write wave, aimed (by the caller) inside the crash
        windows: writes against a dead replica are what hinted handoff is
@@ -706,6 +712,17 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
     chaos_repl = Runtime.repl_stats rt;
     chaos_qput_p50 = q "put";
     chaos_qget_p50 = q "get";
+    chaos_linger = linger;
+    chaos_batches = Dht_event_sim.Network.batches (Runtime.network rt);
+    chaos_batched_parts =
+      Dht_event_sim.Network.batched_parts (Runtime.network rt);
+    chaos_batch_saved_bytes =
+      Dht_event_sim.Network.batch_bytes_saved (Runtime.network rt);
+    chaos_batch_occupancy_p50 =
+      Dht_telemetry.Histogram.quantile
+        (Dht_telemetry.Registry.histogram reg ~lo:1.0 ~growth:2.0 ~bins:10
+           "runtime.batch.occupancy")
+        0.5;
   }
 
 type coexist_report = {

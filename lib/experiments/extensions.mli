@@ -246,6 +246,14 @@ type chaos_report = {
   chaos_qput_p50 : float;
       (** median quorum write latency; [nan] when [rfactor = 1] *)
   chaos_qget_p50 : float;  (** median quorum read latency *)
+  chaos_linger : float;  (** coalescing window both runs used *)
+  chaos_batches : int;
+      (** coalesced envelopes the faulty run put on the wire *)
+  chaos_batched_parts : int;  (** messages that rode inside them *)
+  chaos_batch_saved_bytes : int;
+      (** envelope bytes amortized away by coalescing *)
+  chaos_batch_occupancy_p50 : float;
+      (** median messages per envelope; [nan] when nothing coalesced *)
 }
 
 val chaos :
@@ -262,6 +270,7 @@ val chaos :
   ?rfactor:int ->
   ?read_quorum:int ->
   ?write_quorum:int ->
+  ?linger:float ->
   ?metrics:Dht_telemetry.Registry.t ->
   ?trace:Dht_telemetry.Trace.t ->
   seed:int ->
@@ -288,6 +297,10 @@ val chaos :
     report's [chaos_lost_acked] counts acknowledged writes missing from
     the owner's authoritative copy afterwards ({!Dht_snode.Runtime.peek}) —
     the acknowledged-write durability guarantee, expected zero.
+
+    [linger] (default 0: off) arms transmission batching in both runs
+    ({!Dht_snode.Runtime.create}); the report's batch columns surface the
+    faulty run's coalescing activity.
 
     The faulty run (never the baseline) is always instrumented — the
     recovery quantiles in the report come from its downtime histogram.

@@ -38,6 +38,15 @@ val split : 'a t -> Span.t -> unit
     @raise Not_found if [span] is not present.
     @raise Invalid_argument if [span] is at maximum level. *)
 
+val learn : 'a t -> Span.t -> 'a -> unit
+(** [learn t span v] registers [span -> v], evicting whatever overlapped it,
+    in one pass. Registered spans inside [span] are dropped; a registered
+    span {e containing} [span] is decomposed along the dyadic path: each
+    sibling fragment on the way down keeps the old owner, so no hole is ever
+    left. This is the learn-without-holes operation routing caches and
+    replica maps perform on every placement commit, done in O(level) trie
+    surgery instead of an evict/re-insert churn. *)
+
 val overlapping : 'a t -> Span.t -> (Span.t * 'a) list
 (** [overlapping t span] is every registered binding whose span intersects
     [span], in increasing start order. Used by routing caches that must

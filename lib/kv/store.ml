@@ -3,7 +3,10 @@ module Space = Dht_hashspace.Space
 module Span = Dht_hashspace.Span
 module Hash = Dht_hashes.Hash
 
-type entry = { point : int; cell : Versioned.cell }
+(* [cell] is mutable so the common case — updating a key that already
+   exists — lands with a single table probe (find, then overwrite in
+   place) instead of a find-then-replace double hash. *)
+type entry = { point : int; mutable cell : Versioned.cell }
 
 module Vtbl = Hashtbl.Make (Vnode_id)
 
@@ -73,9 +76,8 @@ let put_cell t ~key cell =
   match Hashtbl.find_opt tbl key with
   | None ->
       t.size <- t.size + 1;
-      Hashtbl.replace tbl key { point; cell }
-  | Some e ->
-      Hashtbl.replace tbl key { point; cell = Versioned.merge ~mine:e.cell ~theirs:cell }
+      Hashtbl.add tbl key { point; cell }
+  | Some e -> e.cell <- Versioned.merge ~mine:e.cell ~theirs:cell
 
 let put t ~key ~value =
   (* Unversioned writes always win: stamp them from a local clock that

@@ -23,11 +23,17 @@ let log_src = Logs.Src.create "dht.snode" ~doc:"Distributed snode runtime"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* One mutable slot per stored key: an LWW update lands with a single
+   table probe (find, then overwrite in place) instead of the
+   find-then-replace double hash. Slots are per-table; the immutable cell
+   inside may be shared across snodes, the slot never is. *)
+type slot = { mutable cell : Versioned.cell }
+
 type vnode_local = {
   vid : Vnode_id.t;
   mutable group : Group_id.t;
   mutable spans : Span.t list;
-  data : (string, Versioned.cell) Hashtbl.t;  (* authoritative copies *)
+  data : (string, slot) Hashtbl.t;  (* authoritative copies *)
 }
 
 type lpdr = {
@@ -77,7 +83,9 @@ type pending_prepare =
 type outmsg = {
   o_payload : Wire.msg;
   mutable o_attempts : int;
-  mutable o_timer : Engine.handle option;
+  mutable o_timer : Engine.timer option;
+      (* reusable slot, allocated at the first arming; every retransmission
+         re-arms it instead of building a fresh closure + handle *)
 }
 
 type peer = {
@@ -87,6 +95,17 @@ type peer = {
   seen : (int, unit) Hashtbl.t;  (* processed seqs above the floor *)
   mutable suspect : bool;  (* route poisoned after repeated timeouts *)
   mutable strikes : int;  (* consecutive retransmission timeouts *)
+}
+
+(* Per-destination transmission-coalescing buffer: protocol messages (and
+   piggybacked acks) addressed to one peer wait here for at most one
+   linger window, then leave as a single envelope ([Wire.Batch]). Staged
+   parts are modelled as durable, like the reliable outbox they feed; only
+   the flush timer dies with a crash (restart re-arms it). *)
+type obuf = {
+  ob_dst : int;
+  mutable ob_parts : Wire.msg list;  (* newest first *)
+  mutable ob_timer : Engine.timer option;  (* created once, re-armed *)
 }
 
 (* Coordinator-side state of one in-flight quorum operation. Writes count
@@ -122,11 +141,13 @@ type snode = {
      never straddles a stale LPDR epoch. *)
   rmap : int list Point_map.t;
   (* Cells held as a non-owner replica (including hinted parking). *)
-  replicas : (string, Versioned.cell) Hashtbl.t;
+  replicas : (string, slot) Hashtbl.t;
   (* Hinted handoff owed to crashed replicas: (target snode, key). The
      flush is already in the reliable outbox; the entry survives until the
      target acknowledges it. *)
-  hints : (int * string, Versioned.cell) Hashtbl.t;
+  hints : (int * string, slot) Hashtbl.t;
+  (* Transmission batching: one coalescing buffer per destination. *)
+  obufs : (int, obuf) Hashtbl.t;
   quorums : (int, qstate) Hashtbl.t;  (* token -> in-flight quorum op *)
   (* Monotonic write-stamp counter: the engine dispatches many events at
      one virtual instant, so [Engine.now] alone cannot order two writes
@@ -184,6 +205,7 @@ type instruments = {
   i_rto : Histogram.t;  (* retransmission-timer delays as armed *)
   i_q_put : Histogram.t;  (* quorum write, issue to W-th ack *)
   i_q_get : Histogram.t;  (* quorum read, issue to R-th reply *)
+  i_batch : Histogram.t;  (* batch occupancy: messages per envelope *)
 }
 
 type t = {
@@ -203,6 +225,7 @@ type t = {
   read_quorum : int;  (* R *)
   write_quorum : int;  (* W; R + W > rfactor *)
   handoff_timeout : float;  (* write-ack patience before hinting *)
+  linger : float;  (* coalescing window; 0 = batching off *)
   bootstrap : Span.t list * Vnode_id.t;  (* for rebuilding crashed caches *)
   instr : instruments option;
   trace : Trace.t;
@@ -233,32 +256,12 @@ type t = {
 (* Cache maintenance                                                    *)
 
 (* Learn [span -> value] without ever leaving a hole: evicted entries that
-   are strictly coarser than [span] have their remainder re-inserted under
-   the old value (dyadic path decomposition). Shared by the routing cache
-   and the replica map. *)
+   are strictly coarser than [span] have their remainder kept under the old
+   value (dyadic path decomposition). Shared by the routing cache and the
+   replica map; one in-place trie pass. *)
 let map_learn space map span value =
-  let old = Point_map.overlapping map span in
-  List.iter
-    (fun (s, prev) ->
-      Point_map.remove map s;
-      if Span.level s < Span.level span then begin
-        let rec keep_rest s =
-          if not (Span.equal s span) then begin
-            let a, b = Span.split space s in
-            if Span.overlap a span then begin
-              Point_map.add map b prev;
-              keep_rest a
-            end
-            else begin
-              Point_map.add map a prev;
-              keep_rest b
-            end
-          end
-        in
-        keep_rest s
-      end)
-    old;
-  Point_map.add map span value
+  ignore space;
+  Point_map.learn map span value
 
 let cache_learn t sn span vid = map_learn t.space sn.cache span vid
 let rmap_learn t sn span sids = map_learn t.space sn.rmap span sids
@@ -289,10 +292,10 @@ let donate_spans t sn v give =
   (* Keys inside the donated partitions migrate with them. *)
   let moved_data =
     Hashtbl.fold
-      (fun key value acc ->
+      (fun key s acc ->
         let point = Hash.string t.space key in
-        if List.exists (fun s -> Span.contains t.space s point) taken then
-          (key, value) :: acc
+        if List.exists (fun sp -> Span.contains t.space sp point) taken then
+          (key, s.cell) :: acc
         else acc)
       v.data []
   in
@@ -327,13 +330,16 @@ let split_all_local t sn v =
    when the stored cell changed (new key or strictly fresher version). *)
 let store_replica sn ~point ~key cell =
   let merge_into tbl =
+    (* Single probe on the update path: find the slot, overwrite in
+       place. Only a genuinely new key pays the second (insert) probe. *)
     match Hashtbl.find_opt tbl key with
     | None ->
-        Hashtbl.replace tbl key cell;
+        Hashtbl.add tbl key { cell };
         true
-    | Some mine ->
-        if Versioned.newer cell.Versioned.version mine.Versioned.version then begin
-          Hashtbl.replace tbl key cell;
+    | Some s ->
+        if Versioned.newer cell.Versioned.version s.cell.Versioned.version
+        then begin
+          s.cell <- cell;
           true
         end
         else false
@@ -343,9 +349,12 @@ let store_replica sn ~point ~key cell =
   | exception Not_found -> merge_into sn.replicas
 
 let replica_lookup sn ~point ~key =
-  match Point_map.find_point sn.owned point with
-  | _, vid -> Hashtbl.find_opt (local_exn sn vid).data key
-  | exception Not_found -> Hashtbl.find_opt sn.replicas key
+  let slot =
+    match Point_map.find_point sn.owned point with
+    | _, vid -> Hashtbl.find_opt (local_exn sn vid).data key
+    | exception Not_found -> Hashtbl.find_opt sn.replicas key
+  in
+  Option.map (fun s -> s.cell) slot
 
 (* Stamp a fresh write at this snode: virtual time plus the snode's own
    sequence counter, so two writes stamped in the same engine tick are
@@ -358,9 +367,9 @@ let stamp_cell t sn ~value =
    key hashes into [span]. *)
 let span_cells t sn span =
   let acc = ref [] in
-  let consider key cell =
+  let consider key s =
     let point = Hash.string t.space key in
-    if Span.contains t.space span point then acc := (key, cell) :: !acc
+    if Span.contains t.space span point then acc := (key, s.cell) :: !acc
   in
   Hashtbl.iter consider sn.replicas;
   Vtbl.iter (fun _ v -> Hashtbl.iter consider v.data) sn.locals;
@@ -372,11 +381,11 @@ let span_cells t sn span =
    hashes. Two snodes agree iff they hold the same cells for the span. *)
 let span_digest t sn span =
   let count = ref 0 and h = ref 0 in
-  let consider key cell =
+  let consider key s =
     let point = Hash.string t.space key in
     if Span.contains t.space span point then begin
       incr count;
-      h := !h lxor Versioned.digest key cell
+      h := !h lxor Versioned.digest key s.cell
     end
   in
   Hashtbl.iter consider sn.replicas;
@@ -389,18 +398,19 @@ let span_digest t sn span =
 let absorb_replica_cells t sn v spans =
   let moving =
     Hashtbl.fold
-      (fun key cell acc ->
+      (fun key s acc ->
         let point = Hash.string t.space key in
-        if List.exists (fun s -> Span.contains t.space s point) spans then
-          (key, cell) :: acc
+        if List.exists (fun sp -> Span.contains t.space sp point) spans then
+          (key, s.cell) :: acc
         else acc)
       sn.replicas []
   in
   List.iter
     (fun (key, cell) ->
       Hashtbl.remove sn.replicas key;
-      Hashtbl.replace v.data key
-        (Versioned.merge_opt (Hashtbl.find_opt v.data key) cell))
+      match Hashtbl.find_opt v.data key with
+      | Some s -> s.cell <- Versioned.merge_opt (Some s.cell) cell
+      | None -> Hashtbl.add v.data key { cell })
     moving
 
 (* ------------------------------------------------------------------ *)
@@ -469,28 +479,131 @@ let peer_of sn pid =
    wrapped in [Req { seq }], deduplicated by [(sender, seq)] at the
    receiver, acknowledged, and retransmitted with exponential backoff and
    jitter until acknowledged. Routes that keep timing out are poisoned
-   (probed at the capped cadence only) until the peer answers again. *)
+   (probed at the capped cadence only) until the peer answers again.
+
+   A positive linger window inserts the transmission-batching layer in
+   front of both paths: outgoing messages stage in a per-destination
+   coalescing buffer for at most one window and leave as a single
+   [Wire.Batch] envelope. Under faults the batch's protocol messages share
+   one [Req] frame — one sequence number, one retransmission timer, one
+   ack — while acks ride piggyback outside the frame (acknowledging an ack
+   would never converge). *)
 let rec send t ~src ~dst msg =
-  if src = dst || t.faults = None then
+  if src = dst then
+    Network.send t.net ~tag:(Wire.describe msg) ~src ~dst
+      ~bytes:(Wire.size_bytes msg) (fun () ->
+        receive t t.snodes.(dst) ~from:src msg)
+  else if t.linger > 0. then stage t t.snodes.(src) ~dst msg
+  else transmit_now t ~src ~dst msg
+
+and transmit_now t ~src ~dst msg =
+  if t.faults = None then
     Network.send t.net ~tag:(Wire.describe msg) ~src ~dst
       ~bytes:(Wire.size_bytes msg) (fun () ->
         receive t t.snodes.(dst) ~from:src msg)
   else reliable_send t t.snodes.(src) ~dst msg
 
-and reliable_send t sn ~dst msg =
+(* ---------------- transmission batching ---------------- *)
+
+(* Stage [msg] in the coalescing buffer toward [dst]; the first part arms
+   the flush timer one linger window out. A new cumulative ack supersedes
+   any staged ack it covers, so an envelope never carries redundant
+   acks. *)
+and stage t sn ~dst msg =
+  let ob =
+    match Hashtbl.find_opt sn.obufs dst with
+    | Some ob -> ob
+    | None ->
+        let ob = { ob_dst = dst; ob_parts = []; ob_timer = None } in
+        Hashtbl.add sn.obufs dst ob;
+        ob
+  in
+  (match msg with
+  | Wire.Ack { floor; _ } ->
+      ob.ob_parts <-
+        List.filter
+          (function Wire.Ack { seq; _ } -> seq > floor | _ -> true)
+          ob.ob_parts
+  | _ -> ());
+  ob.ob_parts <- msg :: ob.ob_parts;
+  let tm =
+    match ob.ob_timer with
+    | Some tm -> tm
+    | None ->
+        let tm = Engine.timer t.engine (fun () -> flush_obuf t sn ob) in
+        ob.ob_timer <- Some tm;
+        tm
+  in
+  if not (Engine.armed tm) then Engine.arm tm ~delay:t.linger
+
+(* Everything staged toward one destination leaves as one envelope: raw on
+   a reliable network; under faults the protocol parts share one [Req]
+   frame and the piggybacked acks travel outside it, unreliably (a lost
+   ack just provokes one more retransmission). If the flush timer somehow
+   fires on a crashed snode the parts stay staged — restart re-arms. *)
+and flush_obuf t sn ob =
+  if sn.alive then
+    match List.rev ob.ob_parts with
+    | [] -> ()
+    | parts -> (
+        ob.ob_parts <- [];
+        let dst = ob.ob_dst in
+        if t.faults = None then send_coalesced t sn ~dst parts
+        else
+          let acks, protos =
+            List.partition (function Wire.Ack _ -> true | _ -> false) parts
+          in
+          match protos with
+          | [] -> send_coalesced t sn ~dst acks
+          | [ payload ] -> reliable_send ~acks t sn ~dst payload
+          | protos -> reliable_send ~acks t sn ~dst (Wire.Batch protos))
+
+(* Send [parts] toward [dst] without reliability framing: a lone message
+   goes as itself, several coalesce into one [Wire.Batch]. *)
+and send_coalesced t sn ~dst parts =
+  match parts with
+  | [] -> ()
+  | [ msg ] ->
+      Network.send t.net ~tag:(Wire.describe msg) ~src:sn.sid ~dst
+        ~bytes:(Wire.size_bytes msg) (fun () ->
+          receive t t.snodes.(dst) ~from:sn.sid msg)
+  | parts ->
+      let alone =
+        List.fold_left (fun acc m -> acc + Wire.size_bytes m) 0 parts
+      in
+      emit_batch t sn ~dst ~parts:(List.length parts) ~alone
+        (Wire.Batch parts)
+
+(* One coalesced envelope onto the wire, with batching telemetry: [alone]
+   is what the [parts] messages would have cost sent separately. *)
+and emit_batch t sn ~dst ~parts ~alone msg =
+  let bytes = Wire.size_bytes msg in
+  Network.send t.net ~tag:(Wire.describe msg) ~src:sn.sid ~dst ~bytes
+    (fun () -> receive t t.snodes.(dst) ~from:sn.sid msg);
+  Network.account_batch t.net ~parts ~saved:(max 0 (alone - bytes));
+  match t.instr with
+  | Some i -> Histogram.observe i.i_batch (float_of_int parts)
+  | None -> ()
+
+(* ---------------- reliable delivery ---------------- *)
+
+and reliable_send ?(acks = []) t sn ~dst msg =
   let p = peer_of sn dst in
   let seq = p.next_seq in
   p.next_seq <- seq + 1;
   let entry = { o_payload = msg; o_attempts = 0; o_timer = None } in
   Hashtbl.add p.outbox seq entry;
-  if p.suspect then
+  if p.suspect then begin
     (* Poisoned route: do not pay the immediate transmission, probe at the
        capped cadence; an ack (or any traffic from the peer) flushes the
-       whole outbox at once. *)
+       whole outbox at once. Piggybacked acks are unreliable and must not
+       wait for the probe — let them go now. *)
+    if acks <> [] then send_coalesced t sn ~dst acks;
     arm_retransmit t sn ~dst ~seq entry ~delay:t.rto_cap
-  else transmit t sn ~dst ~seq entry
+  end
+  else transmit ~acks t sn ~dst ~seq entry
 
-and transmit t sn ~dst ~seq entry =
+and transmit ?(acks = []) t sn ~dst ~seq entry =
   entry.o_attempts <- entry.o_attempts + 1;
   if entry.o_attempts > 1 then begin
     t.retransmits <- t.retransmits + 1;
@@ -504,9 +617,34 @@ and transmit t sn ~dst ~seq entry =
         ]
   end;
   let frame = Wire.Req { seq; payload = entry.o_payload } in
-  Network.send t.net ~tag:(Wire.describe frame) ~src:sn.sid ~dst
-    ~bytes:(Wire.size_bytes frame) (fun () ->
-      receive t t.snodes.(dst) ~from:sn.sid frame);
+  let nparts =
+    (match entry.o_payload with Wire.Batch l -> List.length l | _ -> 1)
+    + List.length acks
+  in
+  if nparts = 1 then
+    Network.send t.net ~tag:(Wire.describe frame) ~src:sn.sid ~dst
+      ~bytes:(Wire.size_bytes frame) (fun () ->
+        receive t t.snodes.(dst) ~from:sn.sid frame)
+  else begin
+    (* Unbatched, each protocol part would have paid its own [Req] frame
+       and each ack its own envelope. *)
+    let alone =
+      List.fold_left
+        (fun acc a -> acc + Wire.size_bytes a)
+        (match entry.o_payload with
+        | Wire.Batch l ->
+            List.fold_left
+              (fun acc m ->
+                acc + Wire.size_bytes (Wire.Req { seq; payload = m }))
+              0 l
+        | m -> Wire.size_bytes (Wire.Req { seq; payload = m }))
+        acks
+    in
+    let outer =
+      match acks with [] -> frame | _ -> Wire.Batch (acks @ [ frame ])
+    in
+    emit_batch t sn ~dst ~parts:nparts ~alone outer
+  end;
   arm_retransmit t sn ~dst ~seq entry ~delay:(rto_for t sn entry.o_attempts)
 
 and rto_for t sn attempts =
@@ -519,10 +657,19 @@ and arm_retransmit t sn ~dst ~seq entry ~delay =
   (match t.instr with
   | Some i -> Histogram.observe i.i_rto delay
   | None -> ());
-  entry.o_timer <-
-    Some
-      (Engine.schedule_cancellable t.engine ~delay (fun () ->
-           on_rto t sn ~dst ~seq entry))
+  (* One timer slot per outbox entry, allocated at the first arming and
+     re-armed for every retransmission — no fresh closure per attempt. *)
+  let tm =
+    match entry.o_timer with
+    | Some tm -> tm
+    | None ->
+        let tm =
+          Engine.timer t.engine (fun () -> on_rto t sn ~dst ~seq entry)
+        in
+        entry.o_timer <- Some tm;
+        tm
+  in
+  Engine.arm tm ~delay
 
 and on_rto t sn ~dst ~seq entry =
   (* Timer fired with the message still unacknowledged. A crashed sender's
@@ -545,14 +692,23 @@ and on_rto t sn ~dst ~seq entry =
     transmit t sn ~dst ~seq entry
   end
 
-and on_ack t sn ~from seq =
+and on_ack t sn ~from ~seq ~floor =
   let p = peer_of sn from in
-  match Hashtbl.find_opt p.outbox seq with
-  | None -> ()  (* duplicate ack *)
-  | Some entry ->
-      Hashtbl.remove p.outbox seq;
-      (match entry.o_timer with Some h -> Engine.cancel h | None -> ());
-      peer_answered t sn ~pid:from
+  let answered = ref false in
+  let retire s =
+    match Hashtbl.find_opt p.outbox s with
+    | None -> ()  (* duplicate ack *)
+    | Some entry ->
+        Hashtbl.remove p.outbox s;
+        (match entry.o_timer with Some tm -> Engine.disarm tm | None -> ());
+        answered := true
+  in
+  retire seq;
+  (* Cumulative: the peer has processed every seq up to [floor], so also
+     retire older entries whose own ack was lost. *)
+  Hashtbl.fold (fun s _ acc -> if s <= floor then s :: acc else acc) p.outbox []
+  |> List.iter retire;
+  if !answered then peer_answered t sn ~pid:from
 
 (* Any message from a peer proves it alive: clear the strikes and, if the
    route was poisoned, retry everything still queued for it immediately. *)
@@ -567,7 +723,7 @@ and peer_answered t sn ~pid =
     Hashtbl.fold (fun seq e acc -> (seq, e) :: acc) p.outbox []
     |> List.sort compare
     |> List.iter (fun (seq, e) ->
-           (match e.o_timer with Some h -> Engine.cancel h | None -> ());
+           (match e.o_timer with Some tm -> Engine.disarm tm | None -> ());
            transmit t sn ~dst:pid ~seq e)
   end
 
@@ -577,23 +733,38 @@ and peer_answered t sn ~pid =
 and receive t sn ~from msg =
   if sn.alive then
     match msg with
-    | Wire.Ack { seq } -> on_ack t sn ~from seq
+    | Wire.Batch parts ->
+        (* Coalesced envelope: parts are processed in issue order, so
+           per-(src, dst) FIFO is preserved through batching. *)
+        List.iter (fun part -> receive t sn ~from part) parts
+    | Wire.Ack { seq; floor } -> on_ack t sn ~from ~seq ~floor
     | Wire.Req { seq; payload } ->
         let p = peer_of sn from in
         let fresh = seq > p.floor && not (Hashtbl.mem p.seen seq) in
-        (* Always (re-)acknowledge: the previous ack may have been lost. *)
-        let ack = Wire.Ack { seq } in
-        Network.send t.net ~tag:(Wire.describe ack) ~src:sn.sid ~dst:from
-          ~bytes:(Wire.size_bytes ack) (fun () ->
-            receive t t.snodes.(from) ~from:sn.sid ack);
-        peer_answered t sn ~pid:from;
         if fresh then begin
           Hashtbl.replace p.seen seq ();
           while Hashtbl.mem p.seen (p.floor + 1) do
             Hashtbl.remove p.seen (p.floor + 1);
             p.floor <- p.floor + 1
-          done;
-          handle t sn ~from payload
+          done
+        end;
+        (* Always (re-)acknowledge — the previous ack may have been lost —
+           and cumulatively, with the floor advanced by this very frame.
+           With a linger window the ack stages toward the peer and rides
+           the next envelope out, usually alongside the replies the
+           payload provokes just below. *)
+        let ack = Wire.Ack { seq; floor = p.floor } in
+        if t.linger > 0. then stage t sn ~dst:from ack
+        else
+          Network.send t.net ~tag:(Wire.describe ack) ~src:sn.sid ~dst:from
+            ~bytes:(Wire.size_bytes ack) (fun () ->
+              receive t t.snodes.(from) ~from:sn.sid ack);
+        peer_answered t sn ~pid:from;
+        if fresh then begin
+          match payload with
+          | Wire.Batch parts ->
+              List.iter (fun part -> handle t sn ~from part) parts
+          | payload -> handle t sn ~from payload
         end
     | msg -> handle t sn ~from msg
 
@@ -662,7 +833,9 @@ and execute_op t sn ~owner ~point ~origin ~retries ~hops op =
          later LWW merge (anti-entropy, read repair). *)
       let v = local_exn sn owner in
       let cell = stamp_cell t sn ~value in
-      Hashtbl.replace v.data key cell;
+      (match Hashtbl.find_opt v.data key with
+      | Some s -> s.cell <- cell
+      | None -> Hashtbl.add v.data key { cell });
       (* Replication on but the write arrived on the routed single-copy
          path (issued while the whole cluster was down, then parked):
          seed the other replicas immediately so the acked write does not
@@ -683,15 +856,16 @@ and execute_op t sn ~owner ~point ~origin ~retries ~hops op =
       let v = local_exn sn owner in
       let value =
         Option.map
-          (fun c -> c.Versioned.value)
+          (fun s -> s.cell.Versioned.value)
           (Hashtbl.find_opt v.data key)
       in
       send t ~src:sn.sid ~dst:origin (Wire.Get_reply { token; value })
   | Wire.Op_sync { key; cell } ->
       (* Anti-entropy orphan coming home: merge, no reply. *)
       let v = local_exn sn owner in
-      Hashtbl.replace v.data key
-        (Versioned.merge_opt (Hashtbl.find_opt v.data key) cell)
+      (match Hashtbl.find_opt v.data key with
+      | Some s -> s.cell <- Versioned.merge_opt (Some s.cell) cell
+      | None -> Hashtbl.add v.data key { cell })
   | Wire.Op_create { newcomer } -> (
       (* The owner of the point is the victim vnode; its group is the
          victim group. Hand the request to that group's manager. *)
@@ -846,11 +1020,16 @@ and fire_hints t sn q =
    settles it and [hints_stored]/[hints_flushed] stay matched. *)
 and park_hint t sn ~target ~key ~point cell =
   let cell =
-    Versioned.merge_opt (Hashtbl.find_opt sn.hints (target, key)) cell
+    match Hashtbl.find_opt sn.hints (target, key) with
+    | Some s ->
+        let merged = Versioned.merge ~mine:s.cell ~theirs:cell in
+        s.cell <- merged;
+        merged
+    | None ->
+        t.hints_stored <- t.hints_stored + 1;
+        Hashtbl.add sn.hints (target, key) { cell };
+        cell
   in
-  if not (Hashtbl.mem sn.hints (target, key)) then
-    t.hints_stored <- t.hints_stored + 1;
-  Hashtbl.replace sn.hints (target, key) cell;
   send t ~src:sn.sid ~dst:target (Wire.Hint_flush { key; point; cell })
 
 (* The post-hint deadline fired with the quorum state still open. If W
@@ -1002,12 +1181,12 @@ and ae_snode t sn =
     sn.locals;
   let orphans =
     Hashtbl.fold
-      (fun key cell acc ->
+      (fun key s acc ->
         let point = Hash.string t.space key in
         match Point_map.find_point sn.rmap point with
         | _, set when List.mem sn.sid set -> acc
-        | _ -> (key, point, cell) :: acc
-        | exception Not_found -> (key, point, cell) :: acc)
+        | _ -> (key, point, s.cell) :: acc
+        | exception Not_found -> (key, point, s.cell) :: acc)
       sn.replicas []
     |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
   in
@@ -1175,9 +1354,8 @@ and apply_transfer t sn ~event ~to_vnode ~spans ~data =
   List.iter
     (fun (key, cell) ->
       match Hashtbl.find_opt v.data key with
-      | None -> Hashtbl.replace v.data key cell
-      | Some mine ->
-          Hashtbl.replace v.data key (Versioned.merge ~mine ~theirs:cell))
+      | None -> Hashtbl.add v.data key { cell }
+      | Some s -> s.cell <- Versioned.merge ~mine:s.cell ~theirs:cell)
     data;
   (* Cells we already replicated for these spans move into the partition
      table, so the owner's holdings (and digests) see one copy. *)
@@ -1697,8 +1875,8 @@ and handle t sn ~from msg =
          layer to retransmit it. A duplicate flush is harmless — storage
          merges by LWW and a second ack finds the binding already gone. *)
       Hashtbl.fold
-        (fun (target, key) cell acc ->
-          if target = from then (key, cell) :: acc else acc)
+        (fun (target, key) s acc ->
+          if target = from then (key, s.cell) :: acc else acc)
         sn.hints []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
       |> List.iter (fun (key, cell) ->
@@ -1728,7 +1906,7 @@ and handle t sn ~from msg =
                 lp.epoch <- epoch;
                 lp.counts <- counts
             | None -> ()))
-  | Wire.Req _ | Wire.Ack _ ->
+  | Wire.Req _ | Wire.Ack _ | Wire.Batch _ ->
       (* Unwrapped in [receive]; reaching the protocol layer is a bug. *)
       failwith "Runtime: link-layer frame in protocol handler"
 
@@ -1775,11 +1953,16 @@ let crash_snode t sid =
         p.strikes <- 0;
         Hashtbl.iter
           (fun _ e ->
-            (match e.o_timer with Some h -> Engine.cancel h | None -> ());
-            e.o_timer <- None;
+            (match e.o_timer with Some tm -> Engine.disarm tm | None -> ());
             e.o_attempts <- 0)
           p.outbox)
       sn.peers;
+    (* Coalescing buffers are durable (pre-outbox staging) but their flush
+       timers are not; restart re-arms them. *)
+    Hashtbl.iter
+      (fun _ ob ->
+        match ob.ob_timer with Some tm -> Engine.disarm tm | None -> ())
+      sn.obufs;
     Log.debug (fun m -> m "snode %d crashed at %g" sid (Engine.now t.engine))
   end
 
@@ -1813,6 +1996,15 @@ let restart_snode t sid =
         |> List.sort compare
         |> List.iter (fun (seq, e) -> transmit t sn ~dst:pid ~seq e))
       sn.peers;
+    (* Flush timers died with the crash; anything still staged goes out
+       one linger window from now. *)
+    Hashtbl.iter
+      (fun _ ob ->
+        if ob.ob_parts <> [] then
+          match ob.ob_timer with
+          | Some tm -> Engine.arm tm ~delay:t.linger
+          | None -> ())
+      sn.obufs;
     (* Replay self-addressed work that fired while down. *)
     while not (Queue.is_empty sn.parked) do
       deliver_local t sn (Queue.pop sn.parked)
@@ -1846,7 +2038,7 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
     ?(approach = Local { vmin = 16 }) ?faults ?(max_retries = 50)
     ?(backoff = 1e-3) ?(rto = 1e-3) ?(rto_cap = 0.05) ?(poison_after = 5)
     ?(event_timeout = 1.0) ?(rfactor = 1) ?(read_quorum = 1)
-    ?(write_quorum = 1) ?(handoff_timeout = 0.02) ?metrics
+    ?(write_quorum = 1) ?(handoff_timeout = 0.02) ?(linger = 0.) ?metrics
     ?(trace = Trace.noop) ~snodes ~seed () =
   if snodes < 1 then invalid_arg "Runtime.create: need at least one snode";
   if not (Params.is_power_of_two pmin) then
@@ -1861,6 +2053,8 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
     invalid_arg "Runtime.create: rfactor exceeds the snode count";
   if handoff_timeout <= 0. then
     invalid_arg "Runtime.create: handoff_timeout must be positive";
+  if linger < 0. || not (Float.is_finite linger) then
+    invalid_arg "Runtime.create: linger must be finite and non-negative";
   let vmax =
     match approach with
     | Global -> max_int
@@ -1900,6 +2094,10 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
             i_rto = lat "runtime.rto.delay";
             i_q_put = lat ~labels:[ ("op", "put") ] "runtime.quorum.latency";
             i_q_get = lat ~labels:[ ("op", "get") ] "runtime.quorum.latency";
+            (* Batch occupancy is a small count, like hops. *)
+            i_batch =
+              Registry.histogram reg ~lo:1.0 ~growth:2.0 ~bins:10
+                "runtime.batch.occupancy";
           }
   in
   let replicas0 =
@@ -1929,6 +2127,7 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
         stashed = Hashtbl.create 8;
         gepochs = Gtbl.create 8;
         peers = Hashtbl.create 8;
+        obufs = Hashtbl.create 8;
         parked = Queue.create ();
       }
     in
@@ -1967,6 +2166,7 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
       read_quorum;
       write_quorum;
       handoff_timeout;
+      linger;
       bootstrap = (spans0, first);
       instr;
       trace;
@@ -2067,6 +2267,9 @@ let record_metrics t reg =
   c "net.messages" (Network.messages t.net);
   c "net.bytes" (Network.bytes_sent t.net);
   c "net.local_deliveries" (Network.local_deliveries t.net);
+  c "net.batches" (Network.batches t.net);
+  c "net.batch.parts" (Network.batched_parts t.net);
+  c "net.batch.saved_bytes" (Network.batch_bytes_saved t.net);
   List.iter
     (fun (tag, m, b) ->
       c ~labels:[ ("tag", tag) ] "net.messages" m;
@@ -2168,7 +2371,7 @@ let peek t ~key =
       match Point_map.find_point sn.owned point with
       | _, vid -> (
           match Hashtbl.find_opt (local_exn sn vid).data key with
-          | Some c -> Some c.Versioned.value
+          | Some s -> Some s.cell.Versioned.value
           | None -> None)
       | exception Not_found -> scan (sid + 1)
   in

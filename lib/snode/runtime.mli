@@ -54,6 +54,7 @@ val create :
   ?read_quorum:int ->
   ?write_quorum:int ->
   ?handoff_timeout:float ->
+  ?linger:float ->
   ?metrics:Dht_telemetry.Registry.t ->
   ?trace:Dht_telemetry.Trace.t ->
   snodes:int ->
@@ -104,13 +105,27 @@ val create :
     partition movement: the balancing Commit carries the replica map and,
     when [rfactor > 1], fans out to every snode.
 
+    [linger] (default 0: batching off, byte-identical to the original
+    message flow) arms transmission batching: every remote message stages
+    in a per-destination coalescing buffer for at most [linger] seconds of
+    virtual time and leaves as a single {!Wire.Batch} envelope, amortizing
+    the fixed envelope cost. Per-(src, dst) delivery order is preserved —
+    a batch is the FIFO prefix of the stream. Under a fault plan the
+    batch's protocol messages share one [Req] frame (one sequence number,
+    one retransmission timer, one ack for the whole batch) and acks become
+    cumulative and piggybacked: they ride the next outgoing envelope,
+    outside the frame, and their [floor] retires every older outstanding
+    sequence at once. {!Network.quantum} (one base-latency hop) is the
+    recommended window; the CLI and benchmarks default to it.
+
     Passing [metrics] registers latency/hop histograms in the registry
     (observed as the simulation runs): [runtime.route.hops],
     [runtime.op.latency] (label [op=put|get|remove]),
     [runtime.quorum.latency] (label [op=put|get]), [runtime.2pc.prepare]
     (prepare to commit, at the coordinator), [runtime.2pc.event] (label
-    [kind=create|remove], plan to completion), [runtime.recovery.downtime]
-    and [runtime.rto.delay]; pair it with {!record_metrics} after the run
+    [kind=create|remove], plan to completion), [runtime.recovery.downtime],
+    [runtime.rto.delay] and [runtime.batch.occupancy] (messages per
+    coalesced envelope); pair it with {!record_metrics} after the run
     for the scalar counters. Passing [trace] (default {!Trace.noop})
     streams protocol events — [op]/[2pc.prepare]/[2pc.event]/
     [recovery.downtime] spans, [retransmit]/[route.backoff]/
@@ -267,3 +282,4 @@ val audit : t -> (unit, string list) result
       hold per group; L1 holds globally;
     - every routing cache still covers the whole range;
     - every stored key lives at the vnode owning its hash point. *)
+

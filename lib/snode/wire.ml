@@ -88,8 +88,9 @@ type msg =
       reply : bool;
     }
   | Ae_request
+  | Batch of msg list
   | Req of { seq : int; payload : msg }
-  | Ack of { seq : int }
+  | Ack of { seq : int; floor : int }
   | Lpdr_pull of { group : Group_id.t }
   | Lpdr_push of {
       group : Group_id.t;
@@ -161,6 +162,14 @@ let rec size_bytes = function
   | Repl_sync_request _ -> envelope + per_entry
   | Repl_sync { cells; _ } -> envelope + per_entry + cells_size cells
   | Ae_request -> envelope
+  | Batch parts ->
+      (* One shared envelope; each part pays a [per_entry] frame header and
+         its body — its own envelope is amortized away. Coalescing [n]
+         messages therefore saves [(n - 1) * envelope - n * per_entry]
+         bytes versus sending them separately. *)
+      List.fold_left
+        (fun acc p -> acc + per_entry + (size_bytes p - envelope))
+        envelope parts
   | Req { payload; _ } -> per_entry + size_bytes payload
   | Ack _ -> envelope
   | Lpdr_pull _ -> envelope + per_entry
@@ -203,6 +212,7 @@ let rec describe = function
   | Repl_sync_request _ -> "repl:sync-request"
   | Repl_sync _ -> "repl:sync"
   | Ae_request -> "ae-request"
+  | Batch _ -> "batch"
   | Req { payload; _ } -> req_tag payload
   | Ack _ -> "ack"
   | Lpdr_pull _ -> "lpdr-pull"
@@ -238,6 +248,7 @@ and req_tag = function
   | Repl_sync_request _ -> "req:repl:sync-request"
   | Repl_sync _ -> "req:repl:sync"
   | Ae_request -> "req:ae-request"
+  | Batch _ -> "req:batch"
   | Lpdr_pull _ -> "req:lpdr-pull"
   | Lpdr_push _ -> "req:lpdr-push"
   | Ack _ -> "req:ack"

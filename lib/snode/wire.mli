@@ -141,14 +141,28 @@ type msg =
   | Ae_request
       (** broadcast by a recovering snode: please digest-push every
           partition whose replica set includes me *)
+  | Batch of msg list
+      (** transmission-batching envelope: every message a snode addressed
+          to one destination within a linger window, coalesced into a
+          single network send and delivered (and processed) in issue
+          order. Parts are protocol messages, piggybacked {!Ack}s, or one
+          {!Req}-framed sub-batch; {!size_bytes} charges one shared
+          envelope plus a per-part frame header, amortizing the fixed
+          envelope cost that dominates small-message traffic. *)
   | Req of { seq : int; payload : msg }
       (** reliable-delivery frame: [seq] numbers the sender's stream toward
           one destination, which deduplicates by [(sender, seq)] and
           acknowledges with {!Ack}; the sender retransmits with backoff
-          until acknowledged. Only used when a fault plan is active. *)
-  | Ack of { seq : int }
+          until acknowledged. Only used when a fault plan is active. The
+          payload may be a {!Batch} of protocol messages — one sequence
+          number, one retransmission timer and one ack then cover the
+          whole batch. *)
+  | Ack of { seq : int; floor : int }
       (** link-layer acknowledgement of a {!Req}; sent unreliably (a lost
-          ack just provokes one more retransmission) *)
+          ack just provokes one more retransmission). [floor] makes the
+          ack cumulative: the receiver has processed {e every} seq up to
+          and including [floor], so the sender also retires any older
+          outbox entries a lost ack left behind. *)
   | Lpdr_pull of { group : Group_id.t }
       (** crash recovery: a restarting snode asks the group's manager for a
           fresh LPDR copy *)
@@ -163,7 +177,11 @@ type msg =
 val size_bytes : msg -> int
 (** Serialized-size estimate: 64-byte envelope, 16 bytes per id/span/count
     entry, string payloads at their length, versioned cells at value
-    length plus a 16-byte version ({!Versioned.size_bytes}). *)
+    length plus a 16-byte version ({!Versioned.size_bytes}). A {!Batch}
+    costs one envelope plus, per part, a 16-byte frame header and the
+    part's body (the part's own envelope is amortized away):
+    [size_bytes (Batch parts) = envelope
+     + Σ (per_entry + size_bytes part - envelope)]. *)
 
 val describe : msg -> string
 (** Short human-readable tag, for tracing and the per-tag network traffic

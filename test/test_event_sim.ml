@@ -12,7 +12,7 @@ let check = Alcotest.check
 
 let test_heap_orders_random_input () =
   let rng = Rng.of_int 1 in
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:0 () in
   for i = 0 to 499 do
     Heap.push h ~time:(Rng.float rng) ~seq:i i
   done;
@@ -33,7 +33,7 @@ let test_heap_orders_random_input () =
   check Alcotest.bool "empty" true (Heap.is_empty h)
 
 let test_heap_fifo_at_equal_times () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:0 () in
   for i = 0 to 9 do
     Heap.push h ~time:1. ~seq:i i
   done;
@@ -44,7 +44,7 @@ let test_heap_fifo_at_equal_times () =
   done
 
 let test_heap_peek () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:() () in
   check Alcotest.bool "empty peek" true (Heap.peek_time h = None);
   Heap.push h ~time:3. ~seq:0 ();
   Heap.push h ~time:1. ~seq:1 ();

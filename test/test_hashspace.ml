@@ -281,6 +281,78 @@ let prop_random_tiling_lookup =
           Span.contains sp s p)
         (List.init 50 Fun.id))
 
+let test_point_map_learn () =
+  let m = Point_map.create sp in
+  Point_map.add m Span.root "old";
+  (* Learning a quarter inside the root entry decomposes the remainder
+     along the dyadic path: sibling half and sibling quarter keep "old". *)
+  Point_map.learn m (Span.make sp ~level:2 ~index:1) "new";
+  check Alcotest.int "three fragments" 3 (Point_map.cardinal m);
+  check Alcotest.string "learned span routes" "new"
+    (snd (Point_map.find_point m (Space.size sp / 4)));
+  check Alcotest.string "left quarter keeps old owner" "old"
+    (snd (Point_map.find_point m 0));
+  check Alcotest.string "right half keeps old owner" "old"
+    (snd (Point_map.find_point m (Space.size sp / 2)));
+  (match Coverage.check sp (Point_map.spans m) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "hole after learn: %a" Coverage.pp_error e);
+  (* Learning a coarser span evicts everything under it wholesale. *)
+  Point_map.learn m (Span.make sp ~level:1 ~index:0) "coarse";
+  check Alcotest.int "finer entries evicted" 2 (Point_map.cardinal m);
+  check Alcotest.string "coarse owner routes" "coarse"
+    (snd (Point_map.find_point m 0))
+
+let prop_learn_matches_evict_reinsert =
+  (* [learn] must be observationally equal to the reference implementation:
+     evict every overlapping entry, re-add the dyadic remainder of coarser
+     ones under their old value, insert the new span. *)
+  QCheck.Test.make ~name:"learn = evict + dyadic re-insert" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.of_int seed in
+      let reference m span value =
+        let old = Point_map.overlapping m span in
+        List.iter
+          (fun (s, prev) ->
+            Point_map.remove m s;
+            if Span.level s < Span.level span then begin
+              let rec keep_rest s =
+                if not (Span.equal s span) then begin
+                  let a, b = Span.split sp s in
+                  if Span.overlap a span then begin
+                    Point_map.add m b prev;
+                    keep_rest a
+                  end
+                  else begin
+                    Point_map.add m a prev;
+                    keep_rest b
+                  end
+                end
+              in
+              keep_rest s
+            end)
+          old;
+        Point_map.add m span value
+      in
+      let a = Point_map.create sp and b = Point_map.create sp in
+      Point_map.add a Span.root (-1);
+      Point_map.add b Span.root (-1);
+      for i = 0 to 30 do
+        let level = 1 + Rng.int rng 6 in
+        let index = Rng.int rng (1 lsl level) in
+        let span = Span.make sp ~level ~index in
+        Point_map.learn a span i;
+        reference b span i
+      done;
+      let dump m =
+        List.map
+          (fun (s, v) -> (Span.level s, Span.index s, v))
+          (Point_map.to_list m)
+      in
+      if dump a <> dump b then QCheck.Test.fail_reportf "tries diverged";
+      Point_map.cardinal a = Point_map.cardinal b)
+
 let suite =
   [
     Alcotest.test_case "space validation" `Quick test_space_validation;
@@ -310,4 +382,6 @@ let suite =
       test_point_map_iter_order;
     Alcotest.test_case "point map overlapping" `Quick test_point_map_overlapping;
     QCheck_alcotest.to_alcotest prop_random_tiling_lookup;
+    Alcotest.test_case "point map learn" `Quick test_point_map_learn;
+    QCheck_alcotest.to_alcotest prop_learn_matches_evict_reinsert;
   ]

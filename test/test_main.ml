@@ -24,6 +24,7 @@ let () =
       ("report", Test_report.suite);
       ("wire", Test_wire.suite);
       ("replication", Test_replication.suite);
+      ("batching", Test_batching.suite);
       ("snode-runtime", Test_runtime.suite);
       ("snapshot", Test_snapshot.suite);
       ("registry", Test_registry.suite);

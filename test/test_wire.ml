@@ -100,8 +100,9 @@ let canonical = function
   | Wire.Ack _ -> 30
   | Wire.Lpdr_pull _ -> 31
   | Wire.Lpdr_push _ -> 32
+  | Wire.Batch _ -> 33
 
-let constructor_count = 33
+let constructor_count = 34
 
 (* The same message with a strictly larger variable-size payload, or the
    message itself when the constructor is fixed-size. Also wildcard-free,
@@ -147,6 +148,7 @@ let inflate = function
   | Wire.Ae_request as m -> m
   | Wire.Req r -> Wire.Req { r with payload = Wire.Commit { event = 0; moved } }
   | Wire.Ack _ as m -> m
+  | Wire.Batch parts -> Wire.Batch (Wire.Ae_request :: parts)
   | Wire.Lpdr_pull _ as m -> m
   | Wire.Lpdr_push p ->
       Wire.Lpdr_push
@@ -198,7 +200,9 @@ let all_messages =
     Wire.Repl_sync { span = Span.root; cells = [ ("k", cell "v") ]; reply = true };
     Wire.Ae_request;
     Wire.Req { seq = 9; payload = Wire.All_received { event = 3 } };
-    Wire.Ack { seq = 9 };
+    Wire.Ack { seq = 9; floor = 9 };
+    Wire.Batch
+      [ Wire.Put_ack { token = 1 }; Wire.Ack { seq = 9; floor = 9 } ];
     Wire.Lpdr_pull { group = Group_id.root };
     Wire.Lpdr_push
       { group = Group_id.root; view = Some (0, 4, [ (vid 0, 16) ]) };
@@ -303,7 +307,8 @@ let test_req_framing () =
     (Wire.describe
        (Wire.Req
           { seq = 2; payload = Wire.Req { seq = 1; payload = Wire.Commit { event = 3; moved } } }));
-  check Alcotest.string "ack tag" "ack" (Wire.describe (Wire.Ack { seq = 1 }))
+  check Alcotest.string "ack tag" "ack"
+    (Wire.describe (Wire.Ack { seq = 1; floor = 1 }))
 
 let suite =
   [
