@@ -768,7 +768,8 @@ let kv_cmd =
      re-converges the restarted replica via hinted handoff/anti-entropy. *)
   let module Runtime = Dht_snode.Runtime in
   let module Engine = Dht_event_sim.Engine in
-  let run tel snodes rfactor read_quorum write_quorum keys linger seed =
+  let module Invariants = Dht_check.Invariants in
+  let run tel audit snodes rfactor read_quorum write_quorum keys linger seed =
     let faults = Runtime.Fault.create ~seed () in
     let rt =
       Runtime.create ~faults ~rfactor ~read_quorum ~write_quorum ~linger
@@ -776,6 +777,27 @@ let kv_cmd =
     in
     Printf.printf "== KV quickstart: %d snodes, rfactor=%d, R=%d, W=%d ==\n"
       snodes rfactor read_quorum write_quorum;
+    (* --audit: run the snode-local invariant battery after every
+       balancing commit, and the full snapshot battery at the end. *)
+    let commit_audits = ref 0 in
+    let commit_failures = ref [] in
+    if audit then
+      Runtime.set_on_commit rt
+        (Some
+           (fun ~event:_ ~snode ->
+             incr commit_audits;
+             let v = Runtime.view rt in
+             match
+               List.find_opt
+                 (fun (s : Runtime.View.snode_view) -> s.sid = snode)
+                 v.Runtime.View.snodes
+             with
+             | None -> ()
+             | Some s ->
+                 commit_failures :=
+                   Invariants.to_strings
+                     (Invariants.check_snode ~space:(Runtime.space rt) s)
+                   @ !commit_failures));
     let acked = ref 0 in
     for i = 0 to keys - 1 do
       Runtime.put rt ~via:(i mod snodes)
@@ -830,12 +852,33 @@ let kv_cmd =
           false
     in
     Printf.printf "audit: %s\n" (if audit_ok then "ok" else "FAILED");
+    let battery_ok =
+      if not audit then true
+      else begin
+        Runtime.set_on_commit rt None;
+        let final = Invariants.to_strings (Invariants.check_runtime rt) in
+        List.iter print_endline (!commit_failures @ final);
+        Printf.printf
+          "invariant battery: %d per-commit audits, final sweep %s\n"
+          !commit_audits
+          (if final = [] && !commit_failures = [] then "ok" else "FAILED");
+        final = [] && !commit_failures = []
+      end
+    in
     finish_telemetry tel;
     if
       !acked < keys || !wrong_down > 0 || !mid_acked <> 1 || !wrong_up > 0
-      || (not audit_ok)
+      || (not audit_ok) || (not battery_ok)
       || Runtime.pending_operations rt <> 0
     then exit 1
+  in
+  let audit_flag =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:
+               "Run the paper-invariant battery: the snode-local checks \
+                after every balancing commit and the full snapshot battery \
+                at the end. Exits non-zero on any finding.")
   in
   let snodes =
     Arg.(value & opt int 3 & info [ "snodes" ] ~docv:"S"
@@ -846,7 +889,7 @@ let kv_cmd =
            ~doc:"Number of key/value pairs written before the crash.")
   in
   let term =
-    Term.(const run $ telemetry_term $ snodes $ rfactor_arg 3
+    Term.(const run $ telemetry_term $ audit_flag $ snodes $ rfactor_arg 3
           $ read_quorum_arg 2 $ write_quorum_arg 2 $ keys $ linger_arg
           $ seed_arg)
   in
@@ -857,6 +900,149 @@ let kv_cmd =
           that reads and writes still succeed, then restart and verify the \
           replica re-converges. Exits non-zero on any stale read or lost \
           acknowledged write.")
+    term
+
+let explore_cmd =
+  let module Explorer = Dht_check.Explorer in
+  let module Scenarios = Dht_check.Scenarios in
+  let module Schedule = Dht_check.Schedule in
+  let print_outcome (o : Explorer.outcome) =
+    Printf.printf "schedule (%d tweaks, %d decision sites):\n%s"
+      (Schedule.length o.schedule) o.sites
+      (Schedule.to_string o.schedule);
+    match o.failures with
+    | [] -> print_endline "verdict: PASS"
+    | fs ->
+        print_endline "verdict: FAIL";
+        List.iter (fun m -> Printf.printf "  %s\n" m) fs
+  in
+  let run tel mutate snodes vnodes keys grow removes rfactor read_quorum
+      write_quorum linger seeds seed rounds max_tweaks out replay =
+    let name = if mutate then "kv-mutate" else "kv" in
+    let sc =
+      Scenarios.kv ~name ~protect:(not mutate) ~snodes ~vnodes ~grow ~removes
+        ~keys ~rfactor ~read_quorum ~write_quorum ~linger ()
+    in
+    (match replay with
+    | Some path -> (
+        match Schedule.load ~path with
+        | Error m ->
+            prerr_endline ("cannot load schedule: " ^ m);
+            finish_telemetry tel;
+            exit 2
+        | Ok sched ->
+            let sc =
+              match Scenarios.by_name ~linger sched.Schedule.scenario with
+              | Some sc -> sc
+              | None -> sc
+            in
+            Printf.printf "== replaying %s (scenario %s, seed %d) ==\n" path
+              sched.Schedule.scenario sched.Schedule.seed;
+            let o = Explorer.run sc sched in
+            print_outcome o;
+            finish_telemetry tel;
+            exit (if o.Explorer.failures = [] then 0 else 1))
+    | None ->
+        let kinds : Explorer.kind list =
+          if mutate then [ `Drop ] else [ `Delay; `Drop; `Crash; `Flush ]
+        in
+        let runs = ref 0 in
+        let on_progress _ = incr runs in
+        Printf.printf
+          "== exploring scenario %s: %d seeds from %d, %d rounds, <= %d \
+           tweaks ==\n\
+           %!"
+          name seeds seed rounds max_tweaks;
+        let outcome =
+          Explorer.explore ~rounds ~max_tweaks ~kinds ~on_progress sc
+            ~seeds:(List.init seeds (fun i -> seed + i))
+        in
+        Printf.printf "explored %d runs\n" !runs;
+        (match outcome with
+        | None -> print_endline "no violation found"
+        | Some o ->
+            print_outcome o;
+            Option.iter
+              (fun path ->
+                Schedule.save ~path o.Explorer.schedule;
+                Printf.printf "wrote %s\n" path)
+              out);
+        finish_telemetry tel;
+        (* In mutation mode finding the planted loss is the success
+           criterion (a self-test of the detection pipeline); in normal
+           mode a finding is a real bug. *)
+        let found = outcome <> None in
+        exit (if found <> mutate then 1 else 0))
+  in
+  let mutate =
+    Arg.(value & flag
+         & info [ "mutate" ]
+             ~doc:
+               "Self-test: run the unprotected scenario (no reliable-delivery \
+                layer), sinking messages at explored decision sites, and \
+                $(b,expect) the checkers to catch the damage. Exits non-zero \
+                if nothing is found.")
+  in
+  let snodes =
+    Arg.(value & opt int 5 & info [ "snodes" ] ~docv:"S"
+           ~doc:"Number of snodes in the scenario cluster.")
+  in
+  let keys =
+    Arg.(value & opt int 12 & info [ "keys" ] ~docv:"K"
+           ~doc:"Keys written (then overwritten and read) by the workload.")
+  in
+  let grow =
+    Arg.(value & opt int 2 & info [ "grow" ] ~docv:"N"
+           ~doc:"Vnodes created after the first write wave (migrates live data).")
+  in
+  let removes =
+    Arg.(value & opt int 1 & info [ "removes" ] ~docv:"N"
+           ~doc:"Vnodes removed after the second growth wave.")
+  in
+  let seeds =
+    Arg.(value & opt int 10 & info [ "seeds" ] ~docv:"N"
+           ~doc:"Number of consecutive seeds to sweep.")
+  in
+  let rounds =
+    Arg.(value & opt int 20 & info [ "rounds" ] ~docv:"N"
+           ~doc:"Perturbation rounds per seed.")
+  in
+  let max_tweaks =
+    Arg.(value & opt int 4 & info [ "max-tweaks" ] ~docv:"N"
+           ~doc:"Maximum perturbations per explored schedule.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the (shrunk) failing schedule to $(docv).")
+  in
+  let replay =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE"
+           ~doc:
+             "Replay a recorded schedule instead of exploring; exits \
+              non-zero iff the replay fails its verifier.")
+  in
+  let linger_zero =
+    Arg.(value & opt float 0. & info [ "linger" ] ~docv:"S"
+           ~doc:
+             "Transmission-batching window for the scenario (0 disables \
+              batching; flush tweaks only matter when > 0).")
+  in
+  let term =
+    Term.(const run $ telemetry_term $ mutate $ snodes $ vnodes_arg 3 $ keys
+          $ grow $ removes $ rfactor_arg 3 $ read_quorum_arg 2
+          $ write_quorum_arg 2 $ linger_zero $ seeds $ seed_arg $ rounds
+          $ max_tweaks $ out $ replay)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Deterministic schedule explorer: sweep seeds, perturb message \
+          delivery (delays, sinks, crash/restart, linger flushes) at \
+          recorded decision sites, audit every run with the paper-invariant \
+          battery and the linearizability/session/durability checkers, and \
+          shrink any failure to a minimal replayable schedule. With \
+          $(b,--mutate) the run is a self-test that must find a planted \
+          loss; otherwise any finding is a real bug and exits non-zero.")
     term
 
 let coexist_cmd =
@@ -934,5 +1120,5 @@ let () =
             zones_cmd; ratios_cmd; stability_cmd; cost_cmd; parallel_cmd; hetero_cmd;
             kvload_cmd; churn_cmd; ablation_cmd; hotspot_cmd;
             hetero_compare_cmd; distributed_cmd; chaos_cmd; kv_cmd;
-            coexist_cmd; all_cmd;
+            explore_cmd; coexist_cmd; all_cmd;
           ]))

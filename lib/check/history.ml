@@ -1,0 +1,89 @@
+module Runtime = Dht_snode.Runtime
+
+type op =
+  | Put of { key : string; value : string }
+  | Get of { key : string; result : string option }
+
+type entry = {
+  token : int;
+  session : int;
+  op : op;
+  inv : float;
+  ret : float option;
+  failed : bool;
+}
+
+let key e = match e.op with Put { key; _ } | Get { key; _ } -> key
+let completed e = e.ret <> None
+
+type cell = { mutable e : entry }
+
+type t = {
+  tbl : (int, cell) Hashtbl.t;
+  mutable order : int list;  (* invoke order, newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 64; order = [] }
+
+let feed t (ev : Runtime.Oplog.event) =
+  match ev with
+  | Invoke { token; via; op; at } ->
+      let op =
+        match op with
+        | Runtime.Oplog.Op_put { key; value } -> Put { key; value }
+        | Runtime.Oplog.Op_get { key } -> Get { key; result = None }
+      in
+      let e =
+        { token; session = via; op; inv = at; ret = None; failed = false }
+      in
+      Hashtbl.replace t.tbl token { e };
+      t.order <- token :: t.order
+  | Ack { token; at } -> (
+      match Hashtbl.find_opt t.tbl token with
+      | Some c -> c.e <- { c.e with ret = Some at }
+      | None -> ())
+  | Reply { token; value; at } -> (
+      match Hashtbl.find_opt t.tbl token with
+      | Some c ->
+          let op =
+            match c.e.op with
+            | Get { key; _ } -> Get { key; result = value }
+            | Put _ as p -> p
+          in
+          c.e <- { c.e with ret = Some at; op }
+      | None -> ())
+  | Fail { token; at = _ } -> (
+      match Hashtbl.find_opt t.tbl token with
+      | Some c -> c.e <- { c.e with failed = true }
+      | None -> ())
+
+let attach t rt = Runtime.set_recorder rt (Some (feed t))
+
+let entries t =
+  List.rev_map (fun token -> (Hashtbl.find t.tbl token).e) t.order
+
+let by_key es =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let k = key e in
+      Hashtbl.replace tbl k (e :: Option.value ~default:[] (Hashtbl.find_opt tbl k)))
+    es;
+  Hashtbl.fold (fun k es acc -> (k, List.rev es) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_entry ppf e =
+  let status =
+    match (e.ret, e.failed) with
+    | Some _, _ -> "ok"
+    | None, true -> "failed"
+    | None, false -> "pending"
+  in
+  match e.op with
+  | Put { key; value } ->
+      Format.fprintf ppf "#%d s%d put %s=%s [%s]" e.token e.session key value
+        status
+  | Get { key; result } ->
+      Format.fprintf ppf "#%d s%d get %s -> %s [%s]" e.token e.session key
+        (match result with Some v -> v | None -> "none")
+        status

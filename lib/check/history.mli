@@ -1,0 +1,47 @@
+(** Operation histories for the consistency checkers.
+
+    A recorder that turns the runtime's {!Dht_snode.Runtime.Oplog} event
+    stream into a list of operation entries: invocation time, return time
+    (when the operation completed) and outcome. Sessions are identified by
+    the snode the operation was issued [via]. *)
+
+module Runtime := Dht_snode.Runtime
+
+type op =
+  | Put of { key : string; value : string }
+  | Get of { key : string; result : string option }
+
+type entry = {
+  token : int;
+  session : int;  (** the [via] snode *)
+  op : op;
+  inv : float;  (** invocation (virtual) time *)
+  ret : float option;  (** completion time; [None] while pending *)
+  failed : bool;  (** a put settled as unacknowledged *)
+}
+
+val key : entry -> string
+
+val completed : entry -> bool
+(** [ret <> None]: the operation returned to the caller. A failed or
+    pending put may still have taken partial effect. *)
+
+type t
+
+val create : unit -> t
+
+val attach : t -> Runtime.t -> unit
+(** Install this history as the runtime's operation recorder. *)
+
+val feed : t -> Runtime.Oplog.event -> unit
+(** Record one event directly (used by tests to pin hand-written
+    histories). *)
+
+val entries : t -> entry list
+(** All entries, in invocation order. *)
+
+val by_key : entry list -> (string * entry list) list
+(** Entries grouped per key (each group in invocation order), sorted by
+    key. *)
+
+val pp_entry : Format.formatter -> entry -> unit

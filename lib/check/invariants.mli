@@ -1,0 +1,59 @@
+(** The paper's invariants as pure predicates.
+
+    Every check returns a list of structured findings — empty means the
+    invariant battery holds. Model-level checks (over {!Dht_core.Local_dht}
+    and {!Dht_core.Global_dht}) delegate to {!Dht_core.Audit} and lift its
+    messages; snapshot-level checks re-derive the same battery from a
+    {!Dht_snode.Runtime.View}, the canonical export of the distributed
+    state.
+
+    Invariant names follow the paper: G1/G1' (partitions tile [R_h]
+    exactly), G2/G2' (group partition total a power of two), G3/G3' (all
+    partitions at the group's split level), G4/G4'
+    ([Pmin <= Pv <= Pmax = 2·Pmin]), G5/G5' (power-of-two vnode population
+    implies equal counts), L1 (groups partition the vnode set), L2
+    ([Vmin <= Vg <= Vmax = 2·Vmin], group 0 exempt while sole), plus
+    [LPDR] (copy agreement and quota-vs-ownership consistency), [quota]
+    (ΣQv = 1), [cache]/[rmap] (full routing coverage) and [data] (keys
+    live at their owner). *)
+
+open Dht_core
+module Runtime := Dht_snode.Runtime
+
+type finding = { inv : string;  (** invariant name, e.g. ["G4"] *) detail : string }
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val to_strings : finding list -> string list
+
+val of_messages : string list -> finding list
+(** Lift ["G4: ..."]-style audit messages into structured findings. *)
+
+val check_local : Local_dht.t -> finding list
+(** G1'-G5', L1, L2 and quota conservation over the local-model oracle
+    ({!Dht_core.Audit.check_local}). *)
+
+val check_global : Global_dht.t -> finding list
+(** G1-G5 over the global-model oracle ({!Dht_core.Audit.check_global}). *)
+
+val check_snode :
+  space:Dht_hashspace.Space.t -> Runtime.View.snode_view -> finding list
+(** The per-snode subset that holds at {e every} instant, including while
+    a balancing commit is fanning out: routing-cache and replica-map
+    coverage, and data placement. Safe from a
+    {!Dht_snode.Runtime.set_on_commit} hook. *)
+
+val check_view :
+  space:Dht_hashspace.Space.t ->
+  pmin:int ->
+  vmax:int ->
+  Runtime.View.t ->
+  finding list
+(** The full battery over one cluster snapshot: G1', LPDR agreement
+    across live snodes' copies, G2'-G5', L1, L2, quota conservation, and
+    {!check_snode} on every live snode. Meaningful at quiescence — LPDR
+    copies legitimately diverge while a commit is in flight. *)
+
+val check_runtime : Runtime.t -> finding list
+(** {!check_view} over [Runtime.view rt] with the runtime's own
+    parameters. *)

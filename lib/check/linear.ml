@@ -1,0 +1,289 @@
+(* Wing-Gong linearizability search specialized to one register per key,
+   plus the cheap session checks (read-your-writes, monotonic reads) and
+   the acked-write durability audit. *)
+
+let max_ops = 62 (* per-key bitmask fits an OCaml int *)
+
+(* One key's history against a linearizable register initialized to None.
+   Completed gets and every put participate; a put without a return
+   (pending or settled-failed) MAY have taken effect — the search is free
+   to linearize it anywhere after its invocation, or never. Pending gets
+   constrain nothing and are dropped. *)
+let check_key ~key entries =
+  let ops =
+    List.filter
+      (fun (e : History.entry) ->
+        match e.op with
+        | History.Get _ -> History.completed e
+        | History.Put _ -> true)
+      entries
+    |> Array.of_list
+  in
+  let n = Array.length ops in
+  if n = 0 then None
+  else if n > max_ops then
+    Some
+      (Printf.sprintf "key %S: %d ops exceed the checker's %d-op bound" key n
+         max_ops)
+  else begin
+    let inv i = ops.(i).History.inv in
+    let ret i = ops.(i).History.ret in
+    (* Success once every completed op is linearized. *)
+    let full = ref 0 in
+    for i = 0 to n - 1 do
+      if ret i <> None then full := !full lor (1 lsl i)
+    done;
+    let full = !full in
+    let visited = Hashtbl.create 1024 in
+    let rec dfs mask value =
+      if mask land full = full then true
+      else if Hashtbl.mem visited (mask, value) then false
+      else begin
+        Hashtbl.add visited (mask, value) ();
+        let ok = ref false in
+        let i = ref 0 in
+        while (not !ok) && !i < n do
+          let idx = !i in
+          incr i;
+          if mask land (1 lsl idx) = 0 then begin
+            (* Wing-Gong minimality: no unlinearized op returned before
+               this one was invoked. *)
+            let minimal = ref true in
+            for j = 0 to n - 1 do
+              if j <> idx && mask land (1 lsl j) = 0 then
+                match ret j with
+                | Some rj when rj < inv idx -> minimal := false
+                | Some _ | None -> ()
+            done;
+            if !minimal then
+              match ops.(idx).History.op with
+              | History.Put { value = v; _ } ->
+                  if dfs (mask lor (1 lsl idx)) (Some v) then ok := true
+              | History.Get { result; _ } ->
+                  if result = value && dfs (mask lor (1 lsl idx)) value then
+                    ok := true
+          end
+        done;
+        !ok
+      end
+    in
+    if dfs 0 None then None
+    else
+      Some
+        (Format.asprintf "key %S: history is not linearizable@,%a" key
+           (Format.pp_print_list History.pp_entry)
+           (Array.to_list ops))
+  end
+
+let check entries =
+  List.filter_map
+    (fun (key, es) -> check_key ~key es)
+    (History.by_key entries)
+
+(* Values are assumed unique per key (the recorders in this repo write
+   "v<token>"-style payloads): a read's value names the put that produced
+   it. *)
+let put_of_value entries =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (e : History.entry) ->
+      match e.op with
+      | History.Put { key; value } -> Hashtbl.replace tbl (key, value) e
+      | History.Get _ -> ())
+    entries;
+  fun ~key ~value -> Hashtbl.find_opt tbl (key, value)
+
+let sessions entries =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : History.entry) ->
+      Hashtbl.replace tbl e.session
+        (e :: Option.value ~default:[] (Hashtbl.find_opt tbl e.session)))
+    entries;
+  Hashtbl.fold (fun s es acc -> (s, List.rev es) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* The latest entry of [cands] that returned strictly before [before] was
+   invoked — the only ops a session guarantee may legitimately constrain a
+   later op against (overlapping ops within a session are concurrent and
+   constrain nothing). *)
+let last_settled_before ~(before : History.entry) cands =
+  List.fold_left
+    (fun acc (e : History.entry) ->
+      match e.ret with
+      | Some r when r <= before.inv -> (
+          match acc with
+          | Some (a : History.entry) when Option.get a.ret >= r -> acc
+          | _ -> Some e)
+      | _ -> acc)
+    None cands
+
+(* Read-your-writes: once a session's put on a key completed (returned
+   before the read was invoked), that session's read of the key must not
+   return [None] and must not return the value of a put that completed
+   strictly before the own put was invoked. *)
+let read_your_writes entries =
+  let find_put = put_of_value entries in
+  let issues = ref [] in
+  List.iter
+    (fun (session, es) ->
+      let own_puts : (string, History.entry list) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      List.iter
+        (fun (e : History.entry) ->
+          if History.completed e then
+            match e.op with
+            | History.Put { key; _ } ->
+                Hashtbl.replace own_puts key
+                  (e :: Option.value ~default:[] (Hashtbl.find_opt own_puts key))
+            | History.Get { key; result } -> (
+                let cands =
+                  Option.value ~default:[] (Hashtbl.find_opt own_puts key)
+                in
+                match last_settled_before ~before:e cands with
+                | None -> ()
+                | Some own -> (
+                    match result with
+                    | None ->
+                        issues :=
+                          Format.asprintf
+                            "read-your-writes: session %d read nothing for \
+                             %S after its own %a"
+                            session key History.pp_entry own
+                          :: !issues
+                    | Some v -> (
+                        match find_put ~key ~value:v with
+                        | None -> ()
+                        | Some p -> (
+                            match (p.ret, own.inv) with
+                            | Some pret, oinv when pret < oinv ->
+                                issues :=
+                                  Format.asprintf
+                                    "read-your-writes: session %d read stale \
+                                     %a after its own %a"
+                                    session History.pp_entry p History.pp_entry
+                                    own
+                                  :: !issues
+                            | _ -> ())))))
+        es)
+    (sessions entries);
+  List.rev !issues
+
+(* Monotonic reads: within a session, a read must not regress --
+   relative to an earlier read of the same key that returned before it
+   was invoked -- to a strictly older put's value, nor to nothing. *)
+let monotonic_reads entries =
+  let find_put = put_of_value entries in
+  let issues = ref [] in
+  List.iter
+    (fun (session, es) ->
+      let reads : (string, History.entry list) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (e : History.entry) ->
+          if History.completed e then
+            match e.op with
+            | History.Put _ -> ()
+            | History.Get { key; result } ->
+                let cands =
+                  Option.value ~default:[] (Hashtbl.find_opt reads key)
+                in
+                let source_of (g : History.entry) =
+                  match g.op with
+                  | History.Get { result = Some v; _ } -> find_put ~key ~value:v
+                  | _ -> None
+                in
+                (match last_settled_before ~before:e cands with
+                | None -> ()
+                | Some prev -> (
+                    match source_of prev with
+                    | None -> ()
+                    | Some p1 -> (
+                        match result with
+                        | None ->
+                            issues :=
+                              Format.asprintf
+                                "monotonic-reads: session %d read nothing for \
+                                 %S after %a"
+                                session key History.pp_entry prev
+                              :: !issues
+                        | Some _ -> (
+                            match source_of e with
+                            | None -> ()
+                            | Some p2 -> (
+                                match (p2.ret, p1.inv) with
+                                | Some r2, i1 when r2 < i1 ->
+                                    issues :=
+                                      Format.asprintf
+                                        "monotonic-reads: session %d \
+                                         regressed from %a to %a"
+                                        session History.pp_entry p1
+                                        History.pp_entry p2
+                                      :: !issues
+                                | _ -> ())))));
+                Hashtbl.replace reads key (e :: cands))
+        es)
+    (sessions entries);
+  List.rev !issues
+
+(* Durability of acknowledged writes: for every key with at least one
+   acked put, the authoritative copy must hold the value of the latest
+   acked put or of some put not strictly preceding it (a newer racing
+   write may legitimately have won LWW). [None] with an acked put
+   outstanding is a lost acked write. *)
+let durability ~peek entries =
+  let issues = ref [] in
+  List.iter
+    (fun (key, es) ->
+      let acked =
+        List.filter
+          (fun (e : History.entry) ->
+            match e.op with
+            | History.Put _ -> History.completed e && not e.failed
+            | History.Get _ -> false)
+          es
+      in
+      match acked with
+      | [] -> ()
+      | _ -> (
+          let latest =
+            List.fold_left
+              (fun (a : History.entry) (e : History.entry) ->
+                if e.inv > a.inv || (e.inv = a.inv && e.token > a.token) then e
+                else a)
+              (List.hd acked) (List.tl acked)
+          in
+          let allowed =
+            List.filter_map
+              (fun (e : History.entry) ->
+                match e.op with
+                | History.Put { value; _ } -> (
+                    (* Allowed unless the put completed strictly before
+                       the latest acked put was invoked. *)
+                    match e.ret with
+                    | Some r when r < latest.inv -> None
+                    | _ -> Some value)
+                | History.Get _ -> None)
+              es
+          in
+          match peek key with
+          | Some v when List.mem v allowed -> ()
+          | Some v ->
+              issues :=
+                Format.asprintf
+                  "durability: key %S holds stale %S; latest acked %a" key v
+                  History.pp_entry latest
+                :: !issues
+          | None ->
+              issues :=
+                Format.asprintf "durability: key %S lost acked write %a" key
+                  History.pp_entry latest
+                :: !issues))
+    (History.by_key entries);
+  List.rev !issues
+
+let full ?peek entries =
+  check entries
+  @ read_your_writes entries
+  @ monotonic_reads entries
+  @ (match peek with Some p -> durability ~peek:p entries | None -> [])

@@ -1,0 +1,81 @@
+open Dht_core
+module Runtime = Dht_snode.Runtime
+module Fault = Dht_event_sim.Fault
+
+(* The standard explorable workload: grow a cluster, write a keyset, grow
+   again (so balancing events migrate live data), optionally remove
+   vnodes, then overwrite and read every key. Satisfies the checkers'
+   preconditions: values are unique per key and each session (via snode)
+   issues its operations sequentially.
+
+   [protect = true] (the default) arms the reliable delivery layer with an
+   empty fault plan — no drops, duplicates or jitter of its own, but
+   retransmission and crash recovery work, so injected crash/delay/flush
+   perturbations must be tolerated: any verifier failure is a real bug.
+   [protect = false] is mutation mode: the runtime believes the network is
+   reliable, so a sunk message models silent loss the protocol is not
+   armed against — the explorer must detect the planted damage (a
+   self-test that the whole detection pipeline works). *)
+let kv ?(name = "kv") ?(protect = true) ?(snodes = 5) ?(pmin = 8) ?(vmin = 2)
+    ?(vnodes = 3) ?(grow = 2) ?(removes = 1) ?(keys = 12) ?(rfactor = 3)
+    ?(read_quorum = 2) ?(write_quorum = 2) ?(linger = 0.) () =
+  let hist = ref (History.create ()) in
+  let build ~seed =
+    let faults = if protect then Some (Fault.create ~seed ()) else None in
+    let rt =
+      Runtime.create ?faults ~pmin ~approach:(Runtime.Local { vmin }) ~rfactor
+        ~read_quorum ~write_quorum ~linger ~snodes ~seed ()
+    in
+    hist := History.create ();
+    History.attach !hist rt;
+    rt
+  in
+  let key k = Printf.sprintf "key-%d" k in
+  let drive rt =
+    let next = ref 1 in
+    let add n =
+      for _ = 1 to n do
+        let id = Vnode_id.make ~snode:(!next mod snodes) ~vnode:(!next / snodes) in
+        incr next;
+        Runtime.create_vnode rt ~id ()
+      done;
+      Runtime.run rt
+    in
+    (* First growth wave, then the initial writes. *)
+    add vnodes;
+    for k = 0 to keys - 1 do
+      Runtime.put rt ~via:(k mod snodes) ~key:(key k)
+        ~value:(Printf.sprintf "a-%d" k) ()
+    done;
+    Runtime.run rt;
+    (* Second growth wave migrates live data; removals drain vnodes. *)
+    add grow;
+    for r = 1 to min removes (!next - 2) do
+      Runtime.remove_vnode rt
+        ~id:(Vnode_id.make ~snode:(r mod snodes) ~vnode:(r / snodes))
+        (fun _ -> ())
+    done;
+    Runtime.run rt;
+    (* Overwrites against the reshaped cluster, each session reading its
+       key back only after its own write acked (sequential sessions, the
+       read-your-writes precondition). *)
+    for k = 0 to keys - 1 do
+      let via = (k + 1) mod snodes in
+      Runtime.put rt ~via ~key:(key k) ~value:(Printf.sprintf "b-%d" k)
+        ~on_done:(fun () -> Runtime.get rt ~via ~key:(key k) (fun _ -> ()))
+        ()
+    done;
+    Runtime.run rt
+  in
+  let verify rt =
+    let entries = History.entries !hist in
+    Invariants.to_strings (Invariants.check_runtime rt)
+    @ Linear.full ~peek:(fun key -> Runtime.peek rt ~key) entries
+  in
+  { Explorer.name; build; drive; verify }
+
+let by_name ?linger name =
+  match name with
+  | "kv" -> Some (kv ?linger ())
+  | "kv-mutate" -> Some (kv ~name:"kv-mutate" ~protect:false ?linger ())
+  | _ -> None

@@ -1,0 +1,33 @@
+(** Standard explorable scenarios, shared by the test suite and the
+    [dht_sim explore] subcommand so a schedule artifact recorded by one is
+    replayable by the other. *)
+
+val kv :
+  ?name:string ->
+  ?protect:bool ->
+  ?snodes:int ->
+  ?pmin:int ->
+  ?vmin:int ->
+  ?vnodes:int ->
+  ?grow:int ->
+  ?removes:int ->
+  ?keys:int ->
+  ?rfactor:int ->
+  ?read_quorum:int ->
+  ?write_quorum:int ->
+  ?linger:float ->
+  unit ->
+  Explorer.scenario
+(** Grow by [vnodes], write [keys] keys, grow by [grow] more (migrating
+    live data) and remove [removes] vnodes, then overwrite and read every
+    key; verify runs the full invariant battery plus the linearizability,
+    session and durability checks over the recorded history.
+
+    [protect] (default [true]) arms the reliable layer with an empty fault
+    plan, so injected perturbations must be tolerated — any failure is a
+    real bug. [protect:false] is mutation mode: the runtime trusts the
+    network, a sunk message is silent loss, and the explorer is expected
+    to {e find} the planted damage. *)
+
+val by_name : ?linger:float -> string -> Explorer.scenario option
+(** The named standard scenario: ["kv"] (protected) or ["kv-mutate"]. *)

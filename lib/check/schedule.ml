@@ -1,0 +1,88 @@
+type perturbation =
+  | Delay of { site : int; by : float }
+  | Drop of { site : int }
+  | Crash of { site : int; snode : int; down : float }
+  | Flush of { site : int }
+
+type t = { seed : int; scenario : string; tweaks : perturbation list }
+
+let site = function
+  | Delay { site; _ } | Drop { site } | Crash { site; _ } | Flush { site } ->
+      site
+
+let length t = List.length t.tweaks
+
+let pp_perturbation ppf = function
+  | Delay { site; by } -> Format.fprintf ppf "delay %d %.9g" site by
+  | Drop { site } -> Format.fprintf ppf "drop %d" site
+  | Crash { site; snode; down } ->
+      Format.fprintf ppf "crash %d %d %.9g" site snode down
+  | Flush { site } -> Format.fprintf ppf "flush %d" site
+
+let pp ppf t =
+  Format.fprintf ppf "# dht-schedule v1@.scenario %s@.seed %d@." t.scenario
+    t.seed;
+  List.iter (fun p -> Format.fprintf ppf "%a@." pp_perturbation p) t.tweaks
+
+let to_string t = Format.asprintf "%a" pp t
+
+let of_string s =
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let parse acc line =
+    match acc with
+    | Error _ -> acc
+    | Ok t -> (
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "scenario"; name ] -> Ok { t with scenario = name }
+        | [ "seed"; n ] -> (
+            match int_of_string_opt n with
+            | Some seed -> Ok { t with seed }
+            | None -> err "bad seed %S" n)
+        | [ "delay"; site; by ] -> (
+            match (int_of_string_opt site, float_of_string_opt by) with
+            | Some site, Some by when by >= 0. ->
+                Ok { t with tweaks = Delay { site; by } :: t.tweaks }
+            | _ -> err "bad delay line %S" line)
+        | [ "drop"; site ] -> (
+            match int_of_string_opt site with
+            | Some site -> Ok { t with tweaks = Drop { site } :: t.tweaks }
+            | None -> err "bad drop line %S" line)
+        | [ "crash"; site; snode; down ] -> (
+            match
+              ( int_of_string_opt site,
+                int_of_string_opt snode,
+                float_of_string_opt down )
+            with
+            | Some site, Some snode, Some down when down > 0. ->
+                Ok { t with tweaks = Crash { site; snode; down } :: t.tweaks }
+            | _ -> err "bad crash line %S" line)
+        | [ "flush"; site ] -> (
+            match int_of_string_opt site with
+            | Some site -> Ok { t with tweaks = Flush { site } :: t.tweaks }
+            | None -> err "bad flush line %S" line)
+        | _ -> err "unrecognized schedule line %S" line)
+  in
+  match
+    List.fold_left parse (Ok { seed = 0; scenario = "?"; tweaks = [] }) lines
+  with
+  | Ok t -> Ok { t with tweaks = List.rev t.tweaks }
+  | Error _ as e -> e
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -11,6 +11,8 @@ let gigabit = link ~base_latency:50e-6 ~byte_time:8e-9
    breakdowns. *)
 type cell = { mutable m : int; mutable b : int }
 
+type verdict = Pass | Defer of float | Sink
+
 type t = {
   engine : Engine.t;
   link : link;
@@ -22,6 +24,9 @@ type t = {
   mutable batches : int;
   mutable batched_parts : int;
   mutable batch_saved : int;
+  mutable sites : int;
+  mutable probe :
+    (site:int -> src:int -> dst:int -> tag:string option -> verdict) option;
   tags : (string, cell) Hashtbl.t;
   dests : (int, cell) Hashtbl.t;
 }
@@ -39,6 +44,8 @@ let create ?(loopback = 1e-6) ?faults engine link =
     batches = 0;
     batched_parts = 0;
     batch_saved = 0;
+    sites = 0;
+    probe = None;
     tags = Hashtbl.create 32;
     dests = Hashtbl.create 32;
   }
@@ -60,6 +67,10 @@ let account tbl key bytes =
   | None -> Hashtbl.add tbl key { m = 1; b = bytes })
   [@@inline]
 
+let set_probe t probe = t.probe <- probe
+
+let sites t = t.sites
+
 let send t ?tag ~src ~dst ~bytes k =
   let delay = transit_time t ~src ~dst ~bytes in
   if src = dst then begin
@@ -71,21 +82,36 @@ let send t ?tag ~src ~dst ~bytes k =
     t.bytes <- t.bytes + bytes;
     (match tag with Some tag -> account t.tags tag bytes | None -> ());
     account t.dests dst bytes;
-    match t.faults with
-    | None -> Engine.schedule t.engine ~delay k
-    | Some f ->
-        (* Loss at send time (severed link or drop roll); otherwise each
-           delivery — the original and a possible injected duplicate — gets
-           its own jitter, and evaporates if the destination is down when
-           it lands. *)
-        if not (Fault.cut f ~src ~dst) then begin
-          let deliver () =
-            Engine.schedule t.engine ~delay:(delay +. Fault.delay_noise f)
-              (fun () -> if not (Fault.absorb f ~dst) then k ())
-          in
-          deliver ();
-          if Fault.duplicate f then deliver ()
-        end
+    (* Every remote send is a numbered decision site; a schedule explorer's
+       probe may perturb it. The verdict only shapes delivery — all the
+       accounting above already counted the send. *)
+    let site = t.sites in
+    t.sites <- t.sites + 1;
+    let verdict =
+      match t.probe with None -> Pass | Some p -> p ~site ~src ~dst ~tag
+    in
+    match verdict with
+    | Sink -> ()
+    | Pass | Defer _ -> (
+        let delay =
+          match verdict with Defer extra -> delay +. extra | _ -> delay
+        in
+        match t.faults with
+        | None -> Engine.schedule t.engine ~delay k
+        | Some f ->
+            (* Loss at send time (severed link or drop roll); otherwise each
+               delivery — the original and a possible injected duplicate —
+               gets its own jitter, and evaporates if the destination is down
+               when it lands. *)
+            if not (Fault.cut f ~src ~dst) then begin
+              let deliver () =
+                Engine.schedule t.engine
+                  ~delay:(delay +. Fault.delay_noise f)
+                  (fun () -> if not (Fault.absorb f ~dst) then k ())
+              in
+              deliver ();
+              if Fault.duplicate f then deliver ()
+            end)
   end
 
 (* A coalesced envelope is one wire message; the transmission-batching

@@ -33,6 +33,28 @@ val quantum : t -> float
     batching layer uses it as the default linger window — a coalescing
     buffer holds traffic for at most one hop worth of latency. *)
 
+type verdict = Pass | Defer of float | Sink
+(** A schedule probe's ruling on one remote send. [Pass] delivers normally;
+    [Defer d] stretches the nominal link delay by [d] seconds (jitter, if
+    any, applies on top) — a bounded reordering primitive; [Sink] counts the
+    send in every statistic but never schedules delivery, modelling a
+    message silently lost in the fabric. *)
+
+val set_probe :
+  t ->
+  (site:int -> src:int -> dst:int -> tag:string option -> verdict) option ->
+  unit
+(** Install (or with [None] remove) the decision-site probe. Each remote
+    send — loopback deliveries are exempt — is a numbered {e decision site}:
+    sites are numbered 0, 1, 2, … in send order, which is deterministic for
+    a fixed seed, so a site index recorded in one run names the same send in
+    a replay. The probe is consulted synchronously inside {!send}, after all
+    counters have been updated; its verdict shapes only the delivery. *)
+
+val sites : t -> int
+(** Remote sends seen so far — the exclusive upper bound of the decision-site
+    numbering. Counted whether or not a probe is installed. *)
+
 val send :
   t -> ?tag:string -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
 (** [send t ~src ~dst ~bytes k] delivers the message after the link delay

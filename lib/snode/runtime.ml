@@ -188,6 +188,20 @@ type callback =
   | Cb_get of (string option -> unit)
   | Cb_remove of (bool -> unit)
 
+(* Operation-history events for external consistency checkers: every data
+   operation's invocation and outcome, stamped with the virtual clock. The
+   runtime only emits them (through an optional recorder callback); the
+   checking lives in [Dht_check]. *)
+module Oplog = struct
+  type op = Op_put of { key : string; value : string } | Op_get of { key : string }
+
+  type event =
+    | Invoke of { token : int; via : int; op : op; at : float }
+    | Ack of { token : int; at : float }  (* put acknowledged durable *)
+    | Reply of { token : int; value : string option; at : float }
+    | Fail of { token : int; at : float }  (* put settled unacknowledged *)
+end
+
 type approach = Local of { vmin : int } | Global
 
 (* Instruments are resolved once at [create] — the registry lookup never
@@ -250,7 +264,14 @@ type t = {
   mutable read_repairs : int;  (* stale repliers repaired after a read *)
   mutable sync_cells : int;  (* cells freshened by anti-entropy syncs *)
   mutable orphans : int;  (* replica-table cells routed back to an owner *)
+  (* Verification hooks, both passive: [on_commit] fires after a snode has
+     fully applied a balancing Commit (audits run there), [recorder] sees
+     every data operation's invocation and outcome. *)
+  mutable on_commit : (event:int -> snode:int -> unit) option;
+  mutable recorder : (Oplog.event -> unit) option;
 }
+
+let record t ev = match t.recorder with Some f -> f ev | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Cache maintenance                                                    *)
@@ -936,6 +957,8 @@ and qput_record t sn q sid =
     if (not q.q_done) && List.length q.q_acked >= t.write_quorum then begin
       q.q_done <- true;
       finish_op t ~kind:`Qput ~token:q.q_token ~tid:sn.sid;
+      record t
+        (Oplog.Ack { token = q.q_token; at = Engine.now t.engine });
       (match Hashtbl.find_opt t.callbacks q.q_token with
       | Some (Cb_put k) ->
           Hashtbl.remove t.callbacks q.q_token;
@@ -1048,6 +1071,7 @@ and qput_deadline t sn q =
           ~name:"repl.qput.abort" [ ("token", Trace.Int q.q_token) ];
       Hashtbl.remove t.op_starts q.q_token;
       Hashtbl.remove t.callbacks q.q_token;
+      record t (Oplog.Fail { token = q.q_token; at = Engine.now t.engine });
       qput_finalize t sn q;
       t.pending <- t.pending - 1
     end
@@ -1115,6 +1139,13 @@ and qget_record t sn q sid cell =
                   end)
                 g.q_replies);
           finish_op t ~kind:`Qget ~token:q.q_token ~tid:sn.sid;
+          record t
+            (Oplog.Reply
+               {
+                 token = q.q_token;
+                 value = Option.map (fun c -> c.Versioned.value) winner;
+                 at = Engine.now t.engine;
+               });
           (match Hashtbl.find_opt t.callbacks q.q_token with
           | Some (Cb_get k) ->
               Hashtbl.remove t.callbacks q.q_token;
@@ -1641,7 +1672,10 @@ and apply_commit t sn ~moved ev =
       (fun (s, owner, _) ->
         if owner.Vnode_id.snode = sn.sid && Vtbl.mem sn.locals owner then
           ae_push_span t sn s)
-      moved
+      moved;
+  match t.on_commit with
+  | Some f -> f ~event:ev ~snode:sn.sid
+  | None -> ()
 
 (* ---------------- dispatch ---------------- *)
 
@@ -1786,6 +1820,7 @@ and handle t sn ~from msg =
       t.pending <- t.pending - 1
   | Wire.Put_ack { token } ->
       finish_op t ~kind:`Put ~token ~tid:sn.sid;
+      record t (Oplog.Ack { token; at = Engine.now t.engine });
       (match Hashtbl.find_opt t.callbacks token with
       | Some (Cb_put k) ->
           Hashtbl.remove t.callbacks token;
@@ -1796,6 +1831,7 @@ and handle t sn ~from msg =
       t.pending <- t.pending - 1
   | Wire.Get_reply { token; value } ->
       finish_op t ~kind:`Get ~token ~tid:sn.sid;
+      record t (Oplog.Reply { token; value; at = Engine.now t.engine });
       (match Hashtbl.find_opt t.callbacks token with
       | Some (Cb_get k) ->
           Hashtbl.remove t.callbacks token;
@@ -2190,6 +2226,8 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
       read_repairs = 0;
       sync_cells = 0;
       orphans = 0;
+      on_commit = None;
+      recorder = None;
     }
   in
   (* Crash-stop/restart schedule from the fault plan. Every crash must come
@@ -2334,6 +2372,9 @@ let live_coordinator t via =
 let put t ?(via = 0) ?on_done ~key ~value () =
   let token = fresh_token t (Cb_put on_done) in
   t.pending <- t.pending + 1;
+  record t
+    (Oplog.Invoke
+       { token; via; op = Oplog.Op_put { key; value }; at = Engine.now t.engine });
   let point = Hash.string t.space key in
   Engine.schedule t.engine ~delay:0. (fun () ->
       match if t.rfactor > 1 then live_coordinator t via else None with
@@ -2350,6 +2391,9 @@ let put t ?(via = 0) ?on_done ~key ~value () =
 let get t ?(via = 0) ~key k =
   let token = fresh_token t (Cb_get k) in
   t.pending <- t.pending + 1;
+  record t
+    (Oplog.Invoke
+       { token; via; op = Oplog.Op_get { key }; at = Engine.now t.engine });
   let point = Hash.string t.space key in
   Engine.schedule t.engine ~delay:0. (fun () ->
       match if t.rfactor > 1 then live_coordinator t via else None with
@@ -2527,3 +2571,122 @@ let audit t =
         sn.locals)
     t.snodes;
   match !issues with [] -> Ok () | l -> Error (List.rev l)
+
+(* ------------------------------------------------------------------ *)
+(* Verification hooks                                                   *)
+
+let space t = t.space
+let pmin t = t.pmin
+let vmax t = t.vmax
+let set_on_commit t f = t.on_commit <- f
+let set_recorder t f = t.recorder <- f
+
+(* Force every live snode's coalescing buffers onto the wire now, in
+   (snode, destination) order — deterministic, so a schedule explorer can
+   inject flush points without perturbing the numbering of later decision
+   sites between runs. *)
+let flush_lingering t =
+  Array.iter
+    (fun sn ->
+      if sn.alive then
+        Hashtbl.fold (fun dst ob acc -> (dst, ob) :: acc) sn.obufs []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        |> List.iter (fun (_, ob) ->
+               (match ob.ob_timer with
+               | Some tm -> Engine.disarm tm
+               | None -> ());
+               flush_obuf t sn ob))
+    t.snodes
+
+(* A [View] is the cluster's logical state as pure, canonically-ordered
+   data: what the paper's invariants and the schedule-transparency tests
+   quantify over. Version stamps are deliberately excluded — they embed
+   virtual timestamps, which shift under batching even when the logical
+   state is identical. *)
+module View = struct
+  type lpdr_copy = {
+    group : Group_id.t;
+    level : int;
+    epoch : int;
+    counts : (Vnode_id.t * int) list;
+  }
+
+  type vnode_view = {
+    vid : Vnode_id.t;
+    group : Group_id.t;
+    spans : Span.t list;
+    data : (string * string) list;
+  }
+
+  type snode_view = {
+    sid : int;
+    up : bool;
+    vnodes : vnode_view list;
+    lpdrs : lpdr_copy list;
+    cache : (Span.t * Vnode_id.t) list;
+    rmap : (Span.t * int list) list;
+    replicas : (string * string) list;
+    hints : int;
+  }
+
+  type t = { at : float; snodes : snode_view list }
+
+  (* Structural equality of the logical state; the clock is ignored. *)
+  let equal a b = a.snodes = b.snodes
+
+  let pp ppf v =
+    List.iter
+      (fun sn ->
+        Format.fprintf ppf "snode %d%s: %d vnodes, %d keys, %d replicas, %d hints@."
+          sn.sid
+          (if sn.up then "" else " (down)")
+          (List.length sn.vnodes)
+          (List.fold_left (fun acc vn -> acc + List.length vn.data) 0 sn.vnodes)
+          (List.length sn.replicas) sn.hints)
+      v.snodes
+end
+
+let view t =
+  let kv_sorted tbl =
+    Hashtbl.fold (fun k s acc -> (k, s.cell.Versioned.value) :: acc) tbl []
+    |> List.sort compare
+  in
+  let vnode_of v =
+    {
+      View.vid = v.vid;
+      group = v.group;
+      spans = List.sort Span.compare v.spans;
+      data = kv_sorted v.data;
+    }
+  in
+  let snode_of sn =
+    {
+      View.sid = sn.sid;
+      up = sn.alive;
+      vnodes =
+        Vtbl.fold (fun _ v acc -> vnode_of v :: acc) sn.locals []
+        |> List.sort (fun a b -> Vnode_id.compare a.View.vid b.View.vid);
+      lpdrs =
+        Gtbl.fold
+          (fun gid lp acc ->
+            {
+              View.group = gid;
+              level = lp.level;
+              epoch = lp.epoch;
+              counts =
+                List.sort (fun (a, _) (b, _) -> Vnode_id.compare a b) lp.counts;
+            }
+            :: acc)
+          sn.lpdrs []
+        |> List.sort (fun (a : View.lpdr_copy) (b : View.lpdr_copy) ->
+               Group_id.compare a.group b.group);
+      cache = Point_map.to_list sn.cache;
+      rmap = Point_map.to_list sn.rmap;
+      replicas = kv_sorted sn.replicas;
+      hints = Hashtbl.length sn.hints;
+    }
+  in
+  {
+    View.at = Engine.now t.engine;
+    snodes = Array.to_list t.snodes |> List.map snode_of;
+  }

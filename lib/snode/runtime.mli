@@ -283,3 +283,98 @@ val audit : t -> (unit, string list) result
     - every routing cache still covers the whole range;
     - every stored key lives at the vnode owning its hash point. *)
 
+(** {2 Verification hooks}
+
+    Passive exports for the {!Dht_check} subsystem: a canonical snapshot of
+    the distributed state, a per-commit notification, an operation-history
+    recorder, and a deterministic flush of the transmission-batching
+    buffers. None of them changes the runtime's behaviour unless used. *)
+
+val space : t -> Dht_hashspace.Space.t
+(** The hash space the cluster was built over. *)
+
+val pmin : t -> int
+(** The configured [Pmin] ([Pmax = 2·Pmin]). *)
+
+val vmax : t -> int
+(** The group capacity [Vmax = 2·Vmin]; [max_int] under {!Global}. *)
+
+(** Operation-history events, as fed to the recorder installed with
+    {!set_recorder}: each data operation's invocation and its outcome,
+    stamped with the virtual clock. A put whose [Ack] never arrives and
+    that is not settled by [Fail] is {e pending}: it may or may not have
+    taken effect. *)
+module Oplog : sig
+  type op = Op_put of { key : string; value : string } | Op_get of { key : string }
+
+  type event =
+    | Invoke of { token : int; via : int; op : op; at : float }
+    | Ack of { token : int; at : float }
+        (** the put is acknowledged durable (owner ack or W replica acks) *)
+    | Reply of { token : int; value : string option; at : float }
+        (** the get resolved to [value] *)
+    | Fail of { token : int; at : float }
+        (** the put settled as unacknowledged (quorum never assembled) *)
+end
+
+val set_recorder : t -> (Oplog.event -> unit) option -> unit
+(** Install (or remove) the operation-history recorder. Purely passive. *)
+
+val set_on_commit : t -> (event:int -> snode:int -> unit) option -> unit
+(** Install (or remove) a hook invoked each time snode [snode] finishes
+    applying the Commit of balancing event [event] — the moment per-snode
+    audits are meaningful. Cluster-wide invariants may legitimately be in
+    flux here (other participants apply the same commit at their own
+    delivery times); check those at quiescence instead. *)
+
+val flush_lingering : t -> unit
+(** Force every live snode's staged coalescing buffers onto the wire now,
+    in (snode, destination) order. A no-op when [linger = 0] or nothing is
+    staged. Deterministic, so schedule explorers can inject flush points
+    reproducibly. *)
+
+(** The cluster's logical state as pure, canonically-ordered data. Two
+    runs that agree on {!View.equal} views hold the same partitions, group
+    structure, LPDR copies, routing caches, replica maps and key/value
+    contents — version stamps and the clock are excluded, so logically
+    identical states compare equal even when virtual timings differ (e.g.
+    under transmission batching). *)
+module View : sig
+  type lpdr_copy = {
+    group : Dht_core.Group_id.t;
+    level : int;
+    epoch : int;
+    counts : (Dht_core.Vnode_id.t * int) list;
+  }
+
+  type vnode_view = {
+    vid : Dht_core.Vnode_id.t;
+    group : Dht_core.Group_id.t;
+    spans : Dht_hashspace.Span.t list;
+    data : (string * string) list;  (** sorted [(key, value)] *)
+  }
+
+  type snode_view = {
+    sid : int;
+    up : bool;
+    vnodes : vnode_view list;
+    lpdrs : lpdr_copy list;
+    cache : (Dht_hashspace.Span.t * Dht_core.Vnode_id.t) list;
+    rmap : (Dht_hashspace.Span.t * int list) list;
+    replicas : (string * string) list;
+    hints : int;
+  }
+
+  type t = { at : float; snodes : snode_view list }
+
+  val equal : t -> t -> bool
+  (** Structural equality of the logical state; [at] is ignored. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** One summary line per snode. *)
+end
+
+val view : t -> View.t
+(** Snapshot the distributed state. Pure observation — no messaging, no
+    mutation. *)
+

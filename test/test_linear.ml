@@ -1,0 +1,286 @@
+(* The Wing-Gong linearizability search, the session guarantees and the
+   durability audit — first over hand-written histories, then over
+   histories recorded from the live runtime, pinning the replication
+   layer's tricky schedules (same-tick overwrite, dead-via reroute, hint
+   drain race): each recorded history is accepted, and a mutated
+   lost-write variant of it is rejected. *)
+
+open Dht_core
+module Runtime = Dht_snode.Runtime
+module Engine = Dht_event_sim.Engine
+module Fault = Dht_event_sim.Fault
+module H = Dht_check.History
+module Linear = Dht_check.Linear
+
+let mk ?(session = 0) ?(failed = false) ?ret ~token ~inv op =
+  { H.token; session; op; inv; ret; failed }
+
+let put ?session ?failed ?ret ~token ~inv key value =
+  mk ?session ?failed ?ret ~token ~inv (H.Put { key; value })
+
+let get ?session ?ret ~token ~inv key result =
+  mk ?session ?ret ~token ~inv (H.Get { key; result })
+
+let accepts what entries =
+  match Linear.check entries with
+  | [] -> ()
+  | msgs -> Alcotest.failf "%s rejected:@.%s" what (String.concat "\n" msgs)
+
+let rejects what entries =
+  match Linear.check entries with
+  | [] -> Alcotest.failf "%s accepted" what
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Hand-written histories.                                             *)
+
+let test_wg_units () =
+  accepts "sequential put/get"
+    [
+      put ~token:0 ~inv:0. ~ret:1. "k" "a";
+      get ~token:1 ~inv:2. ~ret:3. "k" (Some "a");
+    ];
+  rejects "stale read after a later completed put"
+    [
+      put ~token:0 ~inv:0. ~ret:1. "k" "a";
+      put ~token:1 ~inv:2. ~ret:3. "k" "b";
+      get ~token:2 ~inv:4. ~ret:5. "k" (Some "a");
+    ];
+  accepts "overlapping puts allow either read order"
+    [
+      put ~token:0 ~inv:0. ~ret:10. "k" "a";
+      put ~token:1 ~inv:0. ~ret:10. "k" "b";
+      get ~token:2 ~inv:1. ~ret:2. "k" (Some "a");
+      get ~token:3 ~inv:3. ~ret:4. "k" (Some "b");
+    ];
+  accepts "pending put may have taken effect"
+    [
+      put ~token:0 ~inv:0. ~ret:1. "k" "a";
+      put ~token:1 ~inv:2. "k" "b";
+      get ~token:2 ~inv:3. ~ret:4. "k" (Some "b");
+    ];
+  accepts "pending put may never take effect"
+    [
+      put ~token:0 ~inv:0. ~ret:1. "k" "a";
+      put ~token:1 ~inv:2. "k" "b";
+      get ~token:2 ~inv:3. ~ret:4. "k" (Some "a");
+    ];
+  rejects "read of nothing after a completed put"
+    [
+      put ~token:0 ~inv:0. ~ret:1. "k" "a";
+      get ~token:1 ~inv:2. ~ret:3. "k" None;
+    ]
+
+let test_wg_bound () =
+  let entries =
+    List.init (Linear.max_ops + 1) (fun i ->
+        put ~token:i ~inv:(float_of_int i)
+          ~ret:(float_of_int i +. 0.5)
+          "k" (string_of_int i))
+  in
+  match Linear.check entries with
+  | [ _ ] -> ()
+  | other ->
+      Alcotest.failf "expected one bound message, got %d" (List.length other)
+
+let test_read_your_writes () =
+  let violated entries = Linear.read_your_writes entries <> [] in
+  Alcotest.(check bool) "read None after own completed put" true
+    (violated
+       [
+         put ~token:0 ~inv:0. ~ret:1. "k" "a";
+         get ~token:1 ~inv:2. ~ret:3. "k" None;
+       ]);
+  Alcotest.(check bool) "read a value staler than own put" true
+    (violated
+       [
+         put ~session:1 ~token:0 ~inv:0. ~ret:0.5 "k" "x";
+         put ~session:0 ~token:1 ~inv:1. ~ret:2. "k" "a";
+         get ~session:0 ~token:2 ~inv:3. ~ret:4. "k" (Some "x");
+       ]);
+  Alcotest.(check bool) "overlapping own put constrains nothing" false
+    (violated
+       [
+         put ~token:0 ~inv:0. ~ret:5. "k" "a";
+         get ~token:1 ~inv:1. ~ret:2. "k" None;
+       ]);
+  Alcotest.(check bool) "fresh read passes" false
+    (violated
+       [
+         put ~token:0 ~inv:0. ~ret:1. "k" "a";
+         get ~token:1 ~inv:2. ~ret:3. "k" (Some "a");
+       ])
+
+let test_monotonic_reads () =
+  let writer =
+    [
+      put ~session:1 ~token:0 ~inv:0. ~ret:1. "k" "a";
+      put ~session:1 ~token:1 ~inv:2. ~ret:3. "k" "b";
+    ]
+  in
+  let violated entries = Linear.monotonic_reads entries <> [] in
+  Alcotest.(check bool) "regression to the older put" true
+    (violated
+       (writer
+       @ [
+           get ~session:0 ~token:2 ~inv:4. ~ret:5. "k" (Some "b");
+           get ~session:0 ~token:3 ~inv:6. ~ret:7. "k" (Some "a");
+         ]));
+  Alcotest.(check bool) "regression to nothing" true
+    (violated
+       (writer
+       @ [
+           get ~session:0 ~token:2 ~inv:4. ~ret:5. "k" (Some "b");
+           get ~session:0 ~token:3 ~inv:6. ~ret:7. "k" None;
+         ]));
+  Alcotest.(check bool) "overlapping reads constrain nothing" false
+    (violated
+       (writer
+       @ [
+           get ~session:0 ~token:2 ~inv:4. ~ret:10. "k" (Some "b");
+           get ~session:0 ~token:3 ~inv:5. ~ret:6. "k" (Some "a");
+         ]));
+  Alcotest.(check bool) "monotone reads pass" false
+    (violated
+       (writer
+       @ [
+           get ~session:0 ~token:2 ~inv:4. ~ret:5. "k" (Some "a");
+           get ~session:0 ~token:3 ~inv:6. ~ret:7. "k" (Some "b");
+         ]))
+
+let test_durability () =
+  let entries =
+    [
+      put ~token:0 ~inv:0. ~ret:1. "k" "old";
+      put ~token:1 ~inv:2. ~ret:3. "k" "a";
+      put ~token:2 ~inv:2.5 "k" "race" (* concurrent, never returned *);
+    ]
+  in
+  let issues peek = Linear.durability ~peek entries in
+  Alcotest.(check (list string)) "latest acked value is fine" []
+    (issues (fun _ -> Some "a"));
+  Alcotest.(check (list string)) "racing newer write is fine" []
+    (issues (fun _ -> Some "race"));
+  Alcotest.(check bool) "lost acked write flagged" true
+    (issues (fun _ -> None) <> []);
+  Alcotest.(check bool) "stale survivor flagged" true
+    (issues (fun _ -> Some "old") <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Recorded runtime histories.                                         *)
+
+let vid ~snode ~vnode = Vnode_id.make ~snode ~vnode
+
+let mk_rt ~seed =
+  let rt =
+    Runtime.create
+      ~faults:(Fault.create ~seed ())
+      ~pmin:8
+      ~approach:(Runtime.Local { vmin = 2 })
+      ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~snodes:4 ~seed ()
+  in
+  let h = H.create () in
+  H.attach h rt;
+  for i = 1 to 3 do
+    Runtime.create_vnode rt ~id:(vid ~snode:(i mod 4) ~vnode:(i / 4)) ()
+  done;
+  Runtime.run rt;
+  (rt, h)
+
+let full_ok what rt h =
+  match
+    Linear.full ~peek:(fun key -> Runtime.peek rt ~key) (H.entries h)
+  with
+  | [] -> ()
+  | msgs -> Alcotest.failf "%s:@.%s" what (String.concat "\n" msgs)
+
+(* Replace the last completed get's result — the canonical "lost write"
+   mutation the checkers must reject. *)
+let mutate_last_get entries ~result =
+  let idx = ref (-1) in
+  List.iteri
+    (fun i (e : H.entry) ->
+      match e.op with H.Get _ when H.completed e -> idx := i | _ -> ())
+    entries;
+  if !idx < 0 then Alcotest.fail "no completed get to mutate";
+  List.mapi
+    (fun i (e : H.entry) ->
+      if i = !idx then
+        match e.op with
+        | H.Get { key; _ } -> { e with op = H.Get { key; result } }
+        | _ -> e
+      else e)
+    entries
+
+let mutation_rejected what entries =
+  match Linear.full (mutate_last_get entries ~result:None) with
+  | [] -> Alcotest.failf "%s: mutated lost-write history accepted" what
+  | _ -> ()
+
+let test_same_tick_overwrite () =
+  let rt, h = mk_rt ~seed:21 in
+  (* Two writes to one key in the same engine tick from different
+     coordinators, then a read. *)
+  Runtime.put rt ~via:1 ~key:"k" ~value:"v1" ();
+  Runtime.put rt ~via:2 ~key:"k" ~value:"v2" ();
+  Runtime.run rt;
+  Runtime.get rt ~via:1 ~key:"k" (fun _ -> ());
+  Runtime.run rt;
+  full_ok "same-tick overwrite" rt h;
+  mutation_rejected "same-tick overwrite" (H.entries h);
+  (* A never-written value is just as unlinearizable as a lost one. *)
+  match
+    Linear.check (mutate_last_get (H.entries h) ~result:(Some "never-written"))
+  with
+  | [] -> Alcotest.fail "phantom value accepted"
+  | _ -> ()
+
+let test_dead_via_reroute () =
+  let rt, h = mk_rt ~seed:22 in
+  Runtime.put rt ~via:0 ~key:"k" ~value:"v1" ();
+  Runtime.run rt;
+  Runtime.crash_snode rt 2;
+  (* The quorum round re-routes from the next live coordinator. While a
+     snode is down the hint timers keep the queue busy, so the drive is
+     time-bounded until the restart. *)
+  Runtime.put rt ~via:2 ~key:"k" ~value:"v2" ();
+  let e = Runtime.engine rt in
+  Runtime.run ~until:(Engine.now e +. 0.5) rt;
+  Runtime.restart_snode rt 2;
+  Runtime.run rt;
+  Runtime.get rt ~via:2 ~key:"k" (fun _ -> ());
+  Runtime.run rt;
+  full_ok "dead-via reroute" rt h;
+  mutation_rejected "dead-via reroute" (H.entries h)
+
+let test_hint_drain_race () =
+  let rt, h = mk_rt ~seed:23 in
+  Runtime.crash_snode rt 1;
+  for k = 0 to 5 do
+    Runtime.put rt ~via:0 ~key:(Printf.sprintf "k%d" k)
+      ~value:(Printf.sprintf "v%d" k) ()
+  done;
+  let e = Runtime.engine rt in
+  Runtime.run ~until:(Engine.now e +. 0.5) rt;
+  (* Restart the hinted-at snode and race reads against the drain. *)
+  Runtime.restart_snode rt 1;
+  for k = 0 to 5 do
+    Runtime.get rt ~via:3 ~key:(Printf.sprintf "k%d" k) (fun _ -> ())
+  done;
+  Runtime.run rt;
+  full_ok "hint drain race" rt h;
+  mutation_rejected "hint drain race" (H.entries h)
+
+let suite =
+  [
+    Alcotest.test_case "Wing-Gong unit histories" `Quick test_wg_units;
+    Alcotest.test_case "per-key operation bound" `Quick test_wg_bound;
+    Alcotest.test_case "read-your-writes" `Quick test_read_your_writes;
+    Alcotest.test_case "monotonic reads" `Quick test_monotonic_reads;
+    Alcotest.test_case "durability of acked writes" `Quick test_durability;
+    Alcotest.test_case "recorded: same-tick overwrite" `Quick
+      test_same_tick_overwrite;
+    Alcotest.test_case "recorded: dead-via reroute" `Quick
+      test_dead_via_reroute;
+    Alcotest.test_case "recorded: hint drain race" `Quick test_hint_drain_race;
+  ]
