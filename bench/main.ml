@@ -344,6 +344,23 @@ let emit_runtime_json path =
       (Registry.histogram ureg ~labels:[ ("op", op) ] "runtime.quorum.latency")
       p
   in
+  (* Overload section: the chaos scenario's degraded run (backpressure,
+     retry budget, adaptive RTO, admission control) at 2x capacity with one
+     gray-failed snode — goodput under overload is a tracked perf number,
+     not just a pass/fail gate. *)
+  let ot0 = Sys.time () in
+  let ov = Extensions.overload ~seed:2004 () in
+  let ocpu = Sys.time () -. ot0 in
+  let phase name f =
+    match
+      List.find_opt
+        (fun (p : Extensions.overload_phase) -> p.Extensions.ph_name = name)
+        ov.Extensions.ov_phases
+    with
+    | Some p -> f p
+    | None -> nan
+  in
+  let goodput name = phase name (fun p -> p.Extensions.ph_goodput) in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
@@ -393,6 +410,29 @@ let emit_runtime_json path =
     \    \"put_latency_p99\": %.9f,\n\
     \    \"get_latency_p50\": %.9f,\n\
     \    \"get_latency_p99\": %.9f\n\
+    \  },\n\
+    \  \"quorum_overload\": {\n\
+    \    \"rate\": %.1f,\n\
+    \    \"burst_rate\": %.1f,\n\
+    \    \"slow_snode\": %d,\n\
+    \    \"slow_factor\": %.1f,\n\
+    \    \"slo_seconds\": %.4f,\n\
+    \    \"cpu_seconds\": %.6f,\n\
+    \    \"acked\": %d,\n\
+    \    \"lost_acked\": %d,\n\
+    \    \"busy\": %d,\n\
+    \    \"pending\": %d,\n\
+    \    \"audit_ok\": %b,\n\
+    \    \"goodput_pre\": %.1f,\n\
+    \    \"goodput_burst\": %.1f,\n\
+    \    \"goodput_post\": %.1f,\n\
+    \    \"recovery_ratio\": %.4f,\n\
+    \    \"retransmits_per_op\": %.4f,\n\
+    \    \"retransmits_per_op_fixed_rto\": %.4f,\n\
+    \    \"sheds\": %d,\n\
+    \    \"probes\": %d,\n\
+    \    \"backpressured\": %d,\n\
+    \    \"ingress_overflows\": %d\n\
     \  }\n\
      }\n"
     ops cpu
@@ -408,16 +448,29 @@ let emit_runtime_json path =
     uops ucpu
     (if ucpu > 0. then float_of_int uops /. ucpu else 0.)
     (ucounter "net.messages") (ucounter "net.bytes") (ulat "put" 0.5)
-    (ulat "put" 0.99) (ulat "get" 0.5) (ulat "get" 0.99);
+    (ulat "put" 0.99) (ulat "get" 0.5) (ulat "get" 0.99)
+    ov.Extensions.ov_rate ov.Extensions.ov_burst_rate
+    ov.Extensions.ov_slow_snode ov.Extensions.ov_slow_factor
+    ov.Extensions.ov_slo ocpu ov.Extensions.ov_acked
+    ov.Extensions.ov_lost_acked ov.Extensions.ov_busy_total
+    ov.Extensions.ov_pending ov.Extensions.ov_audit_ok (goodput "pre")
+    (goodput "burst") (goodput "post") ov.Extensions.ov_recovery_ratio
+    ov.Extensions.ov_retx_per_op ov.Extensions.ov_fixed_retx_per_op
+    ov.Extensions.ov_overload.Dht_snode.Runtime.sheds
+    ov.Extensions.ov_overload.Dht_snode.Runtime.probes
+    ov.Extensions.ov_overload.Dht_snode.Runtime.backpressured
+    ov.Extensions.ov_overload.Dht_snode.Runtime.ingress_overflows;
   close_out oc;
   Printf.printf
     "\nwrote %s (%d ops single-copy at %.0f ops/s; %d ops quorum at %.0f \
-     ops/s batched, %.0f ops/s unbatched on the host)\n"
+     ops/s batched, %.0f ops/s unbatched on the host; overload goodput \
+     %.0f -> %.0f -> %.0f acked-in-SLO/s)\n"
     path ops
     (if cpu > 0. then float_of_int ops /. cpu else 0.)
     qops
     (if qcpu > 0. then float_of_int qops /. qcpu else 0.)
     (if ucpu > 0. then float_of_int uops /. ucpu else 0.)
+    (goodput "pre") (goodput "burst") (goodput "post")
 
 (* ------------------------------------------------------------------ *)
 (* Part 3: figure regeneration (reduced runs; dht_sim for full scale)  *)

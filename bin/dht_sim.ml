@@ -643,8 +643,83 @@ let distributed_cmd =
     term
 
 let chaos_cmd =
-  let run tel snodes vnodes keys drop dup jitter crashes downtime rfactor
-      read_quorum write_quorum linger seed =
+  (* The --overload variant: sustained over-capacity load plus one
+     gray-failed snode, gated on the metastability criteria (no lost acked
+     write, bounded queues, post-burst goodput recovery, and the adaptive
+     retry path beating the fixed-RTO baseline). *)
+  let run_overload tel slow retry_budget seed =
+    let r =
+      Extensions.overload ~slow_factor:slow ~retry_budget
+        ~metrics:tel.tel_reg ~trace:tel.tel_trace ~seed ()
+    in
+    Printf.printf
+      "== Overload: %.0f puts/s, burst %.0f puts/s, snode %d %.0fx slower ==\n"
+      r.Extensions.ov_rate r.Extensions.ov_burst_rate
+      r.Extensions.ov_slow_snode r.Extensions.ov_slow_factor;
+    let table =
+      Table.create
+        ~headers:
+          [ "phase"; "offered"; "acked"; "busy"; "timely";
+            "goodput/s"; "throughput/s" ]
+    in
+    List.iter
+      (fun (p : Extensions.overload_phase) ->
+        Table.add_row table
+          [ p.Extensions.ph_name;
+            string_of_int p.Extensions.ph_offered;
+            string_of_int p.Extensions.ph_acked;
+            string_of_int p.Extensions.ph_busy;
+            string_of_int p.Extensions.ph_timely;
+            Printf.sprintf "%.0f" p.Extensions.ph_goodput;
+            Printf.sprintf "%.0f" p.Extensions.ph_throughput ])
+      r.Extensions.ov_phases;
+    Table.print table;
+    Printf.printf
+      "goodput counts acks within %.0f ms of issue; throughput also counts \
+       late acks and Busy rejections\n"
+      (1000. *. r.Extensions.ov_slo);
+    let ov = r.Extensions.ov_overload in
+    Printf.printf
+      "degradation layer: %d sheds, %d busy rejections, %d backpressured, \
+       %d probes past budget, outbox peak %d, ingress peak %d (%d overflows)\n"
+      ov.Dht_snode.Runtime.sheds ov.Dht_snode.Runtime.busy_rejections
+      ov.Dht_snode.Runtime.backpressured ov.Dht_snode.Runtime.probes
+      ov.Dht_snode.Runtime.outbox_peak ov.Dht_snode.Runtime.ingress_peak
+      ov.Dht_snode.Runtime.ingress_overflows;
+    Printf.printf
+      "retransmissions/op: %.4f adaptive+budget vs %.4f fixed-RTO baseline \
+       (%s)\n"
+      r.Extensions.ov_retx_per_op r.Extensions.ov_fixed_retx_per_op
+      (if r.Extensions.ov_retx_per_op < r.Extensions.ov_fixed_retx_per_op
+       then "adaptive wins"
+       else "ADAPTIVE NOT BETTER");
+    Printf.printf
+      "acked writes: %d, lost: %d; pending: %d; post/pre goodput: %.2f\n"
+      r.Extensions.ov_acked r.Extensions.ov_lost_acked r.Extensions.ov_pending
+      r.Extensions.ov_recovery_ratio;
+    List.iter (Printf.printf "queue audit: %s\n") r.Extensions.ov_queue_audit;
+    List.iter
+      (Printf.printf "busy audit: %s\n")
+      r.Extensions.ov_busy_violations;
+    Printf.printf "audit: %s, queue discipline: %s, busy discipline: %s\n"
+      (if r.Extensions.ov_audit_ok then "ok" else "FAILED")
+      (if r.Extensions.ov_queue_audit = [] then "ok" else "FAILED")
+      (if r.Extensions.ov_busy_violations = [] then "ok" else "FAILED");
+    finish_telemetry tel;
+    if
+      r.Extensions.ov_lost_acked > 0
+      || r.Extensions.ov_pending > 0
+      || (not r.Extensions.ov_audit_ok)
+      || r.Extensions.ov_queue_audit <> []
+      || r.Extensions.ov_busy_violations <> []
+      || r.Extensions.ov_recovery_ratio < 0.9
+      || r.Extensions.ov_retx_per_op >= r.Extensions.ov_fixed_retx_per_op
+    then exit 1
+  in
+  let run tel overload slow retry_budget snodes vnodes keys drop dup jitter
+      crashes downtime rfactor read_quorum write_quorum linger seed =
+    if overload then run_overload tel slow retry_budget seed
+    else begin
     let r =
       Extensions.chaos ~snodes ~vnodes ~keys ~drop ~dup ~jitter ~crashes
         ~downtime ~rfactor ~read_quorum ~write_quorum ~linger
@@ -718,6 +793,29 @@ let chaos_cmd =
       || r.Extensions.chaos_lost_acked > 0
       || not r.Extensions.chaos_audit_ok
     then exit 1
+    end
+  in
+  let overload =
+    Arg.(value & flag
+         & info [ "overload" ]
+             ~doc:
+               "Run the overload/gray-failure scenario instead: paced \
+                quorum writes at capacity, a 2x burst with one slow snode, \
+                and the metastability gates (no lost acked write, bounded \
+                queues, goodput recovery, adaptive retries beating the \
+                fixed-RTO baseline). Exits non-zero if any gate fails.")
+  in
+  let slow =
+    Arg.(value & opt float 100. & info [ "slow" ] ~docv:"F"
+           ~doc:
+             "Service-time inflation of the gray-failed snode during the \
+              overload burst (with --overload).")
+  in
+  let retry_budget =
+    Arg.(value & opt int 3 & info [ "retry-budget" ] ~docv:"N"
+           ~doc:
+             "Per-message retransmission budget of the degraded run (with \
+              --overload); past it the sender falls back to slow probing.")
   in
   let snodes =
     Arg.(value & opt int 12 & info [ "snodes" ] ~docv:"S"
@@ -748,7 +846,8 @@ let chaos_cmd =
            ~doc:"Virtual seconds each crashed snode stays down.")
   in
   let term =
-    Term.(const run $ telemetry_term $ snodes $ vnodes_arg 40 $ keys $ drop
+    Term.(const run $ telemetry_term $ overload $ slow $ retry_budget
+          $ snodes $ vnodes_arg 40 $ keys $ drop
           $ dup $ jitter $ crashes $ downtime $ rfactor_arg 1
           $ read_quorum_arg 1 $ write_quorum_arg 1 $ linger_arg $ seed_arg)
   in
@@ -759,7 +858,8 @@ let chaos_cmd =
           the reliable snode runtime; verifies full convergence once faults \
           cease. With --rfactor > 1 the run also audits acknowledged-write \
           durability under quorum replication and exits non-zero on any \
-          lost acknowledged write.")
+          lost acknowledged write. With --overload the command instead runs \
+          the overload/gray-failure scenario and its metastability gates.")
     term
 
 let kv_cmd =

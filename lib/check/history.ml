@@ -11,6 +11,7 @@ type entry = {
   inv : float;
   ret : float option;
   failed : bool;
+  shed : bool;
 }
 
 let key e = match e.op with Put { key; _ } | Get { key; _ } -> key
@@ -34,7 +35,15 @@ let feed t (ev : Runtime.Oplog.event) =
         | Runtime.Oplog.Op_get { key } -> Get { key; result = None }
       in
       let e =
-        { token; session = via; op; inv = at; ret = None; failed = false }
+        {
+          token;
+          session = via;
+          op;
+          inv = at;
+          ret = None;
+          failed = false;
+          shed = false;
+        }
       in
       Hashtbl.replace t.tbl token { e };
       t.order <- token :: t.order
@@ -56,6 +65,12 @@ let feed t (ev : Runtime.Oplog.event) =
       match Hashtbl.find_opt t.tbl token with
       | Some c -> c.e <- { c.e with failed = true }
       | None -> ())
+  | Busy { token; at = _ } -> (
+      (* Shed by admission control: failed, and additionally guaranteed
+         to have had no effect anywhere. *)
+      match Hashtbl.find_opt t.tbl token with
+      | Some c -> c.e <- { c.e with failed = true; shed = true }
+      | None -> ())
 
 let attach t rt = Runtime.set_recorder rt (Some (feed t))
 
@@ -74,10 +89,11 @@ let by_key es =
 
 let pp_entry ppf e =
   let status =
-    match (e.ret, e.failed) with
-    | Some _, _ -> "ok"
-    | None, true -> "failed"
-    | None, false -> "pending"
+    match (e.ret, e.shed, e.failed) with
+    | Some _, _, _ -> "ok"
+    | None, true, _ -> "shed"
+    | None, false, true -> "failed"
+    | None, false, false -> "pending"
   in
   match e.op with
   | Put { key; value } ->

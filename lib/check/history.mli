@@ -18,6 +18,10 @@ type entry = {
   inv : float;  (** invocation (virtual) time *)
   ret : float option;  (** completion time; [None] while pending *)
   failed : bool;  (** a put settled as unacknowledged *)
+  shed : bool;
+      (** rejected with {!Dht_snode.Wire.Busy} by admission control —
+          failed, and additionally guaranteed to have had no effect
+          anywhere (implies [failed]) *)
 }
 
 val key : entry -> string

@@ -206,3 +206,9 @@ let check_view ~space ~pmin ~vmax (v : Runtime.View.t) =
 let check_runtime rt =
   check_view ~space:(Runtime.space rt) ~pmin:(Runtime.pmin rt)
     ~vmax:(Runtime.vmax rt) (Runtime.view rt)
+
+(* Overload discipline: the degradation layer's queue accounting must
+   never drift — every bounded window holds at most [max_inflight] live
+   entries and the live counters match the outbox contents. *)
+let check_overload rt =
+  List.map (fun detail -> { inv = "overload"; detail }) (Runtime.queue_audit rt)

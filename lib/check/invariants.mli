@@ -57,3 +57,10 @@ val check_view :
 val check_runtime : Runtime.t -> finding list
 (** {!check_view} over [Runtime.view rt] with the runtime's own
     parameters. *)
+
+val check_overload : Runtime.t -> finding list
+(** Queue-discipline audit of the graceful-degradation layer
+    ({!Dht_snode.Runtime.queue_audit}): every bounded per-peer window
+    holds at most [max_inflight] live entries and the window counters
+    match the outbox contents exactly. Findings carry the ["overload"]
+    invariant name. Valid at any instant. *)

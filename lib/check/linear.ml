@@ -282,8 +282,43 @@ let durability ~peek entries =
     (History.by_key entries);
   List.rev !issues
 
+(* A [Busy]-shed put was rejected by admission control before any replica
+   was touched: unlike a merely failed put (which may have taken partial
+   effect), its value must never surface anywhere — not in a completed
+   read, and not in the authoritative copy. *)
+let busy_never_committed ?peek entries =
+  let issues = ref [] in
+  List.iter
+    (fun (e : History.entry) ->
+      match e.op with
+      | History.Put { key; value } when e.shed ->
+          List.iter
+            (fun (g : History.entry) ->
+              match g.op with
+              | History.Get { key = gk; result = Some v }
+                when gk = key && v = value && History.completed g ->
+                  issues :=
+                    Format.asprintf
+                      "busy: shed %a observed as committed by %a"
+                      History.pp_entry e History.pp_entry g
+                    :: !issues
+              | _ -> ())
+            entries;
+          (match peek with
+          | Some peek when peek key = Some value ->
+              issues :=
+                Format.asprintf
+                  "busy: shed %a present in the authoritative copy"
+                  History.pp_entry e
+                :: !issues
+          | _ -> ())
+      | _ -> ())
+    entries;
+  List.rev !issues
+
 let full ?peek entries =
   check entries
   @ read_your_writes entries
   @ monotonic_reads entries
+  @ busy_never_committed ?peek entries
   @ (match peek with Some p -> durability ~peek:p entries | None -> [])

@@ -36,5 +36,11 @@ val durability : peek:(string -> string option) -> History.entry list -> string 
     or that of a put not strictly preceding it. [None] is a lost acked
     write. *)
 
+val busy_never_committed :
+  ?peek:(string -> string option) -> History.entry list -> string list
+(** A put shed with {!Dht_snode.Wire.Busy} was rejected before any replica
+    was touched: its value must never be returned by a completed read nor
+    (when [peek] is given) appear in the authoritative copy. *)
+
 val full : ?peek:(string -> string option) -> History.entry list -> string list
 (** All of the above. *)

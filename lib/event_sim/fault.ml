@@ -6,6 +6,8 @@ type t = {
   mutable dup_p : float;
   mutable jitter : float;
   severed : (int * int, unit) Hashtbl.t;
+  oneway : (int * int, unit) Hashtbl.t;  (* directed (src, dst) *)
+  slow : (int, float) Hashtbl.t;  (* snode -> service-time factor, > 1 *)
   down : (int, unit) Hashtbl.t;
   crash_plan : (int * float * float) list;
   mutable drops : int;
@@ -20,11 +22,11 @@ let check_jitter j =
   if not (Float.is_finite j) || j < 0. then
     invalid_arg "Fault.jitter: negative or non-finite"
 
-let create ?(drop = 0.) ?(duplicate = 0.) ?(jitter = 0.) ?(crashes = []) ~seed
-    () =
-  check_probability "drop" drop;
-  check_probability "duplicate" duplicate;
-  check_jitter jitter;
+(* Two windows for the same snode must not overlap (a second window would
+   silently shadow the first in the runtime's restart scheduling), and
+   exact duplicates are rejected for the same reason. Windows are half-open
+   [at, back_at), so one may start exactly when another ends. *)
+let check_crash_plan crashes =
   List.iter
     (fun (snode, at, back_at) ->
       if snode < 0 then invalid_arg "Fault.create: negative snode in crash plan";
@@ -32,12 +34,36 @@ let create ?(drop = 0.) ?(duplicate = 0.) ?(jitter = 0.) ?(crashes = []) ~seed
          || back_at <= at
       then invalid_arg "Fault.create: crash plan needs 0 <= at < back_at")
     crashes;
+  let rec overlaps = function
+    | [] -> ()
+    | (s, at, back_at) :: rest ->
+        List.iter
+          (fun (s', at', back_at') ->
+            if s = s' && at < back_at' && at' < back_at then
+              invalid_arg
+                (Printf.sprintf
+                   "Fault.create: overlapping crash windows for snode %d \
+                    ([%g, %g) and [%g, %g))"
+                   s at back_at at' back_at'))
+          rest;
+        overlaps rest
+  in
+  overlaps crashes
+
+let create ?(drop = 0.) ?(duplicate = 0.) ?(jitter = 0.) ?(crashes = []) ~seed
+    () =
+  check_probability "drop" drop;
+  check_probability "duplicate" duplicate;
+  check_jitter jitter;
+  check_crash_plan crashes;
   {
     rng = Rng.of_int seed;
     drop_p = drop;
     dup_p = duplicate;
     jitter;
     severed = Hashtbl.create 8;
+    oneway = Hashtbl.create 8;
+    slow = Hashtbl.create 8;
     down = Hashtbl.create 8;
     crash_plan = crashes;
     drops = 0;
@@ -62,15 +88,34 @@ let crash_plan t = t.crash_plan
 let key a b = if a <= b then (a, b) else (b, a)
 
 let sever t a b = Hashtbl.replace t.severed (key a b) ()
+
+(* Healing a pair that was never severed is an explicit no-op: Hashtbl.remove
+   on an absent key changes nothing, and callers (recovery sweeps healing
+   whole neighbourhoods) rely on that. *)
 let heal t a b = Hashtbl.remove t.severed (key a b)
 let severed t a b = Hashtbl.mem t.severed (key a b)
+
+(* One-way faults are directed: only src -> dst traffic is cut. *)
+let sever_oneway t ~src ~dst = Hashtbl.replace t.oneway (src, dst) ()
+let heal_oneway t ~src ~dst = Hashtbl.remove t.oneway (src, dst)
+let severed_oneway t ~src ~dst = Hashtbl.mem t.oneway (src, dst)
+
+let set_slow t s factor =
+  if not (Float.is_finite factor) || factor < 1. then
+    invalid_arg "Fault.set_slow: factor must be finite and >= 1";
+  if s < 0 then invalid_arg "Fault.set_slow: negative snode";
+  Hashtbl.replace t.slow s factor
+
+let clear_slow t s = Hashtbl.remove t.slow s
+let slow_factor t ~dst = Option.value ~default:1. (Hashtbl.find_opt t.slow dst)
+let is_slow t s = Hashtbl.mem t.slow s
 
 let set_down t s = Hashtbl.replace t.down s ()
 let set_up t s = Hashtbl.remove t.down s
 let is_down t s = Hashtbl.mem t.down s
 
 let cut t ~src ~dst =
-  if severed t src dst then begin
+  if severed t src dst || severed_oneway t ~src ~dst then begin
     t.drops <- t.drops + 1;
     true
   end

@@ -25,9 +25,13 @@ val create :
     per-message probabilities (default 0); [jitter] is the maximum extra
     delivery latency in seconds, drawn uniformly per delivery (default 0);
     [crashes] lists [(snode, at, back_at)] crash-stop/restart windows in
-    virtual time (consumed by the runtime hosting the snodes).
+    virtual time (consumed by the runtime hosting the snodes). Windows are
+    half-open [\[at, back_at)]: two windows for the same snode may share an
+    endpoint but must not overlap (a second overlapping window would
+    silently shadow the first), and duplicates are rejected.
     @raise Invalid_argument on probabilities outside [0, 1], negative
-    jitter, or crash windows without [0 <= at < back_at]. *)
+    jitter, crash windows without [0 <= at < back_at], or overlapping or
+    duplicate crash windows for the same snode. *)
 
 (** {2 Mutable fault rates} *)
 
@@ -42,8 +46,40 @@ val sever : t -> int -> int -> unit
     are dropped until {!heal}. *)
 
 val heal : t -> int -> int -> unit
+(** Undo a {!sever}. Healing a pair that was never severed is an explicit
+    no-op — callers healing whole neighbourhoods need not track which links
+    were actually cut. *)
 
 val severed : t -> int -> int -> bool
+
+val sever_oneway : t -> src:int -> dst:int -> unit
+(** Cut only the [src -> dst] direction: an asymmetric (gray) link fault.
+    Traffic from [dst] to [src] still flows. Independent of the symmetric
+    {!sever} table — {!cut} drops a message when either applies. *)
+
+val heal_oneway : t -> src:int -> dst:int -> unit
+(** Undo a {!sever_oneway}; a no-op when the direction was never cut. *)
+
+val severed_oneway : t -> src:int -> dst:int -> bool
+
+val set_slow : t -> int -> float -> unit
+(** [set_slow t s factor] marks snode [s] as gray-failed: it still
+    processes every message, but with service time inflated by [factor]
+    (the network stretches the delivery latency of traffic landing on [s]
+    by the factor). [factor] must be finite and [>= 1]; setting again
+    replaces the previous factor.
+    @raise Invalid_argument on a factor below 1, a non-finite factor, or a
+    negative snode. *)
+
+val clear_slow : t -> int -> unit
+(** Restore normal service time for a snode; a no-op when it was not slow. *)
+
+val slow_factor : t -> dst:int -> float
+(** The service-time factor for deliveries landing on [dst]: the value set
+    by {!set_slow}, or [1.] when the snode is healthy. Consulted by
+    {!Network.send} on every remote delivery. *)
+
+val is_slow : t -> int -> bool
 
 val set_down : t -> int -> unit
 (** Mark a node crashed: deliveries to it are absorbed (dropped and

@@ -13,6 +13,10 @@ type cell = { mutable m : int; mutable b : int }
 
 type verdict = Pass | Defer of float | Sink
 
+(* Per-destination ingress occupancy: messages scheduled toward the node
+   but not yet landed. *)
+type ingress = { mutable depth : int; mutable high_water : int }
+
 type t = {
   engine : Engine.t;
   link : link;
@@ -25,10 +29,13 @@ type t = {
   mutable batched_parts : int;
   mutable batch_saved : int;
   mutable sites : int;
+  mutable ingress_limit : int;  (* 0 = unbounded *)
+  mutable overflows : int;
   mutable probe :
     (site:int -> src:int -> dst:int -> tag:string option -> verdict) option;
   tags : (string, cell) Hashtbl.t;
   dests : (int, cell) Hashtbl.t;
+  ingress : (int, ingress) Hashtbl.t;
 }
 
 let create ?(loopback = 1e-6) ?faults engine link =
@@ -45,9 +52,12 @@ let create ?(loopback = 1e-6) ?faults engine link =
     batched_parts = 0;
     batch_saved = 0;
     sites = 0;
+    ingress_limit = 0;
+    overflows = 0;
     probe = None;
     tags = Hashtbl.create 32;
     dests = Hashtbl.create 32;
+    ingress = Hashtbl.create 32;
   }
 
 let faults t = t.faults
@@ -71,6 +81,29 @@ let set_probe t probe = t.probe <- probe
 
 let sites t = t.sites
 
+let set_ingress_limit t n =
+  if n < 0 then invalid_arg "Network.set_ingress_limit: negative limit";
+  t.ingress_limit <- n
+
+let ingress_cell t dst =
+  match Hashtbl.find_opt t.ingress dst with
+  | Some c -> c
+  | None ->
+      let c = { depth = 0; high_water = 0 } in
+      Hashtbl.add t.ingress dst c;
+      c
+
+let ingress_depth t ~dst =
+  match Hashtbl.find_opt t.ingress dst with Some c -> c.depth | None -> 0
+
+let ingress_high_water t ~dst =
+  match Hashtbl.find_opt t.ingress dst with Some c -> c.high_water | None -> 0
+
+let max_ingress_high_water t =
+  Hashtbl.fold (fun _ c acc -> max acc c.high_water) t.ingress 0
+
+let ingress_overflows t = t.overflows
+
 let send t ?tag ~src ~dst ~bytes k =
   let delay = transit_time t ~src ~dst ~bytes in
   if src = dst then begin
@@ -92,22 +125,56 @@ let send t ?tag ~src ~dst ~bytes k =
     in
     match verdict with
     | Sink -> ()
-    | Pass | Defer _ -> (
+    | Pass | Defer _ ->
         let delay =
           match verdict with Defer extra -> delay +. extra | _ -> delay
         in
-        match t.faults with
-        | None -> Engine.schedule t.engine ~delay k
+        (* Bounded ingress: each delivery occupies one slot toward its
+           destination from schedule time to landing. A delivery that would
+           exceed the bound is dropped at the door and counted as an
+           overflow — overload is loss, which the reliable layer turns into
+           retransmissions, which is exactly the amplification loop the
+           runtime's retry budgets must tame. *)
+        let admit () =
+          if t.ingress_limit = 0 then Some (fun () -> ())
+          else begin
+            let c = ingress_cell t dst in
+            if c.depth >= t.ingress_limit then begin
+              t.overflows <- t.overflows + 1;
+              None
+            end
+            else begin
+              c.depth <- c.depth + 1;
+              if c.depth > c.high_water then c.high_water <- c.depth;
+              Some (fun () -> c.depth <- c.depth - 1)
+            end
+          end
+        in
+        (match t.faults with
+        | None -> (
+            match admit () with
+            | None -> ()
+            | Some release ->
+                Engine.schedule t.engine ~delay (fun () ->
+                    release ();
+                    k ()))
         | Some f ->
             (* Loss at send time (severed link or drop roll); otherwise each
                delivery — the original and a possible injected duplicate —
                gets its own jitter, and evaporates if the destination is down
-               when it lands. *)
+               when it lands. A gray-failed (slow) destination stretches the
+               whole delivery latency by its service-time factor. *)
             if not (Fault.cut f ~src ~dst) then begin
+              let factor = Fault.slow_factor f ~dst in
               let deliver () =
-                Engine.schedule t.engine
-                  ~delay:(delay +. Fault.delay_noise f)
-                  (fun () -> if not (Fault.absorb f ~dst) then k ())
+                match admit () with
+                | None -> ()
+                | Some release ->
+                    Engine.schedule t.engine
+                      ~delay:((delay +. Fault.delay_noise f) *. factor)
+                      (fun () ->
+                        release ();
+                        if not (Fault.absorb f ~dst) then k ())
               in
               deliver ();
               if Fault.duplicate f then deliver ()
@@ -152,5 +219,9 @@ let reset_counters t =
   t.batches <- 0;
   t.batched_parts <- 0;
   t.batch_saved <- 0;
+  t.overflows <- 0;
+  (* Occupancy is live state (in-flight deliveries still hold slots), so
+     only the high-water marks rebase — to the current depth, not zero. *)
+  Hashtbl.iter (fun _ c -> c.high_water <- c.depth) t.ingress;
   Hashtbl.reset t.tags;
   Hashtbl.reset t.dests

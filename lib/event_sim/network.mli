@@ -55,6 +55,29 @@ val sites : t -> int
 (** Remote sends seen so far — the exclusive upper bound of the decision-site
     numbering. Counted whether or not a probe is installed. *)
 
+val set_ingress_limit : t -> int -> unit
+(** Bound every node's ingress queue: at most [n] remote deliveries may be
+    in flight toward any one destination (scheduled but not yet landed).
+    A delivery that would exceed the bound is dropped at the door and
+    counted in {!ingress_overflows} — overload becomes loss, which the
+    reliable layer turns into retransmissions. [0] (the default) leaves
+    ingress unbounded, preserving the historical model exactly.
+    @raise Invalid_argument on a negative limit. *)
+
+val ingress_depth : t -> dst:int -> int
+(** Deliveries currently in flight toward [dst]. *)
+
+val ingress_high_water : t -> dst:int -> int
+(** The deepest [dst]'s ingress queue has been (since the last
+    {!reset_counters}, which rebases high-water marks to current depth). *)
+
+val max_ingress_high_water : t -> int
+(** The deepest any ingress queue has been — the bound the overload audit
+    checks against the configured limit. *)
+
+val ingress_overflows : t -> int
+(** Deliveries refused because the destination's ingress queue was full. *)
+
 val send :
   t -> ?tag:string -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
 (** [send t ~src ~dst ~bytes k] delivers the message after the link delay
@@ -68,7 +91,9 @@ val send :
     {e all} counters — totals, per-tag and per-destination — count the
     {e send}, whatever its fate: an injected duplicate is one send, and is
     counted by the fault plan itself ({!Fault.duplicates}), not by the
-    network. Loopback deliveries are never subjected to faults.
+    network. A gray-failed destination ({!Fault.set_slow}) stretches the
+    delivery latency by its service-time factor. Loopback deliveries are
+    never subjected to faults or ingress bounds.
     @raise Invalid_argument if [bytes < 0]. *)
 
 val transit_time : t -> src:int -> dst:int -> bytes:int -> float

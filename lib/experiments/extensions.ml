@@ -677,15 +677,14 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
       acked 0
   in
   Runtime.record_metrics rt reg;
-  let downtime_h =
-    Dht_telemetry.Registry.histogram reg "runtime.recovery.downtime"
-  in
-  let q op =
-    Dht_telemetry.Histogram.quantile
-      (Dht_telemetry.Registry.histogram reg
-         ~labels:[ ("op", op) ]
-         "runtime.quorum.latency")
-      0.5
+  (* Report percentiles come from the merge of the registered shards —
+     never from find-or-create lookups, which would plant empty series in
+     the registry and make the report disagree with what [--metrics-csv]
+     carries. *)
+  let mq ?labels name q =
+    match Dht_telemetry.Registry.merged reg ?labels name with
+    | None -> nan
+    | Some h -> Dht_telemetry.Histogram.quantile h q
   in
   {
     chaos_vnodes = Runtime.vnode_count rt;
@@ -702,27 +701,235 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
       (match Runtime.audit rt with Ok () -> true | Error _ -> false);
     chaos_stats = Runtime.stats rt;
     chaos_per_tag = Dht_event_sim.Network.per_tag (Runtime.network rt);
-    chaos_recovery_p50 = Dht_telemetry.Histogram.quantile downtime_h 0.5;
-    chaos_recovery_p99 = Dht_telemetry.Histogram.quantile downtime_h 0.99;
+    chaos_recovery_p50 = mq "runtime.recovery.downtime" 0.5;
+    chaos_recovery_p99 = mq "runtime.recovery.downtime" 0.99;
     chaos_rfactor = rfactor;
     chaos_read_quorum = read_quorum;
     chaos_write_quorum = write_quorum;
     chaos_acked_writes = Hashtbl.length acked;
     chaos_lost_acked = lost_acked;
     chaos_repl = Runtime.repl_stats rt;
-    chaos_qput_p50 = q "put";
-    chaos_qget_p50 = q "get";
+    chaos_qput_p50 = mq ~labels:[ ("op", "put") ] "runtime.quorum.latency" 0.5;
+    chaos_qget_p50 = mq ~labels:[ ("op", "get") ] "runtime.quorum.latency" 0.5;
     chaos_linger = linger;
     chaos_batches = Dht_event_sim.Network.batches (Runtime.network rt);
     chaos_batched_parts =
       Dht_event_sim.Network.batched_parts (Runtime.network rt);
     chaos_batch_saved_bytes =
       Dht_event_sim.Network.batch_bytes_saved (Runtime.network rt);
-    chaos_batch_occupancy_p50 =
-      Dht_telemetry.Histogram.quantile
-        (Dht_telemetry.Registry.histogram reg ~lo:1.0 ~growth:2.0 ~bins:10
-           "runtime.batch.occupancy")
-        0.5;
+    chaos_batch_occupancy_p50 = mq "runtime.batch.occupancy" 0.5;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Overload / gray-failure: goodput vs throughput under sustained      *)
+(* over-capacity load with one slow snode                              *)
+
+type overload_phase = {
+  ph_name : string;  (* "pre" | "burst" | "post" *)
+  ph_offered : int;
+  ph_acked : int;
+  ph_busy : int;
+  ph_timely : int;
+  ph_goodput : float;
+  ph_throughput : float;
+}
+
+type overload_report = {
+  ov_phases : overload_phase list;
+  ov_slow_snode : int;
+  ov_slow_factor : float;
+  ov_rate : float;
+  ov_burst_rate : float;
+  ov_slo : float;
+  ov_acked : int;
+  ov_lost_acked : int;
+  ov_busy_total : int;
+  ov_pending : int;
+  ov_audit_ok : bool;
+  ov_queue_audit : string list;
+  ov_busy_violations : string list;
+  ov_overload : Dht_snode.Runtime.overload_stats;
+  ov_stats : Dht_snode.Runtime.stats;
+  ov_retx_per_op : float;
+  ov_fixed_overload : Dht_snode.Runtime.overload_stats;
+  ov_fixed_stats : Dht_snode.Runtime.stats;
+  ov_fixed_retx_per_op : float;
+  ov_recovery_ratio : float;
+}
+
+let overload ?(snodes = 8) ?(vnodes = 24) ?(pmin = 8) ?(vmin = 4)
+    ?(rate = 4000.) ?(overload_factor = 2.) ?(phase = 0.4) ?(slo = 0.05)
+    ?(slow_factor = 100.) ?(drop = 0.005) ?(rfactor = 3) ?(read_quorum = 2)
+    ?(write_quorum = 2) ?(retry_budget = 3) ?(max_inflight = 8)
+    ?(ingress_limit = 64) ?(admission_deadline = 0.02) ?metrics ?trace ~seed
+    () =
+  let module Runtime = Dht_snode.Runtime in
+  let module Fault = Dht_event_sim.Fault in
+  let module Engine = Dht_event_sim.Engine in
+  if rate <= 0. then invalid_arg "overload: rate must be positive";
+  if overload_factor < 1. then invalid_arg "overload: factor < 1";
+  if phase <= 0. then invalid_arg "overload: phase must be positive";
+  if slow_factor < 1. then invalid_arg "overload: slow_factor < 1";
+  let slow_snode = snodes - 1 in
+  let burst_rate = rate *. overload_factor in
+  let phases = [| ("pre", rate); ("burst", burst_rate); ("post", rate) |] in
+  (* One workload, two runtimes: the degraded run carries every
+     graceful-degradation knob, the fixed baseline none of them (same
+     network, same ingress bound, same faults and the same slow snode) —
+     the report's retransmissions-per-op comparison is the adaptive-RTO /
+     retry-budget payoff under identical conditions. *)
+  let run ~degraded =
+    let faults = Fault.create ~drop ~seed () in
+    let rt =
+      Runtime.create ~pmin ~approach:(Runtime.Local { vmin }) ~faults
+        ?metrics:(if degraded then metrics else None)
+        ?trace:(if degraded then trace else None)
+        ~rfactor ~read_quorum ~write_quorum
+        ~retry_budget:(if degraded then retry_budget else 0)
+        ~adaptive_rto:degraded
+        ~max_inflight:(if degraded then max_inflight else 0)
+        ~admission_deadline:(if degraded then admission_deadline else 0.)
+        ~ingress_limit ~snodes ~seed ()
+    in
+    let hist = Dht_check.History.create () in
+    if degraded then Dht_check.History.attach hist rt;
+    for i = 1 to vnodes - 1 do
+      Runtime.create_vnode rt
+        ~id:(Vnode_id.make ~snode:(i mod snodes) ~vnode:(i / snodes))
+        ()
+    done;
+    Runtime.run rt;
+    let engine = Runtime.engine rt in
+    let t0 = Engine.now engine +. 0.01 in
+    let bounds =
+      Array.mapi
+        (fun p _ -> (t0 +. (float_of_int p *. phase),
+                     t0 +. (float_of_int (p + 1) *. phase)))
+        phases
+    in
+    (* The gray failure covers exactly the burst window: the slow snode
+       keeps processing, just [slow_factor] times later. *)
+    Engine.at engine ~time:(fst bounds.(1)) (fun () ->
+        Fault.set_slow faults slow_snode slow_factor);
+    Engine.at engine ~time:(snd bounds.(1)) (fun () ->
+        Fault.clear_slow faults slow_snode);
+    (* Queue-discipline audit at the worst moment (mid-burst) and again
+       after the drain: bounded windows must hold even at peak pressure. *)
+    let audit_findings = ref [] in
+    if degraded then
+      Engine.at engine
+        ~time:((fst bounds.(1) +. snd bounds.(1)) /. 2.)
+        (fun () -> audit_findings := Runtime.queue_audit rt);
+    let acked : (string, string) Hashtbl.t = Hashtbl.create 4096 in
+    let offered = Array.map (fun _ -> 0) phases in
+    let acked_n = Array.map (fun _ -> 0) phases in
+    let timely = Array.map (fun _ -> 0) phases in
+    Array.iteri
+      (fun p (_, r) ->
+        let start = fst bounds.(p) in
+        let n = int_of_float (r *. phase) in
+        offered.(p) <- n;
+        for i = 0 to n - 1 do
+          let time = start +. (float_of_int i /. r) in
+          let key = Printf.sprintf "ov:%d:%d" p i in
+          let value = Printf.sprintf "%d.%d" p i in
+          let via = (p + i) mod snodes in
+          Engine.at engine ~time (fun () ->
+              Runtime.put rt ~via
+                ~on_done:(fun () ->
+                  Hashtbl.replace acked key value;
+                  acked_n.(p) <- acked_n.(p) + 1;
+                  if Engine.now engine -. time <= slo then
+                    timely.(p) <- timely.(p) + 1)
+                ~key ~value ())
+        done)
+      phases;
+    Runtime.run rt;
+    audit_findings := !audit_findings @ Runtime.queue_audit rt;
+    (* Busy rejections per phase, from the recorded history (the origin's
+       [on_done] never fires for a shed op). *)
+    let busy = Array.map (fun _ -> 0) phases in
+    let entries = Dht_check.History.entries hist in
+    List.iter
+      (fun (e : Dht_check.History.entry) ->
+        if e.shed then
+          Array.iteri
+            (fun p (lo, hi) -> if e.inv >= lo && e.inv < hi then
+                busy.(p) <- busy.(p) + 1)
+            bounds)
+      entries;
+    let lost =
+      Hashtbl.fold
+        (fun key value n ->
+          if Runtime.peek rt ~key = Some value then n else n + 1)
+        acked 0
+    in
+    let peek key = Runtime.peek rt ~key in
+    let busy_violations =
+      if degraded then Dht_check.Linear.busy_never_committed ~peek entries
+      else []
+    in
+    if degraded then
+      Option.iter (fun reg -> Runtime.record_metrics rt reg) metrics;
+    let report_phases =
+      List.init (Array.length phases) (fun p ->
+          {
+            ph_name = fst phases.(p);
+            ph_offered = offered.(p);
+            ph_acked = acked_n.(p);
+            ph_busy = busy.(p);
+            ph_timely = timely.(p);
+            ph_goodput = float_of_int timely.(p) /. phase;
+            ph_throughput = float_of_int (acked_n.(p) + busy.(p)) /. phase;
+          })
+    in
+    ( rt,
+      report_phases,
+      Hashtbl.length acked,
+      lost,
+      Array.fold_left ( + ) 0 busy,
+      !audit_findings,
+      busy_violations )
+  in
+  let rt, ov_phases, total_acked, lost, busy_total, queue_audit, violations =
+    run ~degraded:true
+  in
+  let frt, _, _, _, _, _, _ = run ~degraded:false in
+  let retx (st : Runtime.stats) (ov : Runtime.overload_stats) =
+    if ov.Runtime.reliable_messages = 0 then 0.
+    else
+      float_of_int (st.Runtime.retransmits + ov.Runtime.probes)
+      /. float_of_int ov.Runtime.reliable_messages
+  in
+  let goodput_of name =
+    match List.find_opt (fun p -> p.ph_name = name) ov_phases with
+    | Some p -> p.ph_goodput
+    | None -> nan
+  in
+  let stats = Runtime.stats rt and ov_stats = Runtime.overload_stats rt in
+  let fstats = Runtime.stats frt and fov = Runtime.overload_stats frt in
+  {
+    ov_phases;
+    ov_slow_snode = slow_snode;
+    ov_slow_factor = slow_factor;
+    ov_rate = rate;
+    ov_burst_rate = burst_rate;
+    ov_slo = slo;
+    ov_acked = total_acked;
+    ov_lost_acked = lost;
+    ov_busy_total = busy_total;
+    ov_pending = Runtime.pending_operations rt;
+    ov_audit_ok =
+      (match Runtime.audit rt with Ok () -> true | Error _ -> false);
+    ov_queue_audit = queue_audit;
+    ov_busy_violations = violations;
+    ov_overload = ov_stats;
+    ov_stats = stats;
+    ov_retx_per_op = retx stats ov_stats;
+    ov_fixed_overload = fov;
+    ov_fixed_stats = fstats;
+    ov_fixed_retx_per_op = retx fstats fov;
+    ov_recovery_ratio = goodput_of "post" /. goodput_of "pre";
   }
 
 type coexist_report = {

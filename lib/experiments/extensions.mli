@@ -309,6 +309,94 @@ val chaos :
     ({!Dht_snode.Runtime.create}); with a fixed [seed] the trace is
     byte-identical across runs. *)
 
+type overload_phase = {
+  ph_name : string;  (** ["pre"], ["burst"] or ["post"] *)
+  ph_offered : int;  (** puts issued inside the phase window *)
+  ph_acked : int;  (** of those, eventually acknowledged *)
+  ph_busy : int;  (** of those, shed with {!Dht_snode.Wire.Busy} *)
+  ph_timely : int;  (** of those, acknowledged within the SLO *)
+  ph_goodput : float;
+      (** timely acks per virtual second — useful work, the number the
+          metastability gate watches *)
+  ph_throughput : float;
+      (** completions (acked or shed) per virtual second — includes work
+          that was late or refused, which is why it can look healthy while
+          goodput collapses *)
+}
+
+type overload_report = {
+  ov_phases : overload_phase list;  (** pre, burst, post — in order *)
+  ov_slow_snode : int;  (** the gray-failed snode *)
+  ov_slow_factor : float;  (** its service-time inflation during the burst *)
+  ov_rate : float;  (** offered load, pre and post (puts/s) *)
+  ov_burst_rate : float;  (** offered load during the burst *)
+  ov_slo : float;  (** ack deadline for an op to count as goodput *)
+  ov_acked : int;  (** distinct writes acknowledged over the whole run *)
+  ov_lost_acked : int;  (** acked writes missing from the authoritative
+                            copy after the drain — must be 0 *)
+  ov_busy_total : int;  (** quorum ops shed by admission control *)
+  ov_pending : int;  (** operations never settled — must be 0 *)
+  ov_audit_ok : bool;  (** paper-invariant battery after the drain *)
+  ov_queue_audit : string list;
+      (** {!Dht_snode.Runtime.queue_audit} findings, sampled mid-burst and
+          after the drain — must be empty *)
+  ov_busy_violations : string list;
+      (** {!Dht_check.Linear.busy_never_committed} findings — must be
+          empty: a shed write observed as committed *)
+  ov_overload : Dht_snode.Runtime.overload_stats;  (** degraded run *)
+  ov_stats : Dht_snode.Runtime.stats;
+  ov_retx_per_op : float;
+      (** (retransmits + probes) per reliable message, degraded run *)
+  ov_fixed_overload : Dht_snode.Runtime.overload_stats;
+  ov_fixed_stats : Dht_snode.Runtime.stats;  (** fixed-RTO baseline run *)
+  ov_fixed_retx_per_op : float;
+      (** same workload with every degradation knob off — the adaptive
+          path must come in strictly below this *)
+  ov_recovery_ratio : float;
+      (** post-burst goodput / pre-burst goodput; the metastability gate
+          demands it stays near 1 *)
+}
+
+val overload :
+  ?snodes:int ->
+  ?vnodes:int ->
+  ?pmin:int ->
+  ?vmin:int ->
+  ?rate:float ->
+  ?overload_factor:float ->
+  ?phase:float ->
+  ?slo:float ->
+  ?slow_factor:float ->
+  ?drop:float ->
+  ?rfactor:int ->
+  ?read_quorum:int ->
+  ?write_quorum:int ->
+  ?retry_budget:int ->
+  ?max_inflight:int ->
+  ?ingress_limit:int ->
+  ?admission_deadline:float ->
+  ?metrics:Dht_telemetry.Registry.t ->
+  ?trace:Dht_telemetry.Trace.t ->
+  seed:int ->
+  unit ->
+  overload_report
+(** Overload and gray-failure scenario: three equal [phase]-second windows
+    of Engine-paced quorum writes — [rate] puts/s, then
+    [overload_factor × rate] (default 2×) while one snode gray-fails
+    (alive but [slow_factor] times slower, via {!Dht_event_sim.Fault.set_slow}),
+    then [rate] again. An op counts toward {e goodput} only when its ack
+    lands within [slo] of issue; {e throughput} also counts late acks and
+    [Busy] rejections, so the two diverge exactly when the cluster is
+    melting. The same workload runs twice: once with the degradation layer
+    armed (adaptive RTO, [retry_budget], bounded [max_inflight] windows,
+    [admission_deadline] shedding) and once with every knob off (fixed-RTO
+    baseline) on the same bounded-ingress network, yielding the
+    retransmissions-per-op comparison. The degraded run is audited end to
+    end: acked-write durability via {!Dht_snode.Runtime.peek}, queue
+    discipline via {!Dht_snode.Runtime.queue_audit} (sampled mid-burst, at
+    peak pressure), and {!Dht_check.Linear.busy_never_committed} over the
+    recorded history. *)
+
 val hetero_compare :
   ?nodes_generations:(int * float) list ->
   ?total_vnodes:int ->

@@ -83,6 +83,10 @@ type pending_prepare =
 type outmsg = {
   o_payload : Wire.msg;
   mutable o_attempts : int;
+  mutable o_sent : float;  (* virtual time of the last transmission *)
+  mutable o_live : bool;
+      (* inside the bounded transmission window (timer armed); [false]
+         while parked in the peer's backlog waiting for a slot *)
   mutable o_timer : Engine.timer option;
       (* reusable slot, allocated at the first arming; every retransmission
          re-arms it instead of building a fresh closure + handle *)
@@ -91,10 +95,19 @@ type outmsg = {
 type peer = {
   mutable next_seq : int;
   outbox : (int, outmsg) Hashtbl.t;  (* seq -> unacked message *)
+  backlog : int Queue.t;
+      (* seqs staged past the inflight window, promoted in order as acks
+         retire window entries; entries stay in [outbox] (durable) *)
+  mutable live : int;  (* outbox entries currently inside the window *)
   mutable floor : int;  (* every seq <= floor from this peer was processed *)
   seen : (int, unit) Hashtbl.t;  (* processed seqs above the floor *)
   mutable suspect : bool;  (* route poisoned after repeated timeouts *)
-  mutable strikes : int;  (* consecutive retransmission timeouts *)
+  mutable strikes : int;
+      (* consecutive retransmission timeouts — the route's graded suspicion
+         level; poisoning at [poison_after] is just the top of the scale,
+         and admission control reads the raw level below it *)
+  mutable srtt : float;  (* smoothed RTT (Jacobson); 0 = no sample yet *)
+  mutable rttvar : float;
 }
 
 (* Per-destination transmission-coalescing buffer: protocol messages (and
@@ -200,6 +213,9 @@ module Oplog = struct
     | Ack of { token : int; at : float }  (* put acknowledged durable *)
     | Reply of { token : int; value : string option; at : float }
     | Fail of { token : int; at : float }  (* put settled unacknowledged *)
+    | Busy of { token : int; at : float }
+        (* shed by admission control before touching any replica: like
+           [Fail], but additionally guaranteed to have had no effect *)
 end
 
 type approach = Local of { vmin : int } | Global
@@ -233,6 +249,10 @@ type t = {
   backoff : float;  (* routing backoff delay, seconds *)
   rto : float;  (* initial retransmission timeout *)
   rto_cap : float;  (* retransmission backoff ceiling; also probe cadence *)
+  retry_budget : int;  (* fast retransmissions per message; 0 = unlimited *)
+  adaptive_rto : bool;  (* Jacobson/Karn RTO from per-route RTT samples *)
+  max_inflight : int;  (* per-peer transmission window; 0 = unbounded *)
+  admission_deadline : float;  (* quorum-op shed threshold; 0 = off *)
   poison_after : int;  (* consecutive timeouts before a route is poisoned *)
   event_timeout : float;  (* per-round watchdog for balancing events *)
   rfactor : int;  (* copies per partition; 1 = no replication *)
@@ -257,6 +277,12 @@ type t = {
   mutable retried : int;
   mutable timeouts : int;
   mutable retransmits : int;
+  mutable probes : int;  (* rate-limited retransmissions past the budget *)
+  mutable sheds : int;  (* quorum ops refused by admission control *)
+  mutable busy_rejections : int;  (* Busy replies settled at the origin *)
+  mutable backpressured : int;  (* messages parked by a full window *)
+  mutable reliable_msgs : int;  (* messages entered into reliable delivery *)
+  mutable outbox_peak : int;  (* deepest any peer outbox has been *)
   mutable crashes : int;
   mutable recoveries : int;
   mutable hints_stored : int;  (* cells parked on a hinted fallback *)
@@ -485,14 +511,55 @@ let peer_of sn pid =
         {
           next_seq = 0;
           outbox = Hashtbl.create 4;
+          backlog = Queue.create ();
+          live = 0;
           floor = -1;
           seen = Hashtbl.create 4;
           suspect = false;
           strikes = 0;
+          srtt = 0.;
+          rttvar = 0.;
         }
       in
       Hashtbl.add sn.peers pid p;
       p
+
+(* One Jacobson estimator update (RFC 6298 gains). The first sample seeds
+   the estimator; Karn's rule (the caller samples only never-retransmitted
+   messages) keeps retransmission ambiguity out of it. *)
+let rtt_sample p s =
+  if p.srtt <= 0. then begin
+    p.srtt <- s;
+    p.rttvar <- s /. 2.
+  end
+  else begin
+    p.rttvar <- (0.75 *. p.rttvar) +. (0.25 *. Float.abs (p.srtt -. s));
+    p.srtt <- (0.875 *. p.srtt) +. (0.125 *. s)
+  end
+
+(* Deadline-aware admission: the time to assemble a quorum of [need] acks
+   over [set] is estimated as the [need]-th smallest per-route completion
+   estimate — a route's smoothed round trip (the configured [rto] before
+   any sample exists) scaled by its queue pressure and graded suspicion
+   level. The local replica is free. Deliberately cheap and pessimistic:
+   it reads only sender-side state the coordinator already has. *)
+let admission_estimate t sn ~set ~need =
+  let route_est sid =
+    if sid = sn.sid then 0.
+    else
+      match Hashtbl.find_opt sn.peers sid with
+      | None -> t.rto
+      | Some p ->
+          let rtt = if p.srtt > 0. then p.srtt +. (4. *. p.rttvar) else t.rto in
+          let pressure = float_of_int (Hashtbl.length p.outbox + 1) in
+          rtt *. pressure *. float_of_int (1 + p.strikes)
+  in
+  let ests = List.sort compare (List.map route_est set) in
+  let rec nth i = function
+    | [] -> infinity
+    | e :: rest -> if i <= 1 then e else nth (i - 1) rest
+  in
+  nth need ests
 
 (* Without a fault plan the network is reliable and messages flow exactly
    as in the original runtime (same messages, same bytes, same timings).
@@ -612,25 +679,45 @@ and reliable_send ?(acks = []) t sn ~dst msg =
   let p = peer_of sn dst in
   let seq = p.next_seq in
   p.next_seq <- seq + 1;
-  let entry = { o_payload = msg; o_attempts = 0; o_timer = None } in
+  t.reliable_msgs <- t.reliable_msgs + 1;
+  let entry =
+    { o_payload = msg; o_attempts = 0; o_sent = 0.; o_live = false;
+      o_timer = None }
+  in
   Hashtbl.add p.outbox seq entry;
-  if p.suspect then begin
-    (* Poisoned route: do not pay the immediate transmission, probe at the
-       capped cadence; an ack (or any traffic from the peer) flushes the
-       whole outbox at once. Piggybacked acks are unreliable and must not
-       wait for the probe — let them go now. *)
-    if acks <> [] then send_coalesced t sn ~dst acks;
-    arm_retransmit t sn ~dst ~seq entry ~delay:t.rto_cap
+  let depth = Hashtbl.length p.outbox in
+  if depth > t.outbox_peak then t.outbox_peak <- depth;
+  if t.max_inflight > 0 && p.live >= t.max_inflight then begin
+    (* Window full: backpressure. The entry stays durably in the outbox
+       but pays no transmission and arms no timer until an ack retires a
+       window entry and promotes it. Piggybacked acks are unreliable and
+       must not wait — let them go now. *)
+    t.backpressured <- t.backpressured + 1;
+    Queue.add seq p.backlog;
+    if acks <> [] then send_coalesced t sn ~dst acks
   end
-  else transmit ~acks t sn ~dst ~seq entry
+  else begin
+    entry.o_live <- true;
+    p.live <- p.live + 1;
+    if p.suspect then begin
+      (* Poisoned route: do not pay the immediate transmission, probe at the
+         capped cadence; an ack (or any traffic from the peer) flushes the
+         whole outbox at once. *)
+      if acks <> [] then send_coalesced t sn ~dst acks;
+      arm_retransmit t sn ~dst ~seq entry ~delay:t.rto_cap
+    end
+    else transmit ~acks t sn ~dst ~seq entry
+  end
 
-and transmit ?(acks = []) t sn ~dst ~seq entry =
+and transmit ?(acks = []) ?(probe = false) t sn ~dst ~seq entry =
   entry.o_attempts <- entry.o_attempts + 1;
+  entry.o_sent <- Engine.now t.engine;
   if entry.o_attempts > 1 then begin
-    t.retransmits <- t.retransmits + 1;
+    if probe then t.probes <- t.probes + 1
+    else t.retransmits <- t.retransmits + 1;
     if Trace.enabled t.trace then
       Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:sn.sid
-        ~name:"retransmit"
+        ~name:(if probe then "retry.probe" else "retransmit")
         [
           ("dst", Trace.Int dst);
           ("seq", Trace.Int seq);
@@ -666,12 +753,24 @@ and transmit ?(acks = []) t sn ~dst ~seq entry =
     in
     emit_batch t sn ~dst ~parts:nparts ~alone outer
   end;
-  arm_retransmit t sn ~dst ~seq entry ~delay:(rto_for t sn entry.o_attempts)
+  arm_retransmit t sn ~dst ~seq entry ~delay:(rto_for t sn ~dst entry.o_attempts)
 
-and rto_for t sn attempts =
-  (* Exponential backoff with multiplicative jitter, capped. *)
+and rto_for t sn ~dst attempts =
+  (* Exponential backoff with multiplicative jitter, capped. The adaptive
+     path replaces the fixed [rto] base with the route's Jacobson estimate
+     (SRTT + 4·RTTVAR, floored at [rto]) once a sample exists, so a route
+     whose true round trip exceeds the configured ladder stops provoking
+     spurious retransmissions. Exactly one RNG draw either way, keeping
+     faulty schedules bit-identical when the feature is off. *)
   let exp = float_of_int (min (attempts - 1) 16) in
-  let base = Float.min (t.rto *. (2. ** exp)) t.rto_cap in
+  let rto0 =
+    if not t.adaptive_rto then t.rto
+    else
+      let p = peer_of sn dst in
+      if p.srtt > 0. then Float.max t.rto (p.srtt +. (4. *. p.rttvar))
+      else t.rto
+  in
+  let base = Float.min (rto0 *. (2. ** exp)) t.rto_cap in
   base *. (1. +. (0.5 *. Rng.float sn.rng))
 
 and arm_retransmit t sn ~dst ~seq entry ~delay =
@@ -710,7 +809,12 @@ and on_rto t sn ~dst ~seq entry =
           m "snode %d: route to snode %d poisoned after %d timeouts" sn.sid
             dst p.strikes)
     end;
-    transmit t sn ~dst ~seq entry
+    (* Retry budget: past it, further retransmissions become rate-limited
+       probes — still sent (a silently-restarted peer must eventually hear
+       the message) but at the capped cadence only and counted apart, so
+       a retry storm's amplification stays bounded by construction. *)
+    let probe = t.retry_budget > 0 && entry.o_attempts > t.retry_budget in
+    transmit ~probe t sn ~dst ~seq entry
   end
 
 and on_ack t sn ~from ~seq ~floor =
@@ -722,6 +826,14 @@ and on_ack t sn ~from ~seq ~floor =
     | Some entry ->
         Hashtbl.remove p.outbox s;
         (match entry.o_timer with Some tm -> Engine.disarm tm | None -> ());
+        if entry.o_live then begin
+          entry.o_live <- false;
+          p.live <- p.live - 1
+        end;
+        (* Karn's rule: only a never-retransmitted message yields an
+           unambiguous RTT sample. *)
+        if t.adaptive_rto && entry.o_attempts = 1 then
+          rtt_sample p (Engine.now t.engine -. entry.o_sent);
         answered := true
   in
   retire seq;
@@ -729,10 +841,33 @@ and on_ack t sn ~from ~seq ~floor =
      retire older entries whose own ack was lost. *)
   Hashtbl.fold (fun s _ acc -> if s <= floor then s :: acc else acc) p.outbox []
   |> List.iter retire;
-  if !answered then peer_answered t sn ~pid:from
+  if !answered then begin
+    peer_answered t sn ~pid:from;
+    refill_window t sn ~pid:from
+  end
+
+(* Acks freed window slots: promote backlogged messages in issue order.
+   Entries retired while waiting (a cumulative ack can cover them) are
+   skipped. *)
+and refill_window t sn ~pid =
+  if t.max_inflight > 0 then begin
+    let p = peer_of sn pid in
+    while p.live < t.max_inflight && not (Queue.is_empty p.backlog) do
+      let seq = Queue.pop p.backlog in
+      match Hashtbl.find_opt p.outbox seq with
+      | None -> ()
+      | Some entry ->
+          entry.o_live <- true;
+          p.live <- p.live + 1;
+          if p.suspect then
+            arm_retransmit t sn ~dst:pid ~seq entry ~delay:t.rto_cap
+          else transmit t sn ~dst:pid ~seq entry
+    done
+  end
 
 (* Any message from a peer proves it alive: clear the strikes and, if the
-   route was poisoned, retry everything still queued for it immediately. *)
+   route was poisoned, retry everything still inside the window for it
+   immediately (backlogged entries keep waiting for a slot). *)
 and peer_answered t sn ~pid =
   let p = peer_of sn pid in
   p.strikes <- 0;
@@ -741,7 +876,9 @@ and peer_answered t sn ~pid =
     Log.debug (fun m ->
         m "snode %d: snode %d answered; flushing %d queued messages" sn.sid
           pid (Hashtbl.length p.outbox));
-    Hashtbl.fold (fun seq e acc -> (seq, e) :: acc) p.outbox []
+    Hashtbl.fold
+      (fun seq e acc -> if e.o_live then (seq, e) :: acc else acc)
+      p.outbox []
     |> List.sort compare
     |> List.iter (fun (seq, e) ->
            (match e.o_timer with Some tm -> Engine.disarm tm | None -> ());
@@ -917,8 +1054,26 @@ and manager_of lpdr =
 
 (* ---------------- quorum coordinator ---------------- *)
 
-and start_qput t sn ~token ~key ~point cell =
+and start_qput t sn ~token ~origin ~key ~point cell =
   let _, set = Point_map.find_point sn.rmap point in
+  if
+    t.admission_deadline > 0.
+    && admission_estimate t sn ~set ~need:t.write_quorum
+       > t.admission_deadline
+  then shed_quorum_op t sn ~token ~origin
+  else start_qput_admitted t sn ~token ~key ~point ~set cell
+
+(* Refuse the operation before touching any replica: an explicit [Busy]
+   to the origin settles it immediately — never a silent drop, and since
+   no copy was written a shed op trivially cannot lose an acked write. *)
+and shed_quorum_op t sn ~token ~origin =
+  t.sheds <- t.sheds + 1;
+  if Trace.enabled t.trace then
+    Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:sn.sid
+      ~name:"admission.shed" [ ("token", Trace.Int token) ];
+  send t ~src:sn.sid ~dst:origin (Wire.Busy { token })
+
+and start_qput_admitted t sn ~token ~key ~point ~set cell =
   let q =
     {
       q_token = token;
@@ -1076,8 +1231,15 @@ and qput_deadline t sn q =
       t.pending <- t.pending - 1
     end
 
-and start_qget t sn ~token ~key ~point =
+and start_qget t sn ~token ~origin ~key ~point =
   let _, set = Point_map.find_point sn.rmap point in
+  if
+    t.admission_deadline > 0.
+    && admission_estimate t sn ~set ~need:t.read_quorum > t.admission_deadline
+  then shed_quorum_op t sn ~token ~origin
+  else start_qget_admitted t sn ~token ~key ~point ~set
+
+and start_qget_admitted t sn ~token ~key ~point ~set =
   let q =
     {
       q_token = token;
@@ -1840,6 +2002,26 @@ and handle t sn ~from msg =
           failwith "Runtime: bad get token");
       t.done_gets <- t.done_gets + 1;
       t.pending <- t.pending - 1
+  | Wire.Busy { token } ->
+      (* Admission rejection landing at the origin: settle the operation
+         now, unacknowledged. The write was applied nowhere; the read
+         answers nothing. *)
+      (match Hashtbl.find_opt t.callbacks token with
+      | Some (Cb_put _) ->
+          Hashtbl.remove t.callbacks token;
+          t.busy_rejections <- t.busy_rejections + 1;
+          Hashtbl.remove t.op_starts token;
+          record t (Oplog.Busy { token; at = Engine.now t.engine });
+          t.pending <- t.pending - 1
+      | Some (Cb_get k) ->
+          Hashtbl.remove t.callbacks token;
+          t.busy_rejections <- t.busy_rejections + 1;
+          Hashtbl.remove t.op_starts token;
+          record t (Oplog.Busy { token; at = Engine.now t.engine });
+          t.pending <- t.pending - 1;
+          k None
+      | Some (Cb_remove _) -> failwith "Runtime: bad busy token"
+      | None -> ())
   | Wire.Repl_put { token; key; point; cell } ->
       ignore (store_replica sn ~point ~key cell);
       send t ~src:sn.sid ~dst:from (Wire.Repl_put_ack { token })
@@ -1987,6 +2169,9 @@ let crash_snode t sid =
       (fun _ p ->
         p.suspect <- false;
         p.strikes <- 0;
+        (* RTT estimates are soft state, like suspicions. *)
+        p.srtt <- 0.;
+        p.rttvar <- 0.;
         Hashtbl.iter
           (fun _ e ->
             (match e.o_timer with Some tm -> Engine.disarm tm | None -> ());
@@ -2025,12 +2210,24 @@ let restart_snode t sid =
     Vtbl.iter
       (fun vid v -> List.iter (fun s -> cache_learn t sn s vid) v.spans)
       sn.locals;
-    (* Re-arm retransmission for everything still unacknowledged. *)
+    (* Re-arm retransmission for everything still unacknowledged. With a
+       bounded window the whole outbox re-enters through the backlog so
+       the restart burst respects the window too. *)
     Hashtbl.iter
       (fun pid p ->
-        Hashtbl.fold (fun seq e acc -> (seq, e) :: acc) p.outbox []
-        |> List.sort compare
-        |> List.iter (fun (seq, e) -> transmit t sn ~dst:pid ~seq e))
+        if t.max_inflight = 0 then
+          Hashtbl.fold (fun seq e acc -> (seq, e) :: acc) p.outbox []
+          |> List.sort compare
+          |> List.iter (fun (seq, e) -> transmit t sn ~dst:pid ~seq e)
+        else begin
+          Queue.clear p.backlog;
+          p.live <- 0;
+          Hashtbl.iter (fun _ e -> e.o_live <- false) p.outbox;
+          Hashtbl.fold (fun seq _ acc -> seq :: acc) p.outbox []
+          |> List.sort compare
+          |> List.iter (fun seq -> Queue.add seq p.backlog);
+          refill_window t sn ~pid
+        end)
       sn.peers;
     (* Flush timers died with the crash; anything still staged goes out
        one linger window from now. *)
@@ -2072,10 +2269,12 @@ let restart_snode t sid =
 
 let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
     ?(approach = Local { vmin = 16 }) ?faults ?(max_retries = 50)
-    ?(backoff = 1e-3) ?(rto = 1e-3) ?(rto_cap = 0.05) ?(poison_after = 5)
-    ?(event_timeout = 1.0) ?(rfactor = 1) ?(read_quorum = 1)
-    ?(write_quorum = 1) ?(handoff_timeout = 0.02) ?(linger = 0.) ?metrics
-    ?(trace = Trace.noop) ~snodes ~seed () =
+    ?(backoff = 1e-3) ?(rto = 1e-3) ?(rto_cap = 0.05) ?(retry_budget = 0)
+    ?(adaptive_rto = false) ?(max_inflight = 0) ?(admission_deadline = 0.)
+    ?(ingress_limit = 0) ?(poison_after = 5) ?(event_timeout = 1.0)
+    ?(rfactor = 1) ?(read_quorum = 1) ?(write_quorum = 1)
+    ?(handoff_timeout = 0.02) ?(linger = 0.) ?metrics ?(trace = Trace.noop)
+    ~snodes ~seed () =
   if snodes < 1 then invalid_arg "Runtime.create: need at least one snode";
   if not (Params.is_power_of_two pmin) then
     invalid_arg "Runtime.create: pmin must be a power of two";
@@ -2084,6 +2283,11 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
   if backoff <= 0. || rto <= 0. || event_timeout <= 0. then
     invalid_arg "Runtime.create: delays must be positive";
   if rto_cap < rto then invalid_arg "Runtime.create: rto_cap < rto";
+  if retry_budget < 0 then invalid_arg "Runtime.create: retry_budget < 0";
+  if max_inflight < 0 then invalid_arg "Runtime.create: max_inflight < 0";
+  if ingress_limit < 0 then invalid_arg "Runtime.create: ingress_limit < 0";
+  if admission_deadline < 0. || not (Float.is_finite admission_deadline) then
+    invalid_arg "Runtime.create: admission_deadline must be finite and >= 0";
   Params.check_quorum ~rfactor ~read_quorum ~write_quorum;
   if rfactor > snodes then
     invalid_arg "Runtime.create: rfactor exceeds the snode count";
@@ -2101,6 +2305,7 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
   in
   let engine = Engine.create () in
   let net = Network.create ?faults engine link in
+  if ingress_limit > 0 then Network.set_ingress_limit net ingress_limit;
   let master = Rng.of_int seed in
   let first = Vnode_id.make ~snode:0 ~vnode:0 in
   let level0 = Params.log2_exact pmin in
@@ -2196,6 +2401,10 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
       backoff;
       rto;
       rto_cap;
+      retry_budget;
+      adaptive_rto;
+      max_inflight;
+      admission_deadline;
       poison_after;
       event_timeout;
       rfactor;
@@ -2219,6 +2428,12 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
       retried = 0;
       timeouts = 0;
       retransmits = 0;
+      probes = 0;
+      sheds = 0;
+      busy_rejections = 0;
+      backpressured = 0;
+      reliable_msgs = 0;
+      outbox_peak = 0;
       crashes = 0;
       recoveries = 0;
       hints_stored = 0;
@@ -2274,6 +2489,53 @@ let stats t =
     recoveries = t.recoveries;
   }
 
+type overload_stats = {
+  sheds : int;
+  busy_rejections : int;
+  probes : int;
+  backpressured : int;
+  reliable_messages : int;
+  outbox_peak : int;
+  ingress_overflows : int;
+  ingress_peak : int;
+}
+
+let overload_stats (t : t) =
+  {
+    sheds = t.sheds;
+    busy_rejections = t.busy_rejections;
+    probes = t.probes;
+    backpressured = t.backpressured;
+    reliable_messages = t.reliable_msgs;
+    outbox_peak = t.outbox_peak;
+    ingress_overflows = Network.ingress_overflows t.net;
+    ingress_peak = Network.max_ingress_high_water t.net;
+  }
+
+(* Bounded-queue audit: the structural invariants of the degradation layer.
+   Cheap enough to run at every explorer step. *)
+let queue_audit t =
+  let issues = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> issues := s :: !issues) fmt in
+  Array.iter
+    (fun sn ->
+      Hashtbl.iter
+        (fun pid p ->
+          let live =
+            Hashtbl.fold
+              (fun _ e acc -> if e.o_live then acc + 1 else acc)
+              p.outbox 0
+          in
+          if live <> p.live then
+            fail "snode %d -> %d: window accounting drift (%d counted, %d live)"
+              sn.sid pid p.live live;
+          if t.max_inflight > 0 && p.live > t.max_inflight then
+            fail "snode %d -> %d: %d in flight exceeds the window of %d"
+              sn.sid pid p.live t.max_inflight)
+        sn.peers)
+    t.snodes;
+  List.rev !issues
+
 type repl_stats = {
   hints_stored : int;
   hints_flushed : int;
@@ -2321,6 +2583,14 @@ let record_metrics t reg =
   c "runtime.crashes" s.crashes;
   c "runtime.recoveries" s.recoveries;
   c "runtime.retries" t.retried;
+  c "runtime.retry.probes" t.probes;
+  c "runtime.reliable_messages" t.reliable_msgs;
+  c "runtime.admission.shed" t.sheds;
+  c "runtime.admission.busy" t.busy_rejections;
+  c "runtime.backpressured" t.backpressured;
+  g "runtime.outbox.peak" (float_of_int t.outbox_peak);
+  c "net.ingress.overflows" (Network.ingress_overflows t.net);
+  g "net.ingress.peak" (float_of_int (Network.max_ingress_high_water t.net));
   c "runtime.repl.hint.stored" t.hints_stored;
   c "runtime.repl.hint.flushed" t.hints_flushed;
   c "runtime.repl.repair.read" t.read_repairs;
@@ -2378,7 +2648,9 @@ let put t ?(via = 0) ?on_done ~key ~value () =
   let point = Hash.string t.space key in
   Engine.schedule t.engine ~delay:0. (fun () ->
       match if t.rfactor > 1 then live_coordinator t via else None with
-      | Some sn -> start_qput t sn ~token ~key ~point (stamp_cell t sn ~value)
+      | Some sn ->
+          start_qput t sn ~token ~origin:via ~key ~point
+            (stamp_cell t sn ~value)
       | None ->
           (* Replication off, or every snode is down: fall back to the
              single-copy routed path. It parks until a restart; the owner
@@ -2397,7 +2669,7 @@ let get t ?(via = 0) ~key k =
   let point = Hash.string t.space key in
   Engine.schedule t.engine ~delay:0. (fun () ->
       match if t.rfactor > 1 then live_coordinator t via else None with
-      | Some sn -> start_qget t sn ~token ~key ~point
+      | Some sn -> start_qget t sn ~token ~origin:via ~key ~point
       | None ->
           deliver_local t t.snodes.(via)
             (Wire.Routed

@@ -48,6 +48,11 @@ val create :
   ?backoff:float ->
   ?rto:float ->
   ?rto_cap:float ->
+  ?retry_budget:int ->
+  ?adaptive_rto:bool ->
+  ?max_inflight:int ->
+  ?admission_deadline:float ->
+  ?ingress_limit:int ->
   ?poison_after:int ->
   ?event_timeout:float ->
   ?rfactor:int ->
@@ -85,6 +90,35 @@ val create :
     or retransmission toward the dead snode never ends. Without [faults]
     the runtime behaves {e exactly} as before: same messages, same bytes,
     same clock, same random draws.
+
+    The graceful-degradation knobs all default to off, leaving the legacy
+    behaviour bit-for-bit intact. [retry_budget] (default 0: unlimited)
+    caps the fast retransmissions of any one reliable message: past the
+    budget further attempts still go out — a silently-restarted peer must
+    eventually hear the message — but only at the [rto_cap] cadence, and
+    they count as {e probes}, not retransmissions, so
+    [retransmits <= retry_budget * reliable_messages] holds by
+    construction ({!overload_stats}). [adaptive_rto] (default false)
+    replaces the fixed [rto] ladder base with a per-route Jacobson/Karn
+    estimate (SRTT + 4·RTTVAR from samples of never-retransmitted
+    messages, floored at [rto], capped at [rto_cap]): a gray-failed route
+    whose true round trip exceeds [rto] stops provoking spurious
+    retransmissions. RTT estimates are soft state and die with a crash.
+    [max_inflight] (default 0: unbounded) bounds each peer's transmission
+    window: excess messages park in a per-peer backlog (counted by
+    {!overload_stats}.backpressured) and promote in issue order as acks
+    retire window entries. [admission_deadline] (default 0: off) arms
+    deadline-aware admission control on quorum operations: a coordinator
+    that estimates it cannot assemble the quorum within the deadline —
+    from per-route smoothed RTTs scaled by queue pressure and the route's
+    graded suspicion level (its timeout strike count, the same scale whose
+    top is [poison_after]) — sheds the operation {e before} touching any
+    replica and answers the origin with an explicit {!Wire.Busy}; the op
+    settles immediately as unacknowledged (a put's [on_done] never fires,
+    a get answers [None]), never a silent drop. [ingress_limit] (default
+    0: unbounded) bounds every snode's network ingress queue
+    ({!Network.set_ingress_limit}): overload becomes explicit loss for the
+    reliable layer to absorb, instead of an ever-growing event queue.
 
     [rfactor] (default 1: replication off, the original single-copy
     behaviour) keeps every partition on [rfactor] distinct snodes —
@@ -232,6 +266,30 @@ type stats = {
 val stats : t -> stats
 (** Fault and recovery counters (all zero without a fault plan). *)
 
+type overload_stats = {
+  sheds : int;  (** quorum ops refused by admission control *)
+  busy_rejections : int;  (** {!Wire.Busy} replies settled at the origin *)
+  probes : int;  (** rate-limited retransmissions past the retry budget *)
+  backpressured : int;  (** messages parked by a full inflight window *)
+  reliable_messages : int;  (** messages entered into reliable delivery *)
+  outbox_peak : int;  (** deepest any peer outbox has been *)
+  ingress_overflows : int;  (** deliveries refused by the ingress bound *)
+  ingress_peak : int;  (** deepest any ingress queue has been *)
+}
+
+val overload_stats : t -> overload_stats
+(** Degradation-layer counters. [sheds] counts at the coordinator,
+    [busy_rejections] at the origin when the Busy reply lands; they agree
+    once traffic drains. The retry-budget law
+    [retransmits <= retry_budget * reliable_messages] is checkable from
+    {!stats}.retransmits and [reliable_messages] here. *)
+
+val queue_audit : t -> string list
+(** Structural audit of the bounded queues: every peer's inflight count
+    must match its window bookkeeping and stay within [max_inflight].
+    Empty when sound. Cheap; safe to call mid-run (e.g. from an explorer
+    step or a chaos harness). *)
+
 (** {2 Replication} *)
 
 val peek : t -> key:string -> string option
@@ -315,6 +373,10 @@ module Oplog : sig
         (** the get resolved to [value] *)
     | Fail of { token : int; at : float }
         (** the put settled as unacknowledged (quorum never assembled) *)
+    | Busy of { token : int; at : float }
+        (** shed by admission control before touching any replica: like
+            [Fail], but additionally guaranteed effect-free — the value
+            must never be observed by any read nor found durable *)
 end
 
 val set_recorder : t -> (Oplog.event -> unit) option -> unit

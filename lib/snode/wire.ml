@@ -66,6 +66,7 @@ type msg =
   | Remove_done of { token : int; ok : bool }
   | Put_ack of { token : int }
   | Get_reply of { token : int; value : string option }
+  | Busy of { token : int }
   | Repl_put of { token : int; key : string; point : int; cell : Versioned.cell }
   | Repl_put_ack of { token : int }
   | Repl_get of { token : int; key : string; point : int }
@@ -145,6 +146,7 @@ let rec size_bytes = function
   | Put_ack _ -> envelope
   | Get_reply { value; _ } ->
       envelope + Option.fold ~none:0 ~some:String.length value
+  | Busy _ -> envelope
   | Repl_put { key; cell; _ } ->
       envelope + String.length key + Versioned.size_bytes cell
   | Repl_put_ack _ -> envelope
@@ -200,6 +202,7 @@ let rec describe = function
   | Remove_done _ -> "remove-done"
   | Put_ack _ -> "put-ack"
   | Get_reply _ -> "get-reply"
+  | Busy _ -> "busy"
   | Repl_put _ -> "repl:put"
   | Repl_put_ack _ -> "repl:put-ack"
   | Repl_get _ -> "repl:get"
@@ -236,6 +239,7 @@ and req_tag = function
   | Remove_done _ -> "req:remove-done"
   | Put_ack _ -> "req:put-ack"
   | Get_reply _ -> "req:get-reply"
+  | Busy _ -> "req:busy"
   | Repl_put _ -> "req:repl:put"
   | Repl_put_ack _ -> "req:repl:put-ack"
   | Repl_get _ -> "req:repl:get"

@@ -99,6 +99,12 @@ type msg =
           (L2 floor, capacity, unknown vnode) *)
   | Put_ack of { token : int }
   | Get_reply of { token : int; value : string option }
+  | Busy of { token : int }
+      (** admission-control rejection: the coordinator could not finish the
+          operation within its deadline and shed it {e before} touching any
+          replica. The origin fails the op immediately instead of waiting
+          out a timeout. A [Busy]-rejected write was never applied anywhere
+          and must never be observed as committed. *)
   | Repl_put of { token : int; key : string; point : int; cell : Versioned.cell }
       (** quorum write: the coordinator fans the stamped cell to every
           replica of [point]; replicas accept-and-store (owner into its

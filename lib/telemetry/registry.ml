@@ -60,6 +60,23 @@ let histogram t ?(labels = []) ?lo ?growth ?bins name =
 
 let is_empty t = Hashtbl.length t.tbl = 0
 
+let histograms t ?(labels = []) name =
+  Hashtbl.fold
+    (fun (n, ls) instr acc ->
+      match instr with
+      | Hist h when n = name && List.for_all (fun kv -> List.mem kv ls) labels
+        ->
+          (ls, h) :: acc
+      | Hist _ | Counter _ | Gauge _ -> acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+let merged t ?labels name =
+  match histograms t ?labels name with
+  | [] -> None
+  | h :: rest -> Some (List.fold_left Histogram.merge h rest)
+
 type row = {
   name : string;
   labels : (string * string) list;

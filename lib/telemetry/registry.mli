@@ -47,6 +47,21 @@ val histogram :
 
 val is_empty : t -> bool
 
+val histograms :
+  t -> ?labels:(string * string) list -> string -> Histogram.t list
+(** Every histogram already registered under [name] whose label set
+    includes all of [labels] (default: every shard of the metric), in
+    deterministic label order. Read-only: unlike {!histogram} nothing is
+    created, so report code can look up series without inventing empty
+    instruments that would then leak into {!rows} and the CSV. *)
+
+val merged : t -> ?labels:(string * string) list -> string -> Histogram.t option
+(** The {!Histogram.merge} of every shard {!histograms} selects — the one
+    sanctioned way for reports to derive quantiles, guaranteeing they
+    agree with the per-shard rows the CSV carries. [None] when nothing
+    matching was registered (a single matching shard is returned as-is;
+    treat the result as read-only). *)
+
 type row = {
   name : string;
   labels : (string * string) list;

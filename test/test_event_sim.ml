@@ -270,6 +270,135 @@ let test_network_applies_faults () =
   Engine.run e;
   check Alcotest.int "delivered after restart" 1 !delivered
 
+let test_fault_crash_overlap () =
+  Alcotest.check_raises "overlapping windows, same snode"
+    (Invalid_argument
+       "Fault.create: overlapping crash windows for snode 0 ([1, 2) and [1.5, \
+        3))") (fun () ->
+      ignore (Fault.create ~crashes:[ (0, 1., 2.); (0, 1.5, 3.) ] ~seed:1 ()));
+  Alcotest.check_raises "duplicate window"
+    (Invalid_argument
+       "Fault.create: overlapping crash windows for snode 2 ([1, 2) and [1, \
+        2))") (fun () ->
+      ignore (Fault.create ~crashes:[ (2, 1., 2.); (2, 1., 2.) ] ~seed:1 ()));
+  (* Half-open windows: one may start exactly where another ends. *)
+  let f = Fault.create ~crashes:[ (0, 1., 2.); (0, 2., 3.) ] ~seed:1 () in
+  check Alcotest.int "back-to-back windows accepted" 2
+    (List.length (Fault.crash_plan f));
+  (* Same instants on different snodes never conflict. *)
+  let f = Fault.create ~crashes:[ (0, 1., 2.); (1, 1., 2.) ] ~seed:1 () in
+  check Alcotest.int "distinct snodes accepted" 2
+    (List.length (Fault.crash_plan f));
+  Alcotest.check_raises "negative snode"
+    (Invalid_argument "Fault.create: negative snode in crash plan") (fun () ->
+      ignore (Fault.create ~crashes:[ (-1, 1., 2.) ] ~seed:1 ()))
+
+let test_fault_heal_noop () =
+  let f = Fault.create ~seed:9 () in
+  (* Healing a link that was never severed changes nothing and never raises:
+     recovery sweeps heal whole neighbourhoods blindly. *)
+  Fault.heal f 1 2;
+  check Alcotest.bool "still unsevered" false (Fault.severed f 1 2);
+  Fault.heal_oneway f ~src:1 ~dst:2;
+  check Alcotest.bool "still unsevered oneway" false
+    (Fault.severed_oneway f ~src:1 ~dst:2);
+  check Alcotest.bool "no phantom cut" false (Fault.cut f ~src:1 ~dst:2);
+  check Alcotest.int "no drops recorded" 0 (Fault.drops f)
+
+let test_fault_oneway () =
+  let f = Fault.create ~seed:13 () in
+  Fault.sever_oneway f ~src:1 ~dst:2;
+  check Alcotest.bool "forward severed" true (Fault.severed_oneway f ~src:1 ~dst:2);
+  check Alcotest.bool "reverse open" false (Fault.severed_oneway f ~src:2 ~dst:1);
+  check Alcotest.bool "symmetric view unaffected" false (Fault.severed f 1 2);
+  check Alcotest.bool "forward cut" true (Fault.cut f ~src:1 ~dst:2);
+  check Alcotest.bool "reverse passes" false (Fault.cut f ~src:2 ~dst:1);
+  check Alcotest.int "one drop" 1 (Fault.drops f);
+  Fault.heal_oneway f ~src:1 ~dst:2;
+  check Alcotest.bool "healed" false (Fault.severed_oneway f ~src:1 ~dst:2);
+  check Alcotest.bool "forward passes after heal" false (Fault.cut f ~src:1 ~dst:2)
+
+let test_fault_slow () =
+  let f = Fault.create ~seed:17 () in
+  check (Alcotest.float 0.) "default factor" 1. (Fault.slow_factor f ~dst:3);
+  check Alcotest.bool "not slow" false (Fault.is_slow f 3);
+  Fault.set_slow f 3 10.;
+  check (Alcotest.float 0.) "factor set" 10. (Fault.slow_factor f ~dst:3);
+  check Alcotest.bool "slow" true (Fault.is_slow f 3);
+  check (Alcotest.float 0.) "others unaffected" 1. (Fault.slow_factor f ~dst:4);
+  Fault.clear_slow f 3;
+  check (Alcotest.float 0.) "cleared" 1. (Fault.slow_factor f ~dst:3);
+  Alcotest.check_raises "factor below one"
+    (Invalid_argument "Fault.set_slow: factor must be finite and >= 1")
+    (fun () -> Fault.set_slow f 3 0.5);
+  Alcotest.check_raises "negative snode"
+    (Invalid_argument "Fault.set_slow: negative snode") (fun () ->
+      Fault.set_slow f (-1) 2.)
+
+let test_network_slow_destination () =
+  let e = Engine.create () in
+  let f = Fault.create ~seed:21 () in
+  let link = Network.link ~base_latency:1e-3 ~byte_time:0. in
+  let net = Network.create ~faults:f e link in
+  Fault.set_slow f 1 10.;
+  let arrived = ref nan in
+  Network.send net ~src:0 ~dst:1 ~bytes:10 (fun () -> arrived := Engine.now e);
+  Engine.run e;
+  check (Alcotest.float 1e-12) "delivery stretched by the factor" 1e-2 !arrived;
+  (* A healthy destination still sees the nominal link delay. *)
+  let arrived' = ref nan in
+  Network.send net ~src:0 ~dst:2 ~bytes:10 (fun () -> arrived' := Engine.now e);
+  Engine.run e;
+  check (Alcotest.float 1e-12) "healthy peer at nominal latency" (1e-2 +. 1e-3)
+    !arrived';
+  Fault.clear_slow f 1;
+  let arrived'' = ref nan in
+  Network.send net ~src:0 ~dst:1 ~bytes:10 (fun () -> arrived'' := Engine.now e);
+  Engine.run e;
+  check (Alcotest.float 1e-12) "back to nominal after clear"
+    (1e-2 +. 1e-3 +. 1e-3) !arrived''
+
+let test_network_ingress_bound () =
+  let e = Engine.create () in
+  let net = Network.create e Network.gigabit in
+  Alcotest.check_raises "negative limit"
+    (Invalid_argument "Network.set_ingress_limit: negative limit") (fun () ->
+      Network.set_ingress_limit net (-1));
+  Network.set_ingress_limit net 2;
+  let delivered = ref 0 in
+  for _ = 1 to 4 do
+    Network.send net ~src:0 ~dst:1 ~bytes:10 (fun () -> incr delivered)
+  done;
+  (* Two deliveries occupy the queue; the other two were dropped at the
+     door before any delivery was scheduled. *)
+  check Alcotest.int "queue at the bound" 2 (Network.ingress_depth net ~dst:1);
+  check Alcotest.int "two refused" 2 (Network.ingress_overflows net);
+  (* Loopback is exempt from the bound even when the queue is full. *)
+  Network.send net ~src:1 ~dst:1 ~bytes:10 (fun () -> incr delivered);
+  Engine.run e;
+  check Alcotest.int "admitted plus loopback land" 3 !delivered;
+  check Alcotest.int "queue drained" 0 (Network.ingress_depth net ~dst:1);
+  check Alcotest.int "high water at the bound" 2
+    (Network.ingress_high_water net ~dst:1);
+  check Alcotest.int "global high water" 2 (Network.max_ingress_high_water net);
+  check Alcotest.int "other destinations untouched" 0
+    (Network.ingress_high_water net ~dst:2);
+  (* reset_counters rebases high-water marks to the (drained) depth. *)
+  Network.reset_counters net;
+  check Alcotest.int "high water rebased" 0
+    (Network.ingress_high_water net ~dst:1);
+  check Alcotest.int "overflows zeroed" 0 (Network.ingress_overflows net);
+  (* Limit 0 restores the historical unbounded behaviour. *)
+  Network.set_ingress_limit net 0;
+  delivered := 0;
+  for _ = 1 to 8 do
+    Network.send net ~src:0 ~dst:1 ~bytes:10 (fun () -> incr delivered)
+  done;
+  Engine.run e;
+  check Alcotest.int "unbounded again" 8 !delivered;
+  check Alcotest.int "no overflows when unbounded" 0
+    (Network.ingress_overflows net)
+
 let suite =
   [
     Alcotest.test_case "heap orders random input" `Quick
@@ -299,4 +428,14 @@ let suite =
     Alcotest.test_case "fault jitter bounds" `Quick test_fault_jitter_bounds;
     Alcotest.test_case "network applies faults" `Quick
       test_network_applies_faults;
+    Alcotest.test_case "fault crash-window overlap" `Quick
+      test_fault_crash_overlap;
+    Alcotest.test_case "fault heal is a no-op when unsevered" `Quick
+      test_fault_heal_noop;
+    Alcotest.test_case "fault one-way sever" `Quick test_fault_oneway;
+    Alcotest.test_case "fault slow (gray failure) table" `Quick test_fault_slow;
+    Alcotest.test_case "network slow destination" `Quick
+      test_network_slow_destination;
+    Alcotest.test_case "network bounded ingress" `Quick
+      test_network_ingress_bound;
   ]

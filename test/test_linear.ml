@@ -12,8 +12,8 @@ module Fault = Dht_event_sim.Fault
 module H = Dht_check.History
 module Linear = Dht_check.Linear
 
-let mk ?(session = 0) ?(failed = false) ?ret ~token ~inv op =
-  { H.token; session; op; inv; ret; failed }
+let mk ?(session = 0) ?(failed = false) ?(shed = false) ?ret ~token ~inv op =
+  { H.token; session; op; inv; ret; failed; shed }
 
 let put ?session ?failed ?ret ~token ~inv key value =
   mk ?session ?failed ?ret ~token ~inv (H.Put { key; value })
@@ -166,6 +166,42 @@ let test_durability () =
   Alcotest.(check bool) "stale survivor flagged" true
     (issues (fun _ -> Some "old") <> [])
 
+let test_busy_never_committed () =
+  let shed_put ~token ~inv key value =
+    { (put ~failed:true ~token ~inv key value) with H.shed = true }
+  in
+  let violated ?peek entries = Linear.busy_never_committed ?peek entries <> [] in
+  Alcotest.(check bool) "shed value observed by a read" true
+    (violated
+       [
+         shed_put ~token:0 ~inv:0. "k" "a";
+         get ~token:1 ~inv:1. ~ret:2. "k" (Some "a");
+       ]);
+  Alcotest.(check bool) "shed value absent from reads" false
+    (violated
+       [
+         shed_put ~token:0 ~inv:0. "k" "a";
+         get ~token:1 ~inv:1. ~ret:2. "k" None;
+       ]);
+  Alcotest.(check bool) "same value legitimately written elsewhere" false
+    (violated
+       [
+         put ~token:0 ~inv:0. ~ret:1. "k" "a";
+         get ~token:1 ~inv:2. ~ret:3. "k" (Some "a");
+       ]);
+  Alcotest.(check bool) "shed value found durable" true
+    (violated ~peek:(fun _ -> Some "a") [ shed_put ~token:0 ~inv:0. "k" "a" ]);
+  Alcotest.(check bool) "authoritative copy clean" false
+    (violated ~peek:(fun _ -> None) [ shed_put ~token:0 ~inv:0. "k" "a" ]);
+  (* An ordinary failed (not shed) put constrains nothing: it may have
+     taken partial effect. *)
+  Alcotest.(check bool) "plain failed put unconstrained" false
+    (violated ~peek:(fun _ -> Some "a")
+       [
+         put ~failed:true ~token:0 ~inv:0. "k" "a";
+         get ~token:1 ~inv:1. ~ret:2. "k" (Some "a");
+       ])
+
 (* ------------------------------------------------------------------ *)
 (* Recorded runtime histories.                                         *)
 
@@ -271,6 +307,50 @@ let test_hint_drain_race () =
   full_ok "hint drain race" rt h;
   mutation_rejected "hint drain race" (H.entries h)
 
+let test_recorded_shed_history () =
+  (* A deadline no quorum round can meet: every op is shed with Busy. The
+     recorded history must carry the shed marks, pass the full checker
+     (including busy-never-committed against the live store), and none of
+     the shed values may be durable. *)
+  let rt =
+    Runtime.create
+      ~faults:(Fault.create ~seed:24 ())
+      ~pmin:8
+      ~approach:(Runtime.Local { vmin = 2 })
+      ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~admission_deadline:1e-9
+      ~snodes:4 ~seed:24 ()
+  in
+  let h = H.create () in
+  H.attach h rt;
+  for k = 0 to 5 do
+    Runtime.put rt ~via:(k mod 4) ~key:(Printf.sprintf "k%d" k)
+      ~value:(Printf.sprintf "v%d" k) ()
+  done;
+  Runtime.run rt;
+  for k = 0 to 5 do
+    Runtime.get rt ~via:((k + 1) mod 4) ~key:(Printf.sprintf "k%d" k) (fun _ -> ())
+  done;
+  Runtime.run rt;
+  let entries = H.entries h in
+  let sheds op_matches =
+    List.length
+      (List.filter
+         (fun (e : H.entry) -> e.shed && op_matches e.op)
+         entries)
+  in
+  Alcotest.(check int) "every put recorded as shed" 6
+    (sheds (function H.Put _ -> true | H.Get _ -> false));
+  Alcotest.(check int) "every get recorded as shed" 6
+    (sheds (function H.Get _ -> true | H.Put _ -> false));
+  full_ok "all-shed history" rt h;
+  (* Hand-corrupt the store: pretending a shed value committed anyway must
+     trip the checker. *)
+  match
+    Linear.busy_never_committed ~peek:(fun _ -> Some "v3") entries
+  with
+  | [] -> Alcotest.fail "corrupted store accepted"
+  | _ -> ()
+
 let suite =
   [
     Alcotest.test_case "Wing-Gong unit histories" `Quick test_wg_units;
@@ -283,4 +363,7 @@ let suite =
     Alcotest.test_case "recorded: dead-via reroute" `Quick
       test_dead_via_reroute;
     Alcotest.test_case "recorded: hint drain race" `Quick test_hint_drain_race;
+    Alcotest.test_case "busy never committed" `Quick test_busy_never_committed;
+    Alcotest.test_case "recorded: all ops shed with Busy" `Quick
+      test_recorded_shed_history;
   ]

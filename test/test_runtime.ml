@@ -608,6 +608,155 @@ let test_runtime_crash_recovery () =
   | Ok () -> ()
   | Error es -> Alcotest.fail (String.concat "\n" es)
 
+(* --- Overload and graceful degradation --- *)
+
+let test_runtime_degradation_validation () =
+  Alcotest.check_raises "negative retry budget"
+    (Invalid_argument "Runtime.create: retry_budget < 0") (fun () ->
+      ignore (Runtime.create ~retry_budget:(-1) ~snodes:2 ~seed:1 ()));
+  Alcotest.check_raises "negative window"
+    (Invalid_argument "Runtime.create: max_inflight < 0") (fun () ->
+      ignore (Runtime.create ~max_inflight:(-1) ~snodes:2 ~seed:1 ()));
+  Alcotest.check_raises "negative ingress"
+    (Invalid_argument "Runtime.create: ingress_limit < 0") (fun () ->
+      ignore (Runtime.create ~ingress_limit:(-1) ~snodes:2 ~seed:1 ()));
+  Alcotest.check_raises "bad deadline"
+    (Invalid_argument "Runtime.create: admission_deadline must be finite and >= 0")
+    (fun () ->
+      ignore (Runtime.create ~admission_deadline:(-1.) ~snodes:2 ~seed:1 ()))
+
+let test_runtime_backpressure_window () =
+  (* max_inflight = 1: every snode may have one un-acked reliable message
+     per peer; the rest park in the backlog and promote in order. The
+     workload must still complete, the window bookkeeping must audit
+     clean, and the parking must actually have happened. *)
+  let faults = Runtime.Fault.create ~seed:41 () in
+  let rt =
+    Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~faults
+      ~max_inflight:1 ~snodes:4 ~seed:41 ()
+  in
+  for i = 0 to 79 do
+    Runtime.put rt ~via:(i mod 4) ~key:(Printf.sprintf "bp%d" i)
+      ~value:(string_of_int i) ()
+  done;
+  Runtime.run rt;
+  check Alcotest.int "all puts done" 80 (Runtime.completed_puts rt);
+  let ov = Runtime.overload_stats rt in
+  check Alcotest.bool "messages were backpressured" true (ov.Runtime.backpressured > 0);
+  check Alcotest.bool "outbox grew past the window" true (ov.Runtime.outbox_peak >= 1);
+  check Alcotest.(list string) "window bookkeeping sound" [] (Runtime.queue_audit rt);
+  let wrong = ref 0 in
+  for i = 0 to 79 do
+    Runtime.get rt ~via:((i + 1) mod 4) ~key:(Printf.sprintf "bp%d" i) (fun v ->
+        if v <> Some (string_of_int i) then incr wrong)
+  done;
+  Runtime.run rt;
+  check Alcotest.int "no value lost under backpressure" 0 !wrong;
+  audit_ok rt "after backpressured workload"
+
+let test_runtime_adaptive_rto_on_gray_route () =
+  (* Snode 0 (the bootstrap owner of all data) is gray-failed: alive, but
+     its service time dwarfs the fixed 1 ms RTO base, so the fixed ladder
+     retransmits spuriously on every exchange. The Jacobson/Karn estimator
+     must learn the true round trip and stop the spurious traffic; same
+     seed, same workload, strictly fewer retransmissions. *)
+  let run ~adaptive =
+    let faults = Runtime.Fault.create ~seed:43 () in
+    (* Round trip ~1.3 ms against a 1 ms fixed RTO: most exchanges time out
+       spuriously, but the ladder's jitter lets some acks land first, and
+       those are the clean Karn samples that seed the estimator. *)
+    Runtime.Fault.set_slow faults 0 25.;
+    let rt =
+      Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~faults
+        ~adaptive_rto:adaptive ~snodes:4 ~seed:43 ()
+    in
+    (* Pace the workload out in virtual time: once the estimator has
+       learned the route, every later exchange benefits. *)
+    let e = Runtime.engine rt in
+    for i = 0 to 39 do
+      Engine.schedule e ~delay:(0.005 *. float_of_int (i + 1)) (fun () ->
+          Runtime.put rt
+            ~via:(1 + (i mod 3))
+            ~key:(Printf.sprintf "gray%d" i)
+            ~value:(string_of_int i) ())
+    done;
+    Runtime.run rt;
+    check Alcotest.int "all puts done on the gray route" 40
+      (Runtime.completed_puts rt);
+    (Runtime.stats rt).Runtime.retransmits
+  in
+  let fixed = run ~adaptive:false and adaptive = run ~adaptive:true in
+  check Alcotest.bool
+    (Printf.sprintf "adaptive %d < fixed %d retransmits" adaptive fixed)
+    true (adaptive < fixed)
+
+let test_runtime_admission_shed () =
+  (* An admission deadline far below any achievable quorum round trip:
+     every quorum op is shed before touching a replica. Puts settle
+     unacknowledged (on_done never fires), gets answer None, the Busy
+     reply is counted at the origin, and nothing is left pending. *)
+  let faults = Runtime.Fault.create ~seed:47 () in
+  let rt =
+    Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~faults
+      ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~admission_deadline:1e-9
+      ~snodes:4 ~seed:47 ()
+  in
+  let acked = ref 0 and got = ref [] in
+  for i = 0 to 9 do
+    Runtime.put rt ~via:(i mod 4) ~on_done:(fun () -> incr acked)
+      ~key:(Printf.sprintf "shed%d" i) ~value:"v" ()
+  done;
+  Runtime.run rt;
+  for i = 0 to 4 do
+    Runtime.get rt ~via:(i mod 4) ~key:(Printf.sprintf "shed%d" i) (fun v ->
+        got := v :: !got)
+  done;
+  Runtime.run rt;
+  check Alcotest.int "no put acknowledged" 0 !acked;
+  check Alcotest.int "every get answered" 5 (List.length !got);
+  List.iter
+    (fun v ->
+      check (Alcotest.option Alcotest.string) "shed get answers None" None v)
+    !got;
+  check Alcotest.int "nothing pending" 0 (Runtime.pending_operations rt);
+  let ov = Runtime.overload_stats rt in
+  check Alcotest.int "all 15 ops shed" 15 ov.Runtime.sheds;
+  check Alcotest.int "Busy settled at the origin for each" 15
+    ov.Runtime.busy_rejections;
+  (* No shed value may ever surface in the authoritative store. *)
+  for i = 0 to 9 do
+    check (Alcotest.option Alcotest.string) "shed write left no trace" None
+      (Runtime.peek rt ~key:(Printf.sprintf "shed%d" i))
+  done
+
+let test_runtime_retry_budget_property () =
+  (* The retry-budget law across 100 seeds of a lossy workload:
+     retransmits <= budget * reliable_messages, and past-budget attempts
+     surface as probes instead of vanishing. *)
+  let budget = 2 in
+  let violations = ref [] in
+  let probes_seen = ref 0 in
+  for seed = 1 to 100 do
+    let faults = Runtime.Fault.create ~drop:0.25 ~seed () in
+    let rt =
+      Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~faults
+        ~retry_budget:budget ~snodes:3 ~seed ()
+    in
+    for i = 0 to 14 do
+      Runtime.put rt ~via:(i mod 3) ~key:(Printf.sprintf "rb%d" i)
+        ~value:(string_of_int i) ()
+    done;
+    Runtime.run ~until:2. rt;
+    let s = Runtime.stats rt and ov = Runtime.overload_stats rt in
+    probes_seen := !probes_seen + ov.Runtime.probes;
+    if s.Runtime.retransmits > budget * ov.Runtime.reliable_messages then
+      violations := seed :: !violations
+  done;
+  check Alcotest.(list int) "retransmits <= budget * reliable messages" []
+    !violations;
+  check Alcotest.bool "past-budget attempts surfaced as probes" true
+    (!probes_seen > 0)
+
 let suite =
   [
     Alcotest.test_case "plan: bootstrap growth" `Quick test_plan_bootstrap_growth;
@@ -651,4 +800,14 @@ let suite =
       test_runtime_reliable_under_faults;
     Alcotest.test_case "runtime: crash recovery" `Quick
       test_runtime_crash_recovery;
+    Alcotest.test_case "runtime: degradation knob validation" `Quick
+      test_runtime_degradation_validation;
+    Alcotest.test_case "runtime: backpressure window" `Quick
+      test_runtime_backpressure_window;
+    Alcotest.test_case "runtime: adaptive RTO on a gray route" `Quick
+      test_runtime_adaptive_rto_on_gray_route;
+    Alcotest.test_case "runtime: admission control sheds with Busy" `Quick
+      test_runtime_admission_shed;
+    Alcotest.test_case "runtime: retry budget across 100 seeds" `Quick
+      test_runtime_retry_budget_property;
   ]

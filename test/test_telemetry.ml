@@ -171,6 +171,41 @@ let test_registry_rows_sorted () =
     names;
   check Alcotest.int "csv rows match" 4 (List.length (Registry.csv_rows reg))
 
+let test_registry_readonly_lookup () =
+  let reg = Registry.create () in
+  let hp = Registry.histogram reg ~labels:[ ("op", "put") ] "q.latency" in
+  let hg = Registry.histogram reg ~labels:[ ("op", "get") ] "q.latency" in
+  Histogram.observe hp 1.0;
+  Histogram.observe hp 2.0;
+  Histogram.observe hg 4.0;
+  (* Subset label match: no labels selects every shard, a full label pins
+     one. *)
+  check Alcotest.int "all shards" 2 (List.length (Registry.histograms reg "q.latency"));
+  check Alcotest.int "one shard" 1
+    (List.length (Registry.histograms reg ~labels:[ ("op", "put") ] "q.latency"));
+  check Alcotest.int "no shard" 0
+    (List.length (Registry.histograms reg ~labels:[ ("op", "del") ] "q.latency"));
+  (* merged aggregates across shards: the count is the sum and the merged
+     quantile equals the one from observing everything into one series. *)
+  (match Registry.merged reg "q.latency" with
+  | None -> Alcotest.fail "merged found nothing"
+  | Some m ->
+      check Alcotest.int "merged count" 3 (Histogram.count m);
+      let direct = Histogram.create () in
+      List.iter (Histogram.observe direct) [ 1.0; 2.0; 4.0 ];
+      check (Alcotest.float 1e-9) "merged p50 = combined p50"
+        (Histogram.quantile direct 0.5) (Histogram.quantile m 0.5));
+  (* Read-only: looking up an absent metric must not invent instruments
+     that would then leak into rows/CSV. *)
+  let before = List.length (Registry.rows reg) in
+  check Alcotest.bool "absent metric is None" true
+    (Registry.merged reg "never.observed" = None);
+  check Alcotest.int "lookup registered nothing" before
+    (List.length (Registry.rows reg));
+  (* Merging never mutates the shards. *)
+  check Alcotest.int "put shard untouched" 2 (Histogram.count hp);
+  check Alcotest.int "get shard untouched" 1 (Histogram.count hg)
+
 (* --- Trace sinks --- *)
 
 let test_noop_is_disabled () =
@@ -273,6 +308,8 @@ let suite =
       test_registry_kind_clash;
     Alcotest.test_case "registry: rows sorted deterministically" `Quick
       test_registry_rows_sorted;
+    Alcotest.test_case "registry: read-only histogram lookup and merge" `Quick
+      test_registry_readonly_lookup;
     Alcotest.test_case "trace: noop records nothing" `Quick
       test_noop_is_disabled;
     Alcotest.test_case "trace: jsonl and chrome writers" `Quick

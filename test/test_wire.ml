@@ -101,8 +101,9 @@ let canonical = function
   | Wire.Lpdr_pull _ -> 31
   | Wire.Lpdr_push _ -> 32
   | Wire.Batch _ -> 33
+  | Wire.Busy _ -> 34
 
-let constructor_count = 34
+let constructor_count = 35
 
 (* The same message with a strictly larger variable-size payload, or the
    message itself when the constructor is fixed-size. Also wildcard-free,
@@ -133,6 +134,7 @@ let inflate = function
   | Wire.Remove_done _ as m -> m
   | Wire.Put_ack _ as m -> m
   | Wire.Get_reply g -> Wire.Get_reply { g with value = Some big }
+  | Wire.Busy _ as m -> m
   | Wire.Repl_put p -> Wire.Repl_put { p with cell = cell big }
   | Wire.Repl_put_ack _ as m -> m
   | Wire.Repl_get g -> Wire.Repl_get { g with key = big }
@@ -186,6 +188,7 @@ let all_messages =
     Wire.Remove_done { token = 3; ok = true };
     Wire.Put_ack { token = 1 };
     Wire.Get_reply { token = 2; value = Some "v" };
+    Wire.Busy { token = 6 };
     Wire.Repl_put { token = 4; key = "k"; point = 5; cell = cell "v" };
     Wire.Repl_put_ack { token = 4 };
     Wire.Repl_get { token = 5; key = "k"; point = 5 };
