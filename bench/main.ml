@@ -293,15 +293,22 @@ let emit_runtime_json path =
      (rfactor 3, R = W = 2), so the fan-out cost of quorum coordination is
      tracked alongside the single-copy numbers. Run twice — with the
      default one-quantum linger window (the headline block, what the CI
-     perf gate watches) and with batching off (the before/after
-     comparison). *)
-  let quorum_run ~linger =
+     perf gate watches), with batching off (the before/after comparison),
+     and with causal tracing armed (the observability tax: bigger frames,
+     span emission on the hot path) so tracing overhead is tracked as
+     data. *)
+  let quorum_run ?(causal = false) ~linger () =
+    let tbuf = Buffer.create (if causal then 1 lsl 20 else 16) in
+    let trace =
+      if causal then Dht_telemetry.Trace.(to_buffer Jsonl tbuf)
+      else Dht_telemetry.Trace.noop
+    in
     let qreg = Registry.create () in
     let qrt =
       Dht_snode.Runtime.create ~pmin:8
         ~approach:(Dht_snode.Runtime.Local { vmin = 4 })
         ~rfactor:3 ~read_quorum:2 ~write_quorum:2 ~linger ~metrics:qreg
-        ~snodes:8 ~seed:2004 ()
+        ~trace ~causal ~snodes:8 ~seed:2004 ()
     in
     let qt0 = Sys.time () in
     for i = 1 to 48 do
@@ -327,13 +334,18 @@ let emit_runtime_json path =
       + Dht_snode.Runtime.completed_puts qrt
       + Dht_snode.Runtime.completed_gets qrt
     in
-    (qreg, qops, qcpu)
+    Dht_telemetry.Trace.close trace;
+    (qreg, qops, qcpu, Dht_telemetry.Trace.events trace)
   in
   let default_linger = Dht_snode.Runtime.Network.(gigabit.base_latency) in
-  let qreg, qops, qcpu = quorum_run ~linger:default_linger in
-  let ureg, uops, ucpu = quorum_run ~linger:0. in
+  let qreg, qops, qcpu, _ = quorum_run ~linger:default_linger () in
+  let ureg, uops, ucpu, _ = quorum_run ~linger:0. () in
+  let treg, tops, tcpu, tevents =
+    quorum_run ~causal:true ~linger:default_linger ()
+  in
   let qcounter name = Registry.counter_value (Registry.counter qreg name) in
   let ucounter name = Registry.counter_value (Registry.counter ureg name) in
+  let tcounter name = Registry.counter_value (Registry.counter treg name) in
   let qlat op p =
     quantile
       (Registry.histogram qreg ~labels:[ ("op", op) ] "runtime.quorum.latency")
@@ -411,6 +423,20 @@ let emit_runtime_json path =
     \    \"get_latency_p50\": %.9f,\n\
     \    \"get_latency_p99\": %.9f\n\
     \  },\n\
+    \  \"quorum_traced\": {\n\
+    \    \"rfactor\": 3,\n\
+    \    \"read_quorum\": 2,\n\
+    \    \"write_quorum\": 2,\n\
+    \    \"causal\": true,\n\
+    \    \"operations\": %d,\n\
+    \    \"cpu_seconds\": %.6f,\n\
+    \    \"ops_per_second\": %.1f,\n\
+    \    \"messages\": %d,\n\
+    \    \"bytes\": %d,\n\
+    \    \"trace_events\": %d,\n\
+    \    \"bytes_overhead_pct\": %.2f,\n\
+    \    \"host_overhead_pct\": %.2f\n\
+    \  },\n\
     \  \"quorum_overload\": {\n\
     \    \"rate\": %.1f,\n\
     \    \"burst_rate\": %.1f,\n\
@@ -448,7 +474,16 @@ let emit_runtime_json path =
     uops ucpu
     (if ucpu > 0. then float_of_int uops /. ucpu else 0.)
     (ucounter "net.messages") (ucounter "net.bytes") (ulat "put" 0.5)
-    (ulat "put" 0.99) (ulat "get" 0.5) (ulat "get" 0.99)
+    (ulat "put" 0.99) (ulat "get" 0.5) (ulat "get" 0.99) tops tcpu
+    (if tcpu > 0. then float_of_int tops /. tcpu else 0.)
+    (tcounter "net.messages") (tcounter "net.bytes") tevents
+    (let qb = float_of_int (qcounter "net.bytes") in
+     if qb > 0. then
+       100. *. (float_of_int (tcounter "net.bytes") -. qb) /. qb
+     else 0.)
+    (let qrate = if qcpu > 0. then float_of_int qops /. qcpu else 0. in
+     let trate = if tcpu > 0. then float_of_int tops /. tcpu else 0. in
+     if qrate > 0. then 100. *. (1. -. (trate /. qrate)) else 0.)
     ov.Extensions.ov_rate ov.Extensions.ov_burst_rate
     ov.Extensions.ov_slow_snode ov.Extensions.ov_slow_factor
     ov.Extensions.ov_slo ocpu ov.Extensions.ov_acked
@@ -463,14 +498,16 @@ let emit_runtime_json path =
   close_out oc;
   Printf.printf
     "\nwrote %s (%d ops single-copy at %.0f ops/s; %d ops quorum at %.0f \
-     ops/s batched, %.0f ops/s unbatched on the host; overload goodput \
-     %.0f -> %.0f -> %.0f acked-in-SLO/s)\n"
+     ops/s batched, %.0f ops/s unbatched, %.0f ops/s causally traced \
+     (%d span events) on the host; overload goodput %.0f -> %.0f -> %.0f \
+     acked-in-SLO/s)\n"
     path ops
     (if cpu > 0. then float_of_int ops /. cpu else 0.)
     qops
     (if qcpu > 0. then float_of_int qops /. qcpu else 0.)
     (if ucpu > 0. then float_of_int uops /. ucpu else 0.)
-    (goodput "pre") (goodput "burst") (goodput "post")
+    (if tcpu > 0. then float_of_int tops /. tcpu else 0.)
+    tevents (goodput "pre") (goodput "burst") (goodput "post")
 
 (* ------------------------------------------------------------------ *)
 (* Part 3: figure regeneration (reduced runs; dht_sim for full scale)  *)

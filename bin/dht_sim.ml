@@ -73,14 +73,16 @@ type telemetry = {
   tel_show : bool;
   tel_csv : string option;
   tel_trace_path : string option;
+  tel_causal : bool;
 }
 
-let make_telemetry show csv trace_path =
+let make_telemetry show csv trace_path trace_limit causal =
   let tel_trace =
     match trace_path with
     | None -> Trace.noop
     | Some path ->
-        Trace.to_channel (Trace.format_of_path path) (open_out path)
+        Trace.to_channel ?limit:trace_limit (Trace.format_of_path path)
+          (open_out path)
   in
   {
     tel_reg = Registry.create ();
@@ -88,16 +90,24 @@ let make_telemetry show csv trace_path =
     tel_show = show || csv <> None;
     tel_csv = csv;
     tel_trace_path = trace_path;
+    tel_causal = causal;
   }
 
 (* Print/write/close whatever telemetry the command produced. Runs before
    any failure [exit] so trace files are always valid JSON. *)
 let finish_telemetry tel =
   Trace.close tel.tel_trace;
+  if tel.tel_trace_path <> None then
+    Registry.inc
+      (Registry.counter tel.tel_reg "trace_dropped_total")
+      (Trace.dropped tel.tel_trace);
   Option.iter
     (fun path ->
-      Printf.printf "wrote %s (%d trace events)\n" path
-        (Trace.events tel.tel_trace))
+      Printf.printf "wrote %s (%d trace events%s)\n" path
+        (Trace.events tel.tel_trace)
+        (match Trace.dropped tel.tel_trace with
+        | 0 -> ""
+        | n -> Printf.sprintf ", %d dropped by --trace-limit" n))
     tel.tel_trace_path;
   if tel.tel_show then begin
     print_endline "== telemetry ==";
@@ -131,7 +141,26 @@ let telemetry_term =
                 ui.perfetto.dev) otherwise. Timestamps are virtual, so the \
                 trace is byte-identical across runs with the same seed.")
   in
-  Term.(const make_telemetry $ show $ csv $ trace)
+  let trace_limit =
+    Arg.(value & opt (some int) None
+         & info [ "trace-limit" ] ~docv:"N"
+             ~doc:
+               "Cap the trace sink at $(docv) events; the excess is counted \
+                by the trace_dropped_total metric instead of written, \
+                bounding sink memory and file size.")
+  in
+  let causal =
+    Arg.(value & flag
+         & info [ "causal" ]
+             ~doc:
+               "With --trace, propagate span contexts inside wire frames \
+                and emit parent-linked causal events (op.begin/end, \
+                msg.send/xmit/recv) for $(b,dht_sim trace analyze). \
+                Honoured by the commands that drive the snode runtime (kv, \
+                chaos). Frames grow by the 20-byte context, so byte counts \
+                shift relative to an untraced run.")
+  in
+  Term.(const make_telemetry $ show $ csv $ trace $ trace_limit $ causal)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering helpers                                                   *)
@@ -650,7 +679,8 @@ let chaos_cmd =
   let run_overload tel slow retry_budget seed =
     let r =
       Extensions.overload ~slow_factor:slow ~retry_budget
-        ~metrics:tel.tel_reg ~trace:tel.tel_trace ~seed ()
+        ~metrics:tel.tel_reg ~trace:tel.tel_trace ~causal:tel.tel_causal
+        ~seed ()
     in
     Printf.printf
       "== Overload: %.0f puts/s, burst %.0f puts/s, snode %d %.0fx slower ==\n"
@@ -697,6 +727,31 @@ let chaos_cmd =
       "acked writes: %d, lost: %d; pending: %d; post/pre goodput: %.2f\n"
       r.Extensions.ov_acked r.Extensions.ov_lost_acked r.Extensions.ov_pending
       r.Extensions.ov_recovery_ratio;
+    (* Gray-failure health ranking from the mid-burst reliable-layer
+       telemetry: the scorer must name the planted slow snode without being
+       told which one it is. *)
+    let health = r.Extensions.ov_health in
+    let health_table =
+      Table.create ~headers:[ "snode"; "health score (1.0 = median)"; "" ]
+    in
+    List.iter
+      (fun (sid, score) ->
+        Table.add_row health_table
+          [ string_of_int sid;
+            Printf.sprintf "%.2f" score;
+            (if sid = r.Extensions.ov_slow_snode then "<- planted gray failure"
+             else "") ])
+      health;
+    print_endline "health ranking (worst first, sampled mid-burst):";
+    Table.print health_table;
+    let health_named =
+      match health with
+      | (worst, _) :: _ -> worst = r.Extensions.ov_slow_snode
+      | [] -> false
+    in
+    Printf.printf "health scorer: %s\n"
+      (if health_named then "named the gray-failed snode"
+       else "FAILED to name the gray-failed snode");
     List.iter (Printf.printf "queue audit: %s\n") r.Extensions.ov_queue_audit;
     List.iter
       (Printf.printf "busy audit: %s\n")
@@ -714,6 +769,7 @@ let chaos_cmd =
       || r.Extensions.ov_busy_violations <> []
       || r.Extensions.ov_recovery_ratio < 0.9
       || r.Extensions.ov_retx_per_op >= r.Extensions.ov_fixed_retx_per_op
+      || not health_named
     then exit 1
   in
   let run tel overload slow retry_budget snodes vnodes keys drop dup jitter
@@ -723,7 +779,8 @@ let chaos_cmd =
     let r =
       Extensions.chaos ~snodes ~vnodes ~keys ~drop ~dup ~jitter ~crashes
         ~downtime ~rfactor ~read_quorum ~write_quorum ~linger
-        ~metrics:tel.tel_reg ~trace:tel.tel_trace ~seed ()
+        ~metrics:tel.tel_reg ~trace:tel.tel_trace ~causal:tel.tel_causal
+        ~seed ()
     in
     Printf.printf
       "== Chaos: %d vnodes on %d snodes, drop %.1f%%, dup %.1f%%, %d crashes ==\n"
@@ -873,7 +930,8 @@ let kv_cmd =
     let faults = Runtime.Fault.create ~seed () in
     let rt =
       Runtime.create ~faults ~rfactor ~read_quorum ~write_quorum ~linger
-        ~metrics:tel.tel_reg ~trace:tel.tel_trace ~snodes ~seed ()
+        ~metrics:tel.tel_reg ~trace:tel.tel_trace ~causal:tel.tel_causal
+        ~snodes ~seed ()
     in
     Printf.printf "== KV quickstart: %d snodes, rfactor=%d, R=%d, W=%d ==\n"
       snodes rfactor read_quorum write_quorum;
@@ -1180,6 +1238,294 @@ let coexist_cmd =
        ~doc:"Multi-DHT coexistence with external load (section-6 future work).")
     term
 
+let heat_cmd =
+  (* Per-partition heat accounting under a planted hot spot: a Zipf
+     workload whose rank-1 key is known in advance must light up exactly
+     the partition (and owning snode) that holds it. *)
+  let module Runtime = Dht_snode.Runtime in
+  let module Engine = Dht_event_sim.Engine in
+  let module Keygen = Dht_workload.Keygen in
+  let module Span = Dht_hashspace.Span in
+  let module Hash = Dht_hashes.Hash in
+  let module Heat = Dht_obsv.Heat in
+  let run tel snodes vnodes nkeys s ops duration top tau rfactor read_quorum
+      write_quorum seed =
+    let rt =
+      Runtime.create ~metrics:tel.tel_reg ~trace:tel.tel_trace
+        ~causal:tel.tel_causal ~heat:true ~heat_tau:tau ~rfactor ~read_quorum
+        ~write_quorum ~snodes ~seed ()
+    in
+    for i = 1 to vnodes - 1 do
+      Runtime.create_vnode rt
+        ~id:(Dht_core.Vnode_id.make ~snode:(i mod snodes) ~vnode:(i / snodes))
+        ()
+    done;
+    Runtime.run rt;
+    (* Store every key once, then pace the Zipf access mix (80% reads)
+       across [duration] virtual seconds so the EWMA decay is exercised. *)
+    for rank = 1 to nkeys do
+      Runtime.put rt ~via:(rank mod snodes)
+        ~key:(Printf.sprintf "item%d" rank)
+        ~value:(Printf.sprintf "v%d" rank) ()
+    done;
+    Runtime.run rt;
+    let zipf = Keygen.Zipf.create ~n:nkeys ~s in
+    let rng = Dht_prng.Rng.of_int (seed + 1) in
+    let engine = Runtime.engine rt in
+    let t0 = Engine.now engine +. 0.01 in
+    for i = 0 to ops - 1 do
+      let key = Keygen.Zipf.key zipf rng in
+      let time = t0 +. (float_of_int i *. duration /. float_of_int ops) in
+      let via = i mod snodes in
+      if Dht_prng.Rng.float rng < 0.8 then
+        Engine.at engine ~time (fun () -> Runtime.get rt ~via ~key ignore)
+      else
+        Engine.at engine ~time (fun () ->
+            Runtime.put rt ~via ~key ~value:(Printf.sprintf "u%d" i) ())
+    done;
+    Runtime.run rt;
+    let rows = Runtime.heat_rows rt in
+    let ranked =
+      List.stable_sort
+        (fun a b -> compare (Runtime.heat_total b) (Runtime.heat_total a))
+        rows
+    in
+    Printf.printf
+      "== Heat: zipf(s=%.2f) over %d keys, %d ops on %d snodes ==\n" s nkeys
+      ops snodes;
+    let table =
+      Table.create
+        ~headers:
+          [ "partition"; "owner"; "reads"; "writes"; "repl"; "bytes";
+            "total"; "accesses" ]
+    in
+    List.iteri
+      (fun i (r : Runtime.heat_row) ->
+        if i < top then
+          Table.add_row table
+            [ Format.asprintf "%a" Span.pp r.Runtime.hr_span;
+              string_of_int r.Runtime.hr_owner;
+              Printf.sprintf "%.1f" r.Runtime.hr_reads;
+              Printf.sprintf "%.1f" r.Runtime.hr_writes;
+              Printf.sprintf "%.1f" r.Runtime.hr_repl;
+              Printf.sprintf "%.0f" r.Runtime.hr_bytes;
+              Printf.sprintf "%.1f" (Runtime.heat_total r);
+              string_of_int
+                (r.Runtime.hr_read_count + r.Runtime.hr_write_count
+               + r.Runtime.hr_repl_count) ])
+      ranked;
+    Printf.printf "top %d of %d heated partitions (EWMA tau %gs):\n"
+      (min top (List.length ranked))
+      (List.length ranked) tau;
+    Table.print table;
+    (* Skew summaries: Gini across partitions, sigma across the snodes'
+       aggregate heat — the imbalance a heat-aware balancer would act on. *)
+    let totals = List.map Runtime.heat_total rows in
+    let per_snode = Array.make snodes 0. in
+    List.iter
+      (fun (r : Runtime.heat_row) ->
+        if r.Runtime.hr_owner >= 0 && r.Runtime.hr_owner < snodes then
+          per_snode.(r.Runtime.hr_owner) <-
+            per_snode.(r.Runtime.hr_owner) +. Runtime.heat_total r)
+      rows;
+    Printf.printf
+      "heat skew: Gini %.3f across partitions, sigma %.1f%% across snodes\n"
+      (Heat.gini (Array.of_list totals))
+      (Heat.sigma_pct per_snode);
+    (* The planted hot spot: rank 1 of the Zipf law is the key "item1"
+       ({!Dht_workload.Keygen.Zipf.key}); attribution must put its
+       partition first and name a live owner. *)
+    let hot_point = Hash.string (Runtime.space rt) "item1" in
+    let attributed =
+      match ranked with
+      | (r : Runtime.heat_row) :: _ ->
+          Span.contains (Runtime.space rt) r.Runtime.hr_span hot_point
+          && r.Runtime.hr_owner >= 0
+      | [] -> false
+    in
+    (match ranked with
+    | r :: _ when attributed ->
+        Printf.printf
+          "hot spot: key item1 (hash %d) attributed to partition %s on \
+           snode %d\n"
+          hot_point
+          (Format.asprintf "%a" Span.pp r.Runtime.hr_span)
+          r.Runtime.hr_owner
+    | _ ->
+        Printf.printf
+          "hot spot: key item1 (hash %d) NOT attributed to the hottest \
+           partition\n"
+          hot_point);
+    let audit_ok =
+      match Runtime.audit rt with Ok () -> true | Error _ -> false
+    in
+    Runtime.record_metrics rt tel.tel_reg;
+    finish_telemetry tel;
+    Printf.printf "audit: %s, attribution: %s\n"
+      (if audit_ok then "ok" else "FAILED")
+      (if attributed then "ok" else "FAILED");
+    if (not audit_ok) || not attributed then exit 1
+  in
+  let nkeys =
+    Arg.(value & opt int 1000 & info [ "keys" ] ~docv:"N"
+           ~doc:"Number of distinct keys (Zipf ranks).")
+  in
+  let zipf_s =
+    Arg.(value & opt float 0.99 & info [ "zipf" ] ~docv:"S"
+           ~doc:"Zipf skew exponent of the access mix.")
+  in
+  let ops =
+    Arg.(value & opt int 10000 & info [ "ops" ] ~docv:"N"
+           ~doc:"Accesses issued (80% reads, 20% overwrites).")
+  in
+  let duration =
+    Arg.(value & opt float 2.0 & info [ "duration" ] ~docv:"S"
+           ~doc:"Virtual seconds the access mix is paced across.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K"
+           ~doc:"Hot partitions shown in the report.")
+  in
+  let tau =
+    Arg.(value & opt float 1.0 & info [ "tau" ] ~docv:"S"
+           ~doc:"EWMA time constant of the heat counters (virtual seconds).")
+  in
+  let snodes =
+    Arg.(value & opt int 8 & info [ "snodes" ] ~docv:"S"
+           ~doc:"Number of snodes in the simulated cluster.")
+  in
+  let term =
+    Term.(const run $ telemetry_term $ snodes $ vnodes_arg 24 $ nkeys
+          $ zipf_s $ ops $ duration $ top $ tau $ rfactor_arg 3
+          $ read_quorum_arg 2 $ write_quorum_arg 2 $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "heat"
+       ~doc:
+         "Per-partition heat accounting under a planted Zipf hot spot: \
+          EWMA read/write/replica-traffic counters per partition, skew \
+          summaries (Gini, sigma across snodes) and the top-K table. Exits \
+          non-zero unless the hottest partition is the one holding the \
+          rank-1 key and has a live owner. Heat series also land in \
+          --metrics-csv.")
+    term
+
+let trace_cmd =
+  (* Offline critical-path analysis of a --trace --causal JSONL file. *)
+  let module Causal = Dht_obsv.Causal in
+  let analyze file top tolerance =
+    match Causal.load file with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        exit 2
+    | Ok t ->
+        Printf.printf "== Causal trace: %s ==\n" file;
+        let malformed = Causal.malformed t in
+        let audit = Causal.audit t in
+        let a = Causal.analyze t in
+        let mismatches = Causal.sum_mismatches ~tolerance a in
+        Printf.printf
+          "%d events, %d ops (%d complete, %d unfinished, %d broken), %d \
+           wire edges\n"
+          (Causal.events t) (Causal.op_count t)
+          (List.length a.Causal.complete)
+          a.Causal.unfinished a.Causal.broken (Causal.edge_count t);
+        let table =
+          Table.create ~headers:[ "component"; "p50 ms"; "p99 ms"; "share %" ]
+        in
+        List.iter
+          (fun (c : Causal.component_summary) ->
+            Table.add_row table
+              [ c.Causal.c_name;
+                Printf.sprintf "%.3f" (1000. *. c.Causal.c_p50);
+                Printf.sprintf "%.3f" (1000. *. c.Causal.c_p99);
+                Printf.sprintf "%.1f" c.Causal.c_share ])
+          (Causal.summarize a);
+        print_endline "op latency decomposition:";
+        Table.print table;
+        let shown = ref 0 in
+        List.iter
+          (fun (az : Causal.analyzed) ->
+            if !shown < top then begin
+              incr shown;
+              let b = az.Causal.a_breakdown in
+              Printf.printf
+                "#%d %s (trace %d, %s): %.3f ms = queue %.3f + network %.3f \
+                 + service %.3f + retransmit %.3f\n"
+                !shown az.Causal.a_op az.Causal.a_trace az.Causal.a_outcome
+                (1000. *. b.Causal.total) (1000. *. b.Causal.queue)
+                (1000. *. b.Causal.network) (1000. *. b.Causal.service)
+                (1000. *. b.Causal.retransmit);
+              List.iter
+                (fun (s : Causal.step) ->
+                  Printf.printf
+                    "    %d -> %d  %-20s queue %.3f, net %.3f%s\n"
+                    s.Causal.s_src s.Causal.s_dst s.Causal.s_tag
+                    (1000. *. s.Causal.s_queue)
+                    (1000. *. s.Causal.s_network)
+                    (if s.Causal.s_attempts > 1 then
+                       Printf.sprintf ", retransmit %.3f (%d attempts)"
+                         (1000. *. s.Causal.s_retransmit)
+                         s.Causal.s_attempts
+                     else ""))
+                az.Causal.a_path
+            end)
+          a.Causal.complete;
+        if !shown > 0 then
+          Printf.printf
+            "(%d slowest ops above; per-step times in ms along the critical \
+             path)\n"
+            !shown;
+        let dump label findings =
+          List.iter (fun f -> Printf.printf "%s: %s\n" label f) findings
+        in
+        dump "malformed" malformed;
+        dump "audit" audit;
+        dump "mismatch" mismatches;
+        Printf.printf
+          "span trees: %s, decomposition sums: %s (tolerance %g)\n"
+          (if malformed = [] && audit = [] && a.Causal.broken = 0 then "ok"
+           else "FAILED")
+          (if mismatches = [] then "ok" else "FAILED")
+          tolerance;
+        if
+          malformed <> [] || audit <> [] || mismatches <> []
+          || a.Causal.broken > 0
+        then exit 1
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE.jsonl"
+             ~doc:
+               "JSONL trace produced by --trace FILE.jsonl --causal \
+                (Chrome-format traces are not analyzable).")
+  in
+  let top =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"K"
+           ~doc:"Slowest ops whose critical paths are printed.")
+  in
+  let tolerance =
+    Arg.(value & opt float 1e-9 & info [ "tolerance" ] ~docv:"T"
+           ~doc:
+             "Relative tolerance for the decomposition-sums-to-latency \
+              gate.")
+  in
+  let analyze_cmd =
+    Cmd.v
+      (Cmd.info "analyze"
+         ~doc:
+           "Rebuild per-op causal trees from a --causal JSONL trace, audit \
+            their well-formedness, decompose op latency into queue / \
+            network / service / retransmit components (which must sum to \
+            the runtime's own measurement) and print the slowest ops' \
+            critical paths. Exits non-zero on any malformed span tree or \
+            decomposition mismatch.")
+      Term.(const analyze $ file $ top $ tolerance)
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Offline analysis of recorded protocol traces.")
+    [ analyze_cmd ]
+
 let all_cmd =
   let run tel runs seed =
     (* A reduced-runs sweep of everything, for a quick end-to-end check. *)
@@ -1220,5 +1566,5 @@ let () =
             zones_cmd; ratios_cmd; stability_cmd; cost_cmd; parallel_cmd; hetero_cmd;
             kvload_cmd; churn_cmd; ablation_cmd; hotspot_cmd;
             hetero_compare_cmd; distributed_cmd; chaos_cmd; kv_cmd;
-            explore_cmd; coexist_cmd; all_cmd;
+            explore_cmd; coexist_cmd; heat_cmd; trace_cmd; all_cmd;
           ]))

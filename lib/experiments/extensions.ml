@@ -518,7 +518,7 @@ type chaos_report = {
 let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
     ?(drop = 0.03) ?(dup = 0.015) ?(jitter = 2e-4) ?(crashes = 2)
     ?(downtime = 0.05) ?(rfactor = 1) ?(read_quorum = 1) ?(write_quorum = 1)
-    ?(linger = 0.) ?metrics ?trace ~seed () =
+    ?(linger = 0.) ?metrics ?trace ?(causal = false) ~seed () =
   let module Runtime = Dht_snode.Runtime in
   let module Fault = Dht_event_sim.Fault in
   if crashes < 0 then invalid_arg "chaos: crashes < 0";
@@ -537,7 +537,8 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
   let run_workload ?faults ?metrics ?trace ?(midburst = []) ?(midreads = []) () =
     let rt =
       Runtime.create ~pmin ~approach:(Runtime.Local { vmin }) ?faults ?metrics
-        ?trace ~rfactor ~read_quorum ~write_quorum ~linger ~snodes ~seed ()
+        ?trace ~causal ~rfactor ~read_quorum ~write_quorum ~linger ~snodes
+        ~seed ()
     in
     (* Mid-burst write wave, aimed (by the caller) inside the crash
        windows: writes against a dead replica are what hinted handoff is
@@ -755,14 +756,15 @@ type overload_report = {
   ov_fixed_stats : Dht_snode.Runtime.stats;
   ov_fixed_retx_per_op : float;
   ov_recovery_ratio : float;
+  ov_health : (int * float) list;
 }
 
 let overload ?(snodes = 8) ?(vnodes = 24) ?(pmin = 8) ?(vmin = 4)
     ?(rate = 4000.) ?(overload_factor = 2.) ?(phase = 0.4) ?(slo = 0.05)
     ?(slow_factor = 100.) ?(drop = 0.005) ?(rfactor = 3) ?(read_quorum = 2)
     ?(write_quorum = 2) ?(retry_budget = 3) ?(max_inflight = 8)
-    ?(ingress_limit = 64) ?(admission_deadline = 0.02) ?metrics ?trace ~seed
-    () =
+    ?(ingress_limit = 64) ?(admission_deadline = 0.02) ?metrics ?trace
+    ?(causal = false) ~seed () =
   let module Runtime = Dht_snode.Runtime in
   let module Fault = Dht_event_sim.Fault in
   let module Engine = Dht_event_sim.Engine in
@@ -784,7 +786,7 @@ let overload ?(snodes = 8) ?(vnodes = 24) ?(pmin = 8) ?(vmin = 4)
       Runtime.create ~pmin ~approach:(Runtime.Local { vmin }) ~faults
         ?metrics:(if degraded then metrics else None)
         ?trace:(if degraded then trace else None)
-        ~rfactor ~read_quorum ~write_quorum
+        ~causal:(degraded && causal) ~rfactor ~read_quorum ~write_quorum
         ~retry_budget:(if degraded then retry_budget else 0)
         ~adaptive_rto:degraded
         ~max_inflight:(if degraded then max_inflight else 0)
@@ -814,12 +816,18 @@ let overload ?(snodes = 8) ?(vnodes = 24) ?(pmin = 8) ?(vmin = 4)
     Engine.at engine ~time:(snd bounds.(1)) (fun () ->
         Fault.clear_slow faults slow_snode);
     (* Queue-discipline audit at the worst moment (mid-burst) and again
-       after the drain: bounded windows must hold even at peak pressure. *)
+       after the drain: bounded windows must hold even at peak pressure.
+       The health snapshot must also be mid-burst: RTT estimators are soft
+       state that re-converges once the gray failure clears, so a
+       quiescent-time sample would score everyone healthy. *)
     let audit_findings = ref [] in
+    let health_samples = ref [] in
     if degraded then
       Engine.at engine
         ~time:((fst bounds.(1) +. snd bounds.(1)) /. 2.)
-        (fun () -> audit_findings := Runtime.queue_audit rt);
+        (fun () ->
+          audit_findings := Runtime.queue_audit rt;
+          health_samples := Runtime.peer_samples rt);
     let acked : (string, string) Hashtbl.t = Hashtbl.create 4096 in
     let offered = Array.map (fun _ -> 0) phases in
     let acked_n = Array.map (fun _ -> 0) phases in
@@ -889,12 +897,20 @@ let overload ?(snodes = 8) ?(vnodes = 24) ?(pmin = 8) ?(vmin = 4)
       lost,
       Array.fold_left ( + ) 0 busy,
       !audit_findings,
-      busy_violations )
+      busy_violations,
+      !health_samples )
   in
-  let rt, ov_phases, total_acked, lost, busy_total, queue_audit, violations =
+  let ( rt,
+        ov_phases,
+        total_acked,
+        lost,
+        busy_total,
+        queue_audit,
+        violations,
+        health_samples ) =
     run ~degraded:true
   in
-  let frt, _, _, _, _, _, _ = run ~degraded:false in
+  let frt, _, _, _, _, _, _, _ = run ~degraded:false in
   let retx (st : Runtime.stats) (ov : Runtime.overload_stats) =
     if ov.Runtime.reliable_messages = 0 then 0.
     else
@@ -930,6 +946,21 @@ let overload ?(snodes = 8) ?(vnodes = 24) ?(pmin = 8) ?(vmin = 4)
     ov_fixed_stats = fstats;
     ov_fixed_retx_per_op = retx fstats fov;
     ov_recovery_ratio = goodput_of "post" /. goodput_of "pre";
+    ov_health =
+      Dht_obsv.Health.scores
+        (List.map
+           (fun (s : Runtime.peer_sample) ->
+             {
+               Dht_obsv.Health.observer = s.Runtime.ps_observer;
+               peer = s.Runtime.ps_peer;
+               srtt = s.Runtime.ps_srtt;
+               rttvar = s.Runtime.ps_rttvar;
+               strikes = s.Runtime.ps_strikes;
+               suspect = s.Runtime.ps_suspect;
+               outbox = s.Runtime.ps_outbox;
+               backlog = s.Runtime.ps_backlog;
+             })
+           health_samples);
   }
 
 type coexist_report = {

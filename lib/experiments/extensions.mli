@@ -273,6 +273,7 @@ val chaos :
   ?linger:float ->
   ?metrics:Dht_telemetry.Registry.t ->
   ?trace:Dht_telemetry.Trace.t ->
+  ?causal:bool ->
   seed:int ->
   unit ->
   chaos_report
@@ -307,7 +308,8 @@ val chaos :
     Pass [metrics] to receive those instruments plus the post-run counter
     dump in your own registry, and [trace] to stream its protocol events
     ({!Dht_snode.Runtime.create}); with a fixed [seed] the trace is
-    byte-identical across runs. *)
+    byte-identical across runs. [causal] (with [trace]) additionally arms
+    causal span-context propagation on the faulty run. *)
 
 type overload_phase = {
   ph_name : string;  (** ["pre"], ["burst"] or ["post"] *)
@@ -355,6 +357,13 @@ type overload_report = {
   ov_recovery_ratio : float;
       (** post-burst goodput / pre-burst goodput; the metastability gate
           demands it stays near 1 *)
+  ov_health : (int * float) list;
+      (** gray-failure health ranking, worst first: per-snode scores from
+          {!Dht_obsv.Health.scores} over the degraded run's reliable-layer
+          telemetry ({!Dht_snode.Runtime.peer_samples}), sampled mid-burst
+          — at quiescence the estimators re-converge and hide the failure.
+          1.0 is the cluster median; the gray-failed snode must rank
+          first *)
 }
 
 val overload :
@@ -377,6 +386,7 @@ val overload :
   ?admission_deadline:float ->
   ?metrics:Dht_telemetry.Registry.t ->
   ?trace:Dht_telemetry.Trace.t ->
+  ?causal:bool ->
   seed:int ->
   unit ->
   overload_report
@@ -395,7 +405,8 @@ val overload :
     end: acked-write durability via {!Dht_snode.Runtime.peek}, queue
     discipline via {!Dht_snode.Runtime.queue_audit} (sampled mid-burst, at
     peak pressure), and {!Dht_check.Linear.busy_never_committed} over the
-    recorded history. *)
+    recorded history. [causal] (with [trace]) arms causal tracing on the
+    degraded run, for critical-path analysis of the burst. *)
 
 val hetero_compare :
   ?nodes_generations:(int * float) list ->

@@ -1,0 +1,191 @@
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of value list
+  | Obj of (string * value) list
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let literal st word v =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail st (Printf.sprintf "expected '%s'" word)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' ->
+        advance st;
+        Buffer.contents buf
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> fail st "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if st.pos + 4 > String.length st.src then
+                  fail st "truncated \\u escape";
+                let hex = String.sub st.src st.pos 4 in
+                st.pos <- st.pos + 4;
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail st "bad \\u escape"
+                in
+                (* The sinks only escape control characters, so a plain
+                   byte append round-trips everything we emit. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else Buffer.add_string buf (Printf.sprintf "\\u%04x" code)
+            | _ -> fail st "bad escape");
+            go ())
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    match peek st with Some c when is_num_char c -> true | _ -> false
+  do
+    advance st
+  done;
+  if st.pos = start then fail st "expected number";
+  match float_of_string_opt (String.sub st.src start (st.pos - start)) with
+  | Some f -> Num f
+  | None -> fail st "bad number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' -> Str (parse_string st)
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_list st
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some _ -> parse_number st
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Obj []
+  end
+  else begin
+    let rec members acc =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          members ((key, v) :: acc)
+      | Some '}' ->
+          advance st;
+          Obj (List.rev ((key, v) :: acc))
+      | _ -> fail st "expected ',' or '}'"
+    in
+    members []
+  end
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    List []
+  end
+  else begin
+    let rec elements acc =
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          elements (v :: acc)
+      | Some ']' ->
+          advance st;
+          List (List.rev (v :: acc))
+      | _ -> fail st "expected ',' or ']'"
+    in
+    elements []
+  end
+
+let parse line =
+  let st = { src = line; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos <> String.length line then Error "trailing garbage"
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function
+  | Some (Num f) -> Some f
+  | _ -> None
+
+let to_int v = Option.map int_of_float (to_float v)
+
+let to_string = function
+  | Some (Str s) -> Some s
+  | _ -> None

@@ -1,0 +1,30 @@
+(** Minimal JSON reader for the telemetry sinks' own output.
+
+    Just enough of a recursive-descent parser to read back the one-object-
+    per-line traces {!Dht_telemetry.Trace} writes (numbers, strings, bools,
+    nested objects/arrays) — no external dependency, no streaming, no
+    attempt at full spec coverage beyond what the sinks emit. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of value list
+  | Obj of (string * value) list
+
+exception Parse_error of string
+(** Raised by the internal scanner; {!parse} catches it, but helpers built
+    on top (field extraction in {!Causal}) reuse it for "required field
+    missing" errors. *)
+
+val parse : string -> (value, string) result
+(** Parse one complete JSON value (one trace line). Trailing non-whitespace
+    is an error. *)
+
+val member : string -> value -> value option
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+
+val to_float : value option -> float option
+val to_int : value option -> int option
+val to_string : value option -> string option

@@ -10,6 +10,7 @@ module Rng = Dht_prng.Rng
 module Hash = Dht_hashes.Hash
 module Versioned = Dht_kv.Versioned
 module Placement = Dht_replication.Placement
+module Heat = Dht_obsv.Heat
 module Vtbl = Hashtbl.Make (Vnode_id)
 module Gtbl = Hashtbl.Make (Group_id)
 
@@ -139,6 +140,9 @@ type qstate = {
   mutable q_acked : int list;  (* distinct snodes holding a copy (puts) *)
   mutable q_done : bool;  (* quorum met, origin answered *)
   q_kind : qkind;
+  (* Causal context captured when the quorum opened, restored by the hint
+     and deadline timers so hinted handoff stays inside the op's trace. *)
+  q_ctx : (int * int * int) option;
 }
 
 type snode = {
@@ -238,6 +242,15 @@ type instruments = {
   i_batch : Histogram.t;  (* batch occupancy: messages per envelope *)
 }
 
+(* One partition's heat accumulators: decayed access counts per traffic
+   class, plus a decayed byte rate shared across classes. *)
+type heat_entry = {
+  h_read : Heat.cell;
+  h_write : Heat.cell;
+  h_repl : Heat.cell;
+  h_bytes : Heat.cell;
+}
+
 type t = {
   engine : Engine.t;
   net : Network.t;
@@ -263,6 +276,16 @@ type t = {
   bootstrap : Span.t list * Vnode_id.t;  (* for rebuilding crashed caches *)
   instr : instruments option;
   trace : Trace.t;
+  causal : bool;  (* propagate span context on the wire, emit causal events *)
+  (* Ambient causal context: (trace id, parent span id, hop count) of the
+     message or op-root being processed right now. Saved/restored around
+     every dispatch, captured into quorum state and timer closures. *)
+  mutable cur : (int * int * int) option;
+  mutable next_span : int;  (* runtime-global span counter: parent < child *)
+  op_roots : (int, int) Hashtbl.t;  (* token -> root span, while in flight *)
+  (* Per-partition heat accounting (EWMA over virtual time), when enabled. *)
+  heat : (Span.t, heat_entry) Hashtbl.t option;
+  heat_tau : float;
   (* token -> issue time; maintained only when instrumented or tracing *)
   op_starts : (int, float) Hashtbl.t;
   snodes : snode array;
@@ -500,6 +523,131 @@ let finish_op t ~kind ~token ~tid =
         Trace.span t.trace ~ts:t0 ~dur ~tid ~name:"op"
           [ ("op", Trace.Str op); ("token", Trace.Int token) ]
 
+(* ---------------- causal tracing ---------------- *)
+
+(* Span ids come from one runtime-global monotonic counter, so a child is
+   always younger than its parent — the span log is acyclic by
+   construction and the analyzer's upward walks terminate. *)
+let fresh_span t =
+  let s = t.next_span in
+  t.next_span <- s + 1;
+  s
+
+(* Run [f] with the ambient causal context set to [ctx]; used by timer
+   closures (hint/deadline/backoff) that fire outside any message
+   dispatch but act on behalf of a traced op. *)
+let with_ctx t ctx f =
+  if not t.causal then f ()
+  else begin
+    let saved = t.cur in
+    t.cur <- ctx;
+    f ();
+    t.cur <- saved
+  end
+
+(* Open an op's causal tree: emit its root span and make it the ambient
+   context for the issuing closure. The trace id is the op token, so
+   causal trees are directly joinable with the history recorder. *)
+let causal_root t ~token ~tid ~op f =
+  if not t.causal then f ()
+  else begin
+    let root = fresh_span t in
+    Hashtbl.replace t.op_roots token root;
+    Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid ~cat:"causal"
+      ~name:"op.begin"
+      [ ("trace", Trace.Int token); ("span", Trace.Int root);
+        ("op", Trace.Str op) ];
+    let saved = t.cur in
+    t.cur <- Some (token, root, 0);
+    f ();
+    t.cur <- saved
+  end
+
+(* Close an op's causal tree, parented on whichever span settled it (the
+   final ack's receive edge when the completion happens inside a message
+   dispatch, else the op root). *)
+let causal_op_end t ~token ~tid ~outcome =
+  if t.causal then
+    match Hashtbl.find_opt t.op_roots token with
+    | None -> ()
+    | Some root ->
+        Hashtbl.remove t.op_roots token;
+        let parent =
+          match t.cur with
+          | Some (tr, sp, _) when tr = token -> sp
+          | _ -> root
+        in
+        Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid ~cat:"causal"
+          ~name:"op.end"
+          [ ("trace", Trace.Int token); ("span", Trace.Int (fresh_span t));
+            ("parent", Trace.Int parent); ("outcome", Trace.Str outcome) ]
+
+(* Wrap an outgoing protocol message in the on-wire span context when an
+   op's context is ambient: one [msg.send] event marks the edge entering
+   the transmission path (queue wait starts here). *)
+let causal_wrap t ~src ~dst msg =
+  match t.cur with
+  | Some (trace, parent, hop) when t.causal ->
+      let span = fresh_span t in
+      Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:src ~cat:"causal"
+        ~name:"msg.send"
+        [ ("trace", Trace.Int trace); ("span", Trace.Int span);
+          ("parent", Trace.Int parent); ("src", Trace.Int src);
+          ("dst", Trace.Int dst); ("tag", Trace.Str (Wire.describe msg));
+          ("hop", Trace.Int hop); ("bytes", Trace.Int (Wire.size_bytes msg)) ];
+      Wire.Traced { trace; span; hop = hop + 1; payload = msg }
+  | _ -> msg
+
+(* One actual transmission of every traced edge inside [msg] (which may be
+   a Req frame and/or Batch envelope): same trace id, fresh span id per
+   attempt — retransmissions are individually visible in the span log. *)
+let rec emit_xmit t ~tid ~attempt = function
+  | Wire.Traced { trace; span; _ } ->
+      Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid ~cat:"causal"
+        ~name:"msg.xmit"
+        [ ("trace", Trace.Int trace); ("span", Trace.Int (fresh_span t));
+          ("parent", Trace.Int span); ("attempt", Trace.Int attempt) ]
+  | Wire.Batch parts -> List.iter (emit_xmit t ~tid ~attempt) parts
+  | Wire.Req { payload; _ } -> emit_xmit t ~tid ~attempt payload
+  | _ -> ()
+
+(* ---------------- heat accounting ---------------- *)
+
+(* Charge one access against the partition covering [point], as seen by
+   the executing snode's replica map. Partition granularity follows the
+   live placement: a split partition accumulates under its new spans. *)
+let heat_charge t sn ~point ~kind ~bytes =
+  match t.heat with
+  | None -> ()
+  | Some tbl -> (
+      match Point_map.find_point sn.rmap point with
+      | exception Not_found -> ()
+      | span, _ ->
+          let e =
+            match Hashtbl.find_opt tbl span with
+            | Some e -> e
+            | None ->
+                let e =
+                  {
+                    h_read = Heat.cell ~tau:t.heat_tau;
+                    h_write = Heat.cell ~tau:t.heat_tau;
+                    h_repl = Heat.cell ~tau:t.heat_tau;
+                    h_bytes = Heat.cell ~tau:t.heat_tau;
+                  }
+                in
+                Hashtbl.add tbl span e;
+                e
+          in
+          let now = Engine.now t.engine in
+          let cell =
+            match kind with
+            | `Read -> e.h_read
+            | `Write -> e.h_write
+            | `Repl -> e.h_repl
+          in
+          Heat.charge cell ~now ();
+          Heat.charge e.h_bytes ~now ~weight:(float_of_int bytes) ())
+
 (* ------------------------------------------------------------------ *)
 (* Messaging                                                            *)
 
@@ -577,18 +725,24 @@ let admission_estimate t sn ~set ~need =
    ack — while acks ride piggyback outside the frame (acknowledging an ack
    would never converge). *)
 let rec send t ~src ~dst msg =
-  if src = dst then
+  let msg = if t.causal then causal_wrap t ~src ~dst msg else msg in
+  if src = dst then begin
+    (* Loopback pays no queueing layer: the edge transmits as it is sent. *)
+    if t.causal then emit_xmit t ~tid:src ~attempt:1 msg;
     Network.send t.net ~tag:(Wire.describe msg) ~src ~dst
       ~bytes:(Wire.size_bytes msg) (fun () ->
         receive t t.snodes.(dst) ~from:src msg)
+  end
   else if t.linger > 0. then stage t t.snodes.(src) ~dst msg
   else transmit_now t ~src ~dst msg
 
 and transmit_now t ~src ~dst msg =
-  if t.faults = None then
+  if t.faults = None then begin
+    if t.causal then emit_xmit t ~tid:src ~attempt:1 msg;
     Network.send t.net ~tag:(Wire.describe msg) ~src ~dst
       ~bytes:(Wire.size_bytes msg) (fun () ->
         receive t t.snodes.(dst) ~from:src msg)
+  end
   else reliable_send t t.snodes.(src) ~dst msg
 
 (* ---------------- transmission batching ---------------- *)
@@ -652,10 +806,13 @@ and send_coalesced t sn ~dst parts =
   match parts with
   | [] -> ()
   | [ msg ] ->
+      if t.causal then emit_xmit t ~tid:sn.sid ~attempt:1 msg;
       Network.send t.net ~tag:(Wire.describe msg) ~src:sn.sid ~dst
         ~bytes:(Wire.size_bytes msg) (fun () ->
           receive t t.snodes.(dst) ~from:sn.sid msg)
   | parts ->
+      if t.causal then
+        List.iter (emit_xmit t ~tid:sn.sid ~attempt:1) parts;
       let alone =
         List.fold_left (fun acc m -> acc + Wire.size_bytes m) 0 parts
       in
@@ -725,6 +882,7 @@ and transmit ?(acks = []) ?(probe = false) t sn ~dst ~seq entry =
         ]
   end;
   let frame = Wire.Req { seq; payload = entry.o_payload } in
+  if t.causal then emit_xmit t ~tid:sn.sid ~attempt:entry.o_attempts frame;
   let nparts =
     (match entry.o_payload with Wire.Batch l -> List.length l | _ -> 1)
     + List.length acks
@@ -929,11 +1087,18 @@ and receive t sn ~from msg =
 (* Process a message locally, as if self-delivered. Work addressed to a
    down snode is parked (durably) and drained on restart. *)
 and deliver_local t sn msg =
-  if sn.alive then handle t sn ~from:sn.sid msg else Queue.add msg sn.parked
+  if sn.alive then handle t sn ~from:sn.sid msg
+  else
+    (* Park as a traced self-edge when an op context is ambient: the drain
+       on restart then logs a receive, so the crash wait shows up as queue
+       time on the op's critical path instead of vanishing. *)
+    Queue.add (if t.causal then causal_wrap t ~src:sn.sid ~dst:sn.sid msg else msg)
+      sn.parked
 
 (* ---------------- routing ---------------- *)
 
 and route_or_forward t sn (point, hops, retries, origin, op) =
+  let ctx = t.cur in
   match Point_map.find_point sn.owned point with
   | _, vid -> execute_op t sn ~owner:vid ~point ~origin ~retries ~hops op
   | exception Not_found ->
@@ -953,7 +1118,7 @@ and route_or_forward t sn (point, hops, retries, origin, op) =
           if retries >= t.max_retries then
             failwith "Runtime: routing failed to converge";
           Engine.schedule t.engine ~delay:t.backoff (fun () ->
-              deliver_local t sn msg)
+              with_ctx t ctx (fun () -> deliver_local t sn msg))
         end
         else begin
           (* Crash recovery can leave a permanent cycle among stale caches:
@@ -964,8 +1129,9 @@ and route_or_forward t sn (point, hops, retries, origin, op) =
              probability 1 whatever the cycle structure. *)
           let via = Rng.int sn.rng (Array.length t.snodes) in
           Engine.schedule t.engine ~delay:t.backoff (fun () ->
-              if via = sn.sid || not sn.alive then deliver_local t sn msg
-              else send t ~src:sn.sid ~dst:via msg)
+              with_ctx t ctx (fun () ->
+                  if via = sn.sid || not sn.alive then deliver_local t sn msg
+                  else send t ~src:sn.sid ~dst:via msg))
         end
       end
       else begin
@@ -975,7 +1141,8 @@ and route_or_forward t sn (point, hops, retries, origin, op) =
         if dst = sn.sid then
           (* Our own cache points at us but we do not own the point: the
              placement is in flight; back off. *)
-          Engine.schedule t.engine ~delay:t.backoff (fun () -> deliver_local t sn msg)
+          Engine.schedule t.engine ~delay:t.backoff (fun () ->
+              with_ctx t ctx (fun () -> deliver_local t sn msg))
         else send t ~src:sn.sid ~dst msg
       end
 
@@ -991,6 +1158,8 @@ and execute_op t sn ~owner ~point ~origin ~retries ~hops op =
          later LWW merge (anti-entropy, read repair). *)
       let v = local_exn sn owner in
       let cell = stamp_cell t sn ~value in
+      heat_charge t sn ~point ~kind:`Write
+        ~bytes:(String.length key + String.length value);
       (match Hashtbl.find_opt v.data key with
       | Some s -> s.cell <- cell
       | None -> Hashtbl.add v.data key { cell });
@@ -1012,6 +1181,7 @@ and execute_op t sn ~owner ~point ~origin ~retries ~hops op =
       send t ~src:sn.sid ~dst:origin (Wire.Put_ack { token })
   | Wire.Op_get { key; token } ->
       let v = local_exn sn owner in
+      heat_charge t sn ~point ~kind:`Read ~bytes:(String.length key);
       let value =
         Option.map
           (fun s -> s.cell.Versioned.value)
@@ -1021,6 +1191,8 @@ and execute_op t sn ~owner ~point ~origin ~retries ~hops op =
   | Wire.Op_sync { key; cell } ->
       (* Anti-entropy orphan coming home: merge, no reply. *)
       let v = local_exn sn owner in
+      heat_charge t sn ~point ~kind:`Repl
+        ~bytes:(String.length key + Versioned.size_bytes cell);
       (match Hashtbl.find_opt v.data key with
       | Some s -> s.cell <- Versioned.merge_opt (Some s.cell) cell
       | None -> Hashtbl.add v.data key { cell })
@@ -1083,6 +1255,7 @@ and start_qput_admitted t sn ~token ~key ~point ~set cell =
       q_acked = [];
       q_done = false;
       q_kind = Q_put { q_cell = cell; q_hint = None };
+      q_ctx = t.cur;
     }
   in
   Hashtbl.replace sn.quorums token q;
@@ -1100,6 +1273,8 @@ and start_qput_admitted t sn ~token ~key ~point ~set cell =
   List.iter
     (fun sid ->
       if sid = sn.sid then begin
+        heat_charge t sn ~point ~kind:`Write
+          ~bytes:(String.length key + Versioned.size_bytes cell);
         ignore (store_replica sn ~point ~key cell);
         qput_record t sn q sn.sid
       end
@@ -1112,6 +1287,7 @@ and qput_record t sn q sid =
     if (not q.q_done) && List.length q.q_acked >= t.write_quorum then begin
       q.q_done <- true;
       finish_op t ~kind:`Qput ~token:q.q_token ~tid:sn.sid;
+      causal_op_end t ~token:q.q_token ~tid:sn.sid ~outcome:"ok";
       record t
         (Oplog.Ack { token = q.q_token; at = Engine.now t.engine });
       (match Hashtbl.find_opt t.callbacks q.q_token with
@@ -1146,6 +1322,7 @@ and fire_hints t sn q =
   (match q.q_kind with Q_put p -> p.q_hint <- None | Q_get _ -> ());
   if Hashtbl.mem sn.quorums q.q_token then begin
     (if sn.alive then
+       with_ctx t q.q_ctx @@ fun () ->
        match q.q_kind with
        | Q_get _ -> ()
        | Q_put { q_cell; _ } ->
@@ -1165,6 +1342,9 @@ and fire_hints t sn q =
                          [ ("target", Trace.Int target); ("via", Trace.Int fb) ];
                      if fb = sn.sid then begin
                        (* We are our own fallback: park locally. *)
+                       heat_charge t sn ~point:q.q_point ~kind:`Repl
+                         ~bytes:
+                           (String.length q.q_key + Versioned.size_bytes q_cell);
                        ignore
                          (store_replica sn ~point:q.q_point ~key:q.q_key q_cell);
                        park_hint t sn ~target ~key:q.q_key ~point:q.q_point
@@ -1227,6 +1407,8 @@ and qput_deadline t sn q =
       Hashtbl.remove t.op_starts q.q_token;
       Hashtbl.remove t.callbacks q.q_token;
       record t (Oplog.Fail { token = q.q_token; at = Engine.now t.engine });
+      with_ctx t q.q_ctx (fun () ->
+          causal_op_end t ~token:q.q_token ~tid:sn.sid ~outcome:"fail");
       qput_finalize t sn q;
       t.pending <- t.pending - 1
     end
@@ -1249,13 +1431,16 @@ and start_qget_admitted t sn ~token ~key ~point ~set =
       q_acked = [];
       q_done = false;
       q_kind = Q_get { q_replies = [] };
+      q_ctx = t.cur;
     }
   in
   Hashtbl.replace sn.quorums token q;
   List.iter
     (fun sid ->
-      if sid = sn.sid then
+      if sid = sn.sid then begin
+        heat_charge t sn ~point ~kind:`Read ~bytes:(String.length key);
         qget_record t sn q sn.sid (replica_lookup sn ~point ~key)
+      end
       else send t ~src:sn.sid ~dst:sid (Wire.Repl_get { token; key; point }))
     set
 
@@ -1301,6 +1486,7 @@ and qget_record t sn q sid cell =
                   end)
                 g.q_replies);
           finish_op t ~kind:`Qget ~token:q.q_token ~tid:sn.sid;
+          causal_op_end t ~token:q.q_token ~tid:sn.sid ~outcome:"ok";
           record t
             (Oplog.Reply
                {
@@ -1982,6 +2168,7 @@ and handle t sn ~from msg =
       t.pending <- t.pending - 1
   | Wire.Put_ack { token } ->
       finish_op t ~kind:`Put ~token ~tid:sn.sid;
+      causal_op_end t ~token ~tid:sn.sid ~outcome:"ok";
       record t (Oplog.Ack { token; at = Engine.now t.engine });
       (match Hashtbl.find_opt t.callbacks token with
       | Some (Cb_put k) ->
@@ -1993,6 +2180,7 @@ and handle t sn ~from msg =
       t.pending <- t.pending - 1
   | Wire.Get_reply { token; value } ->
       finish_op t ~kind:`Get ~token ~tid:sn.sid;
+      causal_op_end t ~token ~tid:sn.sid ~outcome:"ok";
       record t (Oplog.Reply { token; value; at = Engine.now t.engine });
       (match Hashtbl.find_opt t.callbacks token with
       | Some (Cb_get k) ->
@@ -2011,18 +2199,22 @@ and handle t sn ~from msg =
           Hashtbl.remove t.callbacks token;
           t.busy_rejections <- t.busy_rejections + 1;
           Hashtbl.remove t.op_starts token;
+          causal_op_end t ~token ~tid:sn.sid ~outcome:"busy";
           record t (Oplog.Busy { token; at = Engine.now t.engine });
           t.pending <- t.pending - 1
       | Some (Cb_get k) ->
           Hashtbl.remove t.callbacks token;
           t.busy_rejections <- t.busy_rejections + 1;
           Hashtbl.remove t.op_starts token;
+          causal_op_end t ~token ~tid:sn.sid ~outcome:"busy";
           record t (Oplog.Busy { token; at = Engine.now t.engine });
           t.pending <- t.pending - 1;
           k None
       | Some (Cb_remove _) -> failwith "Runtime: bad busy token"
       | None -> ())
   | Wire.Repl_put { token; key; point; cell } ->
+      heat_charge t sn ~point ~kind:`Write
+        ~bytes:(String.length key + Versioned.size_bytes cell);
       ignore (store_replica sn ~point ~key cell);
       send t ~src:sn.sid ~dst:from (Wire.Repl_put_ack { token })
   | Wire.Repl_put_ack { token } -> (
@@ -2030,6 +2222,7 @@ and handle t sn ~from msg =
       | None -> ()
       | Some q -> qput_record t sn q from)
   | Wire.Repl_get { token; key; point } ->
+      heat_charge t sn ~point ~kind:`Read ~bytes:(String.length key);
       send t ~src:sn.sid ~dst:from
         (Wire.Repl_get_reply { token; cell = replica_lookup sn ~point ~key })
   | Wire.Repl_get_reply { token; cell } -> (
@@ -2039,10 +2232,14 @@ and handle t sn ~from msg =
   | Wire.Repl_hinted { token; target; key; point; cell } ->
       (* Sloppy-quorum fallback: park the cell for the crashed [target],
          ack toward W, and owe the target a flush. *)
+      heat_charge t sn ~point ~kind:`Repl
+        ~bytes:(String.length key + Versioned.size_bytes cell);
       ignore (store_replica sn ~point ~key cell);
       park_hint t sn ~target ~key ~point cell;
       send t ~src:sn.sid ~dst:from (Wire.Repl_put_ack { token })
   | Wire.Hint_flush { key; point; cell } ->
+      heat_charge t sn ~point ~kind:`Repl
+        ~bytes:(String.length key + Versioned.size_bytes cell);
       ignore (store_replica sn ~point ~key cell);
       send t ~src:sn.sid ~dst:from (Wire.Hint_ack { key })
   | Wire.Hint_ack { key } ->
@@ -2051,6 +2248,8 @@ and handle t sn ~from msg =
         t.hints_flushed <- t.hints_flushed + 1
       end
   | Wire.Repl_repair { key; point; cell } ->
+      heat_charge t sn ~point ~kind:`Repl
+        ~bytes:(String.length key + Versioned.size_bytes cell);
       ignore (store_replica sn ~point ~key cell)
   | Wire.Repl_digest { span; count; vhash } ->
       let my_count, my_vhash = span_digest t sn span in
@@ -2070,8 +2269,11 @@ and handle t sn ~from msg =
             ->
               if reply then fresher := (key, mine) :: !fresher
           | _ -> ());
-          if store_replica sn ~point ~key cell then
-            t.sync_cells <- t.sync_cells + 1)
+          if store_replica sn ~point ~key cell then begin
+            heat_charge t sn ~point ~kind:`Repl
+              ~bytes:(String.length key + Versioned.size_bytes cell);
+            t.sync_cells <- t.sync_cells + 1
+          end)
         cells;
       (* Bidirectional repair: ship back anything we hold strictly fresher
          (or that the sender is missing entirely). *)
@@ -2124,6 +2326,19 @@ and handle t sn ~from msg =
                 lp.epoch <- epoch;
                 lp.counts <- counts
             | None -> ()))
+  | Wire.Traced { trace; span; hop; payload } ->
+      (* First delivery of a traced edge (duplicates never reach the
+         protocol layer): log the receive, make the edge the ambient
+         context so everything the payload provokes is parented on it. *)
+      if t.causal then
+        Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:sn.sid
+          ~cat:"causal" ~name:"msg.recv"
+          [ ("trace", Trace.Int trace); ("span", Trace.Int span);
+            ("dst", Trace.Int sn.sid) ];
+      let saved = t.cur in
+      t.cur <- Some (trace, span, hop);
+      handle t sn ~from payload;
+      t.cur <- saved
   | Wire.Req _ | Wire.Ack _ | Wire.Batch _ ->
       (* Unwrapped in [receive]; reaching the protocol layer is a bug. *)
       failwith "Runtime: link-layer frame in protocol handler"
@@ -2274,7 +2489,7 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
     ?(ingress_limit = 0) ?(poison_after = 5) ?(event_timeout = 1.0)
     ?(rfactor = 1) ?(read_quorum = 1) ?(write_quorum = 1)
     ?(handoff_timeout = 0.02) ?(linger = 0.) ?metrics ?(trace = Trace.noop)
-    ~snodes ~seed () =
+    ?(causal = false) ?(heat = false) ?(heat_tau = 1.0) ~snodes ~seed () =
   if snodes < 1 then invalid_arg "Runtime.create: need at least one snode";
   if not (Params.is_power_of_two pmin) then
     invalid_arg "Runtime.create: pmin must be a power of two";
@@ -2295,6 +2510,8 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
     invalid_arg "Runtime.create: handoff_timeout must be positive";
   if linger < 0. || not (Float.is_finite linger) then
     invalid_arg "Runtime.create: linger must be finite and non-negative";
+  if heat_tau <= 0. || not (Float.is_finite heat_tau) then
+    invalid_arg "Runtime.create: heat_tau must be finite and positive";
   let vmax =
     match approach with
     | Global -> max_int
@@ -2415,6 +2632,15 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
       bootstrap = (spans0, first);
       instr;
       trace;
+      (* Causal propagation changes wire bytes (the Traced wrapper), so it
+         is opt-in on top of tracing rather than implied by it: a plain
+         trace must observe the exact schedule an untraced run produces. *)
+      causal = causal && Trace.enabled trace;
+      cur = None;
+      next_span = 0;
+      op_roots = Hashtbl.create 64;
+      heat = (if heat then Some (Hashtbl.create 64) else None);
+      heat_tau;
       op_starts = Hashtbl.create 64;
       snodes = snodes_arr;
       callbacks = Hashtbl.create 64;
@@ -2553,6 +2779,89 @@ let repl_stats (t : t) =
     orphans = t.orphans;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Heat and health exports                                              *)
+
+type heat_row = {
+  hr_span : Span.t;
+  hr_owner : int;  (* snode owning the partition at report time; -1 unknown *)
+  hr_reads : float;  (* decayed EWMA heat per class, as of [Engine.now] *)
+  hr_writes : float;
+  hr_repl : float;
+  hr_bytes : float;
+  hr_read_count : int;  (* raw access totals *)
+  hr_write_count : int;
+  hr_repl_count : int;
+}
+
+let heat_total r = r.hr_reads +. r.hr_writes +. r.hr_repl
+
+(* Authoritative owner of [point]: the snode whose exact ownership map
+   covers it (exactly one, by the coverage invariant; [-1] only if the
+   probe races a migration). *)
+let owner_of_point t point =
+  let n = Array.length t.snodes in
+  let rec scan i =
+    if i >= n then -1
+    else
+      match Point_map.find_point t.snodes.(i).owned point with
+      | _ -> t.snodes.(i).sid
+      | exception Not_found -> scan (i + 1)
+  in
+  scan 0
+
+let heat_rows t =
+  match t.heat with
+  | None -> []
+  | Some tbl ->
+      let now = Engine.now t.engine in
+      Hashtbl.fold (fun span e acc -> (span, e) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> Span.compare a b)
+      |> List.map (fun (span, e) ->
+             {
+               hr_span = span;
+               hr_owner = owner_of_point t (Span.start t.space span);
+               hr_reads = Heat.value e.h_read ~now;
+               hr_writes = Heat.value e.h_write ~now;
+               hr_repl = Heat.value e.h_repl ~now;
+               hr_bytes = Heat.value e.h_bytes ~now;
+               hr_read_count = Heat.count e.h_read;
+               hr_write_count = Heat.count e.h_write;
+               hr_repl_count = Heat.count e.h_repl;
+             })
+
+type peer_sample = {
+  ps_observer : int;
+  ps_peer : int;
+  ps_srtt : float;
+  ps_rttvar : float;
+  ps_strikes : int;
+  ps_suspect : bool;
+  ps_outbox : int;
+  ps_backlog : int;
+}
+
+(* Every observer's link-estimator state toward every peer it has talked
+   to, in deterministic (observer, peer) order — the health scorer's
+   input, sampled live (mid-run snapshots see gray failures the end-of-run
+   state has already forgotten). *)
+let peer_samples t =
+  Array.to_list t.snodes
+  |> List.concat_map (fun sn ->
+         Hashtbl.fold (fun pid p acc -> (pid, p) :: acc) sn.peers []
+         |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+         |> List.map (fun (pid, p) ->
+                {
+                  ps_observer = sn.sid;
+                  ps_peer = pid;
+                  ps_srtt = p.srtt;
+                  ps_rttvar = p.rttvar;
+                  ps_strikes = p.strikes;
+                  ps_suspect = p.suspect;
+                  ps_outbox = Hashtbl.length p.outbox;
+                  ps_backlog = Queue.length p.backlog;
+                }))
+
 (* One post-run dump of every counter the engine, network and runtime kept
    on their own. Histograms registered at [create] are already in the
    registry; this adds the scalar side so [Registry.to_table] is the whole
@@ -2599,7 +2908,26 @@ let record_metrics t reg =
   c ~labels:[ ("op", "create") ] "runtime.ops" t.done_creations;
   c ~labels:[ ("op", "remove") ] "runtime.ops" t.done_removals;
   c ~labels:[ ("op", "put") ] "runtime.ops" t.done_puts;
-  c ~labels:[ ("op", "get") ] "runtime.ops" t.done_gets
+  c ~labels:[ ("op", "get") ] "runtime.ops" t.done_gets;
+  if t.causal then c "runtime.causal.spans" t.next_span;
+  (* Per-partition heat series, one labeled row group per partition; the
+     registry sorts rows by (name, labels), so the dump is deterministic. *)
+  List.iter
+    (fun r ->
+      let labels =
+        [
+          ("partition", Format.asprintf "%a" Span.pp r.hr_span);
+          ("owner", string_of_int r.hr_owner);
+        ]
+      in
+      let gl name v = Registry.set (Registry.gauge reg ~labels name) v in
+      gl "heat.reads" r.hr_reads;
+      gl "heat.writes" r.hr_writes;
+      gl "heat.repl" r.hr_repl;
+      gl "heat.bytes" r.hr_bytes;
+      c ~labels "heat.accesses"
+        (r.hr_read_count + r.hr_write_count + r.hr_repl_count))
+    (heat_rows t)
 
 let create_vnode t ?initiator ~id () =
   let origin =
@@ -2647,6 +2975,9 @@ let put t ?(via = 0) ?on_done ~key ~value () =
        { token; via; op = Oplog.Op_put { key; value }; at = Engine.now t.engine });
   let point = Hash.string t.space key in
   Engine.schedule t.engine ~delay:0. (fun () ->
+      causal_root t ~token ~tid:via
+        ~op:(if t.rfactor > 1 then "qput" else "put")
+      @@ fun () ->
       match if t.rfactor > 1 then live_coordinator t via else None with
       | Some sn ->
           start_qput t sn ~token ~origin:via ~key ~point
@@ -2668,6 +2999,9 @@ let get t ?(via = 0) ~key k =
        { token; via; op = Oplog.Op_get { key }; at = Engine.now t.engine });
   let point = Hash.string t.space key in
   Engine.schedule t.engine ~delay:0. (fun () ->
+      causal_root t ~token ~tid:via
+        ~op:(if t.rfactor > 1 then "qget" else "get")
+      @@ fun () ->
       match if t.rfactor > 1 then live_coordinator t via else None with
       | Some sn -> start_qget t sn ~token ~origin:via ~key ~point
       | None ->

@@ -62,6 +62,9 @@ val create :
   ?linger:float ->
   ?metrics:Dht_telemetry.Registry.t ->
   ?trace:Dht_telemetry.Trace.t ->
+  ?causal:bool ->
+  ?heat:bool ->
+  ?heat_tau:float ->
   snodes:int ->
   seed:int ->
   unit ->
@@ -168,6 +171,28 @@ val create :
     runtime's behaviour (messages, bytes, clock, random draws) is
     unchanged, and a trace with the same seed is byte-identical across
     runs.
+
+    [causal] (default false; requires an enabled [trace]) arms causal
+    request tracing: every client op mints a trace id (its op token) and a
+    root span, and a compact span context (trace id, parent span id, hop
+    count — 20 bytes, charged to {!Wire.size_bytes}) rides inside every
+    wire frame the op causes, surviving {!Wire.Batch} envelopes,
+    reliable-layer retransmission, quorum fan-out, hinted handoff and read
+    repair. The runtime then emits parent-linked [cat = "causal"] events —
+    [op.begin]/[op.end], [msg.send]/[msg.xmit]/[msg.recv] per wire edge —
+    from which {!Dht_obsv.Causal} rebuilds each op's causal tree and
+    decomposes its latency into queue / network / service / retransmit
+    components that sum exactly to the measurement. Unlike plain [trace],
+    [causal] is {e not} passive: frames grow by the context size, so byte
+    counts and batch thresholds shift (the simulated timings remain
+    deterministic for a given seed).
+
+    [heat] (default false) arms per-partition heat accounting: every data
+    access at its executing snode charges time-decayed EWMA counters
+    (reads, writes, replica traffic, bytes; time constant [heat_tau]
+    seconds of virtual time, default 1.0) keyed by the accessed partition.
+    Read the table back with {!heat_rows}; {!record_metrics} exports it as
+    labeled [heat.*] series. Passive: counters only.
     @raise Invalid_argument if [snodes < 1], a parameter is out of range,
     or the crash plan names an unknown snode. *)
 
@@ -318,6 +343,47 @@ type repl_stats = {
 val repl_stats : t -> repl_stats
 (** Replication repair counters (all zero when [rfactor = 1]). *)
 
+(** {2 Heat and health exports} *)
+
+type heat_row = {
+  hr_span : Dht_hashspace.Span.t;
+  hr_owner : int;  (** snode owning the partition now; [-1] if unowned *)
+  hr_reads : float;  (** EWMA read heat (decayed to the current clock) *)
+  hr_writes : float;
+  hr_repl : float;  (** replica traffic: sync, hints, repair *)
+  hr_bytes : float;  (** EWMA byte heat across all classes *)
+  hr_read_count : int;  (** undecayed lifetime access counts *)
+  hr_write_count : int;
+  hr_repl_count : int;
+}
+
+val heat_total : heat_row -> float
+(** [hr_reads + hr_writes + hr_repl]. *)
+
+val heat_rows : t -> heat_row list
+(** The heat table, one row per partition ever accessed, sorted by span
+    ({!Dht_hashspace.Span.compare}) — deterministic. Empty unless [create]
+    was passed [~heat:true]. EWMA values are decayed to the engine's
+    current virtual time. *)
+
+type peer_sample = {
+  ps_observer : int;  (** the snode whose estimator this is *)
+  ps_peer : int;
+  ps_srtt : float;  (** smoothed RTT toward the peer, 0 if no sample *)
+  ps_rttvar : float;
+  ps_strikes : int;  (** consecutive timeout strikes (suspicion level) *)
+  ps_suspect : bool;  (** route poisoned *)
+  ps_outbox : int;  (** unacknowledged reliable messages toward the peer *)
+  ps_backlog : int;  (** messages parked by the inflight window *)
+}
+
+val peer_samples : t -> peer_sample list
+(** Every live snode's per-peer reliable-layer telemetry, sorted by
+    (observer, peer) — the raw material for the gray-failure health scorer
+    ({!Dht_obsv.Health.scores}). Empty without a fault plan (the reliable
+    layer is off). Soft state: crashes reset an observer's estimators, so
+    sample mid-run to catch a gray failure in the act. *)
+
 val record_metrics : t -> Dht_telemetry.Registry.t -> unit
 (** Dump the scalar counters and gauges — engine ([engine.dispatched],
     [engine.max_pending], [engine.virtual_time]), network totals and
@@ -325,8 +391,11 @@ val record_metrics : t -> Dht_telemetry.Registry.t -> unit
     fault/recovery counters, replication repair counters
     ([runtime.repl.hint.stored/flushed], [runtime.repl.repair.read],
     [runtime.repl.sync.cells/orphans]) and completed-operation counts
-    ([runtime.ops], label [op]) — into [reg]. Call once, after the run; the histograms
-    registered by [create ~metrics] accumulate live and need no dump. *)
+    ([runtime.ops], label [op]) — into [reg]. With [~heat:true] also dumps
+    the per-partition heat table as [heat.reads/writes/repl/bytes] gauges
+    and [heat.accesses] counters labeled [(partition, owner)]. Call once,
+    after the run; the histograms registered by [create ~metrics]
+    accumulate live and need no dump. *)
 
 val sigma_qv : t -> float
 (** σ̄(Qv) (%) computed from the distributed state (all snodes' local

@@ -89,6 +89,7 @@ type msg =
       reply : bool;
     }
   | Ae_request
+  | Traced of { trace : int; span : int; hop : int; payload : msg }
   | Batch of msg list
   | Req of { seq : int; payload : msg }
   | Ack of { seq : int; floor : int }
@@ -100,6 +101,11 @@ type msg =
 
 let envelope = 64
 let per_entry = 16
+
+let trace_context = 20
+(** Serialized span context riding a {!Traced} wrapper: a 64-bit trace id,
+    a 64-bit span id and a 32-bit hop count. Charged on top of the payload
+    so tracing overhead is visible in the byte accounting. *)
 
 let placement_size moved =
   List.fold_left
@@ -164,6 +170,7 @@ let rec size_bytes = function
   | Repl_sync_request _ -> envelope + per_entry
   | Repl_sync { cells; _ } -> envelope + per_entry + cells_size cells
   | Ae_request -> envelope
+  | Traced { payload; _ } -> trace_context + size_bytes payload
   | Batch parts ->
       (* One shared envelope; each part pays a [per_entry] frame header and
          its body — its own envelope is amortized away. Coalescing [n]
@@ -215,6 +222,7 @@ let rec describe = function
   | Repl_sync_request _ -> "repl:sync-request"
   | Repl_sync _ -> "repl:sync"
   | Ae_request -> "ae-request"
+  | Traced { payload; _ } -> describe payload
   | Batch _ -> "batch"
   | Req { payload; _ } -> req_tag payload
   | Ack _ -> "ack"
@@ -252,6 +260,7 @@ and req_tag = function
   | Repl_sync_request _ -> "req:repl:sync-request"
   | Repl_sync _ -> "req:repl:sync"
   | Ae_request -> "req:ae-request"
+  | Traced { payload; _ } -> req_tag payload
   | Batch _ -> "req:batch"
   | Lpdr_pull _ -> "req:lpdr-pull"
   | Lpdr_push _ -> "req:lpdr-push"

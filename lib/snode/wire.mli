@@ -147,6 +147,15 @@ type msg =
   | Ae_request
       (** broadcast by a recovering snode: please digest-push every
           partition whose replica set includes me *)
+  | Traced of { trace : int; span : int; hop : int; payload : msg }
+      (** causal span context riding the payload: [trace] is the client
+          operation's trace id, [span] the id of this wire edge (its parent
+          is recorded in the span log, not on the wire), [hop] the
+          propagation depth. Added only when the runtime traces causally;
+          {!size_bytes} charges {!trace_context} extra bytes so the
+          propagation overhead is visible in the byte accounting.
+          Retransmissions of a frame keep the same [trace] but each actual
+          transmission logs a fresh transmission span under [span]. *)
   | Batch of msg list
       (** transmission-batching envelope: every message a snode addressed
           to one destination within a linger window, coalesced into a
@@ -179,6 +188,10 @@ type msg =
       (** manager's reply: [(level, epoch, counts)], or [None] when the
           manager no longer carries the group (it split away; the puller's
           pending commit will refresh its copy instead) *)
+
+val trace_context : int
+(** Bytes a {!Traced} wrapper adds to its payload (trace id + span id +
+    hop count). *)
 
 val size_bytes : msg -> int
 (** Serialized-size estimate: 64-byte envelope, 16 bytes per id/span/count

@@ -6,7 +6,9 @@ type active = {
   fmt : format;
   write : string -> unit;
   finish : unit -> unit;
+  limit : int;  (** 0 = unbounded; else events past the cap are dropped *)
   mutable count : int;
+  mutable dropped : int;
   mutable closed : bool;
 }
 
@@ -15,18 +17,21 @@ type t = Noop | Active of active
 let noop = Noop
 let enabled = function Noop -> false | Active _ -> true
 let events = function Noop -> 0 | Active a -> a.count
+let dropped = function Noop -> 0 | Active a -> a.dropped
 
-let to_buffer fmt buf =
+let to_buffer ?(limit = 0) fmt buf =
   Active
     {
       fmt;
       write = Buffer.add_string buf;
       finish = (fun () -> ());
+      limit;
       count = 0;
+      dropped = 0;
       closed = false;
     }
 
-let to_channel fmt oc =
+let to_channel ?(limit = 0) fmt oc =
   Active
     {
       fmt;
@@ -35,7 +40,9 @@ let to_channel fmt oc =
         (fun () ->
           flush oc;
           if oc != stdout && oc != stderr then close_out oc);
+      limit;
       count = 0;
+      dropped = 0;
       closed = false;
     }
 
@@ -43,9 +50,11 @@ let format_of_path path =
   if Filename.check_suffix path ".jsonl" then Jsonl else Chrome
 
 (* ------------------------------------------------------------------ *)
-(* JSON rendering. All numbers print through %.9g / %d: enough digits to
-   round-trip every virtual timestamp the engine produces, few enough to
-   stay stable (and diffable) across runs. *)
+(* JSON rendering. Numbers print through %.9g / %d when that round-trips
+   the exact float, falling back to %.17g when it does not: offline
+   analysis (the causal decomposition gate) recomputes durations from
+   absolute timestamps, so every digit matters there, while the short form
+   keeps typical traces stable and diffable. *)
 
 let add_escaped buf s =
   String.iter
@@ -64,7 +73,10 @@ let add_escaped buf s =
 let add_float buf f =
   if Float.is_integer f && Float.abs f < 1e15 then
     Buffer.add_string buf (Printf.sprintf "%.0f" f)
-  else Buffer.add_string buf (Printf.sprintf "%.9g" f)
+  else
+    let s = Printf.sprintf "%.9g" f in
+    Buffer.add_string buf
+      (if float_of_string s = f then s else Printf.sprintf "%.17g" f)
 
 let add_arg buf = function
   | Int i -> Buffer.add_string buf (string_of_int i)
@@ -89,6 +101,8 @@ let add_args buf args =
 
 let emit a ~ts ~dur ~tid ~cat ~name args =
   if a.closed then invalid_arg "Telemetry.Trace: emission after close";
+  if a.limit > 0 && a.count >= a.limit then a.dropped <- a.dropped + 1
+  else begin
   let buf = Buffer.create 128 in
   (match a.fmt with
   | Jsonl ->
@@ -141,6 +155,7 @@ let emit a ~ts ~dur ~tid ~cat ~name args =
       Buffer.add_string buf "}");
   a.write (Buffer.contents buf);
   a.count <- a.count + 1
+  end
 
 let instant t ~ts ~tid ?(cat = "sim") ~name args =
   match t with

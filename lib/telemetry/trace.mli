@@ -35,13 +35,17 @@ val noop : t
 
 val enabled : t -> bool
 
-val to_buffer : format -> Buffer.t -> t
-(** Collect the trace in memory (used by the determinism tests). *)
+val to_buffer : ?limit:int -> format -> Buffer.t -> t
+(** Collect the trace in memory (used by the determinism tests). [limit]
+    (default [0]: unbounded) caps the events the sink accepts; events past
+    the cap are counted by {!dropped} instead of written, bounding sink
+    growth on long chaos runs. *)
 
-val to_channel : format -> out_channel -> t
+val to_channel : ?limit:int -> format -> out_channel -> t
 (** Stream the trace to a channel. {!close} flushes (and for [Chrome]
     terminates the JSON array) but does not close the channel when it is
-    [stdout] or [stderr]; any other channel is closed. *)
+    [stdout] or [stderr]; any other channel is closed. [limit] as in
+    {!to_buffer}. *)
 
 val format_of_path : string -> format
 (** [Jsonl] when the filename ends in [.jsonl], [Chrome] otherwise. *)
@@ -59,6 +63,11 @@ val span :
 
 val events : t -> int
 (** Events emitted so far (always [0] on {!noop}). *)
+
+val dropped : t -> int
+(** Events refused by the sink's [limit] cap (always [0] on {!noop} and on
+    unbounded sinks). Exported to the metrics registry as
+    [trace_dropped_total] by the CLI. *)
 
 val close : t -> unit
 (** Terminate the trace (idempotent). Emitting after [close] raises. *)

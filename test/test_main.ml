@@ -29,6 +29,7 @@ let () =
       ("snapshot", Test_snapshot.suite);
       ("registry", Test_registry.suite);
       ("telemetry", Test_telemetry.suite);
+      ("obsv", Test_obsv.suite);
       ("check", Test_check.suite);
       ("linear", Test_linear.suite);
       ("explorer", Test_explorer.suite);

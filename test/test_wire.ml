@@ -102,8 +102,9 @@ let canonical = function
   | Wire.Lpdr_push _ -> 32
   | Wire.Batch _ -> 33
   | Wire.Busy _ -> 34
+  | Wire.Traced _ -> 35
 
-let constructor_count = 35
+let constructor_count = 36
 
 (* The same message with a strictly larger variable-size payload, or the
    message itself when the constructor is fixed-size. Also wildcard-free,
@@ -151,6 +152,8 @@ let inflate = function
   | Wire.Req r -> Wire.Req { r with payload = Wire.Commit { event = 0; moved } }
   | Wire.Ack _ as m -> m
   | Wire.Batch parts -> Wire.Batch (Wire.Ae_request :: parts)
+  | Wire.Traced t ->
+      Wire.Traced { t with payload = Wire.Commit { event = 0; moved } }
   | Wire.Lpdr_pull _ as m -> m
   | Wire.Lpdr_push p ->
       Wire.Lpdr_push
@@ -206,6 +209,7 @@ let all_messages =
     Wire.Ack { seq = 9; floor = 9 };
     Wire.Batch
       [ Wire.Put_ack { token = 1 }; Wire.Ack { seq = 9; floor = 9 } ];
+    Wire.Traced { trace = 1; span = 2; hop = 0; payload = Wire.Ae_request };
     Wire.Lpdr_pull { group = Group_id.root };
     Wire.Lpdr_push
       { group = Group_id.root; view = Some (0, 4, [ (vid 0, 16) ]) };
@@ -234,13 +238,22 @@ let test_every_constructor_sized () =
     all_messages
 
 let test_tags_distinct () =
-  let tags = List.map Wire.describe all_messages in
+  (* [Traced] is tag-transparent by design — traffic accounting by tag must
+     not change when causal tracing is switched on — so it is excluded from
+     the distinctness check (its tag is its payload's). *)
+  let untraced =
+    List.filter (function Wire.Traced _ -> false | _ -> true) all_messages
+  in
+  let tags = List.map Wire.describe untraced in
   List.iter
     (fun tag -> check Alcotest.bool "tag nonempty" true (String.length tag > 0))
     tags;
   let distinct = List.sort_uniq compare tags in
   check Alcotest.int "tags distinguish constructors" (List.length tags)
-    (List.length distinct)
+    (List.length distinct);
+  check Alcotest.string "traced frames keep the payload tag" "ae-request"
+    (Wire.describe
+       (Wire.Traced { trace = 1; span = 2; hop = 0; payload = Wire.Ae_request }))
 
 let test_inflate_monotonic () =
   (* Growing any variable-size payload must grow the estimate; fixed-size
@@ -287,6 +300,9 @@ let test_payload_monotonic () =
   let commit moved = Wire.Commit { event = 0; moved } in
   check Alcotest.bool "commit moves counted" true
     (size (commit moved) > size (commit []));
+  check Alcotest.int "span context charges 20 bytes"
+    (size Wire.Ae_request + 20)
+    (size (Wire.Traced { trace = 1; span = 2; hop = 0; payload = Wire.Ae_request }));
   check Alcotest.bool "replica sets enlarge commits" true
     (size (commit [ (Span.root, vid 1, [ 1; 2; 3 ]) ])
     > size (commit [ (Span.root, vid 1, [ 1 ]) ]))

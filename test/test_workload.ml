@@ -61,6 +61,55 @@ let test_zipf_frequencies_sum () =
   Alcotest.check_raises "bad rank" (Invalid_argument "Zipf.expected_frequency: rank")
     (fun () -> ignore (Keygen.Zipf.expected_frequency z ~rank:0))
 
+let test_zipf_empirical_matches_cdf () =
+  (* The heat report's planted workload: zipf(s = 0.99) over 1000 ranks.
+     Pin the seeded sampler against the analytic law — per-rank frequency
+     for the head, cumulative mass at a few cut points for the tail — so
+     the "hot partition" the heat gate expects really is planted. *)
+  let n = 1000 and s = 0.99 and draws = 50_000 in
+  let z = Keygen.Zipf.create ~n ~s in
+  let rng = Rng.of_int 42 in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to draws do
+    let r = Keygen.Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  let empirical r = float_of_int counts.(r) /. float_of_int draws in
+  List.iter
+    (fun rank ->
+      let expected = Keygen.Zipf.expected_frequency z ~rank in
+      let got = empirical rank in
+      check Alcotest.bool
+        (Printf.sprintf "rank %d: empirical %.4f vs analytic %.4f" rank got
+           expected)
+        true
+        (abs_float (got -. expected) < 0.01 +. (0.15 *. expected)))
+    [ 1; 2; 3; 5; 10 ];
+  let cdf upto =
+    let acc = ref 0. in
+    for r = 1 to upto do
+      acc := !acc +. Keygen.Zipf.expected_frequency z ~rank:r
+    done;
+    !acc
+  in
+  let empirical_cdf upto =
+    let acc = ref 0 in
+    for r = 1 to upto do
+      acc := !acc + counts.(r)
+    done;
+    float_of_int !acc /. float_of_int draws
+  in
+  List.iter
+    (fun upto ->
+      let expected = cdf upto and got = empirical_cdf upto in
+      check Alcotest.bool
+        (Printf.sprintf "CDF(%d): empirical %.4f vs analytic %.4f" upto got
+           expected)
+        true
+        (abs_float (got -. expected) < 0.01))
+    [ 10; 100; 500; 1000 ];
+  check (Alcotest.float 1e-9) "CDF closes at 1" 1. (cdf n)
+
 let test_zipf_key () =
   let z = Keygen.Zipf.create ~n:10 ~s:1. in
   let k = Keygen.Zipf.key z (Rng.of_int 5) in
@@ -122,6 +171,8 @@ let suite =
     Alcotest.test_case "zipf flat at s=0" `Quick test_zipf_uniform_when_s0;
     Alcotest.test_case "zipf frequencies sum to 1" `Quick
       test_zipf_frequencies_sum;
+    Alcotest.test_case "zipf sampler matches the analytic CDF" `Quick
+      test_zipf_empirical_matches_cdf;
     Alcotest.test_case "zipf key form" `Quick test_zipf_key;
     Alcotest.test_case "hotspot mix" `Quick test_hotspot;
     Alcotest.test_case "bulk trace" `Quick test_trace_bulk;
