@@ -373,6 +373,26 @@ let emit_runtime_json path =
     | None -> nan
   in
   let goodput name = phase name (fun p -> p.Extensions.ph_goodput) in
+  (* Skew section: the active balancer's acceptance run — one seeded
+     0.99-Zipf stream over a queueing-capable fabric, balancer off then
+     on. The off/on Gini and latency quantiles are tracked as data; the
+     CI perf gate reports drift on this block without failing on it
+     (placement decisions move these numbers legitimately). *)
+  let st0 = Sys.time () in
+  let sk = Extensions.skew ~seed:2004 () in
+  let scpu = Sys.time () -. st0 in
+  let skrun (x : Extensions.skew_run) =
+    Printf.sprintf
+      "{\"gini\": %.6f, \"sigma_pct\": %.3f, \"p50\": %.9f, \"p99\": %.9f, \
+       \"completed\": %d, \"acked\": %d, \"lost\": %d, \"transfers\": %d, \
+       \"findings\": %d}"
+      x.Extensions.sk_gini x.Extensions.sk_sigma x.Extensions.sk_p50
+      x.Extensions.sk_p99 x.Extensions.sk_completed x.Extensions.sk_acked
+      x.Extensions.sk_lost x.Extensions.sk_lb.Dht_snode.Runtime.lbs_transfers
+      (List.length x.Extensions.sk_findings
+      + List.length x.Extensions.sk_linear)
+  in
+  let improvement off on = if off > 0. then 100. *. (off -. on) /. off else 0. in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
@@ -459,6 +479,17 @@ let emit_runtime_json path =
     \    \"probes\": %d,\n\
     \    \"backpressured\": %d,\n\
     \    \"ingress_overflows\": %d\n\
+    \  },\n\
+    \  \"quorum_skewed\": {\n\
+    \    \"zipf\": %.2f,\n\
+    \    \"keys\": %d,\n\
+    \    \"rate\": %.1f,\n\
+    \    \"duration\": %.2f,\n\
+    \    \"cpu_seconds\": %.6f,\n\
+    \    \"off\": %s,\n\
+    \    \"on\": %s,\n\
+    \    \"gini_improvement_pct\": %.2f,\n\
+    \    \"p99_improvement_pct\": %.2f\n\
     \  }\n\
      }\n"
     ops cpu
@@ -494,13 +525,21 @@ let emit_runtime_json path =
     ov.Extensions.ov_overload.Dht_snode.Runtime.sheds
     ov.Extensions.ov_overload.Dht_snode.Runtime.probes
     ov.Extensions.ov_overload.Dht_snode.Runtime.backpressured
-    ov.Extensions.ov_overload.Dht_snode.Runtime.ingress_overflows;
+    ov.Extensions.ov_overload.Dht_snode.Runtime.ingress_overflows
+    sk.Extensions.sk_zipf sk.Extensions.sk_keys sk.Extensions.sk_rate
+    sk.Extensions.sk_duration scpu
+    (skrun sk.Extensions.sk_off)
+    (skrun sk.Extensions.sk_on)
+    (improvement sk.Extensions.sk_off.Extensions.sk_gini
+       sk.Extensions.sk_on.Extensions.sk_gini)
+    (improvement sk.Extensions.sk_off.Extensions.sk_p99
+       sk.Extensions.sk_on.Extensions.sk_p99);
   close_out oc;
   Printf.printf
     "\nwrote %s (%d ops single-copy at %.0f ops/s; %d ops quorum at %.0f \
      ops/s batched, %.0f ops/s unbatched, %.0f ops/s causally traced \
      (%d span events) on the host; overload goodput %.0f -> %.0f -> %.0f \
-     acked-in-SLO/s)\n"
+     acked-in-SLO/s; skew balancer gini %.3f -> %.3f, p99 %.1f -> %.1f ms)\n"
     path ops
     (if cpu > 0. then float_of_int ops /. cpu else 0.)
     qops
@@ -508,6 +547,10 @@ let emit_runtime_json path =
     (if ucpu > 0. then float_of_int uops /. ucpu else 0.)
     (if tcpu > 0. then float_of_int tops /. tcpu else 0.)
     tevents (goodput "pre") (goodput "burst") (goodput "post")
+    sk.Extensions.sk_off.Extensions.sk_gini
+    sk.Extensions.sk_on.Extensions.sk_gini
+    (1e3 *. sk.Extensions.sk_off.Extensions.sk_p99)
+    (1e3 *. sk.Extensions.sk_on.Extensions.sk_p99)
 
 (* ------------------------------------------------------------------ *)
 (* Part 3: figure regeneration (reduced runs; dht_sim for full scale)  *)

@@ -1249,7 +1249,7 @@ let heat_cmd =
   let module Hash = Dht_hashes.Hash in
   let module Heat = Dht_obsv.Heat in
   let run tel snodes vnodes nkeys s ops duration top tau rfactor read_quorum
-      write_quorum seed =
+      write_quorum json seed =
     let rt =
       Runtime.create ~metrics:tel.tel_reg ~trace:tel.tel_trace
         ~causal:tel.tel_causal ~heat:true ~heat_tau:tau ~rfactor ~read_quorum
@@ -1290,34 +1290,10 @@ let heat_cmd =
         (fun a b -> compare (Runtime.heat_total b) (Runtime.heat_total a))
         rows
     in
-    Printf.printf
-      "== Heat: zipf(s=%.2f) over %d keys, %d ops on %d snodes ==\n" s nkeys
-      ops snodes;
-    let table =
-      Table.create
-        ~headers:
-          [ "partition"; "owner"; "reads"; "writes"; "repl"; "bytes";
-            "total"; "accesses" ]
-    in
-    List.iteri
-      (fun i (r : Runtime.heat_row) ->
-        if i < top then
-          Table.add_row table
-            [ Format.asprintf "%a" Span.pp r.Runtime.hr_span;
-              string_of_int r.Runtime.hr_owner;
-              Printf.sprintf "%.1f" r.Runtime.hr_reads;
-              Printf.sprintf "%.1f" r.Runtime.hr_writes;
-              Printf.sprintf "%.1f" r.Runtime.hr_repl;
-              Printf.sprintf "%.0f" r.Runtime.hr_bytes;
-              Printf.sprintf "%.1f" (Runtime.heat_total r);
-              string_of_int
-                (r.Runtime.hr_read_count + r.Runtime.hr_write_count
-               + r.Runtime.hr_repl_count) ])
-      ranked;
-    Printf.printf "top %d of %d heated partitions (EWMA tau %gs):\n"
-      (min top (List.length ranked))
-      (List.length ranked) tau;
-    Table.print table;
+    if not json then
+      Printf.printf
+        "== Heat: zipf(s=%.2f) over %d keys, %d ops on %d snodes ==\n" s nkeys
+        ops snodes;
     (* Skew summaries: Gini across partitions, sigma across the snodes'
        aggregate heat — the imbalance a heat-aware balancer would act on. *)
     let totals = List.map Runtime.heat_total rows in
@@ -1328,10 +1304,8 @@ let heat_cmd =
           per_snode.(r.Runtime.hr_owner) <-
             per_snode.(r.Runtime.hr_owner) +. Runtime.heat_total r)
       rows;
-    Printf.printf
-      "heat skew: Gini %.3f across partitions, sigma %.1f%% across snodes\n"
-      (Heat.gini (Array.of_list totals))
-      (Heat.sigma_pct per_snode);
+    let gini = Heat.gini (Array.of_list totals) in
+    let sigma = Heat.sigma_pct per_snode in
     (* The planted hot spot: rank 1 of the Zipf law is the key "item1"
        ({!Dht_workload.Keygen.Zipf.key}); attribution must put its
        partition first and name a live owner. *)
@@ -1343,27 +1317,95 @@ let heat_cmd =
           && r.Runtime.hr_owner >= 0
       | [] -> false
     in
-    (match ranked with
-    | r :: _ when attributed ->
-        Printf.printf
-          "hot spot: key item1 (hash %d) attributed to partition %s on \
-           snode %d\n"
-          hot_point
-          (Format.asprintf "%a" Span.pp r.Runtime.hr_span)
-          r.Runtime.hr_owner
-    | _ ->
-        Printf.printf
-          "hot spot: key item1 (hash %d) NOT attributed to the hottest \
-           partition\n"
-          hot_point);
     let audit_ok =
       match Runtime.audit rt with Ok () -> true | Error _ -> false
     in
+    if json then begin
+      (* Machine-readable report: the same skew summaries and top-K rows
+         the human tables carry, one JSON object on stdout. *)
+      let b = Buffer.create 1024 in
+      Buffer.add_string b "{\n";
+      Printf.bprintf b
+        "  \"zipf\": %g, \"keys\": %d, \"ops\": %d, \"snodes\": %d, \
+         \"tau\": %g,\n"
+        s nkeys ops snodes tau;
+      Printf.bprintf b
+        "  \"gini_partitions\": %.6f, \"sigma_snodes_pct\": %.3f,\n" gini
+        sigma;
+      Printf.bprintf b "  \"partitions\": %d,\n" (List.length ranked);
+      Printf.bprintf b "  \"per_snode_heat\": [%s],\n"
+        (String.concat ", "
+           (Array.to_list (Array.map (Printf.sprintf "%.3f") per_snode)));
+      Printf.bprintf b "  \"top\": [\n";
+      let shown = List.filteri (fun i _ -> i < top) ranked in
+      List.iteri
+        (fun i (r : Runtime.heat_row) ->
+          Printf.bprintf b
+            "    {\"partition\": \"%s\", \"owner\": %d, \"reads\": %.3f, \
+             \"writes\": %.3f, \"repl\": %.3f, \"bytes\": %.0f, \
+             \"total\": %.3f, \"accesses\": %d}%s\n"
+            (Format.asprintf "%a" Span.pp r.Runtime.hr_span)
+            r.Runtime.hr_owner r.Runtime.hr_reads r.Runtime.hr_writes
+            r.Runtime.hr_repl r.Runtime.hr_bytes (Runtime.heat_total r)
+            (r.Runtime.hr_read_count + r.Runtime.hr_write_count
+           + r.Runtime.hr_repl_count)
+            (if i = List.length shown - 1 then "" else ","))
+        shown;
+      Buffer.add_string b "  ],\n";
+      Printf.bprintf b "  \"hot_key_attributed\": %b, \"audit_ok\": %b\n"
+        attributed audit_ok;
+      Buffer.add_string b "}\n";
+      print_string (Buffer.contents b)
+    end
+    else begin
+      let table =
+        Table.create
+          ~headers:
+            [ "partition"; "owner"; "reads"; "writes"; "repl"; "bytes";
+              "total"; "accesses" ]
+      in
+      List.iteri
+        (fun i (r : Runtime.heat_row) ->
+          if i < top then
+            Table.add_row table
+              [ Format.asprintf "%a" Span.pp r.Runtime.hr_span;
+                string_of_int r.Runtime.hr_owner;
+                Printf.sprintf "%.1f" r.Runtime.hr_reads;
+                Printf.sprintf "%.1f" r.Runtime.hr_writes;
+                Printf.sprintf "%.1f" r.Runtime.hr_repl;
+                Printf.sprintf "%.0f" r.Runtime.hr_bytes;
+                Printf.sprintf "%.1f" (Runtime.heat_total r);
+                string_of_int
+                  (r.Runtime.hr_read_count + r.Runtime.hr_write_count
+                 + r.Runtime.hr_repl_count) ])
+        ranked;
+      Printf.printf "top %d of %d heated partitions (EWMA tau %gs):\n"
+        (min top (List.length ranked))
+        (List.length ranked) tau;
+      Table.print table;
+      Printf.printf
+        "heat skew: Gini %.3f across partitions, sigma %.1f%% across snodes\n"
+        gini sigma;
+      (match ranked with
+      | r :: _ when attributed ->
+          Printf.printf
+            "hot spot: key item1 (hash %d) attributed to partition %s on \
+             snode %d\n"
+            hot_point
+            (Format.asprintf "%a" Span.pp r.Runtime.hr_span)
+            r.Runtime.hr_owner
+      | _ ->
+          Printf.printf
+            "hot spot: key item1 (hash %d) NOT attributed to the hottest \
+             partition\n"
+            hot_point)
+    end;
     Runtime.record_metrics rt tel.tel_reg;
     finish_telemetry tel;
-    Printf.printf "audit: %s, attribution: %s\n"
-      (if audit_ok then "ok" else "FAILED")
-      (if attributed then "ok" else "FAILED");
+    if not json then
+      Printf.printf "audit: %s, attribution: %s\n"
+        (if audit_ok then "ok" else "FAILED")
+        (if attributed then "ok" else "FAILED");
     if (not audit_ok) || not attributed then exit 1
   in
   let nkeys =
@@ -1394,20 +1436,148 @@ let heat_cmd =
     Arg.(value & opt int 8 & info [ "snodes" ] ~docv:"S"
            ~doc:"Number of snodes in the simulated cluster.")
   in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:
+             "Machine-readable output: one JSON object with the skew \
+              summaries (Gini, sigma), per-snode heat totals and the top-K \
+              partition rows instead of the human tables.")
+  in
   let term =
     Term.(const run $ telemetry_term $ snodes $ vnodes_arg 24 $ nkeys
           $ zipf_s $ ops $ duration $ top $ tau $ rfactor_arg 3
-          $ read_quorum_arg 2 $ write_quorum_arg 2 $ seed_arg)
+          $ read_quorum_arg 2 $ write_quorum_arg 2 $ json $ seed_arg)
   in
   Cmd.v
     (Cmd.info "heat"
        ~doc:
          "Per-partition heat accounting under a planted Zipf hot spot: \
           EWMA read/write/replica-traffic counters per partition, skew \
-          summaries (Gini, sigma across snodes) and the top-K table. Exits \
-          non-zero unless the hottest partition is the one holding the \
-          rank-1 key and has a live owner. Heat series also land in \
-          --metrics-csv.")
+          summaries (Gini, sigma across snodes) and the top-K table \
+          ($(b,--json) for a machine-readable report). Exits non-zero \
+          unless the hottest partition is the one holding the rank-1 key \
+          and has a live owner. Heat series also land in --metrics-csv.")
+    term
+
+let balance_cmd =
+  (* The active balancer's acceptance run: the same seeded Zipf stream
+     twice (balancer off, then on) over a queueing-capable fabric; the
+     balancer must cut both the per-snode heat Gini and the p99 op
+     latency without tripping the invariant battery, the linearizability
+     checkers or the acked-write durability oracle. *)
+  let run tel snodes nkeys s rate duration max_inflight tau crash seed =
+    let r =
+      Extensions.skew ~snodes ~keys:nkeys ~zipf:s ~rate ~duration
+        ~max_inflight ~heat_tau:tau ~crash ~metrics:tel.tel_reg ~seed ()
+    in
+    Printf.printf
+      "== Active balancing: zipf(s=%.2f) over %d keys at %g ops/s on %d \
+       snodes%s ==\n"
+      s nkeys rate snodes
+      (if crash then ", one mid-run crash/restart" else "");
+    let row name (x : Extensions.skew_run) =
+      [ name;
+        Printf.sprintf "%.4f" x.Extensions.sk_gini;
+        Printf.sprintf "%.1f%%" x.Extensions.sk_sigma;
+        Printf.sprintf "%.2f ms" (1e3 *. x.Extensions.sk_p50);
+        Printf.sprintf "%.2f ms" (1e3 *. x.Extensions.sk_p99);
+        string_of_int x.Extensions.sk_completed;
+        string_of_int x.Extensions.sk_acked;
+        string_of_int x.Extensions.sk_lb.Dht_snode.Runtime.lbs_transfers;
+        string_of_int
+          (List.length x.Extensions.sk_findings
+          + List.length x.Extensions.sk_linear
+          + x.Extensions.sk_lost) ]
+    in
+    let table =
+      Table.create
+        ~headers:
+          [ "balancer"; "gini"; "sigma"; "p50"; "p99"; "completed"; "acked";
+            "transfers"; "findings" ]
+    in
+    Table.add_row table (row "off" r.Extensions.sk_off);
+    Table.add_row table (row "on" r.Extensions.sk_on);
+    Table.print table;
+    let dump name (x : Extensions.skew_run) =
+      List.iter
+        (fun f -> Printf.printf "%s invariant finding: %s\n" name f)
+        x.Extensions.sk_findings;
+      List.iter
+        (fun f -> Printf.printf "%s linearizability finding: %s\n" name f)
+        x.Extensions.sk_linear;
+      if x.Extensions.sk_lost > 0 then
+        Printf.printf "%s: %d acked writes LOST\n" name x.Extensions.sk_lost
+    in
+    dump "off" r.Extensions.sk_off;
+    dump "on" r.Extensions.sk_on;
+    let clean (x : Extensions.skew_run) =
+      x.Extensions.sk_findings = [] && x.Extensions.sk_linear = []
+      && x.Extensions.sk_lost = 0
+    in
+    let gini_ok = r.Extensions.sk_on.sk_gini < r.Extensions.sk_off.sk_gini in
+    let p99_ok = r.Extensions.sk_on.sk_p99 < r.Extensions.sk_off.sk_p99 in
+    let safe = clean r.Extensions.sk_off && clean r.Extensions.sk_on in
+    Printf.printf
+      "gini: %s (%.4f -> %.4f)  p99: %s (%.2f ms -> %.2f ms)  safety: %s\n"
+      (if gini_ok then "improved" else "NOT improved")
+      r.Extensions.sk_off.sk_gini r.Extensions.sk_on.sk_gini
+      (if p99_ok then "improved" else "NOT improved")
+      (1e3 *. r.Extensions.sk_off.sk_p99)
+      (1e3 *. r.Extensions.sk_on.sk_p99)
+      (if safe then "clean" else "FINDINGS");
+    finish_telemetry tel;
+    if not (gini_ok && p99_ok && safe) then exit 1
+  in
+  let nkeys =
+    Arg.(value & opt int 1000 & info [ "keys" ] ~docv:"N"
+           ~doc:"Number of distinct keys (Zipf ranks).")
+  in
+  let zipf_s =
+    Arg.(value & opt float 0.99 & info [ "zipf" ] ~docv:"S"
+           ~doc:"Zipf skew exponent of the access mix.")
+  in
+  let rate =
+    Arg.(value & opt float 20000. & info [ "rate" ] ~docv:"OPS"
+           ~doc:"Operations per virtual second.")
+  in
+  let duration =
+    Arg.(value & opt float 1.0 & info [ "duration" ] ~docv:"S"
+           ~doc:"Virtual seconds of paced load.")
+  in
+  let max_inflight =
+    Arg.(value & opt int 4 & info [ "max-inflight" ] ~docv:"N"
+           ~doc:
+             "Per-peer window bound of the reliable layer; with the slow \
+              fabric this is what makes latency respond to placement.")
+  in
+  let tau =
+    Arg.(value & opt float 0.3 & info [ "tau" ] ~docv:"S"
+           ~doc:"EWMA time constant of the heat counters (virtual seconds).")
+  in
+  let crash =
+    Arg.(value & flag & info [ "crash" ]
+           ~doc:
+             "Crash-stop one snode a third of the way in and restart it at \
+              two thirds: transfers must survive the churn with zero \
+              acked-write loss.")
+  in
+  let snodes =
+    Arg.(value & opt int 8 & info [ "snodes" ] ~docv:"S"
+           ~doc:"Number of snodes in the simulated cluster.")
+  in
+  let term =
+    Term.(const run $ telemetry_term $ snodes $ nkeys $ zipf_s $ rate
+          $ duration $ max_inflight $ tau $ crash $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "balance"
+       ~doc:
+         "Load-aware active balancing under Zipf skew: gossip load \
+          dissemination, hash-located load directories and hot-partition \
+          swaps. Runs the same seeded stream with the balancer off and on; \
+          exits non-zero unless balancer-on improves both the per-snode \
+          heat Gini and the p99 op latency with a clean invariant battery, \
+          no linearizability findings and no lost acked writes.")
     term
 
 let trace_cmd =
@@ -1566,5 +1736,6 @@ let () =
             zones_cmd; ratios_cmd; stability_cmd; cost_cmd; parallel_cmd; hetero_cmd;
             kvload_cmd; churn_cmd; ablation_cmd; hotspot_cmd;
             hetero_compare_cmd; distributed_cmd; chaos_cmd; kv_cmd;
-            explore_cmd; coexist_cmd; heat_cmd; trace_cmd; all_cmd;
+            explore_cmd; coexist_cmd; heat_cmd; balance_cmd; trace_cmd;
+            all_cmd;
           ]))

@@ -1,0 +1,51 @@
+(* Knobs of the active balancer. All intervals are virtual seconds; the
+   runtime schedules bounded rounds from them ([arm_balancer]), never
+   self-rescheduling timers, so the event queue still drains. *)
+
+type t = {
+  gossip_interval : float;  (* push-pull round cadence *)
+  fanout : int;  (* peers gossiped to per round *)
+  report_interval : float;  (* snode -> directory report cadence *)
+  balance_interval : float;  (* directory proposal cadence *)
+  directories : int;  (* directory snodes (hash-located) *)
+  heavy_ratio : float;  (* heavy when heat > ratio * cluster average *)
+  light_ratio : float;  (* light when heat < ratio * cluster average *)
+  emergency_factor : float;  (* immediate transfer past factor * average *)
+  min_spacing : float;  (* per-snode spacing between transfers *)
+}
+
+(* The decision cadences ([balance_interval], [min_spacing]) must not
+   outrun the heat EWMA's time constant: the directory classifies from
+   reported heat, and a transfer's effect only shows up in reports after
+   roughly one tau. Proposing faster than that acts on stale readings —
+   the old heavy still looks heavy after its hot span left, the receiver
+   still looks light — and the balancer overshoots into oscillation
+   (measurably {e raising} skew). 0.2 s sits just above the runtime's
+   default heat tau; gossip and reporting are cheap and can run much
+   faster. *)
+let default =
+  {
+    gossip_interval = 0.02;
+    fanout = 2;
+    report_interval = 0.02;
+    balance_interval = 0.2;
+    directories = 2;
+    heavy_ratio = 1.25;
+    light_ratio = 0.75;
+    emergency_factor = 4.0;
+    min_spacing = 0.2;
+  }
+
+let validate p =
+  if p.gossip_interval <= 0. || p.report_interval <= 0.
+     || p.balance_interval <= 0.
+  then invalid_arg "Balance.Policy: intervals must be positive";
+  if p.fanout < 1 then invalid_arg "Balance.Policy: fanout < 1";
+  if p.directories < 1 then invalid_arg "Balance.Policy: directories < 1";
+  if p.heavy_ratio <= 1.0 then
+    invalid_arg "Balance.Policy: heavy_ratio must exceed 1";
+  if p.light_ratio <= 0. || p.light_ratio >= 1.0 then
+    invalid_arg "Balance.Policy: light_ratio must be in (0, 1)";
+  if p.emergency_factor < p.heavy_ratio then
+    invalid_arg "Balance.Policy: emergency_factor below heavy_ratio";
+  if p.min_spacing < 0. then invalid_arg "Balance.Policy: min_spacing < 0"

@@ -1,0 +1,25 @@
+(** Active-balancer policy: round cadences, directory count, the
+    light/heavy classification band around the cluster-average heat, the
+    emergency threshold and the per-snode transfer rate limit. *)
+
+type t = {
+  gossip_interval : float;  (** push-pull round cadence (virtual s) *)
+  fanout : int;  (** peers gossiped to per round *)
+  report_interval : float;  (** snode → directory report cadence *)
+  balance_interval : float;  (** directory proposal cadence *)
+  directories : int;  (** directory snodes (hash-located) *)
+  heavy_ratio : float;  (** heavy when heat > ratio × cluster average *)
+  light_ratio : float;  (** light when heat < ratio × cluster average *)
+  emergency_factor : float;  (** immediate transfer past factor × average *)
+  min_spacing : float;  (** per-snode spacing between transfers *)
+}
+
+val default : t
+(** Gossip and directory reports every 0.02 virtual seconds; proposals
+    every 0.2 s with 0.2 s per-snode spacing — deliberately {e slower}
+    than the heat EWMA's default time constant, so each transfer's
+    effect is visible in reported heat before the next decision.
+    Proposing faster than tau acts on stale readings and oscillates. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument when a field is out of range. *)

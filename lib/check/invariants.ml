@@ -212,3 +212,31 @@ let check_runtime rt =
    entries and the live counters match the outbox contents. *)
 let check_overload rt =
   List.map (fun detail -> { inv = "overload"; detail }) (Runtime.queue_audit rt)
+
+(* Active-balancing audit: a hot-partition swap moves only placement, so
+   it must be invisible to the paper's battery — the full check_view
+   battery is re-run and any finding is attributed to the run — and it
+   must never lose an acked write: every key in [acked] has to resolve at
+   its partition owner's authoritative copy ({!Runtime.peek}, the same
+   oracle the linearizability checker trusts). Meaningful at quiescence,
+   like {!check_runtime}. *)
+let check_balance ?(acked = []) rt =
+  let battery = check_runtime rt in
+  let lost =
+    List.filter_map
+      (fun key ->
+        match Runtime.peek rt ~key with
+        | Some _ -> None
+        | None ->
+            Some
+              {
+                inv = "balance";
+                detail =
+                  Printf.sprintf
+                    "acked write %S lost: no authoritative copy after \
+                     transfers"
+                    key;
+              })
+      acked
+  in
+  battery @ lost

@@ -64,3 +64,13 @@ val check_overload : Runtime.t -> finding list
     holds at most [max_inflight] live entries and the window counters
     match the outbox contents exactly. Findings carry the ["overload"]
     invariant name. Valid at any instant. *)
+
+val check_balance : ?acked:string list -> Runtime.t -> finding list
+(** Active-balancing audit: the full {!check_runtime} battery — a
+    hot-partition swap moves only placement, so G1–G5/L1–L2, LPDR
+    agreement, quota conservation, coverage and data placement must all
+    still hold after any number of swaps — plus a durability oracle over
+    [acked]: every key whose write was acknowledged must still resolve at
+    its owner's authoritative copy ({!Dht_snode.Runtime.peek}); a key
+    that does not is a ["balance"] finding (the transfer lost data
+    mid-flight). Meaningful at quiescence. *)

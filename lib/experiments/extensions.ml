@@ -963,6 +963,192 @@ let overload ?(snodes = 8) ?(vnodes = 24) ?(pmin = 8) ?(vmin = 4)
            health_samples);
   }
 
+(* ------------------------------------------------------------------ *)
+(* Zipf skew with active load balancing                                 *)
+
+type skew_run = {
+  sk_gini : float;  (* per-snode heat Gini at the end of the run *)
+  sk_sigma : float;  (* per-snode heat σ/mean, percent *)
+  sk_p50 : float;  (* data-op latency percentiles, virtual seconds *)
+  sk_p99 : float;
+  sk_completed : int;  (* data ops whose callback fired *)
+  sk_acked : int;  (* acknowledged writes *)
+  sk_lost : int;  (* acked writes the durability oracle cannot see *)
+  sk_lb : Dht_snode.Runtime.lb_stats;
+  sk_findings : string list;  (* invariant battery + balance audit *)
+  sk_linear : string list;  (* linearizability findings *)
+}
+
+type skew_report = {
+  sk_snodes : int;
+  sk_zipf : float;
+  sk_keys : int;
+  sk_rate : float;
+  sk_duration : float;
+  sk_crash : bool;
+  sk_off : skew_run;
+  sk_on : skew_run;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(max 0 (min (n - 1) (int_of_float (p *. float_of_int (n - 1)))))
+
+(* The balancer's acceptance experiment: the same seeded 0.99-Zipf
+   workload twice — balancer off, then on — over the same runtime shape.
+   The workload is pre-generated (one op list, one key population), so
+   the two runs differ only in balancing traffic; the report carries
+   per-snode heat skew (Gini, σ̄), op-latency percentiles, balancer
+   counters, the full invariant battery ({!Dht_check.Invariants}
+   [check_balance]) and the linearizability findings for each run. With
+   [crash], one snode crash-stops mid-run and restarts before the end —
+   transfers must survive the churn with zero acked-write loss. *)
+let skew ?(snodes = 8) ?(vnodes = 24) ?(pmin = 8) ?(vmin = 4) ?(keys = 1000)
+    ?(zipf = 0.99) ?(rate = 20000.) ?(duration = 1.0) ?(read_fraction = 0.8)
+    ?(rfactor = 3) ?(read_quorum = 2) ?(write_quorum = 2) ?(drop = 0.)
+    ?(max_inflight = 4) ?(heat_tau = 0.3) ?(crash = false)
+    ?(link = Dht_event_sim.Network.link ~base_latency:8e-4 ~byte_time:1e-8)
+    ?policy ?metrics ~seed () =
+  let module Runtime = Dht_snode.Runtime in
+  let module Engine = Dht_event_sim.Engine in
+  let module Fault = Dht_event_sim.Fault in
+  let module Heat = Dht_obsv.Heat in
+  if keys < 1 then invalid_arg "skew: need at least one key";
+  if rate <= 0. || duration <= 0. then
+    invalid_arg "skew: rate and duration must be positive";
+  if read_fraction < 0. || read_fraction > 1. then
+    invalid_arg "skew: read_fraction outside [0, 1]";
+  let policy =
+    Option.value policy ~default:Dht_balance.Policy.default
+  in
+  (* One workload for both runs: op i at [i / rate] after warm-up, issued
+     via snode [i mod snodes], Zipf-ranked key, four-in-five reads. *)
+  let zgen = Dht_workload.Keygen.Zipf.create ~n:keys ~s:zipf in
+  let wrng = Rng.of_int (seed * 7919) in
+  let n_ops = int_of_float (rate *. duration) in
+  let ops =
+    Array.init n_ops (fun i ->
+        let key = Dht_workload.Keygen.Zipf.key zgen wrng in
+        let read = Rng.float wrng < read_fraction in
+        (float_of_int i /. rate, i mod snodes, key, read))
+  in
+  let run ~balance =
+    (* A fault plan (even with [drop = 0]) arms the reliable layer, and
+       [max_inflight] bounds each peer window: queueing delay then grows
+       with per-route pressure, so a hot snode is a real bottleneck the
+       balancer can relieve — with neither knob the network is a pure
+       delay model and latency cannot respond to placement. *)
+    let faults =
+      if drop > 0. || max_inflight > 0 then Some (Fault.create ~drop ~seed ())
+      else None
+    in
+    let rt =
+      Runtime.create ~pmin
+        ~approach:(Runtime.Local { vmin })
+        ?faults ~link ~max_inflight ~rfactor ~read_quorum ~write_quorum
+        ~heat:true ~heat_tau
+        ?balance:(if balance then Some policy else None)
+        ?metrics:(if balance then metrics else None)
+        ~snodes ~seed ()
+    in
+    let hist = Dht_check.History.create () in
+    Dht_check.History.attach hist rt;
+    for i = 1 to vnodes - 1 do
+      Runtime.create_vnode rt
+        ~id:(Vnode_id.make ~snode:(i mod snodes) ~vnode:(i / snodes))
+        ()
+    done;
+    Runtime.run rt;
+    (* Seed the key population so reads hit data. *)
+    for k = 1 to keys do
+      Runtime.put rt ~via:(k mod snodes)
+        ~key:(Printf.sprintf "item%d" k)
+        ~value:"seed" ()
+    done;
+    Runtime.run rt;
+    let engine = Runtime.engine rt in
+    let t0 = Engine.now engine +. 0.01 in
+    let lats = ref [] in
+    let completed = ref 0 in
+    let acked : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+    let acked_n = ref 0 in
+    let finish time =
+      incr completed;
+      lats := (Engine.now engine -. time) :: !lats
+    in
+    Array.iter
+      (fun (dt, via, key, read) ->
+        let time = t0 +. dt in
+        Engine.at engine ~time (fun () ->
+            if read then Runtime.get rt ~via ~key (fun _ -> finish time)
+            else
+              Runtime.put rt ~via
+                ~on_done:(fun () ->
+                  incr acked_n;
+                  Hashtbl.replace acked key ();
+                  finish time)
+                ~key ~value:(Printf.sprintf "w%g" time) ()))
+      ops;
+    if balance then Runtime.arm_balancer rt ~until:(t0 +. duration);
+    if crash then begin
+      let victim = 2 mod snodes in
+      Engine.at engine ~time:(t0 +. (duration /. 3.)) (fun () ->
+          Runtime.crash_snode rt victim);
+      Engine.at engine ~time:(t0 +. (2. *. duration /. 3.)) (fun () ->
+          Runtime.restart_snode rt victim)
+    end;
+    Runtime.run rt;
+    Runtime.anti_entropy rt;
+    Runtime.run rt;
+    if balance then
+      Option.iter (fun reg -> Runtime.record_metrics rt reg) metrics;
+    (* Per-snode heat totals: each partition's decayed heat attributed to
+       its owner at quiescence. *)
+    let per_snode = Array.make snodes 0. in
+    List.iter
+      (fun (r : Runtime.heat_row) ->
+        if r.Runtime.hr_owner >= 0 && r.Runtime.hr_owner < snodes then
+          per_snode.(r.Runtime.hr_owner) <-
+            per_snode.(r.Runtime.hr_owner) +. Runtime.heat_total r)
+      (Runtime.heat_rows rt);
+    let sorted = Array.of_list (List.sort compare !lats) in
+    let entries = Dht_check.History.entries hist in
+    let peek key = Runtime.peek rt ~key in
+    let durability = Dht_check.Linear.durability ~peek entries in
+    let linear =
+      durability @ Dht_check.Linear.busy_never_committed ~peek entries
+    in
+    let findings =
+      Dht_check.Invariants.to_strings
+        (Dht_check.Invariants.check_balance
+           ~acked:(Hashtbl.fold (fun k () l -> k :: l) acked [])
+           rt)
+    in
+    {
+      sk_gini = Heat.gini per_snode;
+      sk_sigma = Heat.sigma_pct per_snode;
+      sk_p50 = percentile sorted 0.50;
+      sk_p99 = percentile sorted 0.99;
+      sk_completed = !completed;
+      sk_acked = !acked_n;
+      sk_lost = List.length durability;
+      sk_lb = Runtime.lb_stats rt;
+      sk_findings = findings;
+      sk_linear = linear;
+    }
+  in
+  {
+    sk_snodes = snodes;
+    sk_zipf = zipf;
+    sk_keys = keys;
+    sk_rate = rate;
+    sk_duration = duration;
+    sk_crash = crash;
+    sk_off = run ~balance:false;
+    sk_on = run ~balance:true;
+  }
+
 type coexist_report = {
   dht_names : string list;
   error_before : float list;

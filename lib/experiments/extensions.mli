@@ -408,6 +408,81 @@ val overload :
     recorded history. [causal] (with [trace]) arms causal tracing on the
     degraded run, for critical-path analysis of the burst. *)
 
+type skew_run = {
+  sk_gini : float;
+      (** Gini of per-snode heat totals at quiescence — 0 is perfectly
+          even, toward 1 as load concentrates on one snode *)
+  sk_sigma : float;  (** σ/mean of the same totals, percent *)
+  sk_p50 : float;  (** data-op latency percentiles, virtual seconds *)
+  sk_p99 : float;
+  sk_completed : int;  (** data ops whose callback fired *)
+  sk_acked : int;  (** acknowledged writes *)
+  sk_lost : int;
+      (** acked writes the durability oracle cannot see — must be 0 *)
+  sk_lb : Dht_snode.Runtime.lb_stats;  (** balancer counters (zero off) *)
+  sk_findings : string list;
+      (** {!Dht_check.Invariants.check_balance}: the paper battery plus
+          acked-write placement — must be empty *)
+  sk_linear : string list;
+      (** durability + busy-never-committed findings — must be empty *)
+}
+
+type skew_report = {
+  sk_snodes : int;
+  sk_zipf : float;  (** Zipf exponent of the workload *)
+  sk_keys : int;  (** key population ("item1" is the hottest) *)
+  sk_rate : float;  (** offered data ops per virtual second *)
+  sk_duration : float;  (** measured window, virtual seconds *)
+  sk_crash : bool;  (** one snode crash-stopped mid-run *)
+  sk_off : skew_run;  (** balancer off *)
+  sk_on : skew_run;  (** balancer on — same seed, same op stream *)
+}
+
+val skew :
+  ?snodes:int ->
+  ?vnodes:int ->
+  ?pmin:int ->
+  ?vmin:int ->
+  ?keys:int ->
+  ?zipf:float ->
+  ?rate:float ->
+  ?duration:float ->
+  ?read_fraction:float ->
+  ?rfactor:int ->
+  ?read_quorum:int ->
+  ?write_quorum:int ->
+  ?drop:float ->
+  ?max_inflight:int ->
+  ?heat_tau:float ->
+  ?crash:bool ->
+  ?link:Dht_event_sim.Network.link ->
+  ?policy:Dht_balance.Policy.t ->
+  ?metrics:Dht_telemetry.Registry.t ->
+  seed:int ->
+  unit ->
+  skew_report
+(** The active balancer's acceptance experiment: one pre-generated
+    [zipf]-skewed op stream (default 0.99 over [keys] = 1000 keys,
+    [read_fraction] reads, Engine-paced at [rate]/s for [duration]
+    virtual seconds) runs twice over the same replicated cluster shape —
+    balancer off, then on ({!Dht_snode.Runtime.arm_balancer} at the
+    policy cadences). Acceptance: balancer-on must reduce both the
+    per-snode heat Gini and the p99 op latency, with empty
+    [sk_findings]/[sk_linear] and [sk_lost = 0] on both runs. [crash]
+    adds a mid-run crash/restart of one snode, exercising transfer
+    fencing under churn. [metrics] records the balancer-on run.
+
+    For latency to respond to placement at all, the run must create
+    load-dependent queueing: [max_inflight > 0] arms the reliable
+    layer's bounded per-peer windows, and the [link] must be slow
+    enough that a hot route's message rate exceeds the window's service
+    rate [max_inflight / RTT] — on a gigabit fabric the cap is ~40k
+    msgs/s per route and never binds. The defaults
+    ([max_inflight = 4], 0.8 ms [base_latency], [rate] = 20k/s over 8
+    snodes) put the cap near 2.5k msgs/s per route: comfortably above
+    an average route, below the routes into the Zipf-hot snode — so
+    balancer-off queues on hot routes while balancer-on stays flat. *)
+
 val hetero_compare :
   ?nodes_generations:(int * float) list ->
   ?total_vnodes:int ->

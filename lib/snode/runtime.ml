@@ -11,6 +11,7 @@ module Hash = Dht_hashes.Hash
 module Versioned = Dht_kv.Versioned
 module Placement = Dht_replication.Placement
 module Heat = Dht_obsv.Heat
+module Balance = Dht_balance
 module Vtbl = Hashtbl.Make (Vnode_id)
 module Gtbl = Hashtbl.Make (Group_id)
 
@@ -45,13 +46,15 @@ type lpdr = {
   mutable counts : (Vnode_id.t * int) list;
 }
 
-(* Coordinator-side state of one in-flight balancing event (creation or
-   removal). *)
+(* Coordinator-side state of one in-flight balancing event (creation,
+   removal or load-driven partition swap). *)
 type event_state = {
-  ev_done : Wire.msg;  (* completion message for the origin snode *)
+  ev_done : Wire.msg option;
+      (* completion message for the origin snode; [None] for load swaps,
+         which have no requester waiting *)
   ev_origin : int;
   ev_lock : Group_id.t;
-  ev_kind : [ `Create | `Remove ];
+  ev_kind : [ `Create | `Remove | `Balance ];
   ev_start : float;  (* virtual time the coordinator planned the event *)
   mutable ev_acks : int;
   mutable ev_moved : Wire.placement;
@@ -198,6 +201,15 @@ type snode = {
      while the snode was down; drained on restart. Durable, like the rest
      of the protocol state. *)
   parked : Wire.msg Queue.t;
+  (* Active load balancing (armed by [create ?balance]). The gossip view
+     and directory report table are soft state — reset on crash, like RTT
+     estimators — while [lb_version] is durable so post-restart summaries
+     still supersede everything gossiped before the crash. *)
+  lb_view : Balance.Gossip.t;
+  lb_dir : Balance.Directory.t;  (* populated only on directory snodes *)
+  lb_is_dir : bool;  (* hash-located, fixed for the cluster's lifetime *)
+  mutable lb_version : int;
+  mutable lb_last_transfer : float;  (* donor-side transfer rate limit *)
 }
 
 type callback =
@@ -235,6 +247,7 @@ type instruments = {
   i_prepare : Histogram.t;  (* 2PC prepare -> commit, at the coordinator *)
   i_ev_create : Histogram.t;  (* whole balancing event, plan -> complete *)
   i_ev_remove : Histogram.t;
+  i_ev_balance : Histogram.t;  (* load-driven hot-partition swaps *)
   i_downtime : Histogram.t;  (* crash -> restart per recovery *)
   i_rto : Histogram.t;  (* retransmission-timer delays as armed *)
   i_q_put : Histogram.t;  (* quorum write, issue to W-th ack *)
@@ -286,6 +299,8 @@ type t = {
   (* Per-partition heat accounting (EWMA over virtual time), when enabled. *)
   heat : (Span.t, heat_entry) Hashtbl.t option;
   heat_tau : float;
+  (* Active load balancing: policy when armed (implies heat accounting). *)
+  balance : Balance.Policy.t option;
   (* token -> issue time; maintained only when instrumented or tracing *)
   op_starts : (int, float) Hashtbl.t;
   snodes : snode array;
@@ -313,6 +328,11 @@ type t = {
   mutable read_repairs : int;  (* stale repliers repaired after a read *)
   mutable sync_cells : int;  (* cells freshened by anti-entropy syncs *)
   mutable orphans : int;  (* replica-table cells routed back to an owner *)
+  mutable lb_transfers : int;  (* completed hot-partition swap events *)
+  mutable lb_proposals : int;  (* directory proposals issued *)
+  mutable lb_emergencies : int;  (* proposals via the emergency path *)
+  mutable lb_skipped : int;  (* proposals dropped by validation/rate limit *)
+  mutable lb_reports : int;  (* gossip + directory report messages sent *)
   (* Verification hooks, both passive: [on_commit] fires after a snode has
      fully applied a balancing Commit (audits run there), [recorder] sees
      every data operation's invocation and outcome. *)
@@ -371,6 +391,23 @@ let donate_spans t sn v give =
   in
   List.iter (fun (key, _) -> Hashtbl.remove v.data key) moved_data;
   (taken, moved_data)
+
+(* Donate one specific partition (the load balancer's hot/cold pick),
+   with its keys — [donate_spans] for a named span instead of a count. *)
+let donate_span t sn v span =
+  if not (List.exists (fun s -> Span.compare s span = 0) v.spans) then
+    invalid_arg "Runtime: donor does not own the requested span";
+  v.spans <- List.filter (fun s -> Span.compare s span <> 0) v.spans;
+  Point_map.remove sn.owned span;
+  let moved_data =
+    Hashtbl.fold
+      (fun key s acc ->
+        let point = Hash.string t.space key in
+        if Span.contains t.space span point then (key, s.cell) :: acc else acc)
+      v.data []
+  in
+  List.iter (fun (key, _) -> Hashtbl.remove v.data key) moved_data;
+  moved_data
 
 (* [true] when [e] is fresher than everything applied for [gid] so far; the
    high-water mark advances as a side effect. *)
@@ -647,6 +684,33 @@ let heat_charge t sn ~point ~kind ~bytes =
           in
           Heat.charge cell ~now ();
           Heat.charge e.h_bytes ~now ~weight:(float_of_int bytes) ())
+
+(* Total decayed heat of one partition (reads + writes + replica traffic),
+   0 when the partition was never accessed or heat accounting is off. *)
+let span_heat t span =
+  match t.heat with
+  | None -> 0.
+  | Some tbl -> (
+      match Hashtbl.find_opt tbl span with
+      | None -> 0.
+      | Some e ->
+          let now = Engine.now t.engine in
+          Heat.value e.h_read ~now +. Heat.value e.h_write ~now
+          +. Heat.value e.h_repl ~now)
+
+(* Hottest/coldest pick among a vnode's partitions; ties keep the span
+   that sorts first, so the choice is deterministic. *)
+let pick_span t ~hottest spans =
+  match spans with
+  | [] -> invalid_arg "Runtime: pick_span on a partitionless vnode"
+  | first :: rest ->
+      let better s best =
+        let hs = span_heat t s and hb = span_heat t best in
+        if hs = hb then Span.compare s best < 0
+        else if hottest then hs > hb
+        else hs < hb
+      in
+      List.fold_left (fun best s -> if better s best then s else best) first rest
 
 (* ------------------------------------------------------------------ *)
 (* Messaging                                                            *)
@@ -1637,7 +1701,7 @@ and start_balancing t sn group lpdr ~point ~newcomer ~origin =
   t.next_event <- t.next_event + 1;
   let st =
     {
-      ev_done = Wire.Create_done { newcomer };
+      ev_done = Some (Wire.Create_done { newcomer });
       ev_origin = origin;
       ev_lock = group;
       ev_kind = `Create;
@@ -1707,6 +1771,7 @@ and maybe_complete t sn ev st =
           match st.ev_kind with
           | `Create -> i.i_ev_create
           | `Remove -> i.i_ev_remove
+          | `Balance -> i.i_ev_balance
         in
         Histogram.observe h (Engine.now t.engine -. st.ev_start)
     | None -> ());
@@ -1718,10 +1783,15 @@ and maybe_complete t sn ev st =
           ("event", Trace.Int ev);
           ( "kind",
             Trace.Str
-              (match st.ev_kind with `Create -> "create" | `Remove -> "remove")
-          );
+              (match st.ev_kind with
+              | `Create -> "create"
+              | `Remove -> "remove"
+              | `Balance -> "balance") );
         ];
-    send t ~src:sn.sid ~dst:st.ev_origin st.ev_done;
+    if st.ev_kind = `Balance then t.lb_transfers <- t.lb_transfers + 1;
+    (match st.ev_done with
+    | Some done_msg -> send t ~src:sn.sid ~dst:st.ev_origin done_msg
+    | None -> ());
     unlock t sn st.ev_lock
   end
 
@@ -1764,6 +1834,188 @@ and drain_stash t sn event =
           apply_transfer t sn ~event ~to_vnode ~spans ~data)
         (List.rev !l)
 
+(* ---------------- active load balancing: hot-partition swap ---------- *)
+
+(* Coordinate a load-driven partition swap (the manager holds the group
+   lock, exactly as for creations and removals). The heavy vnode gives its
+   hot partition to a group member hosted on the light snode, which gives
+   its coldest partition back: per-vnode counts are unchanged, so the
+   event never touches LPDRs — only placement moves, through the standard
+   Prepare_ack/Commit round. Validation runs against the {e current} LPDR
+   copy; the initiating report may be stale (the vnode gone, the group
+   reshaped), in which case the swap is dropped, not retried — the next
+   balance round will propose from fresh load data. *)
+and start_lb_swap t sn group lpdr ~hot ~from_vnode ~to_snode =
+  let abort () =
+    t.lb_skipped <- t.lb_skipped + 1;
+    unlock t sn group
+  in
+  let from_count =
+    List.fold_left
+      (fun acc (id, c) -> if Vnode_id.equal id from_vnode then c else acc)
+      0 lpdr.counts
+  in
+  (* Swap counterpart: a group member hosted on the light snode with a
+     partition to give back; the smallest id for determinism. *)
+  let to_vnode =
+    List.filter
+      (fun (id, c) ->
+        id.Vnode_id.snode = to_snode && c >= 1
+        && not (Vnode_id.equal id from_vnode))
+      lpdr.counts
+    |> List.sort (fun (a, _) (b, _) -> Vnode_id.compare a b)
+    |> function
+    | [] -> None
+    | (id, _) :: _ -> Some id
+  in
+  if from_count < 1 || from_vnode.Vnode_id.snode = to_snode then abort ()
+  else
+    match to_vnode with
+    | None -> abort ()
+    | Some to_vnode ->
+        let participants =
+          List.sort_uniq compare [ from_vnode.Vnode_id.snode; to_snode ]
+        in
+        let ev = t.next_event in
+        t.next_event <- t.next_event + 1;
+        let st =
+          {
+            ev_done = None;
+            ev_origin = sn.sid;
+            ev_lock = group;
+            ev_kind = `Balance;
+            ev_start = Engine.now t.engine;
+            ev_acks = List.length participants;
+            ev_moved = [];
+            ev_participants = participants;
+            (* one Transfer lands at each side, so each side reports one
+               All_received *)
+            ev_waits = List.length participants;
+            ev_committed = false;
+            ev_watch = None;
+          }
+        in
+        Hashtbl.add sn.events ev st;
+        arm_watchdog t sn ev st;
+        Log.debug (fun m ->
+            m "snode %d coordinates swap event %d: %a of %a -> %a (group %a)"
+              sn.sid ev Span.pp hot Vnode_id.pp from_vnode Vnode_id.pp to_vnode
+              Group_id.pp group);
+        let swap = Wire.Lb_swap { event = ev; hot; from_vnode; to_vnode } in
+        List.iter (fun p -> send t ~src:sn.sid ~dst:p swap) participants
+
+(* Participant side of a swap: the prepare. Donations happen now (like
+   [apply_prepare]); the group lock held at the manager keeps [v.spans]
+   stable from validation to here, but the {e hot span} was picked by the
+   reporter outside the lock — if an earlier swap already moved it, the
+   donor substitutes its currently-hottest partition. *)
+and apply_lb_swap t sn ~from ~event ~hot ~from_vnode ~to_vnode =
+  let hosts_from = from_vnode.Vnode_id.snode = sn.sid in
+  let v = local_exn sn (if hosts_from then from_vnode else to_vnode) in
+  let group_snodes =
+    match Gtbl.find_opt sn.lpdrs v.group with
+    | Some lp ->
+        List.sort_uniq compare
+          (List.map (fun (id, _) -> id.Vnode_id.snode) lp.counts)
+    | None ->
+        List.sort_uniq compare
+          [ from_vnode.Vnode_id.snode; to_vnode.Vnode_id.snode ]
+  in
+  let span =
+    if hosts_from then
+      if List.exists (fun s -> Span.compare s hot = 0) v.spans then hot
+      else pick_span t ~hottest:true v.spans
+    else pick_span t ~hottest:false v.spans
+  in
+  let receiver = if hosts_from then to_vnode else from_vnode in
+  let data = donate_span t sn v span in
+  send t ~src:sn.sid ~dst:receiver.Vnode_id.snode
+    (Wire.Transfer { event; to_vnode = receiver; spans = [ span ]; data });
+  let reps =
+    Placement.replicas ~rfactor:t.rfactor ~n:(Array.length t.snodes)
+      ~primary:receiver.Vnode_id.snode ~group_snodes
+  in
+  cache_learn t sn span receiver;
+  Hashtbl.replace sn.incomings event { got = 0; want = 1; coordinator = from };
+  drain_stash t sn event;
+  send t ~src:sn.sid ~dst:from
+    (Wire.Prepare_ack { event; moved = [ (span, receiver, reps) ] })
+
+(* A directory proposal landing at the heavy snode: pick the hottest
+   locally-owned partition whose group has a member hosted on the light
+   snode (the swap must stay inside one group) and hand the request to
+   that group's manager. Rate-limited per donor so one hot snode does not
+   flood its groups with overlapping swaps. *)
+and handle_lb_proposal t sn ~to_snode =
+  match t.balance with
+  | None -> ()
+  | Some policy ->
+      let now = Engine.now t.engine in
+      if
+        to_snode = sn.sid || to_snode < 0
+        || to_snode >= Array.length t.snodes
+        || now -. sn.lb_last_transfer < policy.Balance.Policy.min_spacing
+      then t.lb_skipped <- t.lb_skipped + 1
+      else begin
+        let candidates = ref [] in
+        Vtbl.iter
+          (fun vid v ->
+            match Gtbl.find_opt sn.lpdrs v.group with
+            | Some lp
+              when List.exists
+                     (fun (id, _) ->
+                       id.Vnode_id.snode = to_snode
+                       && not (Vnode_id.equal id vid))
+                     lp.counts ->
+                List.iter
+                  (fun s -> candidates := (span_heat t s, s, vid, v.group) :: !candidates)
+                  v.spans
+            | _ -> ())
+          sn.locals;
+        let best =
+          List.fold_left
+            (fun best (h, s, vid, g) ->
+              match best with
+              | Some (bh, bs, _, _)
+                when bh > h || (bh = h && Span.compare bs s <= 0) ->
+                  best
+              | _ -> Some (h, s, vid, g))
+            None !candidates
+        in
+        match best with
+        | None -> t.lb_skipped <- t.lb_skipped + 1
+        | Some (_, hot, from_vnode, group) -> (
+            match Gtbl.find_opt sn.lpdrs group with
+            | None -> t.lb_skipped <- t.lb_skipped + 1
+            | Some lp ->
+                sn.lb_last_transfer <- now;
+                let manager = manager_of lp in
+                let msg =
+                  Wire.Lb_transfer
+                    { group; hot; from_vnode; to_snode; origin = sn.sid }
+                in
+                if manager = sn.sid then deliver_local t sn msg
+                else send t ~src:sn.sid ~dst:manager msg)
+      end
+
+(* Emergency path: a report so far above the cluster average that waiting
+   for the next balance round risks saturating the reporter. Proposed
+   immediately, against the current lightest reporter, rate-limited like
+   round proposals. *)
+and maybe_emergency t sn policy (s : Balance.Summary.t) =
+  if Balance.Directory.emergency sn.lb_dir policy s then
+    match Balance.Directory.lightest_except sn.lb_dir ~origin:s.Balance.Summary.origin with
+    | Some light
+      when light.Balance.Summary.heat < s.Balance.Summary.heat
+           && Balance.Directory.admit_proposal sn.lb_dir policy
+                ~origin:s.Balance.Summary.origin ~now:(Engine.now t.engine) ->
+        t.lb_proposals <- t.lb_proposals + 1;
+        t.lb_emergencies <- t.lb_emergencies + 1;
+        send t ~src:sn.sid ~dst:s.Balance.Summary.origin
+          (Wire.Lb_proposal
+             { to_snode = light.Balance.Summary.origin; emergency = true })
+    | _ -> ()
+
 and start_removal t sn group lpdr ~leaving ~origin ~token =
   let refuse () =
     send t ~src:sn.sid ~dst:origin (Wire.Remove_done { token; ok = false });
@@ -1794,7 +2046,7 @@ and start_removal t sn group lpdr ~leaving ~origin ~token =
               sn.sid ev Vnode_id.pp leaving Group_id.pp group);
         let st =
           {
-            ev_done = Wire.Remove_done { token; ok = true };
+            ev_done = Some (Wire.Remove_done { token; ok = true });
             ev_origin = origin;
             ev_lock = group;
             ev_kind = `Remove;
@@ -2339,6 +2591,51 @@ and handle t sn ~from msg =
       t.cur <- Some (trace, span, hop);
       handle t sn ~from payload;
       t.cur <- saved
+  | Wire.Lb_report { origin = _; pull; entries } ->
+      (* Load dissemination: merge the sender's view version-fenced. A
+         directory snode also files every entry as a load report and
+         checks the emergency threshold; a pull asks for our view back
+         (the push-pull round). *)
+      ignore (Balance.Gossip.merge sn.lb_view entries);
+      (match t.balance with
+      | Some policy when sn.lb_is_dir ->
+          List.iter
+            (fun s ->
+              if Balance.Directory.note sn.lb_dir s then
+                maybe_emergency t sn policy s)
+            entries
+      | Some _ | None -> ());
+      if pull then begin
+        t.lb_reports <- t.lb_reports + 1;
+        send t ~src:sn.sid ~dst:from
+          (Wire.Lb_report
+             {
+               origin = sn.sid;
+               pull = false;
+               entries = Balance.Gossip.entries sn.lb_view;
+             })
+      end
+  | Wire.Lb_proposal { to_snode; emergency = _ } ->
+      handle_lb_proposal t sn ~to_snode
+  | Wire.Lb_transfer { group; hot; from_vnode; to_snode; origin = _ } -> (
+      match Gtbl.find_opt sn.lpdrs group with
+      | None ->
+          (* The group split away since the proposal: drop — the next
+             balance round re-proposes from fresh reports. *)
+          t.lb_skipped <- t.lb_skipped + 1
+      | Some lpdr ->
+          let manager = manager_of lpdr in
+          if manager <> sn.sid then send t ~src:sn.sid ~dst:manager msg
+          else begin
+            let busy, q = qlock sn group in
+            if !busy then Queue.add msg q
+            else begin
+              busy := true;
+              start_lb_swap t sn group lpdr ~hot ~from_vnode ~to_snode
+            end
+          end)
+  | Wire.Lb_swap { event; hot; from_vnode; to_vnode } ->
+      apply_lb_swap t sn ~from ~event ~hot ~from_vnode ~to_vnode
   | Wire.Req _ | Wire.Ack _ | Wire.Batch _ ->
       (* Unwrapped in [receive]; reaching the protocol layer is a bug. *)
       failwith "Runtime: link-layer frame in protocol handler"
@@ -2399,6 +2696,24 @@ let crash_snode t sid =
       (fun _ ob ->
         match ob.ob_timer with Some tm -> Engine.disarm tm | None -> ())
       sn.obufs;
+    (* Heat cells of the partitions this snode owns are soft state too: a
+       restarted snode re-learns its load rather than acting on pre-crash
+       history (same contract as the RTT estimators). The table may hold
+       replica-map fragments finer than the owned partitions, so matching
+       is by containment, not key equality. *)
+    (match t.heat with
+    | Some tbl ->
+        Hashtbl.fold (fun span _ acc -> span :: acc) tbl []
+        |> List.iter (fun span ->
+               match Point_map.find_point sn.owned (Span.start t.space span) with
+               | _ -> Hashtbl.remove tbl span
+               | exception Not_found -> ())
+    | None -> ());
+    (* The gossip view and directory table die with the snode; the durable
+       lb_version counter makes its first post-restart summary supersede
+       everything it gossiped before the crash. *)
+    Balance.Gossip.reset sn.lb_view;
+    Balance.Directory.reset sn.lb_dir;
     Log.debug (fun m -> m "snode %d crashed at %g" sid (Engine.now t.engine))
   end
 
@@ -2480,6 +2795,135 @@ let restart_snode t sid =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Active load balancing: rounds                                        *)
+
+let lb_policy_exn t =
+  match t.balance with
+  | Some p -> p
+  | None -> invalid_arg "Runtime: balancer not armed (pass ?balance to create)"
+
+(* Refresh the snode's own load summary — total heat over its owned
+   partitions, egress pressure, partition count — under a fresh version
+   stamp, and install it in its own gossip view. The version counter is
+   durable (survives crashes), so post-restart summaries supersede
+   everything gossiped before the crash. *)
+let lb_refresh_summary t sn =
+  let heat =
+    Vtbl.fold
+      (fun _ v acc ->
+        List.fold_left (fun a s -> a +. span_heat t s) acc v.spans)
+      sn.locals 0.
+  in
+  let partitions =
+    Vtbl.fold (fun _ v acc -> acc + List.length v.spans) sn.locals 0
+  in
+  let queue =
+    Hashtbl.fold
+      (fun _ p acc -> acc + Hashtbl.length p.outbox + Queue.length p.backlog)
+      sn.peers 0
+  in
+  sn.lb_version <- sn.lb_version + 1;
+  let s =
+    Balance.Summary.make ~origin:sn.sid ~version:sn.lb_version ~heat ~queue
+      ~partitions ~stamped:(Engine.now t.engine)
+  in
+  ignore (Balance.Gossip.note sn.lb_view s);
+  s
+
+(* One push-pull gossip round: every live snode refreshes its summary and
+   pushes its whole view to [fanout] distinct random peers, each of which
+   replies with its own view (the pull half, in the Lb_report handler). *)
+let lb_gossip_round t =
+  let policy = lb_policy_exn t in
+  let n = Array.length t.snodes in
+  if n > 1 then
+    Array.iter
+      (fun sn ->
+        if sn.alive then begin
+          ignore (lb_refresh_summary t sn);
+          let entries = Balance.Gossip.entries sn.lb_view in
+          let fanout = min policy.Balance.Policy.fanout (n - 1) in
+          let chosen = ref [] in
+          while List.length !chosen < fanout do
+            let p = Rng.int sn.rng n in
+            if p <> sn.sid && not (List.mem p !chosen) then
+              chosen := p :: !chosen
+          done;
+          List.iter
+            (fun dst ->
+              t.lb_reports <- t.lb_reports + 1;
+              send t ~src:sn.sid ~dst
+                (Wire.Lb_report { origin = sn.sid; pull = true; entries }))
+            (List.rev !chosen)
+        end)
+      t.snodes
+
+(* One directory-report round: every live snode sends its fresh summary to
+   its hash-located directory (round-robin over the directory set). *)
+let lb_report_round t =
+  let policy = lb_policy_exn t in
+  let n = Array.length t.snodes in
+  Array.iter
+    (fun sn ->
+      if sn.alive then begin
+        let s = lb_refresh_summary t sn in
+        let dir =
+          Balance.Directory.directory_for ~snodes:n
+            ~count:policy.Balance.Policy.directories ~origin:sn.sid
+        in
+        t.lb_reports <- t.lb_reports + 1;
+        let msg =
+          Wire.Lb_report { origin = sn.sid; pull = false; entries = [ s ] }
+        in
+        if dir = sn.sid then deliver_local t sn msg
+        else send t ~src:sn.sid ~dst:dir msg
+      end)
+    t.snodes
+
+(* One balance round: every live directory classifies its reporters into
+   light/heavy against the cluster average and proposes a transfer from
+   the k-th heaviest toward the k-th lightest (many-to-many), rate-limited
+   per heavy origin. *)
+let lb_balance_round t =
+  let policy = lb_policy_exn t in
+  let now = Engine.now t.engine in
+  Array.iter
+    (fun sn ->
+      if sn.alive && sn.lb_is_dir then begin
+        let light, heavy = Balance.Directory.classify sn.lb_dir policy in
+        List.iter
+          (fun ((h : Balance.Summary.t), (l : Balance.Summary.t)) ->
+            if
+              Balance.Directory.admit_proposal sn.lb_dir policy
+                ~origin:h.Balance.Summary.origin ~now
+            then begin
+              t.lb_proposals <- t.lb_proposals + 1;
+              send t ~src:sn.sid ~dst:h.Balance.Summary.origin
+                (Wire.Lb_proposal
+                   { to_snode = l.Balance.Summary.origin; emergency = false })
+            end)
+          (Balance.Directory.pair ~light ~heavy)
+      end)
+    t.snodes
+
+(* Pre-schedule bounded balancer rounds up to [until] — explicit like
+   [anti_entropy], never a self-rescheduling timer, so [run] without a
+   horizon still drains the queue. *)
+let arm_balancer t ~until =
+  let policy = lb_policy_exn t in
+  let now = Engine.now t.engine in
+  let arm interval f =
+    let steps = int_of_float ((until -. now) /. interval) in
+    for i = 1 to steps do
+      Engine.at t.engine ~time:(now +. (float_of_int i *. interval))
+        (fun () -> f t)
+    done
+  in
+  arm policy.Balance.Policy.gossip_interval lb_gossip_round;
+  arm policy.Balance.Policy.report_interval lb_report_round;
+  arm policy.Balance.Policy.balance_interval lb_balance_round
+
+(* ------------------------------------------------------------------ *)
 (* Construction and public API                                          *)
 
 let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
@@ -2489,8 +2933,14 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
     ?(ingress_limit = 0) ?(poison_after = 5) ?(event_timeout = 1.0)
     ?(rfactor = 1) ?(read_quorum = 1) ?(write_quorum = 1)
     ?(handoff_timeout = 0.02) ?(linger = 0.) ?metrics ?(trace = Trace.noop)
-    ?(causal = false) ?(heat = false) ?(heat_tau = 1.0) ~snodes ~seed () =
+    ?(causal = false) ?(heat = false) ?(heat_tau = 1.0) ?balance ~snodes
+    ~seed () =
   if snodes < 1 then invalid_arg "Runtime.create: need at least one snode";
+  (match balance with
+  | Some p -> Balance.Policy.validate p
+  | None -> ());
+  (* The balancer steers by heat, so enabling it implies heat tracking. *)
+  let heat = heat || balance <> None in
   if not (Params.is_power_of_two pmin) then
     invalid_arg "Runtime.create: pmin must be a power of two";
   if max_retries < 1 then invalid_arg "Runtime.create: max_retries < 1";
@@ -2548,6 +2998,8 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
               lat ~labels:[ ("kind", "create") ] "runtime.2pc.event";
             i_ev_remove =
               lat ~labels:[ ("kind", "remove") ] "runtime.2pc.event";
+            i_ev_balance =
+              lat ~labels:[ ("kind", "balance") ] "runtime.2pc.event";
             i_downtime = lat "runtime.recovery.downtime";
             i_rto = lat "runtime.rto.delay";
             i_q_put = lat ~labels:[ ("op", "put") ] "runtime.quorum.latency";
@@ -2587,6 +3039,17 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
         peers = Hashtbl.create 8;
         obufs = Hashtbl.create 8;
         parked = Queue.create ();
+        lb_view = Balance.Gossip.create ();
+        lb_dir = Balance.Directory.create ();
+        lb_is_dir =
+          (match balance with
+          | None -> false
+          | Some p ->
+              List.mem sid
+                (Balance.Directory.locate ~snodes
+                   ~count:p.Balance.Policy.directories));
+        lb_version = 0;
+        lb_last_transfer = neg_infinity;
       }
     in
     (* Every cache starts with the bootstrap placement, every replica map
@@ -2641,6 +3104,7 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
       op_roots = Hashtbl.create 64;
       heat = (if heat then Some (Hashtbl.create 64) else None);
       heat_tau;
+      balance;
       op_starts = Hashtbl.create 64;
       snodes = snodes_arr;
       callbacks = Hashtbl.create 64;
@@ -2667,6 +3131,11 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
       read_repairs = 0;
       sync_cells = 0;
       orphans = 0;
+      lb_transfers = 0;
+      lb_proposals = 0;
+      lb_emergencies = 0;
+      lb_skipped = 0;
+      lb_reports = 0;
       on_commit = None;
       recorder = None;
     }
@@ -2862,6 +3331,34 @@ let peer_samples t =
                   ps_backlog = Queue.length p.backlog;
                 }))
 
+(* ------------------------------------------------------------------ *)
+(* Load-balancer exports                                                *)
+
+type lb_stats = {
+  lbs_transfers : int;
+  lbs_proposals : int;
+  lbs_emergencies : int;
+  lbs_skipped : int;
+  lbs_reports : int;
+}
+
+let lb_stats t =
+  {
+    lbs_transfers = t.lb_transfers;
+    lbs_proposals = t.lb_proposals;
+    lbs_emergencies = t.lb_emergencies;
+    lbs_skipped = t.lb_skipped;
+    lbs_reports = t.lb_reports;
+  }
+
+(* Every snode's gossip view, in snode order — the convergence tests'
+   input. Crashed snodes report their (reset) view too. *)
+let lb_views t =
+  Array.to_list t.snodes
+  |> List.map (fun sn -> (sn.sid, Balance.Gossip.entries sn.lb_view))
+
+let lb_version t sid = t.snodes.(sid).lb_version
+
 (* One post-run dump of every counter the engine, network and runtime kept
    on their own. Histograms registered at [create] are already in the
    registry; this adds the scalar side so [Registry.to_table] is the whole
@@ -2905,6 +3402,11 @@ let record_metrics t reg =
   c "runtime.repl.repair.read" t.read_repairs;
   c "runtime.repl.sync.cells" t.sync_cells;
   c "runtime.repl.sync.orphans" t.orphans;
+  c "runtime.lb.transfers" t.lb_transfers;
+  c "runtime.lb.proposals" t.lb_proposals;
+  c "runtime.lb.emergencies" t.lb_emergencies;
+  c "runtime.lb.skipped" t.lb_skipped;
+  c "runtime.lb.reports" t.lb_reports;
   c ~labels:[ ("op", "create") ] "runtime.ops" t.done_creations;
   c ~labels:[ ("op", "remove") ] "runtime.ops" t.done_removals;
   c ~labels:[ ("op", "put") ] "runtime.ops" t.done_puts;

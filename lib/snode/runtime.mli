@@ -65,6 +65,7 @@ val create :
   ?causal:bool ->
   ?heat:bool ->
   ?heat_tau:float ->
+  ?balance:Dht_balance.Policy.t ->
   snodes:int ->
   seed:int ->
   unit ->
@@ -193,6 +194,18 @@ val create :
     seconds of virtual time, default 1.0) keyed by the accessed partition.
     Read the table back with {!heat_rows}; {!record_metrics} exports it as
     labeled [heat.*] series. Passive: counters only.
+
+    [balance] arms the active load balancer (and implies [heat]): snodes
+    gossip version-stamped load summaries in push-pull rounds, report to
+    hash-located directory snodes that pair heavy reporters with light
+    ones, and a proposal triggers a hot-partition {e swap} inside the
+    heavy partition's group — the hot partition moves to a group member
+    on the light snode, which gives its coldest partition back, so
+    per-vnode partition counts (and therefore G4/G5 and the LPDRs) are
+    untouched and only placement moves, through the standard
+    prepare/commit round under the group lock. Rounds are driven
+    explicitly ({!arm_balancer}); creating with [balance] alone changes
+    nothing until rounds run.
     @raise Invalid_argument if [snodes < 1], a parameter is out of range,
     or the crash plan names an unknown snode. *)
 
@@ -269,8 +282,12 @@ val alive : t -> int -> bool
 val crash_snode : t -> int -> unit
 (** Crash-stop the snode now: deliveries to it are absorbed until
     {!restart_snode}. Protocol state is modelled as durable (the 2PC
-    stable log); only retransmission timers, route suspicions and the
-    routing cache are volatile. No-op if already down. *)
+    stable log); volatile and reset here: retransmission timers, route
+    suspicions, the routing cache, the heat cells of the partitions the
+    snode owns, and its load-balancer gossip view and directory table
+    (the per-snode summary {e version counter} stays durable, so a
+    restarted snode's first summary supersedes its pre-crash gossip).
+    No-op if already down. *)
 
 val restart_snode : t -> int -> unit
 (** Bring a crashed snode back: rebuild the routing cache (bootstrap
@@ -383,6 +400,51 @@ val peer_samples : t -> peer_sample list
     ({!Dht_obsv.Health.scores}). Empty without a fault plan (the reliable
     layer is off). Soft state: crashes reset an observer's estimators, so
     sample mid-run to catch a gray failure in the act. *)
+
+(** {2 Active load balancing} *)
+
+val lb_gossip_round : t -> unit
+(** One push-pull gossip round: every live snode refreshes its own load
+    summary under a fresh version stamp and pushes its whole view to
+    [fanout] distinct random peers; each recipient merges (version-fenced)
+    and replies with its own view. Requires [create ~balance]. *)
+
+val lb_report_round : t -> unit
+(** One directory-report round: every live snode sends its fresh summary
+    to its hash-located directory snode. Requires [create ~balance]. *)
+
+val lb_balance_round : t -> unit
+(** One balance round: every live directory snode classifies reporters
+    into light/heavy against the cluster-average heat and proposes a
+    hot-partition swap from the k-th heaviest toward the k-th lightest,
+    rate-limited per heavy snode. Requires [create ~balance]. *)
+
+val arm_balancer : t -> until:float -> unit
+(** Pre-schedule gossip, report and balance rounds at their policy
+    cadences up to virtual time [until] — explicit and bounded, like
+    {!anti_entropy}, so {!run} without a horizon still drains the queue.
+    Requires [create ~balance].
+    @raise Invalid_argument when the balancer is not armed. *)
+
+type lb_stats = {
+  lbs_transfers : int;  (** completed hot-partition swap events *)
+  lbs_proposals : int;  (** directory proposals issued *)
+  lbs_emergencies : int;  (** proposals via the emergency path *)
+  lbs_skipped : int;  (** proposals dropped by validation or rate limits *)
+  lbs_reports : int;  (** gossip and directory report messages sent *)
+}
+
+val lb_stats : t -> lb_stats
+(** Balancer counters (all zero without [balance] or before any round). *)
+
+val lb_views : t -> (int * Dht_balance.Summary.t list) list
+(** Every snode's gossip view (sorted by origin), in snode order — the
+    convergence property's input. A crashed snode reports its reset
+    view. *)
+
+val lb_version : t -> int -> int
+(** The snode's durable summary version counter — gossip ground truth for
+    {!Dht_balance.Gossip.staleness}. *)
 
 val record_metrics : t -> Dht_telemetry.Registry.t -> unit
 (** Dump the scalar counters and gauges — engine ([engine.dispatched],

@@ -98,9 +98,33 @@ type msg =
       group : Group_id.t;
       view : (int * int * (Vnode_id.t * int) list) option;
     }
+  | Lb_report of {
+      origin : int;
+      pull : bool;
+      entries : Dht_balance.Summary.t list;
+    }
+  | Lb_proposal of { to_snode : int; emergency : bool }
+  | Lb_transfer of {
+      group : Group_id.t;
+      hot : Span.t;
+      from_vnode : Vnode_id.t;
+      to_snode : int;
+      origin : int;
+    }
+  | Lb_swap of {
+      event : int;
+      hot : Span.t;
+      from_vnode : Vnode_id.t;
+      to_vnode : Vnode_id.t;
+    }
 
 let envelope = 64
 let per_entry = 16
+
+let summary_size = 2 * per_entry
+(** One gossiped load summary on the wire: origin, version stamp, heat,
+    queue depth, partition count and produce time — six numeric fields,
+    charged as two id entries. *)
 
 let trace_context = 20
 (** Serialized span context riding a {!Traced} wrapper: a 64-bit trace id,
@@ -187,6 +211,11 @@ let rec size_bytes = function
       + (match view with
         | None -> 0
         | Some (_, _, counts) -> per_entry * (2 + List.length counts))
+  | Lb_report { entries; _ } ->
+      envelope + per_entry + (summary_size * List.length entries)
+  | Lb_proposal _ -> envelope + per_entry
+  | Lb_transfer _ -> envelope + (3 * per_entry)
+  | Lb_swap _ -> envelope + (3 * per_entry)
 
 (* [describe] is the telemetry tag of every remote send, so it must not
    allocate: the single-level [Req] framing (the only one real traffic
@@ -228,6 +257,10 @@ let rec describe = function
   | Ack _ -> "ack"
   | Lpdr_pull _ -> "lpdr-pull"
   | Lpdr_push _ -> "lpdr-push"
+  | Lb_report _ -> "lb:report"
+  | Lb_proposal _ -> "lb:proposal"
+  | Lb_transfer _ -> "lb:transfer"
+  | Lb_swap _ -> "lb:swap"
 
 and req_tag = function
   | Routed { op = Op_create _; _ } -> "req:routed:create"
@@ -264,5 +297,9 @@ and req_tag = function
   | Batch _ -> "req:batch"
   | Lpdr_pull _ -> "req:lpdr-pull"
   | Lpdr_push _ -> "req:lpdr-push"
+  | Lb_report _ -> "req:lb:report"
+  | Lb_proposal _ -> "req:lb:proposal"
+  | Lb_transfer _ -> "req:lb:transfer"
+  | Lb_swap _ -> "req:lb:swap"
   | Ack _ -> "req:ack"
   | Req _ as nested -> "req:" ^ describe nested

@@ -188,6 +188,48 @@ type msg =
       (** manager's reply: [(level, epoch, counts)], or [None] when the
           manager no longer carries the group (it split away; the puller's
           pending commit will refresh its copy instead) *)
+  | Lb_report of {
+      origin : int;
+      pull : bool;
+      entries : Dht_balance.Summary.t list;
+    }
+      (** load dissemination: [origin]'s gossip view (push-pull rounds,
+          [pull = true] asks the receiver to answer with its own view) or
+          a single-entry report to [origin]'s load directory
+          ([pull = false]). Entries merge version-fenced — an observer's
+          view of any origin never regresses. *)
+  | Lb_proposal of { to_snode : int; emergency : bool }
+      (** directory → heavy snode: shed one hot partition toward the light
+          snode [to_snode]. [emergency] marks the hard-threshold path that
+          bypassed the balance-round cadence (telemetry only; the receiver
+          acts the same). Advisory: the receiver re-validates against its
+          own state and may ignore it. *)
+  | Lb_transfer of {
+      group : Group_id.t;
+      hot : Span.t;
+      from_vnode : Vnode_id.t;
+      to_snode : int;
+      origin : int;
+    }
+      (** heavy snode → group manager: start a balancing event that swaps
+          the hot partition [hot] out of [from_vnode] toward a group member
+          hosted on [to_snode]. Serializes through the manager's group
+          lock, exactly like {!Create_at_group}; the manager re-validates
+          from its current LPDR copy and drops stale requests. *)
+  | Lb_swap of {
+      event : int;
+      hot : Span.t;
+      from_vnode : Vnode_id.t;
+      to_vnode : Vnode_id.t;
+    }
+      (** manager → the two hosting snodes: the prepare of a hot-partition
+          transfer. [from_vnode] donates [hot] (or its hottest remaining
+          partition if [hot] has already migrated) to [to_vnode];
+          [to_vnode] donates its coldest partition back. Per-vnode
+          partition counts are unchanged, so the event never touches LPDRs
+          — only placement moves, through the standard epoch-fenced
+          Prepare_ack/Commit round, making the transfer indistinguishable
+          from a join/leave migration to the invariant battery. *)
 
 val trace_context : int
 (** Bytes a {!Traced} wrapper adds to its payload (trace id + span id +

@@ -31,6 +31,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("obsv", Test_obsv.suite);
       ("check", Test_check.suite);
+      ("active-balance", Test_balance.suite);
       ("linear", Test_linear.suite);
       ("explorer", Test_explorer.suite);
     ]

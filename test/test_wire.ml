@@ -50,6 +50,10 @@ let prepare ~split =
 
 let moved = [ (Span.root, vid 1, [ 1; 2; 3 ]) ]
 
+let sample_summary origin =
+  Dht_balance.Summary.make ~origin ~version:3 ~heat:1.5 ~queue:2 ~partitions:4
+    ~stamped:0.25
+
 let remove_prepare ~moves =
   Wire.Remove_prepare
     {
@@ -103,8 +107,12 @@ let canonical = function
   | Wire.Batch _ -> 33
   | Wire.Busy _ -> 34
   | Wire.Traced _ -> 35
+  | Wire.Lb_report _ -> 36
+  | Wire.Lb_proposal _ -> 37
+  | Wire.Lb_transfer _ -> 38
+  | Wire.Lb_swap _ -> 39
 
-let constructor_count = 36
+let constructor_count = 40
 
 (* The same message with a strictly larger variable-size payload, or the
    message itself when the constructor is fixed-size. Also wildcard-free,
@@ -158,6 +166,11 @@ let inflate = function
   | Wire.Lpdr_push p ->
       Wire.Lpdr_push
         { p with view = Some (0, 4, [ (vid 0, 16); (vid 1, 16) ]) }
+  | Wire.Lb_report r ->
+      Wire.Lb_report { r with entries = sample_summary 9 :: r.entries }
+  | Wire.Lb_proposal _ as m -> m
+  | Wire.Lb_transfer _ as m -> m
+  | Wire.Lb_swap _ as m -> m
 
 (* One representative of every constructor (all four routed ops). *)
 let all_messages =
@@ -213,6 +226,14 @@ let all_messages =
     Wire.Lpdr_pull { group = Group_id.root };
     Wire.Lpdr_push
       { group = Group_id.root; view = Some (0, 4, [ (vid 0, 16) ]) };
+    Wire.Lb_report
+      { origin = 1; pull = true; entries = [ sample_summary 1 ] };
+    Wire.Lb_proposal { to_snode = 2; emergency = false };
+    Wire.Lb_transfer
+      { group = Group_id.root; hot = Span.root; from_vnode = vid 1;
+        to_snode = 2; origin = 3 };
+    Wire.Lb_swap
+      { event = 3; hot = Span.root; from_vnode = vid 1; to_vnode = vid 2 };
   ]
 
 let test_complete_coverage () =
