@@ -381,6 +381,57 @@ let emit_runtime_json path =
   let st0 = Sys.time () in
   let sk = Extensions.skew ~seed:2004 () in
   let scpu = Sys.time () -. st0 in
+  (* Routing-scaling section: the O(log N) prefix-routing sweep at
+     N = 100 / 1k / 10k snodes — windowed hop percentiles, messages/op
+     and cache occupancy/bytes under bounded caches with mid-window
+     churn. The 10k point dominates the bench's wall time (cluster
+     construction is the cost, not the ops), so BENCH_routing_sizes
+     trims the sweep for quick local runs; CI and the committed snapshot
+     use the full ladder. *)
+  let routing_sizes =
+    match Sys.getenv_opt "BENCH_ROUTING_SIZES" with
+    | None | Some "" -> [ 100; 1000; 10000 ]
+    | Some s ->
+        String.split_on_char ',' s
+        |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+  in
+  let rt0 = Sys.time () in
+  let routing =
+    List.map
+      (fun snodes -> Extensions.routing_scaling ~snodes ~seed:2004 ())
+      routing_sizes
+  in
+  let rtcpu = Sys.time () -. rt0 in
+  let routing_json =
+    String.concat ",\n"
+      (List.map
+         (fun (r : Extensions.routing_run) ->
+           let module R = Dht_snode.Runtime in
+           let probes = r.Extensions.rs_cache.R.rcs_hits + r.Extensions.rs_cache.R.rcs_misses in
+           let hit_pct =
+             if probes = 0 then 0.
+             else
+               100. *. float_of_int r.Extensions.rs_cache.R.rcs_hits
+               /. float_of_int probes
+           in
+           Printf.sprintf
+             "    \"n%d\": {\"snodes\": %d, \"vnodes\": %d, \"level\": %d, \
+              \"route_cap\": %d, \"ops\": %d, \"hops_p50\": %.1f, \
+              \"hops_p99\": %.1f, \"hops_max\": %d, \"msgs_per_op\": %.3f, \
+              \"cache_entries_max\": %d, \"cache_bytes_max\": %d, \
+              \"cache_hit_pct\": %.2f, \"evictions\": %d, \
+              \"sigma_pct\": %.3f, \"findings\": %d}"
+             r.Extensions.rs_snodes r.Extensions.rs_snodes
+             r.Extensions.rs_vnodes r.Extensions.rs_level r.Extensions.rs_cap
+             r.Extensions.rs_ops r.Extensions.rs_hops_p50
+             r.Extensions.rs_hops_p99 r.Extensions.rs_hops_max
+             r.Extensions.rs_msgs_per_op r.Extensions.rs_cache_entries_max
+             r.Extensions.rs_cache_bytes_max hit_pct
+             r.Extensions.rs_cache.R.rcs_evictions r.Extensions.rs_sigma
+             (List.length r.Extensions.rs_findings
+             + List.length r.Extensions.rs_linear))
+         routing)
+  in
   let skrun (x : Extensions.skew_run) =
     Printf.sprintf
       "{\"gini\": %.6f, \"sigma_pct\": %.3f, \"p50\": %.9f, \"p99\": %.9f, \
@@ -480,6 +531,10 @@ let emit_runtime_json path =
     \    \"backpressured\": %d,\n\
     \    \"ingress_overflows\": %d\n\
     \  },\n\
+    \  \"routing_scaling\": {\n\
+    \    \"cpu_seconds\": %.6f,\n\
+    %s\n\
+    \  },\n\
     \  \"quorum_skewed\": {\n\
     \    \"zipf\": %.2f,\n\
     \    \"keys\": %d,\n\
@@ -526,6 +581,7 @@ let emit_runtime_json path =
     ov.Extensions.ov_overload.Dht_snode.Runtime.probes
     ov.Extensions.ov_overload.Dht_snode.Runtime.backpressured
     ov.Extensions.ov_overload.Dht_snode.Runtime.ingress_overflows
+    rtcpu routing_json
     sk.Extensions.sk_zipf sk.Extensions.sk_keys sk.Extensions.sk_rate
     sk.Extensions.sk_duration scpu
     (skrun sk.Extensions.sk_off)
@@ -539,7 +595,8 @@ let emit_runtime_json path =
     "\nwrote %s (%d ops single-copy at %.0f ops/s; %d ops quorum at %.0f \
      ops/s batched, %.0f ops/s unbatched, %.0f ops/s causally traced \
      (%d span events) on the host; overload goodput %.0f -> %.0f -> %.0f \
-     acked-in-SLO/s; skew balancer gini %.3f -> %.3f, p99 %.1f -> %.1f ms)\n"
+     acked-in-SLO/s; skew balancer gini %.3f -> %.3f, p99 %.1f -> %.1f ms; \
+     routing p99 hops %s)\n"
     path ops
     (if cpu > 0. then float_of_int ops /. cpu else 0.)
     qops
@@ -551,6 +608,12 @@ let emit_runtime_json path =
     sk.Extensions.sk_on.Extensions.sk_gini
     (1e3 *. sk.Extensions.sk_off.Extensions.sk_p99)
     (1e3 *. sk.Extensions.sk_on.Extensions.sk_p99)
+    (String.concat ", "
+       (List.map
+          (fun (r : Extensions.routing_run) ->
+            Printf.sprintf "N=%d: %.0f" r.Extensions.rs_snodes
+              r.Extensions.rs_hops_p99)
+          routing))
 
 (* ------------------------------------------------------------------ *)
 (* Part 3: figure regeneration (reduced runs; dht_sim for full scale)  *)

@@ -773,12 +773,13 @@ let chaos_cmd =
     then exit 1
   in
   let run tel overload slow retry_budget snodes vnodes keys drop dup jitter
-      crashes downtime rfactor read_quorum write_quorum linger seed =
+      crashes downtime rfactor read_quorum write_quorum linger route_cap
+      seed =
     if overload then run_overload tel slow retry_budget seed
     else begin
     let r =
       Extensions.chaos ~snodes ~vnodes ~keys ~drop ~dup ~jitter ~crashes
-        ~downtime ~rfactor ~read_quorum ~write_quorum ~linger
+        ~downtime ~rfactor ~read_quorum ~write_quorum ~linger ~route_cap
         ~metrics:tel.tel_reg ~trace:tel.tel_trace ~causal:tel.tel_causal
         ~seed ()
     in
@@ -809,6 +810,15 @@ let chaos_cmd =
     if s.Dht_snode.Runtime.recoveries > 0 then
       Printf.printf "recovery downtime: p50 %.3fs, p99 %.3fs\n"
         r.Extensions.chaos_recovery_p50 r.Extensions.chaos_recovery_p99;
+    if r.Extensions.chaos_route_cap > 0 then begin
+      let rc = r.Extensions.chaos_route in
+      Printf.printf
+        "routing cache (cap %d/snode): %d hits, %d misses, %d evictions, \
+         peak %d entries, %d steward refreshes\n"
+        r.Extensions.chaos_route_cap rc.Dht_snode.Runtime.rcs_hits
+        rc.Dht_snode.Runtime.rcs_misses rc.Dht_snode.Runtime.rcs_evictions
+        rc.Dht_snode.Runtime.rcs_peak rc.Dht_snode.Runtime.rcs_refreshes
+    end;
     let tags = Table.create ~headers:[ "message tag"; "msgs"; "bytes" ] in
     List.iter
       (fun (tag, msgs, bytes) ->
@@ -902,11 +912,19 @@ let chaos_cmd =
     Arg.(value & opt float 0.05 & info [ "downtime" ] ~docv:"S"
            ~doc:"Virtual seconds each crashed snode stays down.")
   in
+  let route_cap =
+    Arg.(value & opt int 0 & info [ "route-cap" ] ~docv:"E"
+           ~doc:
+             "Per-snode routing-cache entry bound (0 keeps the legacy \
+              unbounded caches): chaos-test bounded prefix routing under \
+              the same fault mix as the data plane.")
+  in
   let term =
     Term.(const run $ telemetry_term $ overload $ slow $ retry_budget
           $ snodes $ vnodes_arg 40 $ keys $ drop
           $ dup $ jitter $ crashes $ downtime $ rfactor_arg 1
-          $ read_quorum_arg 1 $ write_quorum_arg 1 $ linger_arg $ seed_arg)
+          $ read_quorum_arg 1 $ write_quorum_arg 1 $ linger_arg $ route_cap
+          $ seed_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -1580,6 +1598,189 @@ let balance_cmd =
           no linearizability findings and no lost acked writes.")
     term
 
+let route_cmd =
+  (* The O(log N) prefix-routing scaling sweep and its CI gates: for each
+     cluster size, run the windowed workload (with mid-window churn by
+     default) against bounded routing caches and check the hop, occupancy
+     and safety gates. *)
+  let run tel sizes vnodes route_cap max_hops keys ops rate read_fraction
+      no_churn json seed =
+    let runs =
+      List.map
+        (fun snodes ->
+          Extensions.routing_scaling ?vnodes ~route_cap ~max_hops ~keys ~ops
+            ~rate ~read_fraction ~churn:(not no_churn) ~metrics:tel.tel_reg
+            ~snodes ~seed ())
+        sizes
+    in
+    Printf.printf
+      "== Prefix-routing scaling: cap %d entries/snode, %d ops over %d \
+       derived keys%s ==\n"
+      route_cap ops keys
+      (if no_churn then "" else ", mid-window crash/restart + join");
+    let table =
+      Table.create
+        ~headers:
+          [ "N"; "level"; "ops"; "p50"; "p99"; "max"; "msgs/op"; "cache max";
+            "bytes"; "hit%"; "evict"; "sigma"; "findings" ]
+    in
+    let hit_pct (r : Extensions.routing_run) =
+      let module R = Dht_snode.Runtime in
+      let probes = r.Extensions.rs_cache.R.rcs_hits + r.Extensions.rs_cache.R.rcs_misses in
+      if probes = 0 then 0.
+      else
+        100. *. float_of_int r.Extensions.rs_cache.R.rcs_hits
+        /. float_of_int probes
+    in
+    List.iter
+      (fun (r : Extensions.routing_run) ->
+        let module R = Dht_snode.Runtime in
+        Table.add_row table
+          [ string_of_int r.Extensions.rs_snodes;
+            string_of_int r.Extensions.rs_level;
+            string_of_int r.Extensions.rs_ops;
+            Printf.sprintf "%.0f" r.Extensions.rs_hops_p50;
+            Printf.sprintf "%.0f" r.Extensions.rs_hops_p99;
+            string_of_int r.Extensions.rs_hops_max;
+            Printf.sprintf "%.2f" r.Extensions.rs_msgs_per_op;
+            string_of_int r.Extensions.rs_cache_entries_max;
+            string_of_int r.Extensions.rs_cache_bytes_max;
+            Printf.sprintf "%.1f" (hit_pct r);
+            string_of_int r.Extensions.rs_cache.R.rcs_evictions;
+            Printf.sprintf "%.1f%%" r.Extensions.rs_sigma;
+            string_of_int
+              (List.length r.Extensions.rs_findings
+              + List.length r.Extensions.rs_linear) ])
+      runs;
+    Table.print table;
+    (* The gates the CI perf matrix enforces: p99 hops within 2 log2 N,
+       every cache within its entry bound, and a clean safety battery. *)
+    let failed = ref false in
+    let gate name ok detail =
+      if not ok then begin
+        failed := true;
+        Printf.printf "GATE FAILED: %s (%s)\n" name detail
+      end
+    in
+    List.iter
+      (fun (r : Extensions.routing_run) ->
+        let n = r.Extensions.rs_snodes in
+        let bound = 2. *. (log (float_of_int n) /. log 2.) in
+        gate
+          (Printf.sprintf "N=%d p99 hops" n)
+          (r.Extensions.rs_hops_p99 <= bound)
+          (Printf.sprintf "%.1f > 2 log2 N = %.1f" r.Extensions.rs_hops_p99
+             bound);
+        gate
+          (Printf.sprintf "N=%d cache bound" n)
+          (r.Extensions.rs_cache_entries_max <= r.Extensions.rs_cap)
+          (Printf.sprintf "%d entries > cap %d" r.Extensions.rs_cache_entries_max
+             r.Extensions.rs_cap);
+        gate
+          (Printf.sprintf "N=%d window" n)
+          (r.Extensions.rs_ops > 0)
+          "no ops landed in the measurement window";
+        List.iter
+          (fun f -> gate (Printf.sprintf "N=%d battery" n) false f)
+          (r.Extensions.rs_findings @ r.Extensions.rs_linear))
+      runs;
+    if not !failed then print_endline "all scaling gates passed";
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        let module R = Dht_snode.Runtime in
+        Printf.fprintf oc
+          "{\n  \"benchmark\": \"routing-scaling\",\n  \"seed\": %d,\n\
+          \  \"route_cap\": %d,\n  \"ops\": %d,\n  \"keys\": %d,\n\
+          \  \"churn\": %b,\n  \"sweep\": [" seed route_cap ops keys
+          (not no_churn);
+        List.iteri
+          (fun i (r : Extensions.routing_run) ->
+            Printf.fprintf oc
+              "%s\n    {\"snodes\": %d, \"vnodes\": %d, \"level\": %d, \
+               \"ops\": %d, \"hops_p50\": %.1f, \"hops_p99\": %.1f, \
+               \"hops_max\": %d, \"msgs_per_op\": %.3f, \
+               \"cache_entries_max\": %d, \"cache_bytes_max\": %d, \
+               \"cache_hit_pct\": %.2f, \"evictions\": %d, \
+               \"refreshes\": %d, \"sigma_pct\": %.3f, \"findings\": %d}"
+              (if i = 0 then "" else ",")
+              r.Extensions.rs_snodes r.Extensions.rs_vnodes
+              r.Extensions.rs_level r.Extensions.rs_ops
+              r.Extensions.rs_hops_p50 r.Extensions.rs_hops_p99
+              r.Extensions.rs_hops_max r.Extensions.rs_msgs_per_op
+              r.Extensions.rs_cache_entries_max r.Extensions.rs_cache_bytes_max
+              (hit_pct r) r.Extensions.rs_cache.R.rcs_evictions
+              r.Extensions.rs_cache.R.rcs_refreshes r.Extensions.rs_sigma
+              (List.length r.Extensions.rs_findings
+              + List.length r.Extensions.rs_linear))
+          runs;
+        Printf.fprintf oc "\n  ]\n}\n";
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      json;
+    finish_telemetry tel;
+    if !failed then exit 1
+  in
+  let sizes =
+    Arg.(value & opt (list int) [ 100; 1000; 10000 ]
+         & info [ "snodes" ] ~docv:"N,N,..."
+             ~doc:"Comma-separated cluster sizes to sweep.")
+  in
+  let vnodes =
+    Arg.(value & opt (some int) None & info [ "vnodes" ] ~docv:"V"
+           ~doc:"Vnodes in each cluster (default: one per snode).")
+  in
+  let route_cap =
+    Arg.(value & opt int 128 & info [ "route-cap" ] ~docv:"E"
+           ~doc:"Per-snode routing-cache entry bound (LRU pair-folds above it).")
+  in
+  let max_hops =
+    Arg.(value & opt int 32 & info [ "max-hops" ] ~docv:"H"
+           ~doc:"Forwarding limit before a routed op backs off and restarts.")
+  in
+  let keys =
+    Arg.(value & opt int 1_000_000 & info [ "keys" ] ~docv:"K"
+           ~doc:
+             "Size of the derived key population the workload samples \
+              (keys are computed, never materialized).")
+  in
+  let ops =
+    Arg.(value & opt int 4000 & info [ "ops" ] ~docv:"N"
+           ~doc:"Paced data operations per cluster size.")
+  in
+  let rate =
+    Arg.(value & opt float 20000. & info [ "rate" ] ~docv:"OPS"
+           ~doc:"Operations per virtual second.")
+  in
+  let read_fraction =
+    Arg.(value & opt float 0.5 & info [ "read-fraction" ] ~docv:"F"
+           ~doc:"Fraction of operations that are gets.")
+  in
+  let no_churn =
+    Arg.(value & flag & info [ "no-churn" ]
+           ~doc:
+             "Skip the mid-window crash/restart and vnode join (measure \
+              steady-state routing only).")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the sweep results to $(docv) as JSON.")
+  in
+  let term =
+    Term.(const run $ telemetry_term $ sizes $ vnodes $ route_cap $ max_hops
+          $ keys $ ops $ rate $ read_fraction $ no_churn $ json $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "O(log N) prefix-routing scaling sweep: per-snode bounded routing \
+          caches (LRU pair-fold eviction) with steward fingers, swept \
+          across cluster sizes under mid-window churn. Prints windowed hop \
+          percentiles, messages/op, cache occupancy and bytes; exits \
+          non-zero if p99 hops exceed 2 log2 N, any cache exceeds its \
+          bound, or the safety battery reports a finding.")
+    term
+
 let trace_cmd =
   (* Offline critical-path analysis of a --trace --causal JSONL file. *)
   let module Causal = Dht_obsv.Causal in
@@ -1736,6 +1937,7 @@ let () =
             zones_cmd; ratios_cmd; stability_cmd; cost_cmd; parallel_cmd; hetero_cmd;
             kvload_cmd; churn_cmd; ablation_cmd; hotspot_cmd;
             hetero_compare_cmd; distributed_cmd; chaos_cmd; kv_cmd;
-            explore_cmd; coexist_cmd; heat_cmd; balance_cmd; trace_cmd;
+            explore_cmd; coexist_cmd; heat_cmd; balance_cmd; route_cmd;
+            trace_cmd;
             all_cmd;
           ]))

@@ -513,12 +513,16 @@ type chaos_report = {
   chaos_batch_saved_bytes : int;  (** envelope bytes amortized away *)
   chaos_batch_occupancy_p50 : float;
       (** median messages per envelope; [nan] when nothing coalesced *)
+  chaos_route_cap : int;  (** routing-cache entry bound (0 = unbounded) *)
+  chaos_route : Dht_snode.Runtime.route_cache_stats;
+      (** faulty-run routing-cache traffic; all-zero when unbounded *)
 }
 
 let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
     ?(drop = 0.03) ?(dup = 0.015) ?(jitter = 2e-4) ?(crashes = 2)
     ?(downtime = 0.05) ?(rfactor = 1) ?(read_quorum = 1) ?(write_quorum = 1)
-    ?(linger = 0.) ?metrics ?trace ?(causal = false) ~seed () =
+    ?(linger = 0.) ?(route_cap = 0) ?max_hops ?metrics ?trace
+    ?(causal = false) ~seed () =
   let module Runtime = Dht_snode.Runtime in
   let module Fault = Dht_event_sim.Fault in
   if crashes < 0 then invalid_arg "chaos: crashes < 0";
@@ -537,8 +541,8 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
   let run_workload ?faults ?metrics ?trace ?(midburst = []) ?(midreads = []) () =
     let rt =
       Runtime.create ~pmin ~approach:(Runtime.Local { vmin }) ?faults ?metrics
-        ?trace ~causal ~rfactor ~read_quorum ~write_quorum ~linger ~snodes
-        ~seed ()
+        ?trace ~causal ~rfactor ~read_quorum ~write_quorum ~linger ~route_cap
+        ?max_hops ~snodes ~seed ()
     in
     (* Mid-burst write wave, aimed (by the caller) inside the crash
        windows: writes against a dead replica are what hinted handoff is
@@ -719,6 +723,8 @@ let chaos ?(snodes = 12) ?(vnodes = 40) ?(keys = 600) ?(pmin = 8) ?(vmin = 4)
     chaos_batch_saved_bytes =
       Dht_event_sim.Network.batch_bytes_saved (Runtime.network rt);
     chaos_batch_occupancy_p50 = mq "runtime.batch.occupancy" 0.5;
+    chaos_route_cap = route_cap;
+    chaos_route = Runtime.route_cache_stats rt;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -1147,6 +1153,203 @@ let skew ?(snodes = 8) ?(vnodes = 24) ?(pmin = 8) ?(vmin = 4) ?(keys = 1000)
     sk_crash = crash;
     sk_off = run ~balance:false;
     sk_on = run ~balance:true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Prefix-routing scaling                                               *)
+
+type routing_run = {
+  rs_snodes : int;
+  rs_vnodes : int;
+  rs_level : int;  (* finger level the runtime routed at *)
+  rs_cap : int;  (* per-snode routing-cache entry bound *)
+  rs_ops : int;  (* routed ops executed inside the measurement window *)
+  rs_hops_p50 : float;
+  rs_hops_p99 : float;
+  rs_hops_max : int;  (* most hops of any windowed op *)
+  rs_msgs_per_op : float;  (* network messages per op, window-wide *)
+  rs_cache_entries_max : int;  (* fullest cache at quiescence *)
+  rs_cache_entries_total : int;
+  rs_cache_bytes_max : int;  (* wire-model bytes of the fullest cache *)
+  rs_cache : Dht_snode.Runtime.route_cache_stats;
+  rs_retries : int;  (* hop-limit backoffs over the whole run *)
+  rs_sigma : float;  (* sigma-bar(Qv), percent, at quiescence *)
+  rs_findings : string list;  (* audit + invariant battery *)
+  rs_linear : string list;  (* durability findings *)
+}
+
+(* One cluster size of the scaling sweep: bounded prefix routing under a
+   derived key population, with mid-window churn — one snode crash-stops
+   and restarts, and one vnode joins, so lookups cross stale caches that
+   only reply hints and the advice chain can repair. Hop and message
+   counts window the measurement phase (snapshots diffed around it), so
+   the creation storm does not contaminate the gated percentiles. *)
+let routing_scaling ?vnodes ?(pmin = 8) ?(vmin = 4) ?(route_cap = 128)
+    ?(max_hops = 32) ?(keys = 1_000_000) ?(ops = 4000) ?(rate = 20000.)
+    ?(read_fraction = 0.5) ?(churn = true)
+    ?(link = Dht_event_sim.Network.link ~base_latency:8e-4 ~byte_time:1e-8)
+    ?metrics ~snodes ~seed () =
+  let module Runtime = Dht_snode.Runtime in
+  let module Engine = Dht_event_sim.Engine in
+  let module Network = Dht_event_sim.Network in
+  let module Fault = Dht_event_sim.Fault in
+  let vnodes = Option.value vnodes ~default:snodes in
+  if vnodes < 1 then invalid_arg "routing_scaling: vnodes < 1";
+  if ops < 1 then invalid_arg "routing_scaling: ops < 1";
+  if rate <= 0. then invalid_arg "routing_scaling: rate must be positive";
+  if read_fraction < 0. || read_fraction > 1. then
+    invalid_arg "routing_scaling: read_fraction outside [0, 1]";
+  let faults = if churn then Some (Fault.create ~drop:0. ~seed ()) else None in
+  (* The default 1 ms RTO sits below this link's ~1.6 ms round trip, so
+     every reliable message would retransmit exactly once — and Karn's
+     rule would then starve the adaptive estimator of clean samples
+     forever. Start above the round trip and let Jacobson tracking take
+     over. *)
+  let rt =
+    Runtime.create ~pmin
+      ~approach:(Runtime.Local { vmin })
+      ?faults ~link ~route_cap ~max_hops ~rto:5e-3 ~adaptive_rto:true
+      ?metrics ~snodes ~seed ()
+  in
+  let hist = Dht_check.History.create () in
+  Dht_check.History.attach hist rt;
+  let engine = Runtime.engine rt in
+  (* Grow the cluster as one paced phase with periodic steward
+     refreshes armed across the whole growth window. All three knobs
+     matter: against cold stewards a flood of simultaneous creations
+     routes quadratically (every request walks stale advice from
+     scratch); same-instant bursts build queues past the RTO so the
+     reliable layer retransmits into its own congestion; and without a
+     refresh {e during} the drain a walk stuck in a stale-advice cycle
+     can only terminate by randomly restarting onto the owner's snode —
+     expected Θ(N) restarts. Refreshes every 50 ms bound staleness in
+     simulated time, so a stuck walk's capped backoff outlives the
+     staleness, and scaling the creation rate with N keeps the number
+     of O(N)-cost refresh rounds constant — construction traffic stays
+     near-linear, and the growth phase ends with maintained (not
+     oracle) caches — exactly the state the measurement should start
+     from. *)
+  let create_rate = Float.max 2000. (float_of_int snodes /. 2.) in
+  let refresh_every = 0.05 in
+  let c0 = Engine.now engine +. 0.001 in
+  for i = 1 to vnodes - 1 do
+    Engine.at engine
+      ~time:(c0 +. (float_of_int (i - 1) /. create_rate))
+      (fun () ->
+        Runtime.create_vnode rt
+          ~id:(Vnode_id.make ~snode:(i mod snodes) ~vnode:(i / snodes))
+          ())
+  done;
+  let growth = float_of_int (max 0 (vnodes - 1)) /. create_rate in
+  Runtime.arm_route_refresh rt ~interval:refresh_every
+    ~until:(c0 +. growth +. 0.25);
+  Runtime.run rt;
+  let net = Runtime.network rt in
+  (* Pre-generated workload over a derived key population: member keys
+     are pure functions of (salt, index), so [keys] can be millions
+     without materializing anything. *)
+  let pop = Dht_workload.Keygen.Population.create ~size:keys () in
+  let wrng = Rng.of_int (seed * 6271) in
+  let plan =
+    Array.init ops (fun i ->
+        let key = Dht_workload.Keygen.Population.sample pop wrng in
+        let read = Rng.float wrng < read_fraction in
+        (float_of_int i /. rate, i mod snodes, key, read))
+  in
+  let duration = float_of_int ops /. rate in
+  let t0 = Engine.now engine +. 0.01 in
+  let acked : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  Array.iter
+    (fun (dt, via, key, read) ->
+      Engine.at engine ~time:(t0 +. dt) (fun () ->
+          if read then Runtime.get rt ~via ~key (fun _ -> ())
+          else
+            Runtime.put rt ~via
+              ~on_done:(fun () -> Hashtbl.replace acked key ())
+              ~key ~value:"w" ()))
+    plan;
+  if churn then begin
+    (* The victim's cache and LRU stamps die with it; it restarts onto
+       the bootstrap placement and must converge back through hints and
+       refreshes. The joining vnode moves real placement mid-window, so
+       every other snode's fine entries for those partitions go stale. *)
+    let victim = 1 mod snodes in
+    Engine.at engine ~time:(t0 +. (duration /. 3.)) (fun () ->
+        Runtime.crash_snode rt victim);
+    Engine.at engine ~time:(t0 +. (2. *. duration /. 3.)) (fun () ->
+        Runtime.restart_snode rt victim);
+    Engine.at engine ~time:(t0 +. (duration /. 2.)) (fun () ->
+        Runtime.create_vnode rt
+          ~id:(Vnode_id.make ~snode:(vnodes mod snodes) ~vnode:(vnodes / snodes))
+          ())
+  end;
+  let hops0 = Runtime.route_hops rt in
+  let msgs0 = Network.messages net in
+  Runtime.run rt;
+  let hops1 = Runtime.route_hops rt in
+  let msgs1 = Network.messages net in
+  let window = Array.mapi (fun i c -> c - hops0.(i)) hops1 in
+  let total = Array.fold_left ( + ) 0 window in
+  let hop_pct p =
+    if total = 0 then nan
+    else begin
+      let target = p *. float_of_int total in
+      let acc = ref 0 and found = ref (Array.length window - 1) in
+      (try
+         Array.iteri
+           (fun h c ->
+             acc := !acc + c;
+             if float_of_int !acc >= target then begin
+               found := h;
+               raise Exit
+             end)
+           window
+       with Exit -> ());
+      float_of_int !found
+    end
+  in
+  let hops_max =
+    let m = ref 0 in
+    Array.iteri (fun h c -> if c > 0 then m := h) window;
+    !m
+  in
+  let entries_max = ref 0 and entries_total = ref 0 in
+  for sid = 0 to snodes - 1 do
+    let n = Runtime.route_cache_entries rt sid in
+    entries_total := !entries_total + n;
+    if n > !entries_max then entries_max := n
+  done;
+  let findings =
+    (match Runtime.audit rt with Ok () -> [] | Error l -> l)
+    @ Dht_check.Invariants.to_strings
+        (Dht_check.Invariants.check_balance
+           ~acked:(Hashtbl.fold (fun k () l -> k :: l) acked [])
+           rt)
+  in
+  let peek key = Runtime.peek rt ~key in
+  let linear = Dht_check.Linear.durability ~peek (Dht_check.History.entries hist) in
+  Option.iter (fun reg -> Runtime.record_metrics rt reg) metrics;
+  {
+    rs_snodes = snodes;
+    rs_vnodes = vnodes + (if churn then 1 else 0);
+    rs_level = Runtime.route_level rt;
+    rs_cap = route_cap;
+    rs_ops = total;
+    rs_hops_p50 = hop_pct 0.50;
+    rs_hops_p99 = hop_pct 0.99;
+    rs_hops_max = hops_max;
+    rs_msgs_per_op =
+      (if total = 0 then nan else float_of_int (msgs1 - msgs0) /. float_of_int total);
+    rs_cache_entries_max = !entries_max;
+    rs_cache_entries_total = !entries_total;
+    (* Two 16-byte wire entries per binding — the same model [Wire]
+       charges for a piggybacked placement. *)
+    rs_cache_bytes_max = !entries_max * 32;
+    rs_cache = Runtime.route_cache_stats rt;
+    rs_retries = Runtime.retries rt;
+    rs_sigma = Runtime.sigma_qv rt;
+    rs_findings = findings;
+    rs_linear = linear;
   }
 
 type coexist_report = {

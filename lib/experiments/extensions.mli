@@ -254,6 +254,9 @@ type chaos_report = {
       (** envelope bytes amortized away by coalescing *)
   chaos_batch_occupancy_p50 : float;
       (** median messages per envelope; [nan] when nothing coalesced *)
+  chaos_route_cap : int;  (** routing-cache entry bound (0 = unbounded) *)
+  chaos_route : Dht_snode.Runtime.route_cache_stats;
+      (** faulty-run routing-cache traffic; all-zero when unbounded *)
 }
 
 val chaos :
@@ -271,6 +274,8 @@ val chaos :
   ?read_quorum:int ->
   ?write_quorum:int ->
   ?linger:float ->
+  ?route_cap:int ->
+  ?max_hops:int ->
   ?metrics:Dht_telemetry.Registry.t ->
   ?trace:Dht_telemetry.Trace.t ->
   ?causal:bool ->
@@ -301,7 +306,11 @@ val chaos :
 
     [linger] (default 0: off) arms transmission batching in both runs
     ({!Dht_snode.Runtime.create}); the report's batch columns surface the
-    faulty run's coalescing activity.
+    faulty run's coalescing activity. [route_cap] (default 0: unbounded
+    legacy caches) and [max_hops] arm bounded prefix routing in both
+    runs; the report's [chaos_route] block surfaces the faulty run's
+    cache traffic, so the routing layer can be chaos-tested under the
+    same fault mix as the data plane.
 
     The faulty run (never the baseline) is always instrumented — the
     recovery quantiles in the report come from its downtime histogram.
@@ -482,6 +491,61 @@ val skew :
     snodes) put the cap near 2.5k msgs/s per route: comfortably above
     an average route, below the routes into the Zipf-hot snode — so
     balancer-off queues on hot routes while balancer-on stays flat. *)
+
+type routing_run = {
+  rs_snodes : int;
+  rs_vnodes : int;  (** vnodes alive at the end (including the join) *)
+  rs_level : int;  (** finger level routed at: [ceil(log2 snodes)] *)
+  rs_cap : int;  (** per-snode routing-cache entry bound *)
+  rs_ops : int;  (** routed ops executed inside the measurement window *)
+  rs_hops_p50 : float;  (** windowed per-op forwarding-hop percentiles *)
+  rs_hops_p99 : float;
+  rs_hops_max : int;
+  rs_msgs_per_op : float;  (** window network messages / windowed ops *)
+  rs_cache_entries_max : int;  (** fullest cache at quiescence (<= cap) *)
+  rs_cache_entries_total : int;
+  rs_cache_bytes_max : int;  (** wire-model bytes of the fullest cache *)
+  rs_cache : Dht_snode.Runtime.route_cache_stats;
+  rs_retries : int;  (** hop-limit backoffs over the whole run *)
+  rs_sigma : float;  (** sigma-bar(Qv) (%) at quiescence *)
+  rs_findings : string list;  (** audit + invariant battery; must be [] *)
+  rs_linear : string list;  (** durability findings; must be [] *)
+}
+
+val routing_scaling :
+  ?vnodes:int ->
+  ?pmin:int ->
+  ?vmin:int ->
+  ?route_cap:int ->
+  ?max_hops:int ->
+  ?keys:int ->
+  ?ops:int ->
+  ?rate:float ->
+  ?read_fraction:float ->
+  ?churn:bool ->
+  ?link:Dht_event_sim.Network.link ->
+  ?metrics:Dht_telemetry.Registry.t ->
+  snodes:int ->
+  seed:int ->
+  unit ->
+  routing_run
+(** One cluster size of the O(log N) prefix-routing scaling sweep: a
+    [snodes]-snode cluster (default [vnodes = snodes] vnodes, [pmin] = 8,
+    [vmin] = 4) routes [ops] (default 4000) single-copy data operations
+    drawn from a derived key population of [keys] (default one million —
+    derived, so never materialized) with bounded routing armed
+    ([route_cap] = 128 entries per snode, [max_hops] = 32). The cluster
+    is grown as one paced phase (creation rate scaled with [snodes])
+    under a periodic steward-refresh cadence armed across the growth
+    window: flooding every creation at once against cold stewards
+    routes quadratically and melts the reliable layer's RTO, while
+    paced, refresh-as-you-grow construction stays near-linear. With [churn] (default true) one snode crash-stops and
+    restarts mid-window and one vnode joins, so lookups cross stale
+    caches repaired only by reply hints and the advice chain. Hop and
+    message counters are snapshotted around the measurement window, so
+    construction traffic does not contaminate the percentiles. Acceptance per size: [rs_hops_p99 <=
+    2 * log2 snodes], [rs_cache_entries_max <= route_cap], empty
+    [rs_findings] and [rs_linear]. *)
 
 val hetero_compare :
   ?nodes_generations:(int * float) list ->

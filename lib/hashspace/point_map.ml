@@ -81,6 +81,39 @@ let find_point t p =
   in
   go t.root 0 0
 
+(* Raw probe for the per-hop routing path: the owner alone, with no
+   [Span.make] record and no result tuple. [find_point] costs two
+   allocations per probe; at cluster scale every forwarded hop pays one,
+   so the hot path walks the trie and returns the leaf's value direct. *)
+let find_owner_exn t p =
+  if not (Space.contains t.space p) then
+    invalid_arg "Point_map.find_owner_exn: point outside space";
+  let bits = Space.bits t.space in
+  let rec go node d =
+    match node with
+    | Empty -> raise Not_found
+    | Leaf l -> l.v
+    | Fork f ->
+        go (if (p lsr (bits - 1 - d)) land 1 = 0 then f.lo else f.hi) (d + 1)
+  in
+  go t.root 0
+
+(* Depth (= span level) of the leaf covering [p], as a bare int — the
+   routing layer's fine-vs-coarse test, allocation-free like the raw
+   probe above. *)
+let probe_depth t p =
+  if not (Space.contains t.space p) then
+    invalid_arg "Point_map.probe_depth: point outside space";
+  let bits = Space.bits t.space in
+  let rec go node d =
+    match node with
+    | Empty -> raise Not_found
+    | Leaf _ -> d
+    | Fork f ->
+        go (if (p lsr (bits - 1 - d)) land 1 = 0 then f.lo else f.hi) (d + 1)
+  in
+  go t.root 0
+
 let replace_owner t span v =
   let lvl = Span.level span and idx = Span.index span in
   let rec go node d =
@@ -178,6 +211,26 @@ let learn t span v =
   in
   let root = go t.root 0 in
   t.root <- root
+
+(* Every [Fork] whose two children are both leaves, reported as the parent
+   span plus the two child values (lo then hi). Such a pair always exists
+   in a non-trivial map: a deepest leaf's sibling cannot be a fork (it
+   would hold a deeper leaf) nor empty (disjoint dyadic spans never leave
+   a both-empty fork behind under [add]/[learn]; [remove] prunes them).
+   Replacing the pair by one parent-level binding ([learn] at the parent
+   span) shrinks the cardinality by one without opening a hole — the
+   bounded routing cache's eviction step. *)
+let iter_pairs t f =
+  let rec go node d idx =
+    match node with
+    | Empty | Leaf _ -> ()
+    | Fork { lo = Leaf a; hi = Leaf b } ->
+        f (Span.make t.space ~level:d ~index:idx) a.v b.v
+    | Fork fk ->
+        go fk.lo (d + 1) (idx lsl 1);
+        go fk.hi (d + 1) ((idx lsl 1) lor 1)
+  in
+  go t.root 0 0
 
 let iter t f =
   let rec go node d idx =

@@ -28,6 +28,23 @@ val find_point : 'a t -> int -> Span.t * 'a
     @raise Invalid_argument if [p] lies outside the space.
     @raise Not_found if no registered span contains [p]. *)
 
+val find_owner_exn : 'a t -> int -> 'a
+(** [find_owner_exn t p] is the owner of the registered span containing
+    index [p] — {!find_point} without the span: the probe walks the trie
+    and returns the leaf's value directly, allocating nothing. This is the
+    per-hop routing probe; at cluster scale the two allocations
+    {!find_point} pays (the span record and the result tuple) dominate the
+    lookup cost.
+    @raise Invalid_argument if [p] lies outside the space.
+    @raise Not_found if no registered span contains [p]. *)
+
+val probe_depth : 'a t -> int -> int
+(** [probe_depth t p] is the level of the registered span containing [p],
+    as a bare int (allocation-free). Routing layers use it to judge
+    whether a cached entry is fine enough to act on.
+    @raise Invalid_argument if [p] lies outside the space.
+    @raise Not_found if no registered span contains [p]. *)
+
 val replace_owner : 'a t -> Span.t -> 'a -> unit
 (** [replace_owner t span v] updates the owner of an exact registered span.
     @raise Not_found if [span] is not present. *)
@@ -51,6 +68,14 @@ val overlapping : 'a t -> Span.t -> (Span.t * 'a) list
 (** [overlapping t span] is every registered binding whose span intersects
     [span], in increasing start order. Used by routing caches that must
     evict stale entries before learning a fresh one. *)
+
+val iter_pairs : 'a t -> (Span.t -> 'a -> 'a -> unit) -> unit
+(** [iter_pairs t f] calls [f parent lo_v hi_v] for every pair of sibling
+    leaves, where [parent] is the span covering both. In a map with full
+    coverage at least one such pair exists whenever the cardinality
+    exceeds one, and [learn t parent v] collapses it into a single
+    parent-level binding — the hole-free eviction step of a bounded
+    routing cache. *)
 
 val iter : 'a t -> (Span.t -> 'a -> unit) -> unit
 (** Iterates in increasing start order. *)

@@ -12,14 +12,17 @@ module Versioned = Dht_kv.Versioned
 module Placement = Dht_replication.Placement
 module Heat = Dht_obsv.Heat
 module Balance = Dht_balance
+module Fingers = Dht_cluster.Fingers
 module Vtbl = Hashtbl.Make (Vnode_id)
 module Gtbl = Hashtbl.Make (Group_id)
 
 (* Forwarding limit: a routed operation bounces through at most [max_hops]
    stale caches, then backs off and retries from scratch; convergence is
    guaranteed once the in-flight balancing event commits. The retry budget
-   and backoff delay are per-runtime (see [create]). *)
-let max_hops = 4
+   and backoff delay are per-runtime (see [create]), and [max_hops] itself
+   is a [create] parameter with this default — scaling sweeps raise it so
+   the hop distribution is measurable instead of retry-truncated. *)
+let default_max_hops = 4
 
 let log_src = Logs.Src.create "dht.snode" ~doc:"Distributed snode runtime"
 
@@ -210,6 +213,10 @@ type snode = {
   lb_is_dir : bool;  (* hash-located, fixed for the cluster's lifetime *)
   mutable lb_version : int;
   mutable lb_last_transfer : float;  (* donor-side transfer rate limit *)
+  (* LRU stamps for the bounded routing cache (span -> last-touch tick).
+     Soft state, like route suspicions: reset on crash, and a missing
+     stamp reads as oldest. Maintained only when [route_cap > 0]. *)
+  rstamps : (Span.t, int) Hashtbl.t;
 }
 
 type callback =
@@ -282,6 +289,9 @@ type t = {
   poison_after : int;  (* consecutive timeouts before a route is poisoned *)
   event_timeout : float;  (* per-round watchdog for balancing events *)
   rfactor : int;  (* copies per partition; 1 = no replication *)
+  route_cap : int;  (* routing-cache entry bound; 0 = unbounded (legacy) *)
+  max_hops : int;  (* forwarding limit before a routed op backs off *)
+  rlevel : int;  (* finger level: ceil(log2 snodes), clamped to the space *)
   read_quorum : int;  (* R *)
   write_quorum : int;  (* W; R + W > rfactor *)
   handoff_timeout : float;  (* write-ack patience before hinting *)
@@ -333,6 +343,15 @@ type t = {
   mutable lb_emergencies : int;  (* proposals via the emergency path *)
   mutable lb_skipped : int;  (* proposals dropped by validation/rate limit *)
   mutable lb_reports : int;  (* gossip + directory report messages sent *)
+  (* Bounded-routing-cache accounting (all zero when [route_cap = 0]). *)
+  mutable rclock : int;  (* LRU clock: bumped on every touch *)
+  mutable rc_hits : int;  (* cache probes answered by a fine entry *)
+  mutable rc_misses : int;  (* probes that fell back to steward/chain *)
+  mutable rc_evictions : int;  (* LRU pair-folds forced by the cap *)
+  mutable rc_peak : int;  (* highest post-learn occupancy of any cache *)
+  mutable route_refreshes : int;  (* steward refresh reports sent *)
+  mutable hops_peak : int;  (* most hops any executed routed op took *)
+  hop_counts : int array;  (* executed routed ops per hop count *)
   (* Verification hooks, both passive: [on_commit] fires after a snode has
      fully applied a balancing Commit (audits run there), [recorder] sees
      every data operation's invocation and outcome. *)
@@ -353,8 +372,60 @@ let map_learn space map span value =
   ignore space;
   Point_map.learn map span value
 
-let cache_learn t sn span vid = map_learn t.space sn.cache span vid
 let rmap_learn t sn span sids = map_learn t.space sn.rmap span sids
+
+(* ------------------------------------------------------------------ *)
+(* Bounded routing cache                                                *)
+
+(* LRU-stamp a cache span. Stamps are soft state: a span [learn]
+   decomposed away leaves its stamp orphaned (harmless — stamps are read
+   through the live span set), and a missing stamp reads as 0, i.e.
+   oldest. *)
+let cache_touch t sn span =
+  if t.route_cap > 0 then begin
+    t.rclock <- t.rclock + 1;
+    Hashtbl.replace sn.rstamps span t.rclock
+  end
+
+let cache_stamp sn span =
+  match Hashtbl.find_opt sn.rstamps span with Some s -> s | None -> 0
+
+(* Shrink [sn.cache] back under the cap without ever leaving a hole: fold
+   the coldest sibling leaf-pair into one parent-level binding (keeping
+   the fresher child's owner as the coarse guess — it is advice, not
+   truth, so coarsening is always safe). Full coverage guarantees a
+   foldable pair exists whenever the cardinality exceeds one, so the loop
+   always terminates. *)
+let cache_evict_to_cap t sn =
+  if t.route_cap > 0 then
+    while Point_map.cardinal sn.cache > t.route_cap do
+      let best = ref None in
+      Point_map.iter_pairs sn.cache (fun parent lo_v hi_v ->
+          let lo_s, hi_s = Span.split t.space parent in
+          let a = cache_stamp sn lo_s and b = cache_stamp sn hi_s in
+          let stamp = if a >= b then a else b in
+          let keep = if a >= b then lo_v else hi_v in
+          match !best with
+          | Some (s, _, _, _, _) when s <= stamp -> ()
+          | _ -> best := Some (stamp, parent, lo_s, hi_s, keep));
+      match !best with
+      | None -> failwith "Runtime: routing cache lost coverage"
+      | Some (stamp, parent, lo_s, hi_s, keep) ->
+          Point_map.learn sn.cache parent keep;
+          Hashtbl.remove sn.rstamps lo_s;
+          Hashtbl.remove sn.rstamps hi_s;
+          Hashtbl.replace sn.rstamps parent stamp;
+          t.rc_evictions <- t.rc_evictions + 1
+    done
+
+let cache_learn t sn span vid =
+  map_learn t.space sn.cache span vid;
+  if t.route_cap > 0 then begin
+    cache_touch t sn span;
+    cache_evict_to_cap t sn;
+    let n = Point_map.cardinal sn.cache in
+    if n > t.rc_peak then t.rc_peak <- n
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Local state operations                                               *)
@@ -451,14 +522,14 @@ let store_replica sn ~point ~key cell =
         end
         else false
   in
-  match Point_map.find_point sn.owned point with
-  | _, vid -> merge_into (local_exn sn vid).data
+  match Point_map.find_owner_exn sn.owned point with
+  | vid -> merge_into (local_exn sn vid).data
   | exception Not_found -> merge_into sn.replicas
 
 let replica_lookup sn ~point ~key =
   let slot =
-    match Point_map.find_point sn.owned point with
-    | _, vid -> Hashtbl.find_opt (local_exn sn vid).data key
+    match Point_map.find_owner_exn sn.owned point with
+    | vid -> Hashtbl.find_opt (local_exn sn vid).data key
     | exception Not_found -> Hashtbl.find_opt sn.replicas key
   in
   Option.map (fun s -> s.cell) slot
@@ -1163,10 +1234,10 @@ and deliver_local t sn msg =
 
 and route_or_forward t sn (point, hops, retries, origin, op) =
   let ctx = t.cur in
-  match Point_map.find_point sn.owned point with
-  | _, vid -> execute_op t sn ~owner:vid ~point ~origin ~retries ~hops op
+  match Point_map.find_owner_exn sn.owned point with
+  | vid -> execute_op t sn ~owner:vid ~point ~origin ~retries ~hops op
   | exception Not_found ->
-      if hops >= max_hops then begin
+      if hops >= t.max_hops then begin
         t.retried <- t.retried + 1;
         if Trace.enabled t.trace then
           Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:sn.sid
@@ -1175,32 +1246,71 @@ and route_or_forward t sn (point, hops, retries, origin, op) =
         let msg =
           Wire.Routed { point; hops = 0; retries = retries + 1; origin; op }
         in
-        if t.faults = None then begin
+        if t.faults = None && t.route_cap = 0 then begin
           (* The retry budget is a livelock canary, meaningful only on a
-             reliable network: under faults an operation legitimately backs
-             off for as long as a crashed snode stays down. *)
+             reliable network with legacy unbounded caches: under faults an
+             operation legitimately backs off for as long as a crashed
+             snode stays down, and under bounded routing a fold can leave a
+             transient cycle even with no faults at all. *)
           if retries >= t.max_retries then
             failwith "Runtime: routing failed to converge";
           Engine.schedule t.engine ~delay:t.backoff (fun () ->
               with_ctx t ctx (fun () -> deliver_local t sn msg))
         end
         else begin
-          (* Crash recovery can leave a permanent cycle among stale caches:
-             a restarted snode's rebuilt cache points back at the bootstrap
-             placement, and once balancing stops no commit repairs it.
-             Restart the walk at a random snode — the owner's snode
-             resolves the point locally, so the retry terminates with
-             probability 1 whatever the cycle structure. *)
+          (* Crash recovery (or an eviction fold) can leave a permanent
+             cycle among stale caches: a restarted snode's rebuilt cache
+             points back at the bootstrap placement, and once balancing
+             stops no commit repairs it. Restart the walk at a random
+             snode — the owner's snode resolves the point locally, so the
+             retry terminates with probability 1 whatever the cycle
+             structure. *)
           let via = Rng.int sn.rng (Array.length t.snodes) in
-          Engine.schedule t.engine ~delay:t.backoff (fun () ->
+          (* Exponential backoff, capped at 128 base delays: a walk stuck
+             in a stale-advice cycle should wait for the next refresh
+             round to repair the stewards rather than spin restarts
+             through the same cycle at full tilt. *)
+          let delay =
+            t.backoff *. (2. ** float_of_int (min retries 7))
+          in
+          Engine.schedule t.engine ~delay (fun () ->
               with_ctx t ctx (fun () ->
                   if via = sn.sid || not sn.alive then deliver_local t sn msg
                   else send t ~src:sn.sid ~dst:via msg))
         end
       end
       else begin
-        let _, owner = Point_map.find_point sn.cache point in
-        let dst = owner.Vnode_id.snode in
+        let advice = Point_map.find_owner_exn sn.cache point in
+        let dst =
+          if t.route_cap = 0 then advice.Vnode_id.snode
+          else begin
+            (* Prefix routing: an entry at least [rlevel] deep is {e fine}
+               — it names one snode's slice of one region, so we trust it
+               like a legacy advice hop. A coarser entry is a miss; the
+               origin hop diverts it to the region's steward (which
+               accumulates fine placements for the region via refresh
+               rounds), while intermediate hops keep walking the coarse
+               advice chain — the chain converges by the commit-learning
+               induction, and never diverting mid-chain rules out a
+               deterministic steward/peer ping-pong. *)
+            let depth = Point_map.probe_depth sn.cache point in
+            if depth >= t.rlevel then begin
+              t.rc_hits <- t.rc_hits + 1;
+              cache_touch t sn (Span.of_point t.space ~level:depth point);
+              advice.Vnode_id.snode
+            end
+            else begin
+              t.rc_misses <- t.rc_misses + 1;
+              if hops > 0 then advice.Vnode_id.snode
+              else
+                let region = Fingers.region ~bits:(Space.bits t.space) ~level:t.rlevel point in
+                let steward =
+                  Fingers.steward ~snodes:(Array.length t.snodes) ~region
+                in
+                if steward = sn.sid then advice.Vnode_id.snode else steward
+            end
+          end
+        in
         let msg = Wire.Routed { point; hops = hops + 1; retries; origin; op } in
         if dst = sn.sid then
           (* Our own cache points at us but we do not own the point: the
@@ -1214,6 +1324,19 @@ and execute_op t sn ~owner ~point ~origin ~retries ~hops op =
   (match t.instr with
   | Some i -> Histogram.observe i.i_hops (float_of_int hops)
   | None -> ());
+  let h = if hops > t.max_hops then t.max_hops else hops in
+  t.hop_counts.(h) <- t.hop_counts.(h) + 1;
+  if hops > t.hops_peak then t.hops_peak <- hops;
+  (* Piggybacked stale-entry repair: when the op needed forwarding, the
+     owner rides its exact owned placement back on the reply so the origin
+     repairs whatever stale cache entry misrouted the op — no dedicated
+     repair message. Only when bounded routing is on; legacy replies stay
+     byte-identical. *)
+  let reply_hint () =
+    if hops > 0 && t.route_cap > 0 then
+      Some (fst (Point_map.find_point sn.owned point), owner)
+    else None
+  in
   match op with
   | Wire.Op_put { key; value; token } ->
       (* Single-copy write: unconditional replace, stamped at the owner.
@@ -1242,7 +1365,8 @@ and execute_op t sn ~owner ~point ~origin ~retries ~hops op =
                     (Wire.Repl_put { token; key; point; cell }))
               set
         | exception Not_found -> ());
-      send t ~src:sn.sid ~dst:origin (Wire.Put_ack { token })
+      send t ~src:sn.sid ~dst:origin
+        (Wire.Put_ack { token; hint = reply_hint () })
   | Wire.Op_get { key; token } ->
       let v = local_exn sn owner in
       heat_charge t sn ~point ~kind:`Read ~bytes:(String.length key);
@@ -1251,7 +1375,8 @@ and execute_op t sn ~owner ~point ~origin ~retries ~hops op =
           (fun s -> s.cell.Versioned.value)
           (Hashtbl.find_opt v.data key)
       in
-      send t ~src:sn.sid ~dst:origin (Wire.Get_reply { token; value })
+      send t ~src:sn.sid ~dst:origin
+        (Wire.Get_reply { token; value; hint = reply_hint () })
   | Wire.Op_sync { key; cell } ->
       (* Anti-entropy orphan coming home: merge, no reply. *)
       let v = local_exn sn owner in
@@ -1291,7 +1416,7 @@ and manager_of lpdr =
 (* ---------------- quorum coordinator ---------------- *)
 
 and start_qput t sn ~token ~origin ~key ~point cell =
-  let _, set = Point_map.find_point sn.rmap point in
+  let set = Point_map.find_owner_exn sn.rmap point in
   if
     t.admission_deadline > 0.
     && admission_estimate t sn ~set ~need:t.write_quorum
@@ -1478,7 +1603,7 @@ and qput_deadline t sn q =
     end
 
 and start_qget t sn ~token ~origin ~key ~point =
-  let _, set = Point_map.find_point sn.rmap point in
+  let set = Point_map.find_owner_exn sn.rmap point in
   if
     t.admission_deadline > 0.
     && admission_estimate t sn ~set ~need:t.read_quorum > t.admission_deadline
@@ -2418,7 +2543,10 @@ and handle t sn ~from msg =
           failwith "Runtime: bad remove token");
       t.done_removals <- t.done_removals + 1;
       t.pending <- t.pending - 1
-  | Wire.Put_ack { token } ->
+  | Wire.Put_ack { token; hint } ->
+      (match hint with
+      | Some (span, vid) -> cache_learn t sn span vid
+      | None -> ());
       finish_op t ~kind:`Put ~token ~tid:sn.sid;
       causal_op_end t ~token ~tid:sn.sid ~outcome:"ok";
       record t (Oplog.Ack { token; at = Engine.now t.engine });
@@ -2430,7 +2558,10 @@ and handle t sn ~from msg =
           failwith "Runtime: bad put token");
       t.done_puts <- t.done_puts + 1;
       t.pending <- t.pending - 1
-  | Wire.Get_reply { token; value } ->
+  | Wire.Get_reply { token; value; hint } ->
+      (match hint with
+      | Some (span, vid) -> cache_learn t sn span vid
+      | None -> ());
       finish_op t ~kind:`Get ~token ~tid:sn.sid;
       causal_op_end t ~token ~tid:sn.sid ~outcome:"ok";
       record t (Oplog.Reply { token; value; at = Engine.now t.engine });
@@ -2591,12 +2722,15 @@ and handle t sn ~from msg =
       t.cur <- Some (trace, span, hop);
       handle t sn ~from payload;
       t.cur <- saved
-  | Wire.Lb_report { origin = _; pull; entries } ->
+  | Wire.Lb_report { origin = _; pull; entries; owns } ->
       (* Load dissemination: merge the sender's view version-fenced. A
          directory snode also files every entry as a load report and
          checks the emergency threshold; a pull asks for our view back
          (the push-pull round). *)
       ignore (Balance.Gossip.merge sn.lb_view entries);
+      (* Routing maintenance riding the same message: the sender's exact
+         owned placements for regions we steward. *)
+      List.iter (fun (span, vid) -> cache_learn t sn span vid) owns;
       (match t.balance with
       | Some policy when sn.lb_is_dir ->
           List.iter
@@ -2613,6 +2747,7 @@ and handle t sn ~from msg =
                origin = sn.sid;
                pull = false;
                entries = Balance.Gossip.entries sn.lb_view;
+               owns = [];
              })
       end
   | Wire.Lb_proposal { to_snode; emergency = _ } ->
@@ -2714,6 +2849,8 @@ let crash_snode t sid =
        everything it gossiped before the crash. *)
     Balance.Gossip.reset sn.lb_view;
     Balance.Directory.reset sn.lb_dir;
+    (* LRU stamps die with the routing cache they describe. *)
+    Hashtbl.reset sn.rstamps;
     Log.debug (fun m -> m "snode %d crashed at %g" sid (Engine.now t.engine))
   end
 
@@ -2853,7 +2990,8 @@ let lb_gossip_round t =
             (fun dst ->
               t.lb_reports <- t.lb_reports + 1;
               send t ~src:sn.sid ~dst
-                (Wire.Lb_report { origin = sn.sid; pull = true; entries }))
+                (Wire.Lb_report
+                   { origin = sn.sid; pull = true; entries; owns = [] }))
             (List.rev !chosen)
         end)
       t.snodes
@@ -2873,7 +3011,8 @@ let lb_report_round t =
         in
         t.lb_reports <- t.lb_reports + 1;
         let msg =
-          Wire.Lb_report { origin = sn.sid; pull = false; entries = [ s ] }
+          Wire.Lb_report
+            { origin = sn.sid; pull = false; entries = [ s ]; owns = [] }
         in
         if dir = sn.sid then deliver_local t sn msg
         else send t ~src:sn.sid ~dst:dir msg
@@ -2924,6 +3063,81 @@ let arm_balancer t ~until =
   arm policy.Balance.Policy.balance_interval lb_balance_round
 
 (* ------------------------------------------------------------------ *)
+(* Routing maintenance: steward refresh rounds                          *)
+
+(* One refresh round: every live snode reports its exact owned placements
+   to the stewards of every region they intersect, riding the balancer's
+   report message class ([entries = []]) so maintenance adds no new wire
+   tag. A span coarser than a region is filed with each covered region's
+   steward — filing by start-region only leaves every steward blind to
+   points that fall mid-span, and those walks degrade to stale advice
+   chains. The total filing volume per round stays O(regions + spans):
+   a level-[l] span covers [2^(rlevel-l)] regions, and those counts sum
+   to at most the region count across a partition of the space. No-op
+   unless bounded routing is armed. *)
+let route_refresh_round t =
+  if t.route_cap > 0 then begin
+    let n = Array.length t.snodes in
+    let bits = Space.bits t.space in
+    Array.iter
+      (fun sn ->
+        if sn.alive then begin
+          let by_steward = Hashtbl.create 8 in
+          Vtbl.iter
+            (fun vid v ->
+              List.iter
+                (fun span ->
+                  let region0 =
+                    Fingers.region ~bits ~level:t.rlevel
+                      (Span.start t.space span)
+                  in
+                  let covered =
+                    let l = Span.level span in
+                    if l >= t.rlevel then 1 else 1 lsl (t.rlevel - l)
+                  in
+                  (* Distinct stewards only: consecutive regions can hash
+                     to the same steward, and the steward's own [owned]
+                     map already resolves its local placements. *)
+                  let seen = Hashtbl.create 4 in
+                  for region = region0 to region0 + covered - 1 do
+                    let sd = Fingers.steward ~snodes:n ~region in
+                    if sd <> sn.sid && not (Hashtbl.mem seen sd) then begin
+                      Hashtbl.add seen sd ();
+                      let prev =
+                        match Hashtbl.find_opt by_steward sd with
+                        | Some l -> l
+                        | None -> []
+                      in
+                      Hashtbl.replace by_steward sd ((span, vid) :: prev)
+                    end
+                  done)
+                v.spans)
+            sn.locals;
+          Hashtbl.iter
+            (fun sd owns ->
+              t.route_refreshes <- t.route_refreshes + 1;
+              send t ~src:sn.sid ~dst:sd
+                (Wire.Lb_report
+                   { origin = sn.sid; pull = false; entries = []; owns }))
+            by_steward
+        end)
+      t.snodes
+  end
+
+(* Pre-schedule bounded refresh rounds up to [until], mirroring
+   [arm_balancer]: explicit occurrences, never a self-rescheduling
+   timer. *)
+let arm_route_refresh t ~interval ~until =
+  if interval <= 0. || not (Float.is_finite interval) then
+    invalid_arg "Runtime.arm_route_refresh: interval must be positive";
+  let now = Engine.now t.engine in
+  let steps = int_of_float ((until -. now) /. interval) in
+  for i = 1 to steps do
+    Engine.at t.engine ~time:(now +. (float_of_int i *. interval)) (fun () ->
+        route_refresh_round t)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Construction and public API                                          *)
 
 let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
@@ -2933,9 +3147,15 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
     ?(ingress_limit = 0) ?(poison_after = 5) ?(event_timeout = 1.0)
     ?(rfactor = 1) ?(read_quorum = 1) ?(write_quorum = 1)
     ?(handoff_timeout = 0.02) ?(linger = 0.) ?metrics ?(trace = Trace.noop)
-    ?(causal = false) ?(heat = false) ?(heat_tau = 1.0) ?balance ~snodes
-    ~seed () =
+    ?(causal = false) ?(heat = false) ?(heat_tau = 1.0) ?balance
+    ?(route_cap = 0) ?(max_hops = default_max_hops) ~snodes ~seed () =
   if snodes < 1 then invalid_arg "Runtime.create: need at least one snode";
+  if max_hops < 1 then invalid_arg "Runtime.create: max_hops < 1";
+  if route_cap < 0 then invalid_arg "Runtime.create: route_cap < 0";
+  (* A restarting snode rebuilds its cache from the [pmin]-span bootstrap
+     placement; a cap below that could not even hold the rebuild. *)
+  if route_cap > 0 && route_cap < pmin then
+    invalid_arg "Runtime.create: route_cap must be 0 or >= pmin";
   (match balance with
   | Some p -> Balance.Policy.validate p
   | None -> ());
@@ -3050,6 +3270,7 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
                    ~count:p.Balance.Policy.directories));
         lb_version = 0;
         lb_last_transfer = neg_infinity;
+        rstamps = Hashtbl.create 16;
       }
     in
     (* Every cache starts with the bootstrap placement, every replica map
@@ -3088,6 +3309,9 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
       poison_after;
       event_timeout;
       rfactor;
+      route_cap;
+      max_hops;
+      rlevel = Fingers.level ~bits:(Space.bits space) ~snodes;
       read_quorum;
       write_quorum;
       handoff_timeout;
@@ -3136,6 +3360,14 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
       lb_emergencies = 0;
       lb_skipped = 0;
       lb_reports = 0;
+      rclock = 0;
+      rc_hits = 0;
+      rc_misses = 0;
+      rc_evictions = 0;
+      rc_peak = 0;
+      route_refreshes = 0;
+      hops_peak = 0;
+      hop_counts = Array.make (max_hops + 1) 0;
       on_commit = None;
       recorder = None;
     }
@@ -3359,6 +3591,38 @@ let lb_views t =
 
 let lb_version t sid = t.snodes.(sid).lb_version
 
+(* ---------------- scalable-routing exports ---------------- *)
+
+let route_level t = t.rlevel
+let route_cap t = t.route_cap
+let max_hops t = t.max_hops
+
+type route_cache_stats = {
+  rcs_hits : int;
+  rcs_misses : int;
+  rcs_evictions : int;
+  rcs_refreshes : int;
+  rcs_entries : int;
+  rcs_peak : int;
+}
+
+let route_cache_stats t =
+  {
+    rcs_hits = t.rc_hits;
+    rcs_misses = t.rc_misses;
+    rcs_evictions = t.rc_evictions;
+    rcs_refreshes = t.route_refreshes;
+    rcs_entries =
+      Array.fold_left
+        (fun acc sn -> acc + Point_map.cardinal sn.cache)
+        0 t.snodes;
+    rcs_peak = t.rc_peak;
+  }
+
+let route_cache_entries t sid = Point_map.cardinal t.snodes.(sid).cache
+let route_hops t = Array.copy t.hop_counts
+let route_hops_peak t = t.hops_peak
+
 (* One post-run dump of every counter the engine, network and runtime kept
    on their own. Histograms registered at [create] are already in the
    registry; this adds the scalar side so [Registry.to_table] is the whole
@@ -3407,6 +3671,17 @@ let record_metrics t reg =
   c "runtime.lb.emergencies" t.lb_emergencies;
   c "runtime.lb.skipped" t.lb_skipped;
   c "runtime.lb.reports" t.lb_reports;
+  c "runtime.route.cache.hits" t.rc_hits;
+  c "runtime.route.cache.misses" t.rc_misses;
+  c "runtime.route.cache.evictions" t.rc_evictions;
+  c "runtime.route.refreshes" t.route_refreshes;
+  g "runtime.route.cache.entries"
+    (float_of_int
+       (Array.fold_left
+          (fun acc sn -> acc + Point_map.cardinal sn.cache)
+          0 t.snodes));
+  g "runtime.route.cache.peak" (float_of_int t.rc_peak);
+  g "runtime.route.hops.peak" (float_of_int t.hops_peak);
   c ~labels:[ ("op", "create") ] "runtime.ops" t.done_creations;
   c ~labels:[ ("op", "remove") ] "runtime.ops" t.done_removals;
   c ~labels:[ ("op", "put") ] "runtime.ops" t.done_puts;
@@ -3656,12 +3931,16 @@ let audit t =
             | [] -> ()
           end))
     views;
-  (* Every routing cache must still cover the whole range. *)
+  (* Every routing cache must still cover the whole range, and — when
+     bounded routing is armed — respect the entry cap. *)
   Array.iter
     (fun sn ->
-      match Coverage.check t.space (Point_map.spans sn.cache) with
+      (match Coverage.check t.space (Point_map.spans sn.cache) with
       | Ok () -> ()
-      | Error e -> fail "snode %d cache: %a" sn.sid Coverage.pp_error e)
+      | Error e -> fail "snode %d cache: %a" sn.sid Coverage.pp_error e);
+      if t.route_cap > 0 && Point_map.cardinal sn.cache > t.route_cap then
+        fail "snode %d cache: %d entries exceed the cap %d" sn.sid
+          (Point_map.cardinal sn.cache) t.route_cap)
     t.snodes;
   (* Data placement: every key lives with the owner of its hash point. *)
   Array.iter

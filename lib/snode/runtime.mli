@@ -66,6 +66,8 @@ val create :
   ?heat:bool ->
   ?heat_tau:float ->
   ?balance:Dht_balance.Policy.t ->
+  ?route_cap:int ->
+  ?max_hops:int ->
   snodes:int ->
   seed:int ->
   unit ->
@@ -206,6 +208,26 @@ val create :
     prepare/commit round under the group lock. Rounds are driven
     explicitly ({!arm_balancer}); creating with [balance] alone changes
     nothing until rounds run.
+
+    [route_cap] (default 0: unbounded, the legacy behaviour) arms the
+    scalable routing layer: every snode's routing cache is bounded to at
+    most [route_cap] entries — over-cap caches fold their coldest sibling
+    leaf-pair into one coarser parent binding (LRU by last probe/learn,
+    hole-free, so coverage audits still hold) — and lookups run prefix
+    routing over {!Dht_cluster.Fingers} geometry: a cache entry at least
+    [ceil(log2 snodes)] levels deep is trusted like legacy advice; a
+    coarser entry diverts the {e origin} hop to the point's region
+    steward, a deterministic snode that accumulates fine placements for
+    the region through {!route_refresh_round}s and learns corrected-owner
+    hints piggybacked on {!Wire.Put_ack}/{!Wire.Get_reply} replies.
+    Expected hops stay O(log snodes) while per-snode routing state stays
+    O(route_cap). Must be [>= pmin] when positive (a restarting snode
+    rebuilds from the [pmin]-span bootstrap placement).
+
+    [max_hops] (default 4) is the forwarding limit: a routed operation
+    bouncing through more than [max_hops] stale-cache hops backs off and
+    retries. Raise it together with [route_cap] at cluster scale so the
+    hop distribution is observable rather than truncated by retries.
     @raise Invalid_argument if [snodes < 1], a parameter is out of range,
     or the crash plan names an unknown snode. *)
 
@@ -445,6 +467,56 @@ val lb_views : t -> (int * Dht_balance.Summary.t list) list
 val lb_version : t -> int -> int
 (** The snode's durable summary version counter — gossip ground truth for
     {!Dht_balance.Gossip.staleness}. *)
+
+(** {2 Scalable routing} *)
+
+val route_level : t -> int
+(** The finger level the runtime routes at:
+    [Dht_cluster.Fingers.level ~bits ~snodes]. Fixed at creation. *)
+
+val route_cap : t -> int
+(** The per-snode routing-cache entry bound; [0] = unbounded (legacy). *)
+
+val max_hops : t -> int
+(** The forwarding limit a routed operation backs off at. *)
+
+val route_refresh_round : t -> unit
+(** One routing-maintenance round: every live snode reports its exact
+    owned placements to the stewards of the regions they start in, riding
+    the balancer's {!Wire.Lb_report} message class ([entries = \[\]]) so
+    maintenance adds no new wire tag. A no-op when [route_cap = 0]. *)
+
+val arm_route_refresh : t -> interval:float -> until:float -> unit
+(** Pre-schedule refresh rounds every [interval] up to virtual time
+    [until] — explicit and bounded, like {!arm_balancer}, so {!run}
+    without a horizon still drains the queue.
+    @raise Invalid_argument if [interval] is not positive and finite. *)
+
+type route_cache_stats = {
+  rcs_hits : int;  (** cache probes answered by a region-fine entry *)
+  rcs_misses : int;  (** probes that fell back to steward or chain *)
+  rcs_evictions : int;  (** LRU pair-folds forced by the cap *)
+  rcs_refreshes : int;  (** steward refresh reports sent *)
+  rcs_entries : int;  (** current total entries across all caches *)
+  rcs_peak : int;  (** highest post-learn occupancy of any one cache *)
+}
+
+val route_cache_stats : t -> route_cache_stats
+(** Bounded-cache counters (all zero when [route_cap = 0] — the legacy
+    path does not count probes). *)
+
+val route_cache_entries : t -> int -> int
+(** Current routing-cache entry count of one snode. *)
+
+val route_hops : t -> int array
+(** Per-hop-count totals of executed routed operations: index [h] is the
+    number of ops that reached their owner in exactly [h] forwarding
+    hops (length [max_hops + 1]). A fresh copy; diff two snapshots to
+    window a measurement. Counts the routed (single-copy) path only —
+    quorum rounds do not forward. *)
+
+val route_hops_peak : t -> int
+(** Most forwarding hops any executed routed operation took. *)
 
 val record_metrics : t -> Dht_telemetry.Registry.t -> unit
 (** Dump the scalar counters and gauges — engine ([engine.dispatched],

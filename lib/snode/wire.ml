@@ -64,8 +64,12 @@ type msg =
       remaining : (Vnode_id.t * int) list;
     }
   | Remove_done of { token : int; ok : bool }
-  | Put_ack of { token : int }
-  | Get_reply of { token : int; value : string option }
+  | Put_ack of { token : int; hint : (Span.t * Vnode_id.t) option }
+  | Get_reply of {
+      token : int;
+      value : string option;
+      hint : (Span.t * Vnode_id.t) option;
+    }
   | Busy of { token : int }
   | Repl_put of { token : int; key : string; point : int; cell : Versioned.cell }
   | Repl_put_ack of { token : int }
@@ -102,6 +106,10 @@ type msg =
       origin : int;
       pull : bool;
       entries : Dht_balance.Summary.t list;
+      owns : (Span.t * Vnode_id.t) list;
+          (* piggybacked routing-table refresh: exact owned placements for
+             the receiving steward's prefix regions; [] on pure load
+             gossip, so the balancer's bytes are untouched *)
     }
   | Lb_proposal of { to_snode : int; emergency : bool }
   | Lb_transfer of {
@@ -136,6 +144,11 @@ let placement_size moved =
     (fun acc (_, _, replicas) ->
       acc + (per_entry * (2 + List.length replicas)))
     0 moved
+
+(* A corrected-owner routing hint riding a data reply: one (span, vnode)
+   placement entry, charged only when present so the unhinted reply costs
+   exactly what it always did. *)
+let hint_size = function None -> 0 | Some _ -> 2 * per_entry
 
 let cells_size cells =
   List.fold_left
@@ -173,9 +186,11 @@ let rec size_bytes = function
       + (3 * per_entry * List.length moves)
       + (per_entry * List.length remaining)
   | Remove_done _ -> envelope
-  | Put_ack _ -> envelope
-  | Get_reply { value; _ } ->
-      envelope + Option.fold ~none:0 ~some:String.length value
+  | Put_ack { hint; _ } -> envelope + hint_size hint
+  | Get_reply { value; hint; _ } ->
+      envelope
+      + Option.fold ~none:0 ~some:String.length value
+      + hint_size hint
   | Busy _ -> envelope
   | Repl_put { key; cell; _ } ->
       envelope + String.length key + Versioned.size_bytes cell
@@ -211,8 +226,10 @@ let rec size_bytes = function
       + (match view with
         | None -> 0
         | Some (_, _, counts) -> per_entry * (2 + List.length counts))
-  | Lb_report { entries; _ } ->
-      envelope + per_entry + (summary_size * List.length entries)
+  | Lb_report { entries; owns; _ } ->
+      envelope + per_entry
+      + (summary_size * List.length entries)
+      + (2 * per_entry * List.length owns)
   | Lb_proposal _ -> envelope + per_entry
   | Lb_transfer _ -> envelope + (3 * per_entry)
   | Lb_swap _ -> envelope + (3 * per_entry)

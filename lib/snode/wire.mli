@@ -97,8 +97,19 @@ type msg =
   | Remove_done of { token : int; ok : bool }
       (** to the origin; [ok = false] when the model refuses the departure
           (L2 floor, capacity, unknown vnode) *)
-  | Put_ack of { token : int }
-  | Get_reply of { token : int; value : string option }
+  | Put_ack of { token : int; hint : (Span.t * Vnode_id.t) option }
+      (** single-copy write acknowledged at the owner. When the operation
+          arrived through one or more forwarding hops, the owner attaches a
+          corrected-owner [hint] — its exact owned span containing the
+          point — so the origin repairs its stale routing-cache entry off
+          the reply instead of a dedicated repair message. [None] costs no
+          extra bytes. *)
+  | Get_reply of {
+      token : int;
+      value : string option;
+      hint : (Span.t * Vnode_id.t) option;
+          (** same piggybacked stale-entry repair as {!Put_ack} *)
+    }
   | Busy of { token : int }
       (** admission-control rejection: the coordinator could not finish the
           operation within its deadline and shed it {e before} touching any
@@ -192,12 +203,17 @@ type msg =
       origin : int;
       pull : bool;
       entries : Dht_balance.Summary.t list;
+      owns : (Span.t * Vnode_id.t) list;
     }
       (** load dissemination: [origin]'s gossip view (push-pull rounds,
           [pull = true] asks the receiver to answer with its own view) or
           a single-entry report to [origin]'s load directory
           ([pull = false]). Entries merge version-fenced — an observer's
-          view of any origin never regresses. *)
+          view of any origin never regresses. [owns] piggybacks routing
+          maintenance on the same message class: [origin]'s exact owned
+          placements for the prefix regions the receiver stewards, learned
+          into the receiver's bounded routing cache. [[]] on pure load
+          gossip, leaving the balancer's bytes untouched. *)
   | Lb_proposal of { to_snode : int; emergency : bool }
       (** directory → heavy snode: shed one hot partition toward the light
           snode [to_snode]. [emergency] marks the hard-threshold path that

@@ -44,6 +44,25 @@ module Zipf = struct
     t.cdf.(rank - 1) -. lo
 end
 
+module Population = struct
+  (* Keys are derived, not stored: member [i] is a pure function of
+     [(salt, i)], so a million-key population costs nothing until a key
+     is materialized, and two populations with the same salt and size
+     agree across processes and runs. *)
+  type t = { salt : string; size : int }
+
+  let create ?(salt = "pop") ~size () =
+    if size < 1 then invalid_arg "Keygen.Population.create: size < 1";
+    { salt; size }
+
+  let size t = t.size
+  let nth t i =
+    if i < 0 || i >= t.size then invalid_arg "Keygen.Population.nth: index";
+    t.salt ^ "-" ^ string_of_int i
+
+  let sample t rng = nth t (Rng.int rng t.size)
+end
+
 let hotspot rng ~hot ~hot_fraction ~cold =
   if Array.length hot = 0 then invalid_arg "Keygen.hotspot: no hot keys";
   if hot_fraction < 0. || hot_fraction > 1. then

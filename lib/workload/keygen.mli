@@ -33,6 +33,30 @@ module Zipf : sig
   (** Theoretical probability of [rank]. *)
 end
 
+module Population : sig
+  (** A fixed-size key population with derived members: key [i] is a pure
+      function of [(salt, i)], so populations of millions of keys cost
+      nothing to hold — the scaling sweeps draw from a configurable
+      population size without materializing it. Deterministic: same salt
+      and size, same keys, in every process and run. *)
+
+  type t
+
+  val create : ?salt:string -> size:int -> unit -> t
+  (** [create ~size ()] is the population [{salt-0, …, salt-(size-1)}]
+      (default salt ["pop"]).
+      @raise Invalid_argument if [size < 1]. *)
+
+  val size : t -> int
+
+  val nth : t -> int -> string
+  (** The [i]-th member.
+      @raise Invalid_argument unless [0 <= i < size]. *)
+
+  val sample : t -> Rng.t -> string
+  (** A member drawn uniformly with the caller's seeded generator. *)
+end
+
 val hotspot : Rng.t -> hot:string array -> hot_fraction:float -> cold:(unit -> string) -> string
 (** With probability [hot_fraction], one of the [hot] keys (uniformly);
     otherwise a key from [cold].

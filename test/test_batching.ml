@@ -27,10 +27,10 @@ let part_gen =
   QCheck.Gen.(
     oneof
       [
-        map (fun t -> Wire.Put_ack { token = t }) small_nat;
+        map (fun t -> Wire.Put_ack { token = t; hint = None }) small_nat;
         map2 (fun s f -> Wire.Ack { seq = s; floor = f }) small_nat small_nat;
         map
-          (fun t -> Wire.Get_reply { token = t; value = Some "v" })
+          (fun t -> Wire.Get_reply { token = t; value = Some "v"; hint = None })
           small_nat;
         map
           (fun k ->

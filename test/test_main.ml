@@ -33,5 +33,6 @@ let () =
       ("check", Test_check.suite);
       ("active-balance", Test_balance.suite);
       ("linear", Test_linear.suite);
+      ("routing", Test_routing.suite);
       ("explorer", Test_explorer.suite);
     ]

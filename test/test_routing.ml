@@ -1,0 +1,249 @@
+(* Scalable prefix routing: finger geometry, the bounded routing cache
+   (hole-free LRU pair-folds), derived key populations, and the headline
+   property — lookups issued immediately after churn, against stale
+   bounded caches, still converge within O(log N) hops while no cache
+   ever exceeds its entry bound. The property runs over 100 seeds. *)
+
+module Runtime = Dht_snode.Runtime
+module Engine = Dht_event_sim.Engine
+module Fault = Dht_event_sim.Fault
+module Fingers = Dht_cluster.Fingers
+module Keygen = Dht_workload.Keygen
+module Rng = Dht_prng.Rng
+open Dht_core
+open Dht_hashspace
+
+let check = Alcotest.check
+let bits = Space.bits Space.default
+
+let test_finger_geometry () =
+  check Alcotest.int "1 snode floors at level 1" 1
+    (Fingers.level ~bits ~snodes:1);
+  check Alcotest.int "100 snodes" 7 (Fingers.level ~bits ~snodes:100);
+  check Alcotest.int "1000 snodes" 10 (Fingers.level ~bits ~snodes:1000);
+  check Alcotest.int "10000 snodes" 14 (Fingers.level ~bits ~snodes:10000);
+  check Alcotest.int "exact powers stay exact" 10
+    (Fingers.level ~bits ~snodes:1024);
+  check Alcotest.int "level clamps to the space" bits
+    (Fingers.level ~bits ~snodes:max_int);
+  (* Regions partition the point set and stewards stay in range. *)
+  let level = Fingers.level ~bits ~snodes:100 in
+  check Alcotest.int "region of 0" 0 (Fingers.region ~bits ~level 0);
+  check Alcotest.int "region of the top point"
+    (Fingers.regions ~level - 1)
+    (Fingers.region ~bits ~level (Space.size Space.default - 1));
+  for region = 0 to Fingers.regions ~level - 1 do
+    let sd = Fingers.steward ~snodes:100 ~region in
+    check Alcotest.bool "steward in range" true (sd >= 0 && sd < 100);
+    check Alcotest.int "steward deterministic" sd
+      (Fingers.steward ~snodes:100 ~region)
+  done
+
+let test_population () =
+  (* Derived keys: a million-key population costs nothing and two
+     populations with the same salt agree key-for-key. *)
+  let a = Keygen.Population.create ~size:1_000_000 () in
+  let b = Keygen.Population.create ~size:1_000_000 () in
+  check Alcotest.int "size" 1_000_000 (Keygen.Population.size a);
+  check Alcotest.string "first member" "pop-0" (Keygen.Population.nth a 0);
+  check Alcotest.string "members agree across instances"
+    (Keygen.Population.nth a 999_999)
+    (Keygen.Population.nth b 999_999);
+  let rng = Rng.of_int 7 and rng' = Rng.of_int 7 in
+  for _ = 1 to 100 do
+    check Alcotest.string "sampling is seed-deterministic"
+      (Keygen.Population.sample a rng)
+      (Keygen.Population.sample b rng')
+  done;
+  Alcotest.check_raises "index out of range"
+    (Invalid_argument "Keygen.Population.nth: index") (fun () ->
+      ignore (Keygen.Population.nth a 1_000_000))
+
+(* The eviction step in isolation: folding sibling leaf-pairs with
+   [learn] shrinks the cardinality one entry at a time and never breaks
+   coverage — the exact loop the runtime runs when a cache overflows. *)
+let test_fold_keeps_coverage () =
+  let space = Space.default in
+  let m = Point_map.create space in
+  for i = 0 to 15 do
+    Point_map.add m (Span.make space ~level:4 ~index:i) i
+  done;
+  let folds = ref 0 in
+  while Point_map.cardinal m > 1 do
+    let picked = ref None in
+    Point_map.iter_pairs m (fun parent lo _hi ->
+        if !picked = None then picked := Some (parent, lo));
+    (match !picked with
+    | None -> Alcotest.fail "coverage guarantees a foldable pair"
+    | Some (parent, keep) ->
+        let before = Point_map.cardinal m in
+        Point_map.learn m parent keep;
+        incr folds;
+        check Alcotest.int "each fold drops exactly one entry" (before - 1)
+          (Point_map.cardinal m));
+    match Coverage.check space (Point_map.spans m) with
+    | Ok () -> ()
+    | Error e ->
+        Alcotest.failf "coverage broken after fold: %a" Coverage.pp_error e
+  done;
+  check Alcotest.int "16 leaves fold in 15 steps" 15 !folds
+
+(* Shared churn harness: grow a cluster with bounded routing, then crash
+   a snode, restart it, and land a vnode join — all inside the window the
+   lookups are issued in, so they run against stale caches. *)
+let churned_lookups ~snodes ~vnodes ~route_cap ~max_hops ~lookups ~seed =
+  let faults = Some (Fault.create ~drop:0. ~seed ()) in
+  let rt =
+    Runtime.create ~pmin:8
+      ~approach:(Runtime.Local { vmin = 4 })
+      ?faults ~route_cap ~max_hops ~snodes ~seed ()
+  in
+  for i = 1 to vnodes - 1 do
+    Runtime.create_vnode rt
+      ~id:(Vnode_id.make ~snode:(i mod snodes) ~vnode:(i / snodes))
+      ()
+  done;
+  Runtime.run rt;
+  Runtime.route_refresh_round rt;
+  Runtime.run rt;
+  let engine = Runtime.engine rt in
+  let t0 = Engine.now engine +. 0.01 in
+  let victim = 1 mod snodes in
+  Engine.at engine ~time:t0 (fun () -> Runtime.crash_snode rt victim);
+  Engine.at engine ~time:(t0 +. 0.02) (fun () ->
+      Runtime.restart_snode rt victim);
+  Engine.at engine ~time:(t0 +. 0.01) (fun () ->
+      Runtime.create_vnode rt
+        ~id:(Vnode_id.make ~snode:(vnodes mod snodes) ~vnode:(vnodes / snodes))
+        ());
+  let pop = Keygen.Population.create ~size:100_000 () in
+  let krng = Rng.of_int (seed + 13) in
+  let answered = ref 0 in
+  let hops0 = Runtime.route_hops rt in
+  for i = 1 to lookups do
+    let key = Keygen.Population.sample pop krng in
+    (* From just after the restart onward: stale caches everywhere — the
+       victim's was rebuilt from bootstrap, everyone else holds entries
+       the join invalidates. *)
+    Engine.at engine
+      ~time:(t0 +. 0.021 +. (float_of_int i *. 1e-4))
+      (fun () ->
+        Runtime.get rt ~via:(i mod snodes) ~key (fun _ -> incr answered))
+  done;
+  Runtime.run rt;
+  let window = Runtime.route_hops rt in
+  Array.iteri (fun h c -> window.(h) <- c - hops0.(h)) window;
+  (rt, window, !answered)
+
+let test_churn_convergence_100_seeds () =
+  let snodes = 12 and vnodes = 12 and route_cap = 16 and lookups = 40 in
+  (* The hop bound under test: c·log2 N + k with c = 2, k = 8. [max_hops]
+     is far above it so the bound is measured, not enforced by backoff
+     truncation. Convergence is a tail property: a walk that lands in a
+     stale-cache cycle mid-churn legitimately burns hops until the
+     random-restart backoff rescues it, so the bound holds for at least
+     99% of lookups in aggregate rather than for every single walk. *)
+  let bound =
+    int_of_float (2. *. (log (float_of_int snodes) /. log 2.)) + 8
+  in
+  let total = ref 0 and over = ref 0 in
+  for seed = 0 to 99 do
+    let rt, window, answered =
+      churned_lookups ~snodes ~vnodes ~route_cap ~max_hops:64 ~lookups ~seed
+    in
+    check Alcotest.int
+      (Printf.sprintf "seed %d: every lookup answered" seed)
+      lookups answered;
+    Array.iteri
+      (fun h c ->
+        if c > 0 then begin
+          total := !total + c;
+          if h > bound then over := !over + c
+        end)
+      window;
+    (* Occupancy never exceeded the bound, on any snode, at any time. *)
+    let stats = Runtime.route_cache_stats rt in
+    check Alcotest.bool
+      (Printf.sprintf "seed %d: peak occupancy %d within cap" seed
+         stats.Runtime.rcs_peak)
+      true
+      (stats.Runtime.rcs_peak <= route_cap);
+    for sid = 0 to snodes - 1 do
+      check Alcotest.bool
+        (Printf.sprintf "seed %d: snode %d cache within cap" seed sid)
+        true
+        (Runtime.route_cache_entries rt sid <= route_cap)
+    done;
+    (* The audit re-checks coverage and the cap from the outside. *)
+    (match Runtime.audit rt with
+    | Ok () -> ()
+    | Error l -> Alcotest.failf "seed %d: audit: %s" seed (String.concat "; " l))
+  done;
+  check Alcotest.bool
+    (Printf.sprintf "%d of %d lookups over the %d-hop bound (≤1%% allowed)"
+       !over !total bound)
+    true
+    (float_of_int !over <= 0.01 *. float_of_int !total)
+
+let test_legacy_unbounded_by_default () =
+  (* route_cap = 0 keeps the legacy path: no probes counted, no
+     evictions, caches free to grow past any bound. *)
+  let rt =
+    Runtime.create ~pmin:8 ~approach:(Runtime.Local { vmin = 4 }) ~snodes:4
+      ~seed:11 ()
+  in
+  for i = 1 to 15 do
+    Runtime.create_vnode rt ~id:(Vnode_id.make ~snode:(i mod 4) ~vnode:(i / 4)) ()
+  done;
+  Runtime.run rt;
+  let stats = Runtime.route_cache_stats rt in
+  check Alcotest.int "no hits counted" 0 stats.Runtime.rcs_hits;
+  check Alcotest.int "no misses counted" 0 stats.Runtime.rcs_misses;
+  check Alcotest.int "no evictions" 0 stats.Runtime.rcs_evictions;
+  check Alcotest.int "legacy default max_hops" 4 (Runtime.max_hops rt);
+  check Alcotest.int "cap reads back as 0" 0 (Runtime.route_cap rt)
+
+let test_create_validation () =
+  Alcotest.check_raises "cap below pmin refused"
+    (Invalid_argument "Runtime.create: route_cap must be 0 or >= pmin")
+    (fun () ->
+      ignore
+        (Runtime.create ~pmin:32 ~route_cap:16 ~snodes:2 ~seed:0 ()));
+  Alcotest.check_raises "max_hops floor"
+    (Invalid_argument "Runtime.create: max_hops < 1") (fun () ->
+      ignore (Runtime.create ~max_hops:0 ~snodes:2 ~seed:0 ()))
+
+let test_routing_scaling_smoke () =
+  (* The sweep entry end-to-end at a small size: gates must hold and the
+     battery must be clean. *)
+  let r =
+    Dht_experiments.Extensions.routing_scaling ~snodes:24 ~ops:600
+      ~keys:50_000 ~seed:5 ()
+  in
+  let open Dht_experiments.Extensions in
+  check Alcotest.bool "window saw ops" true (r.rs_ops > 500);
+  let bound = 2. *. (log (float_of_int r.rs_snodes) /. log 2.) in
+  check Alcotest.bool
+    (Printf.sprintf "p99 hops %.1f within 2·log2 N = %.1f" r.rs_hops_p99 bound)
+    true (r.rs_hops_p99 <= bound);
+  check Alcotest.bool "cache bounded" true
+    (r.rs_cache_entries_max <= r.rs_cap);
+  check Alcotest.bool "messages per op finite and positive" true
+    (r.rs_msgs_per_op > 0. && Float.is_finite r.rs_msgs_per_op);
+  check (Alcotest.list Alcotest.string) "battery clean" [] r.rs_findings;
+  check (Alcotest.list Alcotest.string) "durability clean" [] r.rs_linear
+
+let suite =
+  [
+    Alcotest.test_case "finger geometry" `Quick test_finger_geometry;
+    Alcotest.test_case "derived key population" `Quick test_population;
+    Alcotest.test_case "pair-folds preserve coverage" `Quick
+      test_fold_keeps_coverage;
+    Alcotest.test_case "churn convergence over 100 seeds" `Slow
+      test_churn_convergence_100_seeds;
+    Alcotest.test_case "route_cap=0 is the legacy path" `Quick
+      test_legacy_unbounded_by_default;
+    Alcotest.test_case "create validates routing params" `Quick
+      test_create_validation;
+    Alcotest.test_case "scaling sweep smoke" `Slow test_routing_scaling_smoke;
+  ]

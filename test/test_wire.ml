@@ -141,7 +141,7 @@ let inflate = function
       Wire.Remove_prepare
         { rp with moves = { Plan.src = vid 1; dst = vid 0; n = 2 } :: rp.moves }
   | Wire.Remove_done _ as m -> m
-  | Wire.Put_ack _ as m -> m
+  | Wire.Put_ack p -> Wire.Put_ack { p with hint = Some (Span.root, vid 1) }
   | Wire.Get_reply g -> Wire.Get_reply { g with value = Some big }
   | Wire.Busy _ as m -> m
   | Wire.Repl_put p -> Wire.Repl_put { p with cell = cell big }
@@ -202,8 +202,8 @@ let all_messages =
       { group = Group_id.root; leaving = vid 1; origin = 0; token = 3 };
     remove_prepare ~moves:[ { Plan.src = vid 1; dst = vid 0; n = 2 } ];
     Wire.Remove_done { token = 3; ok = true };
-    Wire.Put_ack { token = 1 };
-    Wire.Get_reply { token = 2; value = Some "v" };
+    Wire.Put_ack { token = 1; hint = None };
+    Wire.Get_reply { token = 2; value = Some "v"; hint = None };
     Wire.Busy { token = 6 };
     Wire.Repl_put { token = 4; key = "k"; point = 5; cell = cell "v" };
     Wire.Repl_put_ack { token = 4 };
@@ -221,13 +221,14 @@ let all_messages =
     Wire.Req { seq = 9; payload = Wire.All_received { event = 3 } };
     Wire.Ack { seq = 9; floor = 9 };
     Wire.Batch
-      [ Wire.Put_ack { token = 1 }; Wire.Ack { seq = 9; floor = 9 } ];
+      [ Wire.Put_ack { token = 1; hint = None };
+        Wire.Ack { seq = 9; floor = 9 } ];
     Wire.Traced { trace = 1; span = 2; hop = 0; payload = Wire.Ae_request };
     Wire.Lpdr_pull { group = Group_id.root };
     Wire.Lpdr_push
       { group = Group_id.root; view = Some (0, 4, [ (vid 0, 16) ]) };
     Wire.Lb_report
-      { origin = 1; pull = true; entries = [ sample_summary 1 ] };
+      { origin = 1; pull = true; entries = [ sample_summary 1 ]; owns = [] };
     Wire.Lb_proposal { to_snode = 2; emergency = false };
     Wire.Lb_transfer
       { group = Group_id.root; hot = Span.root; from_vnode = vid 1;
@@ -326,7 +327,22 @@ let test_payload_monotonic () =
     (size (Wire.Traced { trace = 1; span = 2; hop = 0; payload = Wire.Ae_request }));
   check Alcotest.bool "replica sets enlarge commits" true
     (size (commit [ (Span.root, vid 1, [ 1; 2; 3 ]) ])
-    > size (commit [ (Span.root, vid 1, [ 1 ]) ]))
+    > size (commit [ (Span.root, vid 1, [ 1 ]) ]));
+  (* Piggybacked routing fields are free when absent and charged when
+     present: legacy traffic keeps its exact byte counts. *)
+  let ack hint = Wire.Put_ack { token = 1; hint } in
+  check Alcotest.int "absent hint is free"
+    (size (ack None))
+    (size (Wire.Get_reply { token = 1; value = None; hint = None }));
+  check Alcotest.int "hint charges two entries"
+    (size (ack None) + 32)
+    (size (ack (Some (Span.root, vid 1))));
+  let report owns =
+    Wire.Lb_report { origin = 1; pull = false; entries = []; owns }
+  in
+  check Alcotest.int "owns charge two entries each"
+    (size (report []) + 64)
+    (size (report [ (Span.root, vid 1); (Span.root, vid 2) ]))
 
 let test_req_framing () =
   (* The reliable frame adds a fixed header to any inner message and keeps
