@@ -432,6 +432,116 @@ let emit_runtime_json path =
              + List.length r.Extensions.rs_linear))
          routing)
   in
+  (* Anti-entropy section: reconciliation cost of full-digest vs
+     Merkle-descent AE over a converged 2-replica store with a small
+     planted divergence. Both replicas are seeded with byte-identical
+     cells (same origin stamp), a fixed set of keys is overwritten fresh
+     on one side, and anti-entropy rounds run to convergence. Full mode
+     ([mt_threshold = max_int]) answers every digest mismatch by shipping
+     the whole span; Merkle mode ([mt_threshold = 0]) descends the hash
+     tree and ships only the differing cells — the tracked numbers are
+     wire bytes (control + cells), messages and rounds-to-convergence.
+     The 1M point dominates this section's wall time, so BENCH_AE_KEYS
+     trims the ladder for quick local runs; CI gates on the 10k point. *)
+  let ae_sizes =
+    match Sys.getenv_opt "BENCH_AE_KEYS" with
+    | None | Some "" -> [ 10_000; 1_000_000 ]
+    | Some s ->
+        String.split_on_char ',' s
+        |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+  in
+  let ae_run ~keys ~diverge ~merkle =
+    let module R = Dht_snode.Runtime in
+    let rt =
+      R.create ~pmin:8
+        ~approach:(R.Local { vmin = 4 })
+        ~rfactor:2 ~read_quorum:1 ~write_quorum:2
+        ~mt_threshold:(if merkle then 0 else max_int)
+        ~snodes:2 ~seed:2004 ()
+    in
+    let at0 = Sys.time () in
+    for k = 0 to keys - 1 do
+      let key = "ae-" ^ string_of_int k in
+      let value = "v" ^ string_of_int k in
+      R.plant rt ~snode:0 ~origin:0 ~key ~value ~ts:1e-6 ();
+      R.plant rt ~snode:1 ~origin:0 ~key ~value ~ts:1e-6 ()
+    done;
+    for d = 0 to diverge - 1 do
+      let k = d * (keys / diverge) in
+      R.plant rt ~snode:0 ~origin:0
+        ~key:("ae-" ^ string_of_int k)
+        ~value:("fresh-" ^ string_of_int k)
+        ~ts:2e-6 ()
+    done;
+    let rounds = ref 0 in
+    while R.replica_divergence rt <> [] && !rounds < 8 do
+      incr rounds;
+      R.anti_entropy rt;
+      R.run rt
+    done;
+    let acpu = Sys.time () -. at0 in
+    let ae_tag tag =
+      tag = "repl:digest" || tag = "repl:sync-request" || tag = "repl:sync"
+      || tag = "ae-request"
+      || (String.length tag >= 3 && String.sub tag 0 3 = "mt:")
+    in
+    let msgs, total, cells =
+      List.fold_left
+        (fun (m, t, c) (tag, tm, tb) ->
+          if not (ae_tag tag) then (m, t, c)
+          else (m + tm, t + tb, if tag = "repl:sync" then c + tb else c))
+        (0, 0, 0)
+        (R.Network.per_tag (R.network rt))
+    in
+    let stats = R.ae_stats rt in
+    ( !rounds,
+      R.replica_divergence rt = [],
+      msgs,
+      total,
+      total - cells,
+      cells,
+      stats,
+      acpu )
+  in
+  let ae_cpu0 = Sys.time () in
+  let ae_points =
+    List.map
+      (fun keys ->
+        let diverge = 64 in
+        let full = ae_run ~keys ~diverge ~merkle:false in
+        let merkle = ae_run ~keys ~diverge ~merkle:true in
+        (keys, diverge, full, merkle))
+      ae_sizes
+  in
+  let ae_cpu = Sys.time () -. ae_cpu0 in
+  let ae_json =
+    let mode (rounds, converged, msgs, total, control, cells, stats, cpu) =
+      let module R = Dht_snode.Runtime in
+      Printf.sprintf
+        "{\"rounds\": %d, \"converged\": %b, \"messages\": %d, \
+         \"bytes_total\": %d, \"bytes_control\": %d, \"bytes_cells\": %d, \
+         \"digests\": %d, \"tree_roots\": %d, \"tree_frames\": %d, \
+         \"divergent_leaves\": %d, \"cells_shipped\": %d, \
+         \"cpu_seconds\": %.6f}"
+        rounds converged msgs total control cells stats.R.ae_digests
+        stats.R.ae_roots stats.R.ae_frames stats.R.ae_leaves
+        stats.R.ae_keys_sent cpu
+    in
+    String.concat ",\n"
+      (List.map
+         (fun (keys, diverge, full, merkle) ->
+           let total (_, _, _, t, _, _, _, _) = float_of_int t in
+           let reduction =
+             if total merkle > 0. then total full /. total merkle else 0.
+           in
+           Printf.sprintf
+             "    \"n%d\": {\"keys\": %d, \"divergent\": %d,\n\
+             \      \"full\": %s,\n\
+             \      \"merkle\": %s,\n\
+             \      \"byte_reduction\": %.2f}"
+             keys keys diverge (mode full) (mode merkle) reduction)
+         ae_points)
+  in
   let skrun (x : Extensions.skew_run) =
     Printf.sprintf
       "{\"gini\": %.6f, \"sigma_pct\": %.3f, \"p50\": %.9f, \"p99\": %.9f, \
@@ -535,6 +645,11 @@ let emit_runtime_json path =
     \    \"cpu_seconds\": %.6f,\n\
     %s\n\
     \  },\n\
+    \  \"anti_entropy\": {\n\
+    \    \"replicas\": 2,\n\
+    \    \"cpu_seconds\": %.6f,\n\
+    %s\n\
+    \  },\n\
     \  \"quorum_skewed\": {\n\
     \    \"zipf\": %.2f,\n\
     \    \"keys\": %d,\n\
@@ -581,7 +696,7 @@ let emit_runtime_json path =
     ov.Extensions.ov_overload.Dht_snode.Runtime.probes
     ov.Extensions.ov_overload.Dht_snode.Runtime.backpressured
     ov.Extensions.ov_overload.Dht_snode.Runtime.ingress_overflows
-    rtcpu routing_json
+    rtcpu routing_json ae_cpu ae_json
     sk.Extensions.sk_zipf sk.Extensions.sk_keys sk.Extensions.sk_rate
     sk.Extensions.sk_duration scpu
     (skrun sk.Extensions.sk_off)
@@ -596,7 +711,7 @@ let emit_runtime_json path =
      ops/s batched, %.0f ops/s unbatched, %.0f ops/s causally traced \
      (%d span events) on the host; overload goodput %.0f -> %.0f -> %.0f \
      acked-in-SLO/s; skew balancer gini %.3f -> %.3f, p99 %.1f -> %.1f ms; \
-     routing p99 hops %s)\n"
+     routing p99 hops %s; anti-entropy byte reduction %s)\n"
     path ops
     (if cpu > 0. then float_of_int ops /. cpu else 0.)
     qops
@@ -614,6 +729,12 @@ let emit_runtime_json path =
             Printf.sprintf "N=%d: %.0f" r.Extensions.rs_snodes
               r.Extensions.rs_hops_p99)
           routing))
+    (String.concat ", "
+       (List.map
+          (fun (keys, _, (_, _, _, ft, _, _, _, _), (_, _, _, mt, _, _, _, _)) ->
+            Printf.sprintf "%dk keys: %.1fx" (keys / 1000)
+              (if mt > 0 then float_of_int ft /. float_of_int mt else 0.))
+          ae_points))
 
 (* ------------------------------------------------------------------ *)
 (* Part 3: figure regeneration (reduced runs; dht_sim for full scale)  *)

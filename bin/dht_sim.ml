@@ -1078,6 +1078,122 @@ let kv_cmd =
           acknowledged write.")
     term
 
+let range_cmd =
+  (* Range-read smoke: a seeded replicated cluster with heat accounting
+     armed serves random [lo, hi) quorum range reads, each verified
+     against the hash + peek oracle: every key hashing inside the range
+     is present exactly once, at its authoritative value. *)
+  let module Runtime = Dht_snode.Runtime in
+  let module Network = Dht_event_sim.Network in
+  let module Hash = Dht_hashes.Hash in
+  let module Space = Dht_hashspace.Space in
+  let module Rng = Dht_prng.Rng in
+  let run tel snodes rfactor read_quorum write_quorum keys queries seed =
+    let rt =
+      Runtime.create ~rfactor ~read_quorum ~write_quorum ~heat:true
+        ~metrics:tel.tel_reg ~trace:tel.tel_trace ~causal:tel.tel_causal
+        ~snodes ~seed ()
+    in
+    let space = Runtime.space rt in
+    Printf.printf
+      "== Range reads: %d snodes, rfactor=%d, R=%d, W=%d, %d keys ==\n"
+      snodes rfactor read_quorum write_quorum keys;
+    let acked = ref 0 in
+    for i = 0 to keys - 1 do
+      Runtime.put rt ~via:(i mod snodes)
+        ~on_done:(fun () -> incr acked)
+        ~key:(Printf.sprintf "k%d" i) ~value:(Printf.sprintf "v%d" i) ()
+    done;
+    Runtime.run rt;
+    Printf.printf "stored %d keys (%d acknowledged)\n" keys !acked;
+    let rng = Rng.of_int seed in
+    let table =
+      Table.create ~headers:[ "query"; "range width"; "keys"; "verdict" ]
+    in
+    let failures = ref 0 in
+    for q = 1 to queries do
+      let lo = Rng.int rng (Space.size space) in
+      let hi = lo + 1 + Rng.int rng (Space.size space - lo) in
+      let expected =
+        List.init keys (fun i -> Printf.sprintf "k%d" i)
+        |> List.filter_map (fun key ->
+               let p = Hash.string space key in
+               if p >= lo && p < hi then
+                 Some (key, Option.value ~default:"?" (Runtime.peek rt ~key))
+               else None)
+        |> List.sort compare
+      in
+      let got = ref None in
+      Runtime.range_get rt ~via:(q mod snodes) ~lo ~hi (fun r ->
+          got := Some r);
+      Runtime.run rt;
+      let verdict =
+        match !got with
+        | None -> "LOST"
+        | Some result ->
+            if result = expected then "ok"
+            else
+              Printf.sprintf "MISMATCH (%d keys, oracle %d)"
+                (List.length result) (List.length expected)
+      in
+      if verdict <> "ok" then incr failures;
+      Table.add_row table
+        [ string_of_int q;
+          Printf.sprintf "%.1f%%"
+            (100. *. float_of_int (hi - lo) /. float_of_int (Space.size space));
+          string_of_int (List.length expected);
+          verdict ]
+    done;
+    Table.print table;
+    let msgs, bytes =
+      List.fold_left
+        (fun (m, b) (tag, tm, tb) ->
+          if tag = "range:get" || tag = "range:reply" then (m + tm, b + tb)
+          else (m, b))
+        (0, 0)
+        (Network.per_tag (Runtime.network rt))
+    in
+    let read_heat =
+      List.fold_left
+        (fun acc (h : Runtime.heat_row) -> acc +. h.Runtime.hr_reads)
+        0. (Runtime.heat_rows rt)
+    in
+    Printf.printf
+      "%d/%d ranges verified; %d range messages (%d bytes) on the wire; \
+       read heat charged across %d partitions (total %.1f)\n"
+      (queries - !failures) queries msgs bytes
+      (List.length (Runtime.heat_rows rt))
+      read_heat;
+    Printf.printf "completed ranges: %d\n" (Runtime.completed_ranges rt);
+    finish_telemetry tel;
+    if !failures > 0 || Runtime.completed_ranges rt <> queries then exit 1
+  in
+  let snodes =
+    Arg.(value & opt int 5 & info [ "snodes" ] ~docv:"S"
+           ~doc:"Number of snodes in the replicated cluster.")
+  in
+  let keys =
+    Arg.(value & opt int 60 & info [ "keys" ] ~docv:"K"
+           ~doc:"Number of key/value pairs written before querying.")
+  in
+  let queries =
+    Arg.(value & opt int 20 & info [ "queries" ] ~docv:"Q"
+           ~doc:"Random hash-interval range reads to issue and verify.")
+  in
+  let term =
+    Term.(const run $ telemetry_term $ snodes $ rfactor_arg 3
+          $ read_quorum_arg 2 $ write_quorum_arg 2 $ keys $ queries
+          $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "range"
+       ~doc:
+         "Quorum range-read smoke: write a keyset, issue random [lo, hi) \
+          range reads and verify each against the hash placement oracle — \
+          complete, duplicate-free, authoritative values — reporting wire \
+          cost and per-partition heat. Exits non-zero on any mismatch.")
+    term
+
 let explore_cmd =
   let module Explorer = Dht_check.Explorer in
   let module Scenarios = Dht_check.Scenarios in
@@ -1092,12 +1208,21 @@ let explore_cmd =
         print_endline "verdict: FAIL";
         List.iter (fun m -> Printf.printf "  %s\n" m) fs
   in
-  let run tel mutate snodes vnodes keys grow removes rfactor read_quorum
-      write_quorum linger seeds seed rounds max_tweaks out replay =
-    let name = if mutate then "kv-mutate" else "kv" in
+  let run tel scenario mutate snodes vnodes keys grow removes rfactor
+      read_quorum write_quorum linger seeds seed rounds max_tweaks out replay =
+    let name = if mutate then scenario ^ "-mutate" else scenario in
     let sc =
-      Scenarios.kv ~name ~protect:(not mutate) ~snodes ~vnodes ~grow ~removes
-        ~keys ~rfactor ~read_quorum ~write_quorum ~linger ()
+      match scenario with
+      | "kv" ->
+          Scenarios.kv ~name ~protect:(not mutate) ~snodes ~vnodes ~grow
+            ~removes ~keys ~rfactor ~read_quorum ~write_quorum ~linger ()
+      | "mt-ae" ->
+          Scenarios.mt_ae ~name ~protect:(not mutate) ~snodes ~keys ~rfactor
+            ~read_quorum ~write_quorum ~linger ()
+      | other ->
+          prerr_endline ("unknown scenario: " ^ other);
+          finish_telemetry tel;
+          exit 2
     in
     (match replay with
     | Some path -> (
@@ -1203,11 +1328,21 @@ let explore_cmd =
              "Transmission-batching window for the scenario (0 disables \
               batching; flush tweaks only matter when > 0).")
   in
+  let scenario =
+    Arg.(value & opt string "kv"
+         & info [ "scenario" ] ~docv:"NAME"
+             ~doc:
+               "Scenario to explore: $(b,kv) (grow/write/migrate/overwrite) \
+                or $(b,mt-ae) (Merkle anti-entropy reconciliation with the \
+                tree protocol forced on and divergence planted). With \
+                $(b,--mutate) the unprotected variant of the same scenario \
+                runs instead.")
+  in
   let term =
-    Term.(const run $ telemetry_term $ mutate $ snodes $ vnodes_arg 3 $ keys
-          $ grow $ removes $ rfactor_arg 3 $ read_quorum_arg 2
-          $ write_quorum_arg 2 $ linger_zero $ seeds $ seed_arg $ rounds
-          $ max_tweaks $ out $ replay)
+    Term.(const run $ telemetry_term $ scenario $ mutate $ snodes
+          $ vnodes_arg 3 $ keys $ grow $ removes $ rfactor_arg 3
+          $ read_quorum_arg 2 $ write_quorum_arg 2 $ linger_zero $ seeds
+          $ seed_arg $ rounds $ max_tweaks $ out $ replay)
   in
   Cmd.v
     (Cmd.info "explore"
@@ -1936,7 +2071,7 @@ let () =
             fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd;
             zones_cmd; ratios_cmd; stability_cmd; cost_cmd; parallel_cmd; hetero_cmd;
             kvload_cmd; churn_cmd; ablation_cmd; hotspot_cmd;
-            hetero_compare_cmd; distributed_cmd; chaos_cmd; kv_cmd;
+            hetero_compare_cmd; distributed_cmd; chaos_cmd; kv_cmd; range_cmd;
             explore_cmd; coexist_cmd; heat_cmd; balance_cmd; route_cmd;
             trace_cmd;
             all_cmd;

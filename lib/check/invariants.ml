@@ -213,6 +213,13 @@ let check_runtime rt =
 let check_overload rt =
   List.map (fun detail -> { inv = "overload"; detail }) (Runtime.queue_audit rt)
 
+(* Hash-tree consistency: every live snode's snapshot tree must be
+   structurally sound and reproduce the flat scan digest for every
+   replicated partition span — the predicate that keeps tree frames and
+   legacy digests interchangeable on the anti-entropy wire. *)
+let check_merkle rt =
+  List.map (fun detail -> { inv = "MERKLE"; detail }) (Runtime.merkle_audit rt)
+
 (* Active-balancing audit: a hot-partition swap moves only placement, so
    it must be invisible to the paper's battery — the full check_view
    battery is re-run and any finding is attributed to the run — and it

@@ -65,6 +65,15 @@ val check_overload : Runtime.t -> finding list
     match the outbox contents exactly. Findings carry the ["overload"]
     invariant name. Valid at any instant. *)
 
+val check_merkle : Runtime.t -> finding list
+(** Hash-tree consistency audit ({!Dht_snode.Runtime.merkle_audit}):
+    every live snode's freshly built snapshot tree must pass the
+    structural check — interior hashes recomputable as the XOR of their
+    children, counts additive, canonical shape — and its frame for every
+    replicated partition span must equal the flat scan digest of that
+    span. Findings carry the ["MERKLE"] invariant name. Valid at any
+    instant (the audit builds its own snapshot). *)
+
 val check_balance : ?acked:string list -> Runtime.t -> finding list
 (** Active-balancing audit: the full {!check_runtime} battery — a
     hot-partition swap moves only placement, so G1–G5/L1–L2, LPDR

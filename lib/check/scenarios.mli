@@ -29,5 +29,30 @@ val kv :
     network, a sunk message is silent loss, and the explorer is expected
     to {e find} the planted damage. *)
 
+val mt_ae :
+  ?name:string ->
+  ?protect:bool ->
+  ?snodes:int ->
+  ?pmin:int ->
+  ?vmin:int ->
+  ?vnodes:int ->
+  ?keys:int ->
+  ?divergent:int ->
+  ?rfactor:int ->
+  ?read_quorum:int ->
+  ?write_quorum:int ->
+  ?linger:float ->
+  unit ->
+  Explorer.scenario
+(** Merkle anti-entropy reconciliation under perturbation: the cluster
+    forces the tree protocol everywhere ([mt_threshold = 0], leaf cap 2),
+    [divergent] keys are planted divergent on both sides of the symmetric
+    difference, and two reconciliation rounds run with their [Mt_*]
+    frames exposed to the explorer's defer/sink/crash perturbations,
+    followed by an overwrite/read workload. Verify demands the invariant
+    battery, hash-tree consistency ({!Invariants.check_merkle}) and the
+    full linearizability suite stay clean. *)
+
 val by_name : ?linger:float -> string -> Explorer.scenario option
-(** The named standard scenario: ["kv"] (protected) or ["kv-mutate"]. *)
+(** The named standard scenario: ["kv"], ["kv-mutate"], ["mt-ae"], or
+    ["mt-ae-mutate"]. *)

@@ -2,6 +2,7 @@ open Dht_core
 module Space = Dht_hashspace.Space
 module Span = Dht_hashspace.Span
 module Hash = Dht_hashes.Hash
+module Merkle = Dht_merkle.Merkle
 
 (* [cell] is mutable so the common case — updating a key that already
    exists — lands with a single table probe (find, then overwrite in
@@ -13,6 +14,11 @@ module Vtbl = Hashtbl.Make (Vnode_id)
 type t = {
   space : Space.t;
   tables : (string, entry) Hashtbl.t Vtbl.t;
+  merkle : Versioned.cell Merkle.t;
+      (** whole-space hash tree, maintained incrementally: every stored
+          write rehashes one leaf's root path. Partition handovers move
+          entries between vnode tables without changing the held cell
+          set, so the tree is untouched by rebalancing. *)
   mutable router : (int -> Vnode.t) option;
   mutable size : int;
   mutable migrations : int;
@@ -23,6 +29,7 @@ let create ?(space = Space.default) () =
   {
     space;
     tables = Vtbl.create 64;
+    merkle = Merkle.create ~space ~span:Span.root ();
     router = None;
     size = 0;
     migrations = 0;
@@ -76,8 +83,18 @@ let put_cell t ~key cell =
   match Hashtbl.find_opt tbl key with
   | None ->
       t.size <- t.size + 1;
-      Hashtbl.add tbl key { point; cell }
-  | Some e -> e.cell <- Versioned.merge ~mine:e.cell ~theirs:cell
+      Hashtbl.add tbl key { point; cell };
+      Merkle.insert t.merkle ~key ~point
+        ~digest:(Versioned.digest key cell)
+        cell
+  | Some e ->
+      let merged = Versioned.merge ~mine:e.cell ~theirs:cell in
+      if merged != e.cell then begin
+        e.cell <- merged;
+        Merkle.insert t.merkle ~key ~point
+          ~digest:(Versioned.digest key merged)
+          merged
+      end
 
 let put t ~key ~value =
   (* Unversioned writes always win: stamp them from a local clock that
@@ -104,6 +121,7 @@ let remove t ~key =
   | Some tbl ->
       if Hashtbl.mem tbl key then begin
         Hashtbl.remove tbl key;
+        ignore (Merkle.remove t.merkle ~key ~point);
         t.size <- t.size - 1;
         true
       end
@@ -127,3 +145,4 @@ let load_sigma t ~vnodes =
     100. *. Dht_stats.Descriptive.rel_stddev_about floats ~about:ideal
 
 let migrations t = t.migrations
+let merkle t = t.merkle

@@ -62,3 +62,11 @@ val load_sigma : t -> vnodes:Vnode.t array -> float
 
 val migrations : t -> int
 (** Keys moved by rebalancing so far. *)
+
+val merkle : t -> Versioned.cell Dht_merkle.Merkle.t
+(** The store's whole-space hash tree, maintained incrementally: every
+    {!put_cell} that changes a stored cell rehashes one leaf's root path,
+    every {!remove} of a present key likewise. Partition handovers
+    ({!handler}) move entries between vnode tables without changing the
+    held cell set, so they leave the tree untouched — its root digest
+    summarizes the store's contents, not their placement. *)

@@ -1,0 +1,339 @@
+open Dht_hashspace
+
+(* A member cell: identity is the caller-supplied digest; the payload is
+   carried so a divergent leaf can be shipped without re-reading the
+   backing store. *)
+type 'a entry = { e_point : int; mutable e_digest : int; mutable e_payload : 'a }
+
+type 'a node =
+  | Leaf of { mutable l_hash : int; cells : (string, 'a entry) Hashtbl.t }
+  | Node of {
+      mutable n_count : int;
+      mutable n_hash : int;
+      mutable left : 'a node;
+      mutable right : 'a node;
+    }
+
+type 'a t = {
+  space : Space.t;
+  tspan : Span.t;
+  cap : int;
+  mutable root : 'a node;
+}
+
+type frame = { f_span : Span.t; f_count : int; f_hash : int; f_leaf : bool }
+
+let node_count = function Leaf l -> Hashtbl.length l.cells | Node n -> n.n_count
+let node_hash = function Leaf l -> l.l_hash | Node n -> n.n_hash
+let is_bucket = function Leaf _ -> true | Node _ -> false
+let empty_leaf () = Leaf { l_hash = 0; cells = Hashtbl.create 8 }
+
+let create ?(leaf_cap = 16) ~space ~span () =
+  if leaf_cap < 1 then invalid_arg "Merkle.create: leaf_cap must be >= 1";
+  { space; tspan = span; cap = leaf_cap; root = empty_leaf () }
+
+let space t = t.space
+let span t = t.tspan
+let leaf_cap t = t.cap
+let count t = node_count t.root
+let digest t = node_hash t.root
+
+(* [outer] covers [inner]: dyadic spans nest, so ancestor-or-equal is
+   level order plus membership of the start point. *)
+let covers space outer inner =
+  Span.level outer <= Span.level inner
+  && Span.contains space outer (Span.start space inner)
+
+(* Canonical subtree over an already-deduplicated (key, entry) list:
+   interior iff more keys than [cap] fit and the span can still split. *)
+let rec subtree space cap sp entries =
+  let n = List.length entries in
+  if n <= cap || Span.level sp >= Space.max_level space then begin
+    let cells = Hashtbl.create (max 8 n) in
+    let h =
+      List.fold_left
+        (fun acc (k, e) ->
+          Hashtbl.replace cells k e;
+          acc lxor e.e_digest)
+        0 entries
+    in
+    Leaf { l_hash = h; cells }
+  end
+  else begin
+    let a, b = Span.split space sp in
+    let la, lb =
+      List.partition (fun (_, e) -> Span.contains space a e.e_point) entries
+    in
+    let left = subtree space cap a la in
+    let right = subtree space cap b lb in
+    Node { n_count = n; n_hash = node_hash left lxor node_hash right; left; right }
+  end
+
+let build ?(leaf_cap = 16) ~space ~span cells =
+  if leaf_cap < 1 then invalid_arg "Merkle.build: leaf_cap must be >= 1";
+  let dedup = Hashtbl.create (max 16 (List.length cells)) in
+  List.iter
+    (fun (key, point, digest, payload) ->
+      if Span.contains space span point then
+        Hashtbl.replace dedup key
+          { e_point = point; e_digest = digest; e_payload = payload })
+    cells;
+  let entries = Hashtbl.fold (fun k e acc -> (k, e) :: acc) dedup [] in
+  { space; tspan = span; cap = leaf_cap; root = subtree space leaf_cap span entries }
+
+let leaf_entries l = Hashtbl.fold (fun k e acc -> (k, e) :: acc) l []
+
+let insert t ~key ~point ~digest payload =
+  if not (Span.contains t.space t.tspan point) then
+    invalid_arg "Merkle.insert: point outside the tree's span";
+  (* Returns the (possibly replaced) node plus the hash and count deltas
+     to fold into every ancestor — an XOR digest makes the path update a
+     constant-time splice per level. *)
+  let rec go sp node =
+    match node with
+    | Leaf l -> (
+        match Hashtbl.find_opt l.cells key with
+        | Some e ->
+            let dh = e.e_digest lxor digest in
+            e.e_digest <- digest;
+            e.e_payload <- payload;
+            l.l_hash <- l.l_hash lxor dh;
+            (node, dh, 0)
+        | None ->
+            Hashtbl.replace l.cells key
+              { e_point = point; e_digest = digest; e_payload = payload };
+            l.l_hash <- l.l_hash lxor digest;
+            if
+              Hashtbl.length l.cells > t.cap
+              && Span.level sp < Space.max_level t.space
+            then (subtree t.space t.cap sp (leaf_entries l.cells), digest, 1)
+            else (node, digest, 1))
+    | Node n ->
+        let a, b = Span.split t.space sp in
+        let child, dh, dc =
+          if Span.contains t.space a point then
+            let child, dh, dc = go a n.left in
+            n.left <- child;
+            (child, dh, dc)
+          else
+            let child, dh, dc = go b n.right in
+            n.right <- child;
+            (child, dh, dc)
+        in
+        ignore child;
+        n.n_hash <- n.n_hash lxor dh;
+        n.n_count <- n.n_count + dc;
+        (node, dh, dc)
+  in
+  let root, _, _ = go t.tspan t.root in
+  t.root <- root
+
+let rec collect_entries node acc =
+  match node with
+  | Leaf l -> Hashtbl.fold (fun k e acc -> (k, e) :: acc) l.cells acc
+  | Node n -> collect_entries n.left (collect_entries n.right acc)
+
+let remove t ~key ~point =
+  if not (Span.contains t.space t.tspan point) then false
+  else begin
+    let rec go sp node =
+      match node with
+      | Leaf l -> (
+          match Hashtbl.find_opt l.cells key with
+          | None -> (node, 0, 0, false)
+          | Some e ->
+              Hashtbl.remove l.cells key;
+              l.l_hash <- l.l_hash lxor e.e_digest;
+              (node, e.e_digest, -1, true))
+      | Node n ->
+          let a, b = Span.split t.space sp in
+          let dh, dc, hit =
+            if Span.contains t.space a point then begin
+              let child, dh, dc, hit = go a n.left in
+              n.left <- child;
+              (dh, dc, hit)
+            end
+            else begin
+              let child, dh, dc, hit = go b n.right in
+              n.right <- child;
+              (dh, dc, hit)
+            end
+          in
+          n.n_hash <- n.n_hash lxor dh;
+          n.n_count <- n.n_count + dc;
+          (* Keep the shape canonical: an interior node that no longer
+             exceeds the bucket cap collapses back into a leaf. *)
+          if hit && n.n_count <= t.cap then
+            (subtree t.space t.cap sp (collect_entries node []), dh, dc, hit)
+          else (node, dh, dc, hit)
+    in
+    let root, _, _, hit = go t.tspan t.root in
+    t.root <- root;
+    hit
+  end
+
+let find t ~key ~point =
+  if not (Span.contains t.space t.tspan point) then None
+  else begin
+    let rec go sp node =
+      match node with
+      | Leaf l ->
+          Option.map (fun e -> e.e_payload) (Hashtbl.find_opt l.cells key)
+      | Node n ->
+          let a, b = Span.split t.space sp in
+          if Span.contains t.space a point then go a n.left else go b n.right
+    in
+    go t.tspan t.root
+  end
+
+let frame t =
+  {
+    f_span = t.tspan;
+    f_count = node_count t.root;
+    f_hash = node_hash t.root;
+    f_leaf = is_bucket t.root;
+  }
+
+let frame_at t q =
+  if not (Span.overlap t.tspan q) then
+    { f_span = q; f_count = 0; f_hash = 0; f_leaf = true }
+  else if covers t.space q t.tspan then
+    (* q is an ancestor (or equal): every held cell lies inside it. *)
+    {
+      f_span = q;
+      f_count = node_count t.root;
+      f_hash = node_hash t.root;
+      f_leaf = is_bucket t.root;
+    }
+  else begin
+    (* q sits strictly inside the tree's span: walk down; a bucket
+       resolves any finer query by filtering its members. *)
+    let rec go sp node =
+      if Span.equal sp q then
+        {
+          f_span = q;
+          f_count = node_count node;
+          f_hash = node_hash node;
+          f_leaf = is_bucket node;
+        }
+      else
+        match node with
+        | Leaf l ->
+            let c, h =
+              Hashtbl.fold
+                (fun _ e (c, h) ->
+                  if Span.contains t.space q e.e_point then
+                    (c + 1, h lxor e.e_digest)
+                  else (c, h))
+                l.cells (0, 0)
+            in
+            { f_span = q; f_count = c; f_hash = h; f_leaf = true }
+        | Node n ->
+            let a, b = Span.split t.space sp in
+            if Span.overlap a q then go a n.left else go b n.right
+    in
+    go t.tspan t.root
+  end
+
+let children t q =
+  if Span.level q >= Space.max_level t.space then
+    invalid_arg "Merkle.children: span is at the space's max level";
+  let a, b = Span.split t.space q in
+  (frame_at t a, frame_at t b)
+
+let entries_at t q =
+  let acc = ref [] in
+  let visit_leaf cells =
+    Hashtbl.iter
+      (fun k e ->
+        if Span.contains t.space q e.e_point then
+          acc := (k, e.e_digest, e.e_payload) :: !acc)
+      cells
+  in
+  let rec collect node =
+    match node with
+    | Leaf l -> visit_leaf l.cells
+    | Node n ->
+        collect n.left;
+        collect n.right
+  in
+  let rec go sp node =
+    if covers t.space q sp then collect node
+    else
+      match node with
+      | Leaf l -> visit_leaf l.cells
+      | Node n ->
+          let a, b = Span.split t.space sp in
+          if Span.overlap a q then go a n.left else go b n.right
+  in
+  if Span.overlap t.tspan q then go t.tspan t.root;
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !acc
+
+let check t =
+  let findings = ref [] in
+  let bad fmt = Format.kasprintf (fun s -> findings := s :: !findings) fmt in
+  let rec go sp node =
+    match node with
+    | Leaf l ->
+        let h =
+          Hashtbl.fold
+            (fun k e acc ->
+              if not (Span.contains t.space sp e.e_point) then
+                bad "key %S lies outside its bucket span %a" k Span.pp sp;
+              acc lxor e.e_digest)
+            l.cells 0
+        in
+        if h <> l.l_hash then
+          bad "bucket %a cached hash %d, recomputed %d" Span.pp sp l.l_hash h;
+        if
+          Hashtbl.length l.cells > t.cap
+          && Span.level sp < Space.max_level t.space
+        then
+          bad "bucket %a overfull: %d keys > cap %d though splittable" Span.pp
+            sp (Hashtbl.length l.cells) t.cap
+    | Node n ->
+        let ch = node_hash n.left lxor node_hash n.right in
+        let cc = node_count n.left + node_count n.right in
+        if ch <> n.n_hash then
+          bad "interior %a hash %d <> left lxor right %d" Span.pp sp n.n_hash ch;
+        if cc <> n.n_count then
+          bad "interior %a count %d <> children sum %d" Span.pp sp n.n_count cc;
+        if n.n_count <= t.cap then
+          bad "interior %a holds %d <= cap %d keys: shape not canonical"
+            Span.pp sp n.n_count t.cap;
+        let a, b = Span.split t.space sp in
+        go a n.left;
+        go b n.right
+  in
+  go t.tspan t.root;
+  List.rev !findings
+
+let equal t1 t2 =
+  Span.equal t1.tspan t2.tspan
+  && t1.cap = t2.cap
+  &&
+  let rec eq n1 n2 =
+    match (n1, n2) with
+    | Leaf a, Leaf b ->
+        a.l_hash = b.l_hash
+        && Hashtbl.length a.cells = Hashtbl.length b.cells
+        && (try
+              Hashtbl.iter
+                (fun k e ->
+                  match Hashtbl.find_opt b.cells k with
+                  | Some e' when e'.e_digest = e.e_digest -> ()
+                  | _ -> raise Exit)
+                a.cells;
+              true
+            with Exit -> false)
+    | Node a, Node b ->
+        a.n_count = b.n_count && a.n_hash = b.n_hash && eq a.left b.left
+        && eq a.right b.right
+    | _ -> false
+  in
+  eq t1.root t2.root
+
+let pp_frame ppf f =
+  Format.fprintf ppf "%a#%d:%x%s" Span.pp f.f_span f.f_count
+    (f.f_hash land 0xffffff)
+    (if f.f_leaf then "!" else "")

@@ -9,6 +9,7 @@ module Trace = Dht_telemetry.Trace
 module Rng = Dht_prng.Rng
 module Hash = Dht_hashes.Hash
 module Versioned = Dht_kv.Versioned
+module Merkle = Dht_merkle.Merkle
 module Placement = Dht_replication.Placement
 module Heat = Dht_obsv.Heat
 module Balance = Dht_balance
@@ -151,6 +152,26 @@ type qstate = {
   q_ctx : (int * int * int) option;
 }
 
+(* Coordinator-side state of one in-flight range read: one leg per
+   partition intersecting [lo, hi), each waiting for R distinct replies,
+   all merging into one LWW-deduplicated accumulator. *)
+type range_leg = {
+  rl_lo : int;  (* clipped sub-range, [rl_lo, rl_hi) *)
+  rl_hi : int;
+  rl_set : int list;  (* replica set resolved at issue time *)
+  rl_need : int;  (* R clamped to the set size *)
+  mutable rl_replied : int list;  (* distinct repliers so far *)
+  mutable rl_done : bool;
+}
+
+type rstate = {
+  r_token : int;
+  mutable r_open : int;  (* legs still short of their quorum *)
+  r_legs : (int, range_leg) Hashtbl.t;  (* keyed by clipped lo *)
+  r_cells : (string, Versioned.cell) Hashtbl.t;  (* LWW accumulator *)
+  r_ctx : (int * int * int) option;  (* causal context at issue time *)
+}
+
 type snode = {
   sid : int;
   mutable alive : bool;
@@ -217,12 +238,27 @@ type snode = {
      Soft state, like route suspicions: reset on crash, and a missing
      stamp reads as oldest. Maintained only when [route_cap > 0]. *)
   rstamps : (Span.t, int) Hashtbl.t;
+  (* Anti-entropy hash tree: one snapshot over every cell this snode
+     holds ([Merkle.frame_at] clips per-partition frames out of it, so a
+     full AE round costs one store scan instead of one per span). Soft
+     state — losing it to a crash costs one rebuild. *)
+  mutable mtree : Versioned.cell Merkle.t option;
+  (* Push-round counter stamped into [Mt_root] frames. Durable, like
+     [wseq]: a restarted pusher must keep superseding its old rounds. *)
+  mutable ae_round : int;
+  (* Last round snapshotted per pushing peer, so one rebuild serves every
+     span that peer pushes in a round. Soft state, like the tree. *)
+  ae_seen : (int, int) Hashtbl.t;
+  (* In-flight coordinated range reads, token -> state. *)
+  ranges : (int, rstate) Hashtbl.t;
 }
 
 type callback =
   | Cb_put of (unit -> unit) option  (* invoked when the write is acked *)
   | Cb_get of (string option -> unit)
   | Cb_remove of (bool -> unit)
+  | Cb_range of ((string * string) list -> unit)
+      (* key-sorted (key, value) bindings of a completed range read *)
 
 (* Operation-history events for external consistency checkers: every data
    operation's invocation and outcome, stamped with the virtual clock. The
@@ -259,6 +295,7 @@ type instruments = {
   i_rto : Histogram.t;  (* retransmission-timer delays as armed *)
   i_q_put : Histogram.t;  (* quorum write, issue to W-th ack *)
   i_q_get : Histogram.t;  (* quorum read, issue to R-th reply *)
+  i_q_range : Histogram.t;  (* range read, issue to last leg's quorum *)
   i_batch : Histogram.t;  (* batch occupancy: messages per envelope *)
 }
 
@@ -296,6 +333,11 @@ type t = {
   write_quorum : int;  (* W; R + W > rfactor *)
   handoff_timeout : float;  (* write-ack patience before hinting *)
   linger : float;  (* coalescing window; 0 = batching off *)
+  mt_threshold : int;
+      (* anti-entropy protocol switch: a span probe whose local cell count
+         is <= this goes out as a legacy full-span digest; above it the
+         pusher opens a hash-tree descent. [max_int] disables the trees. *)
+  mt_leaf : int;  (* hash-tree bucket capacity *)
   bootstrap : Span.t list * Vnode_id.t;  (* for rebuilding crashed caches *)
   instr : instruments option;
   trace : Trace.t;
@@ -338,6 +380,13 @@ type t = {
   mutable read_repairs : int;  (* stale repliers repaired after a read *)
   mutable sync_cells : int;  (* cells freshened by anti-entropy syncs *)
   mutable orphans : int;  (* replica-table cells routed back to an owner *)
+  mutable done_ranges : int;  (* completed coordinated range reads *)
+  mutable ae_digests : int;  (* legacy full-span digests pushed *)
+  mutable ae_roots : int;  (* hash-tree descents opened (Mt_root sent) *)
+  mutable ae_requests : int;  (* descent rounds (Mt_request messages) *)
+  mutable ae_frames : int;  (* child frames shipped in Mt_frames *)
+  mutable ae_leaves : int;  (* divergent leaves key-listed (Mt_leaf) *)
+  mutable ae_keys_sent : int;  (* cells shipped by anti-entropy syncs *)
   mutable lb_transfers : int;  (* completed hot-partition swap events *)
   mutable lb_proposals : int;  (* directory proposals issued *)
   mutable lb_emergencies : int;  (* proposals via the emergency path *)
@@ -591,6 +640,65 @@ let absorb_replica_cells t sn v spans =
       | None -> Hashtbl.add v.data key { cell })
     moving
 
+(* Every cell this snode holds whose key hashes into [lo, hi) — the
+   replica-side scan behind one range-read leg. *)
+let range_cells t sn ~lo ~hi =
+  let acc = ref [] in
+  let consider key s =
+    let point = Hash.string t.space key in
+    if point >= lo && point < hi then acc := (key, s.cell) :: !acc
+  in
+  Hashtbl.iter consider sn.replicas;
+  Vtbl.iter (fun _ v -> Hashtbl.iter consider v.data) sn.locals;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
+
+(* ------------------------------------------------------------------ *)
+(* Anti-entropy hash trees                                              *)
+
+(* Snapshot tree over every cell this snode holds, owner partitions and
+   replica copies alike. The per-cell digest is [Versioned.digest] — the
+   same hash [span_digest] folds — and tree hashes combine by XOR, so a
+   [Merkle.frame_at] frame for any span equals the flat digest a full
+   scan of that span would produce. That keeps tree frames and legacy
+   digests interchangeable on the wire. *)
+let build_mtree t sn =
+  let cells = ref [] in
+  let consider key s =
+    let point = Hash.string t.space key in
+    cells := (key, point, Versioned.digest key s.cell, s.cell) :: !cells
+  in
+  Hashtbl.iter consider sn.replicas;
+  Vtbl.iter (fun _ v -> Hashtbl.iter consider v.data) sn.locals;
+  let tree =
+    Merkle.build ~leaf_cap:t.mt_leaf ~space:t.space ~span:Span.root !cells
+  in
+  sn.mtree <- Some tree;
+  tree
+
+(* The session snapshot, rebuilt only if a crash wiped it. Mid-descent
+   writes are invisible until the next round re-snapshots — anti-entropy
+   reconciles snapshots, quorum replication covers the live traffic. *)
+let mtree t sn = match sn.mtree with Some tree -> tree | None -> build_mtree t sn
+
+(* A pusher opens every AE round from a fresh snapshot... *)
+let refresh_mtree t sn =
+  sn.ae_round <- sn.ae_round + 1;
+  ignore (build_mtree t sn)
+
+(* ...and a receiver re-snapshots the first time it sees that round, so
+   one rebuild serves every span the peer pushes in it. *)
+let mtree_for_round t sn ~owner ~round =
+  let stale =
+    match Hashtbl.find_opt sn.ae_seen owner with
+    | Some r -> r <> round
+    | None -> true
+  in
+  if stale then begin
+    Hashtbl.replace sn.ae_seen owner round;
+    build_mtree t sn
+  end
+  else mtree t sn
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry                                                            *)
 
@@ -616,6 +724,7 @@ let finish_op t ~kind ~token ~tid =
             | `Remove -> i.i_op_remove
             | `Qput -> i.i_q_put
             | `Qget -> i.i_q_get
+            | `Qrange -> i.i_q_range
           in
           Histogram.observe h dur
       | None -> ());
@@ -627,6 +736,7 @@ let finish_op t ~kind ~token ~tid =
           | `Remove -> "remove"
           | `Qput -> "qput"
           | `Qget -> "qget"
+          | `Qrange -> "qrange"
         in
         Trace.span t.trace ~ts:t0 ~dur ~tid ~name:"op"
           [ ("op", Trace.Str op); ("token", Trace.Int token) ]
@@ -1483,7 +1593,7 @@ and qput_record t sn q sid =
       | Some (Cb_put k) ->
           Hashtbl.remove t.callbacks q.q_token;
           (match k with Some f -> f () | None -> ())
-      | Some (Cb_get _ | Cb_remove _) | None ->
+      | Some (Cb_get _ | Cb_remove _ | Cb_range _) | None ->
           failwith "Runtime: bad quorum put token");
       t.done_puts <- t.done_puts + 1;
       t.pending <- t.pending - 1
@@ -1687,7 +1797,7 @@ and qget_record t sn q sid cell =
           | Some (Cb_get k) ->
               Hashtbl.remove t.callbacks q.q_token;
               k (Option.map (fun c -> c.Versioned.value) winner)
-          | Some (Cb_put _ | Cb_remove _) | None ->
+          | Some (Cb_put _ | Cb_remove _ | Cb_range _) | None ->
               failwith "Runtime: bad quorum get token");
           t.done_gets <- t.done_gets + 1;
           t.pending <- t.pending - 1;
@@ -1695,11 +1805,157 @@ and qget_record t sn q sid cell =
         end
       end
 
+(* ---------------- range reads ---------------- *)
+
+(* Coordinated range read: one leg per partition intersecting [lo, hi)
+   (resolved against this coordinator's replica map), each leg fanned out
+   to the partition's replica set and complete at R distinct replies;
+   cells merge by LWW across legs and repliers, so the result is
+   duplicate-free by construction. Never shed by admission control: a
+   Busy range would be indistinguishable from an empty one. *)
+and start_range t sn ~token ~lo ~hi =
+  let st =
+    {
+      r_token = token;
+      r_open = 0;
+      r_legs = Hashtbl.create 8;
+      r_cells = Hashtbl.create 16;
+      r_ctx = t.cur;
+    }
+  in
+  Hashtbl.replace sn.ranges token st;
+  List.iter
+    (fun (span, set) ->
+      let s = Span.start t.space span and e = Span.stop t.space span in
+      if s < hi && e > lo then begin
+        let rl_lo = max s lo and rl_hi = min e hi in
+        let leg =
+          {
+            rl_lo;
+            rl_hi;
+            rl_set = set;
+            rl_need = max 1 (min t.read_quorum (List.length set));
+            rl_replied = [];
+            rl_done = false;
+          }
+        in
+        Hashtbl.replace st.r_legs rl_lo leg;
+        st.r_open <- st.r_open + 1
+      end)
+    (Point_map.to_list sn.rmap);
+  if st.r_open = 0 then finish_range t sn st
+  else begin
+    let legs =
+      Hashtbl.fold (fun _ leg acc -> leg :: acc) st.r_legs []
+      |> List.sort (fun a b -> compare a.rl_lo b.rl_lo)
+    in
+    List.iter
+      (fun leg ->
+        List.iter
+          (fun sid ->
+            if sid = sn.sid then begin
+              let cells = range_cells t sn ~lo:leg.rl_lo ~hi:leg.rl_hi in
+              heat_charge t sn ~point:leg.rl_lo ~kind:`Read
+                ~bytes:(Wire.cells_size cells);
+              range_record t sn st ~leg_lo:leg.rl_lo ~sid:sn.sid cells
+            end
+            else
+              send t ~src:sn.sid ~dst:sid
+                (Wire.Range_get { token; lo = leg.rl_lo; hi = leg.rl_hi }))
+          leg.rl_set)
+      legs
+  end
+
+and range_record t sn st ~leg_lo ~sid cells =
+  match Hashtbl.find_opt st.r_legs leg_lo with
+  | None -> ()
+  | Some leg ->
+      if not (List.mem sid leg.rl_replied) then begin
+        leg.rl_replied <- sid :: leg.rl_replied;
+        List.iter
+          (fun (key, cell) ->
+            Hashtbl.replace st.r_cells key
+              (Versioned.merge_opt (Hashtbl.find_opt st.r_cells key) cell))
+          cells;
+        if (not leg.rl_done) && List.length leg.rl_replied >= leg.rl_need
+        then begin
+          leg.rl_done <- true;
+          st.r_open <- st.r_open - 1;
+          if st.r_open = 0 then finish_range t sn st
+        end
+      end
+
+and finish_range t sn st =
+  Hashtbl.remove sn.ranges st.r_token;
+  let result =
+    Hashtbl.fold
+      (fun key cell acc -> (key, cell.Versioned.value) :: acc)
+      st.r_cells []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  finish_op t ~kind:`Qrange ~token:st.r_token ~tid:sn.sid;
+  with_ctx t st.r_ctx (fun () ->
+      causal_op_end t ~token:st.r_token ~tid:sn.sid ~outcome:"ok");
+  (match Hashtbl.find_opt t.callbacks st.r_token with
+  | Some (Cb_range k) ->
+      Hashtbl.remove t.callbacks st.r_token;
+      k result
+  | Some (Cb_put _ | Cb_get _ | Cb_remove _) | None ->
+      failwith "Runtime: bad range token");
+  t.done_ranges <- t.done_ranges + 1;
+  t.pending <- t.pending - 1
+
 (* ---------------- anti-entropy ---------------- *)
 
-(* Owner-side digest push for one locally-owned span: for every replica
-   map entry covering it where we are the primary, probe the other
-   replicas. Replicas whose digest differs pull a full-span sync. *)
+(* Owner-side probe of one partition span toward one replica. Tiny spans
+   go out as a legacy full-span digest (so seed-scale traffic is
+   byte-identical to the pre-tree protocol); anything above
+   [mt_threshold] opens a hash-tree descent instead. Both frames are cut
+   from the same snapshot tree, so one store scan per round serves every
+   span this snode pushes. *)
+and ae_probe t sn ~dst span =
+  let f = Merkle.frame_at (mtree t sn) span in
+  if f.Merkle.f_count <= t.mt_threshold then begin
+    t.ae_digests <- t.ae_digests + 1;
+    send t ~src:sn.sid ~dst
+      (Wire.Repl_digest
+         { span; count = f.Merkle.f_count; vhash = f.Merkle.f_hash })
+  end
+  else begin
+    t.ae_roots <- t.ae_roots + 1;
+    send t ~src:sn.sid ~dst
+      (Wire.Mt_root
+         {
+           round = sn.ae_round;
+           span;
+           count = f.Merkle.f_count;
+           vhash = f.Merkle.f_hash;
+         })
+  end
+
+(* Receiver-side comparison of one pushed frame against our own tree.
+   Equal frames prune the whole subtree; a divergent frame either
+   descends (both sides still have finer frames) or, at a leaf, ships our
+   per-key digests so only the symmetric difference crosses the wire
+   afterwards. Returns the span to request children for, if any. *)
+and ae_frame_compare t sn ~dst (span, count, hash, leaf) =
+  let mine = Merkle.frame_at (mtree t sn) span in
+  if mine.Merkle.f_count = count && mine.Merkle.f_hash = hash then None
+  else if
+    leaf || mine.Merkle.f_leaf || Span.level span >= Space.max_level t.space
+  then begin
+    let keys =
+      List.map (fun (k, d, _) -> (k, d)) (Merkle.entries_at (mtree t sn) span)
+    in
+    t.ae_leaves <- t.ae_leaves + 1;
+    send t ~src:sn.sid ~dst (Wire.Mt_leaf { span; keys });
+    None
+  end
+  else Some span
+
+(* Probe every replica map entry covering one locally-owned span where we
+   are the primary. Replicas whose frame differs either pull a full-span
+   sync (legacy) or walk the tree down to the divergent leaves. *)
 and ae_push_span t sn span =
   List.iter
     (fun (s', set) ->
@@ -1708,19 +1964,18 @@ and ae_push_span t sn span =
           let target_span =
             if Span.level s' > Span.level span then s' else span
           in
-          let count, vhash = span_digest t sn target_span in
           List.iter
-            (fun sid ->
-              if sid <> sn.sid then
-                send t ~src:sn.sid ~dst:sid
-                  (Wire.Repl_digest { span = target_span; count; vhash }))
+            (fun sid -> if sid <> sn.sid then ae_probe t sn ~dst:sid target_span)
             rest
       | _ -> ())
     (Point_map.overlapping sn.rmap span)
 
-(* Digest-push every span we own whose replica set includes [target] —
-   the recovery path behind [Ae_request]. *)
+(* Probe every span we own whose replica set includes [target] — the
+   recovery path behind [Ae_request]. Opens a fresh push round: the
+   requester just restarted, so a stale snapshot is exactly what must
+   not drive this exchange. *)
 and ae_push_for t sn ~target =
+  refresh_mtree t sn;
   Vtbl.iter
     (fun _ v ->
       List.iter
@@ -1732,18 +1987,17 @@ and ae_push_for t sn ~target =
                   let target_span =
                     if Span.level s' > Span.level span then s' else span
                   in
-                  let count, vhash = span_digest t sn target_span in
-                  send t ~src:sn.sid ~dst:target
-                    (Wire.Repl_digest { span = target_span; count; vhash })
+                  ae_probe t sn ~dst:target target_span
               | _ -> ())
             (Point_map.overlapping sn.rmap span))
         v.spans)
     sn.locals
 
-(* One full anti-entropy round for this snode: digest-push every owned
-   span to its replicas, and route cells we hold for partitions we are no
-   longer a replica of back to their owner. *)
+(* One full anti-entropy round for this snode: probe every owned span to
+   its replicas, and route cells we hold for partitions we are no longer
+   a replica of back to their owner. *)
 and ae_snode t sn =
+  refresh_mtree t sn;
   Vtbl.iter
     (fun _ v -> List.iter (fun span -> ae_push_span t sn span) v.spans)
     sn.locals;
@@ -2539,7 +2793,7 @@ and handle t sn ~from msg =
       | Some (Cb_remove k) ->
           Hashtbl.remove t.callbacks token;
           k ok
-      | Some (Cb_put _ | Cb_get _) | None ->
+      | Some (Cb_put _ | Cb_get _ | Cb_range _) | None ->
           failwith "Runtime: bad remove token");
       t.done_removals <- t.done_removals + 1;
       t.pending <- t.pending - 1
@@ -2554,7 +2808,7 @@ and handle t sn ~from msg =
       | Some (Cb_put k) ->
           Hashtbl.remove t.callbacks token;
           (match k with Some f -> f () | None -> ())
-      | Some (Cb_get _ | Cb_remove _) | None ->
+      | Some (Cb_get _ | Cb_remove _ | Cb_range _) | None ->
           failwith "Runtime: bad put token");
       t.done_puts <- t.done_puts + 1;
       t.pending <- t.pending - 1
@@ -2569,7 +2823,7 @@ and handle t sn ~from msg =
       | Some (Cb_get k) ->
           Hashtbl.remove t.callbacks token;
           k value
-      | Some (Cb_put _ | Cb_remove _) | None ->
+      | Some (Cb_put _ | Cb_remove _ | Cb_range _) | None ->
           failwith "Runtime: bad get token");
       t.done_gets <- t.done_gets + 1;
       t.pending <- t.pending - 1
@@ -2593,7 +2847,7 @@ and handle t sn ~from msg =
           record t (Oplog.Busy { token; at = Engine.now t.engine });
           t.pending <- t.pending - 1;
           k None
-      | Some (Cb_remove _) -> failwith "Runtime: bad busy token"
+      | Some (Cb_remove _ | Cb_range _) -> failwith "Runtime: bad busy token"
       | None -> ())
   | Wire.Repl_put { token; key; point; cell } ->
       heat_charge t sn ~point ~kind:`Write
@@ -2639,8 +2893,9 @@ and handle t sn ~from msg =
       if my_count <> count || my_vhash <> vhash then
         send t ~src:sn.sid ~dst:from (Wire.Repl_sync_request { span })
   | Wire.Repl_sync_request { span } ->
-      send t ~src:sn.sid ~dst:from
-        (Wire.Repl_sync { span; cells = span_cells t sn span; reply = true })
+      let cells = span_cells t sn span in
+      t.ae_keys_sent <- t.ae_keys_sent + List.length cells;
+      send t ~src:sn.sid ~dst:from (Wire.Repl_sync { span; cells; reply = true })
   | Wire.Repl_sync { span; cells; reply } ->
       let fresher = ref [] in
       List.iter
@@ -2661,16 +2916,118 @@ and handle t sn ~from msg =
       (* Bidirectional repair: ship back anything we hold strictly fresher
          (or that the sender is missing entirely). *)
       if reply then begin
-        let theirs = List.map fst cells in
+        let theirs = Hashtbl.create (List.length cells + 1) in
+        List.iter (fun (key, _) -> Hashtbl.replace theirs key ()) cells;
         List.iter
           (fun (key, cell) ->
-            if not (List.mem key theirs) then fresher := (key, cell) :: !fresher)
+            if not (Hashtbl.mem theirs key) then
+              fresher := (key, cell) :: !fresher)
           (span_cells t sn span);
-        if !fresher <> [] then
+        if !fresher <> [] then begin
+          t.ae_keys_sent <- t.ae_keys_sent + List.length !fresher;
           send t ~src:sn.sid ~dst:from
             (Wire.Repl_sync
                { span; cells = List.rev !fresher; reply = false })
+        end
       end
+  | Wire.Mt_root { round; span; count; vhash } -> (
+      let tree = mtree_for_round t sn ~owner:from ~round in
+      ignore tree;
+      match ae_frame_compare t sn ~dst:from (span, count, vhash, false) with
+      | Some s ->
+          t.ae_requests <- t.ae_requests + 1;
+          send t ~src:sn.sid ~dst:from (Wire.Mt_request { spans = [ s ] })
+      | None -> ())
+  | Wire.Mt_request { spans } ->
+      (* Pusher side of one descent round: answer each divergent span
+         with its two children's frames (or its own, marked leaf, when
+         the space cannot split further). *)
+      let tree = mtree t sn in
+      let frames =
+        List.concat_map
+          (fun s ->
+            if Span.level s >= Space.max_level t.space then begin
+              let f = Merkle.frame_at tree s in
+              [ (s, f.Merkle.f_count, f.Merkle.f_hash, true) ]
+            end
+            else begin
+              let a, b = Merkle.children tree s in
+              [
+                (a.Merkle.f_span, a.Merkle.f_count, a.Merkle.f_hash,
+                 a.Merkle.f_leaf);
+                (b.Merkle.f_span, b.Merkle.f_count, b.Merkle.f_hash,
+                 b.Merkle.f_leaf);
+              ]
+            end)
+          spans
+      in
+      t.ae_frames <- t.ae_frames + List.length frames;
+      send t ~src:sn.sid ~dst:from (Wire.Mt_frames { frames })
+  | Wire.Mt_frames { frames } ->
+      let deeper =
+        List.filter_map (fun fr -> ae_frame_compare t sn ~dst:from fr) frames
+      in
+      if deeper <> [] then begin
+        t.ae_requests <- t.ae_requests + 1;
+        send t ~src:sn.sid ~dst:from (Wire.Mt_request { spans = deeper })
+      end
+  | Wire.Mt_leaf { span; keys } ->
+      (* A divergent leaf, as the peer's (key, digest) list. Ship every
+         cell it lacks or holds differently (LWW at the receiver keeps
+         whichever is fresher), and ask for its copy of everything we
+         lack or hold differently — so exactly the symmetric difference
+         crosses the wire. *)
+      let mine = Merkle.entries_at (mtree t sn) span in
+      let theirs = Hashtbl.create (List.length keys + 1) in
+      List.iter (fun (k, d) -> Hashtbl.replace theirs k d) keys;
+      let to_send =
+        List.filter_map
+          (fun (k, d, cell) ->
+            match Hashtbl.find_opt theirs k with
+            | Some d' when d' = d -> None
+            | _ -> Some (k, cell))
+          mine
+      in
+      if to_send <> [] then begin
+        t.ae_keys_sent <- t.ae_keys_sent + List.length to_send;
+        send t ~src:sn.sid ~dst:from
+          (Wire.Repl_sync { span; cells = to_send; reply = false })
+      end;
+      let mine_tbl = Hashtbl.create (List.length mine + 1) in
+      List.iter (fun (k, d, _) -> Hashtbl.replace mine_tbl k d) mine;
+      let want =
+        List.filter_map
+          (fun (k, d) ->
+            match Hashtbl.find_opt mine_tbl k with
+            | Some d' when d' = d -> None
+            | _ -> Some k)
+          keys
+      in
+      if want <> [] then
+        send t ~src:sn.sid ~dst:from (Wire.Mt_want { span; keys = want })
+  | Wire.Mt_want { span; keys } ->
+      (* Answer from the live store: these are our freshest copies, and a
+         key dropped since the snapshot is simply omitted. *)
+      let cells =
+        List.filter_map
+          (fun key ->
+            let point = Hash.string t.space key in
+            Option.map (fun c -> (key, c)) (replica_lookup sn ~point ~key))
+          keys
+      in
+      if cells <> [] then begin
+        t.ae_keys_sent <- t.ae_keys_sent + List.length cells;
+        send t ~src:sn.sid ~dst:from
+          (Wire.Repl_sync { span; cells; reply = false })
+      end
+  | Wire.Range_get { token; lo; hi } ->
+      let cells = range_cells t sn ~lo ~hi in
+      heat_charge t sn ~point:lo ~kind:`Read ~bytes:(Wire.cells_size cells);
+      send t ~src:sn.sid ~dst:from (Wire.Range_reply { token; lo; cells })
+  | Wire.Range_reply { token; lo; cells } -> (
+      match Hashtbl.find_opt sn.ranges token with
+      | None -> ()
+      | Some st -> range_record t sn st ~leg_lo:lo ~sid:from cells)
   | Wire.Ae_request ->
       (* The sender just restarted. Re-offer any hints we still owe it
          first: the original flush may have been sent straight into its
@@ -2851,6 +3208,10 @@ let crash_snode t sid =
     Balance.Directory.reset sn.lb_dir;
     (* LRU stamps die with the routing cache they describe. *)
     Hashtbl.reset sn.rstamps;
+    (* The anti-entropy snapshot tree and the per-peer round markers are
+       soft state: a restarted snode re-snapshots on first use. *)
+    sn.mtree <- None;
+    Hashtbl.reset sn.ae_seen;
     Log.debug (fun m -> m "snode %d crashed at %g" sid (Engine.now t.engine))
   end
 
@@ -3146,9 +3507,10 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
     ?(adaptive_rto = false) ?(max_inflight = 0) ?(admission_deadline = 0.)
     ?(ingress_limit = 0) ?(poison_after = 5) ?(event_timeout = 1.0)
     ?(rfactor = 1) ?(read_quorum = 1) ?(write_quorum = 1)
-    ?(handoff_timeout = 0.02) ?(linger = 0.) ?metrics ?(trace = Trace.noop)
-    ?(causal = false) ?(heat = false) ?(heat_tau = 1.0) ?balance
-    ?(route_cap = 0) ?(max_hops = default_max_hops) ~snodes ~seed () =
+    ?(handoff_timeout = 0.02) ?(linger = 0.) ?(mt_threshold = 128)
+    ?(mt_leaf = 16) ?metrics ?(trace = Trace.noop) ?(causal = false)
+    ?(heat = false) ?(heat_tau = 1.0) ?balance ?(route_cap = 0)
+    ?(max_hops = default_max_hops) ~snodes ~seed () =
   if snodes < 1 then invalid_arg "Runtime.create: need at least one snode";
   if max_hops < 1 then invalid_arg "Runtime.create: max_hops < 1";
   if route_cap < 0 then invalid_arg "Runtime.create: route_cap < 0";
@@ -3178,6 +3540,8 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
     invalid_arg "Runtime.create: rfactor exceeds the snode count";
   if handoff_timeout <= 0. then
     invalid_arg "Runtime.create: handoff_timeout must be positive";
+  if mt_threshold < 0 then invalid_arg "Runtime.create: mt_threshold < 0";
+  if mt_leaf < 1 then invalid_arg "Runtime.create: mt_leaf < 1";
   if linger < 0. || not (Float.is_finite linger) then
     invalid_arg "Runtime.create: linger must be finite and non-negative";
   if heat_tau <= 0. || not (Float.is_finite heat_tau) then
@@ -3224,6 +3588,8 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
             i_rto = lat "runtime.rto.delay";
             i_q_put = lat ~labels:[ ("op", "put") ] "runtime.quorum.latency";
             i_q_get = lat ~labels:[ ("op", "get") ] "runtime.quorum.latency";
+            i_q_range =
+              lat ~labels:[ ("op", "range") ] "runtime.quorum.latency";
             (* Batch occupancy is a small count, like hops. *)
             i_batch =
               Registry.histogram reg ~lo:1.0 ~growth:2.0 ~bins:10
@@ -3271,6 +3637,10 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
         lb_version = 0;
         lb_last_transfer = neg_infinity;
         rstamps = Hashtbl.create 16;
+        mtree = None;
+        ae_round = 0;
+        ae_seen = Hashtbl.create 8;
+        ranges = Hashtbl.create 8;
       }
     in
     (* Every cache starts with the bootstrap placement, every replica map
@@ -3316,6 +3686,8 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
       write_quorum;
       handoff_timeout;
       linger;
+      mt_threshold;
+      mt_leaf;
       bootstrap = (spans0, first);
       instr;
       trace;
@@ -3355,6 +3727,13 @@ let create ?(space = Space.default) ?(link = Network.gigabit) ?(pmin = 32)
       read_repairs = 0;
       sync_cells = 0;
       orphans = 0;
+      done_ranges = 0;
+      ae_digests = 0;
+      ae_roots = 0;
+      ae_requests = 0;
+      ae_frames = 0;
+      ae_leaves = 0;
+      ae_keys_sent = 0;
       lb_transfers = 0;
       lb_proposals = 0;
       lb_emergencies = 0;
@@ -3686,6 +4065,13 @@ let record_metrics t reg =
   c ~labels:[ ("op", "remove") ] "runtime.ops" t.done_removals;
   c ~labels:[ ("op", "put") ] "runtime.ops" t.done_puts;
   c ~labels:[ ("op", "get") ] "runtime.ops" t.done_gets;
+  c ~labels:[ ("op", "range") ] "runtime.ops" t.done_ranges;
+  c "runtime.ae.digests" t.ae_digests;
+  c "runtime.ae.roots" t.ae_roots;
+  c "runtime.ae.requests" t.ae_requests;
+  c "runtime.ae.frames" t.ae_frames;
+  c "runtime.ae.leaves" t.ae_leaves;
+  c "runtime.ae.keys_sent" t.ae_keys_sent;
   if t.causal then c "runtime.causal.spans" t.next_span;
   (* Per-partition heat series, one labeled row group per partition; the
      registry sorts rows by (name, labels), so the dump is deterministic. *)
@@ -3787,6 +4173,26 @@ let get t ?(via = 0) ~key k =
                { point; hops = 0; retries = 0; origin = via;
                  op = Wire.Op_get { key; token } }))
 
+let range_get t ?(via = 0) ~lo ~hi k =
+  if lo < 0 || hi > Space.size t.space || lo > hi then
+    invalid_arg "Runtime.range_get: bad range bounds";
+  let token = fresh_token t (Cb_range k) in
+  t.pending <- t.pending + 1;
+  Engine.schedule t.engine ~delay:0. (fun () ->
+      causal_root t ~token ~tid:via ~op:"range" @@ fun () ->
+      match live_coordinator t via with
+      | Some sn -> start_range t sn ~token ~lo ~hi
+      | None ->
+          (* Every snode is down: settle empty rather than park — a range
+             read carries no single owner to wake it on restart. *)
+          finish_op t ~kind:`Qrange ~token ~tid:via;
+          (match Hashtbl.find_opt t.callbacks token with
+          | Some (Cb_range k) ->
+              Hashtbl.remove t.callbacks token;
+              k []
+          | _ -> ());
+          t.pending <- t.pending - 1)
+
 (* Synchronous test oracle: the authoritative copy at the partition owner,
    read without any messaging. *)
 let peek t ~key =
@@ -3809,6 +4215,96 @@ let peek t ~key =
 let anti_entropy t =
   Array.iter (fun sn -> if sn.alive then ae_snode t sn) t.snodes
 
+(* Divergence injection oracle: store a stamped cell straight into one
+   snode's tables, bypassing every message — the tool tests and benches
+   use to manufacture a known replica divergence for anti-entropy to
+   find. *)
+let plant t ~snode ?(origin = -1) ~key ~value ~ts () =
+  if snode < 0 || snode >= Array.length t.snodes then
+    invalid_arg "Runtime.plant: snode out of range";
+  let origin = if origin < 0 then snode else origin in
+  let sn = t.snodes.(snode) in
+  let point = Hash.string t.space key in
+  ignore (store_replica sn ~point ~key (Versioned.cell ~value ~ts ~origin ()))
+
+(* Hash-tree consistency audit over every live snode: a fresh snapshot
+   tree must pass the structural check, and its frame for every
+   replicated partition span must reproduce the flat [span_digest] a
+   scan computes — tree frames and legacy digests interchangeable. *)
+let merkle_audit t =
+  let findings = ref [] in
+  let bad fmt = Format.kasprintf (fun s -> findings := s :: !findings) fmt in
+  Array.iter
+    (fun sn ->
+      if sn.alive then begin
+        let tree = build_mtree t sn in
+        List.iter
+          (fun issue -> bad "snode %d: %s" sn.sid issue)
+          (Merkle.check tree);
+        List.iter
+          (fun (span, _) ->
+            let f = Merkle.frame_at tree span in
+            let count, vhash = span_digest t sn span in
+            if f.Merkle.f_count <> count || f.Merkle.f_hash <> vhash then
+              bad
+                "snode %d span %a: tree frame (%d, %x) <> scan digest (%d, %x)"
+                sn.sid Span.pp span f.Merkle.f_count f.Merkle.f_hash count
+                vhash)
+          (Point_map.to_list sn.rmap)
+      end)
+    t.snodes;
+  List.rev !findings
+
+(* Per-span replica agreement: every replica of every partition must
+   hold an identical cell set. Empty iff anti-entropy has converged. *)
+let replica_divergence t =
+  let findings = ref [] in
+  let bad fmt = Format.kasprintf (fun s -> findings := s :: !findings) fmt in
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun sn ->
+      if sn.alive then
+        List.iter
+          (fun (span, set) ->
+            if not (Hashtbl.mem seen span) then begin
+              Hashtbl.add seen span ();
+              let live = List.filter (fun sid -> t.snodes.(sid).alive) set in
+              match live with
+              | [] | [ _ ] -> ()
+              | first :: rest ->
+                  let ref_digest = span_digest t t.snodes.(first) span in
+                  List.iter
+                    (fun sid ->
+                      let d = span_digest t t.snodes.(sid) span in
+                      if d <> ref_digest then
+                        bad "span %a: snode %d digest %x/%d <> snode %d %x/%d"
+                          Span.pp span sid (snd d) (fst d) first
+                          (snd ref_digest) (fst ref_digest))
+                    rest
+            end)
+          (Point_map.to_list sn.rmap))
+    t.snodes;
+  List.rev !findings
+
+type ae_stats = {
+  ae_digests : int;
+  ae_roots : int;
+  ae_requests : int;
+  ae_frames : int;
+  ae_leaves : int;
+  ae_keys_sent : int;
+}
+
+let ae_stats (t : t) =
+  {
+    ae_digests = t.ae_digests;
+    ae_roots = t.ae_roots;
+    ae_requests = t.ae_requests;
+    ae_frames = t.ae_frames;
+    ae_leaves = t.ae_leaves;
+    ae_keys_sent = t.ae_keys_sent;
+  }
+
 let remove_vnode t ?(via = 0) ~id k =
   let host = id.Vnode_id.snode in
   if host < 0 || host >= Array.length t.snodes then
@@ -3827,6 +4323,7 @@ let completed_creations t = t.done_creations
 let completed_removals t = t.done_removals
 let completed_puts t = t.done_puts
 let completed_gets t = t.done_gets
+let completed_ranges t = t.done_ranges
 let retries t = t.retried
 
 (* ------------------------------------------------------------------ *)

@@ -60,6 +60,8 @@ val create :
   ?write_quorum:int ->
   ?handoff_timeout:float ->
   ?linger:float ->
+  ?mt_threshold:int ->
+  ?mt_leaf:int ->
   ?metrics:Dht_telemetry.Registry.t ->
   ?trace:Dht_telemetry.Trace.t ->
   ?causal:bool ->
@@ -157,6 +159,14 @@ val create :
     outside the frame, and their [floor] retires every older outstanding
     sequence at once. {!Network.quantum} (one base-latency hop) is the
     recommended window; the CLI and benchmarks default to it.
+
+    [mt_threshold] (default 128) selects the anti-entropy protocol per
+    partition span: a span whose snapshot holds at most [mt_threshold]
+    keys is pushed as a legacy flat {!Wire.Repl_digest} (byte-identical
+    to the pre-tree protocol at seed scale), a larger one opens a
+    Merkle descent with {!Wire.Mt_root}. [0] forces the tree protocol
+    everywhere; [max_int] disables it. [mt_leaf] (default 16) bounds
+    the keys per hash-tree bucket.
 
     Passing [metrics] registers latency/hop histograms in the registry
     (observed as the simulation runs): [runtime.route.hops],
@@ -267,6 +277,21 @@ val get : t -> ?via:int -> key:string -> (string option -> unit) -> unit
     wins) arrives. Like {!put}, a replicated read whose [via] snode is
     down re-routes to the next live coordinator. *)
 
+val range_get :
+  t -> ?via:int -> lo:int -> hi:int -> ((string * string) list -> unit) -> unit
+(** Quorum range read over the hash interval [[lo, hi)]: the coordinator
+    (snode [via], or the next live snode) opens one leg per partition
+    intersecting the range, fans each leg to the partition's replica set,
+    and completes a leg at [read_quorum] distinct replies (clamped to the
+    replicas that exist). Cells merge by last-writer-wins across legs and
+    repliers, so the callback's [(key, value)] list — sorted by key — is
+    duplicate-free by construction. Range reads are never shed by
+    admission control (a busy range would be indistinguishable from an
+    empty one) and never appear in the operation log: linearizability is
+    checked over point operations only. Per-leg heat is charged to each
+    touched partition at every serving replica.
+    @raise Invalid_argument unless [0 <= lo <= hi <= Space.size]. *)
+
 val remove_vnode : t -> ?via:int -> id:Vnode_id.t -> (bool -> unit) -> unit
 (** Departure of a vnode through the message protocol: the request reaches
     the vnode's hosting snode, is handed to its group's manager, and — if
@@ -290,6 +315,9 @@ val completed_removals : t -> int
 val completed_puts : t -> int
 
 val completed_gets : t -> int
+
+val completed_ranges : t -> int
+(** Range reads settled (including empty results). *)
 
 val retries : t -> int
 (** Operations that exhausted the forwarding hop limit and backed off —
@@ -381,6 +409,47 @@ type repl_stats = {
 
 val repl_stats : t -> repl_stats
 (** Replication repair counters (all zero when [rfactor = 1]). *)
+
+val plant :
+  t -> snode:int -> ?origin:int -> key:string -> value:string -> ts:float ->
+  unit -> unit
+(** Divergence-injection oracle for tests and benchmarks: stamp
+    [(value, ts)] and store the cell straight into [snode]'s tables (its
+    own partition if it owns the key's point, its replica table
+    otherwise), with no messaging — manufacturing a known replica
+    divergence for anti-entropy to find. [origin] (default [snode])
+    overrides the version's origin stamp: planting the same
+    [(key, value, ts, origin)] on several snodes yields byte-identical
+    cells, the converged baseline the anti-entropy benchmark diverges
+    from.
+    @raise Invalid_argument if [snode] names no snode. *)
+
+val merkle_audit : t -> string list
+(** Hash-tree consistency audit, one finding per line: for every live
+    snode, a freshly built snapshot tree must pass {!Dht_merkle.Merkle.check}
+    (interior hashes recomputable from children, counts additive, shape
+    canonical) and its frame for every replicated partition span must
+    equal the flat scan digest of that span — the property that lets
+    anti-entropy mix tree frames with legacy digests. Empty when
+    consistent. *)
+
+val replica_divergence : t -> string list
+(** Replica agreement audit: for every replicated partition, each live
+    replica's span digest must match. Empty iff anti-entropy has
+    converged (given quiesced traffic). *)
+
+type ae_stats = {
+  ae_digests : int;  (** legacy flat digests pushed (spans at or under the threshold) *)
+  ae_roots : int;  (** Merkle root frames pushed *)
+  ae_requests : int;  (** descent rounds: [Mt_request] messages sent *)
+  ae_frames : int;  (** child frames served by owners *)
+  ae_leaves : int;  (** divergent buckets resolved by key exchange *)
+  ae_keys_sent : int;  (** cells shipped by all anti-entropy sync paths *)
+}
+
+val ae_stats : t -> ae_stats
+(** Anti-entropy protocol counters, both the legacy flat-digest and the
+    Merkle-descent paths. *)
 
 (** {2 Heat and health exports} *)
 

@@ -93,6 +93,24 @@ type msg =
       reply : bool;
     }
   | Ae_request
+  | Mt_root of { round : int; span : Span.t; count : int; vhash : int }
+      (* tree-descent opener: the pusher's root frame for one partition
+         span, plus its AE round so the receiver knows when to take a
+         fresh snapshot of its own store *)
+  | Mt_request of { spans : Span.t list }
+      (* "descend here": subtree spans whose frames disagreed *)
+  | Mt_frames of { frames : (Span.t * int * int * bool) list }
+      (* (span, count, hash, leaf?) children frames for requested spans *)
+  | Mt_leaf of { span : Span.t; keys : (string * int) list }
+      (* divergent leaf: the sender's per-key cell digests in the span *)
+  | Mt_want of { span : Span.t; keys : string list }
+      (* "ship me your cells for these keys" — closes the exchange *)
+  | Range_get of { token : int; lo : int; hi : int }
+  | Range_reply of {
+      token : int;
+      lo : int;  (* clipped sub-range start: identifies the partition leg *)
+      cells : (string * Versioned.cell) list;
+    }
   | Traced of { trace : int; span : int; hop : int; payload : msg }
   | Batch of msg list
   | Req of { seq : int; payload : msg }
@@ -209,6 +227,19 @@ let rec size_bytes = function
   | Repl_sync_request _ -> envelope + per_entry
   | Repl_sync { cells; _ } -> envelope + per_entry + cells_size cells
   | Ae_request -> envelope
+  | Mt_root _ -> envelope + (3 * per_entry)
+  | Mt_request { spans } -> envelope + (per_entry * List.length spans)
+  | Mt_frames { frames } -> envelope + (2 * per_entry * List.length frames)
+  | Mt_leaf { keys; _ } ->
+      envelope + per_entry
+      + List.fold_left
+          (fun acc (k, _) -> acc + per_entry + String.length k)
+          0 keys
+  | Mt_want { keys; _ } ->
+      envelope + per_entry
+      + List.fold_left (fun acc k -> acc + per_entry + String.length k) 0 keys
+  | Range_get _ -> envelope + (2 * per_entry)
+  | Range_reply { cells; _ } -> envelope + (2 * per_entry) + cells_size cells
   | Traced { payload; _ } -> trace_context + size_bytes payload
   | Batch parts ->
       (* One shared envelope; each part pays a [per_entry] frame header and
@@ -268,6 +299,13 @@ let rec describe = function
   | Repl_sync_request _ -> "repl:sync-request"
   | Repl_sync _ -> "repl:sync"
   | Ae_request -> "ae-request"
+  | Mt_root _ -> "mt:root"
+  | Mt_request _ -> "mt:request"
+  | Mt_frames _ -> "mt:frames"
+  | Mt_leaf _ -> "mt:leaf"
+  | Mt_want _ -> "mt:want"
+  | Range_get _ -> "range:get"
+  | Range_reply _ -> "range:reply"
   | Traced { payload; _ } -> describe payload
   | Batch _ -> "batch"
   | Req { payload; _ } -> req_tag payload
@@ -310,6 +348,13 @@ and req_tag = function
   | Repl_sync_request _ -> "req:repl:sync-request"
   | Repl_sync _ -> "req:repl:sync"
   | Ae_request -> "req:ae-request"
+  | Mt_root _ -> "req:mt:root"
+  | Mt_request _ -> "req:mt:request"
+  | Mt_frames _ -> "req:mt:frames"
+  | Mt_leaf _ -> "req:mt:leaf"
+  | Mt_want _ -> "req:mt:want"
+  | Range_get _ -> "req:range:get"
+  | Range_reply _ -> "req:range:reply"
   | Traced { payload; _ } -> req_tag payload
   | Batch _ -> "req:batch"
   | Lpdr_pull _ -> "req:lpdr-pull"

@@ -158,6 +158,37 @@ type msg =
   | Ae_request
       (** broadcast by a recovering snode: please digest-push every
           partition whose replica set includes me *)
+  | Mt_root of { round : int; span : Span.t; count : int; vhash : int }
+      (** Merkle anti-entropy opener from a partition's owner: the root
+          frame of the owner's hash tree restricted to [span]. [round]
+          stamps the owner's tree snapshot so the receiver rebuilds its
+          own snapshot exactly once per reconciliation round. A receiver
+          whose frame matches stays silent; otherwise it descends with
+          {!Mt_request}. *)
+  | Mt_request of { spans : Span.t list }
+      (** tree descent: the receiver asks the owner for the child frames
+          of each divergent span *)
+  | Mt_frames of { frames : (Span.t * int * int * bool) list }
+      (** owner's answer: [(span, count, hash, leaf)] per frame, two
+          children per requested span ([leaf] marks frames the owner
+          cannot refine further — descent below them must switch to key
+          transfer via {!Mt_leaf}) *)
+  | Mt_leaf of { span : Span.t; keys : (string * int) list }
+      (** divergent-bucket resolution: [(key, digest)] of every cell the
+          sender holds inside [span]. The receiver ships cells the sender
+          lacks or holds stale ({!Repl_sync} with [reply = false]) and
+          asks for the rest with {!Mt_want} — so exactly the symmetric
+          difference crosses the wire. *)
+  | Mt_want of { span : Span.t; keys : string list }
+      (** the receiver of an {!Mt_leaf} requests the cells it lacks;
+          answered with {!Repl_sync} ([reply = false]) *)
+  | Range_get of { token : int; lo : int; hi : int }
+      (** range-read probe: please answer with every cell whose hash
+          point falls in [[lo, hi)] restricted to the partitions this
+          replica holds *)
+  | Range_reply of { token : int; lo : int; cells : (string * Versioned.cell) list }
+      (** one replica's slice of a range read; [lo] identifies the
+          coordinator-side leg the reply belongs to *)
   | Traced of { trace : int; span : int; hop : int; payload : msg }
       (** causal span context riding the payload: [trace] is the client
           operation's trace id, [span] the id of this wire edge (its parent
@@ -250,6 +281,11 @@ type msg =
 val trace_context : int
 (** Bytes a {!Traced} wrapper adds to its payload (trace id + span id +
     hop count). *)
+
+val cells_size : (string * Versioned.cell) list -> int
+(** Serialized size of a [(key, cell)] payload list, as charged inside
+    {!size_bytes} — exposed so byte-accurate heat can be charged for
+    range replies without re-deriving the estimate. *)
 
 val size_bytes : msg -> int
 (** Serialized-size estimate: 64-byte envelope, 16 bytes per id/span/count

@@ -35,4 +35,5 @@ let () =
       ("linear", Test_linear.suite);
       ("routing", Test_routing.suite);
       ("explorer", Test_explorer.suite);
+      ("merkle", Test_merkle.suite);
     ]

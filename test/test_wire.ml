@@ -111,8 +111,15 @@ let canonical = function
   | Wire.Lb_proposal _ -> 37
   | Wire.Lb_transfer _ -> 38
   | Wire.Lb_swap _ -> 39
+  | Wire.Mt_root _ -> 40
+  | Wire.Mt_request _ -> 41
+  | Wire.Mt_frames _ -> 42
+  | Wire.Mt_leaf _ -> 43
+  | Wire.Mt_want _ -> 44
+  | Wire.Range_get _ -> 45
+  | Wire.Range_reply _ -> 46
 
-let constructor_count = 40
+let constructor_count = 47
 
 (* The same message with a strictly larger variable-size payload, or the
    message itself when the constructor is fixed-size. Also wildcard-free,
@@ -171,6 +178,16 @@ let inflate = function
   | Wire.Lb_proposal _ as m -> m
   | Wire.Lb_transfer _ as m -> m
   | Wire.Lb_swap _ as m -> m
+  | Wire.Mt_root _ as m -> m
+  | Wire.Mt_request r ->
+      Wire.Mt_request { spans = Span.root :: r.spans }
+  | Wire.Mt_frames f ->
+      Wire.Mt_frames { frames = (Span.root, 1, 0xbeef, true) :: f.frames }
+  | Wire.Mt_leaf l -> Wire.Mt_leaf { l with keys = (big, 0xf00d) :: l.keys }
+  | Wire.Mt_want w -> Wire.Mt_want { w with keys = big :: w.keys }
+  | Wire.Range_get _ as m -> m
+  | Wire.Range_reply r ->
+      Wire.Range_reply { r with cells = ("extra", cell big) :: r.cells }
 
 (* One representative of every constructor (all four routed ops). *)
 let all_messages =
@@ -235,6 +252,13 @@ let all_messages =
         to_snode = 2; origin = 3 };
     Wire.Lb_swap
       { event = 3; hot = Span.root; from_vnode = vid 1; to_vnode = vid 2 };
+    Wire.Mt_root { round = 1; span = Span.root; count = 9; vhash = 0xc0de };
+    Wire.Mt_request { spans = [ Span.root ] };
+    Wire.Mt_frames { frames = [ (Span.root, 4, 0xcafe, false) ] };
+    Wire.Mt_leaf { span = Span.root; keys = [ ("k", 0xd00d) ] };
+    Wire.Mt_want { span = Span.root; keys = [ "k" ] };
+    Wire.Range_get { token = 7; lo = 0; hi = 1024 };
+    Wire.Range_reply { token = 7; lo = 0; cells = [ ("k", cell "v") ] };
   ]
 
 let test_complete_coverage () =
